@@ -1,0 +1,36 @@
+"""Shared benchmark fixtures.
+
+The full medium-scale experiment runs **once per session** and is
+shared by every table/figure benchmark; each benchmark then times the
+analysis that regenerates its table or figure and writes the rendered
+rows to ``benchmarks/output/`` for comparison against the paper
+(EXPERIMENTS.md records such a run).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def experiment():
+    """The medium-scale end-to-end run all benchmarks analyse."""
+    return run_experiment(ExperimentConfig.medium(seed=42))
+
+
+@pytest.fixture(scope="session")
+def save_output():
+    """Write a rendered table/figure to benchmarks/output/<name>.txt."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _save

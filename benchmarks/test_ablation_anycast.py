@@ -1,0 +1,68 @@
+"""Ablation — anycast path inflation vs an oracle catchment.
+
+Anycast does not always route clients to the nearest PoP [8, 21, 24],
+which is why the paper measures per-PoP service radii instead of
+assuming proximity.  This bench compares catchment dispersion and
+calibrated radii between an oracle (nearest-PoP) world and an inflated
+one.
+"""
+
+from repro.sim.clock import HOUR
+from repro.world.activity import ActivitySimulator
+from repro.world.builder import WorldConfig, build_world
+from repro.world.domains_catalog import probe_domains
+from repro.world.vantage import deploy_vantage_points
+from repro.core.calibration import CalibrationConfig, calibrate
+from repro.core.prober import GoogleProber
+
+
+def nearest_pop_share(world):
+    """Fraction of client blocks routed to their nearest active PoP."""
+    nearest = 0
+    for block in world.blocks:
+        ranked = world.user_catchment.ranked(block.location)
+        chosen = world.user_catchment.pop_for(block.location, block.slash24)
+        nearest += chosen.pop_id == ranked[0].pop_id
+    return nearest / len(world.blocks)
+
+
+def calibrated_radii(world, seed):
+    ActivitySimulator(world, seed=seed).run(3 * HOUR)
+    prober = GoogleProber(world, deploy_vantage_points(world), redundancy=3)
+    calibration = calibrate(world, prober, probe_domains(world.domains),
+                            CalibrationConfig(sample_size=150), seed=seed)
+    return [c.radius_km for c in calibration.per_pop.values()
+            if c.hit_count >= 3]
+
+
+def test_ablation_anycast_inflation(benchmark, save_output):
+    oracle_world = build_world(WorldConfig(seed=55, target_blocks=150,
+                                           anycast_inflation=0.0))
+    inflated_world = build_world(WorldConfig(seed=55, target_blocks=150,
+                                             anycast_inflation=0.30))
+
+    oracle_share = nearest_pop_share(oracle_world)
+    inflated_share = benchmark.pedantic(
+        nearest_pop_share, args=(inflated_world,), rounds=3, iterations=1
+    )
+
+    oracle_radii = calibrated_radii(oracle_world, seed=55)
+    inflated_radii = calibrated_radii(inflated_world, seed=55)
+    mean = lambda xs: sum(xs) / len(xs) if xs else float("nan")
+
+    lines = [
+        "== Ablation: anycast inflation ==",
+        f"  nearest-PoP share: oracle {oracle_share:.1%}, "
+        f"inflated {inflated_share:.1%}",
+        f"  mean calibrated radius: oracle {mean(oracle_radii):.0f} km "
+        f"({len(oracle_radii)} PoPs), inflated "
+        f"{mean(inflated_radii):.0f} km ({len(inflated_radii)} PoPs)",
+    ]
+    save_output("ablation_anycast", "\n".join(lines))
+
+    assert oracle_share == 1.0
+    assert inflated_share < 0.9
+    # Inflation stretches measured service radii on average (the very
+    # effect that makes per-PoP calibration necessary).
+    if oracle_radii and inflated_radii:
+        assert mean(inflated_radii) > 0.5 * mean(oracle_radii)

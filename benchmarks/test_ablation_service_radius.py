@@ -1,0 +1,54 @@
+"""Ablation — per-PoP service radii vs one global maximum (§3.1.1).
+
+The paper reports that assigning each prefix only to PoPs whose
+measured service radius could cover it reduces the average probing set
+from 4.4M to 2.4M prefixes per PoP (using Zurich's 5,524 km maximum
+for everyone instead).  This bench reproduces the comparison on the
+shared experiment's calibration.
+"""
+
+from dataclasses import replace
+
+from repro.core.calibration import CalibrationResult
+from repro.core.cache_probing import CacheProbingPipeline
+
+
+def assignment_sizes(pipeline, discovery, calibration):
+    assignment = pipeline._assign(discovery, calibration)
+    return {pop: len(targets) for pop, targets in assignment.items()}
+
+
+def test_ablation_service_radius(benchmark, experiment, save_output):
+    # Rebuild a pipeline facade over the already-run experiment.
+    pipeline = CacheProbingPipeline(
+        experiment.world,
+        experiment.config.probing,
+        activity_config=experiment.config.activity,
+        vantage_points=experiment.vantage_points,
+    )
+    discovery = experiment.cache_result.discovery
+    calibrated = experiment.cache_result.calibration
+    max_radius = max(c.radius_km for c in calibrated.per_pop.values())
+    flat = CalibrationResult(per_pop={
+        pop_id: replace(c, radius_km=max_radius)
+        for pop_id, c in calibrated.per_pop.items()
+    })
+
+    per_pop = benchmark(assignment_sizes, pipeline, discovery, calibrated)
+    flat_sizes = assignment_sizes(pipeline, discovery, flat)
+
+    mean_calibrated = sum(per_pop.values()) / len(per_pop)
+    mean_flat = sum(flat_sizes.values()) / len(flat_sizes)
+    lines = ["== Ablation: per-PoP service radii vs global max ==",
+             f"  mean targets/PoP with measured radii: {mean_calibrated:.0f}",
+             f"  mean targets/PoP with {max_radius:.0f} km everywhere: "
+             f"{mean_flat:.0f}",
+             f"  reduction: {1 - mean_calibrated / mean_flat:.0%} "
+             "(paper: 2.4M vs 4.4M ≈ 45%)"]
+    save_output("ablation_service_radius", "\n".join(lines))
+
+    # Per-PoP radii must shrink the probing budget.
+    assert mean_calibrated < mean_flat
+    # And never assign more than the flat radius would.
+    for pop_id in per_pop:
+        assert per_pop[pop_id] <= flat_sizes[pop_id]

@@ -1,0 +1,38 @@
+"""§4's ASdb characterisation of the ASes APNIC misses.
+
+Paper: of 29,973 ASes detected by our methods but absent in APNIC,
+ASdb categorises 92.7%; 39.5% are ISPs, 17.4% hosting/cloud (plausibly
+non-human clients), 6.2% schools (plausibly human users).
+"""
+
+from repro.core.analysis.asdb_breakdown import (
+    EDUCATION_LABEL,
+    HOSTING_LABEL,
+    ISP_LABEL,
+    missed_as_breakdown,
+)
+from repro.core.datasets import APNIC, UNION
+from repro.experiments.report import asdb_missed
+
+
+def test_asdb_breakdown(benchmark, experiment, save_output):
+    breakdown = benchmark(
+        missed_as_breakdown,
+        experiment.world,
+        experiment.datasets[UNION],
+        experiment.datasets[APNIC],
+    )
+    save_output("asdb_breakdown", asdb_missed(experiment))
+
+    assert breakdown.missed_total > 20
+    # ASdb categorises the vast majority (paper: 92.7%).
+    assert breakdown.coverage > 0.80
+    # ISPs are the dominant category among the missed (paper: 39.5%).
+    isp_share = breakdown.share(ISP_LABEL)
+    for label in breakdown.label_counts:
+        if label != ISP_LABEL:
+            assert isp_share >= breakdown.share(label) * 0.8
+    # Both the non-human (hosting) and clearly-human (education)
+    # classes appear, as in the paper's breakdown.
+    assert breakdown.label_counts.get(HOSTING_LABEL, 0) \
+        + breakdown.label_counts.get(EDUCATION_LABEL, 0) > 0

@@ -1,0 +1,44 @@
+"""Figure 1 — geographic density of active prefixes.
+
+Paper shapes: activity appears on every continent; within a region the
+density roughly follows population (the paper calls out densest
+activity near US and Brazilian coasts and more detected activity in
+Europe than China).
+"""
+
+from repro.core.analysis import geomap
+from repro.experiments.report import figure1
+
+
+def test_figure1_density_map(benchmark, experiment, save_output):
+    grid = benchmark(
+        geomap.active_prefix_density, experiment.world,
+        experiment.cache_result, 5.0,
+    )
+    save_output("figure1_density_map", figure1(experiment))
+
+    by_region = geomap.density_by_region(experiment.world,
+                                         experiment.cache_result)
+    # Global coverage: every region shows activity.
+    for region in ("NA", "SA", "EU", "AS", "AF", "OC"):
+        assert by_region.get(region, 0) > 0, f"no activity in {region}"
+    # Density concentrates: the hottest cells hold real mass.
+    hottest = grid.hottest(5)
+    assert hottest[0][1] > 20
+    assert grid.total() == sum(grid.cells.values())
+
+    # Within-region sanity: the top cells sit near population centres
+    # (all our cities are in |lat| ≤ 60).
+    for (lat, _lon), _count in hottest:
+        assert -60 <= lat <= 60
+
+    # Per-country density roughly follows user population: countries
+    # with more true users show more active prefixes (rank check on
+    # the biggest few, excluding ones behind unprobed PoPs).
+    by_country = geomap.density_by_country(experiment.world,
+                                           experiment.cache_result)
+    users = experiment.world.true_users_by_country()
+    big = sorted(users, key=users.get, reverse=True)[:3]
+    small = sorted(users, key=users.get)[:3]
+    assert sum(by_country.get(c, 0) for c in big) > \
+        sum(by_country.get(c, 0) for c in small)

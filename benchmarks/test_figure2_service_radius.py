@@ -1,0 +1,33 @@
+"""Figure 2 — per-PoP cache-hit distance CDFs and service radii.
+
+Paper shapes: the 90th-percentile service radius varies widely across
+PoPs (478 km for Groningen to 3,273 km for Charleston, with 5,524 km
+used as the global maximum); most cache-hit prefixes are near the PoP;
+using per-PoP radii cuts the probing assignment substantially vs the
+maximum radius.
+"""
+
+from repro.core.analysis import distance
+from repro.experiments.report import figure2
+
+
+def test_figure2_service_radius(benchmark, experiment, save_output):
+    series = benchmark(
+        distance.all_distance_cdfs, experiment.cache_result.calibration
+    )
+    save_output("figure2_service_radius", figure2(experiment))
+
+    with_hits = [s for s in series if len(s.distances_km) >= 3]
+    assert len(with_hits) >= 5, "too few calibrated PoPs"
+    radii = [s.service_radius_km for s in with_hits]
+    # Wide spread across PoPs (paper: 478–3,273 km).
+    assert max(radii) / max(1.0, min(radii)) > 2.0
+    assert min(radii) < 3000
+    # CDFs are monotone and end at 1.
+    for s in with_hits:
+        cdf = s.cdf()
+        assert cdf[-1][1] == 1.0
+        xs = [x for x, _ in cdf]
+        assert xs == sorted(xs)
+        # By construction ≥90% of hits are within the service radius.
+        assert s.fraction_within(s.service_radius_km) >= 0.9

@@ -1,0 +1,40 @@
+"""Figure 3 — fraction of each country's (APNIC) users in ASes where
+cache probing found activity.
+
+Paper shapes: most eyeballs covered in most countries (≈100% US, 99%
+India, 98% China) with the gap concentrated in countries whose PoPs
+the cloud vantage points cannot reach — South America in the paper,
+and in our deployment also Nigeria (the unprobed-verified PoPs).
+"""
+
+from repro.core.analysis import country as country_mod
+from repro.core.datasets import CACHE_PROBING
+from repro.experiments.report import figure3
+
+
+def test_figure3_country_coverage(benchmark, experiment, save_output):
+    detected = experiment.datasets[CACHE_PROBING].asns
+    rows = benchmark(
+        country_mod.country_coverage,
+        experiment.world, experiment.apnic_estimates, detected,
+    )
+    save_output("figure3_country_coverage", figure3(experiment))
+
+    by_code = {r.country: r for r in rows}
+    # Big, well-served countries come out nearly fully covered.
+    for code in ("US", "IN", "DE", "JP"):
+        if code in by_code:
+            assert by_code[code].fraction > 0.85, code
+    # Countries served only by cloud-unreachable PoPs suffer: their
+    # mean coverage is lower than the well-served countries'.
+    unprobed_countries = {
+        d.pop.country for d in experiment.world.pop_descriptors
+        if d.active and not d.cloud_reachable
+    }
+    gap = [r.fraction for r in rows if r.country in unprobed_countries]
+    served = [r.fraction for r in rows if r.country in ("US", "DE", "JP")]
+    assert gap and served
+    assert sum(gap) / len(gap) < sum(served) / len(served)
+    # Rows are sorted by APNIC population descending.
+    populations = [r.apnic_users for r in rows]
+    assert populations == sorted(populations, reverse=True)

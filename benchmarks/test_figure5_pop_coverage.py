@@ -1,0 +1,42 @@
+"""Figure 5 / §A.1 — PoP coverage of the anycast deployment.
+
+Paper shapes: of 45 PoPs, 22 are probed-and-verified (reached from
+cloud VMs), 5 unprobed-and-verified (their egress resolvers show up in
+the Microsoft resolver logs, so they serve clients), 18
+unprobed-and-unverified (inactive).  The probed PoPs carry ~95% of the
+public resolver's query volume towards Microsoft, the unprobed-verified
+~5%.
+"""
+
+from repro.core.analysis import pops as pops_mod
+from repro.experiments.report import figure5
+
+
+def test_figure5_pop_coverage(benchmark, experiment, save_output):
+    coverage = benchmark(
+        pops_mod.pop_coverage, experiment.world, experiment.probed_pop_ids
+    )
+    save_output("figure5_pop_coverage", figure5(experiment))
+
+    probed, unprobed_verified, unprobed_unverified = coverage.counts()
+    assert probed + unprobed_verified + unprobed_unverified == 45
+    # Cloud VMs reach most of the 22 cloud-announced PoPs.
+    assert probed >= 18
+    # The user-only PoPs are verified through the CDN's resolver logs.
+    assert unprobed_verified >= 4
+    # Inactive PoPs stay unverified.
+    assert unprobed_unverified >= 18
+    # Volume split (paper: 95% / 5%).
+    assert coverage.probed_volume_share > 0.75
+    assert coverage.unprobed_verified_volume_share < 0.25
+    assert (coverage.probed_volume_share
+            + coverage.unprobed_verified_volume_share) == 1.0
+    # Every unprobed-verified PoP is genuinely active (verification
+    # comes from the CDN resolver logs; it may include cloud-reachable
+    # PoPs no vantage region happened to reach, as in the real study).
+    active = {d.pop_id for d in experiment.world.pop_descriptors if d.active}
+    assert set(coverage.unprobed_verified) <= active
+    # Most of the deliberately user-only PoPs show up as verified.
+    user_only = {d.pop_id for d in experiment.world.pop_descriptors
+                 if d.active and not d.cloud_reachable}
+    assert len(user_only & set(coverage.unprobed_verified)) >= 4

@@ -1,0 +1,41 @@
+"""§4 headline validation numbers (the abstract's claims).
+
+Paper values: techniques identify client activity in ASes carrying
+98.8% of CDN traffic and prefixes carrying 95.2%; <1% of identified
+scope prefixes contact Microsoft not at all (99.1% contain a client
+/24); cache probing recovers 91% of ground-truth ECS /24s; ECS and
+HTTP activity overlap at 97.2% / 92%.
+"""
+
+from repro.core.analysis import volume
+from repro.experiments.report import headline
+
+
+def test_headline_validation(benchmark, experiment, save_output):
+    stats = benchmark(
+        volume.compute_headline_stats,
+        experiment.datasets, experiment.cache_result,
+    )
+    save_output("headline_validation", headline(experiment))
+
+    # AS-level volume coverage beats APNIC (paper: 98.8% vs 92%).
+    assert stats.union_as_volume_share > 90.0
+    assert stats.union_as_volume_share > stats.apnic_as_volume_share
+    # Prefix-level volume coverage (paper: 95.2%).
+    assert stats.union_prefix_volume_share > 70.0
+    # DNS-logs prefixes are precise (paper: 95.5%).
+    assert stats.dns_logs_prefix_precision > 80.0
+    # Cache probing's upper bound is generous — its /24 precision is
+    # real but clearly below DNS logs' (paper: 74.7% vs 95.5%).
+    assert 10.0 < stats.cache_probing_prefix_precision \
+        < stats.dns_logs_prefix_precision
+    # Ground-truth ECS recovery (paper: 91%; our shorter probing
+    # window and finer simulated scopes land lower but still recover
+    # the clear majority — see EXPERIMENTS.md).
+    assert stats.cache_recall_of_cloud_ecs > 60.0
+    # DNS activity ↔ HTTP activity (paper: 97.2% / 92%).
+    assert stats.ecs_covers_http_share > 85.0
+    assert stats.http_covers_ecs_share > 80.0
+    # Scope-prefix false positives are rare (paper: 99.1% contain a
+    # client /24).
+    assert stats.scope_prefix_precision > 95.0

@@ -1,0 +1,32 @@
+"""End-to-end pipeline performance.
+
+Not a paper table — a performance regression guard: the whole study
+(world build + cache probing + DNS logs + APNIC + datasets) at small
+scale must stay in single-digit seconds, or interactive use and the
+test suite both degrade.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+
+def run_small():
+    """One complete small-scale study."""
+    return run_experiment(ExperimentConfig.small(seed=12))
+
+
+def test_pipeline_end_to_end(benchmark, save_output):
+    result = benchmark.pedantic(run_small, rounds=2, iterations=1)
+    save_output("pipeline_e2e", "\n".join([
+        "== End-to-end pipeline (small preset) ==",
+        f"  probes sent: {result.cache_result.probes_sent:,}",
+        f"  cache hits: {len(result.cache_result.hits)}",
+        f"  resolvers in DNS logs: {len(result.logs_result.resolver_counts)}",
+        f"  datasets: {len(result.datasets)}",
+    ]))
+    # The run must produce a full, analysable result.
+    assert result.cache_result.hits
+    assert result.logs_result.resolver_counts
+    assert len(result.datasets) == 7
+    # Regression guard: the small study stays interactive.
+    assert benchmark.stats["mean"] < 60.0

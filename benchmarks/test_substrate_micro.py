@@ -1,0 +1,95 @@
+"""Micro-benchmarks of the hot substrate paths.
+
+The measurement pipeline issues hundreds of thousands of probes per
+run; these benchmarks pin down the per-operation cost of the data
+structures everything rides on: longest-prefix-match, prefix-set
+coverage, the ECS cache, and great-circle distance.
+"""
+
+import random
+
+import pytest
+
+from repro.dns.cache import DnsCache
+from repro.dns.message import RecordType, ResourceRecord
+from repro.dns.name import DnsName
+from repro.net.geo import haversine_km
+from repro.net.prefix import Prefix
+from repro.net.prefixset import PrefixSet
+from repro.net.trie import PrefixTrie
+from repro.sim.clock import Clock
+
+
+@pytest.fixture(scope="module")
+def routed_trie():
+    rng = random.Random(1)
+    trie = PrefixTrie()
+    for i in range(20_000):
+        address = rng.randrange(2**32)
+        length = rng.choice((16, 18, 20, 22, 24))
+        trie.insert(Prefix.from_address(address, length), i)
+    return trie
+
+
+def test_trie_longest_prefix_match(benchmark, routed_trie):
+    rng = random.Random(2)
+    addresses = [rng.randrange(2**32) for _ in range(1000)]
+
+    def lookup_batch():
+        return sum(1 for a in addresses if routed_trie.lookup(a) is not None)
+
+    hits = benchmark(lookup_batch)
+    assert 0 < hits <= 1000
+
+
+def test_prefixset_cover_queries(benchmark):
+    rng = random.Random(3)
+    prefix_set = PrefixSet(
+        Prefix.from_address(rng.randrange(2**32), rng.choice((16, 20, 24)))
+        for _ in range(5_000)
+    )
+    probes = [Prefix.from_address(rng.randrange(2**32), 24)
+              for _ in range(1000)]
+
+    def cover_batch():
+        return sum(1 for p in probes if prefix_set.covers(p))
+
+    covered = benchmark(cover_batch)
+    assert 0 <= covered <= 1000
+
+
+def test_ecs_cache_store_lookup(benchmark):
+    clock = Clock()
+    cache = DnsCache(clock)
+    name = DnsName.parse("www.example.com")
+    record = ResourceRecord(name=name, rtype=RecordType.A, ttl=300, data="x")
+    rng = random.Random(4)
+    scopes = [Prefix.from_address(rng.randrange(2**32), 20)
+              for _ in range(500)]
+    for scope in scopes:
+        cache.store(record, scope)
+    queries = [Prefix.from_address(s.network + 256, 24) for s in scopes]
+
+    def lookup_batch():
+        return sum(
+            1 for q in queries
+            if cache.lookup(name, RecordType.A, q) is not None
+        )
+
+    hits = benchmark(lookup_batch)
+    assert hits > 0
+
+
+def test_haversine(benchmark):
+    rng = random.Random(5)
+    points = [(rng.uniform(-80, 80), rng.uniform(-180, 180))
+              for _ in range(2000)]
+
+    def distance_batch():
+        total = 0.0
+        for (lat1, lon1), (lat2, lon2) in zip(points, reversed(points)):
+            total += haversine_km(lat1, lon1, lat2, lon2)
+        return total
+
+    total = benchmark(distance_batch)
+    assert total > 0

@@ -1,0 +1,27 @@
+"""Table 2 — ECS response scopes vs query scopes.
+
+Paper shapes: ~90% of cache hits return exactly the query scope, ~97%
+within 2 bits, ~99% within 4 — per domain and overall.  This validates
+the scope-reduction stage (§A.2): the scopes learned from the
+authoritative stay stable while Google is probed with them.
+"""
+
+from repro.core.analysis import scopes
+from repro.experiments.report import table2
+
+
+def test_table2_scope_stability(benchmark, experiment, save_output):
+    columns = benchmark(scopes.scope_stability_table, experiment.cache_result)
+    save_output("table2_scope_stability", table2(experiment))
+
+    overall = columns[-1]
+    assert overall.domain == "Overall"
+    assert overall.total_hits > 100
+    # Paper: 90% exact / 97% within 2 / 99% within 4.
+    assert overall.share("exact") > 0.75
+    assert overall.share("within_2") > 0.90
+    assert overall.share("within_4") > 0.97
+    # Monotonicity per domain.
+    for column in columns:
+        assert column.exact <= column.within_2 <= column.within_4 \
+            <= column.total_hits

@@ -1,0 +1,39 @@
+"""Table 4 — volume-weighted AS overlap ("the ASes we miss are small").
+
+Paper shapes: the ASes our techniques identify carry ~98.8% of
+Microsoft-clients query volume (vs 92% for APNIC); the ASes DNS logs
+finds carry ~97.6% of APNIC's population; every row dataset
+concentrates its volume in ASes the union also sees.
+"""
+
+from repro.core.analysis import volume
+from repro.core.datasets import (
+    APNIC,
+    DNS_LOGS,
+    MICROSOFT_CLIENTS,
+    MICROSOFT_RESOLVERS,
+    UNION,
+)
+from repro.experiments.report import TABLE3_DATASETS, table4
+
+
+def test_table4_volume_overlap(benchmark, experiment, save_output):
+    matrix = benchmark(
+        volume.volume_overlap_matrix, experiment.datasets, TABLE3_DATASETS
+    )
+    save_output("table4_volume_overlap", table4(experiment))
+
+    # Union's ASes carry nearly all CDN volume, beating APNIC
+    # (paper: 98.8% vs 92.0%).
+    union_share = matrix.share(MICROSOFT_CLIENTS, UNION)
+    apnic_share = matrix.share(MICROSOFT_CLIENTS, APNIC)
+    assert union_share > 90.0
+    assert union_share > apnic_share
+    # APNIC's population mass sits in ASes DNS logs also sees
+    # (paper: 97.6%).
+    assert matrix.share(APNIC, DNS_LOGS) > 75.0
+    # Resolver-volume coverage by the union (paper: 100%).
+    assert matrix.share(MICROSOFT_RESOLVERS, UNION) > 95.0
+    # Every dataset trivially covers itself.
+    for row in matrix.row_names:
+        assert matrix.share(row, row) == 100.0

@@ -1,0 +1,47 @@
+"""Table 5 — per-domain cache-probing results (§B.4).
+
+Paper shapes: Wikipedia returns far fewer prefixes than the Google
+properties (its authoritative answers /16–/18 scopes) yet contributes
+disproportionately many *unique ASes*; YouTube's prefixes overlap
+Google's heavily so it adds few uniques; the bare ``facebook.com``
+(the only ECS-capable Facebook name) contributes the least because
+users query the ``www`` form.
+"""
+
+from repro.core.analysis import domains as domains_mod
+from repro.experiments.report import table5
+
+
+def stats_by_domain(analysis):
+    return {s.domain: s for s in analysis.stats}
+
+
+def test_table5_per_domain(benchmark, experiment, save_output):
+    analysis = benchmark(
+        domains_mod.per_domain_analysis,
+        experiment.cache_result, experiment.world.routes,
+    )
+    save_output("table5_per_domain", table5(experiment))
+
+    stats = stats_by_domain(analysis)
+    wiki = stats["www.wikipedia.org"]
+    google = stats["www.google.com"]
+    youtube = stats["www.youtube.com"]
+    facebook = stats["facebook.com"]
+
+    # Wikipedia's coarse scopes → fewest prefixes of the big four...
+    assert wiki.total_prefixes < google.total_prefixes
+    assert wiki.total_prefixes < youtube.total_prefixes
+    # ...but an outsized share of unique ASes (paper: 19% unique).
+    assert wiki.unique_asns / max(1, wiki.total_asns) > \
+        youtube.unique_asns / max(1, youtube.total_asns)
+    # YouTube rides Google's coattails: little unique (paper: 1.2%).
+    assert youtube.unique_prefixes / max(1, youtube.total_prefixes) < 0.15
+    # Facebook (bare, ECS form) is the weakest discoverer (paper §B.4).
+    assert facebook.total_prefixes <= google.total_prefixes
+    # Pairwise overlap is substantial everywhere (paper: 57–96%).
+    names = [s.domain for s in analysis.stats]
+    for row in names:
+        for col in names:
+            if row != col and analysis.prefix_counts[row] > 20:
+                assert analysis.overlap_percentage(row, col) > 15.0

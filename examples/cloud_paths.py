@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Are we one hop away from a better Internet?  (§1's motivating case.)
+
+The paper's opening example: Google peered directly with 41% of
+networks overall, but 61% of networks hosting end users [11] — so
+whether "most cloud paths are direct" depends entirely on whether you
+weight networks by user presence.  At the time that required a private
+CDN dataset; the whole point of the paper is that the cache-probing /
+DNS-logs active lists answer the same question from public data.
+
+This example runs the analysis three ways on a simulated content
+provider's peering matrix:
+
+1. naive — every AS counts equally;
+2. activity-weighted with the *measured* active-AS list (what the
+   paper enables);
+3. activity-weighted with ground truth (only a simulator has this).
+
+Usage::
+
+    python examples/cloud_paths.py
+"""
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.world.peering import PeeringMatrix
+
+
+def main() -> None:
+    print("Running the measurement study (small preset)...\n")
+    result = run_experiment(ExperimentConfig.small(seed=13))
+    world = result.world
+    matrix = PeeringMatrix(world, seed=13)
+
+    all_asns = world.registry.asns()
+    measured_active = (result.cache_result.active_asns(world.routes)
+                       | result.logs_result.active_asns(world.routes))
+    users_truth = {asn for asn, users in world.true_users_by_asn().items()
+                   if users > 0}
+
+    naive = matrix.direct_share(all_asns)
+    measured = matrix.direct_share(measured_active & all_asns)
+    truth = matrix.direct_share(users_truth)
+
+    print("Share of networks one direct peering away from the content "
+          "provider:")
+    print(f"  all ASes (naive view):              {naive:.0%}  "
+          f"({len(all_asns)} ASes)")
+    print(f"  measured active ASes (this paper):  {measured:.0%}  "
+          f"({len(measured_active & all_asns)} ASes)")
+    print(f"  ASes truly hosting users (oracle):  {truth:.0%}  "
+          f"({len(users_truth)} ASes)")
+
+    print("\nThe paper's 41%-vs-61% contrast, reproduced: weighting by "
+          "user presence flips the")
+    print("impression of how direct cloud paths are — and the "
+          "public-data active list lands")
+    print(f"within {abs(measured - truth):.0%} of the oracle that "
+          "previously required private CDN logs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Full reproduction run: every table and figure at benchmark scale.
+
+Uses the ``medium`` preset (~1,200 client /24s, 18 simulated hours of
+probing) — takes a minute or two.  Pass ``--large`` for the most
+faithful shapes (several minutes).  The output is the complete
+paper-style report; EXPERIMENTS.md records a run of this script against
+the paper's numbers.
+
+Usage::
+
+    python examples/full_reproduction.py [--large] [seed]
+"""
+
+import sys
+import time
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.experiments.report import full_report
+
+
+def main() -> None:
+    args = [a for a in sys.argv[1:]]
+    large = "--large" in args
+    seeds = [a for a in args if a.isdigit()]
+    seed = int(seeds[0]) if seeds else 42
+    config = (ExperimentConfig.large(seed=seed) if large
+              else ExperimentConfig.medium(seed=seed))
+    label = "large" if large else "medium"
+    print(f"Running {label} reproduction (seed={seed}) — this takes a "
+          f"{'few minutes' if large else 'minute or two'}...\n")
+    started = time.time()
+    result = run_experiment(config)
+    elapsed = time.time() - started
+    print(full_report(result))
+    print(f"\nCompleted in {elapsed:.0f}s: "
+          f"{result.cache_result.probes_sent:,} cache probes, "
+          f"{result.world.roots.total_queries():,} root queries, "
+          f"{result.world.cdn.total_http_requests():,} CDN requests.")
+
+
+if __name__ == "__main__":
+    main()

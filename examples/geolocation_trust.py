@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Which geolocation results can you trust?  (§1's second use case.)
+
+"Geolocation databases like MaxMind are more accurate for end-user
+networks [16], and so knowing which networks host end-users provides
+insight into which geolocation results are trustworthy."
+
+This example measures active prefixes with cache probing, grades every
+placed /24's geolocation entry as trusted (activity detected) or not,
+and — because the simulator knows every prefix's true location —
+verifies that the trusted group really does carry dramatically fewer
+gross placement errors.
+
+Usage::
+
+    python examples/geolocation_trust.py
+"""
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.core.geo_trust import grade_geolocation
+
+
+def main() -> None:
+    print("Running the measurement study (small preset)...\n")
+    result = run_experiment(ExperimentConfig.small(seed=17))
+    world = result.world
+
+    # Grade on the *confirmed* tier — hits whose response scope named
+    # the /24 directly.  The loose upper bound (every /24 inside a
+    # coarse scope) would blanket idle space and wash out the signal.
+    confirmed = {
+        hit.active_prefix().network >> 8
+        for hit in result.cache_result.hits if hit.response_scope >= 24
+    }
+    measured = grade_geolocation(world, confirmed)
+    print("Graded by *measured* activity (confirmed /24 hits — what "
+          "the paper enables):")
+    print(measured.render())
+
+    oracle = grade_geolocation(world, world.client_slash24_ids())
+    print("\nGraded by ground-truth activity (simulation-only oracle):")
+    print(oracle.render())
+
+    trusted_gross, untrusted_gross = measured.gross_error_rate()
+    if untrusted_gross > 0:
+        factor = untrusted_gross / max(1e-9, trusted_gross)
+        print(f"\nA gross (>300 km) placement error is "
+              f"{factor:.1f}× likelier outside the active list —")
+        print("exactly the asymmetry [16] documents, now detectable "
+              "from public data alone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""§6 future work: which active prefixes hold *people*?
+
+The paper measures web *clients*; §2 admits it cannot yet separate
+humans from bots and §6 sketches the signals: diurnal activity
+patterns, breadth of user-facing services, and consistency across the
+two techniques.  :mod:`repro.core.human` implements all three; this
+example runs them and scores the verdicts against the simulator's
+ground truth (which the paper's authors, measuring the real Internet,
+never had).
+
+Usage::
+
+    python examples/human_vs_bot.py
+"""
+
+import dataclasses
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.core.human import (
+    classify_human_prefixes,
+    diurnal_signal,
+    score_classification,
+)
+
+
+def main() -> None:
+    # The diurnal signal needs a full day of probing.
+    config = ExperimentConfig.small(seed=42)
+    config = dataclasses.replace(
+        config,
+        world=dataclasses.replace(config.world, target_blocks=300),
+        probing=dataclasses.replace(config.probing,
+                                    measurement_hours=26, probe_loops=4),
+    )
+    print("Running a 26-hour measurement (needed for diurnal profiles)...\n")
+    result = run_experiment(config)
+    world = result.world
+
+    verdicts = classify_human_prefixes(world, result.cache_result,
+                                       result.logs_result)
+    human = [v for v in verdicts if v.is_human]
+    print(f"{len(verdicts)} probed prefixes judged; "
+          f"{len(human)} classified as hosting humans\n")
+
+    print("Example verdicts (signal breakdown):")
+    print(f"{'prefix':20}{'diurnal':>9}{'domains':>9}{'chromium':>10}"
+          f"{'verdict':>9}{'truth':>8}")
+    shown_human = shown_bot = 0
+    for verdict in verdicts:
+        if verdict.prefix.length != 24:
+            continue
+        block = world.block_by_slash24(verdict.prefix.network >> 8)
+        if block is None:
+            continue
+        is_truly_human = block.users > 0
+        if is_truly_human and shown_human >= 4:
+            continue
+        if not is_truly_human and shown_bot >= 4:
+            continue
+        shown_human += is_truly_human
+        shown_bot += not is_truly_human
+        amp = (f"{verdict.diurnal_amplitude:.2f}"
+               if verdict.diurnal_amplitude is not None else "n/a")
+        print(f"{str(verdict.prefix):20}{amp:>9}"
+              f"{verdict.domain_breadth:>9}"
+              f"{'yes' if verdict.chromium_consistent else 'no':>10}"
+              f"{'human' if verdict.is_human else 'other':>9}"
+              f"{'human' if is_truly_human else 'bot':>8}")
+
+    scores = score_classification(world, verdicts)
+    print(f"\nAgainst ground truth: precision {scores['precision']:.1%}, "
+          f"recall {scores['recall']:.1%} "
+          f"(tp={scores['tp']}, fp={scores['fp']}, fn={scores['fn']}, "
+          f"tn={scores['tn']})")
+
+    # Peek at one diurnal profile.
+    candidates = [v for v in verdicts
+                  if v.diurnal_amplitude is not None
+                  and v.diurnal_amplitude > 0.2]
+    if candidates:
+        signal = diurnal_signal(world, result.cache_result,
+                                candidates[0].prefix)
+        print(f"\nDiurnal profile of {signal.prefix} "
+              f"(amplitude {signal.amplitude:.2f}, "
+              f"trough at {signal.trough_hour:02d}:00 local):")
+        bars = "".join(
+            "▁▂▃▄▅▆▇█"[min(7, int(rate * 8))]
+            for rate in signal.local_hourly_rates
+        )
+        print(f"  00h {bars} 23h")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Was 120 hours of probing necessary?  Sweep the probing budget.
+
+The paper probes for 120 hours at 50 prefixes/s/domain/PoP with 5
+redundant queries each — an expensive commitment made without an
+oracle.  The simulator has one: sweep measurement duration and
+redundancy against ground-truth recall to see the diminishing-returns
+curve the authors were riding.
+
+Takes a minute or two (each grid point re-runs the pipeline).
+
+Usage::
+
+    python examples/probing_budget_sweep.py
+"""
+
+import dataclasses
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.sweep import render_table, sweep
+
+
+def main() -> None:
+    base = ExperimentConfig.small(seed=42)
+    base = dataclasses.replace(
+        base, world=dataclasses.replace(base.world, target_blocks=200))
+
+    print("Sweep 1 — measurement window (same total probe budget, "
+          "spread over more hours):")
+    duration_points = sweep(
+        base,
+        [{"measurement_hours": hours} for hours in (3.0, 6.0, 12.0, 24.0)],
+        label_of=lambda o: f"{o['measurement_hours']:.0f}h window",
+    )
+    print(render_table(duration_points))
+    gain = duration_points[-1].slash24_recall - duration_points[0].slash24_recall
+    print(f"  → spreading the same probes over "
+          f"{duration_points[-1].label} instead of "
+          f"{duration_points[0].label} buys +{gain:.1%} /24 recall: the "
+          "TTL race\n    favours patience — each visit is a fresh coin "
+          "flip against the cache's freshness.\n")
+
+    print("Sweep 2 — redundant queries vs 3 cache pools (12h window):")
+    redundancy_points = sweep(
+        dataclasses.replace(
+            base, probing=dataclasses.replace(base.probing,
+                                              measurement_hours=12.0)),
+        [{"redundancy": r} for r in (1, 2, 3, 5)],
+        label_of=lambda o: f"redundancy {o['redundancy']}",
+    )
+    print(render_table(redundancy_points))
+    print("\nRecall saturates just past the pool count (3) while probe "
+          "cost keeps doubling —\nthe paper's redundancy of 5 sits on "
+          "the flat end: expensive but safe, exactly\nwhat you'd pick "
+          "without ground truth to consult.")
+
+
+if __name__ == "__main__":
+    main()

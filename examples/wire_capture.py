@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""What the probes look like on the wire.
+
+The simulator models DNS at the message level, but the library ships
+the RFC 1035 / RFC 7871 codec a production prober would use.  This
+example builds the exact query §3.1.1 describes — non-recursive, with
+a spoofed ECS prefix — encodes it to bytes, hexdumps it, decodes it
+back, and does the same for a cache-hit response carrying a return
+scope.
+
+Usage::
+
+    python examples/wire_capture.py [prefix] [domain]
+"""
+
+import sys
+
+from repro.dns.message import (
+    DnsQuery,
+    DnsResponse,
+    EcsOption,
+    Rcode,
+    RecordType,
+    ResourceRecord,
+)
+from repro.dns.name import DnsName
+from repro.dns.wire import (
+    decode_query,
+    decode_response,
+    encode_query,
+    encode_response,
+)
+from repro.net.prefix import Prefix
+
+
+def hexdump(data: bytes) -> str:
+    lines = []
+    for offset in range(0, len(data), 16):
+        chunk = data[offset:offset + 16]
+        hexed = " ".join(f"{b:02x}" for b in chunk)
+        printable = "".join(chr(b) if 32 <= b < 127 else "." for b in chunk)
+        lines.append(f"  {offset:04x}  {hexed:<47}  {printable}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    prefix = Prefix.parse(sys.argv[1] if len(sys.argv) > 1 else
+                          "203.0.113.0/24")
+    domain = DnsName.parse(sys.argv[2] if len(sys.argv) > 2 else
+                           "www.google.com")
+
+    # The §3.1.1 probe: RD=0, client-supplied ECS, (sent over TCP).
+    probe = DnsQuery(
+        name=domain,
+        rtype=RecordType.A,
+        recursion_desired=False,
+        ecs=EcsOption(prefix=prefix),
+    )
+    wire = encode_query(probe, message_id=0x2A2A)
+    print(f"Probe query for {domain} with ECS {prefix} "
+          f"({len(wire)} bytes on the wire):")
+    print(hexdump(wire))
+    decoded, message_id = decode_query(wire)
+    print(f"\ndecoded back: id={message_id:#06x} name={decoded.name} "
+          f"rd={decoded.recursion_desired} ecs={decoded.ecs.prefix}")
+
+    # A cache-hit response: the answer plus the return scope that makes
+    # the prefix count as active (scope > 0).
+    scope = 20
+    response = DnsResponse(
+        rcode=Rcode.NOERROR,
+        answers=(ResourceRecord(name=domain, rtype=RecordType.A,
+                                ttl=217, data="192.0.2.53"),),
+        ecs=EcsOption(prefix=prefix, scope_length=scope),
+    )
+    wire = encode_response(response, probe, message_id=0x2A2A)
+    print(f"\nCache-hit response, return scope /{scope} "
+          f"({len(wire)} bytes — note the 2-byte compression pointer "
+          "for the answer name):")
+    print(hexdump(wire))
+    decoded_response, qname, _ = decode_response(wire)
+    print(f"\ndecoded back: {qname} → {decoded_response.answers[0].data} "
+          f"(ttl {decoded_response.answers[0].ttl:.0f}s, "
+          f"scope /{decoded_response.ecs.scope_length} ⇒ "
+          f"activity evidence for "
+          f"{decoded_response.ecs.scope_prefix()})")
+
+
+if __name__ == "__main__":
+    main()

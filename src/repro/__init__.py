@@ -1,0 +1,37 @@
+"""repro — reproduction of "Towards Identifying Networks with Internet
+Clients Using Public Data" (IMC 2021).
+
+Layers:
+
+* :mod:`repro.net` — addressing, prefixes, routing, geography;
+* :mod:`repro.dns` — DNS machinery: ECS caches, authoritatives, the
+  anycast public resolver, roots, Chromium clients;
+* :mod:`repro.world` — the synthetic Internet with ground truth;
+* :mod:`repro.core` — the paper's two techniques and the analyses;
+* :mod:`repro.experiments` — end-to-end runs and paper-style reports.
+
+Quickstart::
+
+    from repro.experiments import ExperimentConfig, run_experiment
+    from repro.experiments.report import full_report
+
+    result = run_experiment(ExperimentConfig.small())
+    print(full_report(result))
+"""
+
+from repro.experiments import (
+    ExperimentConfig,
+    ExperimentResult,
+    ExperimentRunner,
+    run_experiment,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "__version__",
+    "run_experiment",
+]

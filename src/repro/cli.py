@@ -1,0 +1,253 @@
+"""Command-line interface.
+
+::
+
+    python -m repro run [--preset small|medium|large] [--seed N]
+                        [--section headline|table1..table5|figure1..figure7|
+                                   asdb|extensions|scorecard|all]
+    python -m repro export --out DIR [--preset ...] [--seed N]
+    python -m repro collisions [--volume N] [--threshold N]
+    python -m repro presets
+    python -m repro scenarios
+    python -m repro sweep --hours 3,6,12 [--redundancy 1,3,5]
+
+``run`` executes the full measurement study and prints paper-style
+sections; ``export`` writes the shareable artefacts (active prefix
+lists, resolver counts, unified datasets) to a directory;
+``collisions`` runs the §3.2 Monte-Carlo threshold check without
+building a world.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.experiments import report as report_mod
+
+_SECTIONS = {
+    "headline": report_mod.headline,
+    "table1": report_mod.table1,
+    "table2": report_mod.table2,
+    "table3": report_mod.table3,
+    "table4": report_mod.table4,
+    "table5": report_mod.table5,
+    "asdb": report_mod.asdb_missed,
+    "extensions": report_mod.extensions,
+    "scorecard": report_mod.scorecard,
+    "figure1": report_mod.figure1,
+    "figure2": report_mod.figure2,
+    "figure3": report_mod.figure3,
+    "figure4": report_mod.figure4,
+    "figure5": report_mod.figure5,
+    "figure6": report_mod.figure6,
+    "figure7": report_mod.figure7,
+}
+
+_PRESETS = {
+    "small": ExperimentConfig.small,
+    "medium": ExperimentConfig.medium,
+    "large": ExperimentConfig.large,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for the repro CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Towards Identifying Networks with "
+                    "Internet Clients Using Public Data' (IMC 2021).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run the measurement study")
+    run.add_argument("--preset", choices=sorted(_PRESETS), default="small")
+    run.add_argument("--seed", type=int, default=42)
+    run.add_argument("--section", choices=["all", *sorted(_SECTIONS)],
+                     default="all",
+                     help="which report section to print (default: all)")
+    from repro.world.scenarios import SCENARIOS
+    run.add_argument("--scenario", choices=sorted(SCENARIOS),
+                     default="default",
+                     help="world scenario variant (default: default)")
+
+    export = sub.add_parser(
+        "export",
+        help="write shareable measurement artefacts (JSON/CSV)",
+    )
+    export.add_argument("--out", required=True,
+                        help="output directory (created if missing)")
+    export.add_argument("--preset", choices=sorted(_PRESETS),
+                        default="small")
+    export.add_argument("--seed", type=int, default=42)
+
+    collisions = sub.add_parser(
+        "collisions",
+        help="§3.2 Monte-Carlo justification of the daily threshold",
+    )
+    collisions.add_argument("--volume", type=int, default=10_000_000,
+                            help="Chromium probes per day")
+    collisions.add_argument("--threshold", type=int, default=7)
+    collisions.add_argument("--trials", type=int, default=20)
+
+    sub.add_parser("presets", help="describe the experiment presets")
+    sub.add_parser("scenarios", help="list the named world scenarios")
+
+    sweep_cmd = sub.add_parser(
+        "sweep", help="sweep probing parameters against ground truth")
+    sweep_cmd.add_argument("--hours", default="",
+                           help="comma-separated measurement windows")
+    sweep_cmd.add_argument("--redundancy", default="",
+                           help="comma-separated redundancy values")
+    sweep_cmd.add_argument("--seed", type=int, default=42)
+    sweep_cmd.add_argument("--blocks", type=int, default=160,
+                           help="world size (client /24s)")
+    sweep_cmd.add_argument("--csv", action="store_true",
+                           help="emit CSV instead of a table")
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.world.scenarios import scenario as make_scenario
+
+    config = _PRESETS[args.preset](seed=args.seed)
+    scenario_name = getattr(args, "scenario", "default")
+    if scenario_name != "default":
+        world_config = make_scenario(
+            scenario_name, seed=args.seed,
+            target_blocks=config.world.target_blocks,
+        )
+        config = dataclasses.replace(config, world=world_config)
+    print(f"repro: running {args.preset} experiment "
+          f"(seed={args.seed}, scenario={scenario_name})...",
+          file=sys.stderr)
+    started = time.time()
+    result = run_experiment(config)
+    print(f"repro: done in {time.time() - started:.0f}s",
+          file=sys.stderr)
+    if args.section == "all":
+        print(report_mod.full_report(result))
+    else:
+        print(_SECTIONS[args.section](result))
+    return 0
+
+
+def _command_export(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.core.export import (
+        active_prefixes_to_csv,
+        cache_probing_to_json,
+        dataset_to_json,
+        dns_logs_to_json,
+    )
+
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    config = _PRESETS[args.preset](seed=args.seed)
+    print(f"repro: running {args.preset} experiment (seed={args.seed})...",
+          file=sys.stderr)
+    result = run_experiment(config)
+    written = []
+    for name, text in [
+        ("cache_probing.json", cache_probing_to_json(result.cache_result)),
+        ("active_prefixes.csv",
+         active_prefixes_to_csv(result.cache_result)),
+        ("dns_logs.json", dns_logs_to_json(result.logs_result)),
+    ]:
+        (out / name).write_text(text)
+        written.append(name)
+    for dataset_name, dataset in result.datasets.items():
+        slug = dataset_name.replace(" ", "_").replace("∪", "union")
+        filename = f"dataset_{slug}.json"
+        (out / filename).write_text(dataset_to_json(dataset))
+        written.append(filename)
+    for name in written:
+        print(f"wrote {out / name}")
+    return 0
+
+
+def _command_collisions(args: argparse.Namespace) -> int:
+    from repro.core.chromium import (
+        collision_threshold_confidence,
+        expected_collision_rate,
+        pick_threshold,
+    )
+    confidence = collision_threshold_confidence(
+        args.volume, args.threshold, trials=args.trials)
+    print(f"probes/day: {args.volume:,}")
+    print(f"expected colliding pairs: "
+          f"{expected_collision_rate(args.volume):.1f}")
+    print(f"P(max daily repeats < {args.threshold}): {confidence:.2%}")
+    print(f"smallest threshold at 99% confidence: "
+          f"{pick_threshold(args.volume, trials=max(5, args.trials // 2))}")
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.experiments.sweep import render_table, sweep, to_csv
+
+    grid = []
+    for token in filter(None, args.hours.split(",")):
+        grid.append({"measurement_hours": float(token)})
+    for token in filter(None, args.redundancy.split(",")):
+        grid.append({"redundancy": int(token)})
+    if not grid:
+        print("nothing to sweep: pass --hours and/or --redundancy",
+              file=sys.stderr)
+        return 2
+    base = ExperimentConfig.small(seed=args.seed)
+    base = dataclasses.replace(
+        base, world=dataclasses.replace(base.world,
+                                        target_blocks=args.blocks))
+    print(f"repro: sweeping {len(grid)} points "
+          f"(seed={args.seed}, ~{args.blocks} blocks)...", file=sys.stderr)
+    points = sweep(base, grid)
+    print(to_csv(points) if args.csv else render_table(points))
+    return 0
+
+
+def _command_scenarios(_args: argparse.Namespace) -> int:
+    from repro.world.scenarios import SCENARIOS, compare, describe
+
+    for name in sorted(SCENARIOS):
+        changed = compare(name)
+        delta = ", ".join(f"{k}: {a} → {b}" for k, (a, b) in changed.items())
+        print(f"{name}: {describe(name).splitlines()[0]}")
+        if delta:
+            print(f"    changes: {delta}")
+    return 0
+
+
+def _command_presets(_args: argparse.Namespace) -> int:
+    for name, factory in sorted(_PRESETS.items()):
+        config = factory()
+        print(f"{name}: ~{config.world.target_blocks} client /24s, "
+              f"{config.probing.measurement_hours:.0f}h probing, "
+              f"redundancy {config.probing.redundancy}, "
+              f"{config.apnic_impressions:,} APNIC impressions")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _command_run,
+        "export": _command_export,
+        "collisions": _command_collisions,
+        "presets": _command_presets,
+        "scenarios": _command_scenarios,
+        "sweep": _command_sweep,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,22 @@
+"""Analyses reproducing the paper's tables and figures."""
+
+from repro.core.analysis import (
+    asdb_breakdown,
+    bounds,
+    country,
+    distance,
+    domains,
+    geomap,
+    overlap,
+    pops,
+    relative,
+    scopes,
+    temporal,
+    vantage_coverage,
+    volume,
+)
+
+__all__ = [
+    "asdb_breakdown", "bounds", "country", "distance", "domains", "geomap",
+    "overlap", "pops", "relative", "scopes", "temporal", "vantage_coverage", "volume",
+]

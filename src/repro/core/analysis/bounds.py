@@ -1,0 +1,108 @@
+"""Per-AS active-prefix fraction bounds (Figure 4).
+
+A cache hit whose scope is coarser than /24 proves *at least one* /24
+inside it is active, but not which.  Per AS the paper therefore reports
+a lower bound (one /24 per non-overlapping hit prefix) and an upper
+bound (every covered /24), divided by the /24s the AS announces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.prefixset import PrefixSet
+from repro.net.routing import RouteTable
+from repro.core.cache_probing import CacheProbingResult
+
+
+@dataclass(frozen=True, slots=True)
+class AsActivityBounds:
+    """One AS's detected-activity bounds."""
+
+    asn: int
+    announced_slash24s: int
+    lower_active: int
+    upper_active: int
+
+    @property
+    def lower_fraction(self) -> float:
+        """Lower-bound active fraction of announced /24s."""
+        if self.announced_slash24s == 0:
+            return 0.0
+        return min(1.0, self.lower_active / self.announced_slash24s)
+
+    @property
+    def upper_fraction(self) -> float:
+        """Upper-bound active fraction of announced /24s."""
+        if self.announced_slash24s == 0:
+            return 0.0
+        return min(1.0, self.upper_active / self.announced_slash24s)
+
+
+def per_as_bounds(
+    result: CacheProbingResult,
+    routes: RouteTable,
+    include_inactive: bool = False,
+) -> list[AsActivityBounds]:
+    """Figure 4's data: bounds for every AS with detected activity.
+
+    ``include_inactive`` adds announced ASes with no detected activity
+    as zero rows.
+    """
+    per_as_sets: dict[int, PrefixSet] = {}
+    for prefix in result.active_prefix_set():
+        origins = set()
+        origin = routes.origin_of_prefix(prefix)
+        if origin is not None:
+            origins.add((origin, prefix))
+        else:
+            # Coarse prefixes spanning announcements: attribute each
+            # covered /24 to its own origin.
+            for sub in prefix.slash24s():
+                sub_origin = routes.origin_of_prefix(sub)
+                if sub_origin is not None:
+                    origins.add((sub_origin, sub))
+        for asn, attributed in origins:
+            per_as_sets.setdefault(asn, PrefixSet()).add(attributed)
+    rows = []
+    seen_asns = set(per_as_sets)
+    for asn, prefixes in per_as_sets.items():
+        announced = routes.announced_slash24_count(asn)
+        rows.append(AsActivityBounds(
+            asn=asn,
+            announced_slash24s=announced,
+            lower_active=prefixes.slash24_lower_bound(),
+            upper_active=prefixes.slash24_upper_bound(),
+        ))
+    if include_inactive:
+        for prefix, asn in routes.routed_prefixes():
+            if asn not in seen_asns:
+                seen_asns.add(asn)
+                rows.append(AsActivityBounds(
+                    asn=asn,
+                    announced_slash24s=routes.announced_slash24_count(asn),
+                    lower_active=0,
+                    upper_active=0,
+                ))
+    rows.sort(key=lambda r: r.asn)
+    return rows
+
+
+def fraction_cdf(values: list[float]) -> list[tuple[float, float]]:
+    """(x, cumulative fraction ≤ x) steps for a CDF plot."""
+    if not values:
+        return []
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(value, (index + 1) / n) for index, value in enumerate(ordered)]
+
+
+def median_bounds(rows: list[AsActivityBounds]) -> tuple[float, float]:
+    """The median per-AS active fraction under each bound — the paper
+    reports it could be anywhere between 25% and 100%."""
+    if not rows:
+        raise ValueError("no ASes with detected activity")
+    lowers = sorted(r.lower_fraction for r in rows)
+    uppers = sorted(r.upper_fraction for r in rows)
+    mid = len(rows) // 2
+    return lowers[mid], uppers[mid]

@@ -1,0 +1,74 @@
+"""Per-country coverage of APNIC's Internet population (Figure 3).
+
+For each country: what fraction of its Internet users (as estimated by
+APNIC, per AS) sit in ASes where cache probing detected client
+activity?  The paper finds ≈100% in most large countries with the
+notable gap concentrated in South America, where its vantage points
+could not reach the local PoPs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.world.builder import World
+
+
+@dataclass(frozen=True, slots=True)
+class CountryCoverage:
+    """One Figure 3 point."""
+
+    country: str
+    region: str
+    apnic_users: float
+    covered_users: float
+
+    @property
+    def fraction(self) -> float:
+        """Covered share of the country's APNIC-estimated users."""
+        if self.apnic_users == 0:
+            return 0.0
+        return min(1.0, self.covered_users / self.apnic_users)
+
+
+def country_coverage(
+    world: World,
+    apnic_estimates: dict[int, float],
+    detected_asns: set[int],
+) -> list[CountryCoverage]:
+    """Figure 3's points, sorted by APNIC population descending."""
+    per_country_total: dict[str, float] = {}
+    per_country_covered: dict[str, float] = {}
+    for asn, users in apnic_estimates.items():
+        record = world.registry.get(asn)
+        if record is None:
+            continue
+        per_country_total[record.country] = (
+            per_country_total.get(record.country, 0.0) + users
+        )
+        if asn in detected_asns:
+            per_country_covered[record.country] = (
+                per_country_covered.get(record.country, 0.0) + users
+            )
+    regions = {c.code: c.region for c in world.countries}
+    rows = [
+        CountryCoverage(
+            country=code,
+            region=regions.get(code, "??"),
+            apnic_users=total,
+            covered_users=per_country_covered.get(code, 0.0),
+        )
+        for code, total in per_country_total.items()
+    ]
+    rows.sort(key=lambda r: -r.apnic_users)
+    return rows
+
+
+def mean_fraction_by_region(
+    rows: list[CountryCoverage],
+) -> dict[str, float]:
+    """Average coverage per region — the South America gap shows here."""
+    sums: dict[str, list[float]] = {}
+    for row in rows:
+        sums.setdefault(row.region, []).append(row.fraction)
+    return {region: sum(v) / len(v) for region, v in sums.items()}

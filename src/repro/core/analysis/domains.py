@@ -1,0 +1,108 @@
+"""Per-domain cache-probing results (Table 5, §B.4).
+
+For each probe domain: the prefixes/ASes with cache hits, the ones
+unique to that domain, and pairwise overlap.  Because different domains
+answer with different scopes, two prefixes "match" when one contains
+the other — the paper's containment convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.prefixset import PrefixSet
+from repro.net.routing import RouteTable
+from repro.core.cache_probing import CacheProbingResult
+
+
+@dataclass(slots=True)
+class DomainStats:
+    """Top half of Table 5 for one domain."""
+
+    domain: str
+    total_prefixes: int
+    unique_prefixes: int
+    total_asns: int
+    unique_asns: int
+
+
+@dataclass(slots=True)
+class PerDomainAnalysis:
+    """Full Table 5: per-domain stats plus the pairwise matrix."""
+
+    stats: list[DomainStats]
+    overlap: dict[tuple[str, str], int]   # |{p in row matching col}|
+    prefix_counts: dict[str, int]
+
+    def overlap_percentage(self, row: str, col: str) -> float:
+        """Percent of the row domain's prefixes matched in the column domain."""
+        total = self.prefix_counts[row]
+        if total == 0:
+            return 0.0
+        return 100.0 * self.overlap[(row, col)] / total
+
+    def render(self) -> str:
+        """Fixed-width text rendering."""
+        lines = ["Per-domain cache probing results"]
+        header = f"{'domain':28}{'prefixes':>10}{'unique':>9}{'ASes':>8}{'uniqASes':>10}"
+        lines.append(header)
+        for s in self.stats:
+            lines.append(
+                f"{s.domain:28}{s.total_prefixes:>10}{s.unique_prefixes:>9}"
+                f"{s.total_asns:>8}{s.unique_asns:>10}"
+            )
+        lines.append("")
+        names = [s.domain for s in self.stats]
+        lines.append("pairwise prefix overlap (% of row found in column):")
+        for row in names:
+            cells = " ".join(
+                f"{self.overlap_percentage(row, col):5.1f}%" for col in names
+            )
+            lines.append(f"{row:28}{cells}")
+        return "\n".join(lines)
+
+
+def per_domain_analysis(
+    result: CacheProbingResult, routes: RouteTable
+) -> PerDomainAnalysis:
+    """Build Table 5 from a cache-probing run."""
+    domains = result.domains()
+    prefix_sets = {d: result.active_prefix_set(d) for d in domains}
+    as_sets = {d: result.active_asns(routes, d) for d in domains}
+    stats: list[DomainStats] = []
+    overlap: dict[tuple[str, str], int] = {}
+    prefix_counts = {d: len(prefix_sets[d]) for d in domains}
+    for row in domains:
+        row_prefixes = list(prefix_sets[row])
+        for col in domains:
+            if col == row:
+                overlap[(row, col)] = len(row_prefixes)
+                continue
+            col_set = prefix_sets[col]
+            overlap[(row, col)] = sum(
+                1 for p in row_prefixes if col_set.intersects(p)
+            )
+        others_prefixes = [prefix_sets[d] for d in domains if d != row]
+        unique_prefixes = sum(
+            1 for p in row_prefixes
+            if not any(o.intersects(p) for o in others_prefixes)
+        )
+        others_asns: set[int] = set()
+        for d in domains:
+            if d != row:
+                others_asns |= as_sets[d]
+        unique_asns = len(as_sets[row] - others_asns)
+        stats.append(DomainStats(
+            domain=row,
+            total_prefixes=len(row_prefixes),
+            unique_prefixes=unique_prefixes,
+            total_asns=len(as_sets[row]),
+            unique_asns=unique_asns,
+        ))
+    return PerDomainAnalysis(stats=stats, overlap=overlap,
+                             prefix_counts=prefix_counts)
+
+
+def union_prefix_set(result: CacheProbingResult) -> PrefixSet:
+    """All active prefixes across domains."""
+    return result.active_prefix_set()

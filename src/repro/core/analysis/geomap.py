@@ -1,0 +1,134 @@
+"""Geographic density of active prefixes (Figure 1).
+
+The paper plots the MaxMind geolocations of every prefix where cache
+probing detected activity: activity roughly follows population within
+regions.  We grid the globe and count active /24s per cell, plus
+per-region aggregates that make the "Europe denser than China" style
+comparisons concrete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.prefix import Prefix
+from repro.world.builder import World
+from repro.core.cache_probing import CacheProbingResult
+
+
+@dataclass(slots=True)
+class DensityGrid:
+    """Active-prefix counts over a lat/lon grid."""
+
+    cell_degrees: float
+    cells: dict[tuple[int, int], int]
+
+    def count_at(self, lat: float, lon: float) -> int:
+        """Active-prefix count of the cell containing (lat, lon)."""
+        key = (int(lat // self.cell_degrees), int(lon // self.cell_degrees))
+        return self.cells.get(key, 0)
+
+    def total(self) -> int:
+        """Sum over all cells."""
+        return sum(self.cells.values())
+
+    def hottest(self, n: int = 10) -> list[tuple[tuple[float, float], int]]:
+        """Top-n cells as (cell centre latlon, count)."""
+        ranked = sorted(self.cells.items(), key=lambda kv: -kv[1])[:n]
+        half = self.cell_degrees / 2
+        return [
+            ((key[0] * self.cell_degrees + half,
+              key[1] * self.cell_degrees + half), count)
+            for key, count in ranked
+        ]
+
+
+def active_prefix_density(
+    world: World,
+    result: CacheProbingResult,
+    cell_degrees: float = 5.0,
+) -> DensityGrid:
+    """Figure 1's density: every active /24 (coarse return scopes are
+    expanded to all their /24s, per the paper's simplifying assumption)
+    binned by its geolocated position."""
+    if cell_degrees <= 0:
+        raise ValueError("cell_degrees must be positive")
+    cells: dict[tuple[int, int], int] = {}
+    for block_id in result.active_slash24_ids():
+        entry = world.geodb.locate_prefix(Prefix(block_id << 8, 24))
+        if entry is None:
+            continue
+        key = (int(entry.location.lat // cell_degrees),
+               int(entry.location.lon // cell_degrees))
+        cells[key] = cells.get(key, 0) + 1
+    return DensityGrid(cell_degrees=cell_degrees, cells=cells)
+
+
+def density_by_country(
+    world: World, result: CacheProbingResult
+) -> dict[str, int]:
+    """Active /24 counts per (geolocated) country."""
+    counts: dict[str, int] = {}
+    for block_id in result.active_slash24_ids():
+        entry = world.geodb.locate_prefix(Prefix(block_id << 8, 24))
+        if entry is None:
+            continue
+        counts[entry.country] = counts.get(entry.country, 0) + 1
+    return counts
+
+
+def render_ascii_map(grid: DensityGrid, width: int = 72,
+                     height: int = 24) -> str:
+    """An ASCII world map of the density grid (Figure 1's visual).
+
+    Rows run north to south over [-60°, 72°] latitude (where the
+    world's cities live), columns west to east over the full longitude
+    range; cell shade scales with the active-prefix count.
+    """
+    if width < 10 or height < 6:
+        raise ValueError("map too small to render")
+    shades = " .:-=+*#%@"
+    lat_top, lat_bottom = 72.0, -60.0
+    rows = []
+    peak = max(grid.cells.values()) if grid.cells else 1
+    for row in range(height):
+        lat_high = lat_top - (lat_top - lat_bottom) * row / height
+        lat_low = lat_top - (lat_top - lat_bottom) * (row + 1) / height
+        line = []
+        for col in range(width):
+            lon_low = -180.0 + 360.0 * col / width
+            lon_high = -180.0 + 360.0 * (col + 1) / width
+            count = _cell_sum(grid, lat_low, lat_high, lon_low, lon_high)
+            if count == 0:
+                line.append(" ")
+            else:
+                index = 1 + min(len(shades) - 2,
+                                int((count / peak) * (len(shades) - 2)))
+                line.append(shades[index])
+        rows.append("".join(line))
+    return "\n".join(rows)
+
+
+def _cell_sum(grid: DensityGrid, lat_low: float, lat_high: float,
+              lon_low: float, lon_high: float) -> int:
+    total = 0
+    step = grid.cell_degrees
+    for (lat_key, lon_key), count in grid.cells.items():
+        cell_lat = lat_key * step + step / 2
+        cell_lon = lon_key * step + step / 2
+        if lat_low <= cell_lat < lat_high and lon_low <= cell_lon < lon_high:
+            total += count
+    return total
+
+
+def density_by_region(
+    world: World, result: CacheProbingResult
+) -> dict[str, int]:
+    """Active /24 counts per continent-style region."""
+    regions = {c.code: c.region for c in world.countries}
+    by_country = density_by_country(world, result)
+    totals: dict[str, int] = {}
+    for country, count in by_country.items():
+        region = regions.get(country, "??")
+        totals[region] = totals.get(region, 0) + count
+    return totals

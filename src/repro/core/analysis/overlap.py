@@ -1,0 +1,92 @@
+"""Pairwise dataset overlap (Tables 1 and 3).
+
+Each entry of the matrix is |row ∩ column| with, in parentheses, that
+intersection as a percentage of the row dataset — exactly the layout of
+the paper's tables.  Table 1 compares /24 sets; Table 3 compares AS
+sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.datasets import ActivityDataset
+
+
+@dataclass(slots=True)
+class OverlapMatrix:
+    """|row ∩ col| for every ordered dataset pair."""
+
+    names: list[str]
+    sizes: dict[str, int]
+    intersections: dict[tuple[str, str], int]
+    unit: str  # "/24 prefixes" or "ASes"
+
+    def size(self, name: str) -> int:
+        """Size of the named dataset (the matrix diagonal)."""
+        return self.sizes[name]
+
+    def intersection(self, row: str, col: str) -> int:
+        """|row ∩ col| for the named dataset pair."""
+        return self.intersections[(row, col)]
+
+    def row_percentage(self, row: str, col: str) -> float:
+        """Percent of the row dataset also observed in the column."""
+        size = self.sizes[row]
+        if size == 0:
+            return 0.0
+        return 100.0 * self.intersections[(row, col)] / size
+
+    def render(self) -> str:
+        """ASCII rendering in the paper's layout."""
+        width = max(len(n) for n in self.names) + 2
+        cell = 22
+        header = " " * width + "".join(n[:cell - 2].rjust(cell)
+                                       for n in self.names)
+        lines = [f"Overlap by {self.unit}", header]
+        for row in self.names:
+            cells = []
+            for col in self.names:
+                count = self.intersections[(row, col)]
+                pct = self.row_percentage(row, col)
+                cells.append(f"{count} ({pct:.1f}%)".rjust(cell))
+            lines.append(row.ljust(width) + "".join(cells))
+        return "\n".join(lines)
+
+
+def _matrix(
+    sets: dict[str, set], names: list[str], unit: str
+) -> OverlapMatrix:
+    sizes = {name: len(sets[name]) for name in names}
+    intersections = {
+        (row, col): len(sets[row] & sets[col])
+        for row in names for col in names
+    }
+    return OverlapMatrix(names=list(names), sizes=sizes,
+                         intersections=intersections, unit=unit)
+
+
+def prefix_overlap_matrix(
+    datasets: dict[str, ActivityDataset], names: list[str]
+) -> OverlapMatrix:
+    """Table 1: /24-prefix overlap (APNIC has no prefixes, so the
+    paper's Table 1 omits it)."""
+    sets = {name: datasets[name].slash24_ids for name in names}
+    return _matrix(sets, names, "/24 prefixes")
+
+
+def as_overlap_matrix(
+    datasets: dict[str, ActivityDataset], names: list[str]
+) -> OverlapMatrix:
+    """Table 3: AS overlap across all six datasets."""
+    sets = {name: datasets[name].asns for name in names}
+    return _matrix(sets, names, "ASes")
+
+
+def union_as_count(datasets: dict[str, ActivityDataset],
+                   names: list[str]) -> int:
+    """Total ASes in at least one dataset (§4: 66,804 in the paper)."""
+    union: set[int] = set()
+    for name in names:
+        union |= datasets[name].asns
+    return len(union)

@@ -1,0 +1,98 @@
+"""Relative per-AS activity comparisons (Figures 6 and 7, §B.3).
+
+Each volume-bearing dataset normalises its per-AS volumes to sum to 1;
+Figure 6 plots the distribution of those relative volumes per dataset,
+and Figure 7 the per-AS *differences* between dataset pairs.  The
+paper's observation: DNS logs tracks Microsoft resolvers closely (both
+see resolver-level signals), while APNIC redistributes public-resolver
+weight back to the client ASes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.datasets import ActivityDataset
+
+
+@dataclass(frozen=True, slots=True)
+class RelativeVolumeSeries:
+    """One Figure 6 CDF series."""
+
+    name: str
+    values: tuple[float, ...]  # sorted ascending, sums to ~1
+
+    def cdf(self) -> list[tuple[float, float]]:
+        """(value, cumulative fraction) steps for a CDF plot."""
+        n = len(self.values)
+        return [(v, (i + 1) / n) for i, v in enumerate(self.values)]
+
+    def quantile(self, fraction: float) -> float:
+        """The value at the given cumulative fraction."""
+        if not self.values:
+            raise ValueError(f"{self.name} has no values")
+        index = min(len(self.values) - 1,
+                    max(0, round(fraction * (len(self.values) - 1))))
+        return self.values[index]
+
+
+def relative_volume_series(dataset: ActivityDataset) -> RelativeVolumeSeries:
+    """Figure 6 series for one dataset."""
+    relative = dataset.relative_volume_by_asn()
+    return RelativeVolumeSeries(
+        name=dataset.name,
+        values=tuple(sorted(relative.values())),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class VolumeDifferenceSeries:
+    """One Figure 7 series: per-AS difference between two datasets."""
+
+    name_a: str
+    name_b: str
+    differences: tuple[float, ...]  # sorted ascending
+
+    @property
+    def label(self) -> str:
+        """Human-readable series label."""
+        return f"{self.name_a} - {self.name_b}"
+
+    def cdf(self) -> list[tuple[float, float]]:
+        """(value, cumulative fraction) steps for a CDF plot."""
+        n = len(self.differences)
+        return [(v, (i + 1) / n) for i, v in enumerate(self.differences)]
+
+    def fraction_within(self, epsilon: float) -> float:
+        """Fraction of ASes where the two datasets disagree by at most
+        ``epsilon`` (the paper: ≤1e-5 for 90% of ASes)."""
+        if not self.differences:
+            return 0.0
+        return sum(1 for d in self.differences if abs(d) <= epsilon) / len(
+            self.differences
+        )
+
+
+def volume_difference_series(
+    a: ActivityDataset, b: ActivityDataset
+) -> VolumeDifferenceSeries:
+    """Per-AS relative-volume differences over the union of ASes."""
+    rel_a = a.relative_volume_by_asn()
+    rel_b = b.relative_volume_by_asn()
+    asns = set(rel_a) | set(rel_b)
+    diffs = sorted(rel_a.get(asn, 0.0) - rel_b.get(asn, 0.0) for asn in asns)
+    return VolumeDifferenceSeries(
+        name_a=a.name, name_b=b.name, differences=tuple(diffs)
+    )
+
+
+def agreement_epsilon(
+    series: VolumeDifferenceSeries, target_fraction: float = 0.9
+) -> float:
+    """Smallest ε with ≥ ``target_fraction`` of ASes within ±ε."""
+    if not series.differences:
+        raise ValueError("empty difference series")
+    magnitudes = sorted(abs(d) for d in series.differences)
+    index = min(len(magnitudes) - 1,
+                max(0, int(target_fraction * len(magnitudes)) - 1))
+    return magnitudes[index]

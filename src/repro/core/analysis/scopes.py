@@ -1,0 +1,78 @@
+"""Query-vs-response scope stability (Table 2, §A.2).
+
+The scope-reduction technique assumes the scopes learned from the
+authoritative stay stable while Google's caches are probed with them.
+Table 2 measures it: per domain, how many cache hits had a response
+scope equal to the query scope, within 2 bits, within 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cache_probing import CacheProbingResult
+
+
+@dataclass(slots=True)
+class ScopeStability:
+    """One Table 2 column."""
+
+    domain: str
+    total_hits: int
+    exact: int
+    within_2: int
+    within_4: int
+
+    def share(self, bucket: str) -> float:
+        """The named bucket's fraction of total hits."""
+        if self.total_hits == 0:
+            return 0.0
+        return {"exact": self.exact, "within_2": self.within_2,
+                "within_4": self.within_4}[bucket] / self.total_hits
+
+
+def scope_stability(
+    result: CacheProbingResult, domain: str | None = None
+) -> ScopeStability:
+    """Aggregate stability over all hits (or one domain's)."""
+    total = exact = within2 = within4 = 0
+    for hit_domain, query_len, response_len in result.scope_pairs:
+        if domain is not None and hit_domain != domain:
+            continue
+        difference = abs(response_len - query_len)
+        total += 1
+        if difference == 0:
+            exact += 1
+        if difference <= 2:
+            within2 += 1
+        if difference <= 4:
+            within4 += 1
+    return ScopeStability(
+        domain=domain or "Overall",
+        total_hits=total,
+        exact=exact,
+        within_2=within2,
+        within_4=within4,
+    )
+
+
+def scope_stability_table(result: CacheProbingResult) -> list[ScopeStability]:
+    """Table 2: one column per domain plus the overall column."""
+    columns = [scope_stability(result, d) for d in result.domains()]
+    columns.append(scope_stability(result, None))
+    return columns
+
+
+def render_table(columns: list[ScopeStability]) -> str:
+    """Fixed-width text rendering of the table."""
+    lines = ["Scope stability (hits with |response - query| scope bits)"]
+    header = f"{'domain':28}{'hits':>8}{'exact':>12}{'within 2':>12}{'within 4':>12}"
+    lines.append(header)
+    for col in columns:
+        lines.append(
+            f"{col.domain:28}{col.total_hits:>8}"
+            f"{col.exact:>6} ({col.share('exact'):4.0%})"
+            f"{col.within_2:>6} ({col.share('within_2'):4.0%})"
+            f"{col.within_4:>6} ({col.share('within_4'):4.0%})"
+        )
+    return "\n".join(lines)

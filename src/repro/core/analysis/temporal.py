@@ -1,0 +1,123 @@
+"""Time-of-day activity analysis (§2's "time of day effects", §6's
+diurnal signal at aggregate level).
+
+The probing loop's hourly buckets, rotated into each prefix's local
+time, give the composite diurnal curve of the measured population —
+useful both to sanity-check the world (activity must dip at night) and
+as the aggregate backdrop for the per-prefix human classifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.prefix import Prefix
+from repro.world.builder import World
+from repro.core.cache_probing import CacheProbingResult
+
+
+@dataclass(frozen=True, slots=True)
+class DiurnalCurve:
+    """Aggregate hit rate by local hour of day."""
+
+    hourly_attempts: tuple[int, ...]   # 24 entries
+    hourly_hits: tuple[int, ...]
+
+    def rate(self, hour: int) -> float:
+        """Hit rate at the given hour (0 when unprobed)."""
+        attempts = self.hourly_attempts[hour % 24]
+        if attempts == 0:
+            return 0.0
+        return self.hourly_hits[hour % 24] / attempts
+
+    def rates(self) -> list[float]:
+        """Hit rates for all 24 hours."""
+        return [self.rate(h) for h in range(24)]
+
+    @property
+    def peak_hour(self) -> int:
+        """Hour with the highest hit rate."""
+        return max(range(24), key=self.rate)
+
+    @property
+    def trough_hour(self) -> int:
+        """Probed hour with the lowest hit rate."""
+        covered = [h for h in range(24) if self.hourly_attempts[h] > 0]
+        if not covered:
+            return 0
+        return min(covered, key=self.rate)
+
+    @property
+    def amplitude(self) -> float:
+        """Peak-to-trough hit-rate difference over probed hours."""
+        covered = [self.rate(h) for h in range(24)
+                   if self.hourly_attempts[h] > 0]
+        if not covered:
+            return 0.0
+        return max(covered) - min(covered)
+
+
+def aggregate_diurnal_curve(
+    world: World,
+    result: CacheProbingResult,
+) -> DiurnalCurve:
+    """The population-wide local-time hit-rate curve.
+
+    Every probed prefix's UTC buckets are rotated by its geolocated
+    longitude before pooling, so prefixes across time zones align on
+    local time.
+    """
+    attempts = [0] * 24
+    hits = [0] * 24
+    for prefix, prefix_attempts in result.hourly_attempts.items():
+        prefix_hits = result.hourly_hits.get(prefix, [0] * 24)
+        entry = world.geodb.locate_prefix(prefix)
+        shift = round(entry.location.lon / 15.0) if entry is not None else 0
+        for utc_hour in range(24):
+            local_hour = (utc_hour + shift) % 24
+            attempts[local_hour] += prefix_attempts[utc_hour]
+            hits[local_hour] += prefix_hits[utc_hour]
+    return DiurnalCurve(hourly_attempts=tuple(attempts),
+                        hourly_hits=tuple(hits))
+
+
+def split_curves_by_population(
+    world: World,
+    result: CacheProbingResult,
+) -> tuple[DiurnalCurve, DiurnalCurve]:
+    """(human-block curve, bot-block curve) for /24-probed prefixes.
+
+    A ground-truth view of the contrast §6's classifier exploits —
+    humans sleep, machines don't.
+    """
+    curves = {True: ([0] * 24, [0] * 24), False: ([0] * 24, [0] * 24)}
+    for prefix, prefix_attempts in result.hourly_attempts.items():
+        if prefix.length != 24:
+            continue
+        block = world.block_by_slash24(prefix.network >> 8)
+        if block is None:
+            continue
+        human = block.users > 0
+        prefix_hits = result.hourly_hits.get(prefix, [0] * 24)
+        entry = world.geodb.locate_prefix(prefix)
+        shift = round(entry.location.lon / 15.0) if entry is not None else 0
+        attempts, hits = curves[human]
+        for utc_hour in range(24):
+            local_hour = (utc_hour + shift) % 24
+            attempts[local_hour] += prefix_attempts[utc_hour]
+            hits[local_hour] += prefix_hits[utc_hour]
+    human_curve = DiurnalCurve(tuple(curves[True][0]), tuple(curves[True][1]))
+    bot_curve = DiurnalCurve(tuple(curves[False][0]), tuple(curves[False][1]))
+    return human_curve, bot_curve
+
+
+def render_curve(curve: DiurnalCurve, label: str) -> str:
+    """A one-line sparkline of the 24 local-hour hit rates."""
+    blocks = "▁▂▃▄▅▆▇█"
+    peak = max(curve.rates()) or 1.0
+    bars = "".join(
+        blocks[min(7, int(rate / peak * 7.999))] for rate in curve.rates()
+    )
+    return (f"{label}: 00h {bars} 23h  "
+            f"(peak {curve.peak_hour:02d}h, trough {curve.trough_hour:02d}h, "
+            f"amplitude {curve.amplitude:.2f})")

@@ -1,0 +1,336 @@
+"""The cache-probing measurement pipeline (§3.1).
+
+Gluing the three stages together, interleaved with live client
+activity exactly as the real 120-hour measurement was:
+
+1. *scope discovery* against each probe domain's authoritative
+   (:mod:`repro.core.scope_discovery`);
+2. *calibration* of per-PoP service radii
+   (:mod:`repro.core.calibration`);
+3. the *probing loop*: every query scope is assigned to the PoPs whose
+   service radius could cover its geolocation (error radius included),
+   and probed there continuously — redundant, non-recursive, TCP, ECS
+   queries — while the world's clients keep browsing.
+
+A prefix is *active* if any probe returned a cache hit with return
+scope > 0; the active prefix is the response scope.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.net.prefix import Prefix
+from repro.net.prefixset import PrefixSet
+from repro.net.routing import RouteTable
+from repro.world.activity import ActivityConfig, ActivitySimulator
+from repro.world.builder import World
+from repro.world.domains_catalog import probe_domains
+from repro.world.model import DomainSpec
+from repro.world.vantage import VantagePoint, deploy_vantage_points
+from repro.core.calibration import (
+    CalibrationConfig,
+    CalibrationResult,
+    calibrate,
+)
+from repro.core.prober import GoogleProber
+from repro.core.scope_discovery import DiscoveryResult, discover_all
+from repro.sim.clock import HOUR
+
+
+@dataclass(frozen=True, slots=True)
+class CacheProbingConfig:
+    """Pipeline parameters (defaults sized for test worlds)."""
+
+    warmup_hours: float = 3.0
+    measurement_hours: float = 12.0
+    redundancy: int = 3              # the paper uses 5
+    probe_loops: int = 3             # full passes over the assignment
+    #: Alternative budget specification: target visits per second per
+    #: PoP, the way the paper states its budget ("50 prefixes per
+    #: second per domain at each PoP").  When set, it overrides
+    #: ``probe_loops``.
+    probe_rate_qps: float | None = None
+    seed: int = 17
+    calibration: CalibrationConfig = field(default_factory=CalibrationConfig)
+
+    def __post_init__(self) -> None:
+        if self.measurement_hours <= 0:
+            raise ValueError("measurement_hours must be positive")
+        if self.probe_loops < 1:
+            raise ValueError("probe_loops must be at least 1")
+        if self.probe_rate_qps is not None and self.probe_rate_qps <= 0:
+            raise ValueError("probe_rate_qps must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class CacheHitRecord:
+    """One activity-evidencing cache hit."""
+
+    pop_id: str
+    domain: str
+    query_scope: Prefix
+    response_scope: int
+    timestamp: float
+
+    def active_prefix(self) -> Prefix:
+        """The prefix this hit marks active: the response scope."""
+        return Prefix.from_address(self.query_scope.network,
+                                   self.response_scope)
+
+
+@dataclass(slots=True)
+class CacheProbingResult:
+    """Everything the measurement produced.
+
+    ``attempt_counts``/``hit_counts`` record, per ⟨domain, query
+    scope⟩, how many probe visits were made and how many hit — the raw
+    material for the §6 relative-activity ranking (a busier prefix
+    keeps its cache entries fresh more of the time, so it hits more
+    often).
+    """
+
+    hits: list[CacheHitRecord]
+    probes_sent: int
+    calibration: CalibrationResult
+    discovery: DiscoveryResult
+    assignment_sizes: dict[str, int]
+    scope_pairs: list[tuple[str, int, int]]  # (domain, query len, resp len)
+    #: [start, end) of the measurement (activity + probing) window —
+    #: excludes the stage-1 authoritative scans, whose ECS-bearing
+    #: queries would otherwise pollute the Traffic Manager dataset.
+    measurement_window: tuple[float, float] = (0.0, 0.0)
+    #: keyed by (pop_id, domain, query scope) — per-PoP resolution so a
+    #: ranking can use the prefix's best-serving PoP and ignore probes
+    #: sent to PoPs its clients never reach.
+    attempt_counts: dict[tuple[str, str, Prefix], int] = \
+        field(default_factory=dict)
+    hit_counts: dict[tuple[str, str, Prefix], int] = \
+        field(default_factory=dict)
+    #: per-prefix probe outcomes bucketed by UTC hour of day (24 ints
+    #: each) — the raw material for §6's diurnal human-vs-bot signal.
+    hourly_attempts: dict[Prefix, list[int]] = field(default_factory=dict)
+    hourly_hits: dict[Prefix, list[int]] = field(default_factory=dict)
+
+    # -- derived views ------------------------------------------------------
+
+    def domains(self) -> list[str]:
+        """Sorted domain names that produced hits."""
+        return sorted({h.domain for h in self.hits})
+
+    def active_prefix_set(self, domain: str | None = None) -> PrefixSet:
+        """Active prefixes (response scopes), optionally per domain."""
+        prefixes = PrefixSet()
+        for hit in self.hits:
+            if domain is None or hit.domain == domain:
+                prefixes.add(hit.active_prefix())
+        return prefixes
+
+    def active_slash24_ids(self, domain: str | None = None) -> set[int]:
+        """Upper-bound /24 expansion (the paper's Table 1 convention)."""
+        return self.active_prefix_set(domain).slash24_ids()
+
+    def active_asns(self, routes: RouteTable,
+                    domain: str | None = None) -> set[int]:
+        """ASes containing at least one active prefix.
+
+        Prefixes coarser than any covering announcement are attributed
+        through their /24 subblocks.
+        """
+        asns: set[int] = set()
+        for prefix in self.active_prefix_set(domain):
+            origin = routes.origin_of_prefix(prefix)
+            if origin is not None:
+                asns.add(origin)
+                continue
+            for sub in prefix.slash24s():
+                origin = routes.origin_of_prefix(sub)
+                if origin is not None:
+                    asns.add(origin)
+        return asns
+
+    def hit_count(self, domain: str | None = None) -> int:
+        """Number of distinct hits (optionally one domain's)."""
+        return sum(1 for h in self.hits
+                   if domain is None or h.domain == domain)
+
+
+class CacheProbingPipeline:
+    """Runs the full §3.1 measurement against a world."""
+
+    def __init__(
+        self,
+        world: World,
+        config: CacheProbingConfig | None = None,
+        activity_config: ActivityConfig | None = None,
+        vantage_points: list[VantagePoint] | None = None,
+    ) -> None:
+        self.world = world
+        self.config = config or CacheProbingConfig()
+        self.activity_config = activity_config or ActivityConfig()
+        self.vantage_points = (
+            deploy_vantage_points(world) if vantage_points is None
+            else vantage_points
+        )
+        self.prober = GoogleProber(world, self.vantage_points,
+                                   redundancy=self.config.redundancy)
+        self.simulator = ActivitySimulator(world, self.activity_config,
+                                           seed=self.config.seed)
+        self._probe_domains = probe_domains(world.domains)
+
+    @property
+    def probe_domain_specs(self) -> list[DomainSpec]:
+        """The §3.1.1 probe-domain list in use."""
+        return list(self._probe_domains)
+
+    # -- pipeline ------------------------------------------------------------
+
+    def run(self) -> CacheProbingResult:
+        """Run discovery, warmup, calibration and the probing loop."""
+        config = self.config
+        world = self.world
+        discovery = discover_all(
+            self._probe_domains,
+            {name: server for name, server
+             in world.authoritative_servers.items()},
+            world.routes,
+        )
+        # Separate the discovery scans from the measurement epoch: the
+        # validation datasets are collected over the measurement window
+        # only, as the paper compares against "a full day" of CDN logs.
+        world.clock.advance(1.0)
+        measurement_start = world.clock.now
+        if config.warmup_hours > 0:
+            self.simulator.run(config.warmup_hours * HOUR)
+        calibration = calibrate(
+            world, self.prober, self._probe_domains,
+            config.calibration, seed=config.seed,
+        )
+        assignment = self._assign(discovery, calibration)
+        (hits, scope_pairs, attempts, hit_counts,
+         hourly_attempts, hourly_hits) = self._probing_loop(assignment)
+        return CacheProbingResult(
+            hits=hits,
+            probes_sent=self.prober.probes_sent,
+            calibration=calibration,
+            discovery=discovery,
+            assignment_sizes={pop: len(targets)
+                              for pop, targets in assignment.items()},
+            scope_pairs=scope_pairs,
+            attempt_counts=attempts,
+            hit_counts=hit_counts,
+            hourly_attempts=hourly_attempts,
+            hourly_hits=hourly_hits,
+            measurement_window=(measurement_start, world.clock.now),
+        )
+
+    # -- assignment -----------------------------------------------------------
+
+    def _assign(
+        self,
+        discovery: DiscoveryResult,
+        calibration: CalibrationResult,
+    ) -> dict[str, list[tuple[DomainSpec, Prefix]]]:
+        """Assign each ⟨domain, query scope⟩ to its plausible PoPs: the
+        ones whose service radius could reach the prefix's claimed
+        location, allowing for the claimed error radius."""
+        world = self.world
+        pops = {d.pop_id: d.pop for d in world.pop_descriptors}
+        assignment: dict[str, list[tuple[DomainSpec, Prefix]]] = {
+            pop_id: [] for pop_id in self.prober.reachable_pops
+        }
+        for domain in self._probe_domains:
+            plan = discovery.plan_for(str(domain.name))
+            for scope in plan.query_scopes:
+                entry = world.geodb.locate_prefix(scope)
+                for pop_id in self.prober.reachable_pops:
+                    if entry is not None:
+                        distance = entry.location.distance_km(
+                            pops[pop_id].location)
+                        reach = (calibration.radius_of(pop_id)
+                                 + entry.error_radius_km)
+                        if distance > reach:
+                            continue
+                    assignment[pop_id].append((domain, scope))
+        return assignment
+
+    # -- the probing loop --------------------------------------------------
+
+    def _probing_loop(
+        self,
+        assignment: dict[str, list[tuple[DomainSpec, Prefix]]],
+    ) -> tuple[
+        list[CacheHitRecord],
+        list[tuple[str, int, int]],
+        dict[tuple[str, str, Prefix], int],
+        dict[tuple[str, str, Prefix], int],
+        dict[Prefix, list[int]],
+        dict[Prefix, list[int]],
+    ]:
+        """Loop over every PoP's assignment for the measurement window,
+        interleaved with client activity slot by slot."""
+        config = self.config
+        rng = random.Random(config.seed + 3)
+        # Shuffle each PoP's list once so probing order is not biased
+        # by address order, then walk it cyclically across slots.
+        for targets in assignment.values():
+            rng.shuffle(targets)
+        slots = max(1, round(config.measurement_hours * HOUR
+                             / self.activity_config.slot_seconds))
+        cursors = {pop_id: 0 for pop_id in assignment}
+        hits: list[CacheHitRecord] = []
+        scope_pairs: list[tuple[str, int, int]] = []
+        seen: set[tuple[str, str, Prefix]] = set()
+        attempts: dict[tuple[str, str, Prefix], int] = {}
+        hit_counts: dict[tuple[str, str, Prefix], int] = {}
+        hourly_attempts: dict[Prefix, list[int]] = {}
+        hourly_hits: dict[Prefix, list[int]] = {}
+
+        def probe_slot(_index: int, _start: float) -> None:
+            """Probe each PoP's next assignment chunk for this slot."""
+            from repro.sim.clock import DAY
+            utc_hour = int((self.world.clock.now % DAY) // HOUR)
+            for pop_id, targets in assignment.items():
+                if not targets:
+                    continue
+                if config.probe_rate_qps is not None:
+                    per_slot = max(1, round(
+                        config.probe_rate_qps
+                        * self.activity_config.slot_seconds))
+                else:
+                    per_slot = max(1, (len(targets) * config.probe_loops
+                                       + slots - 1) // slots)
+                cursor = cursors[pop_id]
+                for offset in range(per_slot):
+                    domain, scope = targets[(cursor + offset) % len(targets)]
+                    result = self.prober.probe(pop_id, domain.name, scope)
+                    count_key = (pop_id, str(domain.name), scope)
+                    attempts[count_key] = attempts.get(count_key, 0) + 1
+                    if scope not in hourly_attempts:
+                        hourly_attempts[scope] = [0] * 24
+                        hourly_hits[scope] = [0] * 24
+                    hourly_attempts[scope][utc_hour] += 1
+                    if not result.is_activity_evidence:
+                        continue
+                    hit_counts[count_key] = hit_counts.get(count_key, 0) + 1
+                    hourly_hits[scope][utc_hour] += 1
+                    assert result.response_scope is not None
+                    scope_pairs.append((str(domain.name), scope.length,
+                                        result.response_scope))
+                    key = (pop_id, str(domain.name), scope)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    hits.append(CacheHitRecord(
+                        pop_id=pop_id,
+                        domain=str(domain.name),
+                        query_scope=scope,
+                        response_scope=min(result.response_scope, 32),
+                        timestamp=self.world.clock.now,
+                    ))
+                cursors[pop_id] = (cursor + per_slot) % len(targets)
+
+        self.simulator.run(config.measurement_hours * HOUR, on_slot=probe_slot)
+        return (hits, scope_pairs, attempts, hit_counts,
+                hourly_attempts, hourly_hits)

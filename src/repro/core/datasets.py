@@ -1,0 +1,219 @@
+"""Unified activity datasets for cross-comparison (§4).
+
+Every data source — the two new techniques, APNIC, and the three
+Microsoft views — reduces to an :class:`ActivityDataset`: a set of /24
+ids, a set of ASes, and (where the source has one) a volume measure per
+AS and per /24.  The overlap tables and relative-activity figures all
+operate on this one shape.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.net.prefix import slash24_id
+from repro.net.routing import RouteTable
+from repro.world.builder import World
+from repro.world.cdn import CdnService
+from repro.core.cache_probing import CacheProbingResult
+from repro.core.dns_logs import DnsLogsResult
+
+#: Canonical dataset names, as the paper prints them.
+CACHE_PROBING = "cache probing"
+DNS_LOGS = "DNS logs"
+UNION = "cache probing ∪ DNS logs"
+APNIC = "APNIC"
+MICROSOFT_CLIENTS = "Microsoft clients"
+MICROSOFT_RESOLVERS = "Microsoft resolvers"
+CLOUD_ECS = "cloud ECS prefixes"
+
+
+@dataclass(slots=True)
+class ActivityDataset:
+    """One source's view of where clients are."""
+
+    name: str
+    slash24_ids: set[int] = field(default_factory=set)
+    asns: set[int] = field(default_factory=set)
+    volume_by_asn: dict[int, float] = field(default_factory=dict)
+    volume_by_slash24: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def has_volume(self) -> bool:
+        """Whether this source measures activity volume (cache probing
+        does not — Table 4 has no row for it)."""
+        return bool(self.volume_by_asn)
+
+    def total_volume(self) -> float:
+        """Sum of per-AS volumes."""
+        return sum(self.volume_by_asn.values())
+
+    def volume_share_of_asns(self, asns: set[int]) -> float:
+        """Fraction of this dataset's volume inside ``asns``."""
+        total = self.total_volume()
+        if total == 0:
+            raise ValueError(f"{self.name} has no volume measure")
+        return sum(v for a, v in self.volume_by_asn.items() if a in asns) / total
+
+    def slash24_volume_share(self, ids: set[int]) -> float:
+        """Fraction of per-/24 volume inside ``ids``."""
+        total = sum(self.volume_by_slash24.values())
+        if total == 0:
+            raise ValueError(f"{self.name} has no per-/24 volume measure")
+        return sum(v for i, v in self.volume_by_slash24.items()
+                   if i in ids) / total
+
+    def relative_volume_by_asn(self) -> dict[int, float]:
+        """Per-AS volume normalised to sum to 1 (Figures 6 and 7)."""
+        total = self.total_volume()
+        if total == 0:
+            raise ValueError(f"{self.name} has no volume measure")
+        return {a: v / total for a, v in self.volume_by_asn.items()}
+
+    def union(self, other: "ActivityDataset", name: str) -> "ActivityDataset":
+        """Merged dataset: unions of sets, sums of volumes."""
+        volumes: Counter[int] = Counter(self.volume_by_asn)
+        volumes.update(other.volume_by_asn)
+        slash24_volumes: Counter[int] = Counter(self.volume_by_slash24)
+        slash24_volumes.update(other.volume_by_slash24)
+        return ActivityDataset(
+            name=name,
+            slash24_ids=self.slash24_ids | other.slash24_ids,
+            asns=self.asns | other.asns,
+            volume_by_asn=dict(volumes),
+            volume_by_slash24=dict(slash24_volumes),
+        )
+
+
+# -- constructors per source ------------------------------------------------
+
+def from_cache_probing(
+    result: CacheProbingResult, routes: RouteTable
+) -> ActivityDataset:
+    """Cache probing: prefixes and ASes, no volume measure (§B.2)."""
+    return ActivityDataset(
+        name=CACHE_PROBING,
+        slash24_ids=result.active_slash24_ids(),
+        asns=result.active_asns(routes),
+    )
+
+
+def from_dns_logs(result: DnsLogsResult, routes: RouteTable) -> ActivityDataset:
+    """DNS logs: resolver prefixes/ASes with probe-count volume."""
+    return ActivityDataset(
+        name=DNS_LOGS,
+        slash24_ids=result.resolver_slash24_ids(),
+        asns=result.active_asns(routes),
+        volume_by_asn={a: float(v)
+                       for a, v in result.volume_by_asn(routes).items()},
+        volume_by_slash24={slash24_id(ip): float(count)
+                           for ip, count in result.resolver_counts.items()},
+    )
+
+
+def from_cdn_clients(cdn: CdnService, routes: RouteTable) -> ActivityDataset:
+    """Microsoft clients: per-/24 HTTP request volume."""
+    volume_by_slash24 = {i: float(v)
+                         for i, v in cdn.microsoft_clients().items()}
+    volume_by_asn: Counter[int] = Counter()
+    asns: set[int] = set()
+    for block_id, volume in volume_by_slash24.items():
+        origin = routes.origin_of_address(block_id << 8)
+        if origin is not None:
+            asns.add(origin)
+            volume_by_asn[origin] += volume
+    return ActivityDataset(
+        name=MICROSOFT_CLIENTS,
+        slash24_ids=set(volume_by_slash24),
+        asns=asns,
+        volume_by_asn=dict(volume_by_asn),
+        volume_by_slash24=volume_by_slash24,
+    )
+
+
+def from_cdn_resolvers(cdn: CdnService, routes: RouteTable) -> ActivityDataset:
+    """Microsoft resolvers: distinct-client counts per resolver IP."""
+    resolver_volumes = cdn.microsoft_resolvers()
+    volume_by_slash24: Counter[int] = Counter()
+    volume_by_asn: Counter[int] = Counter()
+    asns: set[int] = set()
+    for ip, clients in resolver_volumes.items():
+        volume_by_slash24[slash24_id(ip)] += float(clients)
+        origin = routes.origin_of_address(ip)
+        if origin is not None:
+            asns.add(origin)
+            volume_by_asn[origin] += float(clients)
+    return ActivityDataset(
+        name=MICROSOFT_RESOLVERS,
+        slash24_ids=set(volume_by_slash24),
+        asns=asns,
+        volume_by_asn=dict(volume_by_asn),
+        volume_by_slash24=dict(volume_by_slash24),
+    )
+
+
+def from_cloud_ecs(
+    cdn: CdnService, routes: RouteTable, start: float = 0.0
+) -> ActivityDataset:
+    """Cloud ECS prefixes seen at the Traffic Manager authoritative.
+
+    ``start`` bounds the collection window so a measurement's own
+    authoritative scans are not mistaken for client activity.
+    """
+    volume_by_slash24: Counter[int] = Counter()
+    asns: set[int] = set()
+    ids: set[int] = set()
+    for prefix, count in cdn.ecs_query_volume_by_prefix(start=start).items():
+        # ECS prefixes are /24s from resolvers and Google; expand
+        # conservatively at /24 granularity.
+        if prefix.length >= 24:
+            block_ids = [prefix.network >> 8]
+        else:
+            first = prefix.network >> 8
+            block_ids = list(range(first, first + prefix.num_slash24s()))
+        for block_id in block_ids:
+            ids.add(block_id)
+            volume_by_slash24[block_id] += float(count) / len(block_ids)
+        origin = routes.origin_of_prefix(prefix)
+        if origin is not None:
+            asns.add(origin)
+    return ActivityDataset(
+        name=CLOUD_ECS,
+        slash24_ids=ids,
+        asns=asns,
+        volume_by_slash24=dict(volume_by_slash24),
+    )
+
+
+def from_apnic(estimates: dict[int, float]) -> ActivityDataset:
+    """APNIC: AS-granularity only — no prefixes at all (§2)."""
+    return ActivityDataset(
+        name=APNIC,
+        asns=set(estimates),
+        volume_by_asn=dict(estimates),
+    )
+
+
+def build_all_datasets(
+    world: World,
+    cache_result: CacheProbingResult,
+    logs_result: DnsLogsResult,
+    apnic_estimates: dict[int, float],
+) -> dict[str, ActivityDataset]:
+    """Every dataset §4 compares, keyed by canonical name."""
+    routes = world.routes
+    cache = from_cache_probing(cache_result, routes)
+    logs = from_dns_logs(logs_result, routes)
+    datasets = {
+        CACHE_PROBING: cache,
+        DNS_LOGS: logs,
+        UNION: cache.union(logs, UNION),
+        APNIC: from_apnic(apnic_estimates),
+        MICROSOFT_CLIENTS: from_cdn_clients(world.cdn, routes),
+        MICROSOFT_RESOLVERS: from_cdn_resolvers(world.cdn, routes),
+        CLOUD_ECS: from_cloud_ecs(
+            world.cdn, routes, start=cache_result.measurement_window[0]
+        ),
+    }
+    return datasets

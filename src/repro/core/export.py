@@ -1,0 +1,155 @@
+"""Exporting measurement results.
+
+The paper commits to sharing its data ("we are happy to share our
+data (except proprietary data we use for validation)").  This module
+serialises the shareable artefacts — active prefix lists, per-resolver
+Chromium counts, unified datasets — to JSON and CSV, and reloads them,
+so downstream users can consume a measurement without running one.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any
+
+from repro.net.prefix import Prefix
+from repro.core.cache_probing import CacheProbingResult
+from repro.core.datasets import ActivityDataset
+from repro.core.dns_logs import DnsLogsResult
+
+
+# -- active prefix lists (cache probing) -------------------------------------
+
+def cache_probing_to_json(result: CacheProbingResult) -> str:
+    """The shareable cache-probing artefact: per-domain active prefixes
+    with hit metadata."""
+    payload: dict[str, Any] = {
+        "format": "repro.cache_probing.v1",
+        "probes_sent": result.probes_sent,
+        "hits": [
+            {
+                "pop": hit.pop_id,
+                "domain": hit.domain,
+                "query_scope": str(hit.query_scope),
+                "response_scope": hit.response_scope,
+                "timestamp": hit.timestamp,
+            }
+            for hit in result.hits
+        ],
+        "service_radii_km": {
+            pop_id: calibration.radius_km
+            for pop_id, calibration in result.calibration.per_pop.items()
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def active_prefixes_to_csv(result: CacheProbingResult) -> str:
+    """One row per ⟨domain, active prefix⟩, ready for a spreadsheet."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["domain", "active_prefix", "response_scope", "pop"])
+    for hit in sorted(result.hits,
+                      key=lambda h: (h.domain, h.query_scope)):
+        writer.writerow([hit.domain, str(hit.active_prefix()),
+                         hit.response_scope, hit.pop_id])
+    return buffer.getvalue()
+
+
+# -- resolver counts (DNS logs) ------------------------------------------------
+
+def dns_logs_to_json(result: DnsLogsResult) -> str:
+    """The shareable DNS-logs artefact: per-resolver probe counts."""
+    payload = {
+        "format": "repro.dns_logs.v1",
+        "window": list(result.window),
+        "letters": result.letters,
+        "resolver_counts": {
+            str(Prefix.from_address(ip, 32)).split("/")[0]: count
+            for ip, count in sorted(result.resolver_counts.items())
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+# -- root traces (the DITL workflow) -----------------------------------------
+
+def root_traces_to_json(
+    traces: "dict[str, list]",
+) -> str:
+    """Serialise per-letter DITL traces (the artefact DNS-OARC ships,
+    minus the pcap framing)."""
+    payload = {
+        "format": "repro.ditl.v1",
+        "letters": {
+            letter: [
+                {
+                    "ts": entry.timestamp,
+                    "src": entry.source_ip,
+                    "qname": str(entry.name),
+                    "rcode": entry.rcode.name,
+                }
+                for entry in entries
+            ]
+            for letter, entries in sorted(traces.items())
+        },
+    }
+    return json.dumps(payload, sort_keys=True)
+
+
+def root_traces_from_json(text: str) -> "dict[str, list]":
+    """Reload traces written by :func:`root_traces_to_json` into the
+    entry objects the classifier consumes."""
+    from repro.dns.message import QueryLogEntry, Rcode
+    from repro.dns.name import DnsName
+
+    payload = json.loads(text)
+    if payload.get("format") != "repro.ditl.v1":
+        raise ValueError(f"unsupported format {payload.get('format')!r}")
+    traces = {}
+    for letter, entries in payload["letters"].items():
+        traces[letter] = [
+            QueryLogEntry(
+                timestamp=float(e["ts"]),
+                source_ip=int(e["src"]),
+                name=DnsName.parse(e["qname"]),
+                rcode=Rcode[e["rcode"]],
+            )
+            for e in entries
+        ]
+    return traces
+
+
+# -- unified datasets ----------------------------------------------------------
+
+def dataset_to_json(dataset: ActivityDataset) -> str:
+    """Serialise an ActivityDataset to JSON."""
+    payload = {
+        "format": "repro.dataset.v1",
+        "name": dataset.name,
+        "slash24_ids": sorted(dataset.slash24_ids),
+        "asns": sorted(dataset.asns),
+        "volume_by_asn": {str(k): v for k, v
+                          in sorted(dataset.volume_by_asn.items())},
+        "volume_by_slash24": {str(k): v for k, v
+                              in sorted(dataset.volume_by_slash24.items())},
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def dataset_from_json(text: str) -> ActivityDataset:
+    """Parse a dataset serialised by dataset_to_json."""
+    payload = json.loads(text)
+    if payload.get("format") != "repro.dataset.v1":
+        raise ValueError(f"unsupported format {payload.get('format')!r}")
+    return ActivityDataset(
+        name=payload["name"],
+        slash24_ids=set(payload["slash24_ids"]),
+        asns=set(payload["asns"]),
+        volume_by_asn={int(k): float(v)
+                       for k, v in payload["volume_by_asn"].items()},
+        volume_by_slash24={int(k): float(v)
+                           for k, v in payload["volume_by_slash24"].items()},
+    )

@@ -1,0 +1,192 @@
+"""Separating human users from other web clients (§6 future work).
+
+§2 concedes "we do not yet know how to filter out all non-human
+clients such as bots and crawlers"; §6 proposes the signals: "activity
+across a range of user-facing services, patterns over time (e.g.,
+diurnal patterns), and consistency across methods (e.g., using
+Chromium and querying popular services)".  This module implements all
+three over cache-probing's per-hour hit buckets and the DNS-logs join:
+
+* **diurnal amplitude** — humans sleep; their cache-hit rate dips in
+  the local early morning.  Bots probe-hit around the clock.
+* **domain breadth** — humans browse several user-facing properties;
+  single-purpose machines cluster on few.
+* **Chromium consistency** — a prefix whose ⟨country, AS⟩ cell also
+  sources Chromium probes hosts browsers, i.e. people.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.prefix import Prefix
+from repro.world.builder import World
+from repro.core.cache_probing import CacheProbingResult
+from repro.core.dns_logs import DnsLogsResult
+from repro.core.ranking import combine_by_region_asn
+
+
+@dataclass(frozen=True, slots=True)
+class DiurnalSignal:
+    """One prefix's time-of-day activity profile."""
+
+    prefix: Prefix
+    local_hourly_rates: tuple[float, ...]  # 24 local-hour hit rates (nan-free)
+    amplitude: float                       # peak-trough difference
+    total_attempts: int
+
+    @property
+    def trough_hour(self) -> int:
+        """Probed hour with the lowest hit rate."""
+        return min(range(24), key=lambda h: self.local_hourly_rates[h])
+
+
+def diurnal_signal(
+    world: World,
+    result: CacheProbingResult,
+    prefix: Prefix,
+    min_attempts_per_bin: int = 3,
+) -> DiurnalSignal | None:
+    """The local-time hit-rate profile for one probed prefix.
+
+    UTC buckets are rotated into the prefix's local time using its
+    geolocated longitude (15° per hour), pooled into 4-hour bins to
+    tame small-sample noise.  Returns None if the prefix was never
+    probed or too little of the day was observed.
+    """
+    attempts = result.hourly_attempts.get(prefix)
+    hits = result.hourly_hits.get(prefix)
+    if attempts is None or hits is None:
+        return None
+    entry = world.geodb.locate_prefix(prefix)
+    shift = round(entry.location.lon / 15.0) if entry is not None else 0
+    rates = [0.0] * 24
+    bin_attempts = [0] * 6
+    bin_hits = [0] * 6
+    for utc_hour in range(24):
+        local_hour = (utc_hour + shift) % 24
+        bin_attempts[local_hour // 4] += attempts[utc_hour]
+        bin_hits[local_hour // 4] += hits[utc_hour]
+        if attempts[utc_hour] > 0:
+            rates[local_hour] = hits[utc_hour] / attempts[utc_hour]
+    valid = [(bin_hits[b] / bin_attempts[b])
+             for b in range(6) if bin_attempts[b] >= min_attempts_per_bin]
+    if len(valid) < 4:
+        return None  # not enough of the day observed
+    amplitude = max(valid) - min(valid)
+    return DiurnalSignal(
+        prefix=prefix,
+        local_hourly_rates=tuple(rates),
+        amplitude=amplitude,
+        total_attempts=sum(attempts),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class HumanVerdict:
+    """Human-activity classification for one prefix."""
+
+    prefix: Prefix
+    diurnal_amplitude: float | None
+    domain_breadth: int
+    chromium_consistent: bool
+    score: float
+    is_human: bool
+
+
+def classify_human_prefixes(
+    world: World,
+    cache_result: CacheProbingResult,
+    logs_result: DnsLogsResult,
+    amplitude_threshold: float = 0.10,
+    score_threshold: float = 1.5,
+    chromium_weight: float = 1.5,
+) -> list[HumanVerdict]:
+    """Score every *probed prefix with hits* on the three §6 signals.
+
+    Verdicts are at query-scope granularity (the probed unit, which the
+    hourly buckets and per-domain hit sets are keyed by).  Each signal
+    contributes one point (diurnal amplitude above threshold; hits on
+    ≥2 user-facing domains; Chromium activity in the prefix's
+    ⟨country, AS⟩ cell, weighted by ``chromium_weight`` since browser
+    evidence is the most direct human signal); ``score_threshold``
+    decides.
+    """
+    # Signal 3: cells with Chromium probes.  Cell prefixes are response
+    # scopes; a probed prefix inherits the signal if any cell prefix
+    # overlaps it.
+    cells = combine_by_region_asn(world, cache_result, logs_result)
+    from repro.net.prefixset import PrefixSet
+    chromium_set = PrefixSet()
+    for cell in cells:
+        if cell.probe_count > 0:
+            chromium_set.update(cell.active_prefixes)
+    # Signal 2: domains per probed prefix.
+    domains_per_prefix: dict[Prefix, set[str]] = {}
+    for hit in cache_result.hits:
+        domains_per_prefix.setdefault(hit.query_scope, set()).add(hit.domain)
+    verdicts = []
+    for prefix in sorted(domains_per_prefix):
+        signal = diurnal_signal(world, cache_result, prefix)
+        amplitude = signal.amplitude if signal is not None else None
+        breadth = len(domains_per_prefix.get(prefix, ()))
+        chromium = chromium_set.intersects(prefix)
+        score = 0.0
+        if amplitude is not None and amplitude >= amplitude_threshold:
+            score += 1.0
+        if breadth >= 2:
+            score += 1.0
+        if chromium:
+            score += chromium_weight
+        verdicts.append(HumanVerdict(
+            prefix=prefix,
+            diurnal_amplitude=amplitude,
+            domain_breadth=breadth,
+            chromium_consistent=chromium,
+            score=score,
+            is_human=score >= score_threshold,
+        ))
+    verdicts.sort(key=lambda v: (-v.score, v.prefix))
+    return verdicts
+
+
+def score_classification(
+    world: World, verdicts: list[HumanVerdict]
+) -> dict[str, float]:
+    """Precision/recall of the human verdicts against ground truth.
+
+    A /24 verdict is scored against its block (users > 0 ⇒ human);
+    coarser prefixes are scored human if any covered block has users.
+    Prefixes covering no known block are skipped.
+    """
+    tp = fp = fn = tn = 0
+    for verdict in verdicts:
+        truth = _truly_human(world, verdict.prefix)
+        if truth is None:
+            continue
+        if verdict.is_human and truth:
+            tp += 1
+        elif verdict.is_human:
+            fp += 1
+        elif truth:
+            fn += 1
+        else:
+            tn += 1
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    return {"tp": tp, "fp": fp, "fn": fn, "tn": tn,
+            "precision": precision, "recall": recall}
+
+
+def _truly_human(world: World, prefix: Prefix) -> bool | None:
+    if prefix.length >= 24:
+        block = world.block_by_slash24(prefix.network >> 8)
+        return None if block is None else block.users > 0
+    found = False
+    for sub in prefix.slash24s():
+        block = world.block_by_slash24(sub.network >> 8)
+        if block is not None:
+            found = True
+            if block.users > 0:
+                return True
+    return False if found else None

@@ -1,0 +1,106 @@
+"""The low-level Google Public DNS prober.
+
+Issues non-recursive, ECS-bearing queries over TCP (UDP probing of the
+same domains trips a far lower rate limit, §3.1.1) from the cloud
+vantage point that reaches each PoP, with redundant queries per target
+because each PoP runs several independent cache pools [31].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.prefix import Prefix
+from repro.dns.message import DnsQuery, EcsOption, Rcode, Transport
+from repro.dns.name import DnsName
+from repro.world.builder import World
+from repro.world.vantage import VantagePoint, pops_by_vantage
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeResult:
+    """Aggregated outcome of the redundant queries for one target."""
+
+    pop_id: str
+    domain: str
+    query_scope: Prefix
+    hit: bool
+    response_scope: int | None
+    queries_sent: int
+    refused: int = 0
+
+    @property
+    def is_activity_evidence(self) -> bool:
+        """A hit with return scope > 0; scope-0 entries are valid for
+        the whole address space and say nothing about the prefix."""
+        return self.hit and bool(self.response_scope)
+
+
+class GoogleProber:
+    """Probes PoP caches through the vantage point that reaches each."""
+
+    def __init__(
+        self,
+        world: World,
+        vantage_points: list[VantagePoint],
+        redundancy: int = 3,
+    ) -> None:
+        if redundancy < 1:
+            raise ValueError("redundancy must be at least 1")
+        self._world = world
+        self._redundancy = redundancy
+        self._vantage_by_pop: dict[str, VantagePoint] = {
+            pop_id: vps[0]
+            for pop_id, vps in pops_by_vantage(vantage_points).items()
+        }
+        self.probes_sent = 0
+        self.refused = 0
+
+    @property
+    def reachable_pops(self) -> list[str]:
+        """PoPs this deployment can probe, sorted for determinism."""
+        return sorted(self._vantage_by_pop)
+
+    def probe(self, pop_id: str, domain: DnsName, scope: Prefix) -> ProbeResult:
+        """Send the redundant query batch for one ⟨PoP, domain, prefix⟩."""
+        vantage = self._vantage_by_pop.get(pop_id)
+        if vantage is None:
+            raise KeyError(f"no vantage point reaches PoP {pop_id!r}")
+        hit = False
+        response_scope: int | None = None
+        refused = 0
+        for _ in range(self._redundancy):
+            outcome = self._world.public_dns.query(
+                DnsQuery(
+                    name=domain,
+                    recursion_desired=False,
+                    ecs=EcsOption(prefix=scope),
+                    source_ip=vantage.source_ip,
+                    transport=Transport.TCP,
+                ),
+                vantage.region.location,
+                via="cloud",
+            )
+            self.probes_sent += 1
+            if outcome.pop_id != pop_id:
+                raise RuntimeError(
+                    f"vantage for {pop_id} was routed to {outcome.pop_id}; "
+                    "anycast catchment changed under the prober"
+                )
+            response = outcome.response
+            if response.rcode is Rcode.REFUSED:
+                refused += 1
+                continue
+            if response.cache_hit and not hit:
+                hit = True
+                response_scope = response.scope_length
+        self.refused += refused
+        return ProbeResult(
+            pop_id=pop_id,
+            domain=str(domain),
+            query_scope=scope,
+            hit=hit,
+            response_scope=response_scope,
+            queries_sent=self._redundancy,
+            refused=refused,
+        )

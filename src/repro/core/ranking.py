@@ -1,0 +1,189 @@
+"""Relative activity ranking across prefixes (§6 future work).
+
+The paper closes with two directions, both implemented here:
+
+1. **Hit-rate ranking** — "estimate a prefix's cache hit rates over
+   time and across domains, as a step towards a relative ranking of
+   prefix activity levels".  A busy prefix refreshes its Google cache
+   entries continuously, so probes hit almost every visit; a
+   barely-active prefix hits rarely.  The per-⟨domain, scope⟩
+   attempt/hit counters the probing loop keeps turn directly into a
+   per-prefix activity score (mean hit rate across domains).
+
+2. **Combining the techniques via geolocation** — "since users are
+   often physically close to and in the same AS as their recursive
+   resolver, we can estimate activity at the ⟨region, AS⟩ granularity
+   and associate that activity with active prefixes in that
+   ⟨region, AS⟩".  DNS-logs gives per-resolver Chromium counts; we
+   geolocate each resolver, aggregate to ⟨country, AS⟩, and spread the
+   mass uniformly over the prefixes cache probing found active there.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.net.prefix import Prefix
+from repro.world.builder import World
+from repro.core.cache_probing import CacheProbingResult
+from repro.core.dns_logs import DnsLogsResult
+
+
+@dataclass(frozen=True, slots=True)
+class PrefixActivityScore:
+    """One prefix's relative activity estimate."""
+
+    prefix: Prefix
+    score: float
+    attempts: int
+    hits: int
+
+
+def hit_rate_ranking(
+    result: CacheProbingResult,
+    min_attempts: int = 2,
+) -> list[PrefixActivityScore]:
+    """Rank active prefixes by mean cache-hit rate across domains.
+
+    Prefixes with fewer than ``min_attempts`` probe visits per domain
+    are skipped — one lucky probe says nothing about activity level.
+    Returns scores sorted descending.
+    """
+    if min_attempts < 1:
+        raise ValueError("min_attempts must be at least 1")
+    # Probes sent to PoPs the prefix's clients never reach always miss
+    # and say nothing about activity level, so the rate is computed
+    # over the *hitting* PoPs only: pool attempts and hits at PoPs that
+    # produced at least one hit for that ⟨domain, scope⟩.  (Pooling
+    # rather than taking the best single-PoP rate avoids the upward
+    # selection bias of maximising tiny samples.)
+    hitting: dict[tuple[Prefix, str], tuple[int, int]] = defaultdict(
+        lambda: (0, 0))
+    totals: dict[Prefix, tuple[int, int]] = defaultdict(lambda: (0, 0))
+    for (pop_id, domain, scope), attempts in result.attempt_counts.items():
+        if attempts < min_attempts:
+            continue
+        hits = result.hit_counts.get((pop_id, domain, scope), 0)
+        seen_attempts, seen_hits = totals[scope]
+        totals[scope] = (seen_attempts + attempts, seen_hits + hits)
+        if hits == 0:
+            continue
+        pooled_attempts, pooled_hits = hitting[(scope, domain)]
+        hitting[(scope, domain)] = (pooled_attempts + attempts,
+                                    pooled_hits + hits)
+    per_prefix: dict[Prefix, list[float]] = defaultdict(list)
+    for (prefix, _domain), (attempts, hits) in hitting.items():
+        per_prefix[prefix].append(hits / attempts)
+    scores = []
+    for prefix, rates in per_prefix.items():
+        total_attempts, total_hits = totals[prefix]
+        if total_hits == 0:
+            continue  # not an active prefix
+        scores.append(PrefixActivityScore(
+            prefix=prefix, score=sum(rates) / len(rates),
+            attempts=total_attempts, hits=total_hits,
+        ))
+    scores.sort(key=lambda s: (-s.score, s.prefix))
+    return scores
+
+
+@dataclass(frozen=True, slots=True)
+class RegionAsActivity:
+    """Chromium activity aggregated at ⟨country, AS⟩."""
+
+    country: str
+    asn: int
+    probe_count: int
+    active_prefixes: tuple[Prefix, ...]
+
+    def per_prefix_weight(self) -> float:
+        """Probe mass per active prefix in this cell."""
+        if not self.active_prefixes:
+            return 0.0
+        return self.probe_count / len(self.active_prefixes)
+
+
+def combine_by_region_asn(
+    world: World,
+    cache_result: CacheProbingResult,
+    logs_result: DnsLogsResult,
+) -> list[RegionAsActivity]:
+    """§6's geolocation join of the two techniques.
+
+    Resolver activity (Chromium probe counts) lands in the resolver's
+    ⟨country, AS⟩ cell; the cell's active prefixes come from cache
+    probing.  Cells whose resolver cannot be geolocated, or that have
+    no active prefixes, are kept with an empty prefix tuple so callers
+    can see the unattributable mass.
+    """
+    # Aggregate resolver counts into cells.
+    cell_counts: dict[tuple[str, int], int] = defaultdict(int)
+    for resolver_ip, count in logs_result.resolver_counts.items():
+        asn = world.routes.origin_of_address(resolver_ip)
+        if asn is None:
+            continue
+        entry = world.geodb.locate_address(resolver_ip)
+        country = entry.country if entry is not None else "??"
+        cell_counts[(country, asn)] += count
+    # Attribute each active prefix to its cell; a scope spanning
+    # several announcements is split over its /24s' origins.
+    cell_prefixes: dict[tuple[str, int], list[Prefix]] = defaultdict(list)
+
+    def attribute(prefix: Prefix, asn: int) -> None:
+        """Record the prefix in its geolocated cell."""
+        entry = world.geodb.locate_prefix(prefix)
+        country = entry.country if entry is not None else "??"
+        cell_prefixes[(country, asn)].append(prefix)
+
+    for prefix in cache_result.active_prefix_set():
+        asn = world.routes.origin_of_prefix(prefix)
+        if asn is not None:
+            attribute(prefix, asn)
+            continue
+        for sub in prefix.slash24s():
+            sub_asn = world.routes.origin_of_prefix(sub)
+            if sub_asn is not None:
+                attribute(sub, sub_asn)
+    cells = []
+    for (country, asn), count in cell_counts.items():
+        cells.append(RegionAsActivity(
+            country=country,
+            asn=asn,
+            probe_count=count,
+            active_prefixes=tuple(sorted(cell_prefixes.get((country, asn),
+                                                           ()))),
+        ))
+    cells.sort(key=lambda c: -c.probe_count)
+    return cells
+
+
+def prefix_activity_estimates(
+    cells: list[RegionAsActivity],
+) -> dict[Prefix, float]:
+    """Flatten the joined cells into per-prefix activity estimates."""
+    estimates: dict[Prefix, float] = {}
+    for cell in cells:
+        weight = cell.per_prefix_weight()
+        for prefix in cell.active_prefixes:
+            estimates[prefix] = estimates.get(prefix, 0.0) + weight
+    return estimates
+
+
+def rank_correlation(
+    scores: dict[Prefix, float],
+    truth: dict[Prefix, float],
+) -> float:
+    """Spearman rank correlation over the common prefixes.
+
+    Validates a ranking against ground truth the paper could not see;
+    returns NaN-free 0.0 when fewer than 3 prefixes overlap.
+    """
+    common = sorted(set(scores) & set(truth))
+    if len(common) < 3:
+        return 0.0
+    from scipy.stats import spearmanr
+
+    rho, _ = spearmanr([scores[p] for p in common],
+                       [truth[p] for p in common])
+    return float(rho)

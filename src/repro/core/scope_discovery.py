@@ -1,0 +1,121 @@
+"""Stage 1 of cache probing: learning authoritative ECS scopes.
+
+§3.1.1: rather than probing Google for all ~15.5M public /24s, the
+paper first queries each domain's *authoritative* directly across the
+address space and records the response scopes.  Where the authoritative
+answers a /24 query with a less specific scope (say /16), one Google
+probe for the /16 stands in for 256 per-/24 probes.  The discovered
+scopes become the query scopes used against Google Public DNS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.prefix import Prefix
+from repro.net.routing import RouteTable
+from repro.dns.authoritative import AuthoritativeServer
+from repro.dns.message import DnsQuery, EcsOption, Transport
+from repro.world.model import DomainSpec
+
+
+@dataclass(slots=True)
+class ScopePlan:
+    """The probing plan for one domain: the query scopes to send."""
+
+    domain: DomainSpec
+    query_scopes: list[Prefix]
+    authoritative_queries: int
+    slash24s_covered: int
+
+    @property
+    def probes_saved(self) -> int:
+        """How many per-/24 probes the scope reduction avoids."""
+        return self.slash24s_covered - len(self.query_scopes)
+
+
+def discover_scopes(
+    domain: DomainSpec,
+    server: AuthoritativeServer,
+    routes: RouteTable,
+    prober_ip: int = 0x0B0B0B0B,
+) -> ScopePlan:
+    """Scan the routed address space for ``domain``'s response scopes.
+
+    Walks routed /24s in address order; each authoritative answer's
+    scope covers a run of subsequent /24s that need no query of their
+    own.  Domains without ECS support yield an empty plan — there is
+    nothing to cache-probe per prefix.
+    """
+    if not domain.supports_ecs:
+        return ScopePlan(domain=domain, query_scopes=[],
+                         authoritative_queries=0, slash24s_covered=0)
+    slash24_ids = sorted(set(routes.routed_slash24_ids()))
+    scopes: list[Prefix] = []
+    queries = 0
+    skip_until = -1
+    for block_id in slash24_ids:
+        if block_id <= skip_until:
+            continue
+        target = Prefix(block_id << 8, 24)
+        response = server.query(DnsQuery(
+            name=domain.name,
+            recursion_desired=False,
+            ecs=EcsOption(prefix=target),
+            source_ip=prober_ip,
+            transport=Transport.UDP,
+        ))
+        queries += 1
+        if not response.has_answer or response.ecs is None:
+            continue
+        scope_length = response.ecs.scope_length
+        if scope_length is None:
+            continue
+        scope = Prefix.from_address(target.network, min(scope_length, 24))
+        scopes.append(scope)
+        # Every /24 inside the returned scope is covered by this entry.
+        skip_until = (scope.last_address() >> 8)
+    return ScopePlan(
+        domain=domain,
+        query_scopes=scopes,
+        authoritative_queries=queries,
+        slash24s_covered=len(slash24_ids),
+    )
+
+
+@dataclass(slots=True)
+class DiscoveryResult:
+    """Scope plans for every probe domain."""
+
+    plans: dict[str, ScopePlan] = field(default_factory=dict)
+
+    def add(self, plan: ScopePlan) -> None:
+        """Register a domain's plan."""
+        self.plans[str(plan.domain.name)] = plan
+
+    def plan_for(self, domain_name: str) -> ScopePlan:
+        """The plan for the named domain."""
+        return self.plans[domain_name]
+
+    def total_queries(self) -> int:
+        """Authoritative queries spent across all plans."""
+        return sum(p.authoritative_queries for p in self.plans.values())
+
+    def total_query_scopes(self) -> int:
+        """Query scopes produced across all plans."""
+        return sum(len(p.query_scopes) for p in self.plans.values())
+
+
+def discover_all(
+    domains: list[DomainSpec],
+    servers: dict[str, AuthoritativeServer],
+    routes: RouteTable,
+) -> DiscoveryResult:
+    """Run scope discovery for each probe domain."""
+    result = DiscoveryResult()
+    for domain in domains:
+        server = servers.get(domain.operator)
+        if server is None:
+            raise KeyError(f"no authoritative for operator {domain.operator!r}")
+        result.add(discover_scopes(domain, server, routes))
+    return result

@@ -1,0 +1,96 @@
+"""DNS substrate: names, messages, scope-aware caches, authoritative
+servers with ECS policies, the anycast public resolver, recursive
+resolvers, root servers with DITL trace capture, and Chromium client
+behaviour."""
+
+from repro.dns.anycast import AnycastCatchment, PoP
+from repro.dns.authoritative import (
+    AuthoritativeServer,
+    FixedScopePolicy,
+    RegionalScopePolicy,
+    ScopePolicy,
+    UnstableScopePolicy,
+    Zone,
+)
+from repro.dns.cache import CacheHit, DnsCache
+from repro.dns.chromium_client import (
+    BrowserProfile,
+    chromium_probe_names,
+    leaked_label,
+    random_probe_label,
+    sample_probe_event_count,
+)
+from repro.dns.message import (
+    DnsQuery,
+    DnsResponse,
+    EcsOption,
+    QueryLog,
+    QueryLogEntry,
+    Rcode,
+    RecordType,
+    ResourceRecord,
+    Transport,
+)
+from repro.dns.name import DnsName, looks_like_chromium_probe
+from repro.dns.presentation import format_query, format_response
+from repro.dns.public_dns import (
+    AuthoritativeDirectory,
+    ProbeOutcome,
+    PublicDnsService,
+)
+from repro.dns.ratelimit import KeyedRateLimiter, TokenBucket
+from repro.dns.resolver import RecursiveResolver, ResolverConfig
+from repro.dns.root import ROOT_LETTERS, TRACED_LETTERS, RootServerSystem
+from repro.dns.wire import (
+    WireError,
+    decode_query,
+    decode_response,
+    encode_query,
+    encode_response,
+)
+
+__all__ = [
+    "ROOT_LETTERS",
+    "TRACED_LETTERS",
+    "AnycastCatchment",
+    "AuthoritativeDirectory",
+    "AuthoritativeServer",
+    "BrowserProfile",
+    "CacheHit",
+    "DnsCache",
+    "DnsName",
+    "DnsQuery",
+    "DnsResponse",
+    "EcsOption",
+    "FixedScopePolicy",
+    "KeyedRateLimiter",
+    "PoP",
+    "ProbeOutcome",
+    "PublicDnsService",
+    "QueryLog",
+    "QueryLogEntry",
+    "Rcode",
+    "RecordType",
+    "RecursiveResolver",
+    "RegionalScopePolicy",
+    "ResolverConfig",
+    "ResourceRecord",
+    "RootServerSystem",
+    "ScopePolicy",
+    "TokenBucket",
+    "Transport",
+    "UnstableScopePolicy",
+    "WireError",
+    "Zone",
+    "chromium_probe_names",
+    "decode_query",
+    "decode_response",
+    "encode_query",
+    "encode_response",
+    "format_query",
+    "format_response",
+    "leaked_label",
+    "looks_like_chromium_probe",
+    "random_probe_label",
+    "sample_probe_event_count",
+]

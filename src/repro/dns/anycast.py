@@ -1,0 +1,116 @@
+"""Anycast catchment model.
+
+Google Public DNS fronts its PoPs with one anycast address; BGP decides
+which PoP a client reaches.  The paper leans on two properties: anycast
+*mostly* routes clients to a nearby PoP [23], but *not always* [8, 21,
+24].  We model catchment as distance-ranked with deterministic,
+per-client "path inflation": most clients land on their nearest active
+PoP, a configurable fraction on the 2nd/3rd/… nearest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+from repro.net.geo import GeoPoint
+
+
+@dataclass(frozen=True, slots=True)
+class PoP:
+    """One anycast point of presence."""
+
+    pop_id: str
+    location: GeoPoint
+    city: str = ""
+    country: str = ""
+    active: bool = True
+
+
+class AnycastCatchment:
+    """Deterministic client→PoP mapping with tunable inflation.
+
+    ``inflation`` is the probability that a client skips its nearest
+    active PoP for the next one (applied repeatedly, geometrically).
+    With ``inflation=0`` the catchment is a nearest-PoP oracle — the
+    ablation benchmark compares the two.
+    """
+
+    def __init__(
+        self,
+        pops: list[PoP],
+        seed: int = 0,
+        inflation: float = 0.15,
+        max_rank: int = 3,
+    ) -> None:
+        if not pops:
+            raise ValueError("catchment needs at least one PoP")
+        if not 0.0 <= inflation < 1.0:
+            raise ValueError(f"inflation {inflation} out of [0, 1)")
+        if max_rank < 1:
+            raise ValueError("max_rank must be >= 1")
+        self._pops = list(pops)
+        self._seed = seed
+        self._inflation = inflation
+        self._max_rank = max_rank
+        if not any(p.active for p in self._pops):
+            raise ValueError("catchment needs at least one active PoP")
+        # BGP decisions are sticky, so both the distance ranking per
+        # location and the final per-client choice are memoised: the
+        # activity simulator calls pop_for millions of times for a
+        # bounded set of (block location, /24) pairs.
+        self._ranked_cache: dict[tuple[float, float], list[PoP]] = {}
+        self._choice_cache: dict[tuple[float, float, int], PoP] = {}
+
+    @property
+    def pops(self) -> list[PoP]:
+        """All PoPs, active or not."""
+        return list(self._pops)
+
+    def active_pops(self) -> list[PoP]:
+        """PoPs currently serving traffic."""
+        return [p for p in self._pops if p.active]
+
+    def ranked(self, location: GeoPoint) -> list[PoP]:
+        """Active PoPs sorted by distance from ``location``."""
+        key = (location.lat, location.lon)
+        cached = self._ranked_cache.get(key)
+        if cached is None:
+            cached = sorted(
+                self.active_pops(),
+                key=lambda p: (location.distance_km(p.location), p.pop_id),
+            )
+            self._ranked_cache[key] = cached
+        return cached
+
+    def pop_for(self, location: GeoPoint, client_key: int = 0) -> PoP:
+        """The PoP anycast routes a client at ``location`` to.
+
+        ``client_key`` distinguishes clients at the same location (e.g.
+        the /24 id); the choice is a pure function of (seed, location,
+        client_key), so a client always reaches the same PoP — BGP is
+        sticky on these timescales.
+        """
+        cache_key = (location.lat, location.lon, client_key)
+        cached = self._choice_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        ranked = self.ranked(location)
+        rank = 0
+        rng = self._client_rng(location, client_key)
+        while (
+            rank < min(self._max_rank - 1, len(ranked) - 1)
+            and rng.random() < self._inflation
+        ):
+            rank += 1
+        chosen = ranked[rank]
+        self._choice_cache[cache_key] = chosen
+        return chosen
+
+    def _client_rng(self, location: GeoPoint, client_key: int) -> random.Random:
+        digest = hashlib.blake2b(
+            f"{self._seed}:{location.lat:.4f}:{location.lon:.4f}:{client_key}".encode(),
+            digest_size=8,
+        ).digest()
+        return random.Random(int.from_bytes(digest, "big"))

@@ -1,0 +1,220 @@
+"""Authoritative DNS servers with EDNS0 Client Subnet policies.
+
+The probe-target domains (Google, YouTube, Facebook, Wikipedia, the
+Microsoft CDN domain) differ in whether they support ECS, what TTLs
+they serve, and — crucially for the scope-reduction technique of
+§3.1.1 and the Table 2/5 results — what *scope* they assign to
+responses for different parts of the address space (§B.4: Wikipedia
+answers /16–/18, the others /20–/24).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.net.prefix import Prefix
+from repro.net.trie import PrefixTrie
+from repro.dns.message import (
+    DnsQuery,
+    DnsResponse,
+    EcsOption,
+    QueryLog,
+    QueryLogEntry,
+    Rcode,
+    RecordType,
+    ResourceRecord,
+    nxdomain,
+)
+from repro.dns.name import DnsName
+from repro.sim.clock import Clock
+
+
+class ScopePolicy:
+    """Maps a query's ECS prefix to the response scope length."""
+
+    def scope_for(self, query_prefix: Prefix) -> int:
+        """Response scope length for a query's ECS prefix."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class FixedScopePolicy(ScopePolicy):
+    """Always the same scope length."""
+
+    length: int
+
+    def scope_for(self, query_prefix: Prefix) -> int:
+        """Response scope length for a query's ECS prefix."""
+        return self.length
+
+
+class RegionalScopePolicy(ScopePolicy):
+    """Scope length varies by region of the address space.
+
+    Built from ``(prefix, scope_length)`` rules with longest-prefix-
+    match semantics and a default, which mirrors how CDNs assign
+    coarser scopes where their mapping is coarse.
+    """
+
+    def __init__(
+        self,
+        default_length: int,
+        rules: list[tuple[Prefix, int]] | None = None,
+    ) -> None:
+        if not 0 <= default_length <= 32:
+            raise ValueError(f"scope {default_length} out of range")
+        self._default = default_length
+        self._trie: PrefixTrie[int] = PrefixTrie()
+        for prefix, length in rules or []:
+            if not 0 <= length <= 32:
+                raise ValueError(f"scope {length} out of range")
+            self._trie.insert(prefix, length)
+
+    def scope_for(self, query_prefix: Prefix) -> int:
+        """Response scope length for a query's ECS prefix."""
+        found = self._trie.lookup(query_prefix.network)
+        return self._default if found is None else found
+
+    @classmethod
+    def random(
+        cls,
+        rng: random.Random,
+        scope_choices: tuple[int, ...],
+        region_count: int = 64,
+        region_length: int = 8,
+    ) -> "RegionalScopePolicy":
+        """A random regional policy: ``region_count`` regions of size
+        /``region_length`` each pick a scope from ``scope_choices``."""
+        default = rng.choice(scope_choices)
+        rules = []
+        for _ in range(region_count):
+            network = rng.randrange(1 << region_length) << (32 - region_length)
+            rules.append(
+                (Prefix(network, region_length), rng.choice(scope_choices))
+            )
+        return cls(default, rules)
+
+
+class UnstableScopePolicy(ScopePolicy):
+    """Wrapper that occasionally perturbs the scope.
+
+    Models the ~10% of cache hits in Table 2 where the response scope
+    differs from the query scope because the authoritative's answer
+    shifted between the discovery scan and the probe.
+    """
+
+    def __init__(
+        self,
+        base: ScopePolicy,
+        rng: random.Random,
+        flip_probability: float = 0.1,
+        max_shift: int = 4,
+    ) -> None:
+        if not 0.0 <= flip_probability <= 1.0:
+            raise ValueError(f"bad probability {flip_probability}")
+        if max_shift < 1:
+            raise ValueError("max_shift must be >= 1")
+        self._base = base
+        self._rng = rng
+        self._flip = flip_probability
+        self._max_shift = max_shift
+
+    def scope_for(self, query_prefix: Prefix) -> int:
+        """Response scope length for a query's ECS prefix."""
+        scope = self._base.scope_for(query_prefix)
+        if self._rng.random() < self._flip:
+            # Mostly small shifts (97% of hits are within 2 in Table 2).
+            shift = min(self._max_shift, max(1, int(self._rng.expovariate(0.9)) + 1))
+            if self._rng.random() < 0.5:
+                shift = -shift
+            scope = max(0, min(32, scope + shift))
+        return scope
+
+
+@dataclass(slots=True)
+class Zone:
+    """One served domain."""
+
+    name: DnsName
+    ttl: float
+    supports_ecs: bool
+    scope_policy: ScopePolicy = field(default_factory=lambda: FixedScopePolicy(24))
+    rtype: RecordType = RecordType.A
+
+    def __post_init__(self) -> None:
+        if self.ttl <= 0:
+            raise ValueError(f"zone TTL must be positive, got {self.ttl}")
+
+
+class AuthoritativeServer:
+    """Serves one or more zones, applying each zone's ECS policy.
+
+    Keeps a query log so a zone operator's view (the paper's
+    "we operate the authoritative resolver" validation and the Traffic
+    Manager ECS dataset) can be reconstructed.
+    """
+
+    def __init__(self, clock: Clock, zones: list[Zone] | None = None) -> None:
+        self._clock = clock
+        self._zones: dict[DnsName, Zone] = {}
+        self.log = QueryLog()
+        for zone in zones or []:
+            self.add_zone(zone)
+
+    def add_zone(self, zone: Zone) -> None:
+        """Serve another zone; duplicate names are rejected."""
+        if zone.name in self._zones:
+            raise ValueError(f"duplicate zone {zone.name}")
+        self._zones[zone.name] = zone
+
+    def zone_for(self, name: DnsName) -> Zone | None:
+        """The zone serving exactly this name, or None."""
+        return self._zones.get(name)
+
+    def serves(self, name: DnsName) -> bool:
+        """Whether this server is authoritative for the name."""
+        return name in self._zones
+
+    def query(self, query: DnsQuery) -> DnsResponse:
+        """Answer ``query`` authoritatively."""
+        zone = self._zones.get(query.name)
+        response = self._answer(query, zone)
+        self.log.append(
+            QueryLogEntry(
+                timestamp=self._clock.now,
+                source_ip=query.source_ip,
+                name=query.name,
+                rtype=query.rtype,
+                rcode=response.rcode,
+                ecs=query.ecs,
+            )
+        )
+        return response
+
+    def _answer(self, query: DnsQuery, zone: Zone | None) -> DnsResponse:
+        if zone is None or query.rtype is not zone.rtype:
+            return nxdomain()
+        ecs_response: EcsOption | None = None
+        answer_tag = "global"
+        if zone.supports_ecs and query.ecs is not None:
+            scope_length = zone.scope_policy.scope_for(query.ecs.prefix)
+            scope_prefix = Prefix.from_address(
+                query.ecs.prefix.network, min(scope_length, 32)
+            )
+            ecs_response = EcsOption(
+                prefix=query.ecs.prefix, scope_length=scope_prefix.length
+            )
+            answer_tag = str(scope_prefix)
+        record = ResourceRecord(
+            name=query.name,
+            rtype=zone.rtype,
+            ttl=zone.ttl,
+            data=f"{query.name}@{answer_tag}",
+        )
+        return DnsResponse(
+            rcode=Rcode.NOERROR,
+            answers=(record,),
+            ecs=ecs_response,
+            authoritative=True,
+        )

@@ -1,0 +1,174 @@
+"""ECS-aware DNS cache.
+
+Implements the caching behaviour that makes the paper's cache-probing
+technique work (RFC 7871 §7.3.1, plus what the authors verified about
+Google Public DNS):
+
+* per ``(name, rtype)`` the cache holds separate entries per *scope
+  prefix* returned by the authoritative;
+* a query with an ECS prefix is answered from the entry whose scope
+  prefix contains the whole query prefix (longest such scope wins);
+* a scope-0 entry answers every query, reported with return scope 0 —
+  the paper discards those as evidence (§3.1.1);
+* entries expire after their record TTL; a hit reports the remaining
+  TTL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.prefix import ANY_PREFIX, Prefix
+from repro.net.trie import PrefixTrie
+from repro.dns.message import RecordType, ResourceRecord
+from repro.dns.name import DnsName
+from repro.sim.clock import Clock
+
+
+@dataclass(slots=True)
+class CacheEntry:
+    """A cached answer for one scope prefix."""
+
+    record: ResourceRecord
+    scope: Prefix
+    stored_at: float
+
+    def expires_at(self) -> float:
+        """Absolute expiry time of the entry."""
+        return self.stored_at + self.record.ttl
+
+    def is_fresh(self, now: float) -> bool:
+        """Whether the entry is unexpired at time now."""
+        return now < self.expires_at()
+
+    def remaining_ttl(self, now: float) -> float:
+        """Seconds of freshness left at time now."""
+        return max(0.0, self.expires_at() - now)
+
+
+@dataclass(frozen=True, slots=True)
+class CacheHit:
+    """Result of a successful cache lookup."""
+
+    record: ResourceRecord
+    scope: Prefix
+    remaining_ttl: float
+
+    @property
+    def scope_length(self) -> int:
+        """Prefix length of the matched scope."""
+        return self.scope.length
+
+
+class DnsCache:
+    """One independent cache pool (Google runs several per PoP)."""
+
+    def __init__(self, clock: Clock) -> None:
+        self._clock = clock
+        self._entries: dict[tuple[DnsName, RecordType], PrefixTrie[CacheEntry]] = {}
+        self._stores = 0
+        self._hits = 0
+        self._misses = 0
+
+    # -- store -------------------------------------------------------------
+
+    def store(
+        self,
+        record: ResourceRecord,
+        scope: Prefix = ANY_PREFIX,
+    ) -> None:
+        """Cache ``record`` for clients within ``scope``.
+
+        A scope of /0 (the default) models a non-ECS answer valid for
+        the whole address space.
+        """
+        key = (record.name, record.rtype)
+        trie = self._entries.get(key)
+        if trie is None:
+            trie = PrefixTrie()
+            self._entries[key] = trie
+        trie.insert(
+            scope,
+            CacheEntry(record=record, scope=scope, stored_at=self._clock.now),
+        )
+        self._stores += 1
+
+    # -- lookup ------------------------------------------------------------
+
+    def lookup(
+        self,
+        name: DnsName,
+        rtype: RecordType,
+        client_prefix: Prefix = ANY_PREFIX,
+    ) -> CacheHit | None:
+        """Find the freshest entry whose scope covers ``client_prefix``.
+
+        The longest covering scope wins, matching resolver behaviour of
+        preferring the most client-specific answer.  Expired entries
+        never match but remain until purged (lazy expiry).
+        """
+        trie = self._entries.get((name, rtype))
+        if trie is None:
+            self._misses += 1
+            return None
+        now = self._clock.now
+        best: CacheEntry | None = None
+        # Walk covering scopes from the root down; the deepest fresh one
+        # wins.  lookup_prefix only returns one value, so walk manually
+        # over all covering entries.
+        node_entries = self._covering_entries(trie, client_prefix)
+        for entry in node_entries:
+            if entry.is_fresh(now) and (
+                best is None or entry.scope.length > best.scope.length
+            ):
+                best = entry
+        if best is None:
+            self._misses += 1
+            return None
+        self._hits += 1
+        return CacheHit(
+            record=best.record,
+            scope=best.scope,
+            remaining_ttl=best.remaining_ttl(now),
+        )
+
+    @staticmethod
+    def _covering_entries(
+        trie: PrefixTrie[CacheEntry], client_prefix: Prefix
+    ) -> list[CacheEntry]:
+        return [entry for _, entry in trie.covering_items(client_prefix)]
+
+    # -- maintenance -------------------------------------------------------
+
+    def purge_expired(self) -> int:
+        """Drop expired entries; returns how many were removed."""
+        now = self._clock.now
+        removed = 0
+        for key in list(self._entries):
+            trie = self._entries[key]
+            fresh = PrefixTrie()
+            for scope, entry in trie.items():
+                if entry.is_fresh(now):
+                    fresh.insert(scope, entry)
+                else:
+                    removed += 1
+            if fresh:
+                self._entries[key] = fresh
+            else:
+                del self._entries[key]
+        return removed
+
+    # -- stats -------------------------------------------------------------
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Store/hit/miss counters."""
+        return {
+            "stores": self._stores,
+            "hits": self._hits,
+            "misses": self._misses,
+        }
+
+    def entry_count(self) -> int:
+        """Number of cached entries (including expired)."""
+        return sum(len(trie) for trie in self._entries.values())

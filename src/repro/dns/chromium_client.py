@@ -1,0 +1,101 @@
+"""Chromium browser DNS behaviour, and the other traffic that reaches
+the root servers.
+
+Chromium-based browsers detect DNS interception by resolving three
+random single labels of 7–15 lowercase letters at startup and whenever
+the host's IP address or DNS configuration changes [35].  Because the
+labels have no valid TLD, recursive resolvers cannot answer from cache
+and forward them to a root.  §3.2 counts these probes per resolver as
+an activity signal.
+
+Roots also receive plenty of *other* junk the classifier must not
+confuse with Chromium probes: leaked single-label hostnames ("wpad",
+"belkin", printer names), user typos, and ordinary cold-cache lookups
+for real domains.  Generators for those live here too.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass
+
+from repro.dns.name import DnsName
+
+PROBES_PER_EVENT = 3
+PROBE_MIN_LEN = 7
+PROBE_MAX_LEN = 15
+
+#: Single-label names that leak to the root from misconfigured gear.
+#: These repeat massively — which is what the collision threshold keys on.
+COMMON_LEAKED_LABELS = (
+    "wpad", "local", "belkin", "home", "lan", "localdomain", "corp",
+    "internal", "workgroup", "dlinkrouter", "localhost", "router",
+    "gateway", "openstacklocal", "domain", "intranet",
+)
+
+#: Frequent user typo/search fragments that arrive as single labels.
+COMMON_TYPO_LABELS = (
+    "youtube", "facebook", "google", "wikipedia", "columbia", "amazon",
+    "netflix", "weather", "maps", "translate", "gmail", "twitter",
+)
+
+
+def random_probe_label(rng: random.Random) -> str:
+    """One Chromium probe label: 7–15 random lowercase letters."""
+    length = rng.randint(PROBE_MIN_LEN, PROBE_MAX_LEN)
+    return "".join(rng.choice(string.ascii_lowercase) for _ in range(length))
+
+
+def chromium_probe_names(rng: random.Random) -> list[DnsName]:
+    """The three probe names one browser event emits."""
+    return [
+        DnsName((random_probe_label(rng),)) for _ in range(PROBES_PER_EVENT)
+    ]
+
+
+@dataclass(frozen=True, slots=True)
+class BrowserProfile:
+    """How often a user's browser emits probe events.
+
+    ``startups_per_day`` covers launches; ``network_changes_per_day``
+    covers IP/DNS configuration changes (laptops roaming, DHCP renews).
+    """
+
+    startups_per_day: float = 2.0
+    network_changes_per_day: float = 1.0
+
+    def events_per_day(self) -> float:
+        """Expected probe events per user per day."""
+        return self.startups_per_day + self.network_changes_per_day
+
+
+def sample_probe_event_count(
+    profile: BrowserProfile, days: float, rng: random.Random
+) -> int:
+    """How many probe events a user generates over ``days`` days.
+
+    Poisson-distributed around the profile's expected rate (drawn via
+    inverse-ish sampling on random.Random to stay numpy-free here).
+    """
+    if days < 0:
+        raise ValueError("days must be non-negative")
+    expected = profile.events_per_day() * days
+    # Knuth's algorithm is fine for the small means used here.
+    if expected <= 0:
+        return 0
+    import math
+
+    limit = math.exp(-min(expected, 700.0))
+    count = 0
+    product = rng.random()
+    while product > limit:
+        count += 1
+        product *= rng.random()
+    return count
+
+
+def leaked_label(rng: random.Random) -> DnsName:
+    """A non-Chromium single-label query (leak or typo)."""
+    pool = COMMON_LEAKED_LABELS if rng.random() < 0.7 else COMMON_TYPO_LABELS
+    return DnsName((rng.choice(pool),))

@@ -1,0 +1,169 @@
+"""DNS message model.
+
+Queries and responses are modelled at the semantic level (no wire
+format): what matters to the paper's techniques are the recursion
+desired flag, the EDNS0 Client Subnet option (RFC 7871), TTLs, and the
+response's *scope* prefix length.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.net.ipv4 import check_address
+from repro.net.prefix import Prefix
+from repro.dns.name import DnsName
+
+
+class RecordType(enum.Enum):
+    """DNS record types the model supports."""
+    A = "A"
+    AAAA = "AAAA"
+    NS = "NS"
+    TXT = "TXT"
+    CNAME = "CNAME"
+
+
+class Rcode(enum.Enum):
+    """DNS response codes the model uses."""
+    NOERROR = 0
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    REFUSED = 5
+
+
+class Transport(enum.Enum):
+    """Query transport (UDP or TCP)."""
+    UDP = "udp"
+    TCP = "tcp"
+
+
+@dataclass(frozen=True, slots=True)
+class EcsOption:
+    """EDNS0 Client Subnet option.
+
+    In a query, ``prefix`` is the client subnet with ``prefix.length``
+    as the *source prefix length*.  In a response, ``scope_length`` is
+    the *scope prefix length* the authoritative assigned — the
+    granularity at which the answer may be cached and reused.  A scope
+    of 0 means the answer is valid for every client.
+    """
+
+    prefix: Prefix
+    scope_length: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.scope_length is not None and not 0 <= self.scope_length <= 32:
+            raise ValueError(f"scope length {self.scope_length} out of range")
+
+    def scope_prefix(self) -> Prefix:
+        """The response's effective scope as a prefix (requires scope)."""
+        if self.scope_length is None:
+            raise ValueError("ECS option carries no scope (query-side option?)")
+        return Prefix.from_address(self.prefix.network, self.scope_length)
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceRecord:
+    """One answer record."""
+
+    name: DnsName
+    rtype: RecordType
+    ttl: float
+    data: str
+
+    def __post_init__(self) -> None:
+        if self.ttl < 0:
+            raise ValueError(f"negative TTL {self.ttl}")
+
+
+@dataclass(frozen=True, slots=True)
+class DnsQuery:
+    """A DNS query as received by a server."""
+
+    name: DnsName
+    rtype: RecordType = RecordType.A
+    recursion_desired: bool = True
+    ecs: EcsOption | None = None
+    source_ip: int = 0
+    transport: Transport = Transport.UDP
+
+    def __post_init__(self) -> None:
+        check_address(self.source_ip)
+
+
+@dataclass(frozen=True, slots=True)
+class DnsResponse:
+    """A DNS response.
+
+    ``cache_hit`` is diagnostic metadata the real protocol does not
+    carry; the *observable* signal a prober relies on is "answers
+    present on an RD=0 query", which implies a cache hit.  ``ecs``
+    carries the response scope when the server applied ECS.
+    """
+
+    rcode: Rcode
+    answers: tuple[ResourceRecord, ...] = ()
+    ecs: EcsOption | None = None
+    cache_hit: bool = False
+    authoritative: bool = False
+
+    @property
+    def has_answer(self) -> bool:
+        """NOERROR with at least one answer record."""
+        return self.rcode is Rcode.NOERROR and bool(self.answers)
+
+    @property
+    def scope_length(self) -> int | None:
+        """The response's ECS scope length, if any."""
+        return None if self.ecs is None else self.ecs.scope_length
+
+
+def refused() -> DnsResponse:
+    """A REFUSED response (rate limiting)."""
+    return DnsResponse(rcode=Rcode.REFUSED)
+
+
+def nxdomain() -> DnsResponse:
+    """An NXDOMAIN response."""
+    return DnsResponse(rcode=Rcode.NXDOMAIN)
+
+
+def cache_miss() -> DnsResponse:
+    """What a resolver returns to an RD=0 query it cannot answer from
+    cache: NOERROR with an empty answer section."""
+    return DnsResponse(rcode=Rcode.NOERROR, answers=(), cache_hit=False)
+
+
+@dataclass(slots=True)
+class QueryLogEntry:
+    """One line of a server-side query trace (DITL-style)."""
+
+    timestamp: float
+    source_ip: int
+    name: DnsName
+    rtype: RecordType = RecordType.A
+    rcode: Rcode = Rcode.NOERROR
+    ecs: EcsOption | None = None
+
+
+@dataclass(slots=True)
+class QueryLog:
+    """An append-only query trace with simple filters."""
+
+    entries: list[QueryLogEntry] = field(default_factory=list)
+
+    def append(self, entry: QueryLogEntry) -> None:
+        """Append a trace entry."""
+        self.entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def between(self, start: float, end: float) -> list[QueryLogEntry]:
+        """Entries with ``start <= timestamp < end``."""
+        return [e for e in self.entries if start <= e.timestamp < end]

@@ -1,0 +1,101 @@
+"""DNS names.
+
+A :class:`DnsName` is a validated, case-normalised sequence of labels.
+The Chromium classifier (§3.2) cares about the *shape* of names —
+single random labels of 7–15 lowercase letters with no valid TLD — so
+this module also carries a TLD table and shape predicates.
+"""
+
+from __future__ import annotations
+
+import string
+from dataclasses import dataclass
+
+_LABEL_CHARS = set(string.ascii_lowercase + string.digits + "-_")
+
+#: A compact set of real TLDs; enough for the root servers to decide
+#: whether a query is for a delegated zone or gets NXDOMAIN.
+KNOWN_TLDS = frozenset(
+    """com net org edu gov mil int arpa io co uk de fr nl jp cn in br ru au
+    ca us es it se ch pl kr mx ar za id tr sa ng eg info biz tv me app dev
+    xyz online site cloud ai""".split()
+)
+
+
+class NameError_(ValueError):
+    """Raised for malformed DNS names."""
+
+
+@dataclass(frozen=True, slots=True)
+class DnsName:
+    """A fully-qualified DNS name (without the trailing root dot)."""
+
+    labels: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.labels:
+            raise NameError_("empty DNS name")
+        total = sum(len(label) + 1 for label in self.labels)
+        if total > 255:
+            raise NameError_(f"name too long ({total} bytes)")
+        for label in self.labels:
+            if not 1 <= len(label) <= 63:
+                raise NameError_(f"label length {len(label)} out of range")
+            if label != label.lower():
+                raise NameError_(f"label {label!r} not normalised to lowercase")
+            if set(label) - _LABEL_CHARS:
+                raise NameError_(f"label {label!r} has invalid characters")
+            if label.startswith("-") or label.endswith("-"):
+                raise NameError_(f"label {label!r} starts/ends with hyphen")
+
+    @classmethod
+    def parse(cls, text: str) -> "DnsName":
+        """Parse dotted name ``text`` (case-insensitive, trailing dot ok)."""
+        text = text.strip().rstrip(".")
+        if not text:
+            raise NameError_("empty DNS name")
+        return cls(tuple(label.lower() for label in text.split(".")))
+
+    @property
+    def tld(self) -> str:
+        """The rightmost label."""
+        return self.labels[-1]
+
+    def has_known_tld(self) -> bool:
+        """Whether the name ends in a delegated TLD (root would refer
+        rather than answer NXDOMAIN)."""
+        return self.tld in KNOWN_TLDS
+
+    def is_single_label(self) -> bool:
+        """Whether the name is one bare label."""
+        return len(self.labels) == 1
+
+    def parent(self) -> "DnsName":
+        """The name with its leftmost label removed."""
+        if len(self.labels) == 1:
+            raise NameError_(f"{self} has no parent below the root")
+        return DnsName(self.labels[1:])
+
+    def is_subdomain_of(self, other: "DnsName") -> bool:
+        """True if self equals ``other`` or sits beneath it."""
+        n = len(other.labels)
+        return len(self.labels) >= n and self.labels[-n:] == other.labels
+
+    def __str__(self) -> str:
+        return ".".join(self.labels)
+
+    def __repr__(self) -> str:
+        return f"DnsName({str(self)!r})"
+
+
+def looks_like_chromium_probe(name: DnsName) -> bool:
+    """Shape test for Chromium's DNS-interception probes.
+
+    Chromium queries a single random label of 7–15 lowercase ASCII
+    letters [35].  This predicate checks only the *shape*; the
+    classifier combines it with the per-day collision threshold.
+    """
+    if not name.is_single_label():
+        return False
+    label = name.labels[0]
+    return 7 <= len(label) <= 15 and all(c in string.ascii_lowercase for c in label)

@@ -1,0 +1,55 @@
+"""dig-style presentation of DNS messages.
+
+The paper's methodology is full of dig invocations
+(``dig @8.8.8.8 o-o.myaddr.l.google.com -t TXT``); debugging a prober
+wants the same familiar rendering for the messages the model passes
+around.
+"""
+
+from __future__ import annotations
+
+from repro.dns.message import DnsQuery, DnsResponse, Rcode
+
+
+def format_query(query: DnsQuery) -> str:
+    """Render a query the way dig prints its question section."""
+    lines = [";; QUESTION SECTION:",
+             f";{query.name}.\t\tIN\t{query.rtype.value}"]
+    flags = ["rd"] if query.recursion_desired else []
+    lines.insert(0, f";; flags: {' '.join(flags) or '(none)'}")
+    if query.ecs is not None:
+        lines.append(f";; CLIENT-SUBNET: {query.ecs.prefix}")
+    return "\n".join(lines)
+
+
+def format_response(response: DnsResponse, query: DnsQuery) -> str:
+    """Render a response the way dig prints an answer."""
+    status = response.rcode.name
+    flags = ["qr"]
+    if query.recursion_desired:
+        flags.append("rd")
+    if response.authoritative:
+        flags.append("aa")
+    lines = [
+        f";; ->>HEADER<<- status: {status}",
+        f";; flags: {' '.join(flags)}; ANSWER: {len(response.answers)}",
+        ";; QUESTION SECTION:",
+        f";{query.name}.\t\tIN\t{query.rtype.value}",
+    ]
+    if response.answers:
+        lines.append("")
+        lines.append(";; ANSWER SECTION:")
+        for record in response.answers:
+            lines.append(
+                f"{record.name}.\t{record.ttl:.0f}\tIN\t"
+                f"{record.rtype.value}\t{record.data}"
+            )
+    if response.ecs is not None and response.ecs.scope_length is not None:
+        lines.append("")
+        lines.append(
+            f";; CLIENT-SUBNET: {response.ecs.prefix} "
+            f"(scope /{response.ecs.scope_length})"
+        )
+    if response.rcode is Rcode.NOERROR and not response.answers:
+        lines.append(";; (empty answer — a cache miss on an RD=0 query)")
+    return "\n".join(lines)

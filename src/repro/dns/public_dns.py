@@ -1,0 +1,283 @@
+"""Model of Google Public DNS.
+
+The properties §3.1 relies on, all implemented here:
+
+* **anycast** — clients reach the PoP their BGP path selects
+  (:class:`~repro.dns.anycast.AnycastCatchment`);
+* **independent cache pools per PoP** — a query lands on one of several
+  pools at the PoP [31], which is why the prober sends 5 redundant
+  queries;
+* **ECS** — for whitelisted (ECS-supporting) domains the resolver
+  attaches the client's /24 — or, crucially, **a client-supplied ECS
+  prefix verbatim** — and caches per returned scope;
+* **non-recursive queries** are answered from cache only and never
+  trigger upstream fetches (verified by the authors and by [31]);
+* **rate limiting** — ~1,500 QPS per source over TCP, but a much lower
+  limit for repeated same-domain probing over UDP.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.net.geo import GeoPoint
+from repro.net.prefix import ANY_PREFIX, Prefix
+from repro.dns.anycast import AnycastCatchment, PoP
+from repro.dns.authoritative import AuthoritativeServer
+from repro.dns.cache import DnsCache
+from repro.dns.message import (
+    DnsQuery,
+    DnsResponse,
+    EcsOption,
+    Rcode,
+    Transport,
+    cache_miss,
+    nxdomain,
+    refused,
+)
+from repro.dns.name import DnsName
+from repro.dns.ratelimit import KeyedRateLimiter
+from repro.sim.clock import Clock
+
+#: Google truncates client subnets to /24 in outgoing ECS queries.
+ECS_SOURCE_LENGTH = 24
+
+#: Paper §3.1.1: the normal per-source limit is 1,500 QPS...
+TCP_QPS_LIMIT = 1500.0
+#: ...but repeated same-domain probing over UDP trips a far lower one.
+UDP_SAME_DOMAIN_QPS_LIMIT = 10.0
+
+#: RFC 8198 aggressive NSEC caching: the resolver synthesises NXDOMAIN
+#: for names in ranges the signed root zone has already proven empty,
+#: so only a small fraction of random-label queries ever reaches a
+#: root.  This is why Chromium probes in root traces attribute little
+#: volume to the public resolver's AS despite its query share (§B.3).
+ROOT_FORWARD_PROBABILITY = 0.05
+
+
+@dataclass(slots=True)
+class PopSite:
+    """One PoP's serving state: its cache pools and counters."""
+
+    pop: PoP
+    pools: list[DnsCache]
+    egress_ip: int = 0
+    queries_served: int = 0
+    cache_hits: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeOutcome:
+    """What a prober observes for one query: the response plus which
+    PoP served it (learnable in reality via o-o.myaddr.l.google.com)."""
+
+    response: DnsResponse
+    pop_id: str
+
+
+class AuthoritativeDirectory:
+    """Who is authoritative for which domain."""
+
+    def __init__(self, servers: list[AuthoritativeServer] | None = None) -> None:
+        self._servers = list(servers or [])
+
+    def add(self, server: AuthoritativeServer) -> None:
+        """Register another authoritative server."""
+        self._servers.append(server)
+
+    def find(self, name: DnsName) -> AuthoritativeServer | None:
+        """The server authoritative for the name, or None."""
+        for server in self._servers:
+            if server.serves(name):
+                return server
+        return None
+
+
+class PublicDnsService:
+    """The anycast public resolver (Google Public DNS stand-in)."""
+
+    def __init__(
+        self,
+        clock: Clock,
+        catchment: AnycastCatchment,
+        authoritatives: AuthoritativeDirectory,
+        seed: int = 0,
+        pools_per_pop: int = 3,
+        roots: "object | None" = None,
+        udp_qps_limit: float = UDP_SAME_DOMAIN_QPS_LIMIT,
+        tcp_qps_limit: float = TCP_QPS_LIMIT,
+        extra_catchments: "dict[str, AnycastCatchment] | None" = None,
+        root_forward_probability: float = ROOT_FORWARD_PROBABILITY,
+    ) -> None:
+        if pools_per_pop < 1:
+            raise ValueError("need at least one cache pool per PoP")
+        if not 0.0 <= root_forward_probability <= 1.0:
+            raise ValueError("root_forward_probability out of [0, 1]")
+        self._root_forward_probability = root_forward_probability
+        self._clock = clock
+        self._catchments: dict[str, AnycastCatchment] = {"user": catchment}
+        # Different client populations can see different anycast
+        # announcements: e.g. some PoPs are announced only to local ISPs
+        # and are unreachable from cloud vantage points (§A.1).
+        self._catchments.update(extra_catchments or {})
+        self._authoritatives = authoritatives
+        self._rng = random.Random(seed)
+        self._roots = roots  # duck-typed RootServerSystem, optional
+        self._sites: dict[str, PopSite] = {}
+        all_pops: dict[str, PoP] = {}
+        for extra in self._catchments.values():
+            for pop in extra.pops:
+                all_pops.setdefault(pop.pop_id, pop)
+        for index, pop in enumerate(sorted(all_pops.values(),
+                                           key=lambda p: p.pop_id)):
+            self._sites[pop.pop_id] = PopSite(
+                pop=pop,
+                pools=[DnsCache(clock) for _ in range(pools_per_pop)],
+                # Egress addresses live in the resolver operator's own
+                # space; a synthetic stand-in for 8.8.8.x per-PoP egress.
+                egress_ip=(0x08080000 | index),
+            )
+        self._udp_limiter = KeyedRateLimiter(
+            clock, rate=udp_qps_limit, capacity=max(1.0, udp_qps_limit)
+        )
+        self._tcp_limiter = KeyedRateLimiter(
+            clock, rate=tcp_qps_limit, capacity=tcp_qps_limit
+        )
+
+    # -- plumbing ---------------------------------------------------------
+
+    @property
+    def sites(self) -> dict[str, PopSite]:
+        """Per-PoP serving state, keyed by PoP id."""
+        return dict(self._sites)
+
+    def site(self, pop_id: str) -> PopSite:
+        """One PoP's serving state."""
+        return self._sites[pop_id]
+
+    def _route(
+        self, client_location: GeoPoint, client_key: int, via: str
+    ) -> PopSite:
+        catchment = self._catchments.get(via)
+        if catchment is None:
+            raise KeyError(f"unknown catchment {via!r}")
+        pop = catchment.pop_for(client_location, client_key)
+        return self._sites[pop.pop_id]
+
+    def _pick_pool(self, site: PopSite) -> DnsCache:
+        return self._rng.choice(site.pools)
+
+    def _rate_limit_ok(self, query: DnsQuery) -> bool:
+        if query.transport is Transport.TCP:
+            return self._tcp_limiter.allow(query.source_ip)
+        # UDP: per (source, qname) so that *repeated same-domain*
+        # probing trips the limit while normal lookups do not.
+        return self._udp_limiter.allow((query.source_ip, query.name))
+
+    # -- the resolver ---------------------------------------------------
+
+    def query(
+        self,
+        query: DnsQuery,
+        client_location: GeoPoint,
+        via: str = "user",
+    ) -> ProbeOutcome:
+        """Resolve ``query`` from a client at ``client_location``.
+
+        ``via`` names the catchment the client's network sees ("user"
+        for eyeballs; worlds add e.g. "cloud" for vantage points).
+        """
+        ecs_prefix = self._effective_ecs_prefix(query)
+        site = self._route(client_location, client_key=query.source_ip >> 8,
+                           via=via)
+        site.queries_served += 1
+        if not self._rate_limit_ok(query):
+            return ProbeOutcome(refused(), site.pop.pop_id)
+        pool = self._pick_pool(site)
+        hit = pool.lookup(query.name, query.rtype, ecs_prefix)
+        if hit is not None:
+            site.cache_hits += 1
+            response = DnsResponse(
+                rcode=Rcode.NOERROR,
+                answers=(hit.record,),
+                ecs=EcsOption(prefix=ecs_prefix, scope_length=hit.scope_length),
+                cache_hit=True,
+            )
+            return ProbeOutcome(response, site.pop.pop_id)
+        if not query.recursion_desired:
+            # RD=0 on a miss: answer from cache only, never fetch, never
+            # populate — the invariant cache probing depends on.
+            return ProbeOutcome(cache_miss(), site.pop.pop_id)
+        response = self._resolve_upstream(query, ecs_prefix, site, pool)
+        return ProbeOutcome(response, site.pop.pop_id)
+
+    def _effective_ecs_prefix(self, query: DnsQuery) -> Prefix:
+        """Client-supplied ECS wins; otherwise the client's /24."""
+        if query.ecs is not None:
+            return query.ecs.prefix
+        return Prefix.from_address(query.source_ip, ECS_SOURCE_LENGTH)
+
+    def _resolve_upstream(
+        self,
+        query: DnsQuery,
+        ecs_prefix: Prefix,
+        site: PopSite,
+        pool: DnsCache,
+    ) -> DnsResponse:
+        server = self._authoritatives.find(query.name)
+        if server is None:
+            # Nothing is authoritative.  Aggressive NSEC caching
+            # (RFC 8198) answers most junk names from proven-empty
+            # ranges; only a sliver of them reaches a root, sourced
+            # from this PoP's egress address.
+            if (self._roots is not None
+                    and self._rng.random() < self._root_forward_probability):
+                self._roots.query_from_resolver(
+                    resolver_ip=site.egress_ip, name=query.name, rtype=query.rtype
+                )
+            return nxdomain()
+        zone = server.zone_for(query.name)
+        upstream_ecs = None
+        if zone is not None and zone.supports_ecs:
+            upstream_ecs = EcsOption(
+                prefix=Prefix.from_address(ecs_prefix.network,
+                                           min(ecs_prefix.length, ECS_SOURCE_LENGTH))
+            )
+        upstream = DnsQuery(
+            name=query.name,
+            rtype=query.rtype,
+            recursion_desired=False,
+            ecs=upstream_ecs,
+            source_ip=site.egress_ip,
+            transport=Transport.UDP,
+        )
+        answer = server.query(upstream)
+        if not answer.has_answer:
+            return answer
+        record = answer.answers[0]
+        scope = ANY_PREFIX
+        if answer.ecs is not None and answer.ecs.scope_length is not None:
+            scope = Prefix.from_address(
+                ecs_prefix.network, answer.ecs.scope_length
+            )
+        pool.store(record, scope)
+        return DnsResponse(
+            rcode=Rcode.NOERROR,
+            answers=(record,),
+            ecs=EcsOption(prefix=ecs_prefix, scope_length=scope.length),
+            cache_hit=False,
+        )
+
+    # -- stats ------------------------------------------------------------
+
+    def total_queries(self) -> int:
+        """Queries served across all PoPs."""
+        return sum(site.queries_served for site in self._sites.values())
+
+    def hit_rate(self) -> float:
+        """Cache hits as a fraction of all queries."""
+        total = self.total_queries()
+        if total == 0:
+            return 0.0
+        return sum(s.cache_hits for s in self._sites.values()) / total

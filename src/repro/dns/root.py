@@ -1,0 +1,118 @@
+"""Root DNS servers and DITL-style trace capture.
+
+The DNS-logs technique (§3.2) crawls two days of root-server traces
+from DNS-OARC's *Day In The Life* (DITL) collection, looking for
+Chromium's interception-detection probes.  We model the 13 root
+letters, which of them publish complete un-anonymised traces (J, H, M,
+A, K and D in the 2020 DITL the paper processes), and the query log a
+collection window captures.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.dns.message import (
+    DnsResponse,
+    QueryLog,
+    QueryLogEntry,
+    Rcode,
+    RecordType,
+)
+from repro.dns.name import DnsName
+from repro.sim.clock import Clock
+
+ROOT_LETTERS = tuple("abcdefghijklm")
+
+#: Letters whose DITL traces are complete and un-anonymised (2020).
+TRACED_LETTERS = frozenset("jhmakd")
+
+
+@dataclass(slots=True)
+class RootServer:
+    """One root letter."""
+
+    letter: str
+    offers_traces: bool
+    log: QueryLog = field(default_factory=QueryLog)
+
+    def __post_init__(self) -> None:
+        if self.letter not in ROOT_LETTERS:
+            raise ValueError(f"unknown root letter {self.letter!r}")
+
+
+class RootServerSystem:
+    """The 13 root letters plus resolver→letter selection.
+
+    Real resolvers pick root letters by latency and rotate among them;
+    we model a per-resolver deterministic spread so a resolver's
+    queries land on a stable but resolver-specific subset, with the
+    trace-offering letters capturing their share.
+    """
+
+    def __init__(self, clock: Clock, seed: int = 0) -> None:
+        self._clock = clock
+        self._rng = random.Random(seed)
+        self.servers: dict[str, RootServer] = {
+            letter: RootServer(letter=letter, offers_traces=letter in TRACED_LETTERS)
+            for letter in ROOT_LETTERS
+        }
+
+    def query_from_resolver(
+        self,
+        resolver_ip: int,
+        name: DnsName,
+        rtype: RecordType = RecordType.A,
+    ) -> DnsResponse:
+        """A recursive resolver asks the root about ``name``.
+
+        Unknown TLDs get NXDOMAIN (the fate of Chromium probes); known
+        TLDs get a referral, modelled as an empty NOERROR.
+        """
+        letter = self._pick_letter(resolver_ip)
+        server = self.servers[letter]
+        rcode = Rcode.NOERROR if name.has_known_tld() else Rcode.NXDOMAIN
+        server.log.append(
+            QueryLogEntry(
+                timestamp=self._clock.now,
+                source_ip=resolver_ip,
+                name=name,
+                rtype=rtype,
+                rcode=rcode,
+            )
+        )
+        return DnsResponse(rcode=rcode)
+
+    def _pick_letter(self, resolver_ip: int) -> str:
+        """Resolver-specific rotation across a stable subset of letters."""
+        base = random.Random(resolver_ip).randrange(len(ROOT_LETTERS))
+        hop = self._rng.randrange(4)  # resolvers rotate among a few
+        return ROOT_LETTERS[(base + hop) % len(ROOT_LETTERS)]
+
+    # -- DITL collection ----------------------------------------------------
+
+    def ditl_traces(
+        self,
+        start: float,
+        end: float,
+        letters: frozenset[str] | None = None,
+    ) -> dict[str, list[QueryLogEntry]]:
+        """Traces for a collection window, per letter.
+
+        Only letters that publish complete un-anonymised traces are
+        returned — the analysis can never see the rest, exactly as with
+        the real DITL.
+        """
+        if end <= start:
+            raise ValueError("collection window must have positive length")
+        wanted = TRACED_LETTERS if letters is None else letters & TRACED_LETTERS
+        return {
+            letter: server.log.between(start, end)
+            for letter, server in self.servers.items()
+            if letter in wanted
+        }
+
+    def total_queries(self) -> int:
+        """Queries received across all 13 letters."""
+        return sum(len(s.log) for s in self.servers.values())

@@ -1,0 +1,380 @@
+"""DNS wire format (RFC 1035) with EDNS0 Client Subnet (RFC 7871).
+
+The simulator models DNS at the message level, but a production probing
+tool speaks packets.  This module encodes/decodes the subset the
+paper's pipelines need — queries and responses with A/TXT/NS/CNAME
+records and the OPT pseudo-RR carrying the ECS option — including name
+compression on both paths.
+
+``encode_query``/``decode_query`` and ``encode_response``/
+``decode_response`` round-trip the :mod:`repro.dns.message` model.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.net.ipv4 import format_ipv4, parse_ipv4
+from repro.net.prefix import Prefix
+from repro.dns.message import (
+    DnsQuery,
+    DnsResponse,
+    EcsOption,
+    Rcode,
+    RecordType,
+    ResourceRecord,
+)
+from repro.dns.name import DnsName, NameError_
+
+CLASS_IN = 1
+TYPE_OPT = 41
+OPTION_ECS = 8
+ECS_FAMILY_IPV4 = 1
+EDNS_UDP_SIZE = 4096
+
+_TYPE_CODES = {
+    RecordType.A: 1,
+    RecordType.NS: 2,
+    RecordType.CNAME: 5,
+    RecordType.TXT: 16,
+    RecordType.AAAA: 28,
+}
+_CODE_TYPES = {code: rtype for rtype, code in _TYPE_CODES.items()}
+
+
+class WireError(ValueError):
+    """Raised on malformed wire data."""
+
+
+# -- names -------------------------------------------------------------------
+
+def encode_name(name: DnsName, offsets: dict[DnsName, int],
+                position: int) -> bytes:
+    """Encode ``name``, compressing against previously written names.
+
+    ``offsets`` maps names (and their parent suffixes) to the offset
+    where they were first written; ``position`` is where this encoding
+    begins in the message.
+    """
+    out = bytearray()
+    current = name
+    while True:
+        known = offsets.get(current)
+        if known is not None and known < 0x4000:
+            out += struct.pack("!H", 0xC000 | known)
+            return bytes(out)
+        if current not in offsets:
+            offsets[current] = position + len(out)
+        label = current.labels[0].encode("ascii")
+        out.append(len(label))
+        out += label
+        if len(current.labels) == 1:
+            out.append(0)
+            return bytes(out)
+        current = current.parent()
+
+
+def decode_name(data: bytes, offset: int) -> tuple[DnsName, int]:
+    """Decode a (possibly compressed) name; returns (name, next offset).
+
+    Follows at most a bounded number of compression pointers so
+    malicious loops cannot hang the decoder.
+    """
+    labels: list[str] = []
+    jumps = 0
+    cursor = offset
+    next_offset: int | None = None
+    while True:
+        if cursor >= len(data):
+            raise WireError("name runs past end of message")
+        length = data[cursor]
+        if length & 0xC0 == 0xC0:
+            if cursor + 1 >= len(data):
+                raise WireError("truncated compression pointer")
+            if next_offset is None:
+                next_offset = cursor + 2
+            pointer = ((length & 0x3F) << 8) | data[cursor + 1]
+            if pointer >= cursor:
+                raise WireError("forward compression pointer")
+            jumps += 1
+            if jumps > 32:
+                raise WireError("compression pointer loop")
+            cursor = pointer
+            continue
+        if length & 0xC0:
+            raise WireError(f"reserved label type {length:#x}")
+        cursor += 1
+        if length == 0:
+            break
+        if cursor + length > len(data):
+            raise WireError("label runs past end of message")
+        try:
+            labels.append(
+                data[cursor:cursor + length].decode("ascii").lower())
+        except UnicodeDecodeError as exc:
+            raise WireError("non-ASCII bytes in label") from exc
+        cursor += length
+    if not labels:
+        raise WireError("root name not representable as DnsName")
+    try:
+        name = DnsName(tuple(labels))
+    except NameError_ as exc:
+        raise WireError(f"invalid name on the wire: {exc}") from exc
+    return name, (next_offset if next_offset is not None else cursor)
+
+
+# -- EDNS0 / ECS --------------------------------------------------------------
+
+def encode_ecs_option(ecs: EcsOption) -> bytes:
+    """The ECS option payload (RFC 7871 §6)."""
+    source = ecs.prefix.length
+    scope = ecs.scope_length or 0
+    address_bytes = (source + 7) // 8
+    address = ecs.prefix.network.to_bytes(4, "big")[:address_bytes]
+    payload = struct.pack("!HBB", ECS_FAMILY_IPV4, source, scope) + address
+    return struct.pack("!HH", OPTION_ECS, len(payload)) + payload
+
+
+def decode_ecs_option(payload: bytes, is_response: bool) -> EcsOption:
+    """Parse an ECS option payload (RFC 7871 §6)."""
+    if len(payload) < 4:
+        raise WireError("ECS option too short")
+    family, source, scope = struct.unpack("!HBB", payload[:4])
+    if family != ECS_FAMILY_IPV4:
+        raise WireError(f"unsupported ECS family {family}")
+    address_bytes = payload[4:]
+    if len(address_bytes) != (source + 7) // 8:
+        raise WireError("ECS address length mismatch")
+    network = int.from_bytes(address_bytes.ljust(4, b"\0"), "big")
+    return EcsOption(
+        prefix=Prefix.from_address(network, source),
+        scope_length=scope if is_response else None,
+    )
+
+
+def _encode_opt_rr(ecs: EcsOption | None, rcode_high: int = 0) -> bytes:
+    options = encode_ecs_option(ecs) if ecs is not None else b""
+    # Root name (0), type OPT, "class" = UDP payload size, TTL carries
+    # extended RCODE/version/flags.
+    return (b"\0" + struct.pack("!HHIH", TYPE_OPT, EDNS_UDP_SIZE,
+                                rcode_high << 24, len(options)) + options)
+
+
+# -- records -----------------------------------------------------------------
+
+def _encode_rdata(record: ResourceRecord, offsets: dict, position: int) -> bytes:
+    if record.rtype is RecordType.A:
+        return parse_ipv4(record.data).to_bytes(4, "big")
+    if record.rtype in (RecordType.NS, RecordType.CNAME):
+        return encode_name(DnsName.parse(record.data), offsets, position)
+    if record.rtype is RecordType.TXT:
+        raw = record.data.encode("utf-8")
+        if len(raw) > 255:
+            raise WireError("TXT strings over 255 bytes unsupported")
+        return bytes([len(raw)]) + raw
+    raise WireError(f"cannot encode rdata for {record.rtype}")
+
+
+def _decode_rdata(rtype: RecordType, data: bytes, offset: int,
+                  length: int) -> str:
+    if rtype is RecordType.A:
+        if length != 4:
+            raise WireError("A rdata must be 4 bytes")
+        return format_ipv4(int.from_bytes(data[offset:offset + 4], "big"))
+    if rtype in (RecordType.NS, RecordType.CNAME):
+        name, _ = decode_name(data, offset)
+        return str(name)
+    if rtype is RecordType.TXT:
+        if length < 1:
+            raise WireError("empty TXT rdata")
+        strlen = data[offset]
+        try:
+            return data[offset + 1:offset + 1 + strlen].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireError("invalid UTF-8 in TXT rdata") from exc
+    raise WireError(f"cannot decode rdata for {rtype}")
+
+
+# -- messages ----------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class WireHeader:
+    """Decoded DNS message header fields."""
+    message_id: int
+    is_response: bool
+    recursion_desired: bool
+    rcode: Rcode
+    qdcount: int
+    ancount: int
+    arcount: int
+
+
+def _encode_header(message_id: int, is_response: bool, rd: bool,
+                   rcode: Rcode, qd: int, an: int, ar: int) -> bytes:
+    flags = 0
+    if is_response:
+        flags |= 0x8000
+    if rd:
+        flags |= 0x0100
+    flags |= rcode.value & 0xF
+    return struct.pack("!HHHHHH", message_id, flags, qd, an, 0, ar)
+
+
+def _decode_header(data: bytes) -> WireHeader:
+    if len(data) < 12:
+        raise WireError("message shorter than header")
+    message_id, flags, qd, an, _ns, ar = struct.unpack("!HHHHHH", data[:12])
+    try:
+        rcode = Rcode(flags & 0xF)
+    except ValueError as exc:
+        raise WireError(f"unsupported RCODE {flags & 0xF}") from exc
+    return WireHeader(
+        message_id=message_id,
+        is_response=bool(flags & 0x8000),
+        recursion_desired=bool(flags & 0x0100),
+        rcode=rcode,
+        qdcount=qd, ancount=an, arcount=ar,
+    )
+
+
+def encode_query(query: DnsQuery, message_id: int = 0) -> bytes:
+    """Encode ``query`` to wire bytes."""
+    if not 0 <= message_id <= 0xFFFF:
+        raise WireError("message id out of range")
+    out = bytearray(_encode_header(
+        message_id, False, query.recursion_desired, Rcode.NOERROR,
+        qd=1, an=0, ar=1 if query.ecs is not None else 0,
+    ))
+    offsets: dict[DnsName, int] = {}
+    out += encode_name(query.name, offsets, len(out))
+    out += struct.pack("!HH", _TYPE_CODES[query.rtype], CLASS_IN)
+    if query.ecs is not None:
+        out += _encode_opt_rr(query.ecs)
+    return bytes(out)
+
+
+def decode_query(data: bytes) -> tuple[DnsQuery, int]:
+    """Decode wire bytes into (query, message id)."""
+    header = _decode_header(data)
+    if header.is_response:
+        raise WireError("expected a query, got a response")
+    if header.qdcount != 1:
+        raise WireError(f"expected 1 question, got {header.qdcount}")
+    name, offset = decode_name(data, 12)
+    if offset + 4 > len(data):
+        raise WireError("truncated question")
+    type_code, klass = struct.unpack("!HH", data[offset:offset + 4])
+    offset += 4
+    if klass != CLASS_IN:
+        raise WireError(f"unsupported class {klass}")
+    rtype = _CODE_TYPES.get(type_code)
+    if rtype is None:
+        raise WireError(f"unsupported qtype {type_code}")
+    ecs = None
+    for _ in range(header.arcount):
+        ecs, offset = _decode_opt(data, offset, is_response=False) or \
+            (ecs, offset)
+    return DnsQuery(
+        name=name, rtype=rtype,
+        recursion_desired=header.recursion_desired, ecs=ecs,
+    ), header.message_id
+
+
+def _decode_opt(data: bytes, offset: int,
+                is_response: bool) -> tuple[EcsOption | None, int]:
+    """Decode one additional-section RR; returns (ecs-or-None, offset)."""
+    _name, offset = _decode_possibly_root_name(data, offset)
+    if offset + 10 > len(data):
+        raise WireError("truncated additional record")
+    type_code, _klass, _ttl, rdlength = struct.unpack(
+        "!HHIH", data[offset:offset + 10])
+    offset += 10
+    rdata = data[offset:offset + rdlength]
+    if len(rdata) != rdlength:
+        raise WireError("truncated OPT rdata")
+    offset += rdlength
+    if type_code != TYPE_OPT:
+        return None, offset
+    cursor = 0
+    while cursor + 4 <= len(rdata):
+        code, length = struct.unpack("!HH", rdata[cursor:cursor + 4])
+        cursor += 4
+        payload = rdata[cursor:cursor + length]
+        cursor += length
+        if code == OPTION_ECS:
+            return decode_ecs_option(payload, is_response), offset
+    return None, offset
+
+
+def _decode_possibly_root_name(data: bytes, offset: int) -> tuple[None, int]:
+    if offset < len(data) and data[offset] == 0:
+        return None, offset + 1
+    _, offset = decode_name(data, offset)
+    return None, offset
+
+
+def encode_response(
+    response: DnsResponse,
+    question: DnsQuery,
+    message_id: int = 0,
+) -> bytes:
+    """Encode ``response`` to ``question`` as wire bytes."""
+    out = bytearray(_encode_header(
+        message_id, True, question.recursion_desired, response.rcode,
+        qd=1, an=len(response.answers),
+        ar=1 if response.ecs is not None else 0,
+    ))
+    offsets: dict[DnsName, int] = {}
+    out += encode_name(question.name, offsets, len(out))
+    out += struct.pack("!HH", _TYPE_CODES[question.rtype], CLASS_IN)
+    for record in response.answers:
+        out += encode_name(record.name, offsets, len(out))
+        out += struct.pack("!HHI", _TYPE_CODES[record.rtype], CLASS_IN,
+                           max(0, int(record.ttl)))
+        rdata = _encode_rdata(record, offsets, len(out) + 2)
+        out += struct.pack("!H", len(rdata)) + rdata
+    if response.ecs is not None:
+        out += _encode_opt_rr(response.ecs)
+    return bytes(out)
+
+
+def decode_response(data: bytes) -> tuple[DnsResponse, DnsName, int]:
+    """Decode wire bytes into (response, question name, message id)."""
+    header = _decode_header(data)
+    if not header.is_response:
+        raise WireError("expected a response, got a query")
+    if header.qdcount != 1:
+        raise WireError(f"expected 1 question, got {header.qdcount}")
+    qname, offset = decode_name(data, 12)
+    if offset + 4 > len(data):
+        raise WireError("truncated question")
+    offset += 4
+    answers: list[ResourceRecord] = []
+    for _ in range(header.ancount):
+        name, offset = decode_name(data, offset)
+        if offset + 10 > len(data):
+            raise WireError("truncated answer record")
+        type_code, klass, ttl, rdlength = struct.unpack(
+            "!HHIH", data[offset:offset + 10])
+        offset += 10
+        if klass != CLASS_IN:
+            raise WireError(f"unsupported class {klass}")
+        rtype = _CODE_TYPES.get(type_code)
+        if rtype is None:
+            raise WireError(f"unsupported answer type {type_code}")
+        rdata_text = _decode_rdata(rtype, data, offset, rdlength)
+        offset += rdlength
+        answers.append(ResourceRecord(name=name, rtype=rtype, ttl=float(ttl),
+                                      data=rdata_text))
+    ecs = None
+    for _ in range(header.arcount):
+        found, offset = _decode_opt(data, offset, is_response=True)
+        if found is not None:
+            ecs = found
+    return DnsResponse(
+        rcode=header.rcode,
+        answers=tuple(answers),
+        ecs=ecs,
+        cache_hit=False,
+    ), qname, header.message_id

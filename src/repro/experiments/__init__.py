@@ -1,0 +1,29 @@
+"""End-to-end experiment orchestration and paper-style reports."""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    ExperimentResult,
+    ExperimentRunner,
+    run_experiment,
+)
+from repro.experiments import report
+from repro.experiments.sweep import (
+    SweepPoint,
+    apply_probing_overrides,
+    render_table,
+    sweep,
+    to_csv,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "SweepPoint",
+    "apply_probing_overrides",
+    "render_table",
+    "report",
+    "run_experiment",
+    "sweep",
+    "to_csv",
+]

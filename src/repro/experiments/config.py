@@ -1,0 +1,89 @@
+"""Experiment configuration presets.
+
+Three sizes: ``small`` runs in seconds (unit tests, quickstart),
+``medium`` in tens of seconds (benchmarks), ``large`` in minutes for
+the most faithful shapes.  All sizes exercise identical code paths;
+only world size and measurement duration change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.world.activity import ActivityConfig
+from repro.world.builder import WorldConfig
+from repro.core.cache_probing import CacheProbingConfig
+from repro.core.calibration import CalibrationConfig
+from repro.core.dns_logs import DnsLogsConfig
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentConfig:
+    """Everything an end-to-end run needs."""
+
+    world: WorldConfig = field(default_factory=WorldConfig)
+    activity: ActivityConfig = field(default_factory=ActivityConfig)
+    probing: CacheProbingConfig = field(default_factory=CacheProbingConfig)
+    dns_logs: DnsLogsConfig = field(default_factory=DnsLogsConfig)
+    apnic_impressions: int = 60_000
+    seed: int = 42
+
+    @classmethod
+    def small(cls, seed: int = 42) -> "ExperimentConfig":
+        """Seconds-scale: tiny world, short measurement."""
+        return cls(
+            world=WorldConfig(seed=seed, target_blocks=160),
+            activity=ActivityConfig(slot_seconds=1800.0),
+            probing=CacheProbingConfig(
+                warmup_hours=2.0,
+                measurement_hours=6.0,
+                redundancy=3,
+                probe_loops=2,
+                seed=seed,
+                calibration=CalibrationConfig(sample_size=100),
+            ),
+            dns_logs=DnsLogsConfig(window_days=0.5),
+            apnic_impressions=320,
+            seed=seed,
+        )
+
+    @classmethod
+    def medium(cls, seed: int = 42) -> "ExperimentConfig":
+        """Benchmark-scale: the default for regenerating the paper's
+        tables and figures."""
+        return cls(
+            world=WorldConfig(seed=seed, target_blocks=1200),
+            activity=ActivityConfig(slot_seconds=1800.0),
+            probing=CacheProbingConfig(
+                warmup_hours=3.0,
+                measurement_hours=24.0,
+                redundancy=4,
+                probe_loops=3,
+                seed=seed,
+                calibration=CalibrationConfig(sample_size=700,
+                                              min_hits=4),
+            ),
+            dns_logs=DnsLogsConfig(window_days=0.875),
+            apnic_impressions=2_400,
+            seed=seed,
+        )
+
+    @classmethod
+    def large(cls, seed: int = 42) -> "ExperimentConfig":
+        """Minutes-scale: closest shapes to the paper."""
+        return cls(
+            world=WorldConfig(seed=seed, target_blocks=4000),
+            activity=ActivityConfig(slot_seconds=1800.0),
+            probing=CacheProbingConfig(
+                warmup_hours=4.0,
+                measurement_hours=48.0,
+                redundancy=5,
+                probe_loops=4,
+                seed=seed,
+                calibration=CalibrationConfig(sample_size=1500,
+                                              min_hits=4),
+            ),
+            dns_logs=DnsLogsConfig(window_days=2.0),
+            apnic_impressions=8_000,
+            seed=seed,
+        )

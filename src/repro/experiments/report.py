@@ -1,0 +1,271 @@
+"""Text reports reproducing the paper's tables and figures.
+
+Each ``table_*`` / ``figure_*`` function takes an
+:class:`~repro.experiments.runner.ExperimentResult` and returns the
+rows/series the paper prints, as plain text.  ``full_report`` strings
+them all together — this is what ``examples/full_reproduction.py``
+emits and what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from repro.core.datasets import (
+    APNIC,
+    CACHE_PROBING,
+    DNS_LOGS,
+    MICROSOFT_CLIENTS,
+    MICROSOFT_RESOLVERS,
+    UNION,
+)
+from repro.core.analysis import asdb_breakdown as asdb_mod
+from repro.core.analysis import bounds as bounds_mod
+from repro.core.analysis import country as country_mod
+from repro.core.analysis import distance as distance_mod
+from repro.core.analysis import domains as domains_mod
+from repro.core.analysis import geomap as geomap_mod
+from repro.core.analysis import overlap as overlap_mod
+from repro.core.analysis import pops as pops_mod
+from repro.core.analysis import relative as relative_mod
+from repro.core.analysis import scopes as scopes_mod
+from repro.core.analysis import temporal as temporal_mod
+from repro.core.analysis import volume as volume_mod
+from repro.experiments.runner import ExperimentResult
+
+TABLE1_DATASETS = [CACHE_PROBING, DNS_LOGS, UNION,
+                   MICROSOFT_CLIENTS, MICROSOFT_RESOLVERS]
+TABLE3_DATASETS = [CACHE_PROBING, DNS_LOGS, UNION, APNIC,
+                   MICROSOFT_CLIENTS, MICROSOFT_RESOLVERS]
+
+
+def table1(result: ExperimentResult) -> str:
+    """Table 1: /24-prefix overlap of the five prefix-bearing sets."""
+    matrix = overlap_mod.prefix_overlap_matrix(result.datasets,
+                                               TABLE1_DATASETS)
+    return "== Table 1: /24 prefix overlap ==\n" + matrix.render()
+
+
+def table2(result: ExperimentResult) -> str:
+    """Table 2: query-vs-response scope stability per domain."""
+    columns = scopes_mod.scope_stability_table(result.cache_result)
+    return "== Table 2: ECS scope stability ==\n" + \
+        scopes_mod.render_table(columns)
+
+
+def table3(result: ExperimentResult) -> str:
+    """Table 3: AS overlap of all six datasets."""
+    matrix = overlap_mod.as_overlap_matrix(result.datasets, TABLE3_DATASETS)
+    total = overlap_mod.union_as_count(result.datasets, TABLE3_DATASETS)
+    return (f"== Table 3: AS overlap (union: {total} ASes) ==\n"
+            + matrix.render())
+
+
+def table4(result: ExperimentResult) -> str:
+    """Table 4: volume share of row dataset in column's ASes."""
+    matrix = volume_mod.volume_overlap_matrix(result.datasets,
+                                              TABLE3_DATASETS)
+    return "== Table 4: activity-volume overlap ==\n" + matrix.render()
+
+
+def table5(result: ExperimentResult) -> str:
+    """Table 5: per-domain probing results."""
+    analysis = domains_mod.per_domain_analysis(result.cache_result,
+                                               result.world.routes)
+    return "== Table 5: per-domain results ==\n" + analysis.render()
+
+
+def figure1(result: ExperimentResult) -> str:
+    """Figure 1: geographic density of active prefixes."""
+    by_region = geomap_mod.density_by_region(result.world,
+                                             result.cache_result)
+    grid = geomap_mod.active_prefix_density(result.world,
+                                            result.cache_result)
+    lines = ["== Figure 1: active-prefix density =="]
+    for region, count in sorted(by_region.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {region}: {count} active /24s")
+    lines.append("  hottest 5° cells:")
+    for (lat, lon), count in grid.hottest(8):
+        lines.append(f"    ({lat:+.1f}, {lon:+.1f}): {count}")
+    lines.append(geomap_mod.render_ascii_map(grid))
+    return "\n".join(lines)
+
+
+def figure2(result: ExperimentResult) -> str:
+    """Figure 2: per-PoP cache-hit distance CDFs / service radii."""
+    series = distance_mod.all_distance_cdfs(result.cache_result.calibration)
+    lines = ["== Figure 2: PoP service radii (90th pct of hit distance) =="]
+    for s in series:
+        if not s.distances_km:
+            continue
+        lines.append(
+            f"  {s.pop_id}: radius {s.service_radius_km:.0f} km "
+            f"({len(s.distances_km)} calibration hits, "
+            f"median {s.distances_km[len(s.distances_km) // 2]:.0f} km)"
+        )
+    return "\n".join(lines)
+
+
+def figure3(result: ExperimentResult) -> str:
+    """Figure 3: per-country APNIC population coverage."""
+    detected = result.datasets[CACHE_PROBING].asns
+    rows = country_mod.country_coverage(result.world,
+                                        result.apnic_estimates, detected)
+    lines = ["== Figure 3: APNIC population coverage by country =="]
+    for row in rows:
+        lines.append(
+            f"  {row.country} ({row.region}): users={row.apnic_users:,.0f} "
+            f"covered={row.fraction:.1%}"
+        )
+    by_region = country_mod.mean_fraction_by_region(rows)
+    lines.append("  mean by region: " + ", ".join(
+        f"{r}={f:.1%}" for r, f in sorted(by_region.items())
+    ))
+    return "\n".join(lines)
+
+
+def figure4(result: ExperimentResult) -> str:
+    """Figure 4: per-AS active-fraction bounds."""
+    rows = bounds_mod.per_as_bounds(result.cache_result, result.world.routes)
+    med_low, med_up = bounds_mod.median_bounds(rows)
+    lines = [
+        "== Figure 4: fraction of AS's /24s detected active ==",
+        f"  ASes with activity: {len(rows)}",
+        f"  median lower bound: {med_low:.1%}, median upper bound: {med_up:.1%}",
+    ]
+    substantial = [r for r in rows if r.announced_slash24s >= 8]
+    if substantial:
+        lows = sorted(r.lower_fraction for r in substantial)
+        ups = sorted(r.upper_fraction for r in substantial)
+        mid = len(substantial) // 2
+        lines.append(
+            f"  ASes announcing ≥8 /24s ({len(substantial)}): median bounds "
+            f"{lows[mid]:.1%} – {ups[mid]:.1%}"
+        )
+    for threshold in (0.1, 0.25, 0.5, 0.9):
+        low = sum(1 for r in rows if r.lower_fraction <= threshold) / len(rows)
+        up = sum(1 for r in rows if r.upper_fraction <= threshold) / len(rows)
+        lines.append(
+            f"  CDF at {threshold:.0%}: lower {low:.1%}, upper {up:.1%}"
+        )
+    return "\n".join(lines)
+
+
+def figure5(result: ExperimentResult) -> str:
+    """Figure 5: PoP coverage classes."""
+    coverage = pops_mod.pop_coverage(result.world, result.probed_pop_ids)
+    return "== Figure 5: PoP coverage ==\n" + pops_mod.render(coverage)
+
+
+def figure6(result: ExperimentResult) -> str:
+    """Figure 6: relative-volume distributions."""
+    lines = ["== Figure 6: relative AS activity distributions =="]
+    for name in (DNS_LOGS, MICROSOFT_RESOLVERS, APNIC):
+        series = relative_mod.relative_volume_series(result.datasets[name])
+        lines.append(
+            f"  {name}: ASes={len(series.values)} "
+            f"p10={series.quantile(0.1):.2e} median={series.quantile(0.5):.2e} "
+            f"p90={series.quantile(0.9):.2e}"
+        )
+    return "\n".join(lines)
+
+
+def figure7(result: ExperimentResult) -> str:
+    """Figure 7: pairwise per-AS relative-volume differences."""
+    pairs = [
+        (MICROSOFT_RESOLVERS, APNIC),
+        (MICROSOFT_RESOLVERS, DNS_LOGS),
+        (APNIC, DNS_LOGS),
+    ]
+    lines = ["== Figure 7: per-AS activity differences =="]
+    for name_a, name_b in pairs:
+        series = relative_mod.volume_difference_series(
+            result.datasets[name_a], result.datasets[name_b]
+        )
+        epsilon = relative_mod.agreement_epsilon(series, 0.9)
+        lines.append(
+            f"  {series.label}: 90% of ASes within ±{epsilon:.2e}"
+        )
+    return "\n".join(lines)
+
+
+def headline(result: ExperimentResult) -> str:
+    """The abstract's headline validation numbers."""
+    stats = volume_mod.compute_headline_stats(result.datasets,
+                                              result.cache_result)
+    return "\n".join([
+        "== Headline validation ==",
+        f"  AS-volume coverage by our techniques: "
+        f"{stats.union_as_volume_share:.1f}% (APNIC "
+        f"{stats.apnic_as_volume_share:.1f}%)",
+        f"  /24-volume coverage: {stats.union_prefix_volume_share:.1f}%",
+        f"  DNS-logs prefix precision: "
+        f"{stats.dns_logs_prefix_precision:.1f}%",
+        f"  cache-probing upper-bound precision: "
+        f"{stats.cache_probing_prefix_precision:.1f}%",
+        f"  recovery of ground-truth ECS prefixes: "
+        f"{stats.cache_recall_of_cloud_ecs:.1f}%",
+        f"  ECS prefixes carry {stats.ecs_covers_http_share:.1f}% of HTTP; "
+        f"HTTP prefixes carry {stats.http_covers_ecs_share:.1f}% of ECS",
+        f"  scope prefixes containing a client /24: "
+        f"{stats.scope_prefix_precision:.1f}%",
+    ])
+
+
+def asdb_missed(result: ExperimentResult) -> str:
+    """§4's ASdb breakdown of ASes our techniques see but APNIC misses."""
+    breakdown = asdb_mod.missed_as_breakdown(
+        result.world, result.datasets[UNION], result.datasets[APNIC]
+    )
+    return "== ASdb breakdown of ASes missed by APNIC ==\n" + \
+        breakdown.render()
+
+
+def scorecard(result: ExperimentResult) -> str:
+    """Ground-truth precision/recall — available only in simulation."""
+    from repro.core.validation import full_scorecard
+
+    return "== " + full_scorecard(
+        result.world, result.cache_result, result.logs_result
+    ).replace("Ground-truth scorecard (simulation-only)",
+              "Ground-truth scorecard (simulation-only) ==", 1)
+
+
+def extensions(result: ExperimentResult) -> str:
+    """The §6 future-work extensions: diurnal curves, the activity
+    ranking summary and the human-vs-bot scorecard."""
+    from repro.core.human import classify_human_prefixes, score_classification
+    from repro.core.ranking import hit_rate_ranking
+
+    lines = ["== Extensions (§6 future work, implemented) =="]
+    human_curve, bot_curve = temporal_mod.split_curves_by_population(
+        result.world, result.cache_result)
+    if sum(human_curve.hourly_attempts):
+        lines.append("  " + temporal_mod.render_curve(human_curve,
+                                                      "human blocks"))
+    if sum(bot_curve.hourly_attempts):
+        lines.append("  " + temporal_mod.render_curve(bot_curve,
+                                                      "bot blocks  "))
+    ranking = hit_rate_ranking(result.cache_result, min_attempts=2)
+    lines.append(f"  hit-rate ranking: {len(ranking)} prefixes scored")
+    verdicts = classify_human_prefixes(result.world, result.cache_result,
+                                       result.logs_result)
+    scores = score_classification(result.world, verdicts)
+    lines.append(
+        f"  human-vs-bot: precision {scores['precision']:.1%}, "
+        f"recall {scores['recall']:.1%} over "
+        f"{scores['tp'] + scores['fp'] + scores['fn'] + scores['tn']} "
+        "scored prefixes"
+    )
+    return "\n".join(lines)
+
+
+def full_report(result: ExperimentResult) -> str:
+    """Every table and figure, in paper order."""
+    sections = [
+        headline(result),
+        table1(result), table2(result), table3(result), table4(result),
+        table5(result), asdb_missed(result),
+        figure1(result), figure2(result), figure3(result), figure4(result),
+        figure5(result), figure6(result), figure7(result),
+        extensions(result), scorecard(result),
+    ]
+    return "\n\n".join(sections)

@@ -1,0 +1,89 @@
+"""End-to-end experiment orchestration.
+
+One :class:`ExperimentRunner` run produces everything §4 compares:
+
+1. build the world;
+2. run the cache-probing pipeline (client activity and probing
+   interleaved over the measurement window);
+3. crawl the root traces accumulated over the same window for Chromium
+   probes (the DNS-logs technique);
+4. run the APNIC-style ad-sampling estimator;
+5. assemble the unified datasets.
+
+The result object carries the world (with ground truth), both raw
+technique results, and the datasets keyed by the paper's names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.world.apnic import ApnicEstimator
+from repro.world.builder import World, build_world
+from repro.world.vantage import VantagePoint, deploy_vantage_points
+from repro.core.cache_probing import (
+    CacheProbingPipeline,
+    CacheProbingResult,
+)
+from repro.core.datasets import ActivityDataset, build_all_datasets
+from repro.core.dns_logs import DnsLogsPipeline, DnsLogsResult
+from repro.experiments.config import ExperimentConfig
+
+
+@dataclass(slots=True)
+class ExperimentResult:
+    """Everything one end-to-end run produced."""
+
+    config: ExperimentConfig
+    world: World
+    vantage_points: list[VantagePoint]
+    cache_result: CacheProbingResult
+    logs_result: DnsLogsResult
+    apnic_estimates: dict[int, float]
+    datasets: dict[str, ActivityDataset] = field(default_factory=dict)
+
+    @property
+    def probed_pop_ids(self) -> set[str]:
+        """PoPs the vantage deployment reaches."""
+        return {vp.reached_pop for vp in self.vantage_points}
+
+
+class ExperimentRunner:
+    """Runs the full §4 comparison for one configuration."""
+
+    def __init__(self, config: ExperimentConfig | None = None) -> None:
+        self.config = config or ExperimentConfig.small()
+
+    def run(self) -> ExperimentResult:
+        """Execute the full §4 comparison and assemble datasets."""
+        config = self.config
+        world = build_world(config.world)
+        vantage_points = deploy_vantage_points(world)
+        pipeline = CacheProbingPipeline(
+            world,
+            config.probing,
+            activity_config=config.activity,
+            vantage_points=vantage_points,
+        )
+        cache_result = pipeline.run()
+        logs_result = DnsLogsPipeline(world, config.dns_logs).run()
+        apnic_estimates = ApnicEstimator(world, seed=config.seed).estimate(
+            impressions=config.apnic_impressions
+        )
+        datasets = build_all_datasets(
+            world, cache_result, logs_result, apnic_estimates
+        )
+        return ExperimentResult(
+            config=config,
+            world=world,
+            vantage_points=vantage_points,
+            cache_result=cache_result,
+            logs_result=logs_result,
+            apnic_estimates=apnic_estimates,
+            datasets=datasets,
+        )
+
+
+def run_experiment(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Convenience one-shot runner."""
+    return ExperimentRunner(config).run()

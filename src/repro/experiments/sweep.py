@@ -1,0 +1,120 @@
+"""Parameter sweeps over the measurement pipeline.
+
+The paper's knobs trade probing cost against coverage: measurement
+duration and looping fight the TTL race, redundancy fights the cache
+pools, the domain list buys breadth.  :func:`sweep` runs the pipeline
+across a grid of overrides on a fixed world seed and reports
+cost/quality for each point — the tool for answering "was 120 hours
+necessary?" style questions.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.core.validation import (
+    score_cache_probing_asn,
+    score_cache_probing_slash24,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class SweepPoint:
+    """One grid point's cost and quality."""
+
+    label: str
+    overrides: dict[str, Any]
+    probes_sent: int
+    wall_seconds: float
+    slash24_precision: float
+    slash24_recall: float
+    asn_recall: float
+
+    def row(self) -> list:
+        """The point as a list of display-formatted cells."""
+        return [self.label, self.probes_sent, f"{self.wall_seconds:.1f}",
+                f"{self.slash24_precision:.3f}",
+                f"{self.slash24_recall:.3f}", f"{self.asn_recall:.3f}"]
+
+
+def apply_probing_overrides(
+    config: ExperimentConfig, overrides: dict[str, Any]
+) -> ExperimentConfig:
+    """A copy of ``config`` with probing fields replaced.
+
+    Keys must be :class:`CacheProbingConfig` field names; unknown keys
+    raise immediately rather than silently sweeping nothing.
+    """
+    valid = {f.name for f in dataclasses.fields(config.probing)}
+    unknown = set(overrides) - valid
+    if unknown:
+        raise KeyError(f"unknown probing fields: {sorted(unknown)}")
+    return dataclasses.replace(
+        config, probing=dataclasses.replace(config.probing, **overrides)
+    )
+
+
+def sweep(
+    base: ExperimentConfig,
+    grid: Iterable[dict[str, Any]],
+    label_of: Callable[[dict[str, Any]], str] | None = None,
+    hook: Callable[[ExperimentResult], None] | None = None,
+) -> list[SweepPoint]:
+    """Run the pipeline once per grid point and score each run.
+
+    Every point rebuilds the same world (same seed), so differences are
+    attributable to the probing parameters alone.
+    """
+    points = []
+    for overrides in grid:
+        label = (label_of(overrides) if label_of is not None
+                 else ", ".join(f"{k}={v}" for k, v in overrides.items()))
+        config = apply_probing_overrides(base, overrides)
+        started = time.time()
+        result = run_experiment(config)
+        elapsed = time.time() - started
+        slash24 = score_cache_probing_slash24(result.world,
+                                              result.cache_result)
+        asn = score_cache_probing_asn(result.world, result.cache_result)
+        points.append(SweepPoint(
+            label=label,
+            overrides=dict(overrides),
+            probes_sent=result.cache_result.probes_sent,
+            wall_seconds=elapsed,
+            slash24_precision=slash24.precision,
+            slash24_recall=slash24.recall,
+            asn_recall=asn.recall,
+        ))
+        if hook is not None:
+            hook(result)
+    return points
+
+
+def render_table(points: list[SweepPoint]) -> str:
+    """Fixed-width table of the sweep's cost/quality frontier."""
+    header = (f"{'point':28}{'probes':>10}{'secs':>7}"
+              f"{'/24 prec':>10}{'/24 rec':>9}{'AS rec':>8}")
+    lines = [header]
+    for point in points:
+        row = point.row()
+        lines.append(f"{row[0]:28}{row[1]:>10}{row[2]:>7}"
+                     f"{row[3]:>10}{row[4]:>9}{row[5]:>8}")
+    return "\n".join(lines)
+
+
+def to_csv(points: list[SweepPoint]) -> str:
+    """The sweep points as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["label", "probes_sent", "wall_seconds",
+                     "slash24_precision", "slash24_recall", "asn_recall"])
+    for point in points:
+        writer.writerow(point.row())
+    return buffer.getvalue()

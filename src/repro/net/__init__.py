@@ -1,0 +1,47 @@
+"""Network substrate: IPv4 addressing, prefixes, tries, ASes, routing,
+and geography primitives used by every layer above."""
+
+from repro.net.aggregate import aggregate, covers_same_addresses, total_addresses
+from repro.net.asn import ASCategory, ASRecord, ASRegistry
+from repro.net.geo import GeoPoint, haversine_km, jitter_point, percentile
+from repro.net.ipv4 import (
+    AddressError,
+    format_ipv4,
+    is_reserved,
+    parse_ipv4,
+)
+from repro.net.prefix import (
+    ANY_PREFIX,
+    Prefix,
+    PrefixError,
+    slash24_from_id,
+    slash24_id,
+)
+from repro.net.prefixset import PrefixSet
+from repro.net.routing import RouteTable
+from repro.net.trie import PrefixTrie
+
+__all__ = [
+    "ANY_PREFIX",
+    "ASCategory",
+    "ASRecord",
+    "ASRegistry",
+    "AddressError",
+    "GeoPoint",
+    "Prefix",
+    "PrefixError",
+    "PrefixSet",
+    "PrefixTrie",
+    "RouteTable",
+    "aggregate",
+    "covers_same_addresses",
+    "format_ipv4",
+    "haversine_km",
+    "is_reserved",
+    "jitter_point",
+    "parse_ipv4",
+    "percentile",
+    "slash24_from_id",
+    "slash24_id",
+    "total_addresses",
+]

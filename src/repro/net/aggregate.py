@@ -1,0 +1,66 @@
+"""CIDR aggregation.
+
+Active-prefix lists get large — the paper's covers 9.7M /24s — so the
+shareable exports benefit from standard CIDR aggregation: merging
+adjacent and nested prefixes into the minimal equivalent set, exactly
+as routers summarise announcements.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.net.prefix import Prefix
+
+
+def aggregate(prefixes: Iterable[Prefix]) -> list[Prefix]:
+    """The minimal prefix list covering exactly the input's addresses.
+
+    Nested prefixes collapse into their covering prefix; adjacent
+    sibling prefixes merge into their parent, cascading upward.  The
+    result is sorted in address order.
+    """
+    # Drop nested prefixes first (sort puts covering prefixes before
+    # their more-specifics).
+    distinct = sorted(set(prefixes))
+    disjoint: list[Prefix] = []
+    for prefix in distinct:
+        if disjoint and disjoint[-1].contains(prefix):
+            continue
+        disjoint.append(prefix)
+    # Merge adjacent siblings bottom-up with a stack.
+    stack: list[Prefix] = []
+    for prefix in disjoint:
+        stack.append(prefix)
+        while len(stack) >= 2:
+            merged = _merge_siblings(stack[-2], stack[-1])
+            if merged is None:
+                break
+            stack.pop()
+            stack[-1] = merged
+    return stack
+
+
+def _merge_siblings(left: Prefix, right: Prefix) -> Prefix | None:
+    """The parent prefix if ``left`` and ``right`` are the two halves
+    of the same parent, else None."""
+    if left.length != right.length or left.length == 0:
+        return None
+    parent = left.supernet()
+    if parent.network == left.network and parent.contains(right) \
+            and right.network != left.network:
+        return parent
+    return None
+
+
+def covers_same_addresses(a: Iterable[Prefix], b: Iterable[Prefix]) -> bool:
+    """Whether two prefix collections cover identical address sets.
+
+    Compares their aggregated forms, which are canonical.
+    """
+    return aggregate(a) == aggregate(b)
+
+
+def total_addresses(prefixes: Iterable[Prefix]) -> int:
+    """Addresses covered by a *disjoint* (e.g. aggregated) prefix list."""
+    return sum(p.num_addresses() for p in aggregate(prefixes))

@@ -1,0 +1,108 @@
+"""Autonomous systems.
+
+:class:`ASRecord` describes one AS — its number, category (ISP, hosting,
+education, …, mirroring the ASdb taxonomy the paper uses in §4), the
+country it mainly operates in, and the prefixes it announces.
+:class:`ASRegistry` is the directory of all ASes in a world.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.net.prefix import Prefix
+
+
+class ASCategory(enum.Enum):
+    """AS business categories, following the ASdb buckets §4 reports."""
+
+    ISP = "isp"
+    HOSTING = "hosting"           # hosting / cloud providers
+    EDUCATION = "education"       # schools & universities
+    ENTERPRISE = "enterprise"
+    CONTENT = "content"
+    GOVERNMENT = "government"
+    NONPROFIT = "nonprofit"
+
+    @property
+    def hosts_eyeballs(self) -> bool:
+        """Whether ASes in this category typically contain human users."""
+        return self in (
+            ASCategory.ISP,
+            ASCategory.EDUCATION,
+            ASCategory.ENTERPRISE,
+            ASCategory.GOVERNMENT,
+        )
+
+
+@dataclass(slots=True)
+class ASRecord:
+    """One autonomous system."""
+
+    asn: int
+    name: str
+    category: ASCategory
+    country: str                      # ISO-like 2-letter code
+    announced: list[Prefix] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.asn <= 0:
+            raise ValueError(f"ASN must be positive, got {self.asn}")
+        if len(self.country) != 2:
+            raise ValueError(f"country code must be 2 letters: {self.country!r}")
+
+    def announce(self, prefix: Prefix) -> None:
+        """Record a prefix announcement by this AS."""
+        self.announced.append(prefix)
+
+    def announced_slash24_count(self) -> int:
+        """Total /24 blocks announced, the Figure 4 denominator."""
+        return sum(p.num_slash24s() for p in self.announced)
+
+    def __hash__(self) -> int:
+        return hash(self.asn)
+
+
+class ASRegistry:
+    """Directory of all ASes, indexed by ASN."""
+
+    def __init__(self, records: Iterable[ASRecord] = ()) -> None:
+        self._by_asn: dict[int, ASRecord] = {}
+        for record in records:
+            self.add(record)
+
+    def add(self, record: ASRecord) -> None:
+        """Register an AS; duplicate ASNs are rejected."""
+        if record.asn in self._by_asn:
+            raise ValueError(f"duplicate ASN {record.asn}")
+        self._by_asn[record.asn] = record
+
+    def get(self, asn: int) -> ASRecord | None:
+        """The AS record for the ASN, or None."""
+        return self._by_asn.get(asn)
+
+    def __getitem__(self, asn: int) -> ASRecord:
+        return self._by_asn[asn]
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._by_asn
+
+    def __len__(self) -> int:
+        return len(self._by_asn)
+
+    def __iter__(self) -> Iterator[ASRecord]:
+        return iter(self._by_asn.values())
+
+    def asns(self) -> set[int]:
+        """The set of registered ASNs."""
+        return set(self._by_asn)
+
+    def by_category(self, category: ASCategory) -> list[ASRecord]:
+        """All ASes of one category."""
+        return [r for r in self if r.category is category]
+
+    def by_country(self, country: str) -> list[ASRecord]:
+        """All ASes registered in one country."""
+        return [r for r in self if r.country == country]

@@ -1,0 +1,85 @@
+"""Geography primitives.
+
+The paper's cache-probing methodology is inherently geographic: anycast
+routes clients to nearby PoPs, MaxMind places prefixes with an error
+radius, and each PoP gets a *service radius*.  This module provides the
+coordinate type, great-circle distance, and helpers for sampling points.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+EARTH_RADIUS_KM = 6371.0088  # mean Earth radius
+
+
+@dataclass(frozen=True, slots=True)
+class GeoPoint:
+    """A point on the globe in decimal degrees."""
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude {self.lat} out of range")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"longitude {self.lon} out of range")
+
+    def distance_km(self, other: "GeoPoint") -> float:
+        """Great-circle (haversine) distance in kilometres."""
+        return haversine_km(self.lat, self.lon, other.lat, other.lon)
+
+
+def haversine_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance between two lat/lon points, in km."""
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = phi2 - phi1
+    dlambda = math.radians(lon2 - lon1)
+    a = (
+        math.sin(dphi / 2) ** 2
+        + math.cos(phi1) * math.cos(phi2) * math.sin(dlambda / 2) ** 2
+    )
+    return 2 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(a)))
+
+
+def jitter_point(point: GeoPoint, radius_km: float, rng) -> GeoPoint:
+    """A point uniformly distributed in the disc of ``radius_km`` around
+    ``point`` (small-angle approximation, fine below ~2000 km).
+
+    ``rng`` is a :class:`random.Random`-like object.  Used to model
+    geolocation error and to scatter users around population centres.
+    """
+    if radius_km < 0:
+        raise ValueError("radius must be non-negative")
+    if radius_km == 0:
+        return point
+    # Uniform in a disc: radius ~ R*sqrt(u), angle uniform.
+    r = radius_km * math.sqrt(rng.random())
+    theta = rng.random() * 2 * math.pi
+    dlat = (r / EARTH_RADIUS_KM) * math.cos(theta)
+    cos_lat = math.cos(math.radians(point.lat))
+    if abs(cos_lat) < 1e-6:
+        cos_lat = 1e-6
+    dlon = (r / EARTH_RADIUS_KM) * math.sin(theta) / cos_lat
+    lat = max(-90.0, min(90.0, point.lat + math.degrees(dlat)))
+    lon = point.lon + math.degrees(dlon)
+    # wrap longitude into [-180, 180]
+    lon = (lon + 180.0) % 360.0 - 180.0
+    return GeoPoint(lat, lon)
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    """The ``fraction``-quantile of ``values`` (nearest-rank, inclusive).
+
+    Used for the 90th-percentile service radius of §3.1.1.  Raises on an
+    empty input rather than guessing.
+    """
+    if not values:
+        raise ValueError("percentile of empty list")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction {fraction} out of [0, 1]")
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[rank]

@@ -1,0 +1,85 @@
+"""IPv4 address handling.
+
+Addresses are represented as plain ``int`` in the range ``[0, 2**32)``
+throughout the library: the measurement pipeline touches millions of
+addresses and prefixes, and integer arithmetic keeps the hot paths cheap
+and hashable.  This module provides parsing, formatting and validation
+helpers plus a few well-known constants.
+"""
+
+from __future__ import annotations
+
+MAX_ADDRESS = 2**32 - 1
+
+#: Special-use blocks (RFC 6890 and friends) that never host eyeballs.
+#: Each entry is ``(network_int, prefix_length)``.
+RESERVED_BLOCKS: tuple[tuple[int, int], ...] = (
+    (0x00000000, 8),    # 0.0.0.0/8       "this network"
+    (0x0A000000, 8),    # 10.0.0.0/8      private
+    (0x64400000, 10),   # 100.64.0.0/10   CGN shared space
+    (0x7F000000, 8),    # 127.0.0.0/8     loopback
+    (0xA9FE0000, 16),   # 169.254.0.0/16  link local
+    (0xAC100000, 12),   # 172.16.0.0/12   private
+    (0xC0000000, 24),   # 192.0.0.0/24    IETF protocol assignments
+    (0xC0000200, 24),   # 192.0.2.0/24    TEST-NET-1
+    (0xC0A80000, 16),   # 192.168.0.0/16  private
+    (0xC6120000, 15),   # 198.18.0.0/15   benchmarking
+    (0xC6336400, 24),   # 198.51.100.0/24 TEST-NET-2
+    (0xCB007100, 24),   # 203.0.113.0/24  TEST-NET-3
+    (0xE0000000, 4),    # 224.0.0.0/4     multicast
+    (0xF0000000, 4),    # 240.0.0.0/4     reserved
+)
+
+
+class AddressError(ValueError):
+    """Raised when an IPv4 address is malformed or out of range."""
+
+
+def parse_ipv4(text: str) -> int:
+    """Parse dotted-quad ``text`` into an integer address.
+
+    >>> parse_ipv4("8.8.8.8")
+    134744072
+    """
+    parts = text.strip().split(".")
+    if len(parts) != 4:
+        raise AddressError(f"expected 4 octets in {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit() or (len(part) > 1 and part[0] == "0"):
+            raise AddressError(f"bad octet {part!r} in {text!r}")
+        octet = int(part)
+        if octet > 255:
+            raise AddressError(f"octet {octet} out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ipv4(address: int) -> str:
+    """Format integer ``address`` as a dotted quad.
+
+    >>> format_ipv4(134744072)
+    '8.8.8.8'
+    """
+    check_address(address)
+    return ".".join(
+        str((address >> shift) & 0xFF) for shift in (24, 16, 8, 0)
+    )
+
+
+def check_address(address: int) -> int:
+    """Validate that ``address`` is an in-range integer and return it."""
+    if not isinstance(address, int) or isinstance(address, bool):
+        raise AddressError(f"address must be int, got {type(address).__name__}")
+    if not 0 <= address <= MAX_ADDRESS:
+        raise AddressError(f"address {address} out of IPv4 range")
+    return address
+
+
+def is_reserved(address: int) -> bool:
+    """Return True if ``address`` falls in a special-use block."""
+    check_address(address)
+    for network, length in RESERVED_BLOCKS:
+        if address >> (32 - length) == network >> (32 - length):
+            return True
+    return False

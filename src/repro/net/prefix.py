@@ -1,0 +1,211 @@
+"""IPv4 prefix value type.
+
+A :class:`Prefix` is an immutable ``(network, length)`` pair with the
+host bits forced to zero.  Prefixes are the currency of the whole
+pipeline: ECS scopes, routing announcements, cache keys and analysis
+results are all prefixes.  They are ordered, hashable, and cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.net.ipv4 import AddressError, check_address, format_ipv4, parse_ipv4
+
+
+class PrefixError(ValueError):
+    """Raised for malformed prefixes."""
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Prefix:
+    """An IPv4 prefix such as ``192.0.2.0/24``.
+
+    ``network`` is the integer network address with host bits zero;
+    ``length`` is the mask length in ``[0, 32]``.  Ordering is
+    lexicographic on ``(network, length)``, which sorts prefixes in
+    address order with less-specifics before their more-specifics.
+    """
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        check_address(self.network)
+        if not 0 <= self.length <= 32:
+            raise PrefixError(f"prefix length {self.length} out of range")
+        if self.network & self.host_mask():
+            raise PrefixError(
+                f"{format_ipv4(self.network)}/{self.length} has host bits set"
+            )
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``"a.b.c.d/len"`` (or a bare address, meaning /32).
+
+        >>> Prefix.parse("192.0.2.128/25")
+        Prefix('192.0.2.128/25')
+        >>> Prefix.parse("10.1.2.3/16")  # host bits are masked off
+        Prefix('10.1.0.0/16')
+        """
+        text = text.strip()
+        if "/" in text:
+            addr_text, _, len_text = text.partition("/")
+            if not len_text.isdigit():
+                raise PrefixError(f"bad prefix length in {text!r}")
+            length = int(len_text)
+        else:
+            addr_text, length = text, 32
+        try:
+            address = parse_ipv4(addr_text)
+        except AddressError as exc:
+            raise PrefixError(str(exc)) from exc
+        if length > 32:
+            raise PrefixError(f"prefix length {length} out of range")
+        mask = cls._mask(length)
+        return cls(address & mask, length)
+
+    @classmethod
+    def from_address(cls, address: int, length: int = 32) -> "Prefix":
+        """Build the /``length`` prefix containing integer ``address``."""
+        check_address(address)
+        if not 0 <= length <= 32:
+            raise PrefixError(f"prefix length {length} out of range")
+        return cls(address & cls._mask(length), length)
+
+    @staticmethod
+    def _mask(length: int) -> int:
+        return 0 if length == 0 else (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+
+    # -- basic properties -----------------------------------------------
+
+    def netmask(self) -> int:
+        """Integer netmask for this prefix length."""
+        return self._mask(self.length)
+
+    def host_mask(self) -> int:
+        """Integer host mask (complement of the netmask)."""
+        return self.netmask() ^ 0xFFFFFFFF
+
+    def num_addresses(self) -> int:
+        """Number of addresses covered (2**(32-length))."""
+        return 1 << (32 - self.length)
+
+    def num_slash24s(self) -> int:
+        """Number of /24 blocks covered; 1 for prefixes longer than /24."""
+        if self.length >= 24:
+            return 1
+        return 1 << (24 - self.length)
+
+    def first_address(self) -> int:
+        """Lowest address in the prefix."""
+        return self.network
+
+    def last_address(self) -> int:
+        """Highest address in the prefix."""
+        return self.network | self.host_mask()
+
+    # -- relations --------------------------------------------------------
+
+    def contains_address(self, address: int) -> bool:
+        """Whether the address falls inside the prefix."""
+        check_address(address)
+        return address & self.netmask() == self.network
+
+    def contains(self, other: "Prefix") -> bool:
+        """True if ``other`` is equal to or more specific than self."""
+        return (
+            other.length >= self.length
+            and other.network & self.netmask() == self.network
+        )
+
+    def overlaps(self, other: "Prefix") -> bool:
+        """True if the two prefixes share any address."""
+        return self.contains(other) or other.contains(self)
+
+    def supernet(self, length: int | None = None) -> "Prefix":
+        """The enclosing prefix at ``length`` (default: one bit shorter)."""
+        if length is None:
+            length = self.length - 1
+        if length < 0 or length > self.length:
+            raise PrefixError(
+                f"cannot take /{length} supernet of /{self.length}"
+            )
+        return Prefix.from_address(self.network, length)
+
+    def children(self) -> tuple["Prefix", "Prefix"]:
+        """The two halves of this prefix, one bit longer."""
+        if self.length >= 32:
+            raise PrefixError("/32 has no children")
+        left = Prefix(self.network, self.length + 1)
+        right = Prefix(self.network | (1 << (31 - self.length)), self.length + 1)
+        return left, right
+
+    # -- iteration ----------------------------------------------------------
+
+    def slash24s(self) -> Iterator["Prefix"]:
+        """Yield every /24 covered by (or covering) this prefix.
+
+        For prefixes longer than /24 this yields the single enclosing
+        /24, matching the paper's convention of accounting at /24
+        granularity.
+        """
+        if self.length >= 24:
+            yield Prefix.from_address(self.network, 24)
+            return
+        step = 1 << 8
+        for network in range(self.network, self.last_address() + 1, step):
+            yield Prefix(network, 24)
+
+    def subprefixes(self, length: int) -> Iterator["Prefix"]:
+        """Yield all subprefixes of the given (longer or equal) length."""
+        if length < self.length or length > 32:
+            raise PrefixError(
+                f"cannot enumerate /{length} inside /{self.length}"
+            )
+        step = 1 << (32 - length)
+        for network in range(self.network, self.last_address() + 1, step):
+            yield Prefix(network, length)
+
+    def random_address(self, rng) -> int:
+        """A uniformly random address inside the prefix (``rng`` is a
+        :class:`random.Random`-like object exposing ``randrange``)."""
+        return self.network + rng.randrange(self.num_addresses())
+
+    # -- rendering ----------------------------------------------------------
+
+    def __str__(self) -> str:
+        return f"{format_ipv4(self.network)}/{self.length}"
+
+    def __repr__(self) -> str:
+        return f"Prefix({str(self)!r})"
+
+
+#: The whole IPv4 space, used for scope-0 cache entries.
+ANY_PREFIX = Prefix(0, 0)
+
+
+def slash24_id(prefix_or_address: "Prefix | int") -> int:
+    """Map an address or prefix to the integer id of its /24 block.
+
+    The id is ``network >> 8``, a compact key used pervasively in the
+    analysis code where millions of /24s are counted.
+
+    >>> slash24_id(Prefix.parse("10.0.1.0/24"))
+    655361
+    >>> slash24_from_id(655361)
+    Prefix('10.0.1.0/24')
+    """
+    if isinstance(prefix_or_address, Prefix):
+        return prefix_or_address.network >> 8
+    return check_address(prefix_or_address) >> 8
+
+
+def slash24_from_id(block_id: int) -> Prefix:
+    """Inverse of :func:`slash24_id`."""
+    if not 0 <= block_id < (1 << 24):
+        raise PrefixError(f"/24 id {block_id} out of range")
+    return Prefix(block_id << 8, 24)

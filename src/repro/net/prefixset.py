@@ -1,0 +1,212 @@
+"""Sets of IPv4 prefixes.
+
+:class:`PrefixSet` stores a collection of prefixes as a binary trie and
+answers the questions the analysis pipeline keeps asking:
+
+* does this set cover a given address / prefix?
+* how many /24 blocks does it cover at most (upper bound) and at least
+  (lower bound, one /24 per disjoint member — §4's Figure 4 bounds)?
+* set algebra (union, intersection of coverage).
+
+Members are normalised: inserting a prefix removes any more-specific
+members it covers, and inserting a prefix already covered is a no-op.
+The set therefore always holds a minimal antichain of prefixes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.net.prefix import Prefix
+
+
+class _Node:
+    __slots__ = ("zero", "one", "terminal")
+
+    def __init__(self) -> None:
+        self.zero: _Node | None = None
+        self.one: _Node | None = None
+        self.terminal = False
+
+
+def _bit(network: int, depth: int) -> int:
+    return (network >> (31 - depth)) & 1
+
+
+class PrefixSet:
+    """A normalised set of disjoint IPv4 prefixes (binary trie)."""
+
+    def __init__(self, prefixes: Iterable[Prefix] = ()) -> None:
+        self._root = _Node()
+        self._count = 0
+        for prefix in prefixes:
+            self.add(prefix)
+
+    # -- mutation ------------------------------------------------------
+
+    def add(self, prefix: Prefix) -> bool:
+        """Insert ``prefix``; return True if coverage grew.
+
+        Covered more-specific members are pruned so the set stays a
+        minimal antichain.
+        """
+        node = self._root
+        for depth in range(prefix.length):
+            if node.terminal:
+                return False  # already covered by a less specific member
+            bit = _bit(prefix.network, depth)
+            child = node.one if bit else node.zero
+            if child is None:
+                child = _Node()
+                if bit:
+                    node.one = child
+                else:
+                    node.zero = child
+            node = child
+        if node.terminal:
+            return False
+        pruned = self._count_terminals(node)
+        node.terminal = True
+        node.zero = None
+        node.one = None
+        self._count += 1 - pruned
+        return True
+
+    def update(self, prefixes: Iterable[Prefix]) -> None:
+        """Insert every prefix."""
+        for prefix in prefixes:
+            self.add(prefix)
+
+    @staticmethod
+    def _count_terminals(node: _Node) -> int:
+        total = 1 if node.terminal else 0
+        if node.zero is not None:
+            total += PrefixSet._count_terminals(node.zero)
+        if node.one is not None:
+            total += PrefixSet._count_terminals(node.one)
+        return total
+
+    # -- queries -----------------------------------------------------------
+
+    def covers_address(self, address: int) -> bool:
+        """Whether any member contains the address."""
+        node = self._root
+        for depth in range(33):
+            if node.terminal:
+                return True
+            if depth == 32:
+                break
+            child = node.one if _bit(address, depth) else node.zero
+            if child is None:
+                return False
+            node = child
+        return False
+
+    def covers(self, prefix: Prefix) -> bool:
+        """True if some member contains ``prefix`` entirely."""
+        node = self._root
+        for depth in range(prefix.length + 1):
+            if node.terminal:
+                return True
+            if depth == prefix.length:
+                return False
+            child = node.one if _bit(prefix.network, depth) else node.zero
+            if child is None:
+                return False
+            node = child
+        return False
+
+    def intersects(self, prefix: Prefix) -> bool:
+        """True if some member overlaps ``prefix`` at all."""
+        node = self._root
+        for depth in range(prefix.length):
+            if node.terminal:
+                return True
+            child = node.one if _bit(prefix.network, depth) else node.zero
+            if child is None:
+                return False
+            node = child
+        return self._has_any(node)
+
+    @staticmethod
+    def _has_any(node: _Node) -> bool:
+        if node.terminal:
+            return True
+        if node.zero is not None and PrefixSet._has_any(node.zero):
+            return True
+        return node.one is not None and PrefixSet._has_any(node.one)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return self.covers(prefix)
+
+    def __len__(self) -> int:
+        """Number of disjoint member prefixes."""
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+    def __iter__(self) -> Iterator[Prefix]:
+        """Yield members in address order."""
+        yield from self._walk(self._root, 0, 0)
+
+    def _walk(self, node: _Node, network: int, depth: int) -> Iterator[Prefix]:
+        if node.terminal:
+            yield Prefix(network, depth)
+            return
+        if node.zero is not None:
+            yield from self._walk(node.zero, network, depth + 1)
+        if node.one is not None:
+            yield from self._walk(
+                node.one, network | (1 << (31 - depth)), depth + 1
+            )
+
+    # -- /24 accounting (paper Figure 4 / Table 1 conventions) -----------
+
+    def slash24_upper_bound(self) -> int:
+        """Max /24s covered: every /24 inside every member counts."""
+        return sum(p.num_slash24s() for p in self)
+
+    def slash24_lower_bound(self) -> int:
+        """Min /24s consistent with coverage.
+
+        One per disjoint member shorter than /24 (the paper's "single
+        active /24 per non-overlapping prefix with a cache hit"), while
+        members at /24 or longer collapse onto their enclosing /24
+        block, which is deduplicated.
+        """
+        short_members = 0
+        long_member_blocks: set[int] = set()
+        for prefix in self:
+            if prefix.length < 24:
+                short_members += 1
+            else:
+                long_member_blocks.add(prefix.network >> 8)
+        return short_members + len(long_member_blocks)
+
+    def slash24_ids(self) -> set[int]:
+        """The ids of every /24 covered (upper-bound expansion).
+
+        Prefixes longer than /24 map to their enclosing /24, per the
+        paper's convention.
+        """
+        ids: set[int] = set()
+        for prefix in self:
+            if prefix.length >= 24:
+                ids.add(prefix.network >> 8)
+            else:
+                start = prefix.network >> 8
+                ids.update(range(start, start + prefix.num_slash24s()))
+        return ids
+
+    # -- set algebra ------------------------------------------------------
+
+    def union(self, other: "PrefixSet") -> "PrefixSet":
+        """A new set covering both inputs."""
+        result = PrefixSet(self)
+        result.update(other)
+        return result
+
+    def copy(self) -> "PrefixSet":
+        """An independent copy."""
+        return PrefixSet(self)

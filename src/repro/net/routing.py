@@ -1,0 +1,91 @@
+"""Prefix-to-origin-AS routing table.
+
+Models the Routeviews ``prefix2as`` dataset the paper uses ([1] in the
+references) to attribute prefixes and addresses to the AS announcing
+them, and to count how many /24s each AS announces (Figure 4's
+denominator).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from repro.net.asn import ASRegistry
+from repro.net.prefix import Prefix
+from repro.net.trie import PrefixTrie
+
+
+class RouteTable:
+    """Longest-prefix-match mapping from prefixes to origin ASNs."""
+
+    def __init__(self) -> None:
+        self._trie: PrefixTrie[int] = PrefixTrie()
+        self._by_asn: dict[int, list[Prefix]] = defaultdict(list)
+
+    @classmethod
+    def from_registry(cls, registry: ASRegistry) -> "RouteTable":
+        """Build the table from every AS's announcements."""
+        table = cls()
+        for record in registry:
+            for prefix in record.announced:
+                table.announce(prefix, record.asn)
+        return table
+
+    def announce(self, prefix: Prefix, asn: int) -> None:
+        """Record an announcement; origin conflicts are rejected."""
+        if asn <= 0:
+            raise ValueError(f"ASN must be positive, got {asn}")
+        existing = self._trie.exact(prefix)
+        if existing is not None and existing != asn:
+            raise ValueError(
+                f"{prefix} already announced by AS{existing}, not AS{asn}"
+            )
+        if existing is None:
+            self._trie.insert(prefix, asn)
+            self._by_asn[asn].append(prefix)
+
+    # -- lookups ------------------------------------------------------------
+
+    def origin_of_address(self, address: int) -> int | None:
+        """Origin ASN for an address, or None if unrouted."""
+        return self._trie.lookup(address)
+
+    def origin_of_prefix(self, prefix: Prefix) -> int | None:
+        """Origin ASN of the longest route covering all of ``prefix``.
+
+        A /24 inside a /16 announcement maps to the /16's origin.  A
+        prefix spanning multiple announcements (shorter than any
+        covering route) maps to None, matching how prefix2as consumers
+        attribute ECS scopes.
+        """
+        return self._trie.lookup_prefix(prefix)
+
+    def route_for_address(self, address: int) -> tuple[Prefix, int] | None:
+        """The matched (announced prefix, origin ASN), or None."""
+        return self._trie.lookup_entry(address)
+
+    def prefixes_of(self, asn: int) -> list[Prefix]:
+        """Prefixes announced by the ASN."""
+        return list(self._by_asn.get(asn, ()))
+
+    def announced_slash24_count(self, asn: int) -> int:
+        """Total /24s the ASN announces."""
+        return sum(p.num_slash24s() for p in self._by_asn.get(asn, ()))
+
+    def routed_prefixes(self) -> Iterator[tuple[Prefix, int]]:
+        """All (prefix, origin ASN) routes."""
+        return self._trie.items()
+
+    def routed_slash24_ids(self) -> Iterable[int]:
+        """Yield the /24-block id of every routed /24 (no duplicates
+        within one announcement; overlapping announcements may repeat)."""
+        for prefix, _asn in self._trie.items():
+            if prefix.length >= 24:
+                yield prefix.network >> 8
+            else:
+                start = prefix.network >> 8
+                yield from range(start, start + prefix.num_slash24s())
+
+    def __len__(self) -> int:
+        return len(self._trie)

@@ -1,0 +1,160 @@
+"""Longest-prefix-match map.
+
+:class:`PrefixTrie` maps prefixes to arbitrary values and answers
+longest-prefix-match lookups, the primitive behind the Routeviews-style
+prefix→AS table, the geolocation database, and the authoritative ECS
+scope policies.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, TypeVar
+
+from repro.net.prefix import Prefix
+
+V = TypeVar("V")
+
+_SENTINEL = object()
+
+
+class _Node:
+    __slots__ = ("zero", "one", "value")
+
+    def __init__(self) -> None:
+        self.zero: _Node | None = None
+        self.one: _Node | None = None
+        self.value = _SENTINEL
+
+
+class PrefixTrie(Generic[V]):
+    """A binary trie mapping :class:`Prefix` keys to values."""
+
+    def __init__(self) -> None:
+        self._root = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    # -- mutation ------------------------------------------------------
+
+    def insert(self, prefix: Prefix, value: V) -> None:
+        """Insert or replace the value at exactly ``prefix``."""
+        node = self._root
+        for depth in range(prefix.length):
+            bit = (prefix.network >> (31 - depth)) & 1
+            child = node.one if bit else node.zero
+            if child is None:
+                child = _Node()
+                if bit:
+                    node.one = child
+                else:
+                    node.zero = child
+            node = child
+        if node.value is _SENTINEL:
+            self._size += 1
+        node.value = value
+
+    # -- lookups --------------------------------------------------------
+
+    def lookup(self, address: int) -> V | None:
+        """Longest-prefix-match for a single address, or None."""
+        found = self.lookup_entry(address)
+        return None if found is None else found[1]
+
+    def lookup_entry(self, address: int) -> tuple[Prefix, V] | None:
+        """Longest-prefix match returning ``(matched_prefix, value)``."""
+        node = self._root
+        best: tuple[int, V] | None = None
+        depth = 0
+        while True:
+            if node.value is not _SENTINEL:
+                best = (depth, node.value)  # type: ignore[assignment]
+            if depth == 32:
+                break
+            bit = (address >> (31 - depth)) & 1
+            child = node.one if bit else node.zero
+            if child is None:
+                break
+            node = child
+            depth += 1
+        if best is None:
+            return None
+        length, value = best
+        return Prefix.from_address(address, length), value
+
+    def exact(self, prefix: Prefix) -> V | None:
+        """Value stored at exactly ``prefix``, or None."""
+        node = self._root
+        for depth in range(prefix.length):
+            bit = (prefix.network >> (31 - depth)) & 1
+            node = node.one if bit else node.zero  # type: ignore[assignment]
+            if node is None:
+                return None
+        return None if node.value is _SENTINEL else node.value  # type: ignore[return-value]
+
+    def lookup_prefix(self, prefix: Prefix) -> V | None:
+        """Longest match at-or-above ``prefix`` (covering it entirely)."""
+        node = self._root
+        best: V | None = None
+        for depth in range(prefix.length + 1):
+            if node.value is not _SENTINEL:
+                best = node.value  # type: ignore[assignment]
+            if depth == prefix.length:
+                break
+            bit = (prefix.network >> (31 - depth)) & 1
+            child = node.one if bit else node.zero
+            if child is None:
+                break
+            node = child
+        return best
+
+    def covering_items(self, prefix: Prefix) -> Iterator[tuple[Prefix, V]]:
+        """All entries at-or-above ``prefix`` (covering it), root first.
+
+        This is the trie path from the root down to ``prefix`` — O(32)
+        rather than a full iteration, which matters on the DNS cache
+        hot path.
+        """
+        node = self._root
+        for depth in range(prefix.length + 1):
+            if node.value is not _SENTINEL:
+                yield Prefix.from_address(prefix.network, depth), node.value  # type: ignore[misc]
+            if depth == prefix.length:
+                return
+            bit = (prefix.network >> (31 - depth)) & 1
+            child = node.one if bit else node.zero
+            if child is None:
+                return
+            node = child
+
+    # -- iteration -----------------------------------------------------------
+
+    def items(self) -> Iterator[tuple[Prefix, V]]:
+        """All (prefix, value) entries in address order."""
+        yield from self._walk(self._root, 0, 0)
+
+    def _walk(
+        self, node: _Node, network: int, depth: int
+    ) -> Iterator[tuple[Prefix, V]]:
+        if node.value is not _SENTINEL:
+            yield Prefix(network, depth), node.value  # type: ignore[misc]
+        if node.zero is not None:
+            yield from self._walk(node.zero, network, depth + 1)
+        if node.one is not None:
+            yield from self._walk(
+                node.one, network | (1 << (31 - depth)), depth + 1
+            )
+
+    def keys(self) -> Iterator[Prefix]:
+        """All stored prefixes in address order."""
+        for prefix, _ in self.items():
+            yield prefix
+
+    def values(self) -> Iterator[V]:
+        """All stored values in key address order."""
+        for _, value in self.items():
+            yield value

@@ -1,0 +1,5 @@
+"""Simulation utilities: the shared deterministic clock."""
+
+from repro.sim.clock import DAY, HOUR, Clock, ClockError
+
+__all__ = ["Clock", "ClockError", "DAY", "HOUR"]

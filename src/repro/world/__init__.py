@@ -1,0 +1,85 @@
+"""Synthetic Internet: countries, ASes, client blocks, geolocation,
+resolvers, the public resolver deployment, CDN logging, APNIC-style
+estimation, ASdb categorisation and cloud vantage points."""
+
+from repro.world.activity import (
+    ActivityConfig,
+    ActivitySimulator,
+    ActivityStats,
+    diurnal_factor,
+)
+from repro.world.apnic import ApnicEstimator
+from repro.world.asdb import CATEGORY_LABELS, AsdbSnapshot
+from repro.world.builder import (
+    AddressAllocator,
+    World,
+    WorldBuilder,
+    WorldConfig,
+    build_world,
+)
+from repro.world.cdn import CdnService
+from repro.world.countries import COUNTRIES, City, Country, country_by_code
+from repro.world.domains_catalog import (
+    MICROSOFT_CDN_DOMAIN,
+    build_authoritatives,
+    default_domains,
+    probe_domains,
+)
+from repro.world.geodata import GeoAccuracy, GeoDatabase, GeoEntry
+from repro.world.inspect import WorldSummary, category_of, describe_world
+from repro.world.model import ClientBlock, DomainSpec, PopDescriptor
+from repro.world.peering import PeeringMatrix, PeeringPolicy
+from repro.world.pops import default_pops
+from repro.world.scenarios import SCENARIOS, scenario
+from repro.world.vantage import (
+    DEFAULT_CLOUD_REGIONS,
+    CloudRegion,
+    VantagePoint,
+    deploy_vantage_points,
+    pops_by_vantage,
+    reached_pops,
+)
+
+__all__ = [
+    "CATEGORY_LABELS",
+    "COUNTRIES",
+    "DEFAULT_CLOUD_REGIONS",
+    "MICROSOFT_CDN_DOMAIN",
+    "ActivityConfig",
+    "ActivitySimulator",
+    "ActivityStats",
+    "AddressAllocator",
+    "ApnicEstimator",
+    "AsdbSnapshot",
+    "CdnService",
+    "City",
+    "ClientBlock",
+    "CloudRegion",
+    "Country",
+    "DomainSpec",
+    "GeoAccuracy",
+    "GeoDatabase",
+    "GeoEntry",
+    "PeeringMatrix",
+    "PeeringPolicy",
+    "PopDescriptor",
+    "SCENARIOS",
+    "VantagePoint",
+    "World",
+    "WorldSummary",
+    "WorldBuilder",
+    "WorldConfig",
+    "build_authoritatives",
+    "build_world",
+    "category_of",
+    "country_by_code",
+    "describe_world",
+    "default_domains",
+    "default_pops",
+    "deploy_vantage_points",
+    "diurnal_factor",
+    "pops_by_vantage",
+    "probe_domains",
+    "reached_pops",
+    "scenario",
+]

@@ -1,0 +1,311 @@
+"""Client activity simulation.
+
+Drives everything the measurement techniques can observe: browsing DNS
+queries (which populate Google Public DNS caches per ECS prefix and the
+ISP resolvers' caches), HTTP requests to the CDN (the *Microsoft
+clients* ground truth), CDN DNS sessions (the *Microsoft resolvers*
+and *cloud ECS prefixes* datasets), and Chromium interception probes
+that leak to the root servers (the *DNS logs* signal).
+
+Time advances in slots; each slot samples per-block Poisson activity
+modulated by a diurnal curve in the block's local time.  An optional
+``on_slot`` hook lets a measurement (the cache prober) interleave with
+ongoing activity, which is exactly how the real 120-hour measurement
+ran against the live Internet.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.dns.chromium_client import chromium_probe_names, leaked_label
+from repro.dns.message import DnsQuery, Transport
+from repro.sim.clock import DAY
+from repro.world.builder import World
+from repro.world.model import ClientBlock, DomainSpec
+
+
+@dataclass(frozen=True, slots=True)
+class ActivityConfig:
+    """Rates are per user per day unless noted."""
+
+    slot_seconds: float = 1800.0
+    dns_events_per_user: float = 40.0
+    http_requests_per_user: float = 60.0
+    chromium_events_per_user: float = 3.0     # startups + network changes
+    leak_queries_per_user: float = 0.4        # wpad/typo single labels
+    bot_dns_multiplier: float = 5.0           # bots hammer DNS harder
+    diurnal_amplitude: float = 0.75           # 0 = flat, 1 = full swing
+
+    def __post_init__(self) -> None:
+        if self.slot_seconds <= 0:
+            raise ValueError("slot_seconds must be positive")
+        if not 0.0 <= self.diurnal_amplitude <= 1.0:
+            raise ValueError("diurnal_amplitude out of [0, 1]")
+
+
+@dataclass(slots=True)
+class ActivityStats:
+    """Counters accumulated over a run."""
+
+    slots: int = 0
+    dns_queries: int = 0
+    google_dns_queries: int = 0
+    http_requests: int = 0
+    chromium_events: int = 0
+    root_queries: int = 0
+    per_domain_queries: dict[str, int] = field(default_factory=dict)
+
+
+def diurnal_factor(utc_seconds: float, lon: float, amplitude: float) -> float:
+    """Activity multiplier for local time of day.
+
+    Peaks in the local evening (~20:00), bottoms out around 04:00;
+    ``amplitude`` controls the swing.  Mean over a day is ~1.
+    """
+    local_hours = (utc_seconds / 3600.0 + lon / 15.0) % 24.0
+    phase = (local_hours - 20.0) / 24.0 * 2.0 * math.pi
+    return max(0.02, 1.0 + amplitude * math.cos(phase))
+
+
+class ActivitySimulator:
+    """Generates world activity slot by slot."""
+
+    def __init__(
+        self,
+        world: World,
+        config: ActivityConfig | None = None,
+        seed: int = 7,
+    ) -> None:
+        self.world = world
+        self.config = config or ActivityConfig()
+        self._rng = random.Random(seed)
+        self.stats = ActivityStats()
+        self._bot_domain_shares: dict[int, list] = {}
+        # Per-country domain shares, precomputed once.
+        self._domain_shares: dict[str, list[tuple[DomainSpec, float]]] = {}
+        for country in world.countries:
+            weights = [(d, d.weight_in(country.code)) for d in world.domains]
+            total = sum(w for _, w in weights) or 1.0
+            self._domain_shares[country.code] = [
+                (d, w / total) for d, w in weights if w > 0
+            ]
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, duration: float, on_slot=None) -> ActivityStats:
+        """Simulate ``duration`` seconds of activity.
+
+        ``on_slot(slot_index, slot_start)`` runs after each slot's
+        activity with the clock at the slot's end, letting measurement
+        code (the cache prober) interleave with ongoing activity.
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        slot = self.config.slot_seconds
+        steps = max(1, round(duration / slot))
+        for index in range(steps):
+            start = self.world.clock.now
+            self._simulate_slot(start, slot)
+            self.world.clock.advance_to(start + slot)
+            self.stats.slots += 1
+            if on_slot is not None:
+                on_slot(index, start)
+        return self.stats
+
+    # -- slot internals -----------------------------------------------------
+
+    def _simulate_slot(self, start: float, slot: float) -> None:
+        """Generate one slot's events, executed in timestamp order.
+
+        Event *times* matter: a cache prober at the slot's end must see
+        a fresh entry only if a query landed within the record's TTL.
+        For a Poisson query stream of rate λ the age of the newest
+        query is Exp(λ)-distributed, so representative DNS events are
+        stamped ``slot_end - Exp(λ)`` — giving the prober exactly the
+        P(hit) = 1 - exp(-λ·TTL) a real cache shows.
+        """
+        events: list[tuple[float, object, object]] = []
+        slot_days = slot / DAY
+        for block in self.world.blocks:
+            if not block.has_clients:
+                continue
+            # Humans follow the local diurnal curve; bots run 24/7 —
+            # the temporal contrast §6 proposes as a human-vs-bot
+            # signal.
+            factor = diurnal_factor(start, block.location.lon,
+                                    self.config.diurnal_amplitude)
+            self._plan_browse(events, block, start, slot,
+                              slot_days * factor, slot_days)
+            self._plan_chromium(events, block, start, slot,
+                                slot_days * factor)
+        events.sort(key=lambda e: e[0])
+        clock = self.world.clock
+        for timestamp, action, args in events:
+            clock.advance_to(timestamp)
+            action(*args)
+
+    def _plan_browse(
+        self,
+        events: list,
+        block: ClientBlock,
+        start: float,
+        slot: float,
+        scaled_days: float,
+        flat_days: float,
+    ) -> None:
+        config = self.config
+        rng = self._rng
+        end = start + slot
+        dns_budget = (
+            block.users * config.dns_events_per_user * scaled_days
+            + block.bots * config.dns_events_per_user
+            * config.bot_dns_multiplier * flat_days
+        )
+        for domain, share in self._block_domain_shares(block):
+            rate = dns_budget * share
+            # One representative resolution if any query occurred this
+            # slot, stamped at the time of the *last* query.
+            if rate <= 0 or rng.random() > -math.expm1(-rate):
+                continue
+            age = rng.expovariate(rate / slot)
+            timestamp = max(start, end - age)
+            events.append((timestamp, self._do_dns_event, (block, domain)))
+        # HTTP to the CDN: volume matters for the Microsoft clients
+        # dataset, so sample a real count rather than a Bernoulli.
+        # Narrow-mix bot blocks that never *resolve* the CDN's domain
+        # still fetch from the CDN occasionally (cached addresses,
+        # hardcoded endpoints) — a major CDN sees virtually every
+        # client network, which is what makes it usable ground truth.
+        http_rate = (block.users * config.http_requests_per_user * scaled_days
+                     + block.bots * config.http_requests_per_user * flat_days)
+        if not any(domain.name == self.world.cdn.domain
+                   for domain, _ in self._block_domain_shares(block)):
+            http_rate *= 0.2
+        requests = self._poisson(http_rate)
+        if requests > 0:
+            events.append((
+                start + rng.random() * slot,
+                self._do_http,
+                (block, requests),
+            ))
+
+    def _plan_chromium(
+        self,
+        events: list,
+        block: ClientBlock,
+        start: float,
+        slot: float,
+        scaled_days: float,
+    ) -> None:
+        config = self.config
+        rng = self._rng
+        count = self._poisson(
+            block.users * block.chromium_share
+            * config.chromium_events_per_user * scaled_days
+        )
+        for _ in range(count):
+            events.append((start + rng.random() * slot,
+                           self._do_chromium_event, (block,)))
+        leaks = self._poisson(
+            block.users * config.leak_queries_per_user * scaled_days
+        )
+        for _ in range(leaks):
+            events.append((start + rng.random() * slot,
+                           self._do_leak, (block,)))
+
+    def _block_domain_shares(
+        self, block: ClientBlock
+    ) -> list[tuple[DomainSpec, float]]:
+        """The domain mix a block's clients query.
+
+        Humans browse the country's full popularity distribution;
+        bot-only blocks are single-purpose machines hitting a narrow,
+        per-block set of targets (which is why §6 proposes "activity
+        across a range of user-facing services" as a human signal).
+        """
+        if block.users > 0:
+            return self._domain_shares[block.country]
+        cached = self._bot_domain_shares.get(block.slash24)
+        if cached is None:
+            full = self._domain_shares[block.country]
+            rng = random.Random(block.slash24 * 2654435761 % 2**32)
+            picks = rng.sample(range(len(full)), k=min(3, len(full)))
+            total = sum(full[i][1] for i in picks) or 1.0
+            cached = [(full[i][0], full[i][1] / total) for i in picks]
+            self._bot_domain_shares[block.slash24] = cached
+        return cached
+
+    # -- event executors -------------------------------------------------
+
+    def _do_dns_event(self, block: ClientBlock, domain: DomainSpec) -> None:
+        client_ip = self._client_ip(block)
+        resolver_ip = self._resolve(block, domain, client_ip)
+        self.stats.dns_queries += 1
+        name = str(domain.name)
+        self.stats.per_domain_queries[name] = (
+            self.stats.per_domain_queries.get(name, 0) + 1
+        )
+        if domain.name == self.world.cdn.domain:
+            self.world.cdn.record_session(client_ip, resolver_ip)
+
+    def _do_http(self, block: ClientBlock, requests: int) -> None:
+        self.world.cdn.record_http(self._client_ip(block), requests)
+        self.stats.http_requests += requests
+
+    def _do_chromium_event(self, block: ClientBlock) -> None:
+        self.stats.chromium_events += 1
+        client_ip = self._client_ip(block)
+        for name in chromium_probe_names(self._rng):
+            self._resolve_raw(block, name, client_ip)
+            self.stats.root_queries += 1
+
+    def _do_leak(self, block: ClientBlock) -> None:
+        self._resolve_raw(block, leaked_label(self._rng), self._client_ip(block))
+        self.stats.root_queries += 1
+
+    # -- resolution paths -------------------------------------------------
+
+    def _resolve(self, block: ClientBlock, domain: DomainSpec,
+                 client_ip: int) -> int:
+        """Resolve through the block's DNS path; returns the resolver IP
+        the authoritative side would observe."""
+        return self._resolve_raw(block, domain.name, client_ip)
+
+    def _resolve_raw(self, block: ClientBlock, name, client_ip: int) -> int:
+        world = self.world
+        use_google = (
+            block.resolver_ip == 0
+            or self._rng.random() < block.google_dns_share
+        )
+        if use_google:
+            outcome = world.public_dns.query(
+                DnsQuery(name=name, source_ip=client_ip,
+                         transport=Transport.UDP),
+                block.location,
+            )
+            self.stats.google_dns_queries += 1
+            return world.public_dns.site(outcome.pop_id).egress_ip
+        resolver = world.resolvers[block.resolver_ip]
+        resolver.resolve(name, client_ip=client_ip)
+        return resolver.ip
+
+    def _client_ip(self, block: ClientBlock) -> int:
+        # .250+ are reserved for resolvers hosted inside client blocks.
+        return block.prefix.network + self._rng.randrange(1, 250)
+
+    def _poisson(self, mean: float) -> int:
+        """Poisson sample (Knuth for small means, normal approx above)."""
+        if mean <= 0:
+            return 0
+        if mean > 50:
+            return max(0, round(self._rng.gauss(mean, math.sqrt(mean))))
+        limit = math.exp(-mean)
+        count = 0
+        product = self._rng.random()
+        while product > limit:
+            count += 1
+            product *= self._rng.random()
+        return count

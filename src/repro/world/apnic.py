@@ -1,0 +1,83 @@
+"""APNIC-style per-AS user population estimates.
+
+APNIC's "How big is that network?" methodology [19] measures ad
+impressions served by Google Ads and scales samples per AS by national
+Internet-user figures.  The paper criticises it (§1): unvalidated,
+AS-granularity only, expensive, with coverage hostage to ad-bidding.
+
+We model the estimator faithfully enough to reproduce its failure
+modes: impression *sampling* (small ASes are missed entirely), uneven
+per-country ad reach, and scaling by (true) country user totals.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+from repro.world.builder import World
+
+
+class ApnicEstimator:
+    """Ad-impression sampling over a world's user population."""
+
+    def __init__(self, world: World, seed: int = 21) -> None:
+        self._world = world
+        self._rng = random.Random(seed)
+
+    def estimate(self, impressions: int = 200_000) -> dict[int, float]:
+        """Per-AS estimated user counts from ``impressions`` samples.
+
+        ASes that draw no impressions are absent — the coverage gap §4
+        quantifies (APNIC misses 64% of ASes with Microsoft clients).
+        """
+        if impressions < 1:
+            raise ValueError("need at least one impression")
+        world = self._world
+        # Ad impressions land on *users*, weighted by the country's ad
+        # reach (ad inventory is thin in some markets).
+        weighted_blocks = []
+        weights = []
+        reach = {c.code: c.ad_reach for c in world.countries}
+        for block in world.blocks:
+            if block.users > 0:
+                weighted_blocks.append(block)
+                weights.append(block.users * reach.get(block.country, 0.5))
+            elif block.bots > 0:
+                # Automation in data centres views a trickle of ads,
+                # which is why real APNIC data lists cloud ASes with
+                # tiny estimated populations.
+                weighted_blocks.append(block)
+                weights.append(block.bots * 0.05)
+        if not weighted_blocks:
+            return {}
+        sampled = self._rng.choices(weighted_blocks, weights=weights,
+                                    k=impressions)
+        by_as_country: Counter[tuple[int, str]] = Counter()
+        by_country: Counter[str] = Counter()
+        for block in sampled:
+            by_as_country[(block.asn, block.country)] += 1
+            by_country[block.country] += 1
+        # Scale samples to national user totals, as APNIC scales to ITU
+        # figures.  The totals are the world's ground truth: APNIC's
+        # error is in the sampling, not in the national denominators.
+        country_users = world.true_users_by_country()
+        estimates: dict[int, float] = {}
+        for (asn, country), count in by_as_country.items():
+            national = country_users.get(country, 0)
+            share = count / by_country[country]
+            estimates[asn] = estimates.get(asn, 0.0) + share * national
+        return estimates
+
+    def estimate_by_country(
+        self, impressions: int = 200_000
+    ) -> dict[str, dict[int, float]]:
+        """Per-country view of :meth:`estimate` (Figure 3's input)."""
+        per_as = self.estimate(impressions)
+        result: dict[str, dict[int, float]] = {}
+        for asn, users in per_as.items():
+            record = self._world.registry.get(asn)
+            if record is None:
+                continue
+            result.setdefault(record.country, {})[asn] = users
+        return result

@@ -1,0 +1,72 @@
+"""ASdb-style AS categorisation.
+
+§4 uses ASdb [38] to characterise the 29,973 ASes its techniques find
+but APNIC misses: 92.7% of them are categorised, 39.5% are ISPs, 17.4%
+hosting/cloud, 6.2% education.  We model ASdb as a lookup over the
+generator's ground-truth categories with imperfect coverage and a
+small mislabelling rate.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.net.asn import ASCategory
+from repro.world.builder import World
+
+#: ASdb's human-readable top-level labels for our categories.
+CATEGORY_LABELS: dict[ASCategory, str] = {
+    ASCategory.ISP: "Internet Service Provider (ISP)",
+    ASCategory.HOSTING: "Hosting and Cloud Provider",
+    ASCategory.EDUCATION: "Education and Research",
+    ASCategory.ENTERPRISE: "Enterprise",
+    ASCategory.CONTENT: "Content and Media",
+    ASCategory.GOVERNMENT: "Government and Public Administration",
+    ASCategory.NONPROFIT: "Non-Profit",
+}
+
+
+class AsdbSnapshot:
+    """A categorisation snapshot with configurable coverage."""
+
+    def __init__(
+        self,
+        world: World,
+        seed: int = 31,
+        coverage: float = 0.927,
+        mislabel_rate: float = 0.03,
+    ) -> None:
+        if not 0.0 <= coverage <= 1.0:
+            raise ValueError("coverage out of [0, 1]")
+        if not 0.0 <= mislabel_rate <= 1.0:
+            raise ValueError("mislabel_rate out of [0, 1]")
+        rng = random.Random(seed)
+        self._labels: dict[int, str] = {}
+        categories = list(CATEGORY_LABELS)
+        for record in world.registry:
+            if rng.random() >= coverage:
+                continue  # ASdb never categorised this AS
+            category = record.category
+            if rng.random() < mislabel_rate:
+                category = rng.choice(categories)
+            self._labels[record.asn] = CATEGORY_LABELS[category]
+
+    def lookup(self, asn: int) -> str | None:
+        """The ASdb label for ``asn``, or None if uncategorised."""
+        return self._labels.get(asn)
+
+    def categorised(self, asns: set[int]) -> dict[int, str]:
+        """Labels for the subset of ``asns`` ASdb knows about."""
+        return {asn: self._labels[asn] for asn in asns if asn in self._labels}
+
+    def breakdown(self, asns: set[int]) -> dict[str, int]:
+        """Label histogram over ``asns`` (uncategorised ASes omitted)."""
+        counts: dict[str, int] = {}
+        for asn in asns:
+            label = self._labels.get(asn)
+            if label is not None:
+                counts[label] = counts.get(label, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self._labels)

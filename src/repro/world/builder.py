@@ -1,0 +1,615 @@
+"""Synthetic Internet generation.
+
+:class:`WorldBuilder` turns a :class:`WorldConfig` into a fully wired
+:class:`World`: countries populated with eyeball ASes announcing
+prefixes, /24 client blocks with users placed near real cities, ISP
+recursive resolvers, hosting ASes full of bots and empty space, the
+anycast public resolver with its 45-PoP deployment, root servers, the
+authoritative servers of the probe domains, and the Microsoft-like CDN.
+
+Ground truth (who actually has clients where) is retained on the
+:class:`World`, so the measurement techniques built on top can be
+scored exactly — the luxury the paper lacked.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.net.asn import ASCategory, ASRecord, ASRegistry
+from repro.net.geo import GeoPoint, jitter_point
+from repro.net.ipv4 import is_reserved
+from repro.net.prefix import Prefix
+from repro.net.routing import RouteTable
+from repro.dns.anycast import AnycastCatchment
+from repro.dns.public_dns import AuthoritativeDirectory, PublicDnsService
+from repro.dns.resolver import RecursiveResolver, ResolverConfig
+from repro.dns.root import RootServerSystem
+from repro.sim.clock import Clock
+from repro.world.cdn import CdnService
+from repro.world.countries import COUNTRIES, Country
+from repro.world.domains_catalog import (
+    MICROSOFT_CDN_DOMAIN,
+    build_authoritatives,
+    default_domains,
+    probe_domains,
+)
+from repro.world.geodata import GeoAccuracy, GeoDatabase
+from repro.world.model import ClientBlock, DomainSpec, PopDescriptor
+from repro.world.pops import default_pops
+
+
+@dataclass(frozen=True, slots=True)
+class WorldConfig:
+    """Knobs for world generation.
+
+    ``target_blocks`` is the approximate number of /24 *client blocks*
+    (active /24s); announced-but-empty space comes on top, governed by
+    each AS's activity fraction.
+    """
+
+    seed: int = 42
+    target_blocks: int = 4000
+    countries: tuple[Country, ...] = COUNTRIES
+    mean_users_per_block: float = 60.0
+    hosting_as_fraction: float = 0.18
+    empty_as_fraction: float = 0.06
+    resolver_ecs_share: float = 0.30
+    pools_per_pop: int = 3
+    anycast_inflation: float = 0.12
+    scope_flip_probability: float = 0.08
+    scope_shift: int = 3  # scopes finer by 3 bits: the world is small
+    geo_accuracy: GeoAccuracy = field(default_factory=GeoAccuracy)
+
+    def __post_init__(self) -> None:
+        if self.target_blocks < 10:
+            raise ValueError("target_blocks must be at least 10")
+        if not 0 <= self.hosting_as_fraction < 1:
+            raise ValueError("hosting_as_fraction out of range")
+
+
+#: First octets never handed out (reserved or multicast space).
+_FORBIDDEN_OCTETS = frozenset(
+    # 8/8 is reserved for the public resolver operator's egress
+    # addresses (8.8.x.y), handed to its AS explicitly.
+    {0, 8, 10, 100, 127, 169, 172, 192, 198, 203} | set(range(224, 256))
+)
+
+
+class AddressAllocator:
+    """Hands out aligned prefixes, clustered by region.
+
+    Real address space is regionally clustered (RIR allocations), which
+    matters to the techniques: an authoritative's coarse ECS scope (say
+    a /16) must not leak across continents.  Each region key (we use
+    country codes) draws from its own dedicated /8s.
+    """
+
+    def __init__(self) -> None:
+        self._next_octet = 1
+        # Per region: (cursor, end-of-current-/8).
+        self._regions: dict[str, tuple[int, int]] = {}
+
+    def _fresh_slash8(self) -> tuple[int, int]:
+        while self._next_octet in _FORBIDDEN_OCTETS:
+            self._next_octet += 1
+        if self._next_octet > 223:
+            raise RuntimeError("address space exhausted")
+        base = self._next_octet << 24
+        self._next_octet += 1
+        return base, base + (1 << 24)
+
+    def allocate(self, length: int, region: str = "global") -> Prefix:
+        """The next free aligned /``length`` prefix in ``region``'s space."""
+        if not 8 <= length <= 24:
+            raise ValueError(f"allocation length /{length} unsupported")
+        size = 1 << (32 - length)
+        cursor, limit = self._regions.get(region) or self._fresh_slash8()
+        cursor = (cursor + size - 1) & ~(size - 1)
+        if cursor + size > limit:
+            cursor, limit = self._fresh_slash8()
+        prefix = Prefix(cursor, length)
+        if is_reserved(prefix.first_address()) or is_reserved(prefix.last_address()):
+            raise RuntimeError(f"allocator produced reserved prefix {prefix}")
+        self._regions[region] = (cursor + size, limit)
+        return prefix
+
+
+@dataclass
+class World:
+    """A fully wired synthetic Internet."""
+
+    config: WorldConfig
+    clock: Clock
+    countries: tuple[Country, ...]
+    registry: ASRegistry
+    routes: RouteTable
+    blocks: list[ClientBlock]
+    resolvers: dict[int, RecursiveResolver]
+    geodb: GeoDatabase
+    domains: list[DomainSpec]
+    authoritatives: AuthoritativeDirectory
+    authoritative_servers: dict[str, object]
+    public_dns: PublicDnsService
+    roots: RootServerSystem
+    cdn: CdnService
+    pop_descriptors: list[PopDescriptor]
+    user_catchment: AnycastCatchment
+    cloud_catchment: AnycastCatchment
+    google_asn: int
+    cloud_asn: int
+    #: ground-truth geolocation of every placed prefix:
+    #: (prefix, true location, country, kind) where kind is "client",
+    #: "idle" or "infrastructure" — what the geodb's entries are noisy
+    #: versions of.
+    geo_truth: list[tuple[Prefix, GeoPoint, str, str]] = field(
+        default_factory=list)
+
+    # -- ground truth helpers -------------------------------------------
+
+    def block_by_slash24(self, slash24: int) -> ClientBlock | None:
+        """The client block at a /24 id, or None."""
+        return self._block_index().get(slash24)
+
+    def _block_index(self) -> dict[int, ClientBlock]:
+        index = self.__dict__.get("_block_index_cache")
+        if index is None:
+            index = {b.slash24: b for b in self.blocks}
+            self.__dict__["_block_index_cache"] = index
+        return index
+
+    def client_blocks(self) -> list[ClientBlock]:
+        """Blocks that truly contain web clients (users or bots)."""
+        return [b for b in self.blocks if b.has_clients]
+
+    def client_slash24_ids(self) -> set[int]:
+        """/24 ids of every block with clients."""
+        return {b.slash24 for b in self.client_blocks()}
+
+    def user_slash24_ids(self) -> set[int]:
+        """/24 ids of every block with human users."""
+        return {b.slash24 for b in self.blocks if b.users > 0}
+
+    def asns_with_clients(self) -> set[int]:
+        """ASNs owning at least one client block."""
+        return {b.asn for b in self.client_blocks()}
+
+    def true_users_by_asn(self) -> dict[int, int]:
+        """Ground-truth user counts per ASN."""
+        totals: dict[int, int] = {}
+        for block in self.blocks:
+            if block.users:
+                totals[block.asn] = totals.get(block.asn, 0) + block.users
+        return totals
+
+    def true_users_by_country(self) -> dict[str, int]:
+        """Ground-truth user counts per country."""
+        totals: dict[str, int] = {}
+        for block in self.blocks:
+            if block.users:
+                totals[block.country] = totals.get(block.country, 0) + block.users
+        return totals
+
+    def resolver_of_block(self, block: ClientBlock) -> RecursiveResolver:
+        """The resolver a block's clients use."""
+        return self.resolvers[block.resolver_ip]
+
+
+class WorldBuilder:
+    """Generates a :class:`World` from a :class:`WorldConfig`."""
+
+    def __init__(self, config: WorldConfig | None = None) -> None:
+        self.config = config or WorldConfig()
+        self._rng = random.Random(self.config.seed)
+        self._allocator = AddressAllocator()
+        self._next_asn = 64500
+        self._operator_blocks: list[ClientBlock] = []
+        self._operator_geo: list[tuple[Prefix, GeoPoint, str, str]] = []
+
+    # -- public entry point ----------------------------------------------
+
+    def build(self) -> World:
+        """Generate the fully wired world."""
+        config = self.config
+        rng = self._rng
+        clock = Clock()
+        registry = ASRegistry()
+        blocks: list[ClientBlock] = []
+        resolver_plan: list[tuple[int, GeoPoint, int, bool]] = []
+        geo_truth: list[tuple[Prefix, GeoPoint, str, str]] = []
+
+        country_blocks = self._country_block_quota()
+        for country in config.countries:
+            self._build_country(
+                country,
+                country_blocks[country.code],
+                registry,
+                blocks,
+                resolver_plan,
+                geo_truth,
+                rng,
+            )
+        self._build_hosting_ases(registry, blocks, geo_truth, rng)
+        # Operator ASes (the public resolver, the cloud) host non-human
+        # clients of their own — crawlers and workloads that also fetch
+        # from CDNs — so they appear in CDN client logs, as §B.3's
+        # Google-AS weights imply.
+        google_asn = self._build_operator_as(
+            registry, "GooglePublicDNS", "US",
+            # The public resolver's egress addresses live in 8.8.0.0/16
+            # (see PublicDnsService's per-PoP egress assignment).
+            announce=Prefix(0x08080000, 16),
+        )
+        cloud_asn = self._build_operator_as(registry, "CloudProvider", "US",
+                                            length=16)
+
+        blocks.extend(self._operator_blocks)
+        geo_truth.extend(self._operator_geo)
+        routes = RouteTable.from_registry(registry)
+        geodb = GeoDatabase.from_truth(geo_truth, rng, config.geo_accuracy)
+
+        pop_descriptors = default_pops()
+        user_catchment = AnycastCatchment(
+            [d.pop for d in pop_descriptors],
+            seed=config.seed,
+            inflation=config.anycast_inflation,
+        )
+        cloud_catchment = AnycastCatchment(
+            [d.pop for d in pop_descriptors
+             if d.cloud_reachable and d.active],
+            seed=config.seed,
+            inflation=config.anycast_inflation,
+        )
+
+        domains = default_domains()
+        authoritatives, servers = build_authoritatives(
+            clock, domains, rng, config.scope_flip_probability,
+            config.scope_shift,
+        )
+        roots = RootServerSystem(clock, seed=config.seed + 1)
+        public_dns = PublicDnsService(
+            clock,
+            user_catchment,
+            authoritatives,
+            seed=config.seed + 2,
+            pools_per_pop=config.pools_per_pop,
+            roots=roots,
+            extra_catchments={"cloud": cloud_catchment},
+        )
+        resolvers = self._build_resolvers(
+            clock, roots, authoritatives, resolver_plan
+        )
+        cdn = CdnService(
+            clock,
+            domain=MICROSOFT_CDN_DOMAIN,
+            authoritative=servers["microsoft"],
+        )
+        world = World(
+            config=config,
+            clock=clock,
+            countries=config.countries,
+            registry=registry,
+            routes=routes,
+            blocks=blocks,
+            resolvers=resolvers,
+            geodb=geodb,
+            domains=domains,
+            authoritatives=authoritatives,
+            authoritative_servers=servers,
+            public_dns=public_dns,
+            roots=roots,
+            cdn=cdn,
+            pop_descriptors=pop_descriptors,
+            user_catchment=user_catchment,
+            cloud_catchment=cloud_catchment,
+            google_asn=google_asn,
+            cloud_asn=cloud_asn,
+            geo_truth=geo_truth,
+        )
+        return world
+
+    # -- per-country generation ------------------------------------------
+
+    def _country_block_quota(self) -> dict[str, int]:
+        config = self.config
+        total_weight = sum(c.internet_users_m for c in config.countries)
+        return {
+            c.code: max(4, round(config.target_blocks * c.internet_users_m
+                                 / total_weight))
+            for c in config.countries
+        }
+
+    def _build_country(
+        self,
+        country: Country,
+        quota: int,
+        registry: ASRegistry,
+        blocks: list[ClientBlock],
+        resolver_plan: list[tuple[int, GeoPoint, int, bool]],
+        geo_truth: list[tuple[Prefix, GeoPoint, str]],
+        rng: random.Random,
+    ) -> None:
+        # Heavy-tailed AS sizes: a few large ISPs and a long tail of
+        # tiny ASes (which APNIC's sampling and the resolver-based
+        # techniques tend to miss, per §4).
+        as_count = max(2, int(quota ** 0.75))
+        weights = [1.0 / (i + 1) ** 1.15 for i in range(as_count)]
+        weight_sum = sum(weights)
+        shares = [w / weight_sum for w in weights]
+        remaining = quota
+        resolver_pool: list[int] = []
+        for index in range(as_count):
+            active_quota = max(1, round(quota * shares[index]))
+            active_quota = min(active_quota, remaining) if index < as_count - 1 \
+                else max(1, remaining)
+            remaining = max(0, remaining - active_quota)
+            category = self._pick_eyeball_category(rng)
+            record = self._new_as(registry, country.code, category)
+            self._populate_eyeball_as(
+                record, country, active_quota, blocks, resolver_plan,
+                geo_truth, rng, resolver_pool,
+            )
+            if remaining <= 0 and index >= 1:
+                break
+
+    def _pick_eyeball_category(self, rng: random.Random) -> ASCategory:
+        roll = rng.random()
+        if roll < 0.68:
+            return ASCategory.ISP
+        if roll < 0.82:
+            return ASCategory.ENTERPRISE
+        if roll < 0.94:
+            return ASCategory.EDUCATION
+        return ASCategory.GOVERNMENT
+
+    def _new_as(
+        self, registry: ASRegistry, country: str, category: ASCategory
+    ) -> ASRecord:
+        asn = self._next_asn
+        self._next_asn += 1
+        record = ASRecord(
+            asn=asn,
+            name=f"{category.value}-{country}-{asn}".lower(),
+            category=category,
+            country=country,
+        )
+        registry.add(record)
+        return record
+
+    def _populate_eyeball_as(
+        self,
+        record: ASRecord,
+        country: Country,
+        active_quota: int,
+        blocks: list[ClientBlock],
+        resolver_plan: list[tuple[int, GeoPoint, int, bool]],
+        geo_truth: list[tuple[Prefix, GeoPoint, str, str]],
+        rng: random.Random,
+        resolver_pool: list[int],
+    ) -> None:
+        config = self.config
+        # The fraction of announced /24s that actually host clients
+        # varies widely across ASes (Figure 4), but overall client
+        # density in routed space is high (~73% of routed /24s contact
+        # the CDN daily): right-leaning Beta with a low tail.
+        active_fraction = max(0.08, min(1.0, rng.betavariate(1.5, 0.55)))
+        announced_quota = max(active_quota,
+                              math.ceil(active_quota / active_fraction))
+        slots = self._announce_space(record, announced_quota, rng,
+                                     region=country.code)
+        rng.shuffle(slots)
+        active_slots = slots[:active_quota]
+        slot_locations = [self._pick_location(country, rng)
+                          for _ in active_slots]
+        resolver_ips = self._place_resolvers(
+            record, country, active_slots, slot_locations, active_quota,
+            resolver_plan, geo_truth, rng, resolver_pool,
+        )
+
+        for slot, location in zip(active_slots, slot_locations):
+            blocks.append(ClientBlock(
+                prefix=slot,
+                asn=record.asn,
+                country=country.code,
+                location=location,
+                users=max(5, int(rng.lognormvariate(
+                    math.log(config.mean_users_per_block), 0.8))),
+                bots=rng.randrange(3) if rng.random() < 0.1 else 0,
+                resolver_ip=rng.choice(resolver_ips),
+                google_dns_share=self._jitter_share(
+                    country.google_dns_share, rng),
+                chromium_share=self._jitter_share(country.chromium_share, rng),
+            ))
+            geo_truth.append((slot, location, country.code, "client"))
+        # Empty announced /24s still geolocate (usually poorly).
+        for slot in slots[active_quota:]:
+            geo_truth.append(
+                (slot, self._pick_location(country, rng), country.code,
+                 "idle")
+            )
+
+    def _place_resolvers(
+        self,
+        record: ASRecord,
+        country: Country,
+        active_slots: list[Prefix],
+        slot_locations: list[GeoPoint],
+        active_quota: int,
+        resolver_plan: list[tuple[int, GeoPoint, int, bool]],
+        geo_truth: list[tuple[Prefix, GeoPoint, str, str]],
+        rng: random.Random,
+        resolver_pool: list[int],
+    ) -> list[int]:
+        """Decide where this AS's clients resolve.
+
+        Large ASes run their own recursive resolvers, usually hosted
+        inside address pools shared with clients (which is why §4 finds
+        95.5% of DNS-logs /24s also in the CDN client logs), sometimes
+        in a dedicated infrastructure /24.  Small ASes do not run
+        resolvers: their clients use an upstream provider's resolver in
+        the same country — attributing their Chromium probes to the
+        *upstream's* AS — or a public resolver (``resolver_ip`` 0 means
+        Google).  These are exactly the ASes DNS logs misses.
+        """
+        config = self.config
+        runs_own = bool(active_slots) and (active_quota >= 3
+                                           or rng.random() < 0.5)
+        if not runs_own:
+            # No resolver of its own: clients use an upstream
+            # provider's resolver or a public one.
+            if resolver_pool and rng.random() < 0.6:
+                return [rng.choice(resolver_pool)]
+            return [0]
+        resolver_count = max(1, active_quota // 40)
+        sends_ecs = rng.random() < config.resolver_ecs_share
+        resolver_ips: list[int] = []
+        for index in range(resolver_count):
+            if rng.random() < 0.92:
+                # Hosted inside a client /24.
+                host_index = rng.randrange(len(active_slots))
+                host = active_slots[host_index]
+                location = slot_locations[host_index]
+                ip = host.network + 250 + (index % 5)
+            else:
+                # Dedicated infrastructure /24.
+                infra = self._allocator.allocate(24, region=country.code)
+                record.announce(infra)
+                location = self._pick_location(country, rng)
+                geo_truth.append((infra, location, country.code,
+                                  "infrastructure"))
+                ip = infra.network + 10 + index
+            if ip in (plan_ip for plan_ip, *_ in resolver_plan):
+                continue
+            resolver_plan.append((ip, location, record.asn, sends_ecs))
+            resolver_ips.append(ip)
+        resolver_pool.extend(resolver_ips)
+        return resolver_ips or [0]
+
+    def _announce_space(
+        self, record: ASRecord, slash24_quota: int, rng: random.Random,
+        region: str = "global",
+    ) -> list[Prefix]:
+        """Announce prefixes totalling ``slash24_quota`` /24s; return
+        the individual /24 slots."""
+        slots: list[Prefix] = []
+        remaining = slash24_quota
+        while remaining > 0:
+            max_bits = min(6, remaining.bit_length() - 1)
+            bits = rng.randint(0, max_bits) if max_bits > 0 else 0
+            chunk = self._allocator.allocate(24 - bits, region=region)
+            record.announce(chunk)
+            slots.extend(chunk.slash24s())
+            remaining -= 1 << bits
+        return slots
+
+    def _pick_location(self, country: Country, rng: random.Random) -> GeoPoint:
+        weights = [c.weight for c in country.cities]
+        city = rng.choices(country.cities, weights=weights, k=1)[0]
+        return jitter_point(city.location, 40.0, rng)
+
+    @staticmethod
+    def _jitter_share(share: float, rng: random.Random) -> float:
+        return max(0.0, min(1.0, share + rng.uniform(-0.08, 0.08)))
+
+    # -- hosting / empty ASes -----------------------------------------------
+
+    def _build_hosting_ases(
+        self,
+        registry: ASRegistry,
+        blocks: list[ClientBlock],
+        geo_truth: list[tuple[Prefix, GeoPoint, str]],
+        rng: random.Random,
+    ) -> None:
+        config = self.config
+        eyeball_count = len(registry)
+        hosting_count = max(2, int(eyeball_count * config.hosting_as_fraction))
+        empty_count = max(1, int(eyeball_count * config.empty_as_fraction))
+        hubs = [c for c in config.countries
+                if c.code in {"US", "DE", "NL", "SG", "GB", "JP", "FR", "IN"}]
+        if not hubs:
+            hubs = list(config.countries)
+        for index in range(hosting_count + empty_count):
+            country = rng.choice(hubs)
+            category = (ASCategory.HOSTING if index < hosting_count
+                        else rng.choice((ASCategory.CONTENT,
+                                         ASCategory.ENTERPRISE)))
+            record = self._new_as(registry, country.code, category)
+            announced = rng.randint(3, 24) if index < hosting_count \
+                else rng.randint(2, 8)
+            slots = self._announce_space(record, announced, rng,
+                                         region=country.code)
+            is_empty_as = index >= hosting_count
+            for slot in slots:
+                location = self._pick_location(country, rng)
+                kind = "idle" if is_empty_as else "client"
+                geo_truth.append((slot, location, country.code, kind))
+                if is_empty_as or rng.random() > 0.5:
+                    continue  # most hosting space has no web *clients*
+                blocks.append(ClientBlock(
+                    prefix=slot,
+                    asn=record.asn,
+                    country=country.code,
+                    location=location,
+                    users=0,
+                    bots=rng.randint(2, 25),
+                    resolver_ip=0,  # bots resolve via public DNS
+                    google_dns_share=1.0,
+                    chromium_share=0.0,
+                ))
+
+    def _build_operator_as(
+        self, registry: ASRegistry, name: str, country: str,
+        length: int = 20, announce: Prefix | None = None,
+        bot_blocks: int = 3,
+    ) -> int:
+        record = self._new_as(registry, country, ASCategory.CONTENT)
+        record.name = name.lower()
+        prefix = (announce if announce is not None
+                  else self._allocator.allocate(length, region="operators"))
+        record.announce(prefix)
+        location = GeoPoint(37.4, -122.0)  # operator HQ region
+        slots = list(prefix.slash24s())
+        for slot in slots[1:1 + bot_blocks]:
+            self._operator_blocks.append(ClientBlock(
+                prefix=slot,
+                asn=record.asn,
+                country=country,
+                location=location,
+                users=0,
+                bots=self._rng.randint(4, 20),
+                resolver_ip=0,
+                google_dns_share=1.0,
+                chromium_share=0.0,
+            ))
+            self._operator_geo.append((slot, location, country,
+                                       "infrastructure"))
+        return record.asn
+
+    # -- resolvers ---------------------------------------------------------
+
+    def _build_resolvers(
+        self,
+        clock: Clock,
+        roots: RootServerSystem,
+        authoritatives: AuthoritativeDirectory,
+        plan: list[tuple[int, GeoPoint, int, bool]],
+    ) -> dict[int, RecursiveResolver]:
+        resolvers: dict[int, RecursiveResolver] = {}
+        for ip, location, asn, sends_ecs in plan:
+            resolvers[ip] = RecursiveResolver(
+                clock=clock,
+                ip=ip,
+                location=location,
+                asn=asn,
+                roots=roots,
+                authoritatives=authoritatives,
+                config=ResolverConfig(sends_ecs=sends_ecs),
+            )
+        return resolvers
+
+
+def build_world(config: WorldConfig | None = None) -> World:
+    """Convenience one-shot builder."""
+    return WorldBuilder(config).build()

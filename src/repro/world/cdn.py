@@ -1,0 +1,104 @@
+"""The Microsoft-like CDN and its three proprietary validation datasets.
+
+§4 validates against server-side views of two Azure services:
+
+* **Microsoft clients** — CDN access counts aggregated by client /24;
+* **Microsoft resolvers** — distinct client IPs observed per recursive
+  resolver (the CDN can associate a client's HTTP session with the
+  resolver that performed its DNS lookup);
+* **cloud ECS prefixes** — the ECS prefixes seen in queries at the
+  Traffic Manager authoritative.
+
+The simulator records the same three views as activity flows through
+the world; exporters return them in the aggregate forms the paper's
+tables consume.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from repro.net.prefix import Prefix, slash24_id
+from repro.dns.authoritative import AuthoritativeServer
+from repro.dns.name import DnsName
+from repro.sim.clock import Clock
+
+
+class CdnService:
+    """Server-side logging for the CDN and its DNS load balancer."""
+
+    def __init__(
+        self,
+        clock: Clock,
+        domain: DnsName,
+        authoritative: AuthoritativeServer,
+    ) -> None:
+        self._clock = clock
+        self.domain = domain
+        self._authoritative = authoritative
+        self._http_hits: Counter[int] = Counter()          # /24 id -> requests
+        self._clients_by_resolver: defaultdict[int, set[int]] = defaultdict(set)
+
+    # -- recording --------------------------------------------------------
+
+    def record_http(self, client_ip: int, requests: int = 1) -> None:
+        """The CDN served ``requests`` HTTP requests to ``client_ip``."""
+        if requests < 1:
+            raise ValueError("requests must be positive")
+        self._http_hits[slash24_id(client_ip)] += requests
+
+    def record_session(self, client_ip: int, resolver_ip: int) -> None:
+        """An HTTP session whose DNS lookup came via ``resolver_ip``."""
+        self._clients_by_resolver[resolver_ip].add(client_ip)
+
+    # -- the three datasets ----------------------------------------------
+
+    def microsoft_clients(self) -> dict[int, int]:
+        """CDN request volume per client /24 id."""
+        return dict(self._http_hits)
+
+    def microsoft_resolvers(self) -> dict[int, int]:
+        """Distinct client-IP count per recursive resolver IP."""
+        return {ip: len(clients)
+                for ip, clients in self._clients_by_resolver.items()}
+
+    def cloud_ecs_prefixes(
+        self, start: float = 0.0, end: float | None = None
+    ) -> set[Prefix]:
+        """ECS prefixes observed at the Traffic Manager authoritative."""
+        end = self._end_of_window(end)
+        prefixes: set[Prefix] = set()
+        for entry in self._authoritative.log.between(start, end):
+            if entry.name == self.domain and entry.ecs is not None:
+                prefixes.add(entry.ecs.prefix)
+        return prefixes
+
+    def ecs_query_volume_by_prefix(
+        self, start: float = 0.0, end: float | None = None
+    ) -> dict[Prefix, int]:
+        """ECS query counts per prefix at the Traffic Manager."""
+        end = self._end_of_window(end)
+        volume: Counter[Prefix] = Counter()
+        for entry in self._authoritative.log.between(start, end):
+            if entry.name == self.domain and entry.ecs is not None:
+                volume[entry.ecs.prefix] += 1
+        return dict(volume)
+
+    def _end_of_window(self, end: float | None) -> float:
+        """Default window end: just past "now", so entries logged at
+        the current instant are included (between() is half-open)."""
+        return self._clock.now + 1e-6 if end is None else end
+
+    # -- summary stats -----------------------------------------------------
+
+    def total_http_requests(self) -> int:
+        """All HTTP requests the CDN served."""
+        return sum(self._http_hits.values())
+
+    def client_slash24_ids(self) -> set[int]:
+        """/24 ids the CDN saw HTTP from."""
+        return set(self._http_hits)
+
+    def resolver_ips(self) -> set[int]:
+        """Resolver IPs observed in DNS sessions."""
+        return set(self._clients_by_resolver)

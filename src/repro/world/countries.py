@@ -1,0 +1,301 @@
+"""Country table for the synthetic Internet.
+
+Internet-user counts are rough real-world figures (millions, circa
+2021) used as *weights*; the world builder scales them down to the
+configured world size.  Cities anchor where client prefixes geolocate,
+so regional density (Figure 1) and PoP service radii (Figure 2) have
+realistic geography to work against.
+
+Per-country behavioural knobs model the adoption skews the paper
+discusses: Google Public DNS share varies (China very low), Chromium
+share varies, and APNIC's ad reach is uneven — the sources of
+disagreement between the datasets in §4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.geo import GeoPoint
+
+
+@dataclass(frozen=True, slots=True)
+class City:
+    """A population centre anchoring client geolocation."""
+    name: str
+    lat: float
+    lon: float
+    weight: float = 1.0
+
+    @property
+    def location(self) -> GeoPoint:
+        """The city's coordinates."""
+        return GeoPoint(self.lat, self.lon)
+
+
+@dataclass(frozen=True, slots=True)
+class Country:
+    """One country with its Internet-population weight and behaviour."""
+
+    code: str
+    name: str
+    region: str                    # NA, SA, EU, AS, AF, OC
+    internet_users_m: float        # millions, real-world scale weight
+    cities: tuple[City, ...]
+    google_dns_share: float = 0.32  # fraction of queries via Google [9]
+    chromium_share: float = 0.70    # Chromium-based browser share
+    ad_reach: float = 1.0           # APNIC ad-sampling reachability bias
+
+    def __post_init__(self) -> None:
+        if not self.cities:
+            raise ValueError(f"{self.code}: country needs at least one city")
+        if self.internet_users_m <= 0:
+            raise ValueError(f"{self.code}: users must be positive")
+        for share in (self.google_dns_share, self.chromium_share, self.ad_reach):
+            if not 0.0 <= share <= 1.0:
+                raise ValueError(f"{self.code}: share {share} out of [0, 1]")
+
+
+def _c(name: str, lat: float, lon: float, weight: float = 1.0) -> City:
+    return City(name, lat, lon, weight)
+
+
+#: The default world's countries.  South America gets normal user counts
+#: but (see builder) its PoPs are cloud-unreachable, reproducing the
+#: paper's Figure 3 coverage gap there.
+COUNTRIES: tuple[Country, ...] = (
+    # -- North America ----------------------------------------------------
+    Country("US", "United States", "NA", 300.0, (
+        _c("New York", 40.71, -74.01, 3.0), _c("Los Angeles", 34.05, -118.24, 2.5),
+        _c("Chicago", 41.88, -87.63, 1.5), _c("Dallas", 32.78, -96.80, 1.3),
+        _c("Seattle", 47.61, -122.33, 1.0), _c("Miami", 25.76, -80.19, 1.2),
+        _c("Denver", 39.74, -104.99, 0.7), _c("Atlanta", 33.75, -84.39, 1.1),
+    )),
+    Country("CA", "Canada", "NA", 35.0, (
+        _c("Toronto", 43.65, -79.38, 2.0), _c("Montreal", 45.50, -73.57, 1.3),
+        _c("Vancouver", 49.28, -123.12, 1.0),
+    )),
+    Country("MX", "Mexico", "NA", 90.0, (
+        _c("Mexico City", 19.43, -99.13, 3.0), _c("Guadalajara", 20.66, -103.35, 1.0),
+        _c("Monterrey", 25.69, -100.32, 1.0),
+    ), ad_reach=0.85),
+    # -- South America -----------------------------------------------------
+    Country("BR", "Brazil", "SA", 160.0, (
+        _c("Sao Paulo", -23.55, -46.63, 3.0), _c("Rio de Janeiro", -22.91, -43.17, 2.0),
+        _c("Brasilia", -15.79, -47.88, 0.8), _c("Fortaleza", -3.73, -38.52, 1.0),
+        _c("Porto Alegre", -30.03, -51.23, 0.8),
+    ), ad_reach=0.9),
+    Country("AR", "Argentina", "SA", 40.0, (
+        _c("Buenos Aires", -34.60, -58.38, 3.0), _c("Cordoba", -31.42, -64.18, 1.0),
+    ), ad_reach=0.85),
+    Country("CO", "Colombia", "SA", 35.0, (
+        _c("Bogota", 4.71, -74.07, 2.5), _c("Medellin", 6.24, -75.58, 1.0),
+    ), ad_reach=0.85),
+    Country("CL", "Chile", "SA", 15.0, (
+        _c("Santiago", -33.45, -70.67, 2.5),
+    ), ad_reach=0.9),
+    Country("PE", "Peru", "SA", 20.0, (
+        _c("Lima", -12.05, -77.04, 2.5),
+    ), ad_reach=0.8),
+    Country("VE", "Venezuela", "SA", 17.0, (
+        _c("Caracas", 10.48, -66.90, 2.0),
+    ), ad_reach=0.7),
+    Country("EC", "Ecuador", "SA", 10.0, (
+        _c("Quito", -0.18, -78.47, 1.5), _c("Guayaquil", -2.19, -79.89, 1.5),
+    ), ad_reach=0.8),
+    Country("BO", "Bolivia", "SA", 6.0, (
+        _c("La Paz", -16.49, -68.12, 1.5),
+    ), ad_reach=0.7),
+    Country("PY", "Paraguay", "SA", 4.0, (
+        _c("Asuncion", -25.26, -57.58, 1.5),
+    ), ad_reach=0.7),
+    Country("UY", "Uruguay", "SA", 3.0, (
+        _c("Montevideo", -34.90, -56.16, 1.5),
+    ), ad_reach=0.85),
+    # -- Europe ------------------------------------------------------------
+    Country("DE", "Germany", "EU", 78.0, (
+        _c("Berlin", 52.52, 13.40, 1.5), _c("Frankfurt", 50.11, 8.68, 2.0),
+        _c("Munich", 48.14, 11.58, 1.2), _c("Hamburg", 53.55, 9.99, 1.0),
+    )),
+    Country("GB", "United Kingdom", "EU", 65.0, (
+        _c("London", 51.51, -0.13, 3.0), _c("Manchester", 53.48, -2.24, 1.0),
+    )),
+    Country("FR", "France", "EU", 60.0, (
+        _c("Paris", 48.86, 2.35, 3.0), _c("Lyon", 45.76, 4.84, 1.0),
+        _c("Marseille", 43.30, 5.37, 0.8),
+    )),
+    Country("NL", "Netherlands", "EU", 16.0, (
+        _c("Amsterdam", 52.37, 4.90, 2.0), _c("Groningen", 53.22, 6.57, 0.5),
+    )),
+    Country("ES", "Spain", "EU", 43.0, (
+        _c("Madrid", 40.42, -3.70, 2.0), _c("Barcelona", 41.39, 2.17, 1.5),
+    )),
+    Country("IT", "Italy", "EU", 50.0, (
+        _c("Milan", 45.46, 9.19, 2.0), _c("Rome", 41.90, 12.50, 1.8),
+    )),
+    Country("PL", "Poland", "EU", 32.0, (
+        _c("Warsaw", 52.23, 21.01, 2.0), _c("Krakow", 50.06, 19.94, 1.0),
+    )),
+    Country("SE", "Sweden", "EU", 9.5, (
+        _c("Stockholm", 59.33, 18.07, 2.0),
+    )),
+    Country("CH", "Switzerland", "EU", 8.0, (
+        _c("Zurich", 47.38, 8.54, 2.0), _c("Geneva", 46.20, 6.14, 1.0),
+    )),
+    Country("RU", "Russia", "EU", 118.0, (
+        _c("Moscow", 55.76, 37.62, 3.0), _c("St Petersburg", 59.93, 30.34, 1.5),
+        _c("Novosibirsk", 55.03, 82.92, 0.7),
+    ), google_dns_share=0.20, ad_reach=0.8),
+    Country("TR", "Turkey", "EU", 70.0, (
+        _c("Istanbul", 41.01, 28.98, 3.0), _c("Ankara", 39.93, 32.86, 1.2),
+    ), ad_reach=0.9),
+    # -- Asia ---------------------------------------------------------------
+    Country("CN", "China", "AS", 990.0, (
+        _c("Beijing", 39.90, 116.41, 2.5), _c("Shanghai", 31.23, 121.47, 2.5),
+        _c("Shenzhen", 22.54, 114.06, 2.0), _c("Chengdu", 30.57, 104.07, 1.5),
+    ), google_dns_share=0.03, chromium_share=0.55, ad_reach=0.35),
+    Country("IN", "India", "AS", 760.0, (
+        _c("Mumbai", 19.08, 72.88, 2.5), _c("Delhi", 28.70, 77.10, 2.5),
+        _c("Bangalore", 12.97, 77.59, 2.0), _c("Chennai", 13.08, 80.27, 1.5),
+        _c("Kolkata", 22.57, 88.36, 1.5),
+    ), google_dns_share=0.40, chromium_share=0.85),
+    Country("JP", "Japan", "AS", 117.0, (
+        _c("Tokyo", 35.68, 139.69, 3.0), _c("Osaka", 34.69, 135.50, 1.8),
+    )),
+    Country("KR", "South Korea", "AS", 50.0, (
+        _c("Seoul", 37.57, 126.98, 3.0),
+    )),
+    Country("ID", "Indonesia", "AS", 200.0, (
+        _c("Jakarta", -6.21, 106.85, 3.0), _c("Surabaya", -7.26, 112.75, 1.2),
+    ), ad_reach=0.85),
+    Country("SG", "Singapore", "AS", 5.3, (
+        _c("Singapore", 1.35, 103.82, 1.0),
+    )),
+    Country("TW", "Taiwan", "AS", 22.0, (
+        _c("Taipei", 25.03, 121.57, 2.0),
+    )),
+    Country("TH", "Thailand", "AS", 50.0, (
+        _c("Bangkok", 13.76, 100.50, 2.5),
+    ), ad_reach=0.9),
+    Country("VN", "Vietnam", "AS", 70.0, (
+        _c("Hanoi", 21.03, 105.85, 1.5), _c("Ho Chi Minh City", 10.82, 106.63, 2.0),
+    ), ad_reach=0.85),
+    Country("PH", "Philippines", "AS", 73.0, (
+        _c("Manila", 14.60, 120.98, 3.0),
+    ), ad_reach=0.85),
+    Country("SA", "Saudi Arabia", "AS", 32.0, (
+        _c("Riyadh", 24.71, 46.68, 2.0), _c("Jeddah", 21.49, 39.19, 1.2),
+    ), ad_reach=0.9),
+    Country("IL", "Israel", "AS", 7.5, (
+        _c("Tel Aviv", 32.09, 34.78, 2.0),
+    )),
+    Country("PK", "Pakistan", "AS", 100.0, (
+        _c("Karachi", 24.86, 67.00, 2.0), _c("Lahore", 31.55, 74.34, 1.5),
+    ), ad_reach=0.7),
+    Country("BD", "Bangladesh", "AS", 110.0, (
+        _c("Dhaka", 23.81, 90.41, 3.0),
+    ), ad_reach=0.7),
+    # -- Africa --------------------------------------------------------------
+    Country("NG", "Nigeria", "AF", 100.0, (
+        _c("Lagos", 6.52, 3.38, 3.0), _c("Abuja", 9.06, 7.50, 1.0),
+    ), ad_reach=0.7),
+    Country("ZA", "South Africa", "AF", 38.0, (
+        _c("Johannesburg", -26.20, 28.05, 2.5), _c("Cape Town", -33.92, 18.42, 1.5),
+    ), ad_reach=0.85),
+    Country("EG", "Egypt", "AF", 55.0, (
+        _c("Cairo", 30.04, 31.24, 3.0),
+    ), ad_reach=0.8),
+    Country("KE", "Kenya", "AF", 22.0, (
+        _c("Nairobi", -1.29, 36.82, 2.5),
+    ), ad_reach=0.75),
+    # -- additional Europe ---------------------------------------------------
+    Country("UA", "Ukraine", "EU", 30.0, (
+        _c("Kyiv", 50.45, 30.52, 2.0), _c("Kharkiv", 49.99, 36.23, 1.0),
+    ), ad_reach=0.85),
+    Country("RO", "Romania", "EU", 16.0, (
+        _c("Bucharest", 44.43, 26.10, 2.0),
+    )),
+    Country("CZ", "Czechia", "EU", 9.0, (
+        _c("Prague", 50.08, 14.44, 2.0),
+    )),
+    Country("PT", "Portugal", "EU", 8.5, (
+        _c("Lisbon", 38.72, -9.14, 2.0), _c("Porto", 41.15, -8.61, 1.0),
+    )),
+    Country("GR", "Greece", "EU", 8.0, (
+        _c("Athens", 37.98, 23.73, 2.0),
+    )),
+    Country("BE", "Belgium", "EU", 10.5, (
+        _c("Brussels", 50.85, 4.35, 2.0), _c("Antwerp", 51.22, 4.40, 1.0),
+    )),
+    Country("AT", "Austria", "EU", 8.0, (
+        _c("Vienna", 48.21, 16.37, 2.0),
+    )),
+    Country("NO", "Norway", "EU", 5.3, (
+        _c("Oslo", 59.91, 10.75, 2.0),
+    )),
+    Country("FI", "Finland", "EU", 5.2, (
+        _c("Helsinki", 60.17, 24.94, 2.0),
+    )),
+    Country("DK", "Denmark", "EU", 5.5, (
+        _c("Copenhagen", 55.68, 12.57, 2.0),
+    )),
+    Country("IE", "Ireland", "EU", 4.5, (
+        _c("Dublin", 53.35, -6.26, 2.0),
+    )),
+    Country("HU", "Hungary", "EU", 8.0, (
+        _c("Budapest", 47.50, 19.04, 2.0),
+    )),
+    # -- additional Asia / Middle East ----------------------------------------
+    Country("MY", "Malaysia", "AS", 28.0, (
+        _c("Kuala Lumpur", 3.14, 101.69, 2.5),
+    ), ad_reach=0.9),
+    Country("AE", "United Arab Emirates", "AS", 9.0, (
+        _c("Dubai", 25.20, 55.27, 2.0), _c("Abu Dhabi", 24.45, 54.38, 1.0),
+    )),
+    Country("IR", "Iran", "AS", 60.0, (
+        _c("Tehran", 35.69, 51.39, 3.0),
+    ), google_dns_share=0.15, ad_reach=0.4),
+    Country("LK", "Sri Lanka", "AS", 11.0, (
+        _c("Colombo", 6.93, 79.85, 2.0),
+    ), ad_reach=0.75),
+    # -- additional Africa / Latin America ------------------------------------
+    Country("MA", "Morocco", "AF", 25.0, (
+        _c("Casablanca", 33.57, -7.59, 2.0), _c("Rabat", 34.02, -6.84, 1.0),
+    ), ad_reach=0.75),
+    Country("GH", "Ghana", "AF", 12.0, (
+        _c("Accra", 5.60, -0.19, 2.0),
+    ), ad_reach=0.65),
+    Country("TZ", "Tanzania", "AF", 12.0, (
+        _c("Dar es Salaam", -6.79, 39.21, 2.0),
+    ), ad_reach=0.6),
+    Country("GT", "Guatemala", "NA", 9.0, (
+        _c("Guatemala City", 14.63, -90.51, 2.0),
+    ), ad_reach=0.7),
+    Country("DO", "Dominican Republic", "NA", 8.0, (
+        _c("Santo Domingo", 18.49, -69.93, 2.0),
+    ), ad_reach=0.75),
+    Country("CR", "Costa Rica", "NA", 4.0, (
+        _c("San Jose", 9.93, -84.08, 2.0),
+    ), ad_reach=0.8),
+    # -- Oceania --------------------------------------------------------------
+    Country("AU", "Australia", "OC", 22.0, (
+        _c("Sydney", -33.87, 151.21, 2.0), _c("Melbourne", -37.81, 144.96, 1.8),
+        _c("Perth", -31.95, 115.86, 0.8),
+    )),
+    Country("NZ", "New Zealand", "OC", 4.5, (
+        _c("Auckland", -36.85, 174.76, 2.0),
+    )),
+)
+
+
+def country_by_code(code: str) -> Country:
+    """Look up a country by ISO-like code; KeyError if unknown."""
+    for country in COUNTRIES:
+        if country.code == code:
+            return country
+    raise KeyError(f"unknown country {code!r}")
+
+
+def total_internet_users_m(countries: tuple[Country, ...] = COUNTRIES) -> float:
+    """Sum of the countries' user weights, in millions."""
+    return sum(c.internet_users_m for c in countries)

@@ -1,0 +1,154 @@
+"""The web properties the world's clients visit.
+
+The five probe domains of §3.1.1 / §B.4 — the four Alexa-top ECS
+domains plus the Microsoft CDN domain — with the behaviours the paper
+documents (Facebook only supports ECS without ``www`` and users mostly
+query the ``www`` form; Wikipedia answers with coarse /16–/18 scopes),
+plus a tail of other popular domains for realistic cache load.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.net.prefix import Prefix
+from repro.dns.authoritative import (
+    AuthoritativeServer,
+    RegionalScopePolicy,
+    ScopePolicy,
+    UnstableScopePolicy,
+    Zone,
+)
+from repro.dns.name import DnsName
+from repro.dns.public_dns import AuthoritativeDirectory
+from repro.sim.clock import Clock
+from repro.world.model import DomainSpec
+
+MICROSOFT_CDN_DOMAIN = DnsName.parse("assets.msedge.net")
+
+#: Tail domains: (name, rank, supports_ecs, ttl).
+_TAIL = (
+    ("www.amazon.com", 4, False, 60.0),
+    ("www.netflix.com", 20, True, 300.0),
+    ("www.twitter.com", 5, False, 1800.0),
+    ("www.instagram.com", 16, False, 3600.0),
+    ("www.baidu.com", 3, False, 300.0),
+    ("www.qq.com", 6, False, 600.0),
+    ("www.taobao.com", 8, False, 600.0),
+    ("www.yahoo.com", 9, False, 1800.0),
+    ("www.reddit.com", 18, False, 300.0),
+    ("www.ebay.com", 45, True, 3600.0),
+    ("www.linkedin.com", 27, False, 300.0),
+    ("www.office.com", 40, True, 300.0),
+    ("www.bing.com", 30, True, 300.0),
+    ("www.zoom.us", 25, False, 60.0),
+    ("www.spotify.com", 55, True, 300.0),
+    ("www.cnn.com", 80, True, 60.0),
+    ("www.bbc.co.uk", 90, False, 300.0),
+    ("www.nytimes.com", 110, True, 500.0),
+    ("www.twitch.tv", 35, False, 300.0),
+    ("www.github.com", 65, False, 60.0),
+)
+
+
+def default_domains() -> list[DomainSpec]:
+    """The full domain catalogue, probe domains first."""
+    domains = [
+        DomainSpec(DnsName.parse("www.google.com"), rank=1, supports_ecs=True,
+                   ttl=300.0, weight=100.0, operator="google",
+                   country_weight={"CN": 5.0}),
+        DomainSpec(DnsName.parse("www.youtube.com"), rank=2, supports_ecs=True,
+                   ttl=300.0, weight=80.0, operator="google",
+                   country_weight={"CN": 4.0}),
+        # Users query the www form by default; only it is popular, but
+        # only the bare form supports ECS (§B.4).
+        DomainSpec(DnsName.parse("www.facebook.com"), rank=7, supports_ecs=False,
+                   ttl=300.0, weight=45.0, operator="facebook",
+                   country_weight={"CN": 1.0}),
+        DomainSpec(DnsName.parse("facebook.com"), rank=7, supports_ecs=True,
+                   ttl=300.0, weight=12.0, operator="facebook",
+                   country_weight={"CN": 0.3}),
+        DomainSpec(DnsName.parse("www.wikipedia.org"), rank=13, supports_ecs=True,
+                   ttl=600.0, weight=18.0, operator="wikipedia"),
+        DomainSpec(MICROSOFT_CDN_DOMAIN, rank=10, supports_ecs=True,
+                   ttl=300.0, weight=30.0, operator="microsoft"),
+    ]
+    for name, rank, ecs, ttl in _TAIL:
+        domains.append(
+            DomainSpec(DnsName.parse(name), rank=rank, supports_ecs=ecs,
+                       ttl=ttl, weight=60.0 / rank, operator="misc")
+        )
+    return domains
+
+
+#: Per-operator ECS scope behaviour (§B.4): Wikipedia coarse, the rest
+#: /20–/24.
+_SCOPE_CHOICES: dict[str, tuple[int, ...]] = {
+    "google": (20, 21, 22, 23, 24),
+    "facebook": (20, 22, 24),
+    "wikipedia": (16, 17, 18),
+    "microsoft": (20, 22, 24),
+    "misc": (18, 20, 22, 24),
+}
+
+
+def scope_policy_for(
+    operator: str,
+    rng: random.Random,
+    flip_probability: float = 0.08,
+    scope_shift: int = 0,
+) -> ScopePolicy:
+    """Build an operator's (slightly unstable) regional scope policy.
+
+    ``scope_shift`` moves every scope choice finer by that many bits.
+    Synthetic worlds are orders of magnitude smaller than the real
+    address space, so the paper's absolute scopes (a Wikipedia /16)
+    would cover entire synthetic countries; shifting preserves the
+    *relative* coarseness across operators that drives Table 5.
+    """
+    choices = tuple(
+        min(24, c + scope_shift)
+        for c in _SCOPE_CHOICES.get(operator, _SCOPE_CHOICES["misc"])
+    )
+    base = RegionalScopePolicy.random(rng, scope_choices=choices,
+                                      region_count=48, region_length=6)
+    if flip_probability <= 0:
+        return base
+    return UnstableScopePolicy(base, rng, flip_probability=flip_probability,
+                               max_shift=4)
+
+
+def build_authoritatives(
+    clock: Clock,
+    domains: list[DomainSpec],
+    rng: random.Random,
+    scope_flip_probability: float = 0.08,
+    scope_shift: int = 0,
+) -> tuple[AuthoritativeDirectory, dict[str, AuthoritativeServer]]:
+    """One authoritative server per operator, serving its domains."""
+    servers: dict[str, AuthoritativeServer] = {}
+    for spec in domains:
+        server = servers.get(spec.operator)
+        if server is None:
+            server = AuthoritativeServer(clock)
+            servers[spec.operator] = server
+        policy = scope_policy_for(spec.operator, rng, scope_flip_probability,
+                                  scope_shift)
+        server.add_zone(
+            Zone(name=spec.name, ttl=spec.ttl, supports_ecs=spec.supports_ecs,
+                 scope_policy=policy)
+        )
+    directory = AuthoritativeDirectory(list(servers.values()))
+    return directory, servers
+
+
+def probe_domains(domains: list[DomainSpec]) -> list[DomainSpec]:
+    """§3.1.1's probe set: ECS-supporting domains with TTL > 60 s among
+    the top-ranked, plus the Microsoft CDN validation domain."""
+    eligible = [d for d in domains if d.supports_ecs and d.ttl > 60.0]
+    top = sorted(
+        (d for d in eligible if d.operator != "microsoft"),
+        key=lambda d: d.rank,
+    )[:4]
+    microsoft = [d for d in eligible if d.operator == "microsoft"]
+    return top + microsoft[:1]

@@ -1,0 +1,111 @@
+"""MaxMind-style geolocation database.
+
+§3.1.1 uses MaxMind to place each /24 and derives per-PoP probing sets
+from the location *plus its error radius*; the paper only trusts
+prefixes with error radius under 200 km for calibration.  We model a
+database whose entries are the true block locations perturbed by a
+sampled error, with an *advertised* error radius that is itself only an
+estimate — and occasional grossly wrong entries (geolocation databases
+are known to be weak outside end-user space [16]).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.net.geo import GeoPoint, jitter_point
+from repro.net.prefix import Prefix
+from repro.net.trie import PrefixTrie
+
+
+@dataclass(frozen=True, slots=True)
+class GeoEntry:
+    """One database row: claimed location, claimed accuracy, country."""
+
+    location: GeoPoint
+    error_radius_km: float
+    country: str
+
+    def __post_init__(self) -> None:
+        if self.error_radius_km < 0:
+            raise ValueError("error radius must be non-negative")
+
+
+@dataclass(frozen=True, slots=True)
+class GeoAccuracy:
+    """Error model used when deriving a database from ground truth.
+
+    Geolocation databases are markedly better at end-user space than
+    at infrastructure and idle space [16] — the paper's motivating
+    geolocation use case — so the coarse-entry rate differs by what
+    the prefix holds.
+    """
+
+    typical_error_km: float = 30.0       # median placement error
+    advertised_radius_km: float = 50.0   # typical claimed radius
+    coarse_fraction: float = 0.05        # client space: rare gross errors
+    coarse_fraction_infrastructure: float = 0.35  # infra/idle space
+    coarse_error_km: float = 800.0
+    coarse_radius_km: float = 500.0
+    missing_fraction: float = 0.0        # prefixes the database lacks
+
+
+class GeoDatabase:
+    """Longest-prefix-match geolocation lookups."""
+
+    def __init__(self) -> None:
+        self._trie: PrefixTrie[GeoEntry] = PrefixTrie()
+
+    def add(self, prefix: Prefix, entry: GeoEntry) -> None:
+        """Insert an entry at exactly this prefix."""
+        self._trie.insert(prefix, entry)
+
+    def locate_prefix(self, prefix: Prefix) -> GeoEntry | None:
+        """The entry covering all of ``prefix``, or None."""
+        return self._trie.lookup_prefix(prefix)
+
+    def locate_address(self, address: int) -> GeoEntry | None:
+        """Longest-prefix-match entry for an address, or None."""
+        return self._trie.lookup(address)
+
+    def __len__(self) -> int:
+        return len(self._trie)
+
+    @classmethod
+    def from_truth(
+        cls,
+        truth: "list[tuple[Prefix, GeoPoint, str]] | list[tuple[Prefix, GeoPoint, str, str]]",
+        rng: random.Random,
+        accuracy: GeoAccuracy | None = None,
+    ) -> "GeoDatabase":
+        """Derive a noisy database from ground truth.
+
+        Entries are ``(prefix, true location, country)`` or
+        ``(prefix, true location, country, kind)`` where ``kind`` is
+        ``"client"`` (end-user space, accurate) or anything else
+        (infrastructure/idle space, coarse far more often).
+        """
+        accuracy = accuracy or GeoAccuracy()
+        db = cls()
+        for entry_tuple in truth:
+            prefix, location, country = entry_tuple[:3]
+            kind = entry_tuple[3] if len(entry_tuple) > 3 else "client"
+            if (accuracy.missing_fraction
+                    and rng.random() < accuracy.missing_fraction):
+                continue  # the database simply has no row
+            coarse_fraction = (
+                accuracy.coarse_fraction if kind == "client"
+                else accuracy.coarse_fraction_infrastructure
+            )
+            if rng.random() < coarse_fraction:
+                error_km = accuracy.coarse_error_km
+                radius = accuracy.coarse_radius_km
+            else:
+                error_km = accuracy.typical_error_km
+                radius = accuracy.advertised_radius_km
+            claimed = jitter_point(location, error_km, rng)
+            # Advertised radius wobbles around the configured figure.
+            advertised = radius * (0.5 + rng.random())
+            db.add(prefix, GeoEntry(claimed, advertised, country))
+        return db

@@ -1,0 +1,103 @@
+"""World inspection: summary statistics of a synthetic Internet.
+
+Research code keeps asking the same questions of a world — how many
+ASes per category, client density, resolver placement, user mass per
+country.  :func:`describe_world` answers them in one structured
+object, used by examples and by anyone calibrating a custom
+:class:`~repro.world.builder.WorldConfig`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.net.asn import ASCategory
+from repro.world.builder import World
+
+
+@dataclass(slots=True)
+class WorldSummary:
+    """Aggregate statistics of one world."""
+
+    total_ases: int
+    ases_by_category: dict[str, int]
+    routed_slash24s: int
+    client_slash24s: int
+    user_slash24s: int
+    bot_only_slash24s: int
+    total_users: int
+    total_bots: int
+    resolvers: int
+    resolvers_in_client_blocks: int
+    users_by_country: dict[str, int] = field(default_factory=dict)
+    active_pops: int = 0
+    cloud_reachable_pops: int = 0
+
+    @property
+    def client_density(self) -> float:
+        """Share of routed /24s that truly hold clients."""
+        if self.routed_slash24s == 0:
+            return 0.0
+        return self.client_slash24s / self.routed_slash24s
+
+    def render(self) -> str:
+        """Fixed-width text rendering."""
+        categories = ", ".join(
+            f"{name}={count}" for name, count
+            in sorted(self.ases_by_category.items(), key=lambda kv: -kv[1])
+        )
+        top = sorted(self.users_by_country.items(),
+                     key=lambda kv: -kv[1])[:5]
+        return "\n".join([
+            "World summary",
+            f"  ASes: {self.total_ases} ({categories})",
+            f"  routed /24s: {self.routed_slash24s}; client /24s: "
+            f"{self.client_slash24s} (density {self.client_density:.0%}; "
+            f"{self.user_slash24s} with users, "
+            f"{self.bot_only_slash24s} bot-only)",
+            f"  population: {self.total_users:,} users, "
+            f"{self.total_bots:,} bots",
+            f"  resolvers: {self.resolvers} "
+            f"({self.resolvers_in_client_blocks} hosted in client /24s)",
+            f"  top countries by users: "
+            + ", ".join(f"{c}={u:,}" for c, u in top),
+            f"  PoPs: {self.active_pops} active, "
+            f"{self.cloud_reachable_pops} cloud-reachable",
+        ])
+
+
+def describe_world(world: World) -> WorldSummary:
+    """Compute a :class:`WorldSummary` for ``world``."""
+    category_counts: Counter[str] = Counter(
+        record.category.value for record in world.registry
+    )
+    client_ids = world.client_slash24_ids()
+    user_ids = world.user_slash24_ids()
+    resolvers_in_clients = sum(
+        1 for ip in world.resolvers if (ip >> 8) in client_ids
+    )
+    return WorldSummary(
+        total_ases=len(world.registry),
+        ases_by_category=dict(category_counts),
+        routed_slash24s=len(set(world.routes.routed_slash24_ids())),
+        client_slash24s=len(client_ids),
+        user_slash24s=len(user_ids),
+        bot_only_slash24s=len(client_ids - user_ids),
+        total_users=sum(b.users for b in world.blocks),
+        total_bots=sum(b.bots for b in world.blocks),
+        resolvers=len(world.resolvers),
+        resolvers_in_client_blocks=resolvers_in_clients,
+        users_by_country=dict(world.true_users_by_country()),
+        active_pops=sum(1 for d in world.pop_descriptors if d.active),
+        cloud_reachable_pops=sum(
+            1 for d in world.pop_descriptors
+            if d.active and d.cloud_reachable
+        ),
+    )
+
+
+def category_of(world: World, asn: int) -> ASCategory | None:
+    """Convenience: an AS's ground-truth category, or None."""
+    record = world.registry.get(asn)
+    return None if record is None else record.category

@@ -1,0 +1,115 @@
+"""Core data model of the synthetic Internet.
+
+The world is materialised at /24 granularity: a :class:`ClientBlock` is
+one /24 with its true location, user/bot population, and DNS behaviour.
+Ground truth lives here — which blocks actually contain clients — so
+every measurement technique can be scored exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.geo import GeoPoint
+from repro.net.prefix import Prefix
+from repro.dns.anycast import PoP
+from repro.dns.name import DnsName
+
+
+@dataclass(frozen=True, slots=True)
+class ClientBlock:
+    """One /24 and everything that lives inside it.
+
+    ``users`` counts humans with browsers; ``bots`` counts non-human
+    web clients (crawlers, monitors — hosting ASes are full of them).
+    A block with neither is announced-but-empty address space, the
+    false-positive bait for the techniques.
+    """
+
+    prefix: Prefix
+    asn: int
+    country: str
+    location: GeoPoint
+    users: int
+    bots: int = 0
+    resolver_ip: int = 0
+    google_dns_share: float = 0.32
+    chromium_share: float = 0.70
+
+    def __post_init__(self) -> None:
+        if self.prefix.length != 24:
+            raise ValueError(f"client blocks are /24s, got {self.prefix}")
+        if self.users < 0 or self.bots < 0:
+            raise ValueError("negative population")
+        if not 0.0 <= self.google_dns_share <= 1.0:
+            raise ValueError("google_dns_share out of [0, 1]")
+        if not 0.0 <= self.chromium_share <= 1.0:
+            raise ValueError("chromium_share out of [0, 1]")
+
+    @property
+    def slash24(self) -> int:
+        """The /24 block id (network >> 8)."""
+        return self.prefix.network >> 8
+
+    @property
+    def has_clients(self) -> bool:
+        """Whether anyone (user or bot) lives here."""
+        return self.users > 0 or self.bots > 0
+
+    @property
+    def client_count(self) -> int:
+        """Users plus bots."""
+        return self.users + self.bots
+
+
+@dataclass(frozen=True, slots=True)
+class DomainSpec:
+    """One web property the world's clients visit.
+
+    ``weight`` is the Zipf-ish popularity mass used by the activity
+    simulator; ``country_weight`` overrides it per country (e.g. the
+    Google properties are nearly absent from Chinese client traffic).
+    """
+
+    name: DnsName
+    rank: int
+    supports_ecs: bool
+    ttl: float
+    weight: float
+    operator: str = "misc"
+    country_weight: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.rank < 1:
+            raise ValueError("rank starts at 1")
+        if self.ttl <= 0:
+            raise ValueError("TTL must be positive")
+        if self.weight < 0:
+            raise ValueError("weight must be non-negative")
+
+    def weight_in(self, country: str) -> float:
+        """Popularity weight in the given country."""
+        return self.country_weight.get(country, self.weight)
+
+
+@dataclass(frozen=True, slots=True)
+class PopDescriptor:
+    """A Google Public DNS PoP plus the world's view of it.
+
+    ``cloud_reachable`` says whether anycast from cloud datacentres
+    lands there; the paper could only probe PoPs reachable from AWS and
+    Vultr (22 of 45).  An inactive PoP serves nobody at all.
+    """
+
+    pop: PoP
+    cloud_reachable: bool
+
+    @property
+    def pop_id(self) -> str:
+        """The underlying PoP's identifier."""
+        return self.pop.pop_id
+
+    @property
+    def active(self) -> bool:
+        """Whether the PoP serves traffic at all."""
+        return self.pop.active

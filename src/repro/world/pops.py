@@ -1,0 +1,87 @@
+"""The public resolver's PoP deployment.
+
+Mirrors the deployment §A.1 describes: 45 PoPs, of which the paper's
+cloud vantage points reach 22 ("probed and verified"), 5 more are
+active — they show up serving clients in the Microsoft resolver logs —
+but unreachable from any cloud region ("unprobed and verified",
+concentrated where the paper's coverage is weakest, South America), and
+18 are inactive ("unprobed and unverified").
+"""
+
+from __future__ import annotations
+
+from repro.net.geo import GeoPoint
+from repro.dns.anycast import PoP
+from repro.world.model import PopDescriptor
+
+
+def _pop(pop_id: str, lat: float, lon: float, city: str, country: str,
+         active: bool = True) -> PoP:
+    return PoP(pop_id=pop_id, location=GeoPoint(lat, lon), city=city,
+               country=country, active=active)
+
+
+def default_pops() -> list[PopDescriptor]:
+    """The standard 45-PoP deployment (22 + 5 + 18)."""
+    probed = [
+        # United States — seven states.
+        _pop("us-or", 45.59, -121.18, "The Dalles", "US"),
+        _pop("us-sc", 33.08, -80.04, "Charleston", "US"),
+        _pop("us-ia", 41.26, -95.86, "Council Bluffs", "US"),
+        _pop("us-ok", 36.30, -95.30, "Mayes County", "US"),
+        _pop("us-va", 39.01, -77.46, "Ashburn", "US"),
+        _pop("us-tx", 32.78, -96.80, "Dallas", "US"),
+        _pop("us-ca", 37.37, -122.04, "Mountain View", "US"),
+        # Canada — two provinces.
+        _pop("ca-qc", 45.50, -73.57, "Montreal", "CA"),
+        _pop("ca-on", 43.65, -79.38, "Toronto", "CA"),
+        # Europe — five countries.
+        _pop("nl-gro", 53.22, 6.57, "Groningen", "NL"),
+        _pop("de-fra", 50.11, 8.68, "Frankfurt", "DE"),
+        _pop("gb-lon", 51.51, -0.13, "London", "GB"),
+        _pop("ch-zrh", 47.38, 8.54, "Zurich", "CH"),
+        _pop("pl-waw", 52.23, 21.01, "Warsaw", "PL"),
+        # Asia — five countries/regions.
+        _pop("jp-tyo", 35.68, 139.69, "Tokyo", "JP"),
+        _pop("sg-sin", 1.35, 103.82, "Singapore", "SG"),
+        _pop("tw-tpe", 25.03, 121.57, "Taipei", "TW"),
+        _pop("in-bom", 19.08, 72.88, "Mumbai", "IN"),
+        _pop("kr-sel", 37.57, 126.98, "Seoul", "KR"),
+        # South America — two countries.
+        _pop("br-gru", -23.55, -46.63, "Sao Paulo", "BR"),
+        _pop("cl-scl", -33.45, -70.67, "Santiago", "CL"),
+        # Australia.
+        _pop("au-syd", -33.87, 151.21, "Sydney", "AU"),
+    ]
+    unprobed_verified = [
+        _pop("ar-bue", -34.60, -58.38, "Buenos Aires", "AR"),
+        _pop("co-bog", 4.71, -74.07, "Bogota", "CO"),
+        _pop("pe-lim", -12.05, -77.04, "Lima", "PE"),
+        _pop("ng-los", 6.52, 3.38, "Lagos", "NG"),
+        _pop("id-jkt", -6.21, 106.85, "Jakarta", "ID"),
+    ]
+    inactive = [
+        _pop("us-ga", 33.75, -84.39, "Atlanta", "US", active=False),
+        _pop("us-nv", 36.17, -115.14, "Las Vegas", "US", active=False),
+        _pop("us-oh", 39.96, -83.00, "Columbus", "US", active=False),
+        _pop("mx-mex", 19.43, -99.13, "Mexico City", "MX", active=False),
+        _pop("fr-par", 48.86, 2.35, "Paris", "FR", active=False),
+        _pop("es-mad", 40.42, -3.70, "Madrid", "ES", active=False),
+        _pop("it-mil", 45.46, 9.19, "Milan", "IT", active=False),
+        _pop("se-sto", 59.33, 18.07, "Stockholm", "SE", active=False),
+        _pop("ru-mow", 55.76, 37.62, "Moscow", "RU", active=False),
+        _pop("tr-ist", 41.01, 28.98, "Istanbul", "TR", active=False),
+        _pop("il-tlv", 32.09, 34.78, "Tel Aviv", "IL", active=False),
+        _pop("sa-ruh", 24.71, 46.68, "Riyadh", "SA", active=False),
+        _pop("th-bkk", 13.76, 100.50, "Bangkok", "TH", active=False),
+        _pop("vn-sgn", 10.82, 106.63, "Ho Chi Minh City", "VN", active=False),
+        _pop("ph-mnl", 14.60, 120.98, "Manila", "PH", active=False),
+        _pop("za-jnb", -26.20, 28.05, "Johannesburg", "ZA", active=False),
+        _pop("eg-cai", 30.04, 31.24, "Cairo", "EG", active=False),
+        _pop("nz-akl", -36.85, 174.76, "Auckland", "NZ", active=False),
+    ]
+    return (
+        [PopDescriptor(pop=p, cloud_reachable=True) for p in probed]
+        + [PopDescriptor(pop=p, cloud_reachable=False) for p in unprobed_verified]
+        + [PopDescriptor(pop=p, cloud_reachable=False) for p in inactive]
+    )

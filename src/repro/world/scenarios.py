@@ -1,0 +1,108 @@
+"""Named world scenarios.
+
+Pre-packaged :class:`~repro.world.builder.WorldConfig` variants for the
+what-if questions the paper's design raises.  Each scenario changes
+one mechanism against the default world so its effect is attributable;
+the ablation benchmarks use the same knobs ad hoc — these give them
+stable names for interactive exploration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.world.builder import WorldConfig
+from repro.world.geodata import GeoAccuracy
+
+
+def default(seed: int = 42, **overrides) -> WorldConfig:
+    """The standard world (see WorldConfig for the defaults)."""
+    return WorldConfig(seed=seed, **overrides)
+
+
+def oracle_anycast(seed: int = 42, **overrides) -> WorldConfig:
+    """Anycast always picks the nearest PoP — the best case §3.1.1's
+    calibration stage exists to approximate."""
+    return WorldConfig(seed=seed, anycast_inflation=0.0, **overrides)
+
+
+def chaotic_anycast(seed: int = 42, **overrides) -> WorldConfig:
+    """Heavy path inflation: a third of clients skip their nearest PoP,
+    stressing the service-radius machinery."""
+    return WorldConfig(seed=seed, anycast_inflation=0.35, **overrides)
+
+
+def single_cache_pool(seed: int = 42, **overrides) -> WorldConfig:
+    """One cache pool per PoP: redundant queries buy nothing, so any
+    probing budget spent on redundancy is wasted here."""
+    return WorldConfig(seed=seed, pools_per_pop=1, **overrides)
+
+
+def many_cache_pools(seed: int = 42, **overrides) -> WorldConfig:
+    """Six pools per PoP: single probes mostly miss, redundancy is
+    essential — the regime that justified the paper's 5 queries."""
+    return WorldConfig(seed=seed, pools_per_pop=6, **overrides)
+
+
+def stable_scopes(seed: int = 42, **overrides) -> WorldConfig:
+    """Authoritatives never shift response scopes: Table 2 becomes
+    100% exact and the scope-reduction plan never goes stale."""
+    return WorldConfig(seed=seed, scope_flip_probability=0.0, **overrides)
+
+
+def coarse_geolocation(seed: int = 42, **overrides) -> WorldConfig:
+    """A bad geolocation database: placements off by hundreds of km and
+    a third of rows simply missing — PoP assignment degrades towards
+    probing everything everywhere."""
+    return WorldConfig(
+        seed=seed,
+        geo_accuracy=GeoAccuracy(
+            typical_error_km=150.0,
+            advertised_radius_km=250.0,
+            coarse_fraction=0.3,
+            coarse_fraction_infrastructure=0.6,
+            missing_fraction=0.3,
+        ),
+        **overrides,
+    )
+
+
+#: All named scenarios, for CLI-style enumeration.
+SCENARIOS: dict[str, Callable[..., WorldConfig]] = {
+    "default": default,
+    "oracle-anycast": oracle_anycast,
+    "chaotic-anycast": chaotic_anycast,
+    "single-cache-pool": single_cache_pool,
+    "many-cache-pools": many_cache_pools,
+    "stable-scopes": stable_scopes,
+    "coarse-geolocation": coarse_geolocation,
+}
+
+
+def scenario(name: str, seed: int = 42, **overrides) -> WorldConfig:
+    """Look up a scenario by name; KeyError lists the valid names."""
+    factory = SCENARIOS.get(name)
+    if factory is None:
+        raise KeyError(
+            f"unknown scenario {name!r}; valid: {sorted(SCENARIOS)}"
+        )
+    return factory(seed=seed, **overrides)
+
+
+def describe(name: str) -> str:
+    """The scenario's one-paragraph description (its docstring)."""
+    return (SCENARIOS[name].__doc__ or "").strip()
+
+
+def compare(name: str, seed: int = 42) -> dict[str, tuple]:
+    """Fields where the scenario differs from the default config."""
+    base = default(seed=seed)
+    other = scenario(name, seed=seed)
+    changed = {}
+    for field in dataclasses.fields(WorldConfig):
+        a = getattr(base, field.name)
+        b = getattr(other, field.name)
+        if a != b:
+            changed[field.name] = (a, b)
+    return changed

@@ -1,0 +1,98 @@
+"""Cloud vantage points.
+
+§3.1.1 runs the prober from AWS and Vultr VMs around the world and
+discovers which Google Public DNS PoP each region reaches via
+``dig @8.8.8.8 o-o.myaddr.l.google.com -t TXT``.  We model the two
+providers' region footprints; reachability is decided by the *cloud*
+catchment (some PoPs are not announced towards cloud networks at all,
+which is how the paper ends up probing 22 of 45).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.geo import GeoPoint
+from repro.world.builder import World
+
+
+@dataclass(frozen=True, slots=True)
+class CloudRegion:
+    """One cloud provider region."""
+    provider: str
+    region: str
+    location: GeoPoint
+
+
+def _r(provider: str, region: str, lat: float, lon: float) -> CloudRegion:
+    return CloudRegion(provider, region, GeoPoint(lat, lon))
+
+
+#: AWS-like + Vultr-like region footprints (coordinates approximate).
+DEFAULT_CLOUD_REGIONS: tuple[CloudRegion, ...] = (
+    _r("aws", "us-east-1", 39.0, -77.5), _r("aws", "us-east-2", 40.0, -83.0),
+    _r("aws", "us-west-1", 37.4, -122.0), _r("aws", "us-west-2", 45.6, -121.2),
+    _r("aws", "ca-central-1", 45.5, -73.6), _r("aws", "sa-east-1", -23.5, -46.6),
+    _r("aws", "eu-west-1", 53.3, -6.3), _r("aws", "eu-west-2", 51.5, -0.1),
+    _r("aws", "eu-west-3", 48.9, 2.4), _r("aws", "eu-central-1", 50.1, 8.7),
+    _r("aws", "eu-north-1", 59.3, 18.1), _r("aws", "ap-northeast-1", 35.7, 139.7),
+    _r("aws", "ap-northeast-2", 37.6, 127.0), _r("aws", "ap-southeast-1", 1.35, 103.8),
+    _r("aws", "ap-southeast-2", -33.9, 151.2), _r("aws", "ap-south-1", 19.1, 72.9),
+    _r("vultr", "dallas", 32.8, -96.8), _r("vultr", "seattle", 47.6, -122.3),
+    _r("vultr", "chicago", 41.9, -87.6), _r("vultr", "miami", 25.8, -80.2),
+    _r("vultr", "toronto", 43.7, -79.4), _r("vultr", "amsterdam", 52.4, 4.9),
+    _r("vultr", "warsaw", 52.2, 21.0), _r("vultr", "zurich", 47.4, 8.5),
+    _r("vultr", "santiago", -33.5, -70.7), _r("vultr", "sao-paulo", -23.6, -46.7),
+    _r("vultr", "tokyo", 35.7, 139.8), _r("vultr", "taipei", 25.0, 121.6),
+    _r("vultr", "mexico-city", 19.4, -99.1), _r("vultr", "johannesburg", -26.2, 28.0),
+    _r("vultr", "silicon-valley", 37.4, -122.1), _r("vultr", "atlanta", 33.7, -84.4),
+    _r("vultr", "kansas-city", 39.1, -94.6), _r("vultr", "los-angeles", 34.05, -118.2),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class VantagePoint:
+    """A cloud VM with the PoP its anycast path reaches."""
+
+    region: CloudRegion
+    source_ip: int
+    reached_pop: str
+
+
+def deploy_vantage_points(
+    world: World,
+    regions: tuple[CloudRegion, ...] = DEFAULT_CLOUD_REGIONS,
+) -> list[VantagePoint]:
+    """Place one VM per region and discover the PoP each reaches.
+
+    Mirrors the paper's region sweep: multiple regions often collapse
+    onto the same PoP, and whole PoPs can be unreachable from every
+    region.
+    """
+    cloud_prefix = world.routes.prefixes_of(world.cloud_asn)[0]
+    vantage_points = []
+    for index, region in enumerate(regions):
+        source_ip = cloud_prefix.network + (index << 8) + 5
+        pop = world.cloud_catchment.pop_for(region.location,
+                                            client_key=source_ip >> 8)
+        vantage_points.append(
+            VantagePoint(region=region, source_ip=source_ip,
+                         reached_pop=pop.pop_id)
+        )
+    return vantage_points
+
+
+def reached_pops(vantage_points: list[VantagePoint]) -> set[str]:
+    """The distinct PoPs covered by a deployment."""
+    return {vp.reached_pop for vp in vantage_points}
+
+
+def pops_by_vantage(
+    vantage_points: list[VantagePoint],
+) -> dict[str, list[VantagePoint]]:
+    """Group vantage points by the PoP they reach; the prober runs one
+    prober per PoP from an arbitrary VM that reaches it."""
+    grouped: dict[str, list[VantagePoint]] = {}
+    for vp in vantage_points:
+        grouped.setdefault(vp.reached_pop, []).append(vp)
+    return grouped

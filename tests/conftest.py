@@ -1,0 +1,48 @@
+"""Shared fixtures.
+
+Expensive artefacts (a simulated world with activity, a full
+end-to-end experiment) are session-scoped; tests that need to *mutate*
+a world build their own tiny one via :func:`tiny_world_config`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.world.builder import WorldConfig, build_world
+from repro.world.countries import COUNTRIES
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+#: A small, geographically diverse country subset for fast worlds.
+TEST_COUNTRIES = tuple(
+    c for c in COUNTRIES if c.code in {"US", "DE", "BR", "IN", "JP", "AU"}
+)
+
+
+def tiny_world_config(seed: int = 5, target_blocks: int = 60, **overrides):
+    """A fast world config for unit tests (~seconds to build)."""
+    return WorldConfig(
+        seed=seed,
+        target_blocks=target_blocks,
+        countries=TEST_COUNTRIES,
+        **overrides,
+    )
+
+
+@pytest.fixture()
+def tiny_world():
+    """A fresh tiny world per test (safe to mutate)."""
+    return build_world(tiny_world_config())
+
+
+@pytest.fixture(scope="session")
+def shared_tiny_world():
+    """A session-shared tiny world; treat as read-only."""
+    return build_world(tiny_world_config(seed=11))
+
+
+@pytest.fixture(scope="session")
+def small_experiment():
+    """One full end-to-end run shared by all integration tests."""
+    return run_experiment(ExperimentConfig.small(seed=3))

@@ -1,0 +1,247 @@
+"""Tests for repro.core.analysis (unit-level, synthetic inputs)."""
+
+import pytest
+
+from repro.net.prefix import Prefix
+from repro.net.routing import RouteTable
+from repro.core.analysis import bounds, overlap, relative, scopes, volume
+from repro.core.cache_probing import CacheHitRecord, CacheProbingResult
+from repro.core.datasets import ActivityDataset
+
+
+def make_result(hits, scope_pairs=None):
+    from repro.core.calibration import CalibrationResult
+    from repro.core.scope_discovery import DiscoveryResult
+    return CacheProbingResult(
+        hits=hits,
+        probes_sent=100,
+        calibration=CalibrationResult(per_pop={}),
+        discovery=DiscoveryResult(),
+        assignment_sizes={},
+        scope_pairs=scope_pairs or [],
+    )
+
+
+def hit(prefix_text, response_scope, domain="www.google.com", pop="nyc"):
+    prefix = Prefix.parse(prefix_text)
+    return CacheHitRecord(pop_id=pop, domain=domain, query_scope=prefix,
+                          response_scope=response_scope, timestamp=0.0)
+
+
+class TestOverlapMatrix:
+    def make_datasets(self):
+        return {
+            "a": ActivityDataset(name="a", slash24_ids={1, 2, 3},
+                                 asns={10, 20}),
+            "b": ActivityDataset(name="b", slash24_ids={2, 3, 4},
+                                 asns={20, 30}),
+        }
+
+    def test_prefix_overlap(self):
+        matrix = overlap.prefix_overlap_matrix(self.make_datasets(),
+                                               ["a", "b"])
+        assert matrix.size("a") == 3
+        assert matrix.intersection("a", "b") == 2
+        assert matrix.row_percentage("a", "b") == pytest.approx(200 / 3)
+        assert matrix.row_percentage("a", "a") == 100.0
+
+    def test_as_overlap(self):
+        matrix = overlap.as_overlap_matrix(self.make_datasets(), ["a", "b"])
+        assert matrix.intersection("a", "b") == 1
+        assert matrix.unit == "ASes"
+
+    def test_union_count(self):
+        assert overlap.union_as_count(self.make_datasets(), ["a", "b"]) == 3
+
+    def test_render_contains_entries(self):
+        text = overlap.prefix_overlap_matrix(self.make_datasets(),
+                                             ["a", "b"]).render()
+        assert "100.0%" in text and "a" in text
+
+    def test_empty_dataset_row(self):
+        datasets = {"a": ActivityDataset(name="a"),
+                    "b": ActivityDataset(name="b", slash24_ids={1})}
+        matrix = overlap.prefix_overlap_matrix(datasets, ["a", "b"])
+        assert matrix.row_percentage("a", "b") == 0.0
+
+
+class TestVolumeMatrix:
+    def test_shares(self):
+        datasets = {
+            "logs": ActivityDataset(name="logs", asns={1, 2},
+                                    volume_by_asn={1: 10.0, 2: 90.0}),
+            "novol": ActivityDataset(name="novol", asns={2}),
+        }
+        matrix = volume.volume_overlap_matrix(datasets, ["logs", "novol"])
+        assert matrix.row_names == ["logs"]  # only volume-bearing rows
+        assert matrix.share("logs", "novol") == pytest.approx(90.0)
+        assert matrix.share("logs", "logs") == pytest.approx(100.0)
+        assert "90.0%" in matrix.render()
+
+
+class TestBounds:
+    def test_bounds_from_hits(self):
+        routes = RouteTable()
+        routes.announce(Prefix.parse("9.0.0.0/16"), 64500)
+        result = make_result([
+            hit("9.0.0.0/24", 20),     # /20 upper = 16 /24s
+            hit("9.0.64.0/24", 24),
+        ])
+        rows = bounds.per_as_bounds(result, routes)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.asn == 64500
+        assert row.announced_slash24s == 256
+        assert row.lower_active == 2
+        assert row.upper_active == 17
+        assert row.lower_fraction == pytest.approx(2 / 256)
+        assert row.upper_fraction == pytest.approx(17 / 256)
+
+    def test_coarse_prefix_spanning_ases(self):
+        routes = RouteTable()
+        routes.announce(Prefix.parse("9.0.0.0/24"), 1)
+        routes.announce(Prefix.parse("9.0.1.0/24"), 2)
+        result = make_result([hit("9.0.0.0/24", 23)])  # /23 spans both
+        rows = bounds.per_as_bounds(result, routes)
+        assert {r.asn for r in rows} == {1, 2}
+
+    def test_include_inactive_adds_zero_rows(self):
+        routes = RouteTable()
+        routes.announce(Prefix.parse("9.0.0.0/16"), 64500)
+        routes.announce(Prefix.parse("10.0.0.0/16"), 64501)
+        result = make_result([hit("9.0.0.0/24", 24)])
+        rows = bounds.per_as_bounds(result, routes, include_inactive=True)
+        inactive = [r for r in rows if r.asn == 64501]
+        assert inactive and inactive[0].upper_active == 0
+
+    def test_median_bounds(self):
+        routes = RouteTable()
+        routes.announce(Prefix.parse("9.0.0.0/16"), 64500)
+        result = make_result([hit("9.0.0.0/24", 24)])
+        rows = bounds.per_as_bounds(result, routes)
+        low, up = bounds.median_bounds(rows)
+        assert low <= up
+
+    def test_median_bounds_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounds.median_bounds([])
+
+    def test_fraction_cdf(self):
+        cdf = bounds.fraction_cdf([0.5, 0.1, 0.9])
+        assert cdf == [(0.1, pytest.approx(1 / 3)),
+                       (0.5, pytest.approx(2 / 3)), (0.9, 1.0)]
+        assert bounds.fraction_cdf([]) == []
+
+
+class TestRelative:
+    def test_series_quantiles(self):
+        ds = ActivityDataset(name="x",
+                             volume_by_asn={i: float(i) for i in range(1, 11)})
+        series = relative.relative_volume_series(ds)
+        assert sum(series.values) == pytest.approx(1.0)
+        assert series.quantile(0.0) == min(series.values)
+        assert series.quantile(1.0) == max(series.values)
+
+    def test_difference_series(self):
+        a = ActivityDataset(name="a", volume_by_asn={1: 1.0, 2: 1.0})
+        b = ActivityDataset(name="b", volume_by_asn={1: 2.0})
+        series = relative.volume_difference_series(a, b)
+        # a: .5/.5 ; b: 1/0 → diffs: AS1 -0.5, AS2 +0.5
+        assert series.differences == (-0.5, 0.5)
+        assert series.label == "a - b"
+        assert series.fraction_within(0.5) == 1.0
+        assert series.fraction_within(0.4) == 0.0
+
+    def test_identical_datasets_agree_perfectly(self):
+        a = ActivityDataset(name="a", volume_by_asn={1: 3.0, 2: 7.0})
+        series = relative.volume_difference_series(a, a)
+        assert all(d == 0 for d in series.differences)
+        assert relative.agreement_epsilon(series) == 0.0
+
+
+class TestScopeStability:
+    def test_buckets(self):
+        result = make_result([], scope_pairs=[
+            ("d", 24, 24), ("d", 24, 23), ("d", 24, 21), ("d", 24, 19),
+        ])
+        stability = scopes.scope_stability(result)
+        assert stability.total_hits == 4
+        assert stability.exact == 1
+        assert stability.within_2 == 2
+        assert stability.within_4 == 3
+        assert stability.share("exact") == 0.25
+
+    def test_per_domain_filter(self):
+        result = make_result(
+            [hit("9.0.0.0/24", 24, domain="a"),
+             hit("9.1.0.0/24", 24, domain="b")],
+            scope_pairs=[("a", 24, 24), ("b", 24, 20)],
+        )
+        a = scopes.scope_stability(result, "a")
+        assert a.total_hits == 1 and a.exact == 1
+        table = scopes.scope_stability_table(result)
+        assert [c.domain for c in table] == ["a", "b", "Overall"]
+        assert "Overall" in scopes.render_table(table)
+
+    def test_empty_result(self):
+        stability = scopes.scope_stability(make_result([]))
+        assert stability.total_hits == 0
+        assert stability.share("exact") == 0.0
+
+
+class TestVantageCoverage:
+    def test_provider_accounting(self, small_experiment):
+        from repro.core.analysis.vantage_coverage import vantage_coverage
+
+        coverage = vantage_coverage(small_experiment.world,
+                                    small_experiment.vantage_points)
+        providers = [c.provider for c in coverage.contributions]
+        assert providers == ["aws", "vultr"]  # deployment order
+        aws, vultr = coverage.contributions
+        assert aws.regions + vultr.regions == \
+            len(small_experiment.vantage_points)
+        # The first provider's "added" set equals its reached set.
+        assert aws.pops_added == aws.pops_reached
+        # The second only adds PoPs the first missed.
+        assert not set(vultr.pops_added) & set(aws.pops_reached)
+        # Totals consistent with the probed set.
+        assert coverage.total_pops_reached() == \
+            len(small_experiment.probed_pop_ids)
+        # The deliberately user-only PoPs are among the unreached.
+        user_only = {d.pop_id for d in small_experiment.world.pop_descriptors
+                     if d.active and not d.cloud_reachable}
+        assert user_only <= set(coverage.unreached_active)
+        # Render mentions both providers.
+        text = coverage.render()
+        assert "aws" in text and "vultr" in text
+
+    def test_region_map_complete(self, small_experiment):
+        from repro.core.analysis.vantage_coverage import vantage_coverage
+
+        coverage = vantage_coverage(small_experiment.world,
+                                    small_experiment.vantage_points)
+        assert len(coverage.region_to_pop) == \
+            len(small_experiment.vantage_points)
+
+
+class TestAsciiMap:
+    def test_renders_activity_where_it_is(self, small_experiment):
+        from repro.core.analysis.geomap import (
+            active_prefix_density,
+            render_ascii_map,
+        )
+
+        grid = active_prefix_density(small_experiment.world,
+                                     small_experiment.cache_result)
+        art = render_ascii_map(grid, width=72, height=24)
+        rows = art.splitlines()
+        assert len(rows) == 24
+        assert all(len(r) == 72 for r in rows)
+        # Activity exists somewhere; total shade mass covers the grid.
+        assert any(c != " " for row in rows for c in row)
+
+    def test_validates_dimensions(self):
+        from repro.core.analysis.geomap import DensityGrid, render_ascii_map
+
+        with pytest.raises(ValueError):
+            render_ascii_map(DensityGrid(5.0, {}), width=5)

@@ -1,0 +1,63 @@
+"""Tests for repro.core.analysis.asdb_breakdown."""
+
+import pytest
+
+from repro.core.analysis.asdb_breakdown import (
+    EDUCATION_LABEL,
+    HOSTING_LABEL,
+    ISP_LABEL,
+    MissedAsBreakdown,
+    missed_as_breakdown,
+)
+from repro.core.datasets import APNIC, UNION
+from repro.world.asdb import AsdbSnapshot
+
+
+class TestMissedAsBreakdownUnit:
+    def test_shares_and_coverage(self):
+        breakdown = MissedAsBreakdown(
+            missed_total=10, categorised=8,
+            label_counts={ISP_LABEL: 4, HOSTING_LABEL: 4},
+        )
+        assert breakdown.coverage == pytest.approx(0.8)
+        assert breakdown.share(ISP_LABEL) == pytest.approx(0.5)
+        assert breakdown.share("nope") == 0.0
+
+    def test_empty(self):
+        breakdown = MissedAsBreakdown(missed_total=0, categorised=0,
+                                      label_counts={})
+        assert breakdown.coverage == 0.0
+        assert breakdown.share(ISP_LABEL) == 0.0
+
+    def test_render_lists_labels(self):
+        breakdown = MissedAsBreakdown(
+            missed_total=3, categorised=3, label_counts={ISP_LABEL: 3},
+        )
+        text = breakdown.render()
+        assert "3" in text and ISP_LABEL in text
+
+
+class TestAgainstExperiment:
+    def test_breakdown_shape(self, small_experiment):
+        """§4: most missed ASes are categorised; ISPs dominate, with
+        hosting and education present."""
+        breakdown = missed_as_breakdown(
+            small_experiment.world,
+            small_experiment.datasets[UNION],
+            small_experiment.datasets[APNIC],
+        )
+        assert breakdown.missed_total > 0
+        assert breakdown.coverage > 0.8  # paper: 92.7%
+        assert sum(breakdown.label_counts.values()) == breakdown.categorised
+
+    def test_full_coverage_snapshot_categorises_everything(
+            self, small_experiment):
+        asdb = AsdbSnapshot(small_experiment.world, coverage=1.0,
+                            mislabel_rate=0.0)
+        breakdown = missed_as_breakdown(
+            small_experiment.world,
+            small_experiment.datasets[UNION],
+            small_experiment.datasets[APNIC],
+            asdb=asdb,
+        )
+        assert breakdown.coverage == 1.0

@@ -1,0 +1,146 @@
+"""Tests for repro.core.cache_probing (pipeline integration)."""
+
+import pytest
+
+from repro.net.prefix import Prefix
+from repro.world.builder import build_world
+from repro.core.cache_probing import (
+    CacheHitRecord,
+    CacheProbingConfig,
+    CacheProbingPipeline,
+)
+from repro.core.calibration import CalibrationConfig
+from tests.conftest import tiny_world_config
+
+
+@pytest.fixture(scope="module")
+def probing_run():
+    world = build_world(tiny_world_config(seed=31, target_blocks=80))
+    pipeline = CacheProbingPipeline(
+        world,
+        CacheProbingConfig(
+            warmup_hours=2.0, measurement_hours=5.0, redundancy=3,
+            probe_loops=2, seed=31,
+            calibration=CalibrationConfig(sample_size=60),
+        ),
+    )
+    return world, pipeline, pipeline.run()
+
+
+class TestConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            CacheProbingConfig(measurement_hours=0)
+        with pytest.raises(ValueError):
+            CacheProbingConfig(probe_loops=0)
+
+
+class TestCacheHitRecord:
+    def test_active_prefix_is_response_scope(self):
+        record = CacheHitRecord(
+            pop_id="x", domain="d",
+            query_scope=Prefix.parse("9.1.2.0/24"),
+            response_scope=20, timestamp=0.0,
+        )
+        assert record.active_prefix() == Prefix.parse("9.1.0.0/20")
+
+
+class TestPipeline:
+    def test_produces_hits(self, probing_run):
+        _, _, result = probing_run
+        assert result.hits
+        assert result.probes_sent > 0
+        assert result.scope_pairs
+
+    def test_hits_deduplicated(self, probing_run):
+        _, _, result = probing_run
+        keys = [(h.pop_id, h.domain, h.query_scope) for h in result.hits]
+        assert len(keys) == len(set(keys))
+
+    def test_hits_have_positive_scope(self, probing_run):
+        _, _, result = probing_run
+        assert all(h.response_scope > 0 for h in result.hits)
+
+    def test_recall_of_busy_blocks(self, probing_run):
+        """Most busy client /24s should be detected."""
+        world, _, result = probing_run
+        active = result.active_slash24_ids()
+        busy = [b for b in world.client_blocks() if b.users >= 80]
+        if not busy:
+            pytest.skip("no busy blocks in this world")
+        found = sum(1 for b in busy if b.slash24 in active)
+        assert found / len(busy) > 0.5
+
+    def test_scope_prefix_precision(self, probing_run):
+        """<~few % of scope prefixes may lack a true client /24."""
+        world, _, result = probing_run
+        truth = world.client_slash24_ids()
+        prefixes = list(result.active_prefix_set())
+        good = 0
+        for prefix in prefixes:
+            if prefix.length >= 24:
+                good += (prefix.network >> 8) in truth
+            else:
+                start = prefix.network >> 8
+                good += any(b in truth for b in
+                            range(start, start + prefix.num_slash24s()))
+        assert good / len(prefixes) > 0.9
+
+    def test_active_asns_subset_of_world(self, probing_run):
+        world, _, result = probing_run
+        asns = result.active_asns(world.routes)
+        assert asns
+        assert asns <= world.registry.asns()
+
+    def test_assignment_respects_radii(self, probing_run):
+        """No PoP should be assigned vastly more targets than the
+        discovery produced in total."""
+        _, pipeline, result = probing_run
+        total_scopes = result.discovery.total_query_scopes()
+        for pop, size in result.assignment_sizes.items():
+            assert size <= total_scopes
+
+    def test_per_domain_views(self, probing_run):
+        _, _, result = probing_run
+        domains = result.domains()
+        assert domains
+        total = sum(result.hit_count(d) for d in domains)
+        assert total == result.hit_count()
+        union_ids = set()
+        for d in domains:
+            union_ids |= result.active_slash24_ids(d)
+        assert union_ids == result.active_slash24_ids()
+
+    def test_calibration_covers_probed_pops(self, probing_run):
+        _, pipeline, result = probing_run
+        assert set(result.calibration.per_pop) == set(
+            pipeline.prober.reachable_pops)
+
+
+class TestProbeRateBudget:
+    def test_rate_validated(self):
+        with pytest.raises(ValueError):
+            CacheProbingConfig(probe_rate_qps=0)
+
+    def test_rate_overrides_loops(self):
+        """At a fixed visit rate, the probe count is rate × window ×
+        PoPs × redundancy, independent of assignment size — how the
+        paper states its budget."""
+        world = build_world(tiny_world_config(seed=33, target_blocks=60))
+        config = CacheProbingConfig(
+            warmup_hours=1.0, measurement_hours=2.0, redundancy=2,
+            probe_loops=1, probe_rate_qps=0.02, seed=33,
+            calibration=CalibrationConfig(sample_size=20),
+        )
+        pipeline = CacheProbingPipeline(world, config)
+        result = pipeline.run()
+        slots = round(2.0 * 3600 / 1800.0)
+        per_slot = round(0.02 * 1800.0)
+        pops = len(pipeline.prober.reachable_pops)
+        expected_visits = slots * per_slot * pops
+        calibration_probes = sum(
+            c.probe_count for c in result.calibration.per_pop.values())
+        measured_visits = sum(result.attempt_counts.values())
+        assert measured_visits == expected_visits
+        assert result.probes_sent >= measured_visits * 2  # redundancy
+        assert calibration_probes > 0

@@ -1,0 +1,103 @@
+"""Tests for repro.core.chromium."""
+
+import pytest
+
+from repro.dns.message import QueryLogEntry
+from repro.dns.name import DnsName
+from repro.sim.clock import DAY
+from repro.core.chromium import (
+    ChromiumClassification,
+    classify_entries,
+    collision_threshold_confidence,
+    expected_collision_rate,
+    pick_threshold,
+    probability_label_repeats,
+    simulate_max_daily_collisions,
+)
+
+
+def entry(label, ts=0.0, ip=0x0A000001):
+    return QueryLogEntry(timestamp=ts, source_ip=ip,
+                         name=DnsName.parse(label))
+
+
+class TestClassifier:
+    def test_accepts_unique_random_labels(self):
+        entries = [entry("sdhfjssfx"), entry("qpwoeiruty")]
+        result = classify_entries(entries)
+        assert result.stats.accepted == 2
+        assert result.stats.rejected_by_threshold == 0
+
+    def test_rejects_repeated_labels(self):
+        entries = [entry("aaaaaaaa", ts=i) for i in range(10)]
+        result = classify_entries(entries, daily_threshold=7)
+        assert result.stats.accepted == 0
+        assert result.stats.rejected_by_threshold == 10
+        assert "aaaaaaaa" in result.stats.rejected_labels
+
+    def test_threshold_boundary(self):
+        entries = [entry("bbbbbbbb", ts=i) for i in range(6)]
+        assert classify_entries(entries, daily_threshold=7).stats.accepted == 6
+        entries.append(entry("bbbbbbbb", ts=6))
+        assert classify_entries(entries, daily_threshold=7).stats.accepted == 0
+
+    def test_counting_is_per_day(self):
+        # 6 occurrences on each of two days: under the threshold daily.
+        entries = [entry("cccccccc", ts=i * 1000) for i in range(6)]
+        entries += [entry("cccccccc", ts=DAY + i * 1000) for i in range(6)]
+        result = classify_entries(entries, daily_threshold=7)
+        assert result.stats.accepted == 12
+
+    def test_ignores_non_probe_shapes(self):
+        entries = [entry("wpad"), entry("columbia.edu"),
+                   entry("toolongforachromiumprobequery")]
+        result = classify_entries(entries)
+        assert result.stats.shape_matched == 0
+        assert result.stats.accepted == 0
+        assert result.stats.total_entries == 3
+
+    def test_resolver_counts(self):
+        entries = [entry("sdhfjssfx", ip=1), entry("qpwoeiruty", ip=1),
+                   entry("zmxncbvqp", ip=2)]
+        counts = classify_entries(entries).resolver_counts()
+        assert counts[1] == 2
+        assert counts[2] == 1
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            classify_entries([], daily_threshold=0)
+
+
+class TestCollisionSimulation:
+    def test_realistic_volume_stays_under_threshold(self):
+        """§3.2: at root-scale volumes, random labels collide fewer
+        than 7 times per day with ≥99% probability."""
+        confidence = collision_threshold_confidence(
+            queries_per_day=5_000_000, threshold=7, trials=20, seed=1
+        )
+        assert confidence >= 0.99
+
+    def test_max_collisions_grow_with_volume(self):
+        small = max(simulate_max_daily_collisions(100_000, trials=5, seed=2))
+        huge = max(simulate_max_daily_collisions(50_000_000, trials=5, seed=2))
+        assert huge >= small
+
+    def test_expected_collision_rate_monotone(self):
+        assert expected_collision_rate(10**6) < expected_collision_rate(10**8)
+        assert expected_collision_rate(0) == 0.0
+
+    def test_probability_label_repeats_bounds(self):
+        p = probability_label_repeats(5_000_000, 7)
+        assert 0.0 <= p < 0.01  # analytically negligible at threshold 7
+        assert probability_label_repeats(5_000_000, 1) == 1.0
+
+    def test_pick_threshold_matches_paper(self):
+        threshold = pick_threshold(5_000_000, confidence=0.99, trials=10,
+                                   seed=3)
+        assert 2 <= threshold <= 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_max_daily_collisions(0)
+        with pytest.raises(ValueError):
+            expected_collision_rate(-1)

@@ -1,0 +1,101 @@
+"""Tests for repro.core.datasets."""
+
+import pytest
+
+from repro.core.datasets import (
+    APNIC,
+    CACHE_PROBING,
+    CLOUD_ECS,
+    DNS_LOGS,
+    MICROSOFT_CLIENTS,
+    MICROSOFT_RESOLVERS,
+    UNION,
+    ActivityDataset,
+    from_apnic,
+)
+
+
+class TestActivityDataset:
+    def test_has_volume(self):
+        empty = ActivityDataset(name="x")
+        assert not empty.has_volume
+        with_volume = ActivityDataset(name="y", volume_by_asn={1: 2.0})
+        assert with_volume.has_volume
+
+    def test_volume_share_of_asns(self):
+        ds = ActivityDataset(name="x", volume_by_asn={1: 30.0, 2: 70.0})
+        assert ds.volume_share_of_asns({2}) == pytest.approx(0.7)
+        assert ds.volume_share_of_asns({1, 2}) == pytest.approx(1.0)
+        assert ds.volume_share_of_asns(set()) == 0.0
+
+    def test_volume_share_requires_volume(self):
+        with pytest.raises(ValueError):
+            ActivityDataset(name="x").volume_share_of_asns({1})
+
+    def test_slash24_volume_share(self):
+        ds = ActivityDataset(name="x", volume_by_slash24={10: 1.0, 20: 3.0})
+        assert ds.slash24_volume_share({20}) == pytest.approx(0.75)
+
+    def test_relative_volume_sums_to_one(self):
+        ds = ActivityDataset(name="x", volume_by_asn={1: 5.0, 2: 15.0})
+        relative = ds.relative_volume_by_asn()
+        assert sum(relative.values()) == pytest.approx(1.0)
+        assert relative[2] == pytest.approx(0.75)
+
+    def test_union_merges_everything(self):
+        a = ActivityDataset(name="a", slash24_ids={1}, asns={10},
+                            volume_by_asn={10: 1.0},
+                            volume_by_slash24={1: 1.0})
+        b = ActivityDataset(name="b", slash24_ids={2}, asns={10, 20},
+                            volume_by_asn={10: 2.0, 20: 3.0},
+                            volume_by_slash24={2: 4.0})
+        union = a.union(b, "a∪b")
+        assert union.slash24_ids == {1, 2}
+        assert union.asns == {10, 20}
+        assert union.volume_by_asn == {10: 3.0, 20: 3.0}
+        assert union.name == "a∪b"
+
+    def test_from_apnic_has_no_prefixes(self):
+        ds = from_apnic({1: 100.0, 2: 50.0})
+        assert ds.asns == {1, 2}
+        assert not ds.slash24_ids
+        assert ds.total_volume() == 150.0
+
+
+class TestBuiltDatasets:
+    """Integration checks over the full experiment's datasets."""
+
+    def test_all_seven_present(self, small_experiment):
+        names = {CACHE_PROBING, DNS_LOGS, UNION, APNIC,
+                 MICROSOFT_CLIENTS, MICROSOFT_RESOLVERS, CLOUD_ECS}
+        assert names <= set(small_experiment.datasets)
+
+    def test_union_contains_both_parts(self, small_experiment):
+        ds = small_experiment.datasets
+        assert ds[UNION].slash24_ids >= ds[CACHE_PROBING].slash24_ids
+        assert ds[UNION].slash24_ids >= ds[DNS_LOGS].slash24_ids
+        assert ds[UNION].asns >= ds[CACHE_PROBING].asns | ds[DNS_LOGS].asns
+
+    def test_apnic_is_as_level_only(self, small_experiment):
+        apnic = small_experiment.datasets[APNIC]
+        assert apnic.asns and not apnic.slash24_ids
+
+    def test_cache_probing_has_no_volume(self, small_experiment):
+        assert not small_experiment.datasets[CACHE_PROBING].has_volume
+
+    def test_volume_bearing_datasets(self, small_experiment):
+        ds = small_experiment.datasets
+        for name in (DNS_LOGS, APNIC, MICROSOFT_CLIENTS, MICROSOFT_RESOLVERS):
+            assert ds[name].has_volume, name
+
+    def test_ms_clients_matches_ground_truth(self, small_experiment):
+        world = small_experiment.world
+        clients = small_experiment.datasets[MICROSOFT_CLIENTS]
+        assert clients.slash24_ids <= world.client_slash24_ids()
+
+    def test_dns_logs_precision_against_cdn(self, small_experiment):
+        """§4: most DNS-logs prefixes host clients the CDN also sees."""
+        ds = small_experiment.datasets
+        logs = ds[DNS_LOGS].slash24_ids
+        clients = ds[MICROSOFT_CLIENTS].slash24_ids
+        assert len(logs & clients) / len(logs) > 0.7

@@ -1,0 +1,54 @@
+"""Property-based tests on ActivityDataset algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.datasets import ActivityDataset
+
+datasets = st.builds(
+    lambda ids, asns, volumes: ActivityDataset(
+        name="x",
+        slash24_ids=ids,
+        asns=asns | set(volumes),
+        volume_by_asn=volumes,
+    ),
+    st.sets(st.integers(min_value=0, max_value=2**24 - 1), max_size=30),
+    st.sets(st.integers(min_value=1, max_value=99999), max_size=20),
+    st.dictionaries(st.integers(min_value=1, max_value=99999),
+                    st.floats(min_value=0.01, max_value=1e6),
+                    max_size=20),
+)
+
+
+@given(datasets, datasets)
+@settings(max_examples=150)
+def test_union_is_superset_and_volume_additive(a, b):
+    union = a.union(b, "u")
+    assert union.slash24_ids == a.slash24_ids | b.slash24_ids
+    assert union.asns == a.asns | b.asns
+    assert abs(union.total_volume()
+               - (a.total_volume() + b.total_volume())) < 1e-6
+
+
+@given(datasets)
+@settings(max_examples=100)
+def test_union_with_empty_is_identity_on_sets(a):
+    empty = ActivityDataset(name="e")
+    union = a.union(empty, "u")
+    assert union.slash24_ids == a.slash24_ids
+    assert union.asns == a.asns
+    assert union.volume_by_asn == a.volume_by_asn
+
+
+@given(datasets)
+@settings(max_examples=100)
+def test_relative_volumes_normalise(a):
+    if not a.has_volume:
+        return
+    relative = a.relative_volume_by_asn()
+    assert abs(sum(relative.values()) - 1.0) < 1e-9
+    assert all(v >= 0 for v in relative.values())
+    # Shares over subsets are monotone in the subset.
+    asns = sorted(a.volume_by_asn)
+    half = set(asns[: len(asns) // 2])
+    assert a.volume_share_of_asns(half) <= a.volume_share_of_asns(set(asns))

@@ -1,0 +1,86 @@
+"""Tests for repro.core.dns_logs."""
+
+import pytest
+
+from repro.sim.clock import DAY, HOUR
+from repro.world.activity import ActivitySimulator
+from repro.world.builder import build_world
+from repro.core.dns_logs import DnsLogsConfig, DnsLogsPipeline
+from tests.conftest import tiny_world_config
+
+
+@pytest.fixture(scope="module")
+def traced_world():
+    world = build_world(tiny_world_config(seed=23))
+    ActivitySimulator(world, seed=23).run(8 * HOUR)
+    return world
+
+
+class TestDnsLogsPipeline:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DnsLogsConfig(window_days=0)
+
+    def test_finds_resolvers_with_chromium_users(self, traced_world):
+        result = DnsLogsPipeline(traced_world).run()
+        assert result.resolver_counts
+        assert result.total_probes() > 0
+        # Every counted IP is either a real resolver or a public-DNS
+        # egress address.
+        google_egress = {
+            site.egress_ip
+            for site in traced_world.public_dns.sites.values()
+        }
+        for ip in result.resolver_counts:
+            assert ip in traced_world.resolvers or ip in google_egress
+
+    def test_active_asns_includes_google_as(self, traced_world):
+        """Chromium probes via the public resolver attribute to the
+        resolver operator's AS (§B.3's Google-AS observation)."""
+        result = DnsLogsPipeline(traced_world).run()
+        assert traced_world.google_asn in result.active_asns(
+            traced_world.routes)
+
+    def test_volume_by_asn_sums_to_probes(self, traced_world):
+        result = DnsLogsPipeline(traced_world).run()
+        volumes = result.volume_by_asn(traced_world.routes)
+        assert sum(volumes.values()) == result.total_probes()
+
+    def test_resolver_prefixes_match_counts(self, traced_world):
+        result = DnsLogsPipeline(traced_world).run()
+        assert len(result.resolver_slash24_ids()) <= len(result.resolver_counts)
+        assert len(result.resolver_prefixes()) == len(
+            result.resolver_slash24_ids())
+
+    def test_window_defaults_to_trailing_days(self, traced_world):
+        result = DnsLogsPipeline(
+            traced_world, DnsLogsConfig(window_days=0.25)
+        ).run()
+        start, end = result.window
+        assert end == traced_world.clock.now
+        assert start == pytest.approx(end - 0.25 * DAY)
+
+    def test_only_traced_letters_contribute(self, traced_world):
+        result = DnsLogsPipeline(traced_world).run()
+        assert set(result.letters) <= set("jhmakd")
+
+    def test_empty_window_gives_empty_result(self, traced_world):
+        result = DnsLogsPipeline(traced_world).run(start=0.0, end=1.0)
+        assert result.total_probes() == 0
+
+    def test_probe_volume_proportionalish_to_users(self, traced_world):
+        """Bigger resolvers (more users behind them) see more probes."""
+        result = DnsLogsPipeline(traced_world).run()
+        users_behind: dict[int, int] = {}
+        for block in traced_world.blocks:
+            if block.resolver_ip:
+                users_behind[block.resolver_ip] = (
+                    users_behind.get(block.resolver_ip, 0) + block.users
+                )
+        # Compare mean probe count of the top-quartile resolvers by
+        # user population vs the bottom quartile.
+        ranked = sorted(users_behind, key=users_behind.get)
+        quarter = max(1, len(ranked) // 4)
+        small = [result.resolver_counts.get(ip, 0) for ip in ranked[:quarter]]
+        big = [result.resolver_counts.get(ip, 0) for ip in ranked[-quarter:]]
+        assert sum(big) / len(big) > sum(small) / len(small)

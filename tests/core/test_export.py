@@ -1,0 +1,75 @@
+"""Tests for repro.core.export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core.datasets import ActivityDataset
+from repro.core.export import (
+    active_prefixes_to_csv,
+    cache_probing_to_json,
+    dataset_from_json,
+    dataset_to_json,
+    dns_logs_to_json,
+)
+
+
+class TestDatasetRoundtrip:
+    def make(self):
+        return ActivityDataset(
+            name="test",
+            slash24_ids={1, 2, 3},
+            asns={64500, 64501},
+            volume_by_asn={64500: 10.5, 64501: 2.0},
+            volume_by_slash24={1: 5.0},
+        )
+
+    def test_roundtrip(self):
+        original = self.make()
+        restored = dataset_from_json(dataset_to_json(original))
+        assert restored.name == original.name
+        assert restored.slash24_ids == original.slash24_ids
+        assert restored.asns == original.asns
+        assert restored.volume_by_asn == original.volume_by_asn
+        assert restored.volume_by_slash24 == original.volume_by_slash24
+
+    def test_rejects_unknown_format(self):
+        with pytest.raises(ValueError):
+            dataset_from_json(json.dumps({"format": "other"}))
+
+    def test_json_is_deterministic(self):
+        assert dataset_to_json(self.make()) == dataset_to_json(self.make())
+
+
+class TestResultExports:
+    def test_cache_probing_json(self, small_experiment):
+        payload = json.loads(cache_probing_to_json(
+            small_experiment.cache_result))
+        assert payload["format"] == "repro.cache_probing.v1"
+        assert payload["probes_sent"] > 0
+        assert len(payload["hits"]) == len(small_experiment.cache_result.hits)
+        first = payload["hits"][0]
+        assert set(first) == {"pop", "domain", "query_scope",
+                              "response_scope", "timestamp"}
+        assert payload["service_radii_km"]
+
+    def test_active_prefixes_csv(self, small_experiment):
+        text = active_prefixes_to_csv(small_experiment.cache_result)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["domain", "active_prefix", "response_scope", "pop"]
+        assert len(rows) == len(small_experiment.cache_result.hits) + 1
+        # Prefixes parse back.
+        from repro.net.prefix import Prefix
+        for row in rows[1:20]:
+            Prefix.parse(row[1])
+
+    def test_dns_logs_json(self, small_experiment):
+        payload = json.loads(dns_logs_to_json(small_experiment.logs_result))
+        assert payload["format"] == "repro.dns_logs.v1"
+        assert sum(payload["resolver_counts"].values()) == \
+            small_experiment.logs_result.total_probes()
+        # Keys are dotted-quad resolver addresses.
+        for key in list(payload["resolver_counts"])[:5]:
+            assert key.count(".") == 3

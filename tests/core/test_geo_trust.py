@@ -1,0 +1,61 @@
+"""Tests for repro.core.geo_trust."""
+
+import math
+
+import pytest
+
+from repro.core.geo_trust import GeoTrustReport, grade_geolocation
+
+
+class TestGeoTrustReport:
+    def test_medians_and_rates(self):
+        report = GeoTrustReport(
+            trusted_count=3, untrusted_count=2,
+            trusted_errors_km=(10.0, 20.0, 30.0),
+            untrusted_errors_km=(100.0, 900.0),
+        )
+        assert report.trusted_median_error_km == 20.0
+        assert report.untrusted_median_error_km == 500.0
+        trusted, untrusted = report.gross_error_rate(threshold_km=300)
+        assert trusted == 0.0
+        assert untrusted == 0.5
+
+    def test_empty_groups(self):
+        report = GeoTrustReport(0, 0, (), ())
+        assert math.isnan(report.trusted_median_error_km)
+        assert report.gross_error_rate() == (0.0, 0.0)
+
+    def test_render(self):
+        report = GeoTrustReport(1, 1, (5.0,), (1000.0,))
+        text = report.render()
+        assert "trusted" in text and "km" in text
+
+
+class TestGrading:
+    def test_oracle_activity_separates_error_rates(self, shared_tiny_world):
+        """Client space carries better geodata than idle/infra space —
+        the mechanism [16] documents and activity lists expose."""
+        world = shared_tiny_world
+        report = grade_geolocation(world, world.client_slash24_ids())
+        assert report.trusted_count > 0
+        assert report.untrusted_count > 0
+        trusted_gross, untrusted_gross = report.gross_error_rate()
+        assert untrusted_gross > trusted_gross
+
+    def test_measured_activity_also_separates(self, small_experiment):
+        report = grade_geolocation(
+            small_experiment.world,
+            small_experiment.cache_result.active_slash24_ids(),
+        )
+        trusted_gross, untrusted_gross = report.gross_error_rate()
+        assert untrusted_gross >= trusted_gross
+
+    def test_counts_cover_placed_space(self, shared_tiny_world):
+        world = shared_tiny_world
+        report = grade_geolocation(world, set())
+        assert report.trusted_count == 0
+        placed = set()
+        for prefix, _loc, _c, _k in world.geo_truth:
+            placed.update(p.network >> 8 for p in prefix.slash24s())
+        assert report.untrusted_count <= len(placed)
+        assert report.untrusted_count > 0

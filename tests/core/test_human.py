@@ -1,0 +1,113 @@
+"""Tests for repro.core.human (§6 human-vs-bot inference)."""
+
+import pytest
+
+from repro.net.prefix import Prefix
+from repro.core.cache_probing import CacheProbingResult
+from repro.core.calibration import CalibrationResult
+from repro.core.human import (
+    classify_human_prefixes,
+    diurnal_signal,
+    score_classification,
+)
+from repro.core.scope_discovery import DiscoveryResult
+
+
+def make_result(hourly_attempts, hourly_hits):
+    return CacheProbingResult(
+        hits=[], probes_sent=0,
+        calibration=CalibrationResult(per_pop={}),
+        discovery=DiscoveryResult(),
+        assignment_sizes={}, scope_pairs=[],
+        hourly_attempts=hourly_attempts, hourly_hits=hourly_hits,
+    )
+
+
+P = Prefix.parse("9.0.0.0/24")
+
+
+class FakeWorld:
+    """Just enough world for diurnal_signal: a geodb at lon 0."""
+
+    class _Geo:
+        def locate_prefix(self, prefix):
+            return None  # no location: no local-time shift
+
+    geodb = _Geo()
+
+
+class TestDiurnalSignal:
+    def test_flat_profile_has_zero_amplitude(self):
+        result = make_result({P: [4] * 24}, {P: [2] * 24})
+        signal = diurnal_signal(FakeWorld(), result, P)
+        assert signal is not None
+        assert signal.amplitude == pytest.approx(0.0)
+        assert signal.total_attempts == 96
+
+    def test_day_night_swing_measured(self):
+        attempts = [4] * 24
+        hits = [0 if h < 8 else 4 for h in range(24)]  # dead nights
+        signal = diurnal_signal(FakeWorld(), make_result({P: attempts},
+                                                         {P: hits}), P)
+        assert signal.amplitude == pytest.approx(1.0)
+        assert signal.trough_hour < 8
+
+    def test_unprobed_prefix_returns_none(self):
+        assert diurnal_signal(FakeWorld(), make_result({}, {}), P) is None
+
+    def test_insufficient_day_coverage_returns_none(self):
+        attempts = [0] * 24
+        attempts[3] = 10
+        attempts[4] = 10
+        signal = diurnal_signal(FakeWorld(),
+                                make_result({P: attempts}, {P: [0] * 24}), P)
+        assert signal is None
+
+    def test_min_attempts_per_bin_respected(self):
+        attempts = [1] * 24  # 4 per 4h-bin
+        signal = diurnal_signal(FakeWorld(),
+                                make_result({P: attempts}, {P: [0] * 24}),
+                                P, min_attempts_per_bin=5)
+        assert signal is None
+
+
+class TestClassification:
+    @pytest.fixture(scope="class")
+    def verdicts(self, small_experiment):
+        return classify_human_prefixes(
+            small_experiment.world,
+            small_experiment.cache_result,
+            small_experiment.logs_result,
+        )
+
+    def test_produces_verdicts_for_probed_prefixes(self, verdicts,
+                                                   small_experiment):
+        assert verdicts
+        probed = {h.query_scope for h in small_experiment.cache_result.hits}
+        assert {v.prefix for v in verdicts} == probed
+
+    def test_sorted_by_score(self, verdicts):
+        scores = [v.score for v in verdicts]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_high_precision_against_ground_truth(self, verdicts,
+                                                 small_experiment):
+        """Bots almost never get a human verdict: they lack Chromium
+        evidence entirely and show no diurnal dip."""
+        scores = score_classification(small_experiment.world, verdicts)
+        if scores["tp"] + scores["fp"] < 10:
+            pytest.skip("too few human verdicts in the small run")
+        assert scores["precision"] > 0.8
+
+    def test_score_components_consistent(self, verdicts):
+        for verdict in verdicts[:100]:
+            expected = 0.0
+            if (verdict.diurnal_amplitude is not None
+                    and verdict.diurnal_amplitude >= 0.10):
+                expected += 1.0
+            if verdict.domain_breadth >= 2:
+                expected += 1.0
+            if verdict.chromium_consistent:
+                expected += 1.5
+            assert verdict.score == pytest.approx(expected)
+            assert verdict.is_human == (verdict.score >= 1.5)

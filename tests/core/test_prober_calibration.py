@@ -1,0 +1,124 @@
+"""Tests for repro.core.prober and repro.core.calibration."""
+
+import pytest
+
+from repro.net.prefix import Prefix
+from repro.sim.clock import HOUR
+from repro.world.activity import ActivitySimulator
+from repro.world.builder import build_world
+from repro.world.domains_catalog import probe_domains
+from repro.world.vantage import deploy_vantage_points
+from repro.core.calibration import (
+    CalibrationConfig,
+    calibrate,
+    eligible_calibration_prefixes,
+)
+from repro.core.prober import GoogleProber
+from tests.conftest import tiny_world_config
+
+
+@pytest.fixture(scope="module")
+def warm_world():
+    """A tiny world with a few hours of activity already simulated."""
+    world = build_world(tiny_world_config(seed=21))
+    ActivitySimulator(world, seed=21).run(3 * HOUR)
+    return world
+
+
+@pytest.fixture(scope="module")
+def prober(warm_world):
+    return GoogleProber(warm_world, deploy_vantage_points(warm_world),
+                        redundancy=3)
+
+
+class TestGoogleProber:
+    def test_redundancy_validated(self, warm_world):
+        with pytest.raises(ValueError):
+            GoogleProber(warm_world, deploy_vantage_points(warm_world),
+                         redundancy=0)
+
+    def test_reachable_pops_sorted_cloud_subset(self, warm_world, prober):
+        cloud = {d.pop_id for d in warm_world.pop_descriptors
+                 if d.cloud_reachable and d.active}
+        assert set(prober.reachable_pops) <= cloud
+        assert prober.reachable_pops == sorted(prober.reachable_pops)
+
+    def test_unknown_pop_raises(self, warm_world, prober):
+        with pytest.raises(KeyError):
+            prober.probe("nonexistent", warm_world.domains[0].name,
+                         Prefix.parse("9.0.0.0/24"))
+
+    def test_probe_counts_queries(self, warm_world):
+        prober = GoogleProber(warm_world, deploy_vantage_points(warm_world),
+                              redundancy=4)
+        pop = prober.reachable_pops[0]
+        result = prober.probe(pop, warm_world.domains[0].name,
+                              Prefix.parse("9.0.0.0/24"))
+        assert result.queries_sent == 4
+        assert prober.probes_sent == 4
+
+    def test_probing_finds_active_prefixes(self, warm_world, prober):
+        """Probing a busy client block at its PoP should hit."""
+        domains = probe_domains(warm_world.domains)
+        blocks = sorted(warm_world.client_blocks(), key=lambda b: -b.users)
+        hits = 0
+        for block in blocks[:30]:
+            pop = warm_world.user_catchment.pop_for(block.location,
+                                                    block.slash24)
+            if pop.pop_id not in prober.reachable_pops:
+                continue
+            for domain in domains:
+                result = prober.probe(pop.pop_id, domain.name, block.prefix)
+                if result.is_activity_evidence:
+                    hits += 1
+                    break
+        assert hits > 5
+
+    def test_probe_never_hits_empty_space(self, warm_world, prober):
+        """Prefixes nobody uses must never show activity evidence."""
+        domains = probe_domains(warm_world.domains)
+        for pop in prober.reachable_pops[:5]:
+            for domain in domains:
+                result = prober.probe(pop, domain.name,
+                                      Prefix.parse("223.255.0.0/24"))
+                assert not result.is_activity_evidence
+
+
+class TestCalibration:
+    def test_eligible_prefixes_have_small_error_radius(self, warm_world):
+        config = CalibrationConfig(max_error_radius_km=200)
+        eligible = eligible_calibration_prefixes(warm_world, config)
+        assert eligible
+        for prefix in eligible[:100]:
+            entry = warm_world.geodb.locate_prefix(prefix)
+            assert entry.error_radius_km <= 200
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CalibrationConfig(sample_size=0)
+        with pytest.raises(ValueError):
+            CalibrationConfig(radius_percentile=0.0)
+
+    def test_calibrate_produces_radius_per_pop(self, warm_world, prober):
+        result = calibrate(warm_world, prober, probe_domains(warm_world.domains),
+                           CalibrationConfig(sample_size=80), seed=4)
+        assert set(result.per_pop) == set(prober.reachable_pops)
+        for calibration in result.per_pop.values():
+            assert calibration.radius_km > 0
+            assert calibration.probe_count <= 80
+
+    def test_pops_without_hits_fall_back_to_max_radius(self, warm_world,
+                                                       prober):
+        config = CalibrationConfig(sample_size=40, min_hits=10_000,
+                                   fallback_radius_km=1234.0)
+        result = calibrate(warm_world, prober,
+                           probe_domains(warm_world.domains), config, seed=4)
+        assert all(c.radius_km == 1234.0 for c in result.per_pop.values())
+
+    def test_summary_statistics(self, warm_world, prober):
+        result = calibrate(warm_world, prober,
+                           probe_domains(warm_world.domains),
+                           CalibrationConfig(sample_size=60), seed=4)
+        assert result.mean_radius_km() <= result.max_radius_km()
+        pop = next(iter(result.per_pop))
+        assert result.radius_of(pop) == result.per_pop[pop].radius_km

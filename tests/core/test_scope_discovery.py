@@ -1,0 +1,114 @@
+"""Tests for repro.core.scope_discovery."""
+
+import random
+
+import pytest
+
+from repro.dns.authoritative import AuthoritativeServer, FixedScopePolicy, Zone
+from repro.dns.name import DnsName
+from repro.net.prefix import Prefix
+from repro.net.routing import RouteTable
+from repro.sim.clock import Clock
+from repro.world.model import DomainSpec
+from repro.core.scope_discovery import (
+    DiscoveryResult,
+    discover_all,
+    discover_scopes,
+)
+
+NAME = DnsName.parse("www.example.com")
+
+
+def make_domain(supports_ecs=True):
+    return DomainSpec(NAME, rank=1, supports_ecs=supports_ecs, ttl=300,
+                      weight=1, operator="example")
+
+
+def make_server(scope=20):
+    return AuthoritativeServer(
+        Clock(),
+        [Zone(name=NAME, ttl=300, supports_ecs=True,
+              scope_policy=FixedScopePolicy(scope))],
+    )
+
+
+def make_routes(*prefix_texts):
+    table = RouteTable()
+    for index, text in enumerate(prefix_texts):
+        table.announce(Prefix.parse(text), 64500 + index)
+    return table
+
+
+class TestDiscoverScopes:
+    def test_coarse_scopes_reduce_queries(self):
+        routes = make_routes("9.0.0.0/16")  # 256 /24s
+        plan = discover_scopes(make_domain(), make_server(scope=20), routes)
+        # A /20 scope covers 16 /24s: expect ~16 queries, not 256.
+        assert plan.authoritative_queries == 16
+        assert len(plan.query_scopes) == 16
+        assert plan.slash24s_covered == 256
+        assert plan.probes_saved == 240
+
+    def test_slash24_scopes_mean_no_reduction(self):
+        routes = make_routes("9.0.0.0/20")
+        plan = discover_scopes(make_domain(), make_server(scope=24), routes)
+        assert plan.authoritative_queries == 16
+        assert len(plan.query_scopes) == 16
+        assert plan.probes_saved == 0
+
+    def test_scopes_cover_all_routed_space(self):
+        routes = make_routes("9.0.0.0/18", "120.5.0.0/22")
+        plan = discover_scopes(make_domain(), make_server(scope=22), routes)
+        covered = set()
+        for scope in plan.query_scopes:
+            covered.update(p.network >> 8 for p in scope.slash24s())
+        routed = set(routes.routed_slash24_ids())
+        assert routed <= covered
+
+    def test_non_ecs_domain_yields_empty_plan(self):
+        routes = make_routes("9.0.0.0/16")
+        plan = discover_scopes(make_domain(supports_ecs=False),
+                               make_server(), routes)
+        assert plan.query_scopes == []
+        assert plan.authoritative_queries == 0
+
+    def test_scopes_are_at_most_slash24(self):
+        routes = make_routes("9.0.0.0/22")
+        plan = discover_scopes(make_domain(), make_server(scope=28), routes)
+        assert all(s.length <= 24 for s in plan.query_scopes)
+
+
+class TestDiscoverAll:
+    def test_runs_every_domain(self):
+        routes = make_routes("9.0.0.0/20")
+        server = make_server(scope=22)
+        domains = [make_domain()]
+        result = discover_all(domains, {"example": server}, routes)
+        assert result.plan_for(str(NAME)).query_scopes
+        assert result.total_queries() > 0
+        assert result.total_query_scopes() == len(
+            result.plan_for(str(NAME)).query_scopes)
+
+    def test_missing_operator_raises(self):
+        routes = make_routes("9.0.0.0/20")
+        with pytest.raises(KeyError):
+            discover_all([make_domain()], {}, routes)
+
+
+class TestAgainstRealWorld:
+    def test_discovery_on_built_world(self, shared_tiny_world):
+        world = shared_tiny_world
+        from repro.world.domains_catalog import probe_domains
+        result = discover_all(
+            probe_domains(world.domains),
+            dict(world.authoritative_servers),
+            world.routes,
+        )
+        routed = len(set(world.routes.routed_slash24_ids()))
+        for plan in result.plans.values():
+            assert plan.slash24s_covered == routed
+            assert 0 < len(plan.query_scopes) <= routed
+        # Wikipedia's coarser scopes ⇒ fewer query scopes than Google's.
+        wiki = result.plan_for("www.wikipedia.org")
+        google = result.plan_for("www.google.com")
+        assert len(wiki.query_scopes) < len(google.query_scopes)

@@ -1,0 +1,98 @@
+"""Tests for repro.core.analysis.temporal."""
+
+import pytest
+
+from repro.net.prefix import Prefix
+from repro.core.analysis.temporal import (
+    DiurnalCurve,
+    aggregate_diurnal_curve,
+    render_curve,
+    split_curves_by_population,
+)
+from repro.core.cache_probing import CacheProbingResult
+from repro.core.calibration import CalibrationResult
+from repro.core.scope_discovery import DiscoveryResult
+
+
+def make_result(hourly_attempts, hourly_hits):
+    return CacheProbingResult(
+        hits=[], probes_sent=0,
+        calibration=CalibrationResult(per_pop={}),
+        discovery=DiscoveryResult(),
+        assignment_sizes={}, scope_pairs=[],
+        hourly_attempts=hourly_attempts, hourly_hits=hourly_hits,
+    )
+
+
+class TestDiurnalCurve:
+    def test_rates_and_extremes(self):
+        attempts = [10] * 24
+        hits = [h for h in range(24)]  # rising through the day
+        curve = DiurnalCurve(tuple(attempts), tuple(hits))
+        assert curve.rate(0) == 0.0
+        assert curve.rate(23) == pytest.approx(2.3)
+        assert curve.peak_hour == 23
+        assert curve.trough_hour == 0
+        assert curve.amplitude == pytest.approx(2.3)
+
+    def test_uncovered_hours_excluded_from_extremes(self):
+        attempts = [0] * 24
+        attempts[10] = 10
+        attempts[20] = 10
+        hits = [0] * 24
+        hits[10] = 2
+        hits[20] = 8
+        curve = DiurnalCurve(tuple(attempts), tuple(hits))
+        assert curve.trough_hour == 10
+        assert curve.amplitude == pytest.approx(0.6)
+
+    def test_empty_curve(self):
+        curve = DiurnalCurve(tuple([0] * 24), tuple([0] * 24))
+        assert curve.amplitude == 0.0
+        assert curve.rates() == [0.0] * 24
+
+    def test_render_is_single_line(self):
+        curve = DiurnalCurve(tuple([5] * 24), tuple([2] * 24))
+        text = render_curve(curve, "x")
+        assert "\n" not in text
+        assert "x" in text and "00h" in text
+
+
+class TestAggregation:
+    class FakeWorld:
+        class _Geo:
+            def locate_prefix(self, prefix):
+                return None
+
+        geodb = _Geo()
+
+    def test_aggregate_pools_prefixes(self):
+        p1 = Prefix.parse("9.0.0.0/24")
+        p2 = Prefix.parse("9.0.1.0/24")
+        result = make_result(
+            {p1: [2] * 24, p2: [2] * 24},
+            {p1: [1] * 24, p2: [1] * 24},
+        )
+        curve = aggregate_diurnal_curve(self.FakeWorld(), result)
+        assert curve.hourly_attempts == tuple([4] * 24)
+        assert curve.rate(12) == pytest.approx(0.5)
+
+    def test_on_experiment(self, small_experiment):
+        curve = aggregate_diurnal_curve(small_experiment.world,
+                                        small_experiment.cache_result)
+        assert sum(curve.hourly_attempts) == sum(
+            sum(v) for v in
+            small_experiment.cache_result.hourly_attempts.values()
+        )
+
+    def test_population_split_shows_contrast(self, small_experiment):
+        """Human blocks' hit rate must swing more than bot blocks'
+        (bots run flat, §6's discriminating signal) — when both
+        populations have enough probes and day coverage."""
+        human, bot = split_curves_by_population(
+            small_experiment.world, small_experiment.cache_result)
+        assert sum(human.hourly_attempts) > 0
+        covered_hours = sum(1 for a in human.hourly_attempts if a > 0)
+        if sum(bot.hourly_attempts) < 200 or covered_hours < 18:
+            pytest.skip("small run lacks coverage for the contrast")
+        assert human.amplitude > bot.amplitude * 0.5

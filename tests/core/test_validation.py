@@ -1,0 +1,82 @@
+"""Tests for repro.core.validation."""
+
+import pytest
+
+from repro.core.validation import (
+    CountryScore,
+    Scorecard,
+    full_scorecard,
+    per_country_recall,
+    score_cache_probing_asn,
+    score_cache_probing_slash24,
+    score_dns_logs_asn,
+    score_union_asn,
+)
+
+
+class TestScorecard:
+    def test_metrics(self):
+        card = Scorecard(unit="x", true_positives=8, false_positives=2,
+                         false_negatives=2)
+        assert card.precision == pytest.approx(0.8)
+        assert card.recall == pytest.approx(0.8)
+        assert card.f1 == pytest.approx(0.8)
+
+    def test_degenerate_cases(self):
+        empty = Scorecard(unit="x", true_positives=0, false_positives=0,
+                          false_negatives=0)
+        assert empty.precision == 0.0
+        assert empty.recall == 0.0
+        assert empty.f1 == 0.0
+
+    def test_render(self):
+        card = Scorecard(unit="AS", true_positives=1, false_positives=0,
+                         false_negatives=1)
+        text = card.render()
+        assert "AS" in text and "50.0%" in text
+
+
+class TestCountryScore:
+    def test_recall_clamped(self):
+        assert CountryScore("US", 5, 4).recall == 1.0
+        assert CountryScore("US", 2, 4).recall == 0.5
+        assert CountryScore("US", 0, 0).recall == 0.0
+
+
+class TestAgainstExperiment:
+    def test_cache_probing_scores(self, small_experiment):
+        slash24 = score_cache_probing_slash24(
+            small_experiment.world, small_experiment.cache_result)
+        asn = score_cache_probing_asn(
+            small_experiment.world, small_experiment.cache_result)
+        # The /24 upper bound trades precision for recall; AS level is
+        # far more precise — the paper's granularity story.
+        assert asn.precision > slash24.precision
+        assert slash24.recall > 0.3
+        assert asn.recall > 0.5
+
+    def test_union_dominates_parts_on_recall(self, small_experiment):
+        world = small_experiment.world
+        union = score_union_asn(world, small_experiment.cache_result,
+                                small_experiment.logs_result)
+        cache = score_cache_probing_asn(world, small_experiment.cache_result)
+        logs = score_dns_logs_asn(world, small_experiment.logs_result)
+        assert union.recall >= cache.recall
+        assert union.recall >= logs.recall
+
+    def test_per_country_rows_cover_truth(self, small_experiment):
+        rows = per_country_recall(small_experiment.world,
+                                  small_experiment.cache_result)
+        truth_countries = {b.country for b in
+                           small_experiment.world.client_blocks()}
+        assert {r.country for r in rows} == truth_countries
+        counts = [r.true_slash24s for r in rows]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_full_scorecard_renders(self, small_experiment):
+        text = full_scorecard(small_experiment.world,
+                              small_experiment.cache_result,
+                              small_experiment.logs_result)
+        assert "cache probing" in text
+        assert "union" in text
+        assert "weakest countries" in text

@@ -1,0 +1,78 @@
+"""Tests for repro.dns.anycast."""
+
+import pytest
+
+from repro.dns.anycast import AnycastCatchment, PoP
+from repro.net.geo import GeoPoint
+
+NYC = PoP("nyc", GeoPoint(40.7, -74.0))
+LON = PoP("lon", GeoPoint(51.5, -0.1))
+SYD = PoP("syd", GeoPoint(-33.9, 151.2))
+DEAD = PoP("dead", GeoPoint(0.0, 0.0), active=False)
+
+
+class TestConstruction:
+    def test_requires_pops(self):
+        with pytest.raises(ValueError):
+            AnycastCatchment([])
+
+    def test_requires_an_active_pop(self):
+        with pytest.raises(ValueError):
+            AnycastCatchment([DEAD])
+
+    def test_validates_inflation(self):
+        with pytest.raises(ValueError):
+            AnycastCatchment([NYC], inflation=1.0)
+        with pytest.raises(ValueError):
+            AnycastCatchment([NYC], max_rank=0)
+
+
+class TestRouting:
+    def test_oracle_routes_to_nearest(self):
+        catchment = AnycastCatchment([NYC, LON, SYD], inflation=0.0)
+        boston = GeoPoint(42.4, -71.1)
+        assert catchment.pop_for(boston).pop_id == "nyc"
+        paris = GeoPoint(48.9, 2.4)
+        assert catchment.pop_for(paris).pop_id == "lon"
+
+    def test_inactive_pop_never_selected(self):
+        catchment = AnycastCatchment([NYC, DEAD], inflation=0.5)
+        ghana = GeoPoint(0.1, 0.1)  # right next to the dead PoP
+        for key in range(100):
+            assert catchment.pop_for(ghana, key).pop_id == "nyc"
+
+    def test_deterministic_per_client(self):
+        catchment = AnycastCatchment([NYC, LON, SYD], inflation=0.3, seed=5)
+        boston = GeoPoint(42.4, -71.1)
+        first = catchment.pop_for(boston, client_key=123)
+        assert all(
+            catchment.pop_for(boston, client_key=123) == first for _ in range(20)
+        )
+
+    def test_inflation_sends_some_clients_farther(self):
+        catchment = AnycastCatchment([NYC, LON, SYD], inflation=0.4, seed=7)
+        boston = GeoPoint(42.4, -71.1)
+        chosen = {catchment.pop_for(boston, key).pop_id for key in range(300)}
+        assert "nyc" in chosen
+        assert len(chosen) > 1  # some clients inflated past the nearest
+
+    def test_inflation_rate_roughly_matches(self):
+        catchment = AnycastCatchment([NYC, LON, SYD], inflation=0.2, seed=11)
+        boston = GeoPoint(42.4, -71.1)
+        nearest = sum(
+            1 for key in range(1000)
+            if catchment.pop_for(boston, key).pop_id == "nyc"
+        )
+        assert 720 <= nearest <= 880  # expect ~80%
+
+    def test_ranked_is_sorted_by_distance(self):
+        catchment = AnycastCatchment([SYD, NYC, LON])
+        boston = GeoPoint(42.4, -71.1)
+        ranked = catchment.ranked(boston)
+        distances = [boston.distance_km(p.location) for p in ranked]
+        assert distances == sorted(distances)
+
+    def test_active_pops_listing(self):
+        catchment = AnycastCatchment([NYC, DEAD])
+        assert [p.pop_id for p in catchment.active_pops()] == ["nyc"]
+        assert len(catchment.pops) == 2

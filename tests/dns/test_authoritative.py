@@ -1,0 +1,136 @@
+"""Tests for repro.dns.authoritative."""
+
+import random
+
+import pytest
+
+from repro.dns.authoritative import (
+    AuthoritativeServer,
+    FixedScopePolicy,
+    RegionalScopePolicy,
+    UnstableScopePolicy,
+    Zone,
+)
+from repro.dns.message import DnsQuery, EcsOption, Rcode, RecordType
+from repro.dns.name import DnsName
+from repro.net.prefix import Prefix
+from repro.sim.clock import Clock
+
+WWW = DnsName.parse("www.example.com")
+
+
+def make_server(zone=None, clock=None):
+    zone = zone or Zone(
+        name=WWW, ttl=300, supports_ecs=True, scope_policy=FixedScopePolicy(20)
+    )
+    return AuthoritativeServer(clock or Clock(), [zone])
+
+
+def ecs_query(prefix_text="10.1.2.0/24", name=WWW):
+    return DnsQuery(
+        name=name,
+        ecs=EcsOption(prefix=Prefix.parse(prefix_text)),
+        recursion_desired=False,
+    )
+
+
+class TestZone:
+    def test_rejects_nonpositive_ttl(self):
+        with pytest.raises(ValueError):
+            Zone(name=WWW, ttl=0, supports_ecs=True)
+
+    def test_duplicate_zone_rejected(self):
+        server = make_server()
+        with pytest.raises(ValueError):
+            server.add_zone(Zone(name=WWW, ttl=60, supports_ecs=False))
+
+
+class TestAnswers:
+    def test_answers_with_scope(self):
+        response = make_server().query(ecs_query())
+        assert response.rcode is Rcode.NOERROR
+        assert response.authoritative
+        assert response.ecs.scope_length == 20
+        assert response.answers[0].ttl == 300
+
+    def test_ecs_unsupported_zone_returns_no_scope(self):
+        zone = Zone(name=WWW, ttl=300, supports_ecs=False)
+        response = make_server(zone).query(ecs_query())
+        assert response.has_answer
+        assert response.ecs is None
+
+    def test_no_ecs_in_query(self):
+        response = make_server().query(DnsQuery(name=WWW))
+        assert response.has_answer
+        assert response.ecs is None
+
+    def test_unknown_name_nxdomain(self):
+        response = make_server().query(
+            DnsQuery(name=DnsName.parse("other.example.com"))
+        )
+        assert response.rcode is Rcode.NXDOMAIN
+
+    def test_wrong_rtype_nxdomain(self):
+        response = make_server().query(DnsQuery(name=WWW, rtype=RecordType.TXT))
+        assert response.rcode is Rcode.NXDOMAIN
+
+    def test_answer_data_varies_by_scope_region(self):
+        r1 = make_server().query(ecs_query("10.1.2.0/24"))
+        r2 = make_server().query(ecs_query("10.1.3.0/24"))
+        # Both inside the same /20 scope: same mapping.
+        assert r1.answers[0].data == r2.answers[0].data
+
+    def test_query_log_captures_ecs(self):
+        server = make_server()
+        server.query(ecs_query("10.1.2.0/24"))
+        assert len(server.log) == 1
+        entry = server.log.entries[0]
+        assert entry.ecs.prefix == Prefix.parse("10.1.2.0/24")
+
+
+class TestScopePolicies:
+    def test_fixed(self):
+        assert FixedScopePolicy(16).scope_for(Prefix.parse("1.2.3.0/24")) == 16
+
+    def test_regional_rules_and_default(self):
+        policy = RegionalScopePolicy(
+            default_length=24,
+            rules=[(Prefix.parse("10.0.0.0/8"), 16)],
+        )
+        assert policy.scope_for(Prefix.parse("10.1.2.0/24")) == 16
+        assert policy.scope_for(Prefix.parse("99.1.2.0/24")) == 24
+
+    def test_regional_validates_scopes(self):
+        with pytest.raises(ValueError):
+            RegionalScopePolicy(default_length=40)
+        with pytest.raises(ValueError):
+            RegionalScopePolicy(24, rules=[(Prefix.parse("10.0.0.0/8"), 99)])
+
+    def test_regional_random_stays_in_choices(self):
+        rng = random.Random(1)
+        policy = RegionalScopePolicy.random(rng, scope_choices=(16, 18))
+        for text in ["1.2.3.0/24", "200.1.2.0/24", "130.5.0.0/24"]:
+            assert policy.scope_for(Prefix.parse(text)) in (16, 18)
+
+    def test_unstable_mostly_agrees_with_base(self):
+        rng = random.Random(2)
+        base = FixedScopePolicy(20)
+        policy = UnstableScopePolicy(base, rng, flip_probability=0.1)
+        scopes = [policy.scope_for(Prefix.parse("5.5.5.0/24")) for _ in range(1000)]
+        exact = sum(1 for s in scopes if s == 20)
+        assert 850 <= exact <= 950  # ~90% exact, Table 2's headline
+        assert all(0 <= s <= 32 for s in scopes)
+
+    def test_unstable_zero_probability_is_stable(self):
+        policy = UnstableScopePolicy(
+            FixedScopePolicy(20), random.Random(3), flip_probability=0.0
+        )
+        assert all(
+            policy.scope_for(Prefix.parse("5.5.5.0/24")) == 20 for _ in range(50)
+        )
+
+    def test_unstable_validates_args(self):
+        with pytest.raises(ValueError):
+            UnstableScopePolicy(FixedScopePolicy(20), random.Random(), 1.5)
+        with pytest.raises(ValueError):
+            UnstableScopePolicy(FixedScopePolicy(20), random.Random(), 0.1, 0)

@@ -1,0 +1,109 @@
+"""Tests for repro.dns.cache: ECS scope semantics and TTL expiry."""
+
+import pytest
+
+from repro.dns.cache import DnsCache
+from repro.dns.message import RecordType, ResourceRecord
+from repro.dns.name import DnsName
+from repro.net.prefix import ANY_PREFIX, Prefix
+from repro.sim.clock import Clock
+
+
+def record(name="www.example.com", ttl=300.0, data="x"):
+    return ResourceRecord(
+        name=DnsName.parse(name), rtype=RecordType.A, ttl=ttl, data=data
+    )
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+@pytest.fixture
+def cache(clock):
+    return DnsCache(clock)
+
+
+NAME = DnsName.parse("www.example.com")
+
+
+class TestScopeMatching:
+    def test_hit_when_scope_covers_query_prefix(self, cache):
+        cache.store(record(), Prefix.parse("10.0.0.0/16"))
+        hit = cache.lookup(NAME, RecordType.A, Prefix.parse("10.0.1.0/24"))
+        assert hit is not None
+        assert hit.scope_length == 16
+
+    def test_miss_when_query_prefix_wider_than_scope(self, cache):
+        cache.store(record(), Prefix.parse("10.0.1.0/24"))
+        assert cache.lookup(NAME, RecordType.A, Prefix.parse("10.0.0.0/16")) is None
+
+    def test_miss_for_unrelated_prefix(self, cache):
+        cache.store(record(), Prefix.parse("10.0.0.0/16"))
+        assert cache.lookup(NAME, RecordType.A, Prefix.parse("11.0.0.0/24")) is None
+
+    def test_longest_scope_wins(self, cache):
+        cache.store(record(data="coarse"), Prefix.parse("10.0.0.0/8"))
+        cache.store(record(data="fine"), Prefix.parse("10.0.0.0/16"))
+        hit = cache.lookup(NAME, RecordType.A, Prefix.parse("10.0.1.0/24"))
+        assert hit.record.data == "fine"
+        assert hit.scope_length == 16
+
+    def test_scope_zero_matches_everyone(self, cache):
+        cache.store(record(), ANY_PREFIX)
+        hit = cache.lookup(NAME, RecordType.A, Prefix.parse("99.0.0.0/24"))
+        assert hit is not None
+        assert hit.scope_length == 0  # paper discards these as evidence
+
+    def test_exact_scope_match(self, cache):
+        cache.store(record(), Prefix.parse("10.0.1.0/24"))
+        hit = cache.lookup(NAME, RecordType.A, Prefix.parse("10.0.1.0/24"))
+        assert hit is not None
+
+    def test_different_name_misses(self, cache):
+        cache.store(record(), Prefix.parse("10.0.0.0/16"))
+        other = DnsName.parse("other.example.com")
+        assert cache.lookup(other, RecordType.A, Prefix.parse("10.0.1.0/24")) is None
+
+    def test_different_rtype_misses(self, cache):
+        cache.store(record(), Prefix.parse("10.0.0.0/16"))
+        assert cache.lookup(NAME, RecordType.TXT, Prefix.parse("10.0.1.0/24")) is None
+
+
+class TestTtl:
+    def test_fresh_until_ttl(self, clock, cache):
+        cache.store(record(ttl=300), Prefix.parse("10.0.0.0/16"))
+        clock.advance(299)
+        hit = cache.lookup(NAME, RecordType.A, Prefix.parse("10.0.1.0/24"))
+        assert hit is not None
+        assert hit.remaining_ttl == pytest.approx(1.0)
+
+    def test_expired_after_ttl(self, clock, cache):
+        cache.store(record(ttl=300), Prefix.parse("10.0.0.0/16"))
+        clock.advance(300)
+        assert cache.lookup(NAME, RecordType.A, Prefix.parse("10.0.1.0/24")) is None
+
+    def test_refresh_resets_ttl(self, clock, cache):
+        scope = Prefix.parse("10.0.0.0/16")
+        cache.store(record(ttl=300), scope)
+        clock.advance(200)
+        cache.store(record(ttl=300), scope)
+        clock.advance(200)
+        assert cache.lookup(NAME, RecordType.A, Prefix.parse("10.0.1.0/24"))
+
+    def test_purge_expired(self, clock, cache):
+        cache.store(record(ttl=10), Prefix.parse("10.0.0.0/16"))
+        cache.store(record(ttl=1000), Prefix.parse("20.0.0.0/16"))
+        clock.advance(100)
+        assert cache.purge_expired() == 1
+        assert cache.entry_count() == 1
+
+
+class TestStats:
+    def test_counters(self, cache):
+        cache.store(record(), Prefix.parse("10.0.0.0/16"))
+        cache.lookup(NAME, RecordType.A, Prefix.parse("10.0.1.0/24"))
+        cache.lookup(NAME, RecordType.A, Prefix.parse("77.0.0.0/24"))
+        stats = cache.stats
+        assert stats == {"stores": 1, "hits": 1, "misses": 1}

@@ -1,0 +1,112 @@
+"""Property-based tests of the ECS cache's scope semantics.
+
+The cache-probing technique rests entirely on these invariants, so we
+hammer them with hypothesis:
+
+* a stored entry answers exactly the queries its scope covers;
+* the most specific covering scope always wins;
+* no lookup ever returns an expired entry.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dns.cache import DnsCache
+from repro.dns.message import RecordType, ResourceRecord
+from repro.dns.name import DnsName
+from repro.net.prefix import Prefix
+from repro.sim.clock import Clock
+
+NAME = DnsName.parse("www.example.com")
+
+scopes = st.builds(
+    lambda a, l: Prefix.from_address(a, l),
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=0, max_value=24),
+)
+queries = st.builds(
+    lambda a, l: Prefix.from_address(a, l),
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=8, max_value=32),
+)
+
+
+def record(ttl=300.0, data="x"):
+    return ResourceRecord(name=NAME, rtype=RecordType.A, ttl=ttl, data=data)
+
+
+@given(st.lists(scopes, min_size=1, max_size=15), queries)
+@settings(max_examples=200)
+def test_hit_iff_some_scope_covers(stored, query):
+    clock = Clock()
+    cache = DnsCache(clock)
+    for scope in stored:
+        cache.store(record(), scope)
+    hit = cache.lookup(NAME, RecordType.A, query)
+    should_hit = any(scope.contains(query) for scope in stored)
+    assert (hit is not None) == should_hit
+
+
+@given(st.lists(scopes, min_size=1, max_size=15), queries)
+@settings(max_examples=200)
+def test_most_specific_covering_scope_wins(stored, query):
+    clock = Clock()
+    cache = DnsCache(clock)
+    for scope in stored:
+        cache.store(record(data=str(scope)), scope)
+    hit = cache.lookup(NAME, RecordType.A, query)
+    covering = [s for s in stored if s.contains(query)]
+    if not covering:
+        assert hit is None
+    else:
+        best_length = max(s.length for s in covering)
+        assert hit.scope.length == best_length
+
+
+@given(
+    st.lists(st.tuples(scopes, st.floats(min_value=1, max_value=1000)),
+             min_size=1, max_size=10),
+    queries,
+    st.floats(min_value=0, max_value=1500),
+)
+@settings(max_examples=150)
+def test_expired_entries_never_answer(stored, query, elapsed):
+    clock = Clock()
+    cache = DnsCache(clock)
+    for scope, ttl in stored:
+        cache.store(record(ttl=ttl), scope)
+    clock.advance(elapsed)
+    hit = cache.lookup(NAME, RecordType.A, query)
+    # Re-storing the same scope replaces the entry, so only the last
+    # TTL per scope counts for the oracle.
+    last_ttl: dict = {}
+    for scope, ttl in stored:
+        last_ttl[scope] = ttl
+    fresh_covering = [
+        s for s, ttl in last_ttl.items()
+        if s.contains(query) and elapsed < ttl
+    ]
+    if hit is not None:
+        assert fresh_covering, "lookup returned an expired/uncovered entry"
+        assert hit.remaining_ttl > 0
+    else:
+        # A miss is only legal if nothing fresh covers the query at the
+        # winning (most specific) scope.  Note a fresh coarse entry can
+        # be shadowed only by a *fresher* finer one, never hidden.
+        assert not fresh_covering
+
+
+@given(st.lists(scopes, min_size=1, max_size=10))
+@settings(max_examples=100)
+def test_purge_never_removes_fresh_entries(stored):
+    clock = Clock()
+    cache = DnsCache(clock)
+    for scope in stored:
+        cache.store(record(ttl=100), scope)
+    before = cache.entry_count()
+    assert cache.purge_expired() == 0
+    assert cache.entry_count() == before
+    clock.advance(200)
+    cache.purge_expired()
+    assert cache.entry_count() == 0

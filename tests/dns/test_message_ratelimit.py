@@ -1,0 +1,126 @@
+"""Tests for repro.dns.message and repro.dns.ratelimit."""
+
+import pytest
+
+from repro.dns.message import (
+    DnsQuery,
+    DnsResponse,
+    EcsOption,
+    QueryLog,
+    QueryLogEntry,
+    Rcode,
+    RecordType,
+    ResourceRecord,
+    cache_miss,
+    nxdomain,
+    refused,
+)
+from repro.dns.name import DnsName
+from repro.dns.ratelimit import KeyedRateLimiter, TokenBucket
+from repro.net.prefix import Prefix
+from repro.sim.clock import Clock
+
+NAME = DnsName.parse("www.example.com")
+
+
+class TestEcsOption:
+    def test_scope_prefix(self):
+        option = EcsOption(prefix=Prefix.parse("10.1.2.0/24"), scope_length=16)
+        assert option.scope_prefix() == Prefix.parse("10.1.0.0/16")
+
+    def test_query_side_option_has_no_scope(self):
+        option = EcsOption(prefix=Prefix.parse("10.1.2.0/24"))
+        with pytest.raises(ValueError):
+            option.scope_prefix()
+
+    def test_scope_validation(self):
+        with pytest.raises(ValueError):
+            EcsOption(prefix=Prefix.parse("10.0.0.0/24"), scope_length=33)
+
+
+class TestRecordsAndResponses:
+    def test_record_rejects_negative_ttl(self):
+        with pytest.raises(ValueError):
+            ResourceRecord(name=NAME, rtype=RecordType.A, ttl=-1, data="x")
+
+    def test_query_validates_source(self):
+        with pytest.raises(Exception):
+            DnsQuery(name=NAME, source_ip=-5)
+
+    def test_has_answer(self):
+        record = ResourceRecord(name=NAME, rtype=RecordType.A, ttl=1, data="x")
+        assert DnsResponse(rcode=Rcode.NOERROR, answers=(record,)).has_answer
+        assert not DnsResponse(rcode=Rcode.NOERROR).has_answer
+        assert not DnsResponse(rcode=Rcode.NXDOMAIN,
+                               answers=(record,)).has_answer
+
+    def test_helpers(self):
+        assert refused().rcode is Rcode.REFUSED
+        assert nxdomain().rcode is Rcode.NXDOMAIN
+        miss = cache_miss()
+        assert miss.rcode is Rcode.NOERROR and not miss.cache_hit
+
+    def test_scope_length_passthrough(self):
+        response = DnsResponse(
+            rcode=Rcode.NOERROR,
+            ecs=EcsOption(prefix=Prefix.parse("10.0.0.0/24"), scope_length=20),
+        )
+        assert response.scope_length == 20
+        assert DnsResponse(rcode=Rcode.NOERROR).scope_length is None
+
+
+class TestQueryLog:
+    def test_between_is_half_open(self):
+        log = QueryLog()
+        for ts in (0.0, 5.0, 10.0):
+            log.append(QueryLogEntry(timestamp=ts, source_ip=1, name=NAME))
+        assert len(log.between(0, 10)) == 2
+        assert len(log.between(0, 10.001)) == 3
+        assert len(log) == 3
+        assert [e.timestamp for e in log] == [0.0, 5.0, 10.0]
+
+
+class TestTokenBucket:
+    def test_burst_then_throttle(self):
+        bucket = TokenBucket.full(rate=1.0, capacity=5.0, now=0.0)
+        assert all(bucket.try_acquire(0.0) for _ in range(5))
+        assert not bucket.try_acquire(0.0)
+
+    def test_refills_over_time(self):
+        bucket = TokenBucket.full(rate=2.0, capacity=5.0, now=0.0)
+        for _ in range(5):
+            bucket.try_acquire(0.0)
+        assert not bucket.try_acquire(0.0)
+        assert bucket.try_acquire(1.0)  # 2 tokens refilled
+        assert bucket.try_acquire(1.0)
+        assert not bucket.try_acquire(1.0)
+
+    def test_never_exceeds_capacity(self):
+        bucket = TokenBucket.full(rate=100.0, capacity=3.0, now=0.0)
+        bucket.try_acquire(0.0)
+        assert sum(bucket.try_acquire(1000.0) for _ in range(10)) == 3
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket.full(rate=0, capacity=1, now=0)
+        with pytest.raises(ValueError):
+            TokenBucket.full(rate=1, capacity=0, now=0)
+
+
+class TestKeyedRateLimiter:
+    def test_independent_keys(self):
+        clock = Clock()
+        limiter = KeyedRateLimiter(clock, rate=1.0, capacity=2.0)
+        assert limiter.allow("a") and limiter.allow("a")
+        assert not limiter.allow("a")
+        assert limiter.allow("b")  # different key, fresh bucket
+        assert limiter.rejected == 1
+        assert len(limiter) == 2
+
+    def test_refill_follows_clock(self):
+        clock = Clock()
+        limiter = KeyedRateLimiter(clock, rate=1.0, capacity=1.0)
+        assert limiter.allow("k")
+        assert not limiter.allow("k")
+        clock.advance(1.0)
+        assert limiter.allow("k")

@@ -1,0 +1,85 @@
+"""Tests for repro.dns.name."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dns.name import (
+    DnsName,
+    NameError_,
+    looks_like_chromium_probe,
+)
+
+
+class TestParsing:
+    def test_parses_and_normalises(self):
+        name = DnsName.parse("WWW.Google.COM.")
+        assert name.labels == ("www", "google", "com")
+        assert str(name) == "www.google.com"
+
+    def test_rejects_empty(self):
+        with pytest.raises(NameError_):
+            DnsName.parse("")
+        with pytest.raises(NameError_):
+            DnsName.parse(".")
+
+    def test_rejects_long_label(self):
+        with pytest.raises(NameError_):
+            DnsName.parse("a" * 64 + ".com")
+
+    def test_rejects_long_name(self):
+        with pytest.raises(NameError_):
+            DnsName.parse(".".join(["a" * 60] * 5))
+
+    def test_rejects_bad_characters(self):
+        with pytest.raises(NameError_):
+            DnsName.parse("bad label.com")
+
+    def test_rejects_hyphen_edges(self):
+        with pytest.raises(NameError_):
+            DnsName.parse("-bad.com")
+
+
+class TestStructure:
+    def test_tld_and_known(self):
+        assert DnsName.parse("www.google.com").tld == "com"
+        assert DnsName.parse("www.google.com").has_known_tld()
+        assert not DnsName.parse("sdhfjssf").has_known_tld()
+
+    def test_single_label(self):
+        assert DnsName.parse("sdhfjssf").is_single_label()
+        assert not DnsName.parse("a.b").is_single_label()
+
+    def test_parent(self):
+        assert DnsName.parse("www.google.com").parent() == DnsName.parse("google.com")
+        with pytest.raises(NameError_):
+            DnsName.parse("com").parent()
+
+    def test_subdomain(self):
+        assert DnsName.parse("www.google.com").is_subdomain_of(
+            DnsName.parse("google.com")
+        )
+        assert DnsName.parse("google.com").is_subdomain_of(
+            DnsName.parse("google.com")
+        )
+        assert not DnsName.parse("evilgoogle.com").is_subdomain_of(
+            DnsName.parse("google.com")
+        )
+
+
+class TestChromiumShape:
+    @pytest.mark.parametrize("label", ["sdhfjss", "abcdefghijklmno", "qqqqqqqq"])
+    def test_accepts_probe_shapes(self, label):
+        assert looks_like_chromium_probe(DnsName.parse(label))
+
+    @pytest.mark.parametrize(
+        "name",
+        ["short", "a" * 16, "has1digit", "two.labels", "columbia.edu",
+         "with-dash"],
+    )
+    def test_rejects_non_probe_shapes(self, name):
+        assert not looks_like_chromium_probe(DnsName.parse(name))
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=7, max_size=15))
+    def test_all_random_lowercase_labels_match(self, label):
+        assert looks_like_chromium_probe(DnsName((label,)))

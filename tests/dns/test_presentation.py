@@ -1,0 +1,58 @@
+"""Tests for repro.dns.presentation."""
+
+from repro.dns.message import (
+    DnsQuery,
+    DnsResponse,
+    EcsOption,
+    Rcode,
+    RecordType,
+    ResourceRecord,
+)
+from repro.dns.name import DnsName
+from repro.dns.presentation import format_query, format_response
+from repro.net.prefix import Prefix
+
+WWW = DnsName.parse("www.google.com")
+
+
+class TestFormatQuery:
+    def test_probe_query(self):
+        query = DnsQuery(
+            name=WWW, recursion_desired=False,
+            ecs=EcsOption(prefix=Prefix.parse("203.0.113.0/24")),
+        )
+        text = format_query(query)
+        assert "www.google.com." in text
+        assert "CLIENT-SUBNET: 203.0.113.0/24" in text
+        assert "rd" not in text.splitlines()[0]
+
+    def test_recursive_query_shows_rd(self):
+        text = format_query(DnsQuery(name=WWW))
+        assert "rd" in text.splitlines()[0]
+
+
+class TestFormatResponse:
+    def test_cache_hit_with_scope(self):
+        query = DnsQuery(name=WWW, recursion_desired=False,
+                         ecs=EcsOption(prefix=Prefix.parse("10.0.0.0/24")))
+        response = DnsResponse(
+            rcode=Rcode.NOERROR,
+            answers=(ResourceRecord(name=WWW, rtype=RecordType.A,
+                                    ttl=240, data="192.0.2.5"),),
+            ecs=EcsOption(prefix=Prefix.parse("10.0.0.0/24"),
+                          scope_length=20),
+        )
+        text = format_response(response, query)
+        assert "NOERROR" in text
+        assert "192.0.2.5" in text
+        assert "scope /20" in text
+
+    def test_cache_miss_annotated(self):
+        query = DnsQuery(name=WWW, recursion_desired=False)
+        text = format_response(DnsResponse(rcode=Rcode.NOERROR), query)
+        assert "cache miss" in text
+
+    def test_nxdomain(self):
+        text = format_response(DnsResponse(rcode=Rcode.NXDOMAIN),
+                               DnsQuery(name=WWW))
+        assert "NXDOMAIN" in text

@@ -1,0 +1,260 @@
+"""Tests for repro.dns.public_dns: the invariants cache probing needs."""
+
+import pytest
+
+from repro.dns.anycast import AnycastCatchment, PoP
+from repro.dns.authoritative import AuthoritativeServer, FixedScopePolicy, Zone
+from repro.dns.message import DnsQuery, EcsOption, Rcode, Transport
+from repro.dns.name import DnsName
+from repro.dns.public_dns import AuthoritativeDirectory, PublicDnsService
+from repro.net.geo import GeoPoint
+from repro.net.prefix import Prefix
+from repro.sim.clock import Clock
+
+WWW = DnsName.parse("www.example.com")
+NOECS = DnsName.parse("noecs.example.com")
+BOSTON = GeoPoint(42.4, -71.1)
+PARIS = GeoPoint(48.9, 2.4)
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+@pytest.fixture
+def service(clock):
+    pops = [
+        PoP("nyc", GeoPoint(40.7, -74.0)),
+        PoP("lon", GeoPoint(51.5, -0.1)),
+    ]
+    catchment = AnycastCatchment(pops, inflation=0.0)
+    authoritative = AuthoritativeServer(
+        clock,
+        [
+            Zone(name=WWW, ttl=300, supports_ecs=True,
+                 scope_policy=FixedScopePolicy(24)),
+            Zone(name=NOECS, ttl=300, supports_ecs=False),
+        ],
+    )
+    return PublicDnsService(
+        clock,
+        catchment,
+        AuthoritativeDirectory([authoritative]),
+        pools_per_pop=1,
+    )
+
+
+def recursive(name=WWW, source_ip=0x0A010203, ecs=None):
+    return DnsQuery(name=name, source_ip=source_ip, ecs=ecs,
+                    transport=Transport.TCP)
+
+
+def probe(prefix_text, name=WWW, source_ip=0x01010101):
+    return DnsQuery(
+        name=name,
+        recursion_desired=False,
+        ecs=EcsOption(prefix=Prefix.parse(prefix_text)),
+        source_ip=source_ip,
+        transport=Transport.TCP,
+    )
+
+
+class TestEcsCaching:
+    def test_client_query_populates_cache_for_its_slash24(self, service):
+        service.query(recursive(source_ip=0x0A010203), BOSTON)
+        outcome = service.query(probe("10.1.2.0/24"), BOSTON)
+        assert outcome.response.cache_hit
+        assert outcome.response.scope_length == 24
+
+    def test_probe_miss_without_prior_activity(self, service):
+        outcome = service.query(probe("10.9.9.0/24"), BOSTON)
+        assert not outcome.response.cache_hit
+        assert outcome.response.rcode is Rcode.NOERROR
+        assert not outcome.response.answers
+
+    def test_nonrecursive_miss_does_not_pollute_cache(self, service):
+        service.query(probe("10.1.2.0/24"), BOSTON)
+        outcome = service.query(probe("10.1.2.0/24"), BOSTON)
+        assert not outcome.response.cache_hit  # still a miss
+
+    def test_client_supplied_ecs_overrides_source_address(self, service):
+        # Query from one address but with ECS naming an unrelated prefix.
+        service.query(
+            recursive(source_ip=0x0A010203,
+                      ecs=EcsOption(prefix=Prefix.parse("99.1.2.0/24"))),
+            BOSTON,
+        )
+        hit = service.query(probe("99.1.2.0/24"), BOSTON)
+        assert hit.response.cache_hit
+        miss = service.query(probe("10.1.2.0/24"), BOSTON)
+        assert not miss.response.cache_hit
+
+    def test_non_ecs_domain_cached_with_scope_zero(self, service):
+        service.query(recursive(name=NOECS), BOSTON)
+        outcome = service.query(probe("10.9.9.0/24", name=NOECS), BOSTON)
+        # Whole-space entry answers but with return scope 0 — the paper
+        # does not count these as activity evidence.
+        assert outcome.response.cache_hit
+        assert outcome.response.scope_length == 0
+
+
+class TestAnycastIsolation:
+    def test_caches_are_per_pop(self, service):
+        service.query(recursive(source_ip=0x0A010203), BOSTON)  # hits nyc
+        outcome = service.query(probe("10.1.2.0/24"), PARIS)  # probes lon
+        assert outcome.pop_id == "lon"
+        assert not outcome.response.cache_hit
+        outcome = service.query(probe("10.1.2.0/24"), BOSTON)
+        assert outcome.pop_id == "nyc"
+        assert outcome.response.cache_hit
+
+    def test_probe_outcome_reports_pop(self, service):
+        assert service.query(probe("1.2.3.0/24"), PARIS).pop_id == "lon"
+
+
+class TestTtlExpiry:
+    def test_cache_hit_expires_with_record_ttl(self, service, clock):
+        service.query(recursive(), BOSTON)
+        clock.advance(301)
+        outcome = service.query(probe("10.1.2.0/24"), BOSTON)
+        assert not outcome.response.cache_hit
+
+
+class TestRateLimiting:
+    def test_udp_same_domain_probing_trips_limit(self, service):
+        query = DnsQuery(
+            name=WWW, recursion_desired=False,
+            ecs=EcsOption(prefix=Prefix.parse("10.1.2.0/24")),
+            source_ip=0x01010101, transport=Transport.UDP,
+        )
+        outcomes = [service.query(query, BOSTON) for _ in range(100)]
+        refused = sum(1 for o in outcomes if o.response.rcode is Rcode.REFUSED)
+        assert refused > 50  # most rejected once the small bucket drains
+
+    def test_tcp_probing_survives(self, service):
+        outcomes = [service.query(probe("10.1.2.0/24"), BOSTON) for _ in range(100)]
+        assert all(o.response.rcode is Rcode.NOERROR for o in outcomes)
+
+
+class TestCachePools:
+    def test_multiple_pools_make_single_probe_unreliable(self, clock):
+        pops = [PoP("nyc", GeoPoint(40.7, -74.0))]
+        authoritative = AuthoritativeServer(
+            clock,
+            [Zone(name=WWW, ttl=10_000, supports_ecs=True,
+                  scope_policy=FixedScopePolicy(24))],
+        )
+        service = PublicDnsService(
+            clock,
+            AnycastCatchment(pops, inflation=0.0),
+            AuthoritativeDirectory([authoritative]),
+            pools_per_pop=4,
+            seed=9,
+        )
+        service.query(recursive(source_ip=0x0A010203), BOSTON)
+        hits = sum(
+            1 for _ in range(40)
+            if service.query(probe("10.1.2.0/24"), BOSTON).response.cache_hit
+        )
+        # Only one of four pools holds the record: some probes miss it.
+        assert 0 < hits < 40
+
+    def test_pools_per_pop_validated(self, clock):
+        with pytest.raises(ValueError):
+            PublicDnsService(
+                clock,
+                AnycastCatchment([PoP("x", GeoPoint(0, 0))]),
+                AuthoritativeDirectory(),
+                pools_per_pop=0,
+            )
+
+
+class TestUnknownNames:
+    def test_unknown_domain_nxdomain(self, service):
+        outcome = service.query(recursive(name=DnsName.parse("nope.invalid")),
+                                BOSTON)
+        assert outcome.response.rcode is Rcode.NXDOMAIN
+
+    def test_stats(self, service):
+        service.query(recursive(), BOSTON)
+        service.query(probe("10.1.2.0/24"), BOSTON)
+        assert service.total_queries() == 2
+        assert 0 < service.hit_rate() <= 0.5
+
+
+class TestCatchmentSelection:
+    def test_unknown_catchment_raises(self, service):
+        with pytest.raises(KeyError):
+            service.query(probe("1.2.3.0/24"), BOSTON, via="satellite")
+
+    def test_extra_catchment_restricts_pops(self, clock):
+        from repro.dns.anycast import AnycastCatchment
+        pops = [PoP("nyc", GeoPoint(40.7, -74.0)),
+                PoP("lon", GeoPoint(51.5, -0.1))]
+        authoritative = AuthoritativeServer(
+            clock, [Zone(name=WWW, ttl=300, supports_ecs=True,
+                         scope_policy=FixedScopePolicy(24))])
+        service = PublicDnsService(
+            clock,
+            AnycastCatchment(pops, inflation=0.0),
+            AuthoritativeDirectory([authoritative]),
+            pools_per_pop=1,
+            extra_catchments={
+                "cloud": AnycastCatchment([pops[0]], inflation=0.0),
+            },
+        )
+        # From Paris, users reach lon; cloud clients can only reach nyc.
+        assert service.query(probe("1.2.3.0/24"), PARIS).pop_id == "lon"
+        assert service.query(probe("1.2.3.0/24"), PARIS,
+                             via="cloud").pop_id == "nyc"
+
+
+class TestNegativeCaching:
+    def test_root_forward_probability_validated(self, clock):
+        with pytest.raises(ValueError):
+            PublicDnsService(
+                clock,
+                AnycastCatchment([PoP("x", GeoPoint(0, 0))]),
+                AuthoritativeDirectory(),
+                root_forward_probability=1.5,
+            )
+
+    def test_most_junk_absorbed(self, clock):
+        """RFC 8198: only a sliver of unknown-TLD queries reach roots."""
+        from repro.dns.root import RootServerSystem
+        roots = RootServerSystem(clock, seed=2)
+        service = PublicDnsService(
+            clock,
+            AnycastCatchment([PoP("x", GeoPoint(0, 0))], inflation=0.0),
+            AuthoritativeDirectory(),
+            roots=roots,
+            seed=4,
+            root_forward_probability=0.05,
+        )
+        for i in range(300):
+            service.query(
+                DnsQuery(name=DnsName.parse(f"junklabel{i}x"),
+                         source_ip=i + 1, transport=Transport.TCP),
+                BOSTON,
+            )
+        forwarded = roots.total_queries()
+        assert 0 < forwarded < 60  # ~5% of 300, with slack
+
+    def test_forward_probability_one_forwards_everything(self, clock):
+        from repro.dns.root import RootServerSystem
+        roots = RootServerSystem(clock, seed=2)
+        service = PublicDnsService(
+            clock,
+            AnycastCatchment([PoP("x", GeoPoint(0, 0))], inflation=0.0),
+            AuthoritativeDirectory(),
+            roots=roots,
+            root_forward_probability=1.0,
+        )
+        for i in range(50):
+            service.query(
+                DnsQuery(name=DnsName.parse(f"zzjunk{i}x"),
+                         source_ip=i + 1, transport=Transport.TCP),
+                BOSTON,
+            )
+        assert roots.total_queries() == 50

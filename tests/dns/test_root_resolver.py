@@ -1,0 +1,178 @@
+"""Tests for repro.dns.root, repro.dns.resolver and chromium_client."""
+
+import random
+
+import pytest
+
+from repro.dns.authoritative import AuthoritativeServer, FixedScopePolicy, Zone
+from repro.dns.chromium_client import (
+    BrowserProfile,
+    chromium_probe_names,
+    leaked_label,
+    random_probe_label,
+    sample_probe_event_count,
+)
+from repro.dns.message import Rcode
+from repro.dns.name import DnsName, looks_like_chromium_probe
+from repro.dns.public_dns import AuthoritativeDirectory
+from repro.dns.resolver import RecursiveResolver, ResolverConfig
+from repro.dns.root import ROOT_LETTERS, TRACED_LETTERS, RootServerSystem
+from repro.net.geo import GeoPoint
+from repro.net.prefix import Prefix
+from repro.sim.clock import Clock
+
+WWW = DnsName.parse("www.example.com")
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+@pytest.fixture
+def roots(clock):
+    return RootServerSystem(clock, seed=1)
+
+
+def make_resolver(clock, roots, sends_ecs=False, ip=0x0A000001):
+    authoritative = AuthoritativeServer(
+        clock,
+        [Zone(name=WWW, ttl=300, supports_ecs=True,
+              scope_policy=FixedScopePolicy(20))],
+    )
+    return RecursiveResolver(
+        clock=clock,
+        ip=ip,
+        location=GeoPoint(40.0, -74.0),
+        asn=64500,
+        roots=roots,
+        authoritatives=AuthoritativeDirectory([authoritative]),
+        config=ResolverConfig(sends_ecs=sends_ecs),
+    )
+
+
+class TestRootSystem:
+    def test_thirteen_letters(self, roots):
+        assert len(roots.servers) == 13
+        assert set(roots.servers) == set(ROOT_LETTERS)
+
+    def test_traced_letters_match_2020_ditl(self):
+        assert TRACED_LETTERS == frozenset("jhmakd")
+
+    def test_unknown_tld_gets_nxdomain_and_logged(self, roots):
+        response = roots.query_from_resolver(0x0A000001, DnsName.parse("sdhfjssfx"))
+        assert response.rcode is Rcode.NXDOMAIN
+        assert roots.total_queries() == 1
+
+    def test_known_tld_gets_referral(self, roots):
+        response = roots.query_from_resolver(0x0A000001, DnsName.parse("example.com"))
+        assert response.rcode is Rcode.NOERROR
+
+    def test_ditl_only_covers_traced_letters(self, clock, roots):
+        for i in range(200):
+            roots.query_from_resolver(i + 1, DnsName.parse(f"label{i}x"))
+            clock.advance(1)
+        traces = roots.ditl_traces(0, clock.now)
+        assert set(traces) <= TRACED_LETTERS
+        total_traced = sum(len(v) for v in traces.values())
+        assert 0 < total_traced < 200  # some queries land on untraced letters
+
+    def test_ditl_window_filters_by_time(self, clock, roots):
+        roots.query_from_resolver(1, DnsName.parse("earlyquery"))
+        clock.advance(100)
+        roots.query_from_resolver(1, DnsName.parse("latequery"))
+        early = roots.ditl_traces(0, 50)
+        late = roots.ditl_traces(50, 200)
+        full = roots.ditl_traces(0, 200)
+        assert sum(len(v) for v in early.values()) + sum(
+            len(v) for v in late.values()
+        ) == sum(len(v) for v in full.values())
+
+    def test_ditl_rejects_empty_window(self, roots):
+        with pytest.raises(ValueError):
+            roots.ditl_traces(10, 10)
+
+    def test_resolver_letter_choice_is_stable_subset(self, roots):
+        letters = {roots._pick_letter(0x0A000001) for _ in range(100)}
+        assert 1 <= len(letters) <= 4
+
+
+class TestRecursiveResolver:
+    def test_resolves_known_domain(self, clock, roots):
+        resolver = make_resolver(clock, roots)
+        response = resolver.resolve(WWW, client_ip=0x0A000002)
+        assert response.has_answer
+        assert roots.total_queries() == 0
+
+    def test_caches_answers(self, clock, roots):
+        resolver = make_resolver(clock, roots)
+        resolver.resolve(WWW, client_ip=0x0A000002)
+        response = resolver.resolve(WWW, client_ip=0x0A000002)
+        assert response.cache_hit
+
+    def test_random_label_goes_to_root(self, clock, roots):
+        resolver = make_resolver(clock, roots)
+        response = resolver.resolve(DnsName.parse("sdhfjssfx"), client_ip=1)
+        assert response.rcode is Rcode.NXDOMAIN
+        assert roots.total_queries() == 1
+
+    def test_random_labels_never_cached(self, clock, roots):
+        resolver = make_resolver(clock, roots)
+        name = DnsName.parse("sdhfjssfx")
+        resolver.resolve(name, client_ip=1)
+        resolver.resolve(name, client_ip=1)
+        assert roots.total_queries() == 2
+
+    def test_ecs_resolver_caches_per_scope(self, clock, roots):
+        resolver = make_resolver(clock, roots, sends_ecs=True)
+        resolver.resolve(WWW, client_ip=Prefix.parse("10.1.2.3").network)
+        hit = resolver.resolve(WWW, client_ip=Prefix.parse("10.1.3.9").network)
+        assert hit.cache_hit  # same /20 scope
+        miss = resolver.resolve(WWW, client_ip=Prefix.parse("10.9.0.1").network)
+        assert not miss.cache_hit  # different /20
+
+    def test_non_ecs_resolver_shares_cache_globally(self, clock, roots):
+        resolver = make_resolver(clock, roots, sends_ecs=False)
+        resolver.resolve(WWW, client_ip=Prefix.parse("10.1.2.3").network)
+        hit = resolver.resolve(WWW, client_ip=Prefix.parse("200.9.0.1").network)
+        assert hit.cache_hit
+
+    def test_counts_queries(self, clock, roots):
+        resolver = make_resolver(clock, roots)
+        resolver.resolve(WWW, client_ip=1)
+        resolver.resolve(WWW, client_ip=2)
+        assert resolver.queries_received == 2
+
+
+class TestChromiumClient:
+    def test_probe_labels_shape(self):
+        rng = random.Random(4)
+        for _ in range(200):
+            label = random_probe_label(rng)
+            assert 7 <= len(label) <= 15
+            assert label.islower() and label.isalpha()
+
+    def test_three_probes_per_event(self):
+        names = chromium_probe_names(random.Random(1))
+        assert len(names) == 3
+        assert all(looks_like_chromium_probe(n) for n in names)
+
+    def test_event_count_scales_with_days(self):
+        rng = random.Random(9)
+        profile = BrowserProfile(startups_per_day=2, network_changes_per_day=1)
+        counts = [sample_probe_event_count(profile, 10, rng) for _ in range(300)]
+        mean = sum(counts) / len(counts)
+        assert 27 <= mean <= 33  # expectation is 30
+
+    def test_zero_days_zero_events(self):
+        assert sample_probe_event_count(BrowserProfile(), 0, random.Random(1)) == 0
+
+    def test_negative_days_rejected(self):
+        with pytest.raises(ValueError):
+            sample_probe_event_count(BrowserProfile(), -1, random.Random(1))
+
+    def test_leaked_labels_are_single_and_not_probes(self):
+        rng = random.Random(3)
+        for _ in range(100):
+            name = leaked_label(rng)
+            assert name.is_single_label()

@@ -1,0 +1,283 @@
+"""Tests for repro.dns.wire: RFC 1035 / RFC 7871 encode-decode."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dns.message import (
+    DnsQuery,
+    DnsResponse,
+    EcsOption,
+    Rcode,
+    RecordType,
+    ResourceRecord,
+)
+from repro.dns.name import DnsName
+from repro.net.prefix import Prefix
+from repro.dns.wire import (
+    WireError,
+    decode_ecs_option,
+    decode_name,
+    decode_query,
+    decode_response,
+    encode_ecs_option,
+    encode_name,
+    encode_query,
+    encode_response,
+)
+
+WWW = DnsName.parse("www.example.com")
+
+label = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789",
+                min_size=1, max_size=12)
+names = st.builds(lambda labels: DnsName(tuple(labels)),
+                  st.lists(label, min_size=1, max_size=5))
+prefixes_24 = st.builds(
+    lambda a, l: Prefix.from_address(a, l),
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=8, max_value=32),
+)
+
+
+class TestNameCodec:
+    def test_roundtrip_simple(self):
+        encoded = encode_name(WWW, {}, 0)
+        decoded, offset = decode_name(encoded, 0)
+        assert decoded == WWW
+        assert offset == len(encoded)
+
+    def test_compression_pointer_reused(self):
+        offsets = {}
+        first = encode_name(WWW, offsets, 0)
+        second = encode_name(WWW, offsets, len(first))
+        assert len(second) == 2  # a bare pointer
+        combined = first + second
+        decoded, _ = decode_name(combined, len(first))
+        assert decoded == WWW
+
+    def test_suffix_compression(self):
+        offsets = {}
+        first = encode_name(WWW, offsets, 0)
+        other = DnsName.parse("mail.example.com")
+        second = encode_name(other, offsets, len(first))
+        # "example.com" suffix is shared: second encoding is shorter
+        # than a full encoding would be.
+        assert len(second) < len(encode_name(other, {}, 0))
+        decoded, _ = decode_name(first + second, len(first))
+        assert decoded == other
+
+    def test_rejects_pointer_loop(self):
+        # A name that points at itself.
+        data = b"\xc0\x02\xc0\x00"
+        with pytest.raises(WireError):
+            decode_name(data, 2)
+
+    def test_rejects_forward_pointer(self):
+        data = b"\xc0\x02\x00"
+        with pytest.raises(WireError):
+            decode_name(data, 0)
+
+    def test_rejects_truncation(self):
+        with pytest.raises(WireError):
+            decode_name(b"\x05abc", 0)
+
+    @given(names)
+    @settings(max_examples=150)
+    def test_roundtrip_property(self, name):
+        decoded, _ = decode_name(encode_name(name, {}, 0), 0)
+        assert decoded == name
+
+
+class TestEcsCodec:
+    def test_roundtrip_query_option(self):
+        option = EcsOption(prefix=Prefix.parse("203.0.113.0/24"))
+        raw = encode_ecs_option(option)
+        # Skip option code+length header (4 bytes).
+        decoded = decode_ecs_option(raw[4:], is_response=False)
+        assert decoded.prefix == option.prefix
+        assert decoded.scope_length is None
+
+    def test_roundtrip_response_scope(self):
+        option = EcsOption(prefix=Prefix.parse("203.0.112.0/20"),
+                           scope_length=20)
+        raw = encode_ecs_option(option)
+        decoded = decode_ecs_option(raw[4:], is_response=True)
+        assert decoded.scope_length == 20
+
+    def test_address_truncated_to_prefix_bytes(self):
+        option = EcsOption(prefix=Prefix.parse("10.0.0.0/8"))
+        raw = encode_ecs_option(option)
+        # header(4) + family/source/scope(4) + 1 address byte
+        assert len(raw) == 9
+
+    def test_rejects_bad_family(self):
+        with pytest.raises(WireError):
+            decode_ecs_option(b"\x00\x02\x18\x00\x0a\x00\x00", False)
+
+    @given(prefixes_24)
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, prefix):
+        option = EcsOption(prefix=prefix)
+        raw = encode_ecs_option(option)
+        decoded = decode_ecs_option(raw[4:], is_response=False)
+        assert decoded.prefix == prefix
+
+
+class TestQueryCodec:
+    def test_roundtrip_plain(self):
+        query = DnsQuery(name=WWW, rtype=RecordType.A,
+                         recursion_desired=True)
+        decoded, message_id = decode_query(encode_query(query, 0x1234))
+        assert decoded.name == query.name
+        assert decoded.rtype is RecordType.A
+        assert decoded.recursion_desired
+        assert decoded.ecs is None
+        assert message_id == 0x1234
+
+    def test_roundtrip_with_ecs(self):
+        query = DnsQuery(
+            name=WWW, recursion_desired=False,
+            ecs=EcsOption(prefix=Prefix.parse("198.51.100.0/24")),
+        )
+        decoded, _ = decode_query(encode_query(query))
+        assert not decoded.recursion_desired
+        assert decoded.ecs.prefix == Prefix.parse("198.51.100.0/24")
+
+    def test_rejects_response_bytes(self):
+        query = DnsQuery(name=WWW)
+        record = ResourceRecord(name=WWW, rtype=RecordType.A, ttl=60,
+                                data="192.0.2.1")
+        response = DnsResponse(rcode=Rcode.NOERROR, answers=(record,))
+        wire = encode_response(response, query)
+        with pytest.raises(WireError):
+            decode_query(wire)
+
+    def test_rejects_bad_message_id(self):
+        with pytest.raises(WireError):
+            encode_query(DnsQuery(name=WWW), message_id=70000)
+
+    @given(names, st.booleans(), st.one_of(st.none(), prefixes_24))
+    @settings(max_examples=150)
+    def test_roundtrip_property(self, name, rd, ecs_prefix):
+        query = DnsQuery(
+            name=name, recursion_desired=rd,
+            ecs=EcsOption(prefix=ecs_prefix) if ecs_prefix else None,
+        )
+        decoded, _ = decode_query(encode_query(query))
+        assert decoded.name == name
+        assert decoded.recursion_desired == rd
+        if ecs_prefix is None:
+            assert decoded.ecs is None
+        else:
+            assert decoded.ecs.prefix == ecs_prefix
+
+
+class TestResponseCodec:
+    def make_response(self, answers=(), ecs=None, rcode=Rcode.NOERROR):
+        return DnsResponse(rcode=rcode, answers=answers, ecs=ecs)
+
+    def test_roundtrip_a_record(self):
+        query = DnsQuery(name=WWW)
+        record = ResourceRecord(name=WWW, rtype=RecordType.A, ttl=300,
+                                data="192.0.2.7")
+        decoded, qname, _ = decode_response(
+            encode_response(self.make_response((record,)), query))
+        assert qname == WWW
+        assert decoded.answers[0].data == "192.0.2.7"
+        assert decoded.answers[0].ttl == 300
+
+    def test_roundtrip_nxdomain(self):
+        query = DnsQuery(name=WWW)
+        decoded, _, _ = decode_response(
+            encode_response(self.make_response(rcode=Rcode.NXDOMAIN), query))
+        assert decoded.rcode is Rcode.NXDOMAIN
+        assert not decoded.answers
+
+    def test_roundtrip_with_ecs_scope(self):
+        query = DnsQuery(name=WWW,
+                         ecs=EcsOption(prefix=Prefix.parse("10.1.2.0/24")))
+        response = self.make_response(
+            answers=(ResourceRecord(name=WWW, rtype=RecordType.A, ttl=60,
+                                    data="192.0.2.1"),),
+            ecs=EcsOption(prefix=Prefix.parse("10.1.2.0/24"),
+                          scope_length=20),
+        )
+        decoded, _, _ = decode_response(encode_response(response, query))
+        assert decoded.ecs.scope_length == 20
+        # RFC 7871: the response echoes the *source* prefix; the scope
+        # is carried separately and derived on demand.
+        assert decoded.ecs.prefix == Prefix.parse("10.1.2.0/24")
+        assert decoded.ecs.scope_prefix() == Prefix.parse("10.1.0.0/20")
+
+    def test_roundtrip_cname_and_txt(self):
+        query = DnsQuery(name=WWW, rtype=RecordType.TXT)
+        answers = (
+            ResourceRecord(name=WWW, rtype=RecordType.CNAME, ttl=60,
+                           data="cdn.example.net"),
+            ResourceRecord(name=DnsName.parse("cdn.example.net"),
+                           rtype=RecordType.TXT, ttl=60, data="pop=nyc"),
+        )
+        decoded, _, _ = decode_response(
+            encode_response(self.make_response(answers), query))
+        assert decoded.answers[0].data == "cdn.example.net"
+        assert decoded.answers[1].data == "pop=nyc"
+
+    def test_rejects_query_bytes(self):
+        with pytest.raises(WireError):
+            decode_response(encode_query(DnsQuery(name=WWW)))
+
+    def test_compression_across_sections(self):
+        """Answer names compress against the question name."""
+        query = DnsQuery(name=WWW)
+        record = ResourceRecord(name=WWW, rtype=RecordType.A, ttl=60,
+                                data="192.0.2.1")
+        wire = encode_response(self.make_response((record,)), query)
+        # One full encoding of www.example.com is 17 bytes; the answer
+        # name must be a 2-byte pointer instead.
+        assert wire.count(b"\x03www") == 1
+
+
+class TestFuzzing:
+    """Hostile bytes must raise WireError, never crash or hang."""
+
+    @given(st.binary(max_size=80))
+    @settings(max_examples=300)
+    def test_decode_query_never_crashes(self, data):
+        try:
+            decode_query(data)
+        except WireError:
+            pass
+
+    @given(st.binary(max_size=120))
+    @settings(max_examples=300)
+    def test_decode_response_never_crashes(self, data):
+        try:
+            decode_response(data)
+        except WireError:
+            pass
+
+    @given(st.binary(max_size=40), st.integers(min_value=0, max_value=30))
+    @settings(max_examples=200)
+    def test_decode_name_never_crashes(self, data, offset):
+        try:
+            decode_name(data, offset)
+        except WireError:
+            pass
+
+    @given(names, st.one_of(st.none(), prefixes_24))
+    @settings(max_examples=100)
+    def test_truncated_valid_queries_rejected_cleanly(self, name, ecs_prefix):
+        query = DnsQuery(
+            name=name,
+            ecs=EcsOption(prefix=ecs_prefix) if ecs_prefix else None,
+        )
+        wire = encode_query(query)
+        for cut in range(0, len(wire), max(1, len(wire) // 8)):
+            truncated = wire[:cut]
+            try:
+                decoded, _ = decode_query(truncated)
+            except WireError:
+                continue
+            # The rare parse that survives truncation must at least
+            # agree on the question name.
+            assert decoded.name == name

@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.preset == "small"
+        assert args.seed == 42
+        assert args.section == "all"
+
+    def test_rejects_unknown_preset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--preset", "giant"])
+
+    def test_rejects_unknown_section(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--section", "table9"])
+
+
+class TestCommands:
+    def test_presets_lists_all(self, capsys):
+        assert main(["presets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("small", "medium", "large"):
+            assert name in out
+
+    def test_collisions_reports_confidence(self, capsys):
+        assert main(["collisions", "--volume", "1000000",
+                     "--trials", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "probes/day" in out
+        assert "%" in out
+
+    @pytest.mark.slow
+    def test_run_prints_section(self, capsys):
+        assert main(["run", "--preset", "small", "--seed", "7",
+                     "--section", "headline"]) == 0
+        out = capsys.readouterr().out
+        assert "Headline validation" in out
+
+
+class TestExportCommand:
+    @pytest.mark.slow
+    def test_export_writes_artefacts(self, tmp_path, capsys):
+        assert main(["export", "--out", str(tmp_path / "artefacts"),
+                     "--preset", "small", "--seed", "7"]) == 0
+        out_dir = tmp_path / "artefacts"
+        names = {p.name for p in out_dir.iterdir()}
+        assert "cache_probing.json" in names
+        assert "active_prefixes.csv" in names
+        assert "dns_logs.json" in names
+        assert any(n.startswith("dataset_") for n in names)
+
+    def test_export_requires_out(self):
+        with pytest.raises(SystemExit):
+            main(["export"])
+
+
+class TestScenariosCommand:
+    def test_lists_all_scenarios(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("default", "oracle-anycast", "coarse-geolocation"):
+            assert name in out
+
+    def test_run_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--scenario", "impossible"])
+
+    @pytest.mark.slow
+    def test_run_with_scenario(self, capsys):
+        assert main(["run", "--preset", "small", "--seed", "7",
+                     "--scenario", "oracle-anycast",
+                     "--section", "headline"]) == 0
+        assert "Headline" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_empty_grid_is_an_error(self, capsys):
+        assert main(["sweep"]) == 2
+
+    @pytest.mark.slow
+    def test_sweep_hours(self, capsys):
+        assert main(["sweep", "--hours", "2,3", "--blocks", "60",
+                     "--seed", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "measurement_hours=2.0" in out
+        assert "measurement_hours=3.0" in out
+
+    @pytest.mark.slow
+    def test_sweep_csv(self, capsys):
+        assert main(["sweep", "--hours", "2", "--blocks", "60",
+                     "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("label,")

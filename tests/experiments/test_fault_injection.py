@@ -1,0 +1,122 @@
+"""Failure injection: the pipeline must degrade, not crash.
+
+Real measurement campaigns hit missing geolocation rows, unreachable
+vantage deployments, and root letters that publish nothing.  Each
+scenario here breaks one dependency and checks the pipeline's
+behaviour stays sane.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.sim.clock import HOUR
+from repro.world.activity import ActivitySimulator
+from repro.world.builder import build_world
+from repro.world.geodata import GeoAccuracy
+from repro.core.cache_probing import CacheProbingConfig, CacheProbingPipeline
+from repro.core.calibration import CalibrationConfig
+from repro.core.chromium import classify_entries
+from repro.core.dns_logs import DnsLogsPipeline
+from tests.conftest import tiny_world_config
+
+
+@pytest.mark.slow
+def test_missing_geolocation_rows_degrade_gracefully():
+    """Prefixes the database lacks get probed at every PoP (no radius
+    filter applies), so coverage survives at higher probing cost."""
+    config = tiny_world_config(
+        seed=41, geo_accuracy=GeoAccuracy(missing_fraction=0.5))
+    world = build_world(config)
+    pipeline = CacheProbingPipeline(
+        world,
+        CacheProbingConfig(
+            warmup_hours=2.0, measurement_hours=4.0, redundancy=3,
+            probe_loops=2, seed=41,
+            calibration=CalibrationConfig(sample_size=40),
+        ),
+    )
+    result = pipeline.run()
+    assert result.hits  # the technique still works
+    truth = world.client_slash24_ids()
+    found = result.active_slash24_ids()
+    assert len(found & truth) / len(truth) > 0.2
+
+
+@pytest.mark.slow
+def test_fully_missing_geodb_still_probes():
+    """With no geolocation at all, calibration has nothing eligible —
+    a hard dependency the pipeline surfaces as an explicit error
+    rather than silently probing nothing."""
+    config = tiny_world_config(
+        seed=43, geo_accuracy=GeoAccuracy(missing_fraction=1.0))
+    world = build_world(config)
+    pipeline = CacheProbingPipeline(
+        world,
+        CacheProbingConfig(
+            warmup_hours=1.0, measurement_hours=2.0, redundancy=2,
+            probe_loops=1, seed=43,
+            calibration=CalibrationConfig(sample_size=20),
+        ),
+    )
+    with pytest.raises(RuntimeError):
+        pipeline.run()
+
+
+def test_no_vantage_points_yields_empty_measurement():
+    """A deployment that reaches no PoP measures nothing — cleanly."""
+    world = build_world(tiny_world_config(seed=44))
+    pipeline = CacheProbingPipeline(
+        world,
+        CacheProbingConfig(
+            warmup_hours=1.0, measurement_hours=2.0, redundancy=2,
+            probe_loops=1, seed=44,
+            calibration=CalibrationConfig(sample_size=20),
+        ),
+        vantage_points=[],
+    )
+    result = pipeline.run()
+    assert result.hits == []
+    assert result.active_slash24_ids() == set()
+    assert result.assignment_sizes == {}
+
+
+def test_ditl_without_traced_letters_is_empty():
+    """If no root letter publishes traces, DNS logs sees nothing."""
+    world = build_world(tiny_world_config(seed=45))
+    ActivitySimulator(world, seed=45).run(2 * HOUR)
+    traces = world.roots.ditl_traces(0, world.clock.now,
+                                     letters=frozenset())
+    assert traces == {}
+    result = DnsLogsPipeline(world).run(start=world.clock.now - 1,
+                                        end=world.clock.now)
+    # A sliver of a window may legitimately hold nothing.
+    assert result.total_probes() >= 0
+
+
+def test_classifier_on_empty_trace():
+    classification = classify_entries([])
+    assert classification.stats.total_entries == 0
+    assert classification.resolver_counts() == {}
+
+
+@pytest.mark.slow
+def test_dead_authoritative_zone_stops_detection_for_that_domain():
+    """If a probe domain's authoritative stops serving it, discovery
+    yields no scopes for it and probing finds nothing there, while the
+    other domains keep working."""
+    world = build_world(tiny_world_config(seed=46))
+    # Kill the wikipedia zone before the pipeline starts.
+    server = world.authoritative_servers["wikipedia"]
+    server._zones.clear()
+    pipeline = CacheProbingPipeline(
+        world,
+        CacheProbingConfig(
+            warmup_hours=2.0, measurement_hours=4.0, redundancy=3,
+            probe_loops=2, seed=46,
+            calibration=CalibrationConfig(sample_size=30),
+        ),
+    )
+    result = pipeline.run()
+    assert "www.wikipedia.org" not in result.domains()
+    assert result.hits  # other domains unaffected

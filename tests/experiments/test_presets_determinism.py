@@ -1,0 +1,42 @@
+"""Preset determinism: identical seeds must give bit-identical results
+end to end — the property every 'reproduction' claim rests on."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from tests.conftest import TEST_COUNTRIES
+import dataclasses
+
+
+def small(seed):
+    config = ExperimentConfig.small(seed=seed)
+    return dataclasses.replace(
+        config,
+        world=dataclasses.replace(config.world, target_blocks=60,
+                                  countries=TEST_COUNTRIES),
+    )
+
+
+@pytest.mark.slow
+def test_identical_seeds_identical_results():
+    a = run_experiment(small(31))
+    b = run_experiment(small(31))
+    assert a.cache_result.probes_sent == b.cache_result.probes_sent
+    assert [(h.pop_id, h.domain, h.query_scope, h.response_scope)
+            for h in a.cache_result.hits] == \
+        [(h.pop_id, h.domain, h.query_scope, h.response_scope)
+         for h in b.cache_result.hits]
+    assert a.logs_result.resolver_counts == b.logs_result.resolver_counts
+    assert a.apnic_estimates == b.apnic_estimates
+    for name in a.datasets:
+        assert a.datasets[name].slash24_ids == b.datasets[name].slash24_ids
+        assert a.datasets[name].asns == b.datasets[name].asns
+
+
+@pytest.mark.slow
+def test_different_seeds_differ():
+    a = run_experiment(small(31))
+    b = run_experiment(small(32))
+    assert a.cache_result.probes_sent != b.cache_result.probes_sent or \
+        a.logs_result.resolver_counts != b.logs_result.resolver_counts

@@ -1,0 +1,64 @@
+"""Report rendering must agree with the underlying datasets.
+
+The paper-style text sections are derived views; these tests pin the
+numbers in the rendered text to the numbers in the data so a rendering
+bug can't silently misreport results.
+"""
+
+import re
+
+import pytest
+
+from repro.core.datasets import (
+    CACHE_PROBING,
+    DNS_LOGS,
+    MICROSOFT_CLIENTS,
+)
+from repro.experiments import report
+
+
+class TestTableConsistency:
+    def test_table1_diagonal_matches_dataset_sizes(self, small_experiment):
+        text = report.table1(small_experiment)
+        for name in (CACHE_PROBING, DNS_LOGS, MICROSOFT_CLIENTS):
+            size = len(small_experiment.datasets[name].slash24_ids)
+            assert f"{size} (100.0%)" in text, name
+
+    def test_table3_diagonal_matches_as_counts(self, small_experiment):
+        text = report.table3(small_experiment)
+        for name in (CACHE_PROBING, DNS_LOGS, MICROSOFT_CLIENTS):
+            size = len(small_experiment.datasets[name].asns)
+            assert f"{size} (100.0%)" in text, name
+
+    def test_table2_hit_totals_match_scope_pairs(self, small_experiment):
+        text = report.table2(small_experiment)
+        total = len(small_experiment.cache_result.scope_pairs)
+        overall_line = [l for l in text.splitlines()
+                        if l.startswith("Overall")][0]
+        assert str(total) in overall_line
+
+    def test_table5_prefix_counts_match_result(self, small_experiment):
+        text = report.table5(small_experiment)
+        for domain in small_experiment.cache_result.domains():
+            count = len(small_experiment.cache_result
+                        .active_prefix_set(domain))
+            line = [l for l in text.splitlines()
+                    if l.startswith(domain)][0]
+            assert re.search(rf"\b{count}\b", line), (domain, line)
+
+    def test_figure5_counts_sum_to_45(self, small_experiment):
+        text = report.figure5(small_experiment)
+        counts = [int(m) for m in re.findall(r"\((\d+)\):", text)]
+        assert sum(counts) == 45
+
+    def test_headline_percentages_parse(self, small_experiment):
+        text = report.headline(small_experiment)
+        values = [float(m) for m in re.findall(r"(\d+\.\d)%", text)]
+        assert len(values) >= 8
+        assert all(0.0 <= v <= 100.0 for v in values)
+
+    def test_scorecard_counts_bounded_by_world(self, small_experiment):
+        text = report.scorecard(small_experiment)
+        true_clients = len(small_experiment.world.client_slash24_ids())
+        tp = int(re.search(r"tp=(\d+)", text).group(1))
+        assert tp <= true_clients

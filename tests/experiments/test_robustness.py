@@ -1,0 +1,101 @@
+"""Robustness: the paper's qualitative shapes must hold across seeds
+and react correctly to configuration changes.
+
+A reproduction whose conclusions flip with the random seed proves
+nothing; these tests re-run the pipeline on multiple seeds and assert
+the orderings §4 reports every time, plus directional responses to the
+world knobs (cache pools, anycast inflation).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.core.datasets import (
+    APNIC,
+    CACHE_PROBING,
+    DNS_LOGS,
+    MICROSOFT_CLIENTS,
+    UNION,
+)
+from repro.core.analysis.volume import compute_headline_stats
+from tests.conftest import TEST_COUNTRIES
+
+
+def tiny_config(seed, **world_overrides):
+    config = ExperimentConfig.small(seed=seed)
+    return dataclasses.replace(
+        config,
+        world=dataclasses.replace(config.world, target_blocks=80,
+                                  countries=TEST_COUNTRIES,
+                                  **world_overrides),
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_paper_shapes_hold_across_seeds(seed):
+    result = run_experiment(tiny_config(seed))
+    ds = result.datasets
+    # Cache probing finds far more /24s than DNS logs.
+    assert len(ds[CACHE_PROBING].slash24_ids) > \
+        3 * len(ds[DNS_LOGS].slash24_ids)
+    # DNS-logs prefixes are the more precise set.
+    clients = ds[MICROSOFT_CLIENTS].slash24_ids
+    logs_precision = (len(ds[DNS_LOGS].slash24_ids & clients)
+                      / max(1, len(ds[DNS_LOGS].slash24_ids)))
+    cache_precision = (len(ds[CACHE_PROBING].slash24_ids & clients)
+                       / max(1, len(ds[CACHE_PROBING].slash24_ids)))
+    assert logs_precision > cache_precision
+    # Union beats APNIC on CDN-volume coverage.
+    stats = compute_headline_stats(ds, result.cache_result)
+    assert stats.union_as_volume_share >= stats.apnic_as_volume_share
+    # Our techniques find ASes APNIC misses.
+    assert ds[UNION].asns - ds[APNIC].asns
+
+
+@pytest.mark.slow
+def test_more_cache_pools_hurt_fixed_redundancy():
+    """With redundancy fixed, more independent cache pools per PoP
+    lower the chance a probe lands where the entry lives — fewer hits
+    (the mechanism behind the paper's 5 redundant queries)."""
+    few = run_experiment(tiny_config(5, pools_per_pop=1))
+    many = run_experiment(tiny_config(5, pools_per_pop=6))
+    assert len(many.cache_result.hits) < len(few.cache_result.hits)
+
+
+@pytest.mark.slow
+def test_oracle_anycast_never_reduces_hits():
+    """Zero path inflation means the prober's PoP is always the
+    clients' PoP, so hits can only improve vs an inflated catchment."""
+    oracle = run_experiment(tiny_config(6, anycast_inflation=0.0))
+    inflated = run_experiment(tiny_config(6, anycast_inflation=0.35))
+    oracle_found = oracle.cache_result.active_slash24_ids()
+    inflated_found = inflated.cache_result.active_slash24_ids()
+    truth = oracle.world.client_slash24_ids()
+    oracle_recall = len(oracle_found & truth) / len(truth)
+    inflated_truth = inflated.world.client_slash24_ids()
+    inflated_recall = len(inflated_found & inflated_truth) / len(
+        inflated_truth)
+    assert oracle_recall >= inflated_recall - 0.05
+
+
+@pytest.mark.slow
+def test_scope_shift_trades_recall_for_precision():
+    """Finer simulated scopes shrink the upper bound's blanket: /24
+    precision rises, recall can fall."""
+    coarse = run_experiment(tiny_config(7, scope_shift=0))
+    fine = run_experiment(tiny_config(7, scope_shift=4))
+
+    def precision_recall(result):
+        truth = result.world.client_slash24_ids()
+        found = result.cache_result.active_slash24_ids()
+        return (len(found & truth) / max(1, len(found)),
+                len(found & truth) / len(truth))
+
+    coarse_precision, coarse_recall = precision_recall(coarse)
+    fine_precision, fine_recall = precision_recall(fine)
+    assert fine_precision > coarse_precision
+    assert coarse_recall >= fine_recall - 0.05

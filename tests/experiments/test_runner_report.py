@@ -1,0 +1,147 @@
+"""Integration tests: the full experiment and its paper-style report."""
+
+import pytest
+
+from repro.core.datasets import (
+    APNIC,
+    CACHE_PROBING,
+    DNS_LOGS,
+    MICROSOFT_CLIENTS,
+    MICROSOFT_RESOLVERS,
+    UNION,
+)
+from repro.core.analysis import bounds, country, pops, volume
+from repro.experiments import ExperimentConfig, report
+
+
+class TestExperimentResult:
+    def test_result_is_complete(self, small_experiment):
+        result = small_experiment
+        assert result.cache_result.hits
+        assert result.logs_result.resolver_counts
+        assert result.apnic_estimates
+        assert result.datasets
+        assert result.probed_pop_ids
+
+    def test_probed_pops_are_cloud_reachable(self, small_experiment):
+        result = small_experiment
+        cloud = {d.pop_id for d in result.world.pop_descriptors
+                 if d.cloud_reachable and d.active}
+        assert result.probed_pop_ids <= cloud
+
+
+class TestPaperShapes:
+    """The qualitative results §4 reports, checked on the small run."""
+
+    def test_cache_probing_finds_more_prefixes_than_dns_logs(
+            self, small_experiment):
+        ds = small_experiment.datasets
+        assert len(ds[CACHE_PROBING].slash24_ids) > \
+            5 * len(ds[DNS_LOGS].slash24_ids)
+
+    def test_dns_logs_prefix_precision_beats_cache_probing(
+            self, small_experiment):
+        ds = small_experiment.datasets
+        clients = ds[MICROSOFT_CLIENTS].slash24_ids
+        logs = ds[DNS_LOGS].slash24_ids
+        cache = ds[CACHE_PROBING].slash24_ids
+        logs_precision = len(logs & clients) / len(logs)
+        cache_precision = len(cache & clients) / len(cache)
+        assert logs_precision > cache_precision
+
+    def test_ms_clients_covers_most_ases(self, small_experiment):
+        """§4: Microsoft clients captures ~97% of all observed ASes."""
+        ds = small_experiment.datasets
+        union_all = set()
+        for name in (CACHE_PROBING, DNS_LOGS, APNIC,
+                     MICROSOFT_CLIENTS, MICROSOFT_RESOLVERS):
+            union_all |= ds[name].asns
+        assert len(ds[MICROSOFT_CLIENTS].asns) / len(union_all) > 0.85
+
+    def test_union_beats_apnic_on_volume_coverage(self, small_experiment):
+        stats = volume.compute_headline_stats(
+            small_experiment.datasets, small_experiment.cache_result)
+        assert stats.union_as_volume_share > stats.apnic_as_volume_share
+        assert stats.union_as_volume_share > 80.0
+
+    def test_our_techniques_find_ases_apnic_misses(self, small_experiment):
+        ds = small_experiment.datasets
+        missed = ds[UNION].asns - ds[APNIC].asns
+        assert missed
+
+    def test_scope_prefix_false_positives_rare(self, small_experiment):
+        stats = volume.compute_headline_stats(
+            small_experiment.datasets, small_experiment.cache_result)
+        assert stats.scope_prefix_precision > 95.0
+
+    def test_dns_and_http_activity_overlap_strongly(self, small_experiment):
+        stats = volume.compute_headline_stats(
+            small_experiment.datasets, small_experiment.cache_result)
+        assert stats.ecs_covers_http_share > 85.0
+        assert stats.http_covers_ecs_share > 80.0
+
+    def test_figure4_bounds_vary_widely(self, small_experiment):
+        rows = bounds.per_as_bounds(small_experiment.cache_result,
+                                    small_experiment.world.routes)
+        fractions = [r.upper_fraction for r in rows]
+        assert min(fractions) < 0.5
+        assert max(fractions) == 1.0
+
+    def test_figure3_unprobed_pop_countries_suffer(self, small_experiment):
+        result = small_experiment
+        rows = country.country_coverage(
+            result.world, result.apnic_estimates,
+            result.datasets[CACHE_PROBING].asns)
+        by_code = {r.country: r for r in rows}
+        # BR has a probed PoP; its coverage should beat the mean of
+        # countries whose PoPs are cloud-unreachable (if present).
+        if "BR" in by_code:
+            assert by_code["BR"].fraction > 0.5
+
+    def test_figure5_pop_classes(self, small_experiment):
+        coverage = pops.pop_coverage(small_experiment.world,
+                                     small_experiment.probed_pop_ids)
+        probed, unprobed_verified, unprobed_unverified = coverage.counts()
+        assert probed + unprobed_verified + unprobed_unverified == 45
+        assert probed >= 15
+        assert unprobed_verified >= 3  # user-only PoPs seen via CDN
+        assert coverage.probed_volume_share > \
+            coverage.unprobed_verified_volume_share
+
+
+class TestReportRendering:
+    @pytest.mark.parametrize("section", [
+        report.table1, report.table2, report.table3, report.table4,
+        report.table5, report.figure1, report.figure2, report.figure3,
+        report.figure4, report.figure5, report.figure6, report.figure7,
+        report.headline, report.asdb_missed, report.extensions,
+        report.scorecard,
+    ])
+    def test_sections_render(self, small_experiment, section):
+        text = section(small_experiment)
+        assert text.startswith("==")
+        assert len(text.splitlines()) >= 2
+
+    def test_full_report_contains_all_sections(self, small_experiment):
+        text = report.full_report(small_experiment)
+        for marker in ("Table 1", "Table 2", "Table 3", "Table 4", "Table 5",
+                       "Figure 1", "Figure 2", "Figure 3", "Figure 4",
+                       "Figure 5", "Figure 6", "Figure 7", "Headline",
+                       "ASdb", "Extensions", "scorecard"):
+            assert marker in text
+
+
+class TestConfigPresets:
+    def test_presets_scale(self):
+        small = ExperimentConfig.small()
+        medium = ExperimentConfig.medium()
+        large = ExperimentConfig.large()
+        assert small.world.target_blocks < medium.world.target_blocks \
+            < large.world.target_blocks
+        assert small.probing.measurement_hours < \
+            large.probing.measurement_hours
+
+    def test_seed_propagates(self):
+        config = ExperimentConfig.small(seed=99)
+        assert config.world.seed == 99
+        assert config.probing.seed == 99

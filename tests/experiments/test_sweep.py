@@ -1,0 +1,90 @@
+"""Tests for repro.experiments.sweep."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.sweep import (
+    SweepPoint,
+    apply_probing_overrides,
+    render_table,
+    sweep,
+    to_csv,
+)
+from tests.conftest import TEST_COUNTRIES
+
+
+def tiny_base(seed=9):
+    config = ExperimentConfig.small(seed=seed)
+    return dataclasses.replace(
+        config,
+        world=dataclasses.replace(config.world, target_blocks=60,
+                                  countries=TEST_COUNTRIES),
+    )
+
+
+class TestOverrides:
+    def test_applies_fields(self):
+        config = apply_probing_overrides(tiny_base(),
+                                         {"redundancy": 5,
+                                          "measurement_hours": 2.0})
+        assert config.probing.redundancy == 5
+        assert config.probing.measurement_hours == 2.0
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(KeyError):
+            apply_probing_overrides(tiny_base(), {"not_a_field": 1})
+
+    def test_does_not_mutate_base(self):
+        base = tiny_base()
+        apply_probing_overrides(base, {"redundancy": 7})
+        assert base.probing.redundancy != 7
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return sweep(
+            tiny_base(),
+            [{"measurement_hours": 2.0}, {"measurement_hours": 4.0}],
+            label_of=lambda o: f"{o['measurement_hours']:.0f}h",
+        )
+
+    def test_one_point_per_grid_entry(self, points):
+        assert [p.label for p in points] == ["2h", "4h"]
+
+    def test_longer_window_sends_more_probes(self, points):
+        assert points[1].probes_sent > points[0].probes_sent
+
+    def test_scores_are_valid(self, points):
+        for point in points:
+            assert 0 <= point.slash24_precision <= 1
+            assert 0 <= point.slash24_recall <= 1
+            assert 0 <= point.asn_recall <= 1
+            assert point.wall_seconds > 0
+
+    def test_longer_window_never_hurts_recall_much(self, points):
+        assert points[1].slash24_recall >= points[0].slash24_recall - 0.1
+
+    def test_render_and_csv(self, points):
+        table = render_table(points)
+        assert "2h" in table and "probes" in table
+        csv_text = to_csv(points)
+        assert csv_text.splitlines()[0].startswith("label,")
+        assert len(csv_text.splitlines()) == 3
+
+    def test_hook_called_per_point(self):
+        seen = []
+        sweep(tiny_base(), [{"measurement_hours": 2.0}],
+              hook=lambda result: seen.append(result))
+        assert len(seen) == 1
+        assert seen[0].cache_result.probes_sent > 0
+
+
+class TestSweepPoint:
+    def test_row_formatting(self):
+        point = SweepPoint(label="x", overrides={}, probes_sent=10,
+                           wall_seconds=1.234, slash24_precision=0.5,
+                           slash24_recall=0.25, asn_recall=1.0)
+        assert point.row() == ["x", 10, "1.2", "0.500", "0.250", "1.000"]

@@ -1,0 +1,108 @@
+"""Tests for repro.net.aggregate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.aggregate import (
+    aggregate,
+    covers_same_addresses,
+    total_addresses,
+)
+from repro.net.prefix import Prefix
+
+
+def parse_all(*texts):
+    return [Prefix.parse(t) for t in texts]
+
+
+class TestAggregate:
+    def test_empty(self):
+        assert aggregate([]) == []
+
+    def test_single(self):
+        assert aggregate(parse_all("10.0.0.0/24")) == parse_all("10.0.0.0/24")
+
+    def test_merges_adjacent_siblings(self):
+        result = aggregate(parse_all("10.0.0.0/24", "10.0.1.0/24"))
+        assert result == parse_all("10.0.0.0/23")
+
+    def test_does_not_merge_non_siblings(self):
+        # Adjacent but not two halves of the same parent.
+        result = aggregate(parse_all("10.0.1.0/24", "10.0.2.0/24"))
+        assert result == parse_all("10.0.1.0/24", "10.0.2.0/24")
+
+    def test_cascading_merge(self):
+        quarters = parse_all("10.0.0.0/24", "10.0.1.0/24",
+                             "10.0.2.0/24", "10.0.3.0/24")
+        assert aggregate(quarters) == parse_all("10.0.0.0/22")
+
+    def test_drops_nested(self):
+        result = aggregate(parse_all("10.0.0.0/16", "10.0.5.0/24"))
+        assert result == parse_all("10.0.0.0/16")
+
+    def test_duplicates_collapse(self):
+        result = aggregate(parse_all("10.0.0.0/24", "10.0.0.0/24"))
+        assert result == parse_all("10.0.0.0/24")
+
+    def test_mixed_scenario(self):
+        result = aggregate(parse_all(
+            "10.0.0.0/25", "10.0.0.128/25",   # merge to /24
+            "10.0.1.0/24",                    # merges with above to /23
+            "192.168.0.0/16", "192.168.4.0/24",  # nested
+        ))
+        assert result == parse_all("10.0.0.0/23", "192.168.0.0/16")
+
+    def test_sorted_output(self):
+        result = aggregate(parse_all("200.0.0.0/24", "10.0.0.0/24"))
+        assert result == sorted(result)
+
+
+prefixes = st.builds(
+    lambda a, l: Prefix.from_address(a, l),
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=8, max_value=28),
+)
+
+
+class TestAggregateProperties:
+    @given(st.lists(prefixes, max_size=25))
+    @settings(max_examples=150)
+    def test_preserves_coverage(self, inputs):
+        """Every input address stays covered, nothing extra appears."""
+        result = aggregate(inputs)
+        # Inputs covered by result.
+        for prefix in inputs:
+            assert any(r.contains(prefix) for r in result)
+        # Result addresses all come from inputs: each merged prefix is
+        # exactly the (deduplicated) union of the inputs inside it.
+        for merged in result:
+            deduped = total_addresses(
+                [p for p in inputs if merged.contains(p)])
+            assert deduped == merged.num_addresses()
+
+    @given(st.lists(prefixes, max_size=25))
+    @settings(max_examples=150)
+    def test_result_is_disjoint_and_canonical(self, inputs):
+        result = aggregate(inputs)
+        for i, a in enumerate(result):
+            for b in result[i + 1:]:
+                assert not a.overlaps(b)
+        # Idempotence: canonical form.
+        assert aggregate(result) == result
+
+    @given(st.lists(prefixes, max_size=20))
+    @settings(max_examples=100)
+    def test_never_larger_than_input(self, inputs):
+        assert len(aggregate(inputs)) <= len(set(inputs))
+
+
+class TestHelpers:
+    def test_covers_same_addresses(self):
+        a = parse_all("10.0.0.0/24", "10.0.1.0/24")
+        b = parse_all("10.0.0.0/23")
+        assert covers_same_addresses(a, b)
+        assert not covers_same_addresses(a, parse_all("10.0.0.0/22"))
+
+    def test_total_addresses_deduplicates(self):
+        overlapping = parse_all("10.0.0.0/16", "10.0.1.0/24")
+        assert total_addresses(overlapping) == 65536

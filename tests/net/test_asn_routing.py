@@ -1,0 +1,110 @@
+"""Tests for repro.net.asn and repro.net.routing."""
+
+import pytest
+
+from repro.net.asn import ASCategory, ASRecord, ASRegistry
+from repro.net.prefix import Prefix
+from repro.net.routing import RouteTable
+
+
+def make_record(asn=64500, category=ASCategory.ISP, country="US", prefixes=()):
+    record = ASRecord(asn=asn, name=f"AS{asn}", category=category, country=country)
+    for text in prefixes:
+        record.announce(Prefix.parse(text))
+    return record
+
+
+class TestASRecord:
+    def test_rejects_nonpositive_asn(self):
+        with pytest.raises(ValueError):
+            make_record(asn=0)
+
+    def test_rejects_bad_country(self):
+        with pytest.raises(ValueError):
+            make_record(country="USA")
+
+    def test_announced_slash24_count(self):
+        record = make_record(prefixes=["10.0.0.0/16", "20.1.2.0/24"])
+        assert record.announced_slash24_count() == 257
+
+    def test_category_eyeball_flags(self):
+        assert ASCategory.ISP.hosts_eyeballs
+        assert ASCategory.EDUCATION.hosts_eyeballs
+        assert not ASCategory.HOSTING.hosts_eyeballs
+        assert not ASCategory.CONTENT.hosts_eyeballs
+
+
+class TestASRegistry:
+    def test_add_and_lookup(self):
+        reg = ASRegistry([make_record(asn=1), make_record(asn=2)])
+        assert reg[1].asn == 1
+        assert reg.get(3) is None
+        assert 2 in reg and 3 not in reg
+        assert len(reg) == 2
+
+    def test_rejects_duplicates(self):
+        reg = ASRegistry([make_record(asn=1)])
+        with pytest.raises(ValueError):
+            reg.add(make_record(asn=1))
+
+    def test_filters(self):
+        reg = ASRegistry([
+            make_record(asn=1, category=ASCategory.ISP, country="US"),
+            make_record(asn=2, category=ASCategory.HOSTING, country="DE"),
+        ])
+        assert [r.asn for r in reg.by_category(ASCategory.HOSTING)] == [2]
+        assert [r.asn for r in reg.by_country("US")] == [1]
+        assert reg.asns() == {1, 2}
+
+
+class TestRouteTable:
+    def test_longest_match_attribution(self):
+        table = RouteTable()
+        table.announce(Prefix.parse("10.0.0.0/8"), 100)
+        table.announce(Prefix.parse("10.1.0.0/16"), 200)
+        assert table.origin_of_address(0x0A010203) == 200
+        assert table.origin_of_address(0x0A020203) == 100
+        assert table.origin_of_address(0x0B000001) is None
+
+    def test_origin_of_prefix_requires_covering_route(self):
+        table = RouteTable()
+        table.announce(Prefix.parse("10.1.0.0/16"), 200)
+        assert table.origin_of_prefix(Prefix.parse("10.1.2.0/24")) == 200
+        assert table.origin_of_prefix(Prefix.parse("10.0.0.0/8")) is None
+
+    def test_conflicting_announcement_rejected(self):
+        table = RouteTable()
+        table.announce(Prefix.parse("10.0.0.0/8"), 100)
+        with pytest.raises(ValueError):
+            table.announce(Prefix.parse("10.0.0.0/8"), 999)
+
+    def test_duplicate_same_origin_is_noop(self):
+        table = RouteTable()
+        table.announce(Prefix.parse("10.0.0.0/8"), 100)
+        table.announce(Prefix.parse("10.0.0.0/8"), 100)
+        assert len(table) == 1
+
+    def test_from_registry(self):
+        reg = ASRegistry([
+            make_record(asn=1, prefixes=["10.0.0.0/8"]),
+            make_record(asn=2, prefixes=["11.0.0.0/16", "12.0.0.0/24"]),
+        ])
+        table = RouteTable.from_registry(reg)
+        assert table.origin_of_address(0x0A000001) == 1
+        assert table.prefixes_of(2) == [
+            Prefix.parse("11.0.0.0/16"), Prefix.parse("12.0.0.0/24")
+        ]
+        assert table.announced_slash24_count(2) == 257
+
+    def test_route_for_address(self):
+        table = RouteTable()
+        table.announce(Prefix.parse("10.0.0.0/8"), 100)
+        assert table.route_for_address(0x0A0A0A0A) == (
+            Prefix.parse("10.0.0.0/8"), 100
+        )
+
+    def test_routed_slash24_ids(self):
+        table = RouteTable()
+        table.announce(Prefix.parse("10.0.0.0/22"), 100)
+        ids = list(table.routed_slash24_ids())
+        assert len(ids) == 4

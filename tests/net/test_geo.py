@@ -1,0 +1,109 @@
+"""Tests for repro.net.geo."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.geo import GeoPoint, haversine_km, jitter_point, percentile
+
+lats = st.floats(min_value=-90, max_value=90, allow_nan=False)
+lons = st.floats(min_value=-180, max_value=180, allow_nan=False)
+
+
+class TestGeoPoint:
+    def test_validates_latitude(self):
+        with pytest.raises(ValueError):
+            GeoPoint(91, 0)
+
+    def test_validates_longitude(self):
+        with pytest.raises(ValueError):
+            GeoPoint(0, 181)
+
+    def test_distance_to_self_is_zero(self):
+        p = GeoPoint(40.7, -74.0)
+        assert p.distance_km(p) == 0.0
+
+
+class TestHaversine:
+    def test_known_distance_nyc_london(self):
+        # NYC to London is about 5570 km.
+        d = haversine_km(40.7128, -74.0060, 51.5074, -0.1278)
+        assert 5500 < d < 5650
+
+    def test_equator_quarter_circumference(self):
+        d = haversine_km(0, 0, 0, 90)
+        assert abs(d - math.pi / 2 * 6371.0088) < 1.0
+
+    def test_antipodal(self):
+        d = haversine_km(0, 0, 0, 180)
+        assert abs(d - math.pi * 6371.0088) < 1.0
+
+    @given(lats, lons, lats, lons)
+    def test_symmetry(self, lat1, lon1, lat2, lon2):
+        assert haversine_km(lat1, lon1, lat2, lon2) == pytest.approx(
+            haversine_km(lat2, lon2, lat1, lon1)
+        )
+
+    @given(lats, lons, lats, lons)
+    def test_nonnegative_and_bounded(self, lat1, lon1, lat2, lon2):
+        d = haversine_km(lat1, lon1, lat2, lon2)
+        assert 0 <= d <= math.pi * 6371.0088 + 1
+
+
+class TestJitter:
+    def test_zero_radius_is_identity(self):
+        p = GeoPoint(10, 20)
+        assert jitter_point(p, 0, random.Random(1)) == p
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            jitter_point(GeoPoint(0, 0), -1, random.Random(1))
+
+    def test_stays_roughly_within_radius(self):
+        rng = random.Random(42)
+        centre = GeoPoint(48.0, 2.0)
+        for _ in range(200):
+            moved = jitter_point(centre, 100, rng)
+            assert centre.distance_km(moved) <= 105  # small slack for approx
+
+    def test_deterministic_given_seed(self):
+        a = jitter_point(GeoPoint(0, 0), 50, random.Random(3))
+        b = jitter_point(GeoPoint(0, 0), 50, random.Random(3))
+        assert a == b
+
+    def test_near_pole_does_not_crash(self):
+        rng = random.Random(5)
+        moved = jitter_point(GeoPoint(89.9, 0), 50, rng)
+        assert -90 <= moved.lat <= 90
+        assert -180 <= moved.lon <= 180
+
+
+class TestPercentile:
+    def test_median_of_odd_list(self):
+        assert percentile([1, 2, 3], 0.5) == 2
+
+    def test_90th_of_ten(self):
+        values = list(range(1, 11))
+        assert percentile(values, 0.9) == 9
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 9.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 9.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_bad_fraction_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=50),
+           st.floats(min_value=0, max_value=1))
+    def test_result_is_member(self, values, fraction):
+        assert percentile(values, fraction) in values

@@ -1,0 +1,77 @@
+"""Tests for repro.net.ipv4."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.ipv4 import (
+    AddressError,
+    check_address,
+    format_ipv4,
+    is_reserved,
+    parse_ipv4,
+)
+
+
+class TestParse:
+    def test_parses_simple_address(self):
+        assert parse_ipv4("8.8.8.8") == 0x08080808
+
+    def test_parses_extremes(self):
+        assert parse_ipv4("0.0.0.0") == 0
+        assert parse_ipv4("255.255.255.255") == 0xFFFFFFFF
+
+    def test_strips_whitespace(self):
+        assert parse_ipv4("  1.2.3.4 ") == 0x01020304
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "1.2.3", "1.2.3.4.5", "256.0.0.1", "1.2.3.x", "1.2.3.-4",
+         "01.2.3.4", "1..2.3", "1.2.3.4/24"],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(AddressError):
+            parse_ipv4(bad)
+
+
+class TestFormat:
+    def test_formats_known_address(self):
+        assert format_ipv4(0x08080404) == "8.8.4.4"
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(AddressError):
+            format_ipv4(2**32)
+        with pytest.raises(AddressError):
+            format_ipv4(-1)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_roundtrip(self, address):
+        assert parse_ipv4(format_ipv4(address)) == address
+
+
+class TestCheckAddress:
+    def test_accepts_valid(self):
+        assert check_address(12345) == 12345
+
+    def test_rejects_bool(self):
+        with pytest.raises(AddressError):
+            check_address(True)
+
+    def test_rejects_float(self):
+        with pytest.raises(AddressError):
+            check_address(1.5)
+
+
+class TestReserved:
+    @pytest.mark.parametrize(
+        "addr",
+        ["10.1.2.3", "127.0.0.1", "192.168.1.1", "224.0.0.1", "100.64.0.1",
+         "172.16.5.5", "169.254.0.9", "240.1.1.1"],
+    )
+    def test_reserved_blocks(self, addr):
+        assert is_reserved(parse_ipv4(addr))
+
+    @pytest.mark.parametrize("addr", ["8.8.8.8", "1.1.1.1", "100.128.0.1",
+                                      "172.32.0.1", "223.255.255.255"])
+    def test_public_addresses(self, addr):
+        assert not is_reserved(parse_ipv4(addr))

@@ -1,0 +1,187 @@
+"""Tests for repro.net.prefix."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.prefix import (
+    ANY_PREFIX,
+    Prefix,
+    PrefixError,
+    slash24_from_id,
+    slash24_id,
+)
+
+prefixes = st.builds(
+    lambda addr, length: Prefix.from_address(addr, length),
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=0, max_value=32),
+)
+
+
+class TestConstruction:
+    def test_parse_with_length(self):
+        p = Prefix.parse("192.0.2.0/24")
+        assert p.network == 0xC0000200
+        assert p.length == 24
+
+    def test_parse_bare_address_is_slash32(self):
+        assert Prefix.parse("1.2.3.4").length == 32
+
+    def test_parse_masks_host_bits(self):
+        assert Prefix.parse("1.2.3.4/24") == Prefix.parse("1.2.3.0/24")
+
+    def test_direct_construction_rejects_host_bits(self):
+        with pytest.raises(PrefixError):
+            Prefix(0x01020304, 24)
+
+    @pytest.mark.parametrize("bad", ["1.2.3.0/33", "1.2.3.0/-1", "1.2.3.0/x",
+                                     "nonsense", "1.2.3/24"])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(PrefixError):
+            Prefix.parse(bad)
+
+    def test_str_roundtrip(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert Prefix.parse(str(p)) == p
+
+    @given(prefixes)
+    def test_parse_str_roundtrip_property(self, p):
+        assert Prefix.parse(str(p)) == p
+
+
+class TestProperties:
+    def test_num_addresses(self):
+        assert Prefix.parse("0.0.0.0/0").num_addresses() == 2**32
+        assert Prefix.parse("1.2.3.0/24").num_addresses() == 256
+        assert Prefix.parse("1.2.3.4/32").num_addresses() == 1
+
+    def test_num_slash24s(self):
+        assert Prefix.parse("1.2.0.0/16").num_slash24s() == 256
+        assert Prefix.parse("1.2.3.0/24").num_slash24s() == 1
+        assert Prefix.parse("1.2.3.128/25").num_slash24s() == 1
+
+    def test_first_last_address(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert p.first_address() == 0x0A000000
+        assert p.last_address() == 0x0AFFFFFF
+
+
+class TestRelations:
+    def test_contains_more_specific(self):
+        assert Prefix.parse("10.0.0.0/8").contains(Prefix.parse("10.1.0.0/16"))
+
+    def test_contains_self(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert p.contains(p)
+
+    def test_does_not_contain_less_specific(self):
+        assert not Prefix.parse("10.1.0.0/16").contains(Prefix.parse("10.0.0.0/8"))
+
+    def test_disjoint(self):
+        a = Prefix.parse("10.0.0.0/8")
+        b = Prefix.parse("11.0.0.0/8")
+        assert not a.overlaps(b)
+
+    def test_overlaps_nested(self):
+        a = Prefix.parse("10.0.0.0/8")
+        b = Prefix.parse("10.2.3.0/24")
+        assert a.overlaps(b) and b.overlaps(a)
+
+    def test_contains_address(self):
+        p = Prefix.parse("192.0.2.0/24")
+        assert p.contains_address(0xC0000280)
+        assert not p.contains_address(0xC0000300)
+
+    def test_any_prefix_contains_everything(self):
+        assert ANY_PREFIX.contains(Prefix.parse("1.2.3.4/32"))
+
+    @given(prefixes, prefixes)
+    def test_overlap_iff_one_contains_other(self, a, b):
+        assert a.overlaps(b) == (a.contains(b) or b.contains(a))
+
+
+class TestHierarchy:
+    def test_supernet_default_one_bit(self):
+        assert Prefix.parse("10.128.0.0/9").supernet() == Prefix.parse("10.0.0.0/8")
+
+    def test_supernet_explicit_length(self):
+        assert Prefix.parse("10.1.2.0/24").supernet(8) == Prefix.parse("10.0.0.0/8")
+
+    def test_supernet_rejects_longer(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("10.0.0.0/8").supernet(16)
+
+    def test_children_partition_parent(self):
+        p = Prefix.parse("10.0.0.0/8")
+        left, right = p.children()
+        assert left.num_addresses() + right.num_addresses() == p.num_addresses()
+        assert p.contains(left) and p.contains(right)
+        assert not left.overlaps(right)
+
+    def test_slash32_has_no_children(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("1.2.3.4/32").children()
+
+    @given(prefixes)
+    def test_children_roundtrip(self, p):
+        if p.length < 32:
+            for child in p.children():
+                assert child.supernet() == p
+
+
+class TestIteration:
+    def test_slash24s_of_slash22(self):
+        p = Prefix.parse("10.0.0.0/22")
+        subs = list(p.slash24s())
+        assert len(subs) == 4
+        assert subs[0] == Prefix.parse("10.0.0.0/24")
+        assert subs[-1] == Prefix.parse("10.0.3.0/24")
+
+    def test_slash24s_of_longer_prefix_yields_enclosing(self):
+        p = Prefix.parse("10.0.0.128/25")
+        assert list(p.slash24s()) == [Prefix.parse("10.0.0.0/24")]
+
+    def test_subprefixes(self):
+        p = Prefix.parse("10.0.0.0/30")
+        subs = list(p.subprefixes(32))
+        assert len(subs) == 4
+
+    def test_subprefixes_rejects_shorter(self):
+        with pytest.raises(PrefixError):
+            list(Prefix.parse("10.0.0.0/24").subprefixes(16))
+
+    def test_random_address_inside(self):
+        rng = random.Random(7)
+        p = Prefix.parse("198.51.100.0/24")
+        for _ in range(50):
+            assert p.contains_address(p.random_address(rng))
+
+
+class TestSlash24Id:
+    def test_id_of_prefix(self):
+        assert slash24_id(Prefix.parse("1.2.3.0/24")) == 0x010203
+
+    def test_id_of_address(self):
+        assert slash24_id(0x01020304) == 0x010203
+
+    def test_roundtrip(self):
+        assert slash24_from_id(0x010203) == Prefix.parse("1.2.3.0/24")
+
+    def test_rejects_out_of_range_id(self):
+        with pytest.raises(PrefixError):
+            slash24_from_id(1 << 24)
+
+
+class TestOrdering:
+    def test_sorts_in_address_order(self):
+        ps = [Prefix.parse(s) for s in ["10.0.0.0/16", "9.0.0.0/8", "10.0.0.0/8"]]
+        assert sorted(map(str, sorted(ps))) == sorted(
+            ["9.0.0.0/8", "10.0.0.0/8", "10.0.0.0/16"]
+        )
+        assert sorted(ps)[0] == Prefix.parse("9.0.0.0/8")
+
+    def test_hashable_and_equal(self):
+        assert len({Prefix.parse("1.0.0.0/8"), Prefix.parse("1.0.0.0/8")}) == 1

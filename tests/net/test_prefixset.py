@@ -1,0 +1,142 @@
+"""Tests for repro.net.prefixset."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.prefix import Prefix
+from repro.net.prefixset import PrefixSet
+
+prefixes = st.builds(
+    lambda addr, length: Prefix.from_address(addr, length),
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=4, max_value=32),
+)
+
+
+class TestAdd:
+    def test_add_grows_coverage(self):
+        s = PrefixSet()
+        assert s.add(Prefix.parse("10.0.0.0/24"))
+        assert len(s) == 1
+
+    def test_add_duplicate_is_noop(self):
+        s = PrefixSet([Prefix.parse("10.0.0.0/24")])
+        assert not s.add(Prefix.parse("10.0.0.0/24"))
+        assert len(s) == 1
+
+    def test_add_covered_is_noop(self):
+        s = PrefixSet([Prefix.parse("10.0.0.0/8")])
+        assert not s.add(Prefix.parse("10.1.2.0/24"))
+        assert len(s) == 1
+
+    def test_add_covering_prunes_specifics(self):
+        s = PrefixSet([Prefix.parse("10.1.0.0/16"), Prefix.parse("10.2.0.0/16")])
+        assert s.add(Prefix.parse("10.0.0.0/8"))
+        assert len(s) == 1
+        assert list(s) == [Prefix.parse("10.0.0.0/8")]
+
+
+class TestQueries:
+    def test_covers_address(self):
+        s = PrefixSet([Prefix.parse("192.0.2.0/24")])
+        assert s.covers_address(0xC0000201)
+        assert not s.covers_address(0xC0000301)
+
+    def test_covers_prefix(self):
+        s = PrefixSet([Prefix.parse("10.0.0.0/8")])
+        assert s.covers(Prefix.parse("10.9.0.0/16"))
+        assert not s.covers(Prefix.parse("10.0.0.0/7"))
+
+    def test_intersects_partial_overlap(self):
+        s = PrefixSet([Prefix.parse("10.5.0.0/16")])
+        assert s.intersects(Prefix.parse("10.0.0.0/8"))
+        assert not s.covers(Prefix.parse("10.0.0.0/8"))
+        assert not s.intersects(Prefix.parse("11.0.0.0/8"))
+
+    def test_contains_dunder(self):
+        s = PrefixSet([Prefix.parse("10.0.0.0/8")])
+        assert Prefix.parse("10.1.0.0/16") in s
+
+    def test_empty_set(self):
+        s = PrefixSet()
+        assert not s
+        assert len(s) == 0
+        assert not s.covers_address(0)
+
+    def test_slash32_membership(self):
+        s = PrefixSet([Prefix.parse("1.2.3.4/32")])
+        assert s.covers_address(0x01020304)
+        assert not s.covers_address(0x01020305)
+
+
+class TestIteration:
+    def test_iterates_in_address_order(self):
+        members = [Prefix.parse(t) for t in
+                   ["20.0.0.0/8", "10.0.0.0/8", "15.0.0.0/16"]]
+        s = PrefixSet(members)
+        assert list(s) == sorted(members)
+
+    @given(st.lists(prefixes, max_size=30))
+    def test_members_are_disjoint_antichain(self, inputs):
+        s = PrefixSet(inputs)
+        members = list(s)
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                assert not a.overlaps(b)
+
+    @given(st.lists(prefixes, max_size=30))
+    def test_coverage_preserved(self, inputs):
+        s = PrefixSet(inputs)
+        for p in inputs:
+            assert s.covers(p)
+
+
+class TestSlash24Accounting:
+    def test_upper_bound_expands_short_prefixes(self):
+        s = PrefixSet([Prefix.parse("10.0.0.0/16"), Prefix.parse("20.0.0.0/24")])
+        assert s.slash24_upper_bound() == 256 + 1
+
+    def test_lower_bound_is_member_count(self):
+        s = PrefixSet([Prefix.parse("10.0.0.0/16"), Prefix.parse("20.0.0.0/24")])
+        assert s.slash24_lower_bound() == 2
+
+    def test_slash24_ids_expansion(self):
+        s = PrefixSet([Prefix.parse("10.0.0.0/22")])
+        ids = s.slash24_ids()
+        assert len(ids) == 4
+        assert min(ids) == 0x0A0000
+
+    def test_slash24_ids_long_prefix_maps_to_enclosing(self):
+        s = PrefixSet([Prefix.parse("10.0.0.128/25")])
+        assert s.slash24_ids() == {0x0A0000}
+
+    # Bounded at /14 so the upper-bound expansion stays small enough for
+    # a property test (a /4 would expand to ~1M /24 ids).
+    @given(st.lists(
+        st.builds(
+            lambda addr, length: Prefix.from_address(addr, length),
+            st.integers(min_value=0, max_value=2**32 - 1),
+            st.integers(min_value=14, max_value=32),
+        ),
+        max_size=20,
+    ))
+    def test_bounds_bracket_ids(self, inputs):
+        s = PrefixSet(inputs)
+        n_ids = len(s.slash24_ids())
+        assert s.slash24_lower_bound() <= n_ids <= s.slash24_upper_bound()
+
+
+class TestAlgebra:
+    def test_union(self):
+        a = PrefixSet([Prefix.parse("10.0.0.0/8")])
+        b = PrefixSet([Prefix.parse("11.0.0.0/8")])
+        u = a.union(b)
+        assert u.covers(Prefix.parse("10.1.0.0/16"))
+        assert u.covers(Prefix.parse("11.1.0.0/16"))
+        assert len(a) == 1  # inputs untouched
+
+    def test_copy_is_independent(self):
+        a = PrefixSet([Prefix.parse("10.0.0.0/8")])
+        b = a.copy()
+        b.add(Prefix.parse("11.0.0.0/8"))
+        assert len(a) == 1 and len(b) == 2

@@ -1,0 +1,66 @@
+"""Property-based tests for RouteTable against a brute-force oracle."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.prefix import Prefix
+from repro.net.routing import RouteTable
+
+announcements = st.lists(
+    st.tuples(
+        st.builds(
+            lambda a, l: Prefix.from_address(a, l),
+            st.integers(min_value=0, max_value=2**32 - 1),
+            st.integers(min_value=8, max_value=24),
+        ),
+        st.integers(min_value=1, max_value=70000),
+    ),
+    max_size=20,
+)
+
+
+def build_table(entries):
+    """Insert entries; later conflicting origins for the same prefix
+    are skipped (first one wins), mirroring how the oracle dedups."""
+    table = RouteTable()
+    accepted = {}
+    for prefix, asn in entries:
+        if prefix in accepted:
+            continue
+        table.announce(prefix, asn)
+        accepted[prefix] = asn
+    return table, accepted
+
+
+@given(announcements, st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=200)
+def test_origin_of_address_matches_linear_scan(entries, address):
+    table, accepted = build_table(entries)
+    matches = [(p.length, asn) for p, asn in accepted.items()
+               if p.contains_address(address)]
+    expected = max(matches)[1] if matches else None
+    assert table.origin_of_address(address) == expected
+
+
+@given(announcements)
+@settings(max_examples=100)
+def test_prefixes_of_partitions_announcements(entries):
+    table, accepted = build_table(entries)
+    reconstructed = {}
+    asns = {asn for _, asn in accepted.items()}
+    for asn in asns:
+        for prefix in table.prefixes_of(asn):
+            assert reconstructed.setdefault(prefix, asn) == asn
+    assert reconstructed == accepted
+
+
+@given(announcements)
+@settings(max_examples=100)
+def test_routed_slash24_count_consistent(entries):
+    table, accepted = build_table(entries)
+    per_asn_total = sum(
+        table.announced_slash24_count(asn)
+        for asn in {a for _, a in accepted.items()}
+    )
+    assert per_asn_total == sum(p.num_slash24s() for p in accepted)

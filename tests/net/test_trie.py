@@ -1,0 +1,104 @@
+"""Tests for repro.net.trie."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.prefix import Prefix
+from repro.net.trie import PrefixTrie
+
+
+def make_trie(entries):
+    trie = PrefixTrie()
+    for text, value in entries:
+        trie.insert(Prefix.parse(text), value)
+    return trie
+
+
+class TestLookup:
+    def test_longest_match_wins(self):
+        trie = make_trie([("10.0.0.0/8", "eight"), ("10.1.0.0/16", "sixteen")])
+        assert trie.lookup(Prefix.parse("10.1.2.3").network) == "sixteen"
+        assert trie.lookup(Prefix.parse("10.2.2.3").network) == "eight"
+
+    def test_miss_returns_none(self):
+        trie = make_trie([("10.0.0.0/8", "x")])
+        assert trie.lookup(Prefix.parse("11.0.0.1").network) is None
+
+    def test_default_route(self):
+        trie = make_trie([("0.0.0.0/0", "default"), ("10.0.0.0/8", "ten")])
+        assert trie.lookup(0xFFFFFFFF) == "default"
+        assert trie.lookup(0x0A000001) == "ten"
+
+    def test_lookup_entry_returns_matched_prefix(self):
+        trie = make_trie([("10.0.0.0/8", "x")])
+        entry = trie.lookup_entry(0x0A010203)
+        assert entry == (Prefix.parse("10.0.0.0/8"), "x")
+
+    def test_slash32_entry(self):
+        trie = make_trie([("1.2.3.4/32", "host")])
+        assert trie.lookup(0x01020304) == "host"
+        assert trie.lookup(0x01020305) is None
+
+
+class TestExact:
+    def test_exact_hit_and_miss(self):
+        trie = make_trie([("10.0.0.0/8", "x")])
+        assert trie.exact(Prefix.parse("10.0.0.0/8")) == "x"
+        assert trie.exact(Prefix.parse("10.0.0.0/16")) is None
+
+    def test_insert_replaces(self):
+        trie = make_trie([("10.0.0.0/8", "old")])
+        trie.insert(Prefix.parse("10.0.0.0/8"), "new")
+        assert trie.exact(Prefix.parse("10.0.0.0/8")) == "new"
+        assert len(trie) == 1
+
+
+class TestLookupPrefix:
+    def test_finds_covering_entry(self):
+        trie = make_trie([("10.0.0.0/8", "covering")])
+        assert trie.lookup_prefix(Prefix.parse("10.1.0.0/16")) == "covering"
+
+    def test_more_specific_does_not_cover(self):
+        trie = make_trie([("10.1.0.0/16", "specific")])
+        assert trie.lookup_prefix(Prefix.parse("10.0.0.0/8")) is None
+
+    def test_exact_counts_as_covering(self):
+        trie = make_trie([("10.0.0.0/8", "x")])
+        assert trie.lookup_prefix(Prefix.parse("10.0.0.0/8")) == "x"
+
+
+class TestIteration:
+    def test_items_in_address_order(self):
+        trie = make_trie([("20.0.0.0/8", 2), ("10.0.0.0/8", 1), ("10.0.0.0/16", 3)])
+        keys = [p for p, _ in trie.items()]
+        assert keys == sorted(keys)
+        assert len(list(trie.values())) == 3
+
+    def test_len_tracks_inserts(self):
+        trie = PrefixTrie()
+        assert len(trie) == 0 and not trie
+        trie.insert(Prefix.parse("1.0.0.0/8"), 1)
+        assert len(trie) == 1 and trie
+
+
+@given(
+    st.dictionaries(
+        st.builds(
+            lambda a, l: Prefix.from_address(a, l),
+            st.integers(min_value=0, max_value=2**32 - 1),
+            st.integers(min_value=0, max_value=32),
+        ),
+        st.integers(),
+        max_size=30,
+    ),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_lookup_matches_linear_scan(entries, address):
+    trie = PrefixTrie()
+    for prefix, value in entries.items():
+        trie.insert(prefix, value)
+    matches = [
+        (p.length, v) for p, v in entries.items() if p.contains_address(address)
+    ]
+    expected = max(matches)[1] if matches else None
+    assert trie.lookup(address) == expected

@@ -1,0 +1,50 @@
+"""Tests for repro.sim.clock."""
+
+import pytest
+
+from repro.sim.clock import DAY, HOUR, Clock, ClockError
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0.0
+
+    def test_custom_start(self):
+        assert Clock(100.5).now == 100.5
+
+    def test_advance(self):
+        clock = Clock()
+        assert clock.advance(10) == 10
+        assert clock.advance(5.5) == 15.5
+        assert clock.now == 15.5
+
+    def test_advance_zero_allowed(self):
+        clock = Clock(3)
+        clock.advance(0)
+        assert clock.now == 3
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ClockError):
+            Clock().advance(-1)
+
+    def test_advance_to(self):
+        clock = Clock()
+        clock.advance_to(42)
+        assert clock.now == 42
+
+    def test_advance_to_same_time_allowed(self):
+        clock = Clock(7)
+        clock.advance_to(7)
+        assert clock.now == 7
+
+    def test_advance_to_past_rejected(self):
+        clock = Clock(10)
+        with pytest.raises(ClockError):
+            clock.advance_to(9)
+
+    def test_constants(self):
+        assert HOUR == 3600
+        assert DAY == 24 * HOUR
+
+    def test_repr_mentions_time(self):
+        assert "12" in repr(Clock(12))

@@ -1,0 +1,18 @@
+"""Doctests embedded in docstrings stay correct."""
+
+import doctest
+
+import repro.net.ipv4
+import repro.net.prefix
+
+
+def test_ipv4_doctests():
+    results = doctest.testmod(repro.net.ipv4)
+    assert results.failed == 0
+    assert results.attempted > 0
+
+
+def test_prefix_doctests():
+    results = doctest.testmod(repro.net.prefix)
+    assert results.failed == 0
+    assert results.attempted > 0

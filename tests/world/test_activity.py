@@ -1,0 +1,206 @@
+"""Tests for repro.world.activity."""
+
+import pytest
+
+from repro.sim.clock import DAY, HOUR
+from repro.world.activity import (
+    ActivityConfig,
+    ActivitySimulator,
+    diurnal_factor,
+)
+from repro.world.builder import build_world
+from tests.conftest import tiny_world_config
+
+
+class TestDiurnal:
+    def test_peaks_in_local_evening(self):
+        # 20:00 local at lon=0 is 20:00 UTC.
+        peak = diurnal_factor(20 * HOUR, 0.0, amplitude=0.75)
+        trough = diurnal_factor(8 * HOUR, 0.0, amplitude=0.75)
+        assert peak > 1.5
+        assert trough < 0.5
+
+    def test_longitude_shifts_local_time(self):
+        # 12:00 UTC is 20:00 local at lon=120E.
+        east = diurnal_factor(12 * HOUR, 120.0, amplitude=0.75)
+        west = diurnal_factor(12 * HOUR, 0.0, amplitude=0.75)
+        assert east > west
+
+    def test_zero_amplitude_is_flat(self):
+        values = {diurnal_factor(h * HOUR, 0.0, 0.0) for h in range(24)}
+        assert values == {1.0}
+
+    def test_never_negative(self):
+        for hour in range(24):
+            assert diurnal_factor(hour * HOUR, 0.0, 1.0) > 0
+
+
+class TestActivityConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ActivityConfig(slot_seconds=0)
+        with pytest.raises(ValueError):
+            ActivityConfig(diurnal_amplitude=1.5)
+
+
+class TestActivitySimulator:
+    def test_advances_clock(self, tiny_world):
+        sim = ActivitySimulator(tiny_world)
+        sim.run(2 * HOUR)
+        assert tiny_world.clock.now == pytest.approx(2 * HOUR)
+
+    def test_rejects_nonpositive_duration(self, tiny_world):
+        with pytest.raises(ValueError):
+            ActivitySimulator(tiny_world).run(0)
+
+    def test_generates_all_signal_types(self, tiny_world):
+        sim = ActivitySimulator(tiny_world)
+        stats = sim.run(4 * HOUR)
+        assert stats.dns_queries > 0
+        assert stats.google_dns_queries > 0
+        assert stats.http_requests > 0
+        assert stats.chromium_events > 0
+        assert stats.root_queries >= 3 * stats.chromium_events
+
+    def test_cdn_sees_http_from_client_blocks(self, tiny_world):
+        ActivitySimulator(tiny_world).run(4 * HOUR)
+        seen = tiny_world.cdn.client_slash24_ids()
+        truth = tiny_world.client_slash24_ids()
+        assert seen  # CDN observed traffic
+        assert seen <= truth  # only real client blocks emit HTTP
+        assert len(seen) > 0.8 * len(truth)
+
+    def test_traffic_manager_sees_ecs(self, tiny_world):
+        ActivitySimulator(tiny_world).run(4 * HOUR)
+        assert len(tiny_world.cdn.cloud_ecs_prefixes()) > 0
+
+    def test_roots_receive_chromium_probes(self, tiny_world):
+        sim = ActivitySimulator(tiny_world)
+        stats = sim.run(4 * HOUR)
+        received = tiny_world.roots.total_queries()
+        # Some probes go via the public resolver, which absorbs most of
+        # them through aggressive NSEC caching (RFC 8198) — so the
+        # roots see at most, and usually fewer than, the emitted count.
+        assert 0 < received <= stats.root_queries
+
+    def test_on_slot_called_with_clock_at_slot_end(self, tiny_world):
+        sim = ActivitySimulator(tiny_world, ActivityConfig(slot_seconds=1800))
+        calls = []
+
+        def hook(index, start):
+            calls.append((index, start, tiny_world.clock.now))
+
+        sim.run(HOUR, on_slot=hook)
+        assert [c[0] for c in calls] == [0, 1]
+        for index, start, now in calls:
+            assert now == pytest.approx(start + 1800)
+
+    def test_per_domain_stats_follow_popularity(self, tiny_world):
+        sim = ActivitySimulator(tiny_world)
+        stats = sim.run(6 * HOUR)
+        google = stats.per_domain_queries.get("www.google.com", 0)
+        nytimes = stats.per_domain_queries.get("www.nytimes.com", 0)
+        assert google > nytimes
+
+    def test_deterministic_given_seed(self):
+        results = []
+        for _ in range(2):
+            world = build_world(tiny_world_config(seed=7))
+            stats = ActivitySimulator(world, seed=13).run(2 * HOUR)
+            results.append((stats.dns_queries, stats.http_requests,
+                            stats.root_queries))
+        assert results[0] == results[1]
+
+    def test_probe_freshness_depends_on_recency(self, tiny_world):
+        """A probe right after a slot sees fresher entries than one a
+        full slot later (the TTL race §3.1.1's looping fights)."""
+        from repro.dns.message import DnsQuery, EcsOption, Transport
+        from repro.net.prefix import Prefix
+
+        sim = ActivitySimulator(tiny_world)
+        sim.run(3 * HOUR)
+        world = tiny_world
+        hits_now = 0
+        domain = world.domains[0].name
+        for block in world.client_blocks()[:80]:
+            outcome = world.public_dns.query(
+                DnsQuery(name=domain, recursion_desired=False,
+                         ecs=EcsOption(prefix=block.prefix),
+                         source_ip=1, transport=Transport.TCP),
+                block.location,
+            )
+            hits_now += outcome.response.cache_hit
+        world.clock.advance(2 * HOUR)  # let everything expire
+        hits_later = 0
+        for block in world.client_blocks()[:80]:
+            outcome = world.public_dns.query(
+                DnsQuery(name=domain, recursion_desired=False,
+                         ecs=EcsOption(prefix=block.prefix),
+                         source_ip=1, transport=Transport.TCP),
+                block.location,
+            )
+            hits_later += outcome.response.cache_hit
+        assert hits_later < hits_now
+
+
+class TestBotBehaviour:
+    """The §6 contrasts the human classifier exploits must exist in
+    the generated activity."""
+
+    def test_bot_domain_mix_is_narrow(self, tiny_world):
+        sim = ActivitySimulator(tiny_world)
+        bot_blocks = [b for b in tiny_world.blocks if b.users == 0]
+        if not bot_blocks:
+            pytest.skip("no bot blocks in this world")
+        for block in bot_blocks[:20]:
+            shares = sim._block_domain_shares(block)
+            assert len(shares) <= 3
+            total = sum(w for _, w in shares)
+            assert total == pytest.approx(1.0)
+
+    def test_bot_mix_is_stable_per_block(self, tiny_world):
+        sim = ActivitySimulator(tiny_world)
+        bot_blocks = [b for b in tiny_world.blocks if b.users == 0]
+        if not bot_blocks:
+            pytest.skip("no bot blocks in this world")
+        block = bot_blocks[0]
+        first = [d.name for d, _ in sim._block_domain_shares(block)]
+        second = [d.name for d, _ in sim._block_domain_shares(block)]
+        assert first == second
+
+    def test_human_mix_is_the_full_country_catalogue(self, tiny_world):
+        sim = ActivitySimulator(tiny_world)
+        human = next(b for b in tiny_world.blocks if b.users > 0)
+        shares = sim._block_domain_shares(human)
+        assert len(shares) > 10
+
+    def test_bots_run_flat_through_the_night(self):
+        """Aggregate bot DNS volume must not follow the diurnal curve
+        the way human volume does."""
+        world = build_world(tiny_world_config(seed=29, target_blocks=120))
+        sim = ActivitySimulator(world, ActivityConfig(slot_seconds=3600.0),
+                                seed=29)
+        per_slot_human = []
+        per_slot_bot = []
+
+        original = sim._do_dns_event
+        counts = {"human": 0, "bot": 0}
+
+        def counting(block, domain):
+            counts["human" if block.users > 0 else "bot"] += 1
+            return original(block, domain)
+
+        sim._do_dns_event = counting
+        for _ in range(24):
+            counts["human"] = counts["bot"] = 0
+            sim.run(3600.0)
+            per_slot_human.append(counts["human"])
+            per_slot_bot.append(counts["bot"])
+
+        def swing(series):
+            lo, hi = min(series), max(series)
+            return (hi - lo) / max(1, hi)
+
+        assert swing(per_slot_human) > swing(per_slot_bot) * 0.8
+        # Bots never go fully quiet.
+        assert min(per_slot_bot) > 0

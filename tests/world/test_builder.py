@@ -1,0 +1,163 @@
+"""Tests for repro.world.builder."""
+
+import pytest
+
+from repro.net.asn import ASCategory
+from repro.net.ipv4 import is_reserved
+from repro.net.prefix import Prefix
+from repro.world.builder import AddressAllocator, WorldConfig, build_world
+from tests.conftest import TEST_COUNTRIES, tiny_world_config
+
+
+class TestAddressAllocator:
+    def test_allocations_disjoint(self):
+        allocator = AddressAllocator()
+        prefixes = [allocator.allocate(20, "US") for _ in range(20)]
+        prefixes += [allocator.allocate(22, "DE") for _ in range(20)]
+        for i, a in enumerate(prefixes):
+            for b in prefixes[i + 1:]:
+                assert not a.overlaps(b), f"{a} overlaps {b}"
+
+    def test_regions_get_distinct_slash8s(self):
+        allocator = AddressAllocator()
+        us = allocator.allocate(24, "US")
+        de = allocator.allocate(24, "DE")
+        assert us.network >> 24 != de.network >> 24
+
+    def test_same_region_clusters(self):
+        allocator = AddressAllocator()
+        first = allocator.allocate(24, "US")
+        second = allocator.allocate(24, "US")
+        assert first.network >> 24 == second.network >> 24
+
+    def test_never_reserved(self):
+        allocator = AddressAllocator()
+        for region in ("a", "b", "c"):
+            for _ in range(50):
+                prefix = allocator.allocate(20, region)
+                assert not is_reserved(prefix.first_address())
+                assert not is_reserved(prefix.last_address())
+
+    def test_rolls_to_fresh_slash8_when_full(self):
+        allocator = AddressAllocator()
+        first = allocator.allocate(8, "US")   # consumes the whole /8
+        second = allocator.allocate(24, "US")
+        assert not first.overlaps(second)
+
+    def test_rejects_unsupported_lengths(self):
+        with pytest.raises(ValueError):
+            AddressAllocator().allocate(25)
+        with pytest.raises(ValueError):
+            AddressAllocator().allocate(7)
+
+    def test_alignment(self):
+        allocator = AddressAllocator()
+        allocator.allocate(24, "US")
+        prefix = allocator.allocate(16, "US")
+        assert prefix.network % prefix.num_addresses() == 0
+
+
+class TestWorldConfigValidation:
+    def test_rejects_tiny_target(self):
+        with pytest.raises(ValueError):
+            WorldConfig(target_blocks=5)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            WorldConfig(hosting_as_fraction=1.5)
+
+
+class TestBuiltWorld:
+    def test_deterministic_given_seed(self):
+        a = build_world(tiny_world_config(seed=9))
+        b = build_world(tiny_world_config(seed=9))
+        assert [blk.prefix for blk in a.blocks] == [blk.prefix for blk in b.blocks]
+        assert [blk.users for blk in a.blocks] == [blk.users for blk in b.blocks]
+
+    def test_different_seeds_differ(self):
+        a = build_world(tiny_world_config(seed=9))
+        b = build_world(tiny_world_config(seed=10))
+        assert [blk.users for blk in a.blocks] != [blk.users for blk in b.blocks]
+
+    def test_block_count_near_target(self, shared_tiny_world):
+        world = shared_tiny_world
+        eyeball_blocks = [b for b in world.blocks if b.users > 0]
+        assert len(eyeball_blocks) >= world.config.target_blocks * 0.8
+
+    def test_blocks_are_routed_to_their_as(self, shared_tiny_world):
+        world = shared_tiny_world
+        for block in world.blocks[:200]:
+            assert world.routes.origin_of_prefix(block.prefix) == block.asn
+
+    def test_blocks_unique_slash24(self, shared_tiny_world):
+        ids = [b.slash24 for b in shared_tiny_world.blocks]
+        assert len(ids) == len(set(ids))
+
+    def test_every_country_has_blocks(self, shared_tiny_world):
+        countries = {b.country for b in shared_tiny_world.blocks
+                     if b.users > 0}
+        assert countries == {c.code for c in TEST_COUNTRIES}
+
+    def test_resolver_assignments_resolvable(self, shared_tiny_world):
+        world = shared_tiny_world
+        for block in world.blocks:
+            if block.resolver_ip:
+                assert block.resolver_ip in world.resolvers
+
+    def test_most_resolvers_live_in_client_blocks(self, shared_tiny_world):
+        world = shared_tiny_world
+        client_ids = world.client_slash24_ids()
+        in_client = sum(1 for ip in world.resolvers
+                        if (ip >> 8) in client_ids)
+        assert in_client / len(world.resolvers) > 0.7
+
+    def test_some_ases_have_no_own_resolver(self, shared_tiny_world):
+        world = shared_tiny_world
+        resolver_asns = {r.asn for r in world.resolvers.values()}
+        client_asns = world.asns_with_clients()
+        eyeball_asns = {a for a in client_asns
+                        if world.registry[a].category.hosts_eyeballs}
+        assert eyeball_asns - resolver_asns, \
+            "expected small ASes without their own resolver"
+
+    def test_hosting_blocks_have_bots_not_users(self, shared_tiny_world):
+        world = shared_tiny_world
+        hosting = [b for b in world.blocks
+                   if world.registry[b.asn].category is ASCategory.HOSTING]
+        assert hosting
+        assert all(b.users == 0 and b.bots > 0 for b in hosting)
+
+    def test_geodb_covers_all_blocks(self, shared_tiny_world):
+        world = shared_tiny_world
+        for block in world.blocks[:200]:
+            assert world.geodb.locate_prefix(block.prefix) is not None
+
+    def test_pop_deployment_counts(self, shared_tiny_world):
+        world = shared_tiny_world
+        descriptors = world.pop_descriptors
+        assert len(descriptors) == 45
+        active = [d for d in descriptors if d.active]
+        assert len(active) == 27
+        cloud = [d for d in descriptors if d.cloud_reachable and d.active]
+        assert len(cloud) == 22
+
+    def test_catchments_share_pop_identities(self, shared_tiny_world):
+        world = shared_tiny_world
+        user_ids = {p.pop_id for p in world.user_catchment.active_pops()}
+        cloud_ids = {p.pop_id for p in world.cloud_catchment.active_pops()}
+        assert cloud_ids < user_ids  # strict subset
+
+    def test_operator_ases_exist(self, shared_tiny_world):
+        world = shared_tiny_world
+        assert world.registry[world.google_asn].name == "googlepublicdns"
+        assert world.registry[world.cloud_asn].name == "cloudprovider"
+
+    def test_ground_truth_helpers(self, shared_tiny_world):
+        world = shared_tiny_world
+        assert world.client_slash24_ids() >= world.user_slash24_ids()
+        users_by_asn = world.true_users_by_asn()
+        assert sum(users_by_asn.values()) == sum(
+            b.users for b in world.blocks)
+        block = world.blocks[0]
+        assert world.block_by_slash24(block.slash24) is block
+        assert world.block_by_slash24(0xFFFFFF) is None

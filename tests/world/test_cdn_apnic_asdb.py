@@ -1,0 +1,161 @@
+"""Tests for repro.world.cdn, repro.world.apnic and repro.world.asdb."""
+
+import pytest
+
+from repro.dns.authoritative import AuthoritativeServer, FixedScopePolicy, Zone
+from repro.dns.message import DnsQuery, EcsOption
+from repro.dns.name import DnsName
+from repro.net.asn import ASCategory
+from repro.net.prefix import Prefix
+from repro.sim.clock import Clock
+from repro.world.apnic import ApnicEstimator
+from repro.world.asdb import CATEGORY_LABELS, AsdbSnapshot
+from repro.world.cdn import CdnService
+
+DOMAIN = DnsName.parse("assets.msedge.net")
+
+
+@pytest.fixture
+def cdn():
+    clock = Clock()
+    authoritative = AuthoritativeServer(
+        clock,
+        [Zone(name=DOMAIN, ttl=300, supports_ecs=True,
+              scope_policy=FixedScopePolicy(24))],
+    )
+    return CdnService(clock, DOMAIN, authoritative), authoritative, clock
+
+
+class TestCdnService:
+    def test_http_aggregated_by_slash24(self, cdn):
+        service, _, _ = cdn
+        service.record_http(0x0A010203, 5)
+        service.record_http(0x0A010299, 2)
+        service.record_http(0x0A020203, 1)
+        clients = service.microsoft_clients()
+        assert clients[0x0A0102] == 7
+        assert clients[0x0A0202] == 1
+        assert service.total_http_requests() == 8
+
+    def test_http_rejects_nonpositive(self, cdn):
+        service, _, _ = cdn
+        with pytest.raises(ValueError):
+            service.record_http(1, 0)
+
+    def test_resolver_counts_distinct_clients(self, cdn):
+        service, _, _ = cdn
+        service.record_session(0x0A010203, 0x01010101)
+        service.record_session(0x0A010203, 0x01010101)  # same client twice
+        service.record_session(0x0A010204, 0x01010101)
+        service.record_session(0x0B000001, 0x02020202)
+        resolvers = service.microsoft_resolvers()
+        assert resolvers[0x01010101] == 2
+        assert resolvers[0x02020202] == 1
+        assert service.resolver_ips() == {0x01010101, 0x02020202}
+
+    def test_ecs_prefixes_from_authoritative_log(self, cdn):
+        service, authoritative, _ = cdn
+        authoritative.query(DnsQuery(
+            name=DOMAIN, ecs=EcsOption(prefix=Prefix.parse("10.1.2.0/24")),
+            recursion_desired=False,
+        ))
+        authoritative.query(DnsQuery(name=DOMAIN, recursion_desired=False))
+        prefixes = service.cloud_ecs_prefixes()
+        assert prefixes == {Prefix.parse("10.1.2.0/24")}
+
+    def test_ecs_prefixes_window(self, cdn):
+        service, authoritative, clock = cdn
+        authoritative.query(DnsQuery(
+            name=DOMAIN, ecs=EcsOption(prefix=Prefix.parse("10.1.2.0/24")),
+        ))
+        clock.advance(100)
+        authoritative.query(DnsQuery(
+            name=DOMAIN, ecs=EcsOption(prefix=Prefix.parse("10.9.9.0/24")),
+        ))
+        early = service.cloud_ecs_prefixes(0, 50)
+        assert early == {Prefix.parse("10.1.2.0/24")}
+
+    def test_ecs_volume_counts_queries(self, cdn):
+        service, authoritative, _ = cdn
+        for _ in range(3):
+            authoritative.query(DnsQuery(
+                name=DOMAIN, ecs=EcsOption(prefix=Prefix.parse("10.1.2.0/24")),
+            ))
+        volume = service.ecs_query_volume_by_prefix()
+        assert volume[Prefix.parse("10.1.2.0/24")] == 3
+
+
+class TestApnicEstimator:
+    def test_estimates_scale_to_country_users(self, shared_tiny_world):
+        estimator = ApnicEstimator(shared_tiny_world, seed=3)
+        estimates = estimator.estimate(impressions=50_000)
+        true_by_country = shared_tiny_world.true_users_by_country()
+        by_country = estimator.estimate_by_country(impressions=50_000)
+        for country, per_as in by_country.items():
+            estimated_total = sum(per_as.values())
+            assert estimated_total == pytest.approx(
+                true_by_country[country], rel=0.01
+            )
+        assert estimates
+
+    def test_small_sample_misses_small_ases(self, shared_tiny_world):
+        few = ApnicEstimator(shared_tiny_world, seed=3).estimate(impressions=80)
+        many = ApnicEstimator(shared_tiny_world, seed=3).estimate(
+            impressions=50_000)
+        assert len(few) < len(many)
+
+    def test_rejects_zero_impressions(self, shared_tiny_world):
+        with pytest.raises(ValueError):
+            ApnicEstimator(shared_tiny_world).estimate(0)
+
+    def test_hosting_ases_get_tiny_estimates(self, shared_tiny_world):
+        """Data-centre automation views a trickle of ads, so hosting
+        ASes can appear — but with populations far below eyeball ASes
+        (real APNIC lists cloud ASes with near-zero users)."""
+        estimates = ApnicEstimator(shared_tiny_world, seed=3).estimate(50_000)
+        eyeball = [v for asn, v in estimates.items()
+                   if shared_tiny_world.registry[asn].category.hosts_eyeballs]
+        hosting = [v for asn, v in estimates.items()
+                   if shared_tiny_world.registry[asn].category
+                   is ASCategory.HOSTING]
+        assert eyeball
+        if hosting:  # sampling may or may not catch one in a tiny world
+            assert max(hosting) < sum(eyeball) / len(eyeball)
+
+    def test_deterministic(self, shared_tiny_world):
+        a = ApnicEstimator(shared_tiny_world, seed=5).estimate(1000)
+        b = ApnicEstimator(shared_tiny_world, seed=5).estimate(1000)
+        assert a == b
+
+
+class TestAsdbSnapshot:
+    def test_coverage_rate(self, shared_tiny_world):
+        snapshot = AsdbSnapshot(shared_tiny_world, coverage=0.9,
+                                mislabel_rate=0.0)
+        total = len(shared_tiny_world.registry)
+        assert 0.6 * total <= len(snapshot) <= total
+
+    def test_full_coverage_no_mislabels_is_ground_truth(self, shared_tiny_world):
+        snapshot = AsdbSnapshot(shared_tiny_world, coverage=1.0,
+                                mislabel_rate=0.0)
+        for record in shared_tiny_world.registry:
+            assert snapshot.lookup(record.asn) == CATEGORY_LABELS[record.category]
+
+    def test_zero_coverage_empty(self, shared_tiny_world):
+        snapshot = AsdbSnapshot(shared_tiny_world, coverage=0.0)
+        assert len(snapshot) == 0
+        assert snapshot.lookup(64500) is None
+
+    def test_breakdown_counts(self, shared_tiny_world):
+        snapshot = AsdbSnapshot(shared_tiny_world, coverage=1.0,
+                                mislabel_rate=0.0)
+        asns = shared_tiny_world.registry.asns()
+        breakdown = snapshot.breakdown(asns)
+        assert sum(breakdown.values()) == len(asns)
+        assert breakdown[CATEGORY_LABELS[ASCategory.ISP]] > 0
+
+    def test_validation(self, shared_tiny_world):
+        with pytest.raises(ValueError):
+            AsdbSnapshot(shared_tiny_world, coverage=1.5)
+        with pytest.raises(ValueError):
+            AsdbSnapshot(shared_tiny_world, mislabel_rate=-0.1)

@@ -1,0 +1,105 @@
+"""Tests for repro.world.countries and repro.world.geodata."""
+
+import random
+
+import pytest
+
+from repro.net.geo import GeoPoint
+from repro.net.prefix import Prefix
+from repro.world.countries import (
+    COUNTRIES,
+    City,
+    Country,
+    country_by_code,
+    total_internet_users_m,
+)
+from repro.world.geodata import GeoAccuracy, GeoDatabase, GeoEntry
+
+
+class TestCountryTable:
+    def test_all_regions_present(self):
+        regions = {c.region for c in COUNTRIES}
+        assert regions == {"NA", "SA", "EU", "AS", "AF", "OC"}
+
+    def test_codes_unique(self):
+        codes = [c.code for c in COUNTRIES]
+        assert len(codes) == len(set(codes))
+
+    def test_lookup(self):
+        assert country_by_code("US").name == "United States"
+        with pytest.raises(KeyError):
+            country_by_code("XX")
+
+    def test_total_users_positive(self):
+        assert total_internet_users_m() > 1000  # billions of users
+
+    def test_china_has_low_google_share(self):
+        cn = country_by_code("CN")
+        assert cn.google_dns_share < 0.1
+        assert cn.ad_reach < 0.5
+
+    def test_south_america_ad_reach_below_default(self):
+        sa = [c for c in COUNTRIES if c.region == "SA"]
+        assert all(c.ad_reach < 1.0 for c in sa)
+
+    def test_validation_rejects_empty_cities(self):
+        with pytest.raises(ValueError):
+            Country("XX", "Nowhere", "EU", 1.0, ())
+
+    def test_validation_rejects_bad_share(self):
+        city = (City("x", 0, 0),)
+        with pytest.raises(ValueError):
+            Country("XX", "Nowhere", "EU", 1.0, city, google_dns_share=1.5)
+
+    def test_city_location(self):
+        city = City("x", 10.0, 20.0)
+        assert city.location == GeoPoint(10.0, 20.0)
+
+
+class TestGeoDatabase:
+    def test_entry_validation(self):
+        with pytest.raises(ValueError):
+            GeoEntry(GeoPoint(0, 0), -1.0, "US")
+
+    def test_longest_match_lookup(self):
+        db = GeoDatabase()
+        db.add(Prefix.parse("10.0.0.0/8"),
+               GeoEntry(GeoPoint(1, 1), 100, "US"))
+        db.add(Prefix.parse("10.1.0.0/16"),
+               GeoEntry(GeoPoint(2, 2), 50, "CA"))
+        assert db.locate_address(0x0A010203).country == "CA"
+        assert db.locate_address(0x0A020203).country == "US"
+        assert db.locate_address(0x0B000000) is None
+
+    def test_locate_prefix_requires_coverage(self):
+        db = GeoDatabase()
+        db.add(Prefix.parse("10.1.0.0/16"),
+               GeoEntry(GeoPoint(2, 2), 50, "CA"))
+        assert db.locate_prefix(Prefix.parse("10.1.2.0/24")).country == "CA"
+        assert db.locate_prefix(Prefix.parse("10.0.0.0/8")) is None
+
+    def test_from_truth_places_near_true_location(self):
+        rng = random.Random(4)
+        truth = [
+            (Prefix.parse(f"10.{i}.0.0/24"), GeoPoint(40.0, -74.0), "US")
+            for i in range(100)
+        ]
+        accuracy = GeoAccuracy(typical_error_km=20, coarse_fraction=0.0)
+        db = GeoDatabase.from_truth(truth, rng, accuracy)
+        assert len(db) == 100
+        for prefix, location, _ in truth:
+            entry = db.locate_prefix(prefix)
+            assert entry.location.distance_km(location) <= 25
+
+    def test_from_truth_coarse_entries_have_larger_radius(self):
+        rng = random.Random(4)
+        truth = [
+            (Prefix.parse(f"10.{i // 256}.{i % 256}.0/24"),
+             GeoPoint(40.0, -74.0), "US")
+            for i in range(300)
+        ]
+        accuracy = GeoAccuracy(coarse_fraction=0.5)
+        db = GeoDatabase.from_truth(truth, rng, accuracy)
+        radii = [db.locate_prefix(p).error_radius_km for p, _, _ in truth]
+        assert max(radii) > 300  # coarse entries present
+        assert min(radii) < 100  # accurate entries present

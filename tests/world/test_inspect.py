@@ -1,0 +1,49 @@
+"""Tests for repro.world.inspect."""
+
+from repro.net.asn import ASCategory
+from repro.world.inspect import WorldSummary, category_of, describe_world
+
+
+class TestDescribeWorld:
+    def test_counts_are_consistent(self, shared_tiny_world):
+        summary = describe_world(shared_tiny_world)
+        assert summary.total_ases == len(shared_tiny_world.registry)
+        assert sum(summary.ases_by_category.values()) == summary.total_ases
+        assert summary.client_slash24s == \
+            len(shared_tiny_world.client_slash24_ids())
+        assert summary.user_slash24s + summary.bot_only_slash24s == \
+            summary.client_slash24s
+        assert summary.total_users == sum(
+            b.users for b in shared_tiny_world.blocks)
+        assert summary.resolvers == len(shared_tiny_world.resolvers)
+        assert summary.resolvers_in_client_blocks <= summary.resolvers
+
+    def test_density_in_unit_interval(self, shared_tiny_world):
+        summary = describe_world(shared_tiny_world)
+        assert 0.0 < summary.client_density <= 1.0
+
+    def test_pop_counts(self, shared_tiny_world):
+        summary = describe_world(shared_tiny_world)
+        assert summary.active_pops == 27
+        assert summary.cloud_reachable_pops == 22
+
+    def test_render_mentions_key_figures(self, shared_tiny_world):
+        text = describe_world(shared_tiny_world).render()
+        assert "ASes" in text and "density" in text and "PoPs" in text
+
+    def test_empty_summary_density(self):
+        summary = WorldSummary(
+            total_ases=0, ases_by_category={}, routed_slash24s=0,
+            client_slash24s=0, user_slash24s=0, bot_only_slash24s=0,
+            total_users=0, total_bots=0, resolvers=0,
+            resolvers_in_client_blocks=0,
+        )
+        assert summary.client_density == 0.0
+
+
+class TestCategoryOf:
+    def test_known_and_unknown(self, shared_tiny_world):
+        record = next(iter(shared_tiny_world.registry))
+        assert category_of(shared_tiny_world, record.asn) is record.category
+        assert category_of(shared_tiny_world, 999999) is None
+        assert isinstance(record.category, ASCategory)

@@ -1,0 +1,125 @@
+"""Tests for repro.world.model and repro.world.domains_catalog."""
+
+import random
+
+import pytest
+
+from repro.net.geo import GeoPoint
+from repro.net.prefix import Prefix
+from repro.dns.name import DnsName
+from repro.sim.clock import Clock
+from repro.world.domains_catalog import (
+    MICROSOFT_CDN_DOMAIN,
+    build_authoritatives,
+    default_domains,
+    probe_domains,
+    scope_policy_for,
+)
+from repro.world.model import ClientBlock, DomainSpec
+
+
+def make_block(**overrides):
+    defaults = dict(
+        prefix=Prefix.parse("9.1.2.0/24"),
+        asn=64500,
+        country="US",
+        location=GeoPoint(40.0, -74.0),
+        users=50,
+    )
+    defaults.update(overrides)
+    return ClientBlock(**defaults)
+
+
+class TestClientBlock:
+    def test_requires_slash24(self):
+        with pytest.raises(ValueError):
+            make_block(prefix=Prefix.parse("9.1.0.0/16"))
+
+    def test_rejects_negative_population(self):
+        with pytest.raises(ValueError):
+            make_block(users=-1)
+
+    def test_rejects_bad_shares(self):
+        with pytest.raises(ValueError):
+            make_block(google_dns_share=2.0)
+
+    def test_client_flags(self):
+        assert make_block(users=10).has_clients
+        assert make_block(users=0, bots=5).has_clients
+        assert not make_block(users=0, bots=0).has_clients
+        assert make_block(users=3, bots=4).client_count == 7
+
+    def test_slash24_id(self):
+        assert make_block().slash24 == Prefix.parse("9.1.2.0/24").network >> 8
+
+
+class TestDomainSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DomainSpec(DnsName.parse("x.com"), rank=0, supports_ecs=True,
+                       ttl=300, weight=1)
+        with pytest.raises(ValueError):
+            DomainSpec(DnsName.parse("x.com"), rank=1, supports_ecs=True,
+                       ttl=0, weight=1)
+
+    def test_country_weight_override(self):
+        spec = DomainSpec(DnsName.parse("x.com"), rank=1, supports_ecs=True,
+                          ttl=300, weight=10, country_weight={"CN": 0.5})
+        assert spec.weight_in("CN") == 0.5
+        assert spec.weight_in("US") == 10
+
+
+class TestDomainCatalog:
+    def test_probe_domains_match_the_paper(self):
+        domains = default_domains()
+        probes = probe_domains(domains)
+        names = [str(d.name) for d in probes]
+        # §3.1.1: four top Alexa ECS domains + the Microsoft CDN domain.
+        assert names == [
+            "www.google.com", "www.youtube.com", "facebook.com",
+            "www.wikipedia.org", str(MICROSOFT_CDN_DOMAIN),
+        ]
+
+    def test_probe_domains_all_ecs_with_long_ttl(self):
+        for spec in probe_domains(default_domains()):
+            assert spec.supports_ecs
+            assert spec.ttl > 60
+
+    def test_www_facebook_does_not_support_ecs(self):
+        domains = {str(d.name): d for d in default_domains()}
+        assert not domains["www.facebook.com"].supports_ecs
+        assert domains["facebook.com"].supports_ecs
+        # The www form is what users actually query (it gets the bulk
+        # of the popularity weight).
+        assert (domains["www.facebook.com"].weight
+                > domains["facebook.com"].weight)
+
+    def test_wikipedia_scopes_coarser_than_google(self):
+        rng = random.Random(1)
+        wiki = scope_policy_for("wikipedia", rng, flip_probability=0.0)
+        google = scope_policy_for("google", rng, flip_probability=0.0)
+        prefixes = [Prefix.parse(f"{o}.45.0.0/24") for o in range(1, 200, 10)]
+        wiki_mean = sum(wiki.scope_for(p) for p in prefixes) / len(prefixes)
+        google_mean = sum(google.scope_for(p) for p in prefixes) / len(prefixes)
+        assert wiki_mean < google_mean
+
+    def test_scope_shift_makes_scopes_finer(self):
+        rng = random.Random(1)
+        base = scope_policy_for("wikipedia", random.Random(1), 0.0, scope_shift=0)
+        shifted = scope_policy_for("wikipedia", random.Random(1), 0.0,
+                                   scope_shift=4)
+        p = Prefix.parse("50.0.0.0/24")
+        assert shifted.scope_for(p) == base.scope_for(p) + 4
+
+    def test_build_authoritatives_serves_every_domain(self):
+        clock = Clock()
+        domains = default_domains()
+        directory, servers = build_authoritatives(clock, domains,
+                                                  random.Random(2))
+        for spec in domains:
+            assert directory.find(spec.name) is not None
+        assert set(servers) >= {"google", "facebook", "wikipedia",
+                                "microsoft", "misc"}
+
+    def test_catalog_has_tail_domains(self):
+        assert len(default_domains()) > 20

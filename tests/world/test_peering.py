@@ -1,0 +1,47 @@
+"""Tests for repro.world.peering."""
+
+import pytest
+
+from repro.world.peering import PeeringMatrix, PeeringPolicy
+
+
+class TestPeeringPolicy:
+    def test_probability_grows_with_users(self):
+        policy = PeeringPolicy()
+        assert policy.probability(0) == pytest.approx(policy.base_probability)
+        assert policy.probability(100) < policy.probability(1000)
+        assert policy.probability(10**9) <= policy.max_probability
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeeringPolicy(base_probability=1.5)
+        with pytest.raises(ValueError):
+            PeeringPolicy(saturation_users=0)
+
+
+class TestPeeringMatrix:
+    def test_deterministic(self, shared_tiny_world):
+        a = PeeringMatrix(shared_tiny_world, seed=3).peer_asns()
+        b = PeeringMatrix(shared_tiny_world, seed=3).peer_asns()
+        assert a == b
+
+    def test_user_networks_peer_more(self, shared_tiny_world):
+        """The §1 contrast: the direct-peering share is higher over
+        user networks than over all networks."""
+        matrix = PeeringMatrix(shared_tiny_world, seed=3)
+        all_asns = shared_tiny_world.registry.asns()
+        user_asns = {asn for asn, users
+                     in shared_tiny_world.true_users_by_asn().items()
+                     if users > 0}
+        assert matrix.direct_share(user_asns) > matrix.direct_share(all_asns)
+
+    def test_direct_share_bounds(self, shared_tiny_world):
+        matrix = PeeringMatrix(shared_tiny_world, seed=3)
+        assert matrix.direct_share(set()) == 0.0
+        share = matrix.direct_share(shared_tiny_world.registry.asns())
+        assert 0.0 < share < 1.0
+
+    def test_peers_with_consistent(self, shared_tiny_world):
+        matrix = PeeringMatrix(shared_tiny_world, seed=3)
+        for asn in list(matrix.peer_asns())[:20]:
+            assert matrix.peers_with(asn)

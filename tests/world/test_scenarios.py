@@ -1,0 +1,66 @@
+"""Tests for repro.world.scenarios."""
+
+import pytest
+
+from repro.world.builder import WorldConfig, build_world
+from repro.world.scenarios import (
+    SCENARIOS,
+    compare,
+    describe,
+    scenario,
+)
+from tests.conftest import TEST_COUNTRIES
+
+
+class TestLookup:
+    def test_all_scenarios_build_configs(self):
+        for name in SCENARIOS:
+            config = scenario(name, seed=7)
+            assert isinstance(config, WorldConfig)
+            assert config.seed == 7
+
+    def test_unknown_scenario_lists_valid_names(self):
+        with pytest.raises(KeyError) as excinfo:
+            scenario("nope")
+        assert "oracle-anycast" in str(excinfo.value)
+
+    def test_describe(self):
+        assert "nearest PoP" in describe("oracle-anycast")
+
+    def test_overrides_pass_through(self):
+        config = scenario("oracle-anycast", target_blocks=50,
+                          countries=TEST_COUNTRIES)
+        assert config.target_blocks == 50
+
+
+class TestCompare:
+    def test_default_differs_from_nothing(self):
+        assert compare("default") == {}
+
+    def test_oracle_anycast_changes_exactly_inflation(self):
+        changed = compare("oracle-anycast")
+        assert set(changed) == {"anycast_inflation"}
+        assert changed["anycast_inflation"][1] == 0.0
+
+    def test_coarse_geolocation_changes_accuracy(self):
+        changed = compare("coarse-geolocation")
+        assert set(changed) == {"geo_accuracy"}
+
+
+class TestScenarioWorlds:
+    def test_oracle_anycast_world_routes_nearest(self):
+        config = scenario("oracle-anycast", target_blocks=40,
+                          countries=TEST_COUNTRIES)
+        world = build_world(config)
+        for block in world.blocks[:50]:
+            ranked = world.user_catchment.ranked(block.location)
+            chosen = world.user_catchment.pop_for(block.location,
+                                                  block.slash24)
+            assert chosen.pop_id == ranked[0].pop_id
+
+    def test_coarse_geolocation_world_misses_rows(self):
+        config = scenario("coarse-geolocation", target_blocks=40,
+                          countries=TEST_COUNTRIES)
+        world = build_world(config)
+        placed = len(world.geo_truth)
+        assert len(world.geodb) < placed  # some rows are simply absent

@@ -1,0 +1,76 @@
+"""Tests for repro.world.vantage and repro.world.pops."""
+
+from repro.world.pops import default_pops
+from repro.world.vantage import (
+    DEFAULT_CLOUD_REGIONS,
+    deploy_vantage_points,
+    pops_by_vantage,
+    reached_pops,
+)
+
+
+class TestDefaultPops:
+    def test_total_and_categories(self):
+        descriptors = default_pops()
+        assert len(descriptors) == 45
+        probed = [d for d in descriptors if d.cloud_reachable and d.active]
+        verified_unprobed = [d for d in descriptors
+                             if d.active and not d.cloud_reachable]
+        inactive = [d for d in descriptors if not d.active]
+        assert len(probed) == 22
+        assert len(verified_unprobed) == 5
+        assert len(inactive) == 18
+
+    def test_unprobed_verified_are_mostly_south_america(self):
+        unprobed = [d for d in default_pops()
+                    if d.active and not d.cloud_reachable]
+        sa = [d for d in unprobed if d.pop.country in {"AR", "CO", "PE"}]
+        assert len(sa) >= 3
+
+    def test_us_has_seven_probed_states(self):
+        probed_us = [d for d in default_pops()
+                     if d.cloud_reachable and d.pop.country == "US"]
+        assert len(probed_us) == 7
+
+    def test_pop_ids_unique(self):
+        ids = [d.pop_id for d in default_pops()]
+        assert len(ids) == len(set(ids))
+
+
+class TestVantageDeployment:
+    def test_reaches_most_cloud_pops(self, shared_tiny_world):
+        vps = deploy_vantage_points(shared_tiny_world)
+        assert len(vps) == len(DEFAULT_CLOUD_REGIONS)
+        pops = reached_pops(vps)
+        cloud_pop_ids = {
+            d.pop_id for d in shared_tiny_world.pop_descriptors
+            if d.cloud_reachable and d.active
+        }
+        assert pops <= cloud_pop_ids
+        assert len(pops) >= 0.8 * len(cloud_pop_ids)
+
+    def test_never_reaches_user_only_pops(self, shared_tiny_world):
+        pops = reached_pops(deploy_vantage_points(shared_tiny_world))
+        user_only = {
+            d.pop_id for d in shared_tiny_world.pop_descriptors
+            if d.active and not d.cloud_reachable
+        }
+        assert not pops & user_only
+
+    def test_grouping_by_pop(self, shared_tiny_world):
+        vps = deploy_vantage_points(shared_tiny_world)
+        grouped = pops_by_vantage(vps)
+        assert sum(len(v) for v in grouped.values()) == len(vps)
+        for pop_id, members in grouped.items():
+            assert all(vp.reached_pop == pop_id for vp in members)
+
+    def test_source_ips_in_cloud_as(self, shared_tiny_world):
+        world = shared_tiny_world
+        for vp in deploy_vantage_points(world):
+            assert world.routes.origin_of_address(vp.source_ip) == \
+                world.cloud_asn
+
+    def test_deterministic(self, shared_tiny_world):
+        a = deploy_vantage_points(shared_tiny_world)
+        b = deploy_vantage_points(shared_tiny_world)
+        assert [vp.reached_pop for vp in a] == [vp.reached_pop for vp in b]
