@@ -1,0 +1,89 @@
+"""Resilience under packet loss: graceful degradation of the headline
+coverage numbers.
+
+Six small-preset end-to-end runs — probe-path (TCP) loss at 0%, 2% and
+10%, with the resilient driver off and on — answer the operational
+question §3.1.1 raises: how much coverage does an unreliable path cost,
+and how much does retry/backoff buy back?  The acceptance bar: at 2%
+loss with retries, headline coverage stays within 5% of the fault-free
+run, and every run's health report passes its closed-accounting check.
+"""
+
+import dataclasses
+
+from repro.sim.faults import FaultConfig
+from repro.core.resilient import ResilienceConfig
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+SEED = 42
+LOSS_RATES = (0.0, 0.02, 0.10)
+
+
+def _config(loss: float, retries: bool) -> ExperimentConfig:
+    """The small preset with probe-path loss and the driver toggled.
+
+    Loss is injected on TCP only: probes travel over TCP (§3.1.1)
+    while simulated client traffic stays on UDP, so the comparison
+    isolates what resilience buys the *prober*.
+    """
+    base = ExperimentConfig.small(seed=SEED)
+    world = dataclasses.replace(
+        base.world, faults=FaultConfig(seed=SEED, tcp_loss_rate=loss))
+    probing = dataclasses.replace(
+        base.probing, resilience=ResilienceConfig(enabled=retries))
+    return dataclasses.replace(base, world=world, probing=probing)
+
+
+def _coverage(result) -> dict[str, float]:
+    """The run's headline coverage numbers."""
+    truth = result.world.client_slash24_ids()
+    found = result.cache_result.active_slash24_ids()
+    health = result.cache_result.health
+    health.verify()
+    return {
+        "recall": len(found & truth) / max(1, len(truth)),
+        "active_slash24s": float(len(found)),
+        "hits": float(len(result.cache_result.hits)),
+        "sent": float(health.sent),
+        "timed_out": float(health.timed_out),
+        "retries": float(health.retries),
+        "uncovered": float(health.targets_uncovered),
+    }
+
+
+def test_resilience_degradation(benchmark, save_output):
+    rows = {}
+    for loss in LOSS_RATES:
+        for retries in (False, True):
+            if loss == 0.02 and retries:
+                continue  # benchmarked below so the run is timed
+            result = run_experiment(_config(loss, retries))
+            rows[(loss, retries)] = _coverage(result)
+    key_result = benchmark.pedantic(
+        run_experiment, args=(_config(0.02, True),),
+        rounds=1, iterations=1)
+    rows[(0.02, True)] = _coverage(key_result)
+
+    baseline = rows[(0.0, False)]["recall"]
+    resilient_2pct = rows[(0.02, True)]["recall"]
+    # The acceptance bar: 2% loss with retries costs < 5% coverage.
+    assert resilient_2pct >= baseline * 0.95
+
+    lines = ["== Resilience: coverage degradation under probe-path loss =="]
+    lines.append(f"  fault-free recall of client /24s: {baseline:.1%}")
+    for (loss, retries), row in sorted(rows.items()):
+        lines.append(
+            f"  loss={loss:.0%} retries={'on ' if retries else 'off'}: "
+            f"recall={row['recall']:.1%} "
+            f"active/24s={row['active_slash24s']:.0f} "
+            f"hits={row['hits']:.0f} sent={row['sent']:.0f} "
+            f"timed_out={row['timed_out']:.0f} "
+            f"retries={row['retries']:.0f} "
+            f"uncovered={row['uncovered']:.0f}"
+        )
+    lines.append(
+        f"  2% loss with retries holds {resilient_2pct / baseline:.1%} "
+        "of fault-free coverage (bar: >= 95%)"
+    )
+    save_output("resilience_degradation", "\n".join(lines))

@@ -37,6 +37,7 @@ _SECTIONS = {
     "asdb": report_mod.asdb_missed,
     "extensions": report_mod.extensions,
     "scorecard": report_mod.scorecard,
+    "health": report_mod.probe_health,
     "figure1": report_mod.figure1,
     "figure2": report_mod.figure2,
     "figure3": report_mod.figure3,

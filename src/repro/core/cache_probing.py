@@ -35,6 +35,11 @@ from repro.core.calibration import (
     calibrate,
 )
 from repro.core.prober import GoogleProber
+from repro.core.resilient import (
+    ProbeHealthReport,
+    ResilienceConfig,
+    ResilientProber,
+)
 from repro.core.scope_discovery import DiscoveryResult, discover_all
 from repro.sim.clock import HOUR
 
@@ -54,6 +59,10 @@ class CacheProbingConfig:
     probe_rate_qps: float | None = None
     seed: int = 17
     calibration: CalibrationConfig = field(default_factory=CalibrationConfig)
+    #: Retry/backoff, circuit breakers and failover for the probing
+    #: loop.  Off by default: the happy-path loop is bit-identical to
+    #: the pre-resilience pipeline.
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
     def __post_init__(self) -> None:
         if self.measurement_hours <= 0:
@@ -112,6 +121,9 @@ class CacheProbingResult:
     #: each) — the raw material for §6's diurnal human-vs-bot signal.
     hourly_attempts: dict[Prefix, list[int]] = field(default_factory=dict)
     hourly_hits: dict[Prefix, list[int]] = field(default_factory=dict)
+    #: structured account of errors, retries, breaker transitions and
+    #: coverage lost to faults (see repro.core.resilient).
+    health: ProbeHealthReport | None = None
 
     # -- derived views ------------------------------------------------------
 
@@ -175,6 +187,13 @@ class CacheProbingPipeline:
         )
         self.prober = GoogleProber(world, self.vantage_points,
                                    redundancy=self.config.redundancy)
+        self.resilient = ResilientProber(
+            self.prober,
+            world.clock,
+            self.config.resilience,
+            seed=self.config.seed,
+            faults=world.faults,
+        )
         self.simulator = ActivitySimulator(world, self.activity_config,
                                            seed=self.config.seed)
         self._probe_domains = probe_domains(world.domains)
@@ -209,7 +228,8 @@ class CacheProbingPipeline:
         )
         assignment = self._assign(discovery, calibration)
         (hits, scope_pairs, attempts, hit_counts,
-         hourly_attempts, hourly_hits) = self._probing_loop(assignment)
+         hourly_attempts, hourly_hits, health) = \
+            self._probing_loop(assignment)
         return CacheProbingResult(
             hits=hits,
             probes_sent=self.prober.probes_sent,
@@ -223,6 +243,7 @@ class CacheProbingPipeline:
             hourly_attempts=hourly_attempts,
             hourly_hits=hourly_hits,
             measurement_window=(measurement_start, world.clock.now),
+            health=health,
         )
 
     # -- assignment -----------------------------------------------------------
@@ -257,6 +278,20 @@ class CacheProbingPipeline:
 
     # -- the probing loop --------------------------------------------------
 
+    def _nearest_available_pop(self, dead_pop: str,
+                               candidates: list[str]) -> str | None:
+        """The closest reachable PoP (by PoP location) that can take
+        over a degraded PoP's targets right now."""
+        pops = {d.pop_id: d.pop for d in self.world.pop_descriptors}
+        home = pops[dead_pop].location
+        ranked = sorted(
+            (pop_id for pop_id in candidates
+             if pop_id != dead_pop and self.resilient.pop_available(pop_id)),
+            key=lambda pop_id: (home.distance_km(pops[pop_id].location),
+                                pop_id),
+        )
+        return ranked[0] if ranked else None
+
     def _probing_loop(
         self,
         assignment: dict[str, list[tuple[DomainSpec, Prefix]]],
@@ -267,18 +302,36 @@ class CacheProbingPipeline:
         dict[tuple[str, str, Prefix], int],
         dict[Prefix, list[int]],
         dict[Prefix, list[int]],
+        ProbeHealthReport,
     ]:
         """Loop over every PoP's assignment for the measurement window,
-        interleaved with client activity slot by slot."""
+        interleaved with client activity slot by slot.
+
+        Probes flow through the resilient driver: unavailable PoPs
+        (open breaker, vantage outage) skip their slot; a PoP that
+        stays unavailable hands its targets to the next-nearest
+        reachable PoP; targets nobody could probe are reported as
+        uncovered in the health report rather than silently dropped.
+        """
         config = self.config
+        resilience = config.resilience
+        resilient = self.resilient
         rng = random.Random(config.seed + 3)
         # Shuffle each PoP's list once so probing order is not biased
         # by address order, then walk it cyclically across slots.
         for targets in assignment.values():
             rng.shuffle(targets)
+        # Mutable per-target state: [domain, scope, probed_batches].
+        targets_by_pop: dict[str, list[list]] = {
+            pop_id: [[domain, scope, 0] for domain, scope in entries]
+            for pop_id, entries in assignment.items()
+        }
+        all_targets = [t for targets in targets_by_pop.values()
+                       for t in targets]
         slots = max(1, round(config.measurement_hours * HOUR
                              / self.activity_config.slot_seconds))
-        cursors = {pop_id: 0 for pop_id in assignment}
+        cursors = {pop_id: 0 for pop_id in targets_by_pop}
+        streaks = {pop_id: 0 for pop_id in targets_by_pop}
         hits: list[CacheHitRecord] = []
         scope_pairs: list[tuple[str, int, int]] = []
         seen: set[tuple[str, str, Prefix]] = set()
@@ -287,13 +340,39 @@ class CacheProbingPipeline:
         hourly_attempts: dict[Prefix, list[int]] = {}
         hourly_hits: dict[Prefix, list[int]] = {}
 
+        def reassign(dead_pop: str) -> None:
+            """Move a degraded PoP's targets to the nearest live one."""
+            new_pop = self._nearest_available_pop(
+                dead_pop, list(targets_by_pop))
+            if new_pop is None:
+                return  # nobody can take over; targets stay, and end
+                # up uncovered if the PoP never recovers.
+            moved = targets_by_pop[dead_pop]
+            if not moved:
+                return
+            targets_by_pop[new_pop].extend(moved)
+            targets_by_pop[dead_pop] = []
+            resilient.note_reassignment(dead_pop, len(moved))
+
         def probe_slot(_index: int, _start: float) -> None:
             """Probe each PoP's next assignment chunk for this slot."""
             from repro.sim.clock import DAY
+            if resilient.budget_exhausted:
+                return
             utc_hour = int((self.world.clock.now % DAY) // HOUR)
-            for pop_id, targets in assignment.items():
+            for pop_id in targets_by_pop:
+                targets = targets_by_pop[pop_id]
                 if not targets:
                     continue
+                if not resilient.pop_available(pop_id):
+                    streaks[pop_id] += 1
+                    resilient.note_skipped_slot(pop_id)
+                    if (resilience.enabled and resilience.reassign
+                            and streaks[pop_id]
+                            >= resilience.reassign_after_slots):
+                        reassign(pop_id)
+                    continue
+                streaks[pop_id] = 0
                 if config.probe_rate_qps is not None:
                     per_slot = max(1, round(
                         config.probe_rate_qps
@@ -303,34 +382,47 @@ class CacheProbingPipeline:
                                        + slots - 1) // slots)
                 cursor = cursors[pop_id]
                 for offset in range(per_slot):
-                    domain, scope = targets[(cursor + offset) % len(targets)]
-                    result = self.prober.probe(pop_id, domain.name, scope)
+                    target = targets[(cursor + offset) % len(targets)]
+                    domain, scope = target[0], target[1]
+                    result = resilient.probe(pop_id, domain.name, scope)
+                    if result is None:
+                        # Budget exhausted or vantage died mid-slot.
+                        break
+                    target[2] += 1
                     count_key = (pop_id, str(domain.name), scope)
                     attempts[count_key] = attempts.get(count_key, 0) + 1
                     if scope not in hourly_attempts:
                         hourly_attempts[scope] = [0] * 24
                         hourly_hits[scope] = [0] * 24
                     hourly_attempts[scope][utc_hour] += 1
-                    if not result.is_activity_evidence:
-                        continue
-                    hit_counts[count_key] = hit_counts.get(count_key, 0) + 1
-                    hourly_hits[scope][utc_hour] += 1
-                    assert result.response_scope is not None
-                    scope_pairs.append((str(domain.name), scope.length,
-                                        result.response_scope))
-                    key = (pop_id, str(domain.name), scope)
-                    if key in seen:
-                        continue
-                    seen.add(key)
-                    hits.append(CacheHitRecord(
-                        pop_id=pop_id,
-                        domain=str(domain.name),
-                        query_scope=scope,
-                        response_scope=min(result.response_scope, 32),
-                        timestamp=self.world.clock.now,
-                    ))
+                    if result.is_activity_evidence:
+                        hit_counts[count_key] = \
+                            hit_counts.get(count_key, 0) + 1
+                        hourly_hits[scope][utc_hour] += 1
+                        assert result.response_scope is not None
+                        scope_pairs.append((str(domain.name), scope.length,
+                                            result.response_scope))
+                        key = (pop_id, str(domain.name), scope)
+                        if key not in seen:
+                            seen.add(key)
+                            hits.append(CacheHitRecord(
+                                pop_id=pop_id,
+                                domain=str(domain.name),
+                                query_scope=scope,
+                                response_scope=min(result.response_scope,
+                                                   32),
+                                timestamp=self.world.clock.now,
+                            ))
+                    if (resilience.enabled
+                            and not resilient.pop_available(pop_id)):
+                        # The breaker opened mid-slot; stop hammering.
+                        break
                 cursors[pop_id] = (cursor + per_slot) % len(targets)
 
         self.simulator.run(config.measurement_hours * HOUR, on_slot=probe_slot)
+        health = resilient.finalize(
+            targets_assigned=len(all_targets),
+            targets_probed=sum(1 for t in all_targets if t[2] > 0),
+        )
         return (hits, scope_pairs, attempts, hit_counts,
-                hourly_attempts, hourly_hits)
+                hourly_attempts, hourly_hits, health)

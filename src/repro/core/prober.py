@@ -4,10 +4,16 @@ Issues non-recursive, ECS-bearing queries over TCP (UDP probing of the
 same domains trips a far lower rate limit, §3.1.1) from the cloud
 vantage point that reaches each PoP, with redundant queries per target
 because each PoP runs several independent cache pools [31].
+
+``probe_once`` sends and classifies a single query; ``probe`` composes
+a redundant batch from it.  The resilient driver
+(:mod:`repro.core.resilient`) builds retry/backoff and circuit-breaker
+logic on top of the single-query primitive.
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass
 
 from repro.net.prefix import Prefix
@@ -15,6 +21,23 @@ from repro.dns.message import DnsQuery, EcsOption, Rcode, Transport
 from repro.dns.name import DnsName
 from repro.world.builder import World
 from repro.world.vantage import VantagePoint, pops_by_vantage
+
+
+class ProbeStatus(enum.Enum):
+    """Classified outcome of one probe query — the prober's error
+    taxonomy.  HIT/MISS are answers; REFUSED is an explicit rejection
+    (rate limiting or load shedding); TIMEOUT is silence (packet loss
+    or a dead PoP)."""
+
+    HIT = "hit"
+    MISS = "miss"
+    REFUSED = "refused"
+    TIMEOUT = "timeout"
+
+    @property
+    def answered(self) -> bool:
+        """Whether the resolver produced an answer (hit or miss)."""
+        return self in (ProbeStatus.HIT, ProbeStatus.MISS)
 
 
 @dataclass(frozen=True, slots=True)
@@ -28,6 +51,7 @@ class ProbeResult:
     response_scope: int | None
     queries_sent: int
     refused: int = 0
+    timed_out: int = 0
 
     @property
     def is_activity_evidence(self) -> bool:
@@ -55,46 +79,78 @@ class GoogleProber:
         }
         self.probes_sent = 0
         self.refused = 0
+        self.timed_out = 0
+
+    @property
+    def redundancy(self) -> int:
+        """Redundant queries per probed target."""
+        return self._redundancy
 
     @property
     def reachable_pops(self) -> list[str]:
         """PoPs this deployment can probe, sorted for determinism."""
         return sorted(self._vantage_by_pop)
 
-    def probe(self, pop_id: str, domain: DnsName, scope: Prefix) -> ProbeResult:
-        """Send the redundant query batch for one ⟨PoP, domain, prefix⟩."""
+    def vantage_for(self, pop_id: str) -> VantagePoint:
+        """The vantage point this prober uses to reach a PoP."""
         vantage = self._vantage_by_pop.get(pop_id)
         if vantage is None:
             raise KeyError(f"no vantage point reaches PoP {pop_id!r}")
+        return vantage
+
+    def probe_once(
+        self, pop_id: str, domain: DnsName, scope: Prefix
+    ) -> tuple[ProbeStatus, int | None]:
+        """Send one query for ⟨PoP, domain, prefix⟩ and classify it.
+
+        Returns the status and, for a cache hit, the response scope.
+        """
+        vantage = self.vantage_for(pop_id)
+        outcome = self._world.public_dns.query(
+            DnsQuery(
+                name=domain,
+                recursion_desired=False,
+                ecs=EcsOption(prefix=scope),
+                source_ip=vantage.source_ip,
+                transport=Transport.TCP,
+            ),
+            vantage.region.location,
+            via="cloud",
+        )
+        self.probes_sent += 1
+        response = outcome.response
+        if response.rcode is Rcode.TIMEOUT:
+            # Silence carries no PoP evidence — the catchment check
+            # below needs a response to compare against.
+            self.timed_out += 1
+            return ProbeStatus.TIMEOUT, None
+        if outcome.pop_id != pop_id:
+            raise RuntimeError(
+                f"vantage for {pop_id} was routed to {outcome.pop_id}; "
+                "anycast catchment changed under the prober"
+            )
+        if response.rcode is Rcode.REFUSED:
+            self.refused += 1
+            return ProbeStatus.REFUSED, None
+        if response.cache_hit:
+            return ProbeStatus.HIT, response.scope_length
+        return ProbeStatus.MISS, None
+
+    def probe(self, pop_id: str, domain: DnsName, scope: Prefix) -> ProbeResult:
+        """Send the redundant query batch for one ⟨PoP, domain, prefix⟩."""
         hit = False
         response_scope: int | None = None
         refused = 0
+        timed_out = 0
         for _ in range(self._redundancy):
-            outcome = self._world.public_dns.query(
-                DnsQuery(
-                    name=domain,
-                    recursion_desired=False,
-                    ecs=EcsOption(prefix=scope),
-                    source_ip=vantage.source_ip,
-                    transport=Transport.TCP,
-                ),
-                vantage.region.location,
-                via="cloud",
-            )
-            self.probes_sent += 1
-            if outcome.pop_id != pop_id:
-                raise RuntimeError(
-                    f"vantage for {pop_id} was routed to {outcome.pop_id}; "
-                    "anycast catchment changed under the prober"
-                )
-            response = outcome.response
-            if response.rcode is Rcode.REFUSED:
+            status, scope_length = self.probe_once(pop_id, domain, scope)
+            if status is ProbeStatus.REFUSED:
                 refused += 1
-                continue
-            if response.cache_hit and not hit:
+            elif status is ProbeStatus.TIMEOUT:
+                timed_out += 1
+            elif status is ProbeStatus.HIT and not hit:
                 hit = True
-                response_scope = response.scope_length
-        self.refused += refused
+                response_scope = scope_length
         return ProbeResult(
             pop_id=pop_id,
             domain=str(domain),
@@ -103,4 +159,5 @@ class GoogleProber:
             response_scope=response_scope,
             queries_sent=self._redundancy,
             refused=refused,
+            timed_out=timed_out,
         )

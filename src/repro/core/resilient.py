@@ -1,0 +1,541 @@
+"""Resilient probing on top of the raw :class:`GoogleProber`.
+
+The paper's campaign ran for 120 hours against infrastructure it did
+not control: PoPs REFUSE over-eager probing (§3.1.1), packets get lost,
+vantage points die.  This module gives the probing loop the machinery a
+production deployment needs to survive that:
+
+* **retries with exponential backoff** and deterministic jitter, driven
+  by the sim :class:`~repro.sim.clock.Clock` and a seeded RNG — waiting
+  out a REFUSED burst or a loss blip costs simulated time, exactly like
+  the real campaign;
+* a per-PoP **circuit breaker** (closed → open → half-open → closed)
+  that stops hammering a PoP after consecutive REFUSED/timeout
+  outcomes and re-tests it after a cooldown;
+* a per-campaign **probe budget** capping total queries spent;
+* **graceful degradation**: when a PoP's breaker stays open or its
+  vantage point is down, the pipeline reassigns its targets to the
+  next-nearest reachable PoP, or records them as *uncovered* rather
+  than silently dropping them.
+
+Everything observable is accumulated into a :class:`ProbeHealthReport`
+whose accounting is closed: every probe is answered, refused or timed
+out, and every assigned target ends probed or uncovered.
+
+With ``ResilienceConfig(enabled=False)`` (the default) the driver
+degrades to the exact legacy behaviour — same queries in the same
+order, no retries, no breakers, no clock manipulation — while still
+tallying the health report.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+from repro.net.prefix import Prefix
+from repro.dns.name import DnsName
+from repro.sim.clock import Clock
+from repro.sim.faults import FaultInjector
+from repro.core.prober import GoogleProber, ProbeResult, ProbeStatus
+
+
+# -- policies ---------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic equal jitter.
+
+    Attempt ``n`` (0-based) that fails retryably waits
+    ``d = min(max_delay_s, base_delay_s * multiplier**n)`` scaled into
+    ``[d/2, d)`` by the driver's seeded RNG — the classic "equal
+    jitter" scheme, fully reproducible under a fixed seed.
+
+    Delays are *sim seconds* and the defaults are sized for the
+    simulator's compressed probe cadence: backoff burns campaign time
+    during which cache entries expire (TTLs are 300–600 s), so waits
+    must stay small relative to the TTLs or the cure costs more
+    coverage than the disease.  A real deployment would scale these up
+    along with its probing interval.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.1
+    multiplier: float = 2.0
+    max_delay_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay_s <= 0 or self.max_delay_s <= 0:
+            raise ValueError("backoff delays must be positive")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt + 1``."""
+        raw = min(self.max_delay_s,
+                  self.base_delay_s * self.multiplier ** attempt)
+        return raw / 2.0 + rng.random() * raw / 2.0
+
+
+@dataclass(frozen=True, slots=True)
+class BreakerPolicy:
+    """Circuit-breaker thresholds, in sim-clock seconds."""
+
+    failure_threshold: int = 5     # consecutive failures to open
+    cooldown_s: float = 900.0      # open → half-open after this
+    half_open_successes: int = 2   # successes in half-open to close
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if self.cooldown_s <= 0:
+            raise ValueError("cooldown_s must be positive")
+        if self.half_open_successes < 1:
+            raise ValueError("half_open_successes must be at least 1")
+
+
+@dataclass(frozen=True, slots=True)
+class ResilienceConfig:
+    """The resilient driver's knobs.
+
+    Disabled by default: the pipeline then behaves exactly as the
+    happy-path legacy loop did (bit-identical outputs), while still
+    producing a :class:`ProbeHealthReport`.
+    """
+
+    enabled: bool = False
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker: BreakerPolicy = field(default_factory=BreakerPolicy)
+    #: campaign-wide cap on queries the probing loop may send.
+    probe_budget: int | None = None
+    #: move a dead PoP's targets to the next-nearest reachable PoP.
+    reassign: bool = True
+    #: consecutive unavailable slots before reassignment triggers.
+    reassign_after_slots: int = 2
+
+    def __post_init__(self) -> None:
+        if self.probe_budget is not None and self.probe_budget < 1:
+            raise ValueError("probe_budget must be positive (or None)")
+        if self.reassign_after_slots < 1:
+            raise ValueError("reassign_after_slots must be at least 1")
+
+
+# -- circuit breaker --------------------------------------------------------
+
+
+class BreakerState(enum.Enum):
+    """Circuit-breaker states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True, slots=True)
+class BreakerTransition:
+    """One recorded state change of a PoP's breaker."""
+
+    pop_id: str
+    at: float
+    old: BreakerState
+    new: BreakerState
+
+
+class CircuitBreaker:
+    """A clock-driven circuit breaker for one PoP.
+
+    CLOSED counts consecutive failures and OPENs at the threshold; OPEN
+    rejects until ``cooldown_s`` elapsed, then HALF_OPENs on the next
+    ``allow``; HALF_OPEN closes after the configured successes and
+    re-opens (with a fresh cooldown) on any failure.
+    """
+
+    def __init__(
+        self,
+        policy: BreakerPolicy,
+        clock: Clock,
+        pop_id: str = "",
+        transitions: list[BreakerTransition] | None = None,
+    ) -> None:
+        self._policy = policy
+        self._clock = clock
+        self.pop_id = pop_id
+        self.state = BreakerState.CLOSED
+        self.transitions = transitions if transitions is not None else []
+        self._consecutive_failures = 0
+        self._half_open_successes = 0
+        self._opened_at = 0.0
+
+    def _move(self, new: BreakerState) -> None:
+        self.transitions.append(BreakerTransition(
+            pop_id=self.pop_id, at=self._clock.now,
+            old=self.state, new=new,
+        ))
+        self.state = new
+
+    def allow(self) -> bool:
+        """Whether a probe may be sent right now; an OPEN breaker past
+        its cooldown transitions to HALF_OPEN and lets one through."""
+        if self.state is BreakerState.OPEN:
+            if self._clock.now >= self._opened_at + self._policy.cooldown_s:
+                self._move(BreakerState.HALF_OPEN)
+                self._half_open_successes = 0
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        """Feed a successful (answered) probe outcome."""
+        if self.state is BreakerState.HALF_OPEN:
+            self._half_open_successes += 1
+            if self._half_open_successes >= self._policy.half_open_successes:
+                self._move(BreakerState.CLOSED)
+                self._consecutive_failures = 0
+        else:
+            self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        """Feed a failed (refused / timed-out) probe outcome."""
+        if self.state is BreakerState.HALF_OPEN:
+            self._move(BreakerState.OPEN)
+            self._opened_at = self._clock.now
+            self._consecutive_failures = 0
+        elif self.state is BreakerState.CLOSED:
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self._policy.failure_threshold:
+                self._move(BreakerState.OPEN)
+                self._opened_at = self._clock.now
+                self._consecutive_failures = 0
+
+
+# -- health reporting -------------------------------------------------------
+
+
+@dataclass(slots=True)
+class PopHealth:
+    """One PoP's slice of the health report."""
+
+    sent: int = 0
+    answered: int = 0
+    hits: int = 0
+    refused: int = 0
+    timed_out: int = 0
+    retries: int = 0
+    skipped_slots: int = 0
+    reassigned_away: int = 0
+    final_breaker: str = BreakerState.CLOSED.value
+
+
+@dataclass(slots=True)
+class ProbeHealthReport:
+    """Structured account of everything the probing loop experienced.
+
+    Two invariants hold (see :meth:`verify`):
+
+    * every probe is accounted for:
+      ``sent == answered + refused + timed_out``;
+    * every assigned target ends somewhere:
+      ``targets_probed + targets_uncovered == targets_assigned``
+      (reassigned targets are counted where they were finally probed —
+      or as uncovered if their new PoP failed too).
+    """
+
+    resilience_enabled: bool = False
+    sent: int = 0
+    answered: int = 0
+    hits: int = 0
+    refused: int = 0
+    timed_out: int = 0
+    retries: int = 0
+    backoff_wait_s: float = 0.0
+    budget: int | None = None
+    budget_exhausted: bool = False
+    targets_assigned: int = 0
+    targets_probed: int = 0
+    targets_reassigned: int = 0
+    targets_uncovered: int = 0
+    breaker_transitions: list[BreakerTransition] = field(default_factory=list)
+    per_pop: dict[str, PopHealth] = field(default_factory=dict)
+    fault_injections: dict[str, int] = field(default_factory=dict)
+
+    # -- derived views -----------------------------------------------------
+
+    @property
+    def breaker_opens(self) -> int:
+        """How many times any PoP's breaker opened."""
+        return sum(1 for t in self.breaker_transitions
+                   if t.new is BreakerState.OPEN)
+
+    def error_taxonomy(self) -> dict[str, int]:
+        """Probe outcomes by class."""
+        return {
+            "answered": self.answered,
+            "refused": self.refused,
+            "timed_out": self.timed_out,
+        }
+
+    def verify(self) -> None:
+        """Assert the closed accounting invariants."""
+        if self.sent != self.answered + self.refused + self.timed_out:
+            raise AssertionError(
+                f"probe accounting leak: sent={self.sent} != "
+                f"answered={self.answered} + refused={self.refused} "
+                f"+ timed_out={self.timed_out}"
+            )
+        if self.targets_probed + self.targets_uncovered != \
+                self.targets_assigned:
+            raise AssertionError(
+                f"target accounting leak: probed={self.targets_probed} "
+                f"+ uncovered={self.targets_uncovered} != "
+                f"assigned={self.targets_assigned}"
+            )
+        for pop_id, pop in self.per_pop.items():
+            if pop.sent != pop.answered + pop.refused + pop.timed_out:
+                raise AssertionError(f"probe accounting leak at {pop_id}")
+
+    def render(self) -> str:
+        """The report as indented text (for experiments.report)."""
+        lines = [
+            f"  resilience: {'on' if self.resilience_enabled else 'off'}"
+            + (f", budget {self.budget:,}"
+               f"{' (exhausted)' if self.budget_exhausted else ''}"
+               if self.budget is not None else ""),
+            f"  probes: sent={self.sent:,} answered={self.answered:,} "
+            f"(hits {self.hits:,}) refused={self.refused:,} "
+            f"timed_out={self.timed_out:,}",
+            f"  retries: {self.retries:,} "
+            f"(backoff waited {self.backoff_wait_s:,.1f} s sim time)",
+            f"  breakers: {self.breaker_opens} opens, "
+            f"{len(self.breaker_transitions)} transitions",
+            f"  targets: assigned={self.targets_assigned:,} "
+            f"probed={self.targets_probed:,} "
+            f"reassigned={self.targets_reassigned:,} "
+            f"uncovered={self.targets_uncovered:,}",
+        ]
+        injected = {k: v for k, v in self.fault_injections.items() if v}
+        if injected:
+            lines.append("  faults injected: " + ", ".join(
+                f"{name}={count:,}" for name, count in sorted(injected.items())
+            ))
+        degraded = [
+            (pop_id, pop) for pop_id, pop in sorted(self.per_pop.items())
+            if pop.skipped_slots or pop.reassigned_away
+            or pop.final_breaker != BreakerState.CLOSED.value
+        ]
+        for pop_id, pop in degraded:
+            lines.append(
+                f"    {pop_id}: breaker={pop.final_breaker} "
+                f"skipped_slots={pop.skipped_slots} "
+                f"reassigned_away={pop.reassigned_away}"
+            )
+        return "\n".join(lines)
+
+
+# -- the driver -------------------------------------------------------------
+
+
+class ResilientProber:
+    """Wraps a :class:`GoogleProber` with retries, breakers and budget.
+
+    All stochastic choices (jitter) come from a dedicated seeded RNG;
+    all waiting advances the shared sim clock, so resilience costs
+    simulated campaign time the way it costs real time.
+    """
+
+    def __init__(
+        self,
+        prober: GoogleProber,
+        clock: Clock,
+        config: ResilienceConfig | None = None,
+        seed: int = 0,
+        faults: FaultInjector | None = None,
+    ) -> None:
+        self.prober = prober
+        self.config = config or ResilienceConfig()
+        self._clock = clock
+        self._faults = faults
+        self._rng = random.Random(f"{seed}:resilient")
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self.report = ProbeHealthReport(
+            resilience_enabled=self.config.enabled,
+            budget=self.config.probe_budget,
+        )
+        self._budget_left = self.config.probe_budget
+
+    # -- availability ------------------------------------------------------
+
+    def breaker(self, pop_id: str) -> CircuitBreaker:
+        """The (lazily created) breaker guarding one PoP."""
+        breaker = self._breakers.get(pop_id)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self.config.breaker, self._clock, pop_id=pop_id,
+                transitions=self.report.breaker_transitions,
+            )
+            self._breakers[pop_id] = breaker
+        return breaker
+
+    def vantage_down(self, pop_id: str) -> bool:
+        """Whether the vantage point reaching this PoP is in an outage."""
+        if self._faults is None or not self._faults.enabled:
+            return False
+        vantage = self.prober.vantage_for(pop_id)
+        key = f"{vantage.region.provider}:{vantage.region.region}"
+        return self._faults.vantage_down(key)
+
+    def pop_available(self, pop_id: str) -> bool:
+        """Whether probing this PoP is currently possible and allowed."""
+        if self.vantage_down(pop_id):
+            return False
+        if not self.config.enabled:
+            return True
+        return self.breaker(pop_id).allow()
+
+    @property
+    def budget_exhausted(self) -> bool:
+        """Whether the campaign budget has been spent."""
+        return self._budget_left is not None and self._budget_left <= 0
+
+    # -- probing -----------------------------------------------------------
+
+    def probe(
+        self, pop_id: str, domain: DnsName, scope: Prefix
+    ) -> ProbeResult | None:
+        """The redundant batch for one target, with per-query retries.
+
+        Returns None when nothing could be sent (budget exhausted or
+        the vantage died mid-slot) so the caller can keep the target
+        accounted as unprobed.
+        """
+        if self.budget_exhausted or self.vantage_down(pop_id):
+            return None
+        hit = False
+        response_scope: int | None = None
+        refused = 0
+        timed_out = 0
+        sent = 0
+        for _ in range(self.prober.redundancy):
+            if self.config.enabled and not self.breaker(pop_id).allow():
+                # The breaker opened earlier in this batch; stop.
+                break
+            attempt = self._attempt(pop_id, domain, scope)
+            if attempt is None:
+                break
+            status, scope_length = attempt
+            sent += 1
+            if status is ProbeStatus.REFUSED:
+                refused += 1
+            elif status is ProbeStatus.TIMEOUT:
+                timed_out += 1
+            elif status is ProbeStatus.HIT and not hit:
+                hit = True
+                response_scope = scope_length
+        if sent == 0:
+            return None
+        return ProbeResult(
+            pop_id=pop_id,
+            domain=str(domain),
+            query_scope=scope,
+            hit=hit,
+            response_scope=response_scope,
+            queries_sent=sent,
+            refused=refused,
+            timed_out=timed_out,
+        )
+
+    def _attempt(
+        self, pop_id: str, domain: DnsName, scope: Prefix
+    ) -> tuple[ProbeStatus, int | None] | None:
+        """One redundancy slot: a query plus its retry chain.
+
+        Returns the final status, or None when the budget ran out
+        before anything was sent.
+        """
+        config = self.config
+        retries_done = 0
+        while True:
+            if self._budget_left is not None:
+                if self._budget_left <= 0:
+                    self.report.budget_exhausted = True
+                    return None
+                self._budget_left -= 1
+            status, scope_length = self.prober.probe_once(
+                pop_id, domain, scope)
+            self._record(pop_id, status)
+            if not config.enabled:
+                return status, scope_length
+            breaker = self.breaker(pop_id)
+            if status.answered:
+                breaker.record_success()
+                return status, scope_length
+            breaker.record_failure()
+            if retries_done + 1 >= config.retry.max_attempts:
+                return status, scope_length
+            if not breaker.allow():
+                # The breaker opened under this failure streak; stop
+                # retrying — the slot-level skip logic takes over.
+                return status, scope_length
+            delay = config.retry.delay(retries_done, self._rng)
+            self._clock.advance(delay)
+            retries_done += 1
+            self.report.retries += 1
+            self.report.backoff_wait_s += delay
+            pop = self._pop_health(pop_id)
+            pop.retries += 1
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _pop_health(self, pop_id: str) -> PopHealth:
+        pop = self.report.per_pop.get(pop_id)
+        if pop is None:
+            pop = PopHealth()
+            self.report.per_pop[pop_id] = pop
+        return pop
+
+    def _record(self, pop_id: str, status: ProbeStatus) -> None:
+        report = self.report
+        pop = self._pop_health(pop_id)
+        report.sent += 1
+        pop.sent += 1
+        if status is ProbeStatus.REFUSED:
+            report.refused += 1
+            pop.refused += 1
+        elif status is ProbeStatus.TIMEOUT:
+            report.timed_out += 1
+            pop.timed_out += 1
+        else:
+            report.answered += 1
+            pop.answered += 1
+            if status is ProbeStatus.HIT:
+                report.hits += 1
+                pop.hits += 1
+
+    def note_skipped_slot(self, pop_id: str) -> None:
+        """Record that a whole slot was skipped for an unavailable PoP."""
+        self._pop_health(pop_id).skipped_slots += 1
+
+    def note_reassignment(self, pop_id: str, moved: int) -> None:
+        """Record that ``moved`` targets left a degraded PoP."""
+        self.report.targets_reassigned += moved
+        self._pop_health(pop_id).reassigned_away += moved
+
+    def finalize(
+        self,
+        targets_assigned: int,
+        targets_probed: int,
+    ) -> ProbeHealthReport:
+        """Seal the report with target accounting and breaker states."""
+        report = self.report
+        report.targets_assigned = targets_assigned
+        report.targets_probed = targets_probed
+        report.targets_uncovered = targets_assigned - targets_probed
+        report.budget_exhausted = self.budget_exhausted
+        for pop_id, breaker in self._breakers.items():
+            self._pop_health(pop_id).final_breaker = breaker.state.value
+        if self._faults is not None:
+            report.fault_injections = self._faults.stats.as_dict()
+        return report

@@ -25,9 +25,11 @@ from repro.dns.message import (
     RecordType,
     ResourceRecord,
     nxdomain,
+    servfail,
 )
 from repro.dns.name import DnsName
 from repro.sim.clock import Clock
+from repro.sim.faults import FaultInjector
 
 
 class ScopePolicy:
@@ -155,8 +157,14 @@ class AuthoritativeServer:
     Manager ECS dataset) can be reconstructed.
     """
 
-    def __init__(self, clock: Clock, zones: list[Zone] | None = None) -> None:
+    def __init__(
+        self,
+        clock: Clock,
+        zones: list[Zone] | None = None,
+        faults: FaultInjector | None = None,
+    ) -> None:
         self._clock = clock
+        self._faults = faults
         self._zones: dict[DnsName, Zone] = {}
         self.log = QueryLog()
         for zone in zones or []:
@@ -177,9 +185,18 @@ class AuthoritativeServer:
         return name in self._zones
 
     def query(self, query: DnsQuery) -> DnsResponse:
-        """Answer ``query`` authoritatively."""
+        """Answer ``query`` authoritatively.
+
+        Transient SERVFAILs (flaky authoritatives, §3.1.1's operational
+        reality) are injected ahead of zone lookup and still logged —
+        the operator's trace records the failed transaction too.
+        """
         zone = self._zones.get(query.name)
-        response = self._answer(query, zone)
+        if (self._faults is not None and self._faults.enabled
+                and self._faults.authoritative_servfail()):
+            response = servfail()
+        else:
+            response = self._answer(query, zone)
         self.log.append(
             QueryLogEntry(
                 timestamp=self._clock.now,

@@ -26,11 +26,18 @@ class RecordType(enum.Enum):
 
 
 class Rcode(enum.Enum):
-    """DNS response codes the model uses."""
+    """DNS response codes the model uses.
+
+    ``TIMEOUT`` is not a wire rcode: it models *no response at all*
+    before the client's timer fires (a lost query or answer, or a dead
+    server) so fault-aware callers can distinguish silence from an
+    explicit error.
+    """
     NOERROR = 0
     SERVFAIL = 2
     NXDOMAIN = 3
     REFUSED = 5
+    TIMEOUT = -1
 
 
 class Transport(enum.Enum):
@@ -128,6 +135,17 @@ def refused() -> DnsResponse:
 def nxdomain() -> DnsResponse:
     """An NXDOMAIN response."""
     return DnsResponse(rcode=Rcode.NXDOMAIN)
+
+
+def servfail() -> DnsResponse:
+    """A SERVFAIL response (transient server failure)."""
+    return DnsResponse(rcode=Rcode.SERVFAIL)
+
+
+def timeout() -> DnsResponse:
+    """No response before the client's timer fired (lost packet or
+    unresponsive server) — the simulator-level stand-in for silence."""
+    return DnsResponse(rcode=Rcode.TIMEOUT)
 
 
 def cache_miss() -> DnsResponse:

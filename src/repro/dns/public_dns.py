@@ -35,10 +35,12 @@ from repro.dns.message import (
     cache_miss,
     nxdomain,
     refused,
+    timeout,
 )
 from repro.dns.name import DnsName
 from repro.dns.ratelimit import KeyedRateLimiter
 from repro.sim.clock import Clock
+from repro.sim.faults import FaultInjector
 
 #: Google truncates client subnets to /24 in outgoing ECS queries.
 ECS_SOURCE_LENGTH = 24
@@ -109,6 +111,7 @@ class PublicDnsService:
         tcp_qps_limit: float = TCP_QPS_LIMIT,
         extra_catchments: "dict[str, AnycastCatchment] | None" = None,
         root_forward_probability: float = ROOT_FORWARD_PROBABILITY,
+        faults: FaultInjector | None = None,
     ) -> None:
         if pools_per_pop < 1:
             raise ValueError("need at least one cache pool per PoP")
@@ -116,6 +119,7 @@ class PublicDnsService:
             raise ValueError("root_forward_probability out of [0, 1]")
         self._root_forward_probability = root_forward_probability
         self._clock = clock
+        self._faults = faults
         self._catchments: dict[str, AnycastCatchment] = {"user": catchment}
         # Different client populations can see different anycast
         # announcements: e.g. some PoPs are announced only to local ISPs
@@ -191,8 +195,21 @@ class PublicDnsService:
         ecs_prefix = self._effective_ecs_prefix(query)
         site = self._route(client_location, client_key=query.source_ip >> 8,
                            via=via)
+        faults = self._faults
+        if faults is not None and faults.enabled:
+            # A PoP in an outage window never answers; a dropped packet
+            # (either direction) looks identical to the client.  Neither
+            # counts as served — the query never reached a live pool.
+            if faults.pop_down(site.pop.pop_id):
+                return ProbeOutcome(timeout(), site.pop.pop_id)
+            if faults.drop_query(query.transport):
+                return ProbeOutcome(timeout(), site.pop.pop_id)
         site.queries_served += 1
         if not self._rate_limit_ok(query):
+            return ProbeOutcome(refused(), site.pop.pop_id)
+        if (faults is not None and faults.enabled
+                and faults.inject_refused(site.pop.pop_id)):
+            # Load shedding / burst rate limiting beyond the buckets.
             return ProbeOutcome(refused(), site.pop.pop_id)
         pool = self._pick_pool(site)
         hit = pool.lookup(query.name, query.rtype, ecs_prefix)

@@ -10,7 +10,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.sim.clock import Clock
+from repro.sim.clock import Clock, ClockError
+
+#: Default bucket-map cap for :class:`KeyedRateLimiter`.  A long
+#: measurement sees one key per (client, qname) over UDP — unbounded
+#: that dict grows into the millions.
+DEFAULT_MAX_KEYS = 262_144
 
 
 @dataclass(slots=True)
@@ -30,7 +35,17 @@ class TokenBucket:
         return cls(rate=rate, capacity=capacity, tokens=capacity, last_refill=now)
 
     def try_acquire(self, now: float, tokens: float = 1.0) -> bool:
-        """Consume ``tokens`` if available at time ``now``."""
+        """Consume ``tokens`` if available at time ``now``.
+
+        A ``now`` before the last refill means the caller's clock ran
+        backwards; in a simulator that must be loud, not silently
+        absorbed as a skipped refill.
+        """
+        if now < self.last_refill:
+            raise ClockError(
+                f"token bucket saw time run backwards: "
+                f"{now} < {self.last_refill}"
+            )
         if now > self.last_refill:
             self.tokens = min(
                 self.capacity, self.tokens + (now - self.last_refill) * self.rate
@@ -41,27 +56,63 @@ class TokenBucket:
             return True
         return False
 
+    def time_to_full(self) -> float:
+        """Seconds of idleness after which the bucket refills fully."""
+        return (self.capacity - self.tokens) / self.rate
+
 
 class KeyedRateLimiter:
-    """A family of token buckets, one per key (e.g. per source IP)."""
+    """A family of token buckets, one per key (e.g. per source IP).
 
-    def __init__(self, clock: Clock, rate: float, capacity: float) -> None:
+    The bucket map is capped at ``max_keys`` with LRU eviction: every
+    ``allow`` moves its key to the most-recently-used position, and a
+    new key beyond the cap evicts the least-recently-used bucket.  A
+    bucket idle longer than ``capacity/rate`` seconds has refilled to
+    full anyway, so evicting long-idle buckets is behaviour-preserving;
+    only a key churning through ``max_keys`` fresh keys within that
+    window could notice (tracked by ``evicted_unfilled``).
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        rate: float,
+        capacity: float,
+        max_keys: int | None = DEFAULT_MAX_KEYS,
+    ) -> None:
+        if max_keys is not None and max_keys < 1:
+            raise ValueError("max_keys must be positive (or None)")
         self._clock = clock
         self._rate = rate
         self._capacity = capacity
+        self._max_keys = max_keys
         self._buckets: dict[object, TokenBucket] = {}
         self.rejected = 0
+        self.evicted = 0
+        self.evicted_unfilled = 0
 
     def allow(self, key: object, tokens: float = 1.0) -> bool:
         """Consume a token for the key; False when exhausted."""
-        bucket = self._buckets.get(key)
+        now = self._clock.now
+        bucket = self._buckets.pop(key, None)
         if bucket is None:
-            bucket = TokenBucket.full(self._rate, self._capacity, self._clock.now)
-            self._buckets[key] = bucket
-        if bucket.try_acquire(self._clock.now, tokens):
+            if (self._max_keys is not None
+                    and len(self._buckets) >= self._max_keys):
+                self._evict_lru(now)
+            bucket = TokenBucket.full(self._rate, self._capacity, now)
+        # Reinsertion keeps dict order = recency order (LRU at front).
+        self._buckets[key] = bucket
+        if bucket.try_acquire(now, tokens):
             return True
         self.rejected += 1
         return False
+
+    def _evict_lru(self, now: float) -> None:
+        lru_key = next(iter(self._buckets))
+        bucket = self._buckets.pop(lru_key)
+        self.evicted += 1
+        if now - bucket.last_refill < bucket.time_to_full():
+            self.evicted_unfilled += 1
 
     def __len__(self) -> int:
         return len(self._buckets)

@@ -258,6 +258,16 @@ def extensions(result: ExperimentResult) -> str:
     return "\n".join(lines)
 
 
+def probe_health(result: ExperimentResult) -> str:
+    """Operational health of the probing campaign (§3.1.1's REFUSED
+    handling, plus the fault/retry/breaker machinery of
+    repro.core.resilient)."""
+    health = result.cache_result.health
+    if health is None:
+        return "== Probe health ==\n  (no health report recorded)"
+    return "== Probe health ==\n" + health.render()
+
+
 def full_report(result: ExperimentResult) -> str:
     """Every table and figure, in paper order."""
     sections = [
@@ -266,6 +276,6 @@ def full_report(result: ExperimentResult) -> str:
         table5(result), asdb_missed(result),
         figure1(result), figure2(result), figure3(result), figure4(result),
         figure5(result), figure6(result), figure7(result),
-        extensions(result), scorecard(result),
+        extensions(result), scorecard(result), probe_health(result),
     ]
     return "\n\n".join(sections)

@@ -1,5 +1,21 @@
-"""Simulation utilities: the shared deterministic clock."""
+"""Simulation utilities: the shared deterministic clock and the
+opt-in fault-injection layer."""
 
 from repro.sim.clock import DAY, HOUR, Clock, ClockError
+from repro.sim.faults import (
+    FaultConfig,
+    FaultInjector,
+    FaultStats,
+    OutageWindow,
+)
 
-__all__ = ["Clock", "ClockError", "DAY", "HOUR"]
+__all__ = [
+    "Clock",
+    "ClockError",
+    "DAY",
+    "HOUR",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultStats",
+    "OutageWindow",
+]

@@ -1,0 +1,222 @@
+"""Fault injection for the simulated network.
+
+The real measurement ran against a hostile Internet: UDP queries get
+lost, authoritatives throw transient SERVFAILs, Google PoPs REFUSE
+over-eager probing in bursts beyond the steady-state token buckets
+(§3.1.1), whole PoPs disappear behind routing changes, and cloud
+vantage points die mid-campaign.  The seed simulator's network path was
+perfectly reliable, so none of the pipeline code a production
+deployment needs (retries, breakers, failover) was ever exercised.
+
+:class:`FaultInjector` makes the simulated path unreliable in
+configurable, *seeded-deterministic* ways.  Every fault class draws
+from its own dedicated RNG stream so that, say, raising the packet-loss
+rate does not perturb the SERVFAIL sequence.  With the default
+(all-zero) :class:`FaultConfig` the injector never draws randomness and
+never fires — fault injection is strictly opt-in, and a run with faults
+disabled is bit-identical to one without the subsystem at all.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.sim.clock import Clock
+
+
+@dataclass(frozen=True, slots=True)
+class OutageWindow:
+    """A half-open ``[start, end)`` interval of sim time during which
+    ``target`` (a PoP id, a vantage key like ``"aws:eu-west-1"``, or
+    ``"*"`` for everything) is down."""
+
+    target: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(
+                f"outage window [{self.start}, {self.end}) is empty"
+            )
+
+    def covers(self, target: str, now: float) -> bool:
+        """Whether the window silences ``target`` at time ``now``."""
+        if self.target != "*" and self.target != target:
+            return False
+        return self.start <= now < self.end
+
+
+def _check_rate(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True, slots=True)
+class FaultConfig:
+    """The fault taxonomy and its knobs (see docs/fault_model.md).
+
+    * ``udp_loss_rate`` / ``tcp_loss_rate`` — per-transport packet loss
+      on the client↔public-resolver path; a lost query (or its answer)
+      surfaces as a timeout.
+    * ``servfail_rate`` — transient SERVFAIL at authoritative servers.
+    * ``refused_rate`` — per-query REFUSED beyond the token buckets
+      (the resolver shedding load).
+    * ``pop_outages`` — windows during which a PoP stops answering
+      entirely (queries routed to it time out).
+    * ``vantage_outages`` — windows during which a cloud vantage point
+      is down and cannot emit probes (keyed ``provider:region``).
+    * ``refused_bursts`` — windows during which a PoP REFUSES every
+      query, the burst-rate-limit episodes §3.1.1 ran into over UDP.
+    """
+
+    seed: int = 0
+    udp_loss_rate: float = 0.0
+    tcp_loss_rate: float = 0.0
+    servfail_rate: float = 0.0
+    refused_rate: float = 0.0
+    pop_outages: tuple[OutageWindow, ...] = ()
+    vantage_outages: tuple[OutageWindow, ...] = ()
+    refused_bursts: tuple[OutageWindow, ...] = ()
+
+    def __post_init__(self) -> None:
+        _check_rate("udp_loss_rate", self.udp_loss_rate)
+        _check_rate("tcp_loss_rate", self.tcp_loss_rate)
+        _check_rate("servfail_rate", self.servfail_rate)
+        _check_rate("refused_rate", self.refused_rate)
+
+    @property
+    def any_enabled(self) -> bool:
+        """True when any fault can ever fire."""
+        return bool(
+            self.udp_loss_rate or self.tcp_loss_rate
+            or self.servfail_rate or self.refused_rate
+            or self.pop_outages or self.vantage_outages
+            or self.refused_bursts
+        )
+
+    def with_loss(self, rate: float) -> "FaultConfig":
+        """A copy with both transports' loss set to ``rate``."""
+        return FaultConfig(
+            seed=self.seed,
+            udp_loss_rate=rate,
+            tcp_loss_rate=rate,
+            servfail_rate=self.servfail_rate,
+            refused_rate=self.refused_rate,
+            pop_outages=self.pop_outages,
+            vantage_outages=self.vantage_outages,
+            refused_bursts=self.refused_bursts,
+        )
+
+
+@dataclass(slots=True)
+class FaultStats:
+    """How often each fault class actually fired."""
+
+    dropped_udp: int = 0
+    dropped_tcp: int = 0
+    servfails: int = 0
+    refused_injected: int = 0
+    refused_burst: int = 0
+    pop_outage_drops: int = 0
+    vantage_blocked: int = 0
+
+    def total(self) -> int:
+        """All injected faults."""
+        return (self.dropped_udp + self.dropped_tcp + self.servfails
+                + self.refused_injected + self.refused_burst
+                + self.pop_outage_drops + self.vantage_blocked)
+
+    def as_dict(self) -> dict[str, int]:
+        """Counter snapshot keyed by fault class."""
+        return {
+            "dropped_udp": self.dropped_udp,
+            "dropped_tcp": self.dropped_tcp,
+            "servfails": self.servfails,
+            "refused_injected": self.refused_injected,
+            "refused_burst": self.refused_burst,
+            "pop_outage_drops": self.pop_outage_drops,
+            "vantage_blocked": self.vantage_blocked,
+        }
+
+
+class FaultInjector:
+    """Decides, query by query, which faults fire.
+
+    Holds one RNG stream per stochastic fault class, all derived from
+    ``config.seed``, so fault sequences are reproducible and mutually
+    independent.  Window-based faults (outages, bursts) are pure
+    functions of the clock and draw no randomness at all.
+    """
+
+    def __init__(self, config: FaultConfig, clock: Clock) -> None:
+        self.config = config
+        self._clock = clock
+        #: fast-path flag: hot paths check this before anything else.
+        self.enabled = config.any_enabled
+        self.stats = FaultStats()
+        self._loss_rng = random.Random(f"{config.seed}:loss")
+        self._servfail_rng = random.Random(f"{config.seed}:servfail")
+        self._refused_rng = random.Random(f"{config.seed}:refused")
+
+    # -- stochastic faults -------------------------------------------------
+
+    def drop_query(self, transport) -> bool:
+        """Packet loss on the resolver path (either direction)."""
+        from repro.dns.message import Transport
+
+        if transport is Transport.UDP:
+            rate = self.config.udp_loss_rate
+            if rate and self._loss_rng.random() < rate:
+                self.stats.dropped_udp += 1
+                return True
+            return False
+        rate = self.config.tcp_loss_rate
+        if rate and self._loss_rng.random() < rate:
+            self.stats.dropped_tcp += 1
+            return True
+        return False
+
+    def authoritative_servfail(self) -> bool:
+        """Transient SERVFAIL at an authoritative server."""
+        rate = self.config.servfail_rate
+        if rate and self._servfail_rng.random() < rate:
+            self.stats.servfails += 1
+            return True
+        return False
+
+    def inject_refused(self, pop_id: str) -> bool:
+        """REFUSED beyond the token buckets: burst episodes first, then
+        the per-query shedding rate."""
+        for window in self.config.refused_bursts:
+            if window.covers(pop_id, self._clock.now):
+                self.stats.refused_burst += 1
+                return True
+        rate = self.config.refused_rate
+        if rate and self._refused_rng.random() < rate:
+            self.stats.refused_injected += 1
+            return True
+        return False
+
+    # -- window faults -----------------------------------------------------
+
+    def pop_down(self, pop_id: str) -> bool:
+        """Whether the PoP is inside an outage window right now."""
+        for window in self.config.pop_outages:
+            if window.covers(pop_id, self._clock.now):
+                self.stats.pop_outage_drops += 1
+                return True
+        return False
+
+    def vantage_down(self, vantage_key: str) -> bool:
+        """Whether the vantage point is inside an outage window."""
+        for window in self.config.vantage_outages:
+            if window.covers(vantage_key, self._clock.now):
+                self.stats.vantage_blocked += 1
+                return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FaultInjector(enabled={self.enabled}, "
+                f"injected={self.stats.total()})")

@@ -28,6 +28,7 @@ from repro.dns.public_dns import AuthoritativeDirectory, PublicDnsService
 from repro.dns.resolver import RecursiveResolver, ResolverConfig
 from repro.dns.root import RootServerSystem
 from repro.sim.clock import Clock
+from repro.sim.faults import FaultConfig, FaultInjector
 from repro.world.cdn import CdnService
 from repro.world.countries import COUNTRIES, Country
 from repro.world.domains_catalog import (
@@ -62,6 +63,9 @@ class WorldConfig:
     scope_flip_probability: float = 0.08
     scope_shift: int = 3  # scopes finer by 3 bits: the world is small
     geo_accuracy: GeoAccuracy = field(default_factory=GeoAccuracy)
+    #: Opt-in network unreliability; the all-zero default injects
+    #: nothing and leaves every run bit-identical to a fault-free one.
+    faults: FaultConfig = field(default_factory=FaultConfig)
 
     def __post_init__(self) -> None:
         if self.target_blocks < 10:
@@ -146,6 +150,9 @@ class World:
     #: versions of.
     geo_truth: list[tuple[Prefix, GeoPoint, str, str]] = field(
         default_factory=list)
+    #: the shared fault injector wired through the DNS path (None only
+    #: for hand-built worlds that skip the builder).
+    faults: FaultInjector | None = None
 
     # -- ground truth helpers -------------------------------------------
 
@@ -264,9 +271,10 @@ class WorldBuilder:
         )
 
         domains = default_domains()
+        fault_injector = FaultInjector(config.faults, clock)
         authoritatives, servers = build_authoritatives(
             clock, domains, rng, config.scope_flip_probability,
-            config.scope_shift,
+            config.scope_shift, faults=fault_injector,
         )
         roots = RootServerSystem(clock, seed=config.seed + 1)
         public_dns = PublicDnsService(
@@ -277,6 +285,7 @@ class WorldBuilder:
             pools_per_pop=config.pools_per_pop,
             roots=roots,
             extra_catchments={"cloud": cloud_catchment},
+            faults=fault_injector,
         )
         resolvers = self._build_resolvers(
             clock, roots, authoritatives, resolver_plan
@@ -307,6 +316,7 @@ class WorldBuilder:
             google_asn=google_asn,
             cloud_asn=cloud_asn,
             geo_truth=geo_truth,
+            faults=fault_injector,
         )
         return world
 

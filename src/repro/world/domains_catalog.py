@@ -22,6 +22,7 @@ from repro.dns.authoritative import (
 from repro.dns.name import DnsName
 from repro.dns.public_dns import AuthoritativeDirectory
 from repro.sim.clock import Clock
+from repro.sim.faults import FaultInjector
 from repro.world.model import DomainSpec
 
 MICROSOFT_CDN_DOMAIN = DnsName.parse("assets.msedge.net")
@@ -124,13 +125,14 @@ def build_authoritatives(
     rng: random.Random,
     scope_flip_probability: float = 0.08,
     scope_shift: int = 0,
+    faults: FaultInjector | None = None,
 ) -> tuple[AuthoritativeDirectory, dict[str, AuthoritativeServer]]:
     """One authoritative server per operator, serving its domains."""
     servers: dict[str, AuthoritativeServer] = {}
     for spec in domains:
         server = servers.get(spec.operator)
         if server is None:
-            server = AuthoritativeServer(clock)
+            server = AuthoritativeServer(clock, faults=faults)
             servers[spec.operator] = server
         policy = scope_policy_for(spec.operator, rng, scope_flip_probability,
                                   scope_shift)

@@ -1,0 +1,111 @@
+"""Tests for GoogleProber's REFUSED and TIMEOUT accounting (§3.1.1).
+
+The token buckets rarely trip in small test worlds, so these tests
+force REFUSED through fault injection: a burst window REFUSES every
+query, a shedding rate REFUSES a coin-flip of them.
+"""
+
+import pytest
+
+from repro.net.prefix import Prefix
+from repro.sim.faults import FaultConfig, OutageWindow
+from repro.world.builder import build_world
+from repro.world.vantage import deploy_vantage_points
+from repro.core.prober import GoogleProber, ProbeStatus
+from tests.conftest import tiny_world_config
+
+PREFIX = Prefix.parse("9.0.0.0/24")
+
+
+def _prober(world, redundancy=3):
+    return GoogleProber(world, deploy_vantage_points(world),
+                        redundancy=redundancy)
+
+
+class TestAllRefused:
+    @pytest.fixture(scope="class")
+    def refused_world(self):
+        """Every PoP REFUSES every probe for the whole run."""
+        return build_world(tiny_world_config(
+            seed=51, faults=FaultConfig(refused_bursts=(
+                OutageWindow("*", 0.0, 1e9),))))
+
+    def test_probe_once_classifies_refused(self, refused_world):
+        prober = _prober(refused_world)
+        pop = prober.reachable_pops[0]
+        status, scope = prober.probe_once(
+            pop, refused_world.domains[0].name, PREFIX)
+        assert status is ProbeStatus.REFUSED
+        assert scope is None
+        assert not status.answered
+        assert prober.probes_sent == 1
+        assert prober.refused == 1
+
+    def test_all_refused_batch_accounting(self, refused_world):
+        prober = _prober(refused_world, redundancy=4)
+        pop = prober.reachable_pops[0]
+        result = prober.probe(pop, refused_world.domains[0].name, PREFIX)
+        assert result.queries_sent == 4
+        assert result.refused == 4
+        assert result.timed_out == 0
+        assert not result.hit
+        assert not result.is_activity_evidence
+        assert prober.probes_sent == 4
+        assert prober.refused == 4
+
+    def test_counters_accumulate_across_targets(self, refused_world):
+        prober = _prober(refused_world, redundancy=2)
+        for pop in prober.reachable_pops[:3]:
+            for domain in refused_world.domains[:2]:
+                prober.probe(pop, domain.name, PREFIX)
+        assert prober.probes_sent == 3 * 2 * 2
+        assert prober.refused == prober.probes_sent
+
+
+class TestMixedRefused:
+    @pytest.fixture(scope="class")
+    def flaky_world(self):
+        """Half the probes (coin-flip, seeded) are REFUSED."""
+        return build_world(tiny_world_config(
+            seed=52, faults=FaultConfig(seed=52, refused_rate=0.5)))
+
+    def test_mixed_batches_account_every_query(self, flaky_world):
+        prober = _prober(flaky_world, redundancy=3)
+        total_refused = 0
+        total_sent = 0
+        for pop in prober.reachable_pops[:4]:
+            for domain in flaky_world.domains[:3]:
+                result = prober.probe(pop, domain.name, PREFIX)
+                assert result.queries_sent == 3
+                assert 0 <= result.refused <= 3
+                total_refused += result.refused
+                total_sent += result.queries_sent
+        assert prober.probes_sent == total_sent
+        assert prober.refused == total_refused
+        # A 0.5 shedding rate over dozens of queries refuses some but
+        # not all (seeded, so this is deterministic, not flaky).
+        assert 0 < total_refused < total_sent
+
+    def test_refused_does_not_fake_activity(self, flaky_world):
+        prober = _prober(flaky_world, redundancy=3)
+        pop = prober.reachable_pops[0]
+        for domain in flaky_world.domains[:5]:
+            result = prober.probe(pop, domain.name, PREFIX)
+            if result.refused == result.queries_sent:
+                assert not result.hit
+                assert result.response_scope is None
+
+
+class TestTimeout:
+    def test_total_loss_times_out_without_pop_check(self):
+        """100% TCP loss: every probe is a timeout, not a routing
+        error — silence carries no PoP evidence to compare."""
+        world = build_world(tiny_world_config(
+            seed=53, faults=FaultConfig(seed=53, tcp_loss_rate=1.0)))
+        prober = _prober(world, redundancy=3)
+        pop = prober.reachable_pops[0]
+        result = prober.probe(pop, world.domains[0].name, PREFIX)
+        assert result.timed_out == 3
+        assert result.refused == 0
+        assert not result.hit
+        assert prober.timed_out == 3

@@ -1,0 +1,345 @@
+"""Tests for repro.core.resilient: the circuit breaker, retry policy,
+and the resilient probing pipeline under injected faults.
+
+The probe-path loss rate for the pipeline tests is read from the
+``REPRO_FAULT_LOSS_RATE`` environment variable (default 0.02) so CI
+can re-run them under heavier loss.
+"""
+
+import os
+import random
+
+import pytest
+
+LOSS_RATE = float(os.environ.get("REPRO_FAULT_LOSS_RATE", "0.02"))
+
+from repro.sim.clock import Clock
+from repro.sim.faults import FaultConfig, OutageWindow
+from repro.world.builder import build_world
+from repro.core.cache_probing import CacheProbingConfig, CacheProbingPipeline
+from repro.core.calibration import CalibrationConfig
+from repro.core.resilient import (
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+    ProbeHealthReport,
+    ResilienceConfig,
+    ResilientProber,
+    RetryPolicy,
+)
+from tests.conftest import tiny_world_config
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+    def test_equal_jitter_bounds(self):
+        policy = RetryPolicy(base_delay_s=1.0, multiplier=2.0,
+                             max_delay_s=60.0)
+        rng = random.Random(0)
+        for attempt in range(5):
+            raw = min(60.0, 1.0 * 2.0 ** attempt)
+            for _ in range(50):
+                delay = policy.delay(attempt, rng)
+                assert raw / 2 <= delay < raw
+
+    def test_cap_applies(self):
+        policy = RetryPolicy(base_delay_s=10.0, multiplier=10.0,
+                             max_delay_s=30.0)
+        rng = random.Random(1)
+        assert policy.delay(10, rng) < 30.0
+
+    def test_deterministic_under_seed(self):
+        policy = RetryPolicy()
+        a = [policy.delay(i % 3, random.Random(7)) for i in range(10)]
+        b = [policy.delay(i % 3, random.Random(7)) for i in range(10)]
+        assert a == b
+
+
+class TestResilienceConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResilienceConfig(probe_budget=0)
+        with pytest.raises(ValueError):
+            ResilienceConfig(reassign_after_slots=0)
+        with pytest.raises(ValueError):
+            BreakerPolicy(failure_threshold=0)
+        with pytest.raises(ValueError):
+            BreakerPolicy(cooldown_s=0)
+        with pytest.raises(ValueError):
+            BreakerPolicy(half_open_successes=0)
+
+    def test_disabled_by_default(self):
+        assert not ResilienceConfig().enabled
+        assert not CacheProbingConfig().resilience.enabled
+
+
+class TestCircuitBreaker:
+    def _breaker(self, clock, threshold=3, cooldown=100.0, successes=2):
+        return CircuitBreaker(
+            BreakerPolicy(failure_threshold=threshold, cooldown_s=cooldown,
+                          half_open_successes=successes),
+            clock, pop_id="pop-x",
+        )
+
+    def test_starts_closed_and_allows(self):
+        breaker = self._breaker(Clock())
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_failures_below_threshold_stay_closed(self):
+        breaker = self._breaker(Clock(), threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_success_resets_failure_streak(self):
+        breaker = self._breaker(Clock(), threshold=3)
+        for _ in range(4):
+            breaker.record_failure()
+            breaker.record_failure()
+            breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_opens_at_threshold_and_blocks(self):
+        clock = Clock()
+        breaker = self._breaker(clock, threshold=3, cooldown=100.0)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+        clock.advance(99.0)
+        assert not breaker.allow()
+
+    def test_half_opens_after_cooldown(self):
+        clock = Clock()
+        breaker = self._breaker(clock, threshold=1, cooldown=100.0)
+        breaker.record_failure()
+        clock.advance(100.0)
+        assert breaker.allow()  # the trial query goes through
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_half_open_closes_after_successes(self):
+        clock = Clock()
+        breaker = self._breaker(clock, threshold=1, cooldown=10.0,
+                                successes=2)
+        breaker.record_failure()
+        clock.advance(10.0)
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_half_open_failure_reopens_with_fresh_cooldown(self):
+        clock = Clock()
+        breaker = self._breaker(clock, threshold=1, cooldown=100.0)
+        breaker.record_failure()        # -> OPEN at t=0
+        clock.advance(100.0)
+        breaker.allow()                 # -> HALF_OPEN at t=100
+        breaker.record_failure()        # -> OPEN again at t=100
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(99.0)             # t=199 < 100+100
+        assert not breaker.allow()
+        clock.advance(1.0)              # t=200
+        assert breaker.allow()
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_transitions_recorded_with_timestamps(self):
+        clock = Clock()
+        breaker = self._breaker(clock, threshold=1, cooldown=50.0,
+                                successes=1)
+        breaker.record_failure()
+        clock.advance(50.0)
+        breaker.allow()
+        breaker.record_success()
+        states = [(t.old, t.new, t.at) for t in breaker.transitions]
+        assert states == [
+            (BreakerState.CLOSED, BreakerState.OPEN, 0.0),
+            (BreakerState.OPEN, BreakerState.HALF_OPEN, 50.0),
+            (BreakerState.HALF_OPEN, BreakerState.CLOSED, 50.0),
+        ]
+
+
+class TestProbeHealthReport:
+    def test_verify_catches_probe_leak(self):
+        report = ProbeHealthReport(sent=5, answered=3, refused=1,
+                                   timed_out=0)
+        with pytest.raises(AssertionError):
+            report.verify()
+
+    def test_verify_catches_target_leak(self):
+        report = ProbeHealthReport(targets_assigned=10, targets_probed=6,
+                                   targets_uncovered=3)
+        with pytest.raises(AssertionError):
+            report.verify()
+
+    def test_render_mentions_key_counters(self):
+        report = ProbeHealthReport(resilience_enabled=True, sent=10,
+                                   answered=8, refused=1, timed_out=1,
+                                   targets_assigned=4, targets_probed=4)
+        text = report.render()
+        assert "sent=10" in text and "resilience: on" in text
+
+
+def _pipeline_config(seed, *, resilience=None, measurement_hours=2.0):
+    return CacheProbingConfig(
+        warmup_hours=1.0, measurement_hours=measurement_hours,
+        redundancy=2, probe_loops=1, seed=seed,
+        calibration=CalibrationConfig(sample_size=20),
+        resilience=resilience or ResilienceConfig(),
+    )
+
+
+class TestDisabledDriverEquivalence:
+    def test_disabled_resilient_probe_matches_plain_prober(self):
+        """Two same-seed worlds, one probed through the disabled
+        resilient driver: identical results, query for query."""
+        from repro.world.activity import ActivitySimulator
+        from repro.world.vantage import deploy_vantage_points
+        from repro.core.prober import GoogleProber
+        from repro.sim.clock import HOUR
+
+        results = []
+        for wrap in (False, True):
+            world = build_world(tiny_world_config(seed=31))
+            ActivitySimulator(world, seed=31).run(2 * HOUR)
+            prober = GoogleProber(world, deploy_vantage_points(world),
+                                  redundancy=3)
+            blocks = sorted(world.client_blocks(), key=lambda b: -b.users)
+            block = blocks[0]
+            pop = world.user_catchment.pop_for(block.location, block.slash24)
+            pop_id = (pop.pop_id if pop.pop_id in prober.reachable_pops
+                      else prober.reachable_pops[0])
+            target = (pop_id, world.domains[0].name, block.prefix)
+            if wrap:
+                driver = ResilientProber(prober, world.clock,
+                                         ResilienceConfig(), seed=31)
+                results.append((driver.probe(*target),
+                                prober.probes_sent))
+            else:
+                results.append((prober.probe(*target), prober.probes_sent))
+        assert results[0] == results[1]
+
+    def test_disabled_driver_reports_but_never_retries(self):
+        world = build_world(tiny_world_config(seed=32))
+        pipeline = CacheProbingPipeline(world, _pipeline_config(32))
+        result = pipeline.run()
+        health = result.health
+        assert health is not None and not health.resilience_enabled
+        health.verify()
+        assert health.retries == 0
+        assert health.backoff_wait_s == 0.0
+        assert health.breaker_opens == 0
+        assert health.timed_out == 0
+        assert health.targets_uncovered == 0
+        assert health.sent > 0
+
+
+class TestResilientPipelineUnderFaults:
+    def test_loss_with_retries_completes(self):
+        """TCP loss (REPRO_FAULT_LOSS_RATE, default 2%): retries keep
+        the measurement whole and the health report accounts for every
+        probe and target."""
+        world = build_world(tiny_world_config(
+            seed=33, faults=FaultConfig(seed=33, tcp_loss_rate=LOSS_RATE)))
+        pipeline = CacheProbingPipeline(
+            world,
+            _pipeline_config(33, resilience=ResilienceConfig(enabled=True)),
+        )
+        result = pipeline.run()
+        health = result.health
+        assert health is not None and health.resilience_enabled
+        health.verify()
+        assert health.sent == (health.answered + health.refused
+                               + health.timed_out)
+        assert health.timed_out > 0          # loss actually bit
+        assert health.retries > 0            # and was retried
+        assert health.fault_injections.get("dropped_tcp", 0) > 0
+        assert result.hits                   # the measurement survived
+        assert health.targets_probed + health.targets_uncovered \
+            == health.targets_assigned
+
+    def test_fault_runs_are_seed_deterministic(self):
+        reports = []
+        for _ in range(2):
+            world = build_world(tiny_world_config(
+                seed=34, faults=FaultConfig(seed=34, tcp_loss_rate=0.05)))
+            pipeline = CacheProbingPipeline(
+                world,
+                _pipeline_config(34,
+                                 resilience=ResilienceConfig(enabled=True)),
+            )
+            health = pipeline.run().health
+            reports.append((health.sent, health.answered, health.timed_out,
+                            health.retries, health.backoff_wait_s,
+                            health.breaker_opens))
+        assert reports[0] == reports[1]
+
+    def test_total_vantage_outage_leaves_targets_uncovered(self):
+        """Every vantage down all campaign: nothing probed, every
+        target reported uncovered — degradation, not a crash."""
+        world = build_world(tiny_world_config(
+            seed=35, faults=FaultConfig(vantage_outages=(
+                OutageWindow("*", 0.0, 1e9),))))
+        pipeline = CacheProbingPipeline(
+            world,
+            _pipeline_config(35, resilience=ResilienceConfig(enabled=True)),
+        )
+        result = pipeline.run()
+        health = result.health
+        health.verify()
+        assert health.sent == 0
+        assert result.hits == []
+        assert health.targets_probed == 0
+        assert health.targets_uncovered == health.targets_assigned > 0
+
+    def test_dead_vantage_reassigns_targets_to_nearest_pop(self):
+        """One vantage down all campaign: its PoPs' targets move to the
+        next-nearest reachable PoP instead of being dropped."""
+        probe_world = build_world(tiny_world_config(seed=36))
+        probe_pipeline = CacheProbingPipeline(probe_world,
+                                              _pipeline_config(36))
+        dead_pop = probe_pipeline.prober.reachable_pops[0]
+        vantage = probe_pipeline.prober.vantage_for(dead_pop)
+        key = f"{vantage.region.provider}:{vantage.region.region}"
+
+        world = build_world(tiny_world_config(
+            seed=36, faults=FaultConfig(vantage_outages=(
+                OutageWindow(key, 0.0, 1e9),))))
+        pipeline = CacheProbingPipeline(
+            world,
+            _pipeline_config(36, resilience=ResilienceConfig(
+                enabled=True, reassign_after_slots=2)),
+        )
+        result = pipeline.run()
+        health = result.health
+        health.verify()
+        assert health.targets_reassigned > 0
+        assert health.per_pop[dead_pop].reassigned_away > 0
+        assert health.per_pop[dead_pop].skipped_slots >= 2
+        assert health.per_pop[dead_pop].sent == 0
+        assert result.hits  # the campaign still measured something
+
+    def test_probe_budget_caps_campaign(self):
+        world = build_world(tiny_world_config(seed=37))
+        pipeline = CacheProbingPipeline(
+            world,
+            _pipeline_config(37, resilience=ResilienceConfig(
+                enabled=True, probe_budget=40)),
+        )
+        result = pipeline.run()
+        health = result.health
+        health.verify()
+        assert health.budget == 40
+        assert health.sent <= 40
+        assert health.budget_exhausted
+        assert health.targets_uncovered > 0  # budget cut coverage short

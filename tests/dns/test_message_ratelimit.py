@@ -14,11 +14,13 @@ from repro.dns.message import (
     cache_miss,
     nxdomain,
     refused,
+    servfail,
+    timeout,
 )
 from repro.dns.name import DnsName
 from repro.dns.ratelimit import KeyedRateLimiter, TokenBucket
 from repro.net.prefix import Prefix
-from repro.sim.clock import Clock
+from repro.sim.clock import Clock, ClockError
 
 NAME = DnsName.parse("www.example.com")
 
@@ -57,8 +59,16 @@ class TestRecordsAndResponses:
     def test_helpers(self):
         assert refused().rcode is Rcode.REFUSED
         assert nxdomain().rcode is Rcode.NXDOMAIN
+        assert servfail().rcode is Rcode.SERVFAIL
         miss = cache_miss()
         assert miss.rcode is Rcode.NOERROR and not miss.cache_hit
+
+    def test_timeout_is_not_a_wire_rcode(self):
+        response = timeout()
+        assert response.rcode is Rcode.TIMEOUT
+        assert response.rcode.value == -1  # outside the wire rcode space
+        assert not response.has_answer
+        assert not response.cache_hit
 
     def test_scope_length_passthrough(self):
         response = DnsResponse(
@@ -106,6 +116,21 @@ class TestTokenBucket:
         with pytest.raises(ValueError):
             TokenBucket.full(rate=1, capacity=0, now=0)
 
+    def test_backwards_clock_raises(self):
+        """A ``now`` before the last refill is a simulator bug and must
+        be loud, not silently absorbed as a skipped refill."""
+        bucket = TokenBucket.full(rate=1.0, capacity=5.0, now=10.0)
+        assert bucket.try_acquire(10.0)
+        with pytest.raises(ClockError):
+            bucket.try_acquire(9.999)
+
+    def test_time_to_full(self):
+        bucket = TokenBucket.full(rate=2.0, capacity=6.0, now=0.0)
+        assert bucket.time_to_full() == 0.0
+        for _ in range(4):
+            bucket.try_acquire(0.0)
+        assert bucket.time_to_full() == pytest.approx(2.0)
+
 
 class TestKeyedRateLimiter:
     def test_independent_keys(self):
@@ -124,3 +149,58 @@ class TestKeyedRateLimiter:
         assert not limiter.allow("k")
         clock.advance(1.0)
         assert limiter.allow("k")
+
+    def test_key_count_is_capped_with_lru_eviction(self):
+        """The bucket map must not grow past ``max_keys`` no matter how
+        many distinct keys a long measurement produces."""
+        clock = Clock()
+        limiter = KeyedRateLimiter(clock, rate=1.0, capacity=5.0,
+                                   max_keys=10)
+        for key in range(100):
+            limiter.allow(key)
+        assert len(limiter) == 10
+        assert limiter.evicted == 90
+
+    def test_eviction_is_least_recently_used(self):
+        clock = Clock()
+        limiter = KeyedRateLimiter(clock, rate=1.0, capacity=5.0,
+                                   max_keys=3)
+        for key in ("a", "b", "c"):
+            limiter.allow(key)
+        limiter.allow("a")      # refresh "a"; "b" is now LRU
+        limiter.allow("d")      # evicts "b"
+        # "b" comes back as a fresh (full) bucket; "a" kept its state.
+        limiter.allow("a")
+        for _ in range(3):      # drain "a" fully (capacity 5)
+            limiter.allow("a")
+        assert not limiter.allow("a")
+        assert all(limiter.allow("b") for _ in range(5))
+
+    def test_evicting_long_idle_bucket_is_behaviour_preserving(self):
+        """A bucket idle past capacity/rate has refilled to full, so
+        evicting it changes nothing; only churn within that window is
+        observable, and it is tracked."""
+        clock = Clock()
+        limiter = KeyedRateLimiter(clock, rate=1.0, capacity=2.0,
+                                   max_keys=2)
+        limiter.allow("old")
+        clock.advance(10.0)     # "old" long idle -> refilled to full
+        limiter.allow("x")
+        limiter.allow("y")      # evicts "old", which was full again
+        assert limiter.evicted == 1
+        assert limiter.evicted_unfilled == 0
+        limiter.allow("z")      # evicts "x", still refilling
+        assert limiter.evicted == 2
+        assert limiter.evicted_unfilled == 1
+
+    def test_max_keys_validated(self):
+        with pytest.raises(ValueError):
+            KeyedRateLimiter(Clock(), rate=1.0, capacity=1.0, max_keys=0)
+
+    def test_uncapped_when_none(self):
+        clock = Clock()
+        limiter = KeyedRateLimiter(clock, rate=1.0, capacity=1.0,
+                                   max_keys=None)
+        for key in range(500):
+            limiter.allow(key)
+        assert len(limiter) == 500

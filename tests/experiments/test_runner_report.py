@@ -115,7 +115,7 @@ class TestReportRendering:
         report.table5, report.figure1, report.figure2, report.figure3,
         report.figure4, report.figure5, report.figure6, report.figure7,
         report.headline, report.asdb_missed, report.extensions,
-        report.scorecard,
+        report.scorecard, report.probe_health,
     ])
     def test_sections_render(self, small_experiment, section):
         text = section(small_experiment)
@@ -127,7 +127,7 @@ class TestReportRendering:
         for marker in ("Table 1", "Table 2", "Table 3", "Table 4", "Table 5",
                        "Figure 1", "Figure 2", "Figure 3", "Figure 4",
                        "Figure 5", "Figure 6", "Figure 7", "Headline",
-                       "ASdb", "Extensions", "scorecard"):
+                       "ASdb", "Extensions", "scorecard", "Probe health"):
             assert marker in text
 
 

@@ -1,0 +1,157 @@
+"""Tests for repro.sim.faults."""
+
+import pytest
+
+from repro.dns.message import Transport
+from repro.sim.clock import Clock
+from repro.sim.faults import FaultConfig, FaultInjector, OutageWindow
+
+
+class TestOutageWindow:
+    def test_half_open_interval(self):
+        window = OutageWindow(target="pop-1", start=10.0, end=20.0)
+        assert not window.covers("pop-1", 9.999)
+        assert window.covers("pop-1", 10.0)
+        assert window.covers("pop-1", 19.999)
+        assert not window.covers("pop-1", 20.0)
+
+    def test_target_match_and_wildcard(self):
+        window = OutageWindow(target="pop-1", start=0.0, end=1.0)
+        assert not window.covers("pop-2", 0.5)
+        wildcard = OutageWindow(target="*", start=0.0, end=1.0)
+        assert wildcard.covers("pop-2", 0.5)
+        assert wildcard.covers("anything", 0.5)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            OutageWindow(target="x", start=5.0, end=5.0)
+        with pytest.raises(ValueError):
+            OutageWindow(target="x", start=5.0, end=4.0)
+
+
+class TestFaultConfig:
+    def test_rates_validated(self):
+        for field in ("udp_loss_rate", "tcp_loss_rate",
+                      "servfail_rate", "refused_rate"):
+            with pytest.raises(ValueError):
+                FaultConfig(**{field: 1.5})
+            with pytest.raises(ValueError):
+                FaultConfig(**{field: -0.1})
+
+    def test_any_enabled(self):
+        assert not FaultConfig().any_enabled
+        assert FaultConfig(udp_loss_rate=0.1).any_enabled
+        assert FaultConfig(servfail_rate=0.01).any_enabled
+        assert FaultConfig(pop_outages=(
+            OutageWindow("p", 0.0, 1.0),)).any_enabled
+
+    def test_with_loss(self):
+        config = FaultConfig(seed=7, servfail_rate=0.2).with_loss(0.05)
+        assert config.udp_loss_rate == 0.05
+        assert config.tcp_loss_rate == 0.05
+        assert config.servfail_rate == 0.2
+        assert config.seed == 7
+
+
+class TestFaultInjector:
+    def test_disabled_injector_never_fires(self):
+        injector = FaultInjector(FaultConfig(), Clock())
+        assert not injector.enabled
+        for _ in range(200):
+            assert not injector.drop_query(Transport.UDP)
+            assert not injector.drop_query(Transport.TCP)
+            assert not injector.authoritative_servfail()
+            assert not injector.inject_refused("pop-1")
+            assert not injector.pop_down("pop-1")
+            assert not injector.vantage_down("aws:x")
+        assert injector.stats.total() == 0
+
+    def test_disabled_injector_draws_no_randomness(self):
+        """Zero rates must short-circuit before touching the RNGs so a
+        disabled run is bit-identical to one without the subsystem."""
+        injector = FaultInjector(FaultConfig(), Clock())
+        states = (injector._loss_rng.getstate(),
+                  injector._servfail_rng.getstate(),
+                  injector._refused_rng.getstate())
+        for _ in range(50):
+            injector.drop_query(Transport.UDP)
+            injector.authoritative_servfail()
+            injector.inject_refused("p")
+        assert states == (injector._loss_rng.getstate(),
+                          injector._servfail_rng.getstate(),
+                          injector._refused_rng.getstate())
+
+    def test_loss_is_seed_deterministic(self):
+        config = FaultConfig(seed=42, udp_loss_rate=0.3)
+        a = FaultInjector(config, Clock())
+        b = FaultInjector(config, Clock())
+        seq_a = [a.drop_query(Transport.UDP) for _ in range(500)]
+        seq_b = [b.drop_query(Transport.UDP) for _ in range(500)]
+        assert seq_a == seq_b
+        assert any(seq_a) and not all(seq_a)
+        assert a.stats.dropped_udp == sum(seq_a)
+
+    def test_fault_streams_are_independent(self):
+        """Raising the loss rate must not perturb the SERVFAIL draws."""
+        low = FaultInjector(FaultConfig(seed=9, udp_loss_rate=0.01,
+                                        servfail_rate=0.2), Clock())
+        high = FaultInjector(FaultConfig(seed=9, udp_loss_rate=0.9,
+                                         servfail_rate=0.2), Clock())
+        for injector in (low, high):
+            for _ in range(300):
+                injector.drop_query(Transport.UDP)
+        seq_low = [low.authoritative_servfail() for _ in range(300)]
+        seq_high = [high.authoritative_servfail() for _ in range(300)]
+        assert seq_low == seq_high
+
+    def test_transport_rates_distinct(self):
+        injector = FaultInjector(
+            FaultConfig(seed=1, udp_loss_rate=1.0, tcp_loss_rate=0.0),
+            Clock())
+        assert injector.drop_query(Transport.UDP)
+        assert not injector.drop_query(Transport.TCP)
+        assert injector.stats.dropped_udp == 1
+        assert injector.stats.dropped_tcp == 0
+
+    def test_pop_outage_follows_clock(self):
+        clock = Clock()
+        config = FaultConfig(pop_outages=(
+            OutageWindow("pop-1", 100.0, 200.0),))
+        injector = FaultInjector(config, clock)
+        assert not injector.pop_down("pop-1")
+        clock.advance_to(150.0)
+        assert injector.pop_down("pop-1")
+        assert not injector.pop_down("pop-2")
+        clock.advance_to(200.0)
+        assert not injector.pop_down("pop-1")
+        assert injector.stats.pop_outage_drops == 1
+
+    def test_vantage_outage(self):
+        clock = Clock()
+        injector = FaultInjector(FaultConfig(vantage_outages=(
+            OutageWindow("aws:eu-west-1", 0.0, 10.0),)), clock)
+        assert injector.vantage_down("aws:eu-west-1")
+        assert not injector.vantage_down("aws:us-east-1")
+        clock.advance_to(10.0)
+        assert not injector.vantage_down("aws:eu-west-1")
+
+    def test_refused_burst_beats_rate(self):
+        """Inside a burst window every query is REFUSED, with no RNG
+        draw, so the rate stream stays unperturbed."""
+        clock = Clock()
+        injector = FaultInjector(FaultConfig(
+            seed=3, refused_rate=0.5,
+            refused_bursts=(OutageWindow("pop-1", 0.0, 50.0),)), clock)
+        state = injector._refused_rng.getstate()
+        assert all(injector.inject_refused("pop-1") for _ in range(20))
+        assert injector._refused_rng.getstate() == state
+        assert injector.stats.refused_burst == 20
+
+    def test_stats_as_dict_covers_total(self):
+        injector = FaultInjector(
+            FaultConfig(seed=0, udp_loss_rate=1.0, refused_rate=1.0),
+            Clock())
+        injector.drop_query(Transport.UDP)
+        injector.inject_refused("p")
+        snapshot = injector.stats.as_dict()
+        assert sum(snapshot.values()) == injector.stats.total() == 2
