@@ -3,8 +3,10 @@
 ::
 
     python -m repro run [--preset small|medium|large] [--seed N]
+                        [--checkpoint-dir DIR] [--snapshot-every N]
                         [--section headline|table1..table5|figure1..figure7|
                                    asdb|extensions|scorecard|all]
+    python -m repro resume --checkpoint-dir DIR [--section ...]
     python -m repro export --out DIR [--preset ...] [--seed N]
     python -m repro collisions [--volume N] [--threshold N]
     python -m repro presets
@@ -12,10 +14,12 @@
     python -m repro sweep --hours 3,6,12 [--redundancy 1,3,5]
 
 ``run`` executes the full measurement study and prints paper-style
-sections; ``export`` writes the shareable artefacts (active prefix
-lists, resolver counts, unified datasets) to a directory;
-``collisions`` runs the §3.2 Monte-Carlo threshold check without
-building a world.
+sections; with ``--checkpoint-dir`` progress is journaled and
+snapshotted so a killed run can be continued with ``resume`` to the
+identical result (see docs/checkpointing.md).  ``export`` writes the
+shareable artefacts (active prefix lists, resolver counts, unified
+datasets) to a directory; ``collisions`` runs the §3.2 Monte-Carlo
+threshold check without building a world.
 """
 
 from __future__ import annotations
@@ -73,6 +77,22 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scenario", choices=sorted(SCENARIOS),
                      default="default",
                      help="world scenario variant (default: default)")
+    run.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                     help="journal + snapshot progress here so a killed "
+                          "run can be resumed (`repro resume`)")
+    run.add_argument("--snapshot-every", type=int, default=8, metavar="N",
+                     help="snapshot cadence in probing slots "
+                          "(default: 8; needs --checkpoint-dir)")
+
+    resume = sub.add_parser(
+        "resume",
+        help="resume a crashed checkpointed run to the identical result",
+    )
+    resume.add_argument("--checkpoint-dir", required=True, metavar="DIR",
+                        help="checkpoint directory of the dead run")
+    resume.add_argument("--section", choices=["all", *sorted(_SECTIONS)],
+                        default="all",
+                        help="which report section to print (default: all)")
 
     export = sub.add_parser(
         "export",
@@ -127,7 +147,33 @@ def _command_run(args: argparse.Namespace) -> int:
           f"(seed={args.seed}, scenario={scenario_name})...",
           file=sys.stderr)
     started = time.time()
-    result = run_experiment(config)
+    if args.checkpoint_dir is not None:
+        from repro.persist.campaign import CheckpointConfig
+
+        result = run_experiment(
+            config,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_config=CheckpointConfig(
+                snapshot_every_slots=args.snapshot_every),
+        )
+    else:
+        result = run_experiment(config)
+    print(f"repro: done in {time.time() - started:.0f}s",
+          file=sys.stderr)
+    if args.section == "all":
+        print(report_mod.full_report(result))
+    else:
+        print(_SECTIONS[args.section](result))
+    return 0
+
+
+def _command_resume(args: argparse.Namespace) -> int:
+    from repro.persist.campaign import resume_campaign
+
+    print(f"repro: resuming campaign from {args.checkpoint_dir}...",
+          file=sys.stderr)
+    started = time.time()
+    result = resume_campaign(args.checkpoint_dir)
     print(f"repro: done in {time.time() - started:.0f}s",
           file=sys.stderr)
     if args.section == "all":
@@ -241,6 +287,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "run": _command_run,
+        "resume": _command_resume,
         "export": _command_export,
         "collisions": _command_collisions,
         "presets": _command_presets,

@@ -65,12 +65,78 @@ class CacheProbingConfig:
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
     def __post_init__(self) -> None:
+        if self.warmup_hours < 0:
+            raise ValueError("warmup_hours must not be negative")
         if self.measurement_hours <= 0:
             raise ValueError("measurement_hours must be positive")
+        if self.redundancy < 1:
+            raise ValueError("redundancy must be at least 1")
         if self.probe_loops < 1:
             raise ValueError("probe_loops must be at least 1")
         if self.probe_rate_qps is not None and self.probe_rate_qps <= 0:
             raise ValueError("probe_rate_qps must be positive")
+
+
+def _probe_record(pop_id: str, domain: DomainSpec, scope: Prefix,
+                  result) -> dict:
+    """The journal record for one resilient probe batch."""
+    record = {"type": "probe", "pop": pop_id, "dom": str(domain.name),
+              "scope": str(scope)}
+    if result is None:
+        record["ok"] = False  # budget exhausted or vantage died
+        return record
+    record.update(ok=True, sent=result.queries_sent, refused=result.refused,
+                  timed_out=result.timed_out, hit=result.hit,
+                  rs=result.response_scope)
+    return record
+
+
+@dataclass(slots=True)
+class _ProbingLoopState:
+    """The probing loop's complete mutable state.
+
+    Everything the loop reads or writes lives here (not in closures),
+    so a campaign snapshot can pickle it mid-measurement and a resumed
+    process continues at ``next_slot`` as if nothing happened.
+    ``targets_by_pop`` and ``all_targets`` share the per-target list
+    objects; pickling the state as one graph preserves that identity.
+    """
+
+    slots: int
+    targets_by_pop: dict[str, list[list]]
+    all_targets: list[list]
+    cursors: dict[str, int]
+    streaks: dict[str, int]
+    #: per-PoP sizes of the *original* assignment (before any
+    #: degraded-PoP reassignment moved targets around).
+    assignment_sizes: dict[str, int] = field(default_factory=dict)
+    next_slot: int = 0
+    hits: list["CacheHitRecord"] = field(default_factory=list)
+    scope_pairs: list[tuple[str, int, int]] = field(default_factory=list)
+    seen: set[tuple[str, str, Prefix]] = field(default_factory=set)
+    attempts: dict[tuple[str, str, Prefix], int] = field(default_factory=dict)
+    hit_counts: dict[tuple[str, str, Prefix], int] = \
+        field(default_factory=dict)
+    hourly_attempts: dict[Prefix, list[int]] = field(default_factory=dict)
+    hourly_hits: dict[Prefix, list[int]] = field(default_factory=dict)
+    #: breaker transitions already written to the journal.
+    journaled_transitions: int = 0
+
+
+@dataclass(slots=True)
+class _RunState:
+    """Where a (possibly interrupted) pipeline run has got to.
+
+    Stage results are filled in order; a resumed run skips every stage
+    whose result is already present and re-enters the probing loop at
+    the snapshot's slot.
+    """
+
+    discovery: DiscoveryResult | None = None
+    measurement_start: float = 0.0
+    warmup_done: bool = False
+    calibration: CalibrationResult | None = None
+    loop: _ProbingLoopState | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -197,6 +263,15 @@ class CacheProbingPipeline:
         self.simulator = ActivitySimulator(world, self.activity_config,
                                            seed=self.config.seed)
         self._probe_domains = probe_domains(world.domains)
+        if not self._probe_domains:
+            raise ValueError(
+                "no eligible probe domains in this world: the §3.1 "
+                "technique needs at least one ECS-supporting domain "
+                "with TTL > 60 s"
+            )
+        #: in-flight run progress; carried on the pipeline so campaign
+        #: snapshots capture it and a resumed process continues mid-run.
+        self._run_state: _RunState | None = None
 
     @property
     def probe_domain_specs(self) -> list[DomainSpec]:
@@ -205,46 +280,86 @@ class CacheProbingPipeline:
 
     # -- pipeline ------------------------------------------------------------
 
-    def run(self) -> CacheProbingResult:
-        """Run discovery, warmup, calibration and the probing loop."""
+    def run(self, checkpointer=None) -> CacheProbingResult:
+        """Run discovery, warmup, calibration and the probing loop.
+
+        With a :class:`~repro.persist.campaign.CampaignCheckpointer`
+        attached, every phase boundary, probe batch, breaker transition
+        and slot tick is journaled and the loop state is snapshotted on
+        the configured cadence; a pipeline restored from such a
+        snapshot continues exactly where the dead process stopped.
+        Checkpointing is purely observational — a checkpointed run is
+        bit-identical to a bare one.
+        """
         config = self.config
         world = self.world
-        discovery = discover_all(
-            self._probe_domains,
-            {name: server for name, server
-             in world.authoritative_servers.items()},
-            world.routes,
+        journal = checkpointer.record if checkpointer is not None else None
+        state = self._run_state
+        if state is None:
+            state = self._run_state = _RunState()
+        if state.discovery is None:
+            state.discovery = discover_all(
+                self._probe_domains,
+                {name: server for name, server
+                 in world.authoritative_servers.items()},
+                world.routes,
+            )
+            # Separate the discovery scans from the measurement epoch:
+            # the validation datasets are collected over the
+            # measurement window only, as the paper compares against "a
+            # full day" of CDN logs.
+            world.clock.advance(1.0)
+            state.measurement_start = world.clock.now
+            if journal:
+                journal({"type": "phase", "name": "discovery_done",
+                         "now": world.clock.now})
+        if not state.warmup_done:
+            if config.warmup_hours > 0:
+                self.simulator.run(config.warmup_hours * HOUR)
+            state.warmup_done = True
+            if journal:
+                journal({"type": "phase", "name": "warmup_done",
+                         "now": world.clock.now})
+        if state.calibration is None:
+            state.calibration = calibrate(
+                world, self.prober, self._probe_domains,
+                config.calibration, seed=config.seed,
+            )
+            if journal:
+                journal({"type": "phase", "name": "calibration_done",
+                         "now": world.clock.now,
+                         "probes": self.prober.probes_sent})
+            if checkpointer is not None:
+                checkpointer.snapshot()
+        if state.loop is None:
+            assignment = self._assign(state.discovery, state.calibration)
+            state.loop = self._make_loop_state(assignment)
+        self._run_probing(state.loop, checkpointer)
+        loop = state.loop
+        health = self.resilient.finalize(
+            targets_assigned=len(loop.all_targets),
+            targets_probed=sum(1 for t in loop.all_targets if t[2] > 0),
         )
-        # Separate the discovery scans from the measurement epoch: the
-        # validation datasets are collected over the measurement window
-        # only, as the paper compares against "a full day" of CDN logs.
-        world.clock.advance(1.0)
-        measurement_start = world.clock.now
-        if config.warmup_hours > 0:
-            self.simulator.run(config.warmup_hours * HOUR)
-        calibration = calibrate(
-            world, self.prober, self._probe_domains,
-            config.calibration, seed=config.seed,
-        )
-        assignment = self._assign(discovery, calibration)
-        (hits, scope_pairs, attempts, hit_counts,
-         hourly_attempts, hourly_hits, health) = \
-            self._probing_loop(assignment)
-        return CacheProbingResult(
-            hits=hits,
+        if journal:
+            journal({"type": "phase", "name": "probing_done",
+                     "now": world.clock.now, "sent": health.sent,
+                     "hits": health.hits})
+        result = CacheProbingResult(
+            hits=loop.hits,
             probes_sent=self.prober.probes_sent,
-            calibration=calibration,
-            discovery=discovery,
-            assignment_sizes={pop: len(targets)
-                              for pop, targets in assignment.items()},
-            scope_pairs=scope_pairs,
-            attempt_counts=attempts,
-            hit_counts=hit_counts,
-            hourly_attempts=hourly_attempts,
-            hourly_hits=hourly_hits,
-            measurement_window=(measurement_start, world.clock.now),
+            calibration=state.calibration,
+            discovery=state.discovery,
+            assignment_sizes=dict(loop.assignment_sizes),
+            scope_pairs=loop.scope_pairs,
+            attempt_counts=loop.attempts,
+            hit_counts=loop.hit_counts,
+            hourly_attempts=loop.hourly_attempts,
+            hourly_hits=loop.hourly_hits,
+            measurement_window=(state.measurement_start, world.clock.now),
             health=health,
         )
+        self._run_state = None
+        return result
 
     # -- assignment -----------------------------------------------------------
 
@@ -292,30 +407,12 @@ class CacheProbingPipeline:
         )
         return ranked[0] if ranked else None
 
-    def _probing_loop(
+    def _make_loop_state(
         self,
         assignment: dict[str, list[tuple[DomainSpec, Prefix]]],
-    ) -> tuple[
-        list[CacheHitRecord],
-        list[tuple[str, int, int]],
-        dict[tuple[str, str, Prefix], int],
-        dict[tuple[str, str, Prefix], int],
-        dict[Prefix, list[int]],
-        dict[Prefix, list[int]],
-        ProbeHealthReport,
-    ]:
-        """Loop over every PoP's assignment for the measurement window,
-        interleaved with client activity slot by slot.
-
-        Probes flow through the resilient driver: unavailable PoPs
-        (open breaker, vantage outage) skip their slot; a PoP that
-        stays unavailable hands its targets to the next-nearest
-        reachable PoP; targets nobody could probe are reported as
-        uncovered in the health report rather than silently dropped.
-        """
+    ) -> _ProbingLoopState:
+        """Freeze the assignment into the loop's resumable state."""
         config = self.config
-        resilience = config.resilience
-        resilient = self.resilient
         rng = random.Random(config.seed + 3)
         # Shuffle each PoP's list once so probing order is not biased
         # by address order, then walk it cyclically across slots.
@@ -326,103 +423,130 @@ class CacheProbingPipeline:
             pop_id: [[domain, scope, 0] for domain, scope in entries]
             for pop_id, entries in assignment.items()
         }
-        all_targets = [t for targets in targets_by_pop.values()
-                       for t in targets]
-        slots = max(1, round(config.measurement_hours * HOUR
-                             / self.activity_config.slot_seconds))
-        cursors = {pop_id: 0 for pop_id in targets_by_pop}
-        streaks = {pop_id: 0 for pop_id in targets_by_pop}
-        hits: list[CacheHitRecord] = []
-        scope_pairs: list[tuple[str, int, int]] = []
-        seen: set[tuple[str, str, Prefix]] = set()
-        attempts: dict[tuple[str, str, Prefix], int] = {}
-        hit_counts: dict[tuple[str, str, Prefix], int] = {}
-        hourly_attempts: dict[Prefix, list[int]] = {}
-        hourly_hits: dict[Prefix, list[int]] = {}
-
-        def reassign(dead_pop: str) -> None:
-            """Move a degraded PoP's targets to the nearest live one."""
-            new_pop = self._nearest_available_pop(
-                dead_pop, list(targets_by_pop))
-            if new_pop is None:
-                return  # nobody can take over; targets stay, and end
-                # up uncovered if the PoP never recovers.
-            moved = targets_by_pop[dead_pop]
-            if not moved:
-                return
-            targets_by_pop[new_pop].extend(moved)
-            targets_by_pop[dead_pop] = []
-            resilient.note_reassignment(dead_pop, len(moved))
-
-        def probe_slot(_index: int, _start: float) -> None:
-            """Probe each PoP's next assignment chunk for this slot."""
-            from repro.sim.clock import DAY
-            if resilient.budget_exhausted:
-                return
-            utc_hour = int((self.world.clock.now % DAY) // HOUR)
-            for pop_id in targets_by_pop:
-                targets = targets_by_pop[pop_id]
-                if not targets:
-                    continue
-                if not resilient.pop_available(pop_id):
-                    streaks[pop_id] += 1
-                    resilient.note_skipped_slot(pop_id)
-                    if (resilience.enabled and resilience.reassign
-                            and streaks[pop_id]
-                            >= resilience.reassign_after_slots):
-                        reassign(pop_id)
-                    continue
-                streaks[pop_id] = 0
-                if config.probe_rate_qps is not None:
-                    per_slot = max(1, round(
-                        config.probe_rate_qps
-                        * self.activity_config.slot_seconds))
-                else:
-                    per_slot = max(1, (len(targets) * config.probe_loops
-                                       + slots - 1) // slots)
-                cursor = cursors[pop_id]
-                for offset in range(per_slot):
-                    target = targets[(cursor + offset) % len(targets)]
-                    domain, scope = target[0], target[1]
-                    result = resilient.probe(pop_id, domain.name, scope)
-                    if result is None:
-                        # Budget exhausted or vantage died mid-slot.
-                        break
-                    target[2] += 1
-                    count_key = (pop_id, str(domain.name), scope)
-                    attempts[count_key] = attempts.get(count_key, 0) + 1
-                    if scope not in hourly_attempts:
-                        hourly_attempts[scope] = [0] * 24
-                        hourly_hits[scope] = [0] * 24
-                    hourly_attempts[scope][utc_hour] += 1
-                    if result.is_activity_evidence:
-                        hit_counts[count_key] = \
-                            hit_counts.get(count_key, 0) + 1
-                        hourly_hits[scope][utc_hour] += 1
-                        assert result.response_scope is not None
-                        scope_pairs.append((str(domain.name), scope.length,
-                                            result.response_scope))
-                        key = (pop_id, str(domain.name), scope)
-                        if key not in seen:
-                            seen.add(key)
-                            hits.append(CacheHitRecord(
-                                pop_id=pop_id,
-                                domain=str(domain.name),
-                                query_scope=scope,
-                                response_scope=min(result.response_scope,
-                                                   32),
-                                timestamp=self.world.clock.now,
-                            ))
-                    if (resilience.enabled
-                            and not resilient.pop_available(pop_id)):
-                        # The breaker opened mid-slot; stop hammering.
-                        break
-                cursors[pop_id] = (cursor + per_slot) % len(targets)
-
-        self.simulator.run(config.measurement_hours * HOUR, on_slot=probe_slot)
-        health = resilient.finalize(
-            targets_assigned=len(all_targets),
-            targets_probed=sum(1 for t in all_targets if t[2] > 0),
+        return _ProbingLoopState(
+            slots=max(1, round(config.measurement_hours * HOUR
+                               / self.activity_config.slot_seconds)),
+            targets_by_pop=targets_by_pop,
+            all_targets=[t for targets in targets_by_pop.values()
+                         for t in targets],
+            cursors={pop_id: 0 for pop_id in targets_by_pop},
+            streaks={pop_id: 0 for pop_id in targets_by_pop},
+            assignment_sizes={pop_id: len(targets) for pop_id, targets
+                              in targets_by_pop.items()},
         )
-        return (hits, scope_pairs, attempts, hit_counts,
-                hourly_attempts, hourly_hits, health)
+
+    def _run_probing(self, loop: _ProbingLoopState, checkpointer) -> None:
+        """Walk the measurement window slot by slot, interleaving client
+        activity with probing, from wherever ``loop`` left off.
+
+        Probes flow through the resilient driver: unavailable PoPs
+        (open breaker, vantage outage) skip their slot; a PoP that
+        stays unavailable hands its targets to the next-nearest
+        reachable PoP; targets nobody could probe are reported as
+        uncovered in the health report rather than silently dropped.
+        """
+        journal = checkpointer.record if checkpointer is not None else None
+        resilient = self.resilient
+        clock = self.world.clock
+        while loop.next_slot < loop.slots:
+            index = loop.next_slot
+            self.simulator.run(self.activity_config.slot_seconds)
+            self._probe_one_slot(loop, journal)
+            loop.next_slot = index + 1
+            if journal:
+                transitions = resilient.report.breaker_transitions
+                for move in transitions[loop.journaled_transitions:]:
+                    journal({"type": "breaker", "pop": move.pop_id,
+                             "at": move.at, "old": move.old.value,
+                             "new": move.new.value})
+                loop.journaled_transitions = len(transitions)
+                journal({"type": "slot", "index": index, "now": clock.now,
+                         "ticks": clock.ticks,
+                         "sent": resilient.report.sent})
+            if checkpointer is not None:
+                checkpointer.maybe_snapshot(index)
+
+    def _reassign(self, loop: _ProbingLoopState, dead_pop: str) -> None:
+        """Move a degraded PoP's targets to the nearest live one."""
+        new_pop = self._nearest_available_pop(
+            dead_pop, list(loop.targets_by_pop))
+        if new_pop is None:
+            return  # nobody can take over; targets stay, and end
+            # up uncovered if the PoP never recovers.
+        moved = loop.targets_by_pop[dead_pop]
+        if not moved:
+            return
+        loop.targets_by_pop[new_pop].extend(moved)
+        loop.targets_by_pop[dead_pop] = []
+        self.resilient.note_reassignment(dead_pop, len(moved))
+
+    def _probe_one_slot(self, loop: _ProbingLoopState, journal) -> None:
+        """Probe each PoP's next assignment chunk for this slot."""
+        from repro.sim.clock import DAY
+        config = self.config
+        resilience = config.resilience
+        resilient = self.resilient
+        if resilient.budget_exhausted:
+            return
+        utc_hour = int((self.world.clock.now % DAY) // HOUR)
+        for pop_id in loop.targets_by_pop:
+            targets = loop.targets_by_pop[pop_id]
+            if not targets:
+                continue
+            if not resilient.pop_available(pop_id):
+                loop.streaks[pop_id] += 1
+                resilient.note_skipped_slot(pop_id)
+                if (resilience.enabled and resilience.reassign
+                        and loop.streaks[pop_id]
+                        >= resilience.reassign_after_slots):
+                    self._reassign(loop, pop_id)
+                continue
+            loop.streaks[pop_id] = 0
+            if config.probe_rate_qps is not None:
+                per_slot = max(1, round(
+                    config.probe_rate_qps
+                    * self.activity_config.slot_seconds))
+            else:
+                per_slot = max(1, (len(targets) * config.probe_loops
+                                   + loop.slots - 1) // loop.slots)
+            cursor = loop.cursors[pop_id]
+            for offset in range(per_slot):
+                target = targets[(cursor + offset) % len(targets)]
+                domain, scope = target[0], target[1]
+                result = resilient.probe(pop_id, domain.name, scope)
+                if journal:
+                    journal(_probe_record(pop_id, domain, scope, result))
+                if result is None:
+                    # Budget exhausted or vantage died mid-slot.
+                    break
+                target[2] += 1
+                count_key = (pop_id, str(domain.name), scope)
+                loop.attempts[count_key] = \
+                    loop.attempts.get(count_key, 0) + 1
+                if scope not in loop.hourly_attempts:
+                    loop.hourly_attempts[scope] = [0] * 24
+                    loop.hourly_hits[scope] = [0] * 24
+                loop.hourly_attempts[scope][utc_hour] += 1
+                if result.is_activity_evidence:
+                    loop.hit_counts[count_key] = \
+                        loop.hit_counts.get(count_key, 0) + 1
+                    loop.hourly_hits[scope][utc_hour] += 1
+                    assert result.response_scope is not None
+                    loop.scope_pairs.append((str(domain.name), scope.length,
+                                             result.response_scope))
+                    key = (pop_id, str(domain.name), scope)
+                    if key not in loop.seen:
+                        loop.seen.add(key)
+                        loop.hits.append(CacheHitRecord(
+                            pop_id=pop_id,
+                            domain=str(domain.name),
+                            query_scope=scope,
+                            response_scope=min(result.response_scope,
+                                               32),
+                            timestamp=self.world.clock.now,
+                        ))
+                if (resilience.enabled
+                        and not resilient.pop_available(pop_id)):
+                    # The breaker opened mid-slot; stop hammering.
+                    break
+            loop.cursors[pop_id] = (cursor + per_slot) % len(targets)

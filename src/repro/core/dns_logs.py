@@ -35,6 +35,8 @@ class DnsLogsConfig:
     def __post_init__(self) -> None:
         if self.window_days <= 0:
             raise ValueError("window_days must be positive")
+        if self.daily_threshold < 1:
+            raise ValueError("daily_threshold must be at least 1")
 
 
 @dataclass(slots=True)
@@ -91,22 +93,36 @@ class DnsLogsPipeline:
         self.config = config or DnsLogsConfig()
 
     def run(
-        self, start: float | None = None, end: float | None = None
+        self, start: float | None = None, end: float | None = None,
+        checkpointer=None,
     ) -> DnsLogsResult:
         """Process the DITL window ``[start, end)``.
 
         Defaults to the trailing ``window_days`` of simulated time —
         run client activity first or the traces are empty.
+
+        With a checkpointer attached, the window and each crawled root
+        letter are journaled, so a campaign killed mid-crawl resumes
+        from the post-probing snapshot and re-walks the letters under
+        journal verification — the crawl restarts mid-window instead of
+        being lost with the process.
         """
         config = self.config
         if end is None:
             end = self.world.clock.now
         if start is None:
             start = max(0.0, end - config.window_days * DAY)
+        journal = checkpointer.record if checkpointer is not None else None
+        if journal:
+            journal({"type": "phase", "name": "dns_logs_start",
+                     "start": start, "end": end})
         traces = self.world.roots.ditl_traces(start, end)
         combined: list[QueryLogEntry] = []
         for letter in sorted(traces):
             combined.extend(traces[letter])
+            if journal:
+                journal({"type": "dns_letter", "letter": letter,
+                         "entries": len(traces[letter])})
         classification = classify_entries(combined, config.daily_threshold)
         return DnsLogsResult(
             resolver_counts=dict(classification.resolver_counts()),

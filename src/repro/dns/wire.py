@@ -143,14 +143,21 @@ def decode_ecs_option(payload: bytes, is_response: bool) -> EcsOption:
     family, source, scope = struct.unpack("!HBB", payload[:4])
     if family != ECS_FAMILY_IPV4:
         raise WireError(f"unsupported ECS family {family}")
+    if source > 32:
+        raise WireError(f"ECS source prefix length {source} out of range")
+    if is_response and scope > 32:
+        raise WireError(f"ECS scope prefix length {scope} out of range")
     address_bytes = payload[4:]
     if len(address_bytes) != (source + 7) // 8:
         raise WireError("ECS address length mismatch")
     network = int.from_bytes(address_bytes.ljust(4, b"\0"), "big")
-    return EcsOption(
-        prefix=Prefix.from_address(network, source),
-        scope_length=scope if is_response else None,
-    )
+    try:
+        return EcsOption(
+            prefix=Prefix.from_address(network, source),
+            scope_length=scope if is_response else None,
+        )
+    except ValueError as exc:
+        raise WireError(f"invalid ECS option: {exc}") from exc
 
 
 def _encode_opt_rr(ecs: EcsOption | None, rcode_high: int = 0) -> bytes:
@@ -189,6 +196,8 @@ def _decode_rdata(rtype: RecordType, data: bytes, offset: int,
         if length < 1:
             raise WireError("empty TXT rdata")
         strlen = data[offset]
+        if strlen > length - 1:
+            raise WireError("TXT string runs past rdata")
         try:
             return data[offset + 1:offset + 1 + strlen].decode("utf-8")
         except UnicodeDecodeError as exc:
@@ -273,8 +282,9 @@ def decode_query(data: bytes) -> tuple[DnsQuery, int]:
         raise WireError(f"unsupported qtype {type_code}")
     ecs = None
     for _ in range(header.arcount):
-        ecs, offset = _decode_opt(data, offset, is_response=False) or \
-            (ecs, offset)
+        found, offset = _decode_opt(data, offset, is_response=False)
+        if found is not None:
+            ecs = found
     return DnsQuery(
         name=name, rtype=rtype,
         recursion_desired=header.recursion_desired, ecs=ecs,
@@ -300,6 +310,8 @@ def _decode_opt(data: bytes, offset: int,
     while cursor + 4 <= len(rdata):
         code, length = struct.unpack("!HH", rdata[cursor:cursor + 4])
         cursor += 4
+        if cursor + length > len(rdata):
+            raise WireError("EDNS option runs past OPT rdata")
         payload = rdata[cursor:cursor + length]
         cursor += length
         if code == OPTION_ECS:
@@ -363,6 +375,8 @@ def decode_response(data: bytes) -> tuple[DnsResponse, DnsName, int]:
         rtype = _CODE_TYPES.get(type_code)
         if rtype is None:
             raise WireError(f"unsupported answer type {type_code}")
+        if offset + rdlength > len(data):
+            raise WireError("truncated answer rdata")
         rdata_text = _decode_rdata(rtype, data, offset, rdlength)
         offset += rdlength
         answers.append(ResourceRecord(name=name, rtype=rtype, ttl=float(ttl),

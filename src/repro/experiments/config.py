@@ -19,7 +19,12 @@ from repro.core.dns_logs import DnsLogsConfig
 
 @dataclass(frozen=True, slots=True)
 class ExperimentConfig:
-    """Everything an end-to-end run needs."""
+    """Everything an end-to-end run needs.
+
+    Validation happens at construction: a bad window, budget or world
+    shape fails here with a clear ``ValueError`` instead of hours into
+    a campaign.
+    """
 
     world: WorldConfig = field(default_factory=WorldConfig)
     activity: ActivityConfig = field(default_factory=ActivityConfig)
@@ -27,6 +32,12 @@ class ExperimentConfig:
     dns_logs: DnsLogsConfig = field(default_factory=DnsLogsConfig)
     apnic_impressions: int = 60_000
     seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.apnic_impressions < 1:
+            raise ValueError("apnic_impressions must be positive")
+        if not self.world.countries:
+            raise ValueError("world.countries must not be empty")
 
     @classmethod
     def small(cls, seed: int = 42) -> "ExperimentConfig":

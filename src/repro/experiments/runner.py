@@ -49,13 +49,32 @@ class ExperimentResult:
 
 
 class ExperimentRunner:
-    """Runs the full §4 comparison for one configuration."""
+    """Runs the full §4 comparison for one configuration.
 
-    def __init__(self, config: ExperimentConfig | None = None) -> None:
+    With ``checkpoint_dir`` set, the run goes through the crash-safe
+    campaign driver (:mod:`repro.persist.campaign`): progress is
+    journaled and snapshotted, and a killed run is resumable with
+    :func:`repro.persist.campaign.resume_campaign` (or ``repro
+    resume``) to the identical result.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig | None = None,
+        checkpoint_dir=None,
+        checkpoint_config=None,
+    ) -> None:
         self.config = config or ExperimentConfig.small()
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_config = checkpoint_config
 
     def run(self) -> ExperimentResult:
         """Execute the full §4 comparison and assemble datasets."""
+        if self.checkpoint_dir is not None:
+            from repro.persist.campaign import run_campaign
+
+            return run_campaign(self.config, self.checkpoint_dir,
+                                self.checkpoint_config)
         config = self.config
         world = build_world(config.world)
         vantage_points = deploy_vantage_points(world)
@@ -84,6 +103,11 @@ class ExperimentRunner:
         )
 
 
-def run_experiment(config: ExperimentConfig | None = None) -> ExperimentResult:
-    """Convenience one-shot runner."""
-    return ExperimentRunner(config).run()
+def run_experiment(
+    config: ExperimentConfig | None = None,
+    checkpoint_dir=None,
+    checkpoint_config=None,
+) -> ExperimentResult:
+    """Convenience one-shot runner (checkpointed when a dir is given)."""
+    return ExperimentRunner(config, checkpoint_dir=checkpoint_dir,
+                            checkpoint_config=checkpoint_config).run()

@@ -14,7 +14,30 @@ from repro.net.prefix import Prefix
 
 V = TypeVar("V")
 
-_SENTINEL = object()
+class _Sentinel:
+    """Absent-value marker whose identity survives pickling.
+
+    Tries end up inside campaign snapshots (the geo database, route
+    table and scope policies are all trie-backed); a plain ``object()``
+    sentinel unpickles as a *different* object, turning every empty
+    node into a phantom value.  The singleton ``__new__`` +
+    ``__reduce__`` pair keeps ``is _SENTINEL`` checks true across the
+    round-trip.
+    """
+
+    __slots__ = ()
+    _instance = None
+
+    def __new__(cls) -> "_Sentinel":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __reduce__(self):
+        return (_Sentinel, ())
+
+
+_SENTINEL = _Sentinel()
 
 
 class _Node:

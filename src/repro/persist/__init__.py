@@ -1,0 +1,30 @@
+"""Durable progress for long campaigns: write-ahead journal,
+checksummed snapshots, and the crash-safe campaign driver."""
+
+from repro.persist.journal import Journal, JournalError, canonical, encode_record
+from repro.persist.snapshot import SnapshotError, SnapshotStore
+from repro.persist.campaign import (
+    CampaignCheckpointer,
+    CampaignState,
+    CheckpointConfig,
+    CheckpointError,
+    ReplayDivergence,
+    resume_campaign,
+    run_campaign,
+)
+
+__all__ = [
+    "CampaignCheckpointer",
+    "CampaignState",
+    "CheckpointConfig",
+    "CheckpointError",
+    "Journal",
+    "JournalError",
+    "ReplayDivergence",
+    "SnapshotError",
+    "SnapshotStore",
+    "canonical",
+    "encode_record",
+    "resume_campaign",
+    "run_campaign",
+]

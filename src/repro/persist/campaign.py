@@ -1,0 +1,337 @@
+"""Crash-safe, resumable measurement campaigns.
+
+The paper's probing campaign runs for weeks (§3.1, §4); process death
+must not discard progress or double-count probes.  This module ties the
+write-ahead :class:`~repro.persist.journal.Journal` and the
+:class:`~repro.persist.snapshot.SnapshotStore` into a campaign driver:
+
+* ``run_campaign`` executes the full §4 experiment while journaling
+  every observable event (probe batches, breaker transitions, slot
+  clock ticks, phase boundaries) and snapshotting the complete
+  deterministic state — sim clock, every seeded RNG stream, cache
+  contents, accumulated results — at phase boundaries and every
+  ``snapshot_every_slots`` probing slots;
+* ``resume_campaign`` recovers the journal (truncating a torn tail),
+  loads the newest intact snapshot, and re-executes from it.  Because
+  the snapshot captures *all* state the run depends on, re-execution is
+  bit-deterministic; every record it regenerates is verified against
+  the journal suffix (``ReplayDivergence`` on mismatch), and once the
+  suffix is exhausted the campaign continues live.  The resumed run
+  provably reaches the identical :class:`CacheProbingResult` and
+  :class:`DnsLogsResult` an uninterrupted run produces.
+
+Crash injection for tests lives in :mod:`repro.sim.faults`
+(``FaultConfig.crash_after_appends``): the checkpointer consults the
+world's injector before each journal append and dies with
+:class:`~repro.sim.faults.SimulatedCrash` — optionally mid-write, to
+exercise torn-record recovery.  Resume does *not* re-arm crash
+injection unless explicitly asked (a restarted supervisor is a new
+process).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.persist.journal import Journal, canonical
+from repro.persist.snapshot import SnapshotError, SnapshotStore
+from repro.sim.faults import FaultInjector
+from repro.world.apnic import ApnicEstimator
+from repro.world.builder import World, build_world
+from repro.world.vantage import VantagePoint, deploy_vantage_points
+from repro.core.cache_probing import CacheProbingPipeline, CacheProbingResult
+from repro.core.datasets import build_all_datasets
+from repro.core.dns_logs import DnsLogsPipeline, DnsLogsResult
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentResult
+
+
+class CheckpointError(RuntimeError):
+    """Raised on unusable checkpoint directories or resume failures."""
+
+
+class ReplayDivergence(CheckpointError):
+    """A resumed run regenerated a record that differs from the journal
+    — the snapshot and journal disagree, or determinism was broken."""
+
+
+@dataclass(frozen=True, slots=True)
+class CheckpointConfig:
+    """Durability knobs for a checkpointed campaign."""
+
+    #: snapshot cadence during the probing loop, in slots.
+    snapshot_every_slots: int = 8
+    #: how many snapshot generations to retain on disk.
+    keep_snapshots: int = 2
+    #: fsync every journal append (safe against OS crashes, slow).
+    fsync: bool = False
+
+    def __post_init__(self) -> None:
+        if self.snapshot_every_slots < 1:
+            raise ValueError("snapshot_every_slots must be at least 1")
+        if self.keep_snapshots < 1:
+            raise ValueError("keep_snapshots must be at least 1")
+
+
+@dataclass(slots=True)
+class CampaignState:
+    """Everything a snapshot must capture to resume the campaign.
+
+    One pickle graph: the pipeline references the same ``world`` (and
+    through it the same clock, RNG streams and fault injector), so
+    shared identity survives the snapshot round-trip.
+    """
+
+    config: ExperimentConfig
+    stage: str  # "probing" → "dns_logs" → "finish" → "done"
+    world: World
+    vantage_points: list[VantagePoint]
+    pipeline: CacheProbingPipeline
+    cache_result: CacheProbingResult | None = None
+    logs_result: DnsLogsResult | None = None
+    apnic_estimates: dict[int, float] = field(default_factory=dict)
+
+
+class CampaignCheckpointer:
+    """The journal + snapshot facade handed to the pipelines.
+
+    ``record`` appends a journal record — or, while resuming, verifies
+    it against the journal suffix instead.  ``snapshot`` pickles the
+    bound :class:`CampaignState` and journals a marker pointing at the
+    file; snapshots are suppressed while replaying (the on-disk history
+    past the loaded snapshot must stay byte-stable until re-execution
+    catches up).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        config: CheckpointConfig | None = None,
+        faults: FaultInjector | None = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.config = config or CheckpointConfig()
+        self._faults = faults
+        self._journal = Journal(self.directory / "journal.bin",
+                                fsync=self.config.fsync)
+        self._snapshots = SnapshotStore(self.directory,
+                                        keep=self.config.keep_snapshots)
+        self._state: CampaignState | None = None
+        self._replay: deque[dict] = deque()
+        self._appends = 0
+
+    # -- wiring ------------------------------------------------------------
+
+    def bind(self, state: CampaignState) -> None:
+        """Attach the state object that ``snapshot`` pickles."""
+        self._state = state
+
+    @property
+    def replaying(self) -> bool:
+        """Whether journaled history is still being verified."""
+        return bool(self._replay)
+
+    @property
+    def appends(self) -> int:
+        """Journal records written (including recovered history)."""
+        return self._appends
+
+    def close(self) -> None:
+        """Release the journal file handle."""
+        self._journal.close()
+
+    # -- journaling --------------------------------------------------------
+
+    def record(self, record: dict) -> None:
+        """Journal one event — or verify it against replayed history."""
+        if self._replay:
+            expected = self._replay.popleft()
+            if canonical(record) != canonical(expected):
+                raise ReplayDivergence(
+                    f"resumed run diverged from journal at record "
+                    f"#{self._appends - len(self._replay)}: regenerated "
+                    f"{record!r}, journal has {expected!r}"
+                )
+            return
+        self._append(record)
+
+    def _append(self, record: dict) -> None:
+        self._appends += 1
+        if (self._faults is not None
+                and self._faults.crash_on_journal_append(self._appends)):
+            from repro.sim.faults import SimulatedCrash
+
+            if self._faults.config.crash_torn_write:
+                self._journal.append_torn(record)
+            else:
+                self._journal.append(record)
+            self._journal.close()
+            raise SimulatedCrash(
+                f"injected crash at journal append #{self._appends}")
+        self._journal.append(record)
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> None:
+        """Snapshot the bound state now (no-op while replaying)."""
+        if self.replaying or self._state is None:
+            return
+        name = self._snapshots.save(self._state, seq=self._appends + 1)
+        self._append({"type": "snapshot", "file": name,
+                      "stage": self._state.stage})
+        self._snapshots.prune()
+
+    def maybe_snapshot(self, slot_index: int) -> None:
+        """Snapshot on the configured slot cadence."""
+        if (slot_index + 1) % self.config.snapshot_every_slots == 0:
+            self.snapshot()
+
+    # -- recovery ----------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        directory: str | Path,
+        config: CheckpointConfig | None = None,
+        faults: FaultInjector | None = None,
+    ) -> tuple["CampaignCheckpointer", CampaignState | None, bool]:
+        """Recover a checkpoint dir: truncate any torn journal tail,
+        load the newest intact snapshot, and queue the journal suffix
+        for replay verification.
+
+        Returns (checkpointer, state-or-None, torn-tail-discarded).
+        """
+        directory = Path(directory)
+        records, torn = Journal.recover(directory / "journal.bin")
+        ckpt = cls(directory, config, faults=faults)
+        ckpt._appends = len(records)
+        for index in reversed(range(len(records))):
+            record = records[index]
+            if record.get("type") != "snapshot":
+                continue
+            try:
+                state = ckpt._snapshots.load(record["file"])
+            except SnapshotError:
+                continue  # fall back to an older snapshot
+            ckpt._replay = deque(records[index + 1:])
+            return ckpt, state, torn
+        return ckpt, None, torn
+
+
+# -- campaign driver ---------------------------------------------------------
+
+
+def run_campaign(
+    config: ExperimentConfig | None = None,
+    checkpoint_dir: str | Path = "checkpoints",
+    checkpoint_config: CheckpointConfig | None = None,
+) -> ExperimentResult:
+    """Run the full §4 experiment with crash-safe checkpointing.
+
+    ``checkpoint_dir`` must be fresh (no journal): an existing campaign
+    is resumed with :func:`resume_campaign`, never silently restarted.
+    """
+    config = config or ExperimentConfig.small()
+    directory = Path(checkpoint_dir)
+    journal_path = directory / "journal.bin"
+    if journal_path.exists() and journal_path.stat().st_size > len(b"RPJ1"):
+        raise CheckpointError(
+            f"{directory} already holds a campaign journal; resume it "
+            "with resume_campaign() (or `repro resume`), or point "
+            "--checkpoint-dir at a fresh directory"
+        )
+    world = build_world(config.world)
+    vantage_points = deploy_vantage_points(world)
+    pipeline = CacheProbingPipeline(
+        world,
+        config.probing,
+        activity_config=config.activity,
+        vantage_points=vantage_points,
+    )
+    state = CampaignState(
+        config=config,
+        stage="probing",
+        world=world,
+        vantage_points=vantage_points,
+        pipeline=pipeline,
+    )
+    checkpointer = CampaignCheckpointer(directory, checkpoint_config,
+                                        faults=world.faults)
+    checkpointer.bind(state)
+    checkpointer.record({"type": "phase", "name": "campaign_start",
+                         "seed": config.seed})
+    checkpointer.snapshot()
+    return _drive(state, checkpointer)
+
+
+def resume_campaign(
+    checkpoint_dir: str | Path,
+    checkpoint_config: CheckpointConfig | None = None,
+    faults: FaultInjector | None = None,
+) -> ExperimentResult:
+    """Resume a crashed campaign from its checkpoint directory.
+
+    Recovers the journal (discarding a torn final record), loads the
+    newest intact snapshot and re-executes deterministically from it,
+    verifying regenerated events against the journaled suffix.  Crash
+    injection is *not* re-armed unless a ``faults`` injector is passed
+    explicitly.
+    """
+    checkpointer, state, _torn = CampaignCheckpointer.recover(
+        checkpoint_dir, checkpoint_config, faults=faults)
+    if state is None:
+        raise CheckpointError(
+            f"{checkpoint_dir} holds no resumable snapshot; "
+            "run the campaign from scratch"
+        )
+    checkpointer.bind(state)
+    return _drive(state, checkpointer)
+
+
+def _drive(state: CampaignState,
+           checkpointer: CampaignCheckpointer) -> ExperimentResult:
+    """Advance the campaign through its remaining stages."""
+    config = state.config
+    if state.stage == "probing":
+        state.cache_result = state.pipeline.run(checkpointer=checkpointer)
+        state.stage = "dns_logs"
+        checkpointer.record({
+            "type": "phase", "name": "cache_probing_done",
+            "probes": state.cache_result.probes_sent,
+            "hits": len(state.cache_result.hits),
+        })
+        checkpointer.snapshot()
+    if state.stage == "dns_logs":
+        state.logs_result = DnsLogsPipeline(
+            state.world, config.dns_logs).run(checkpointer=checkpointer)
+        state.stage = "finish"
+        checkpointer.record({
+            "type": "phase", "name": "dns_logs_done",
+            "probes": state.logs_result.total_probes(),
+        })
+        checkpointer.snapshot()
+    if state.stage == "finish":
+        state.apnic_estimates = ApnicEstimator(
+            state.world, seed=config.seed,
+        ).estimate(impressions=config.apnic_impressions)
+        state.stage = "done"
+        checkpointer.record({"type": "phase", "name": "campaign_done"})
+        checkpointer.snapshot()
+    assert state.cache_result is not None and state.logs_result is not None
+    datasets = build_all_datasets(
+        state.world, state.cache_result, state.logs_result,
+        state.apnic_estimates,
+    )
+    checkpointer.close()
+    return ExperimentResult(
+        config=config,
+        world=state.world,
+        vantage_points=state.vantage_points,
+        cache_result=state.cache_result,
+        logs_result=state.logs_result,
+        apnic_estimates=state.apnic_estimates,
+        datasets=datasets,
+    )

@@ -1,0 +1,168 @@
+"""Append-only, checksummed write-ahead journal.
+
+The journal is the durability primitive under crash-safe campaigns
+(:mod:`repro.persist.campaign`): every externally observable event of a
+measurement run — probe outcomes, breaker transitions, slot/clock
+ticks, phase boundaries, snapshot markers — is appended as one framed
+record *before* the campaign moves on.  After a crash, replaying the
+journal suffix against a re-execution from the latest snapshot proves
+the resumed run walks the same path the dead one did.
+
+Wire format (all integers big-endian)::
+
+    file   := MAGIC record*
+    MAGIC  := b"RPJ1"
+    record := length:u32 crc32:u32 payload[length]
+
+``payload`` is compact, sort-keyed JSON (a single object).  A record is
+valid only if its full frame is present *and* the CRC matches; recovery
+stops at the first invalid frame and truncates the file there, so a
+torn final write (the classic power-cut failure) is detected and
+discarded instead of being silently replayed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+
+MAGIC = b"RPJ1"
+_FRAME = struct.Struct("!II")
+
+
+class JournalError(RuntimeError):
+    """Raised on unusable journal files (bad magic, not a journal)."""
+
+
+def encode_record(record: dict) -> bytes:
+    """Frame one record: length + CRC32 + canonical JSON payload."""
+    payload = json.dumps(record, sort_keys=True,
+                         separators=(",", ":")).encode("utf-8")
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def canonical(record: dict) -> str:
+    """Canonical JSON text of a record, used for replay comparison.
+
+    Round-trips through JSON first so in-memory shapes JSON cannot
+    distinguish (tuple vs list) compare equal to their decoded form.
+    """
+    return json.dumps(json.loads(json.dumps(record)), sort_keys=True,
+                      separators=(",", ":"))
+
+
+class Journal:
+    """An append-only journal file.
+
+    The file handle opens lazily on the first append, so a `Journal`
+    can be constructed against a path that recovery is about to
+    truncate.  ``fsync=True`` makes every append durable against OS
+    crashes at a heavy performance cost; the default only flushes to
+    the OS (durable against *process* death, the failure the simulator
+    injects).
+    """
+
+    def __init__(self, path: str | Path, fsync: bool = False) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self._fh = None
+
+    def _open(self):
+        if self._fh is None:
+            fresh = not self.path.exists() or self.path.stat().st_size == 0
+            self._fh = open(self.path, "ab")
+            if fresh:
+                self._fh.write(MAGIC)
+                self._fh.flush()
+        return self._fh
+
+    def append(self, record: dict) -> None:
+        """Durably append one record."""
+        fh = self._open()
+        fh.write(encode_record(record))
+        fh.flush()
+        if self.fsync:
+            os.fsync(fh.fileno())
+
+    def append_torn(self, record: dict, keep_fraction: float = 0.5) -> None:
+        """Write only a prefix of the record's frame (crash injection).
+
+        Models a process killed mid-``write``: the frame header lands
+        but the payload is cut short, which recovery must detect via
+        the length/CRC check and truncate.
+        """
+        frame = encode_record(record)
+        cut = max(_FRAME.size + 1, int(len(frame) * keep_fraction))
+        fh = self._open()
+        fh.write(frame[:min(cut, len(frame) - 1)])
+        fh.flush()
+
+    def close(self) -> None:
+        """Close the underlying file handle (if ever opened)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # -- reading -----------------------------------------------------------
+
+    @classmethod
+    def read(cls, path: str | Path) -> tuple[list[dict], int, bool]:
+        """Scan a journal; returns (records, valid_length, torn).
+
+        ``valid_length`` is the byte offset just past the last valid
+        record; ``torn`` reports whether trailing bytes past it had to
+        be ignored (truncated frame, CRC mismatch, or undecodable
+        payload).  A missing or empty file reads as zero records.
+        """
+        path = Path(path)
+        if not path.exists():
+            return [], 0, False
+        data = path.read_bytes()
+        if not data:
+            return [], 0, False
+        if data[:len(MAGIC)] != MAGIC:
+            raise JournalError(f"{path} is not a journal (bad magic)")
+        records: list[dict] = []
+        pos = len(MAGIC)
+        torn = False
+        while pos < len(data):
+            if pos + _FRAME.size > len(data):
+                torn = True
+                break
+            length, crc = _FRAME.unpack_from(data, pos)
+            start = pos + _FRAME.size
+            if length > len(data) - start:
+                torn = True
+                break
+            payload = data[start:start + length]
+            if zlib.crc32(payload) != crc:
+                torn = True
+                break
+            try:
+                record = json.loads(payload)
+            except ValueError:
+                torn = True
+                break
+            if not isinstance(record, dict):
+                torn = True
+                break
+            records.append(record)
+            pos = start + length
+        return records, pos, torn
+
+    @classmethod
+    def recover(cls, path: str | Path) -> tuple[list[dict], bool]:
+        """Read a journal and truncate any torn tail in place.
+
+        Returns (valid records, whether a torn tail was discarded).
+        After recovery the file ends exactly at the last valid record,
+        so subsequent appends continue the valid history.
+        """
+        records, valid_length, torn = cls.read(path)
+        if torn:
+            with open(path, "r+b") as fh:
+                fh.truncate(valid_length)
+        return records, torn

@@ -1,0 +1,93 @@
+"""Checksummed, atomically written state snapshots.
+
+A snapshot is a full pickle of the campaign state — world (clock, cache
+contents, RNG streams, fault injector), pipeline loop state, partial
+results — taken at a consistent boundary.  Resuming loads the newest
+valid snapshot and replays the journal suffix on top
+(:mod:`repro.persist.campaign`).
+
+Snapshots are written to a temporary file and ``os.replace``d into
+place, so a crash mid-write can never clobber the previous snapshot.
+Each file carries a CRC over the pickle payload; a corrupt snapshot is
+rejected at load time (``SnapshotError``) and recovery falls back to
+the previous one.
+
+File format: ``b"RPS1"`` + ``length:u32`` + ``crc32:u32`` + payload.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+from pathlib import Path
+
+MAGIC = b"RPS1"
+_HEADER = struct.Struct("!II")
+
+
+class SnapshotError(RuntimeError):
+    """Raised when a snapshot file is missing, corrupt, or unreadable."""
+
+
+class SnapshotStore:
+    """Manages the numbered snapshot files inside a checkpoint dir."""
+
+    def __init__(self, directory: str | Path, keep: int = 2) -> None:
+        if keep < 1:
+            raise ValueError("keep must be at least 1")
+        self.directory = Path(directory)
+        self.keep = keep
+
+    def _path(self, name: str) -> Path:
+        return self.directory / name
+
+    def save(self, state: object, seq: int) -> str:
+        """Atomically write ``state`` as snapshot number ``seq``.
+
+        ``seq`` must be strictly increasing across the campaign (the
+        journal append counter is a natural source); returns the file
+        name for the journal's snapshot marker.
+        """
+        name = f"snapshot-{seq:010d}.bin"
+        payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp = self._path(name + ".tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(MAGIC)
+            fh.write(_HEADER.pack(len(payload), zlib.crc32(payload)))
+            fh.write(payload)
+            fh.flush()
+        tmp.replace(self._path(name))
+        return name
+
+    def load(self, name: str) -> object:
+        """Load and verify one snapshot by file name."""
+        path = self._path(name)
+        if not path.exists():
+            raise SnapshotError(f"snapshot {name} is missing")
+        data = path.read_bytes()
+        header_end = len(MAGIC) + _HEADER.size
+        if len(data) < header_end or data[:len(MAGIC)] != MAGIC:
+            raise SnapshotError(f"snapshot {name} has a bad header")
+        length, crc = _HEADER.unpack_from(data, len(MAGIC))
+        payload = data[header_end:header_end + length]
+        if len(payload) != length or zlib.crc32(payload) != crc:
+            raise SnapshotError(f"snapshot {name} is corrupt")
+        try:
+            return pickle.loads(payload)
+        except Exception as exc:
+            raise SnapshotError(f"snapshot {name} failed to unpickle") from exc
+
+    def prune(self) -> list[str]:
+        """Delete all but the newest ``keep`` snapshots; returns what
+        was removed.  Stray ``.tmp`` files from interrupted writes are
+        always swept."""
+        removed: list[str] = []
+        for tmp in self.directory.glob("snapshot-*.bin.tmp"):
+            tmp.unlink()
+            removed.append(tmp.name)
+        files = sorted(self.directory.glob("snapshot-*.bin"))
+        for path in files[:-self.keep]:
+            path.unlink()
+            removed.append(path.name)
+        return removed

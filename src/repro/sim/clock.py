@@ -15,21 +15,36 @@ class ClockError(RuntimeError):
 
 
 class Clock:
-    """A monotonically advancing simulated clock."""
+    """A monotonically advancing simulated clock.
+
+    Besides the time itself the clock counts how often it was advanced
+    (``ticks``).  Two runs that reach the same ``now`` by different
+    advance sequences are *not* equivalent (different components
+    observed different intermediate times), so checkpointed campaigns
+    journal the tick count alongside the timestamp as a cheap
+    divergence detector on resume.
+    """
 
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
+        self._ticks = 0
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
 
+    @property
+    def ticks(self) -> int:
+        """How many times the clock has been advanced."""
+        return self._ticks
+
     def advance(self, seconds: float) -> float:
         """Move time forward by ``seconds`` and return the new time."""
         if seconds < 0:
             raise ClockError(f"cannot advance by {seconds} seconds")
         self._now += seconds
+        self._ticks += 1
         return self._now
 
     def advance_to(self, timestamp: float) -> float:
@@ -39,10 +54,11 @@ class Clock:
                 f"cannot move clock backwards from {self._now} to {timestamp}"
             )
         self._now = float(timestamp)
+        self._ticks += 1
         return self._now
 
     def __repr__(self) -> str:
-        return f"Clock(now={self._now:.3f})"
+        return f"Clock(now={self._now:.3f}, ticks={self._ticks})"
 
 
 HOUR = 3600.0

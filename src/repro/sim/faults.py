@@ -25,6 +25,16 @@ from dataclasses import dataclass, field
 from repro.sim.clock import Clock
 
 
+class SimulatedCrash(RuntimeError):
+    """Injected process death (see ``FaultConfig.crash_after_appends``).
+
+    Raised out of the checkpointing layer to model the process being
+    killed mid-campaign; nothing catches it inside the pipeline, so it
+    unwinds exactly like SIGKILL would — whatever reached the journal
+    is all that survives.
+    """
+
+
 @dataclass(frozen=True, slots=True)
 class OutageWindow:
     """A half-open ``[start, end)`` interval of sim time during which
@@ -69,6 +79,11 @@ class FaultConfig:
       is down and cannot emit probes (keyed ``provider:region``).
     * ``refused_bursts`` — windows during which a PoP REFUSES every
       query, the burst-rate-limit episodes §3.1.1 ran into over UDP.
+    * ``crash_after_appends`` — kill the process (raise
+      :class:`SimulatedCrash`) at exactly the Nth journal append of a
+      checkpointed campaign; with ``crash_torn_write`` the fatal record
+      is half-written first, exercising torn-tail recovery.  Purely
+      deterministic — no RNG stream is consumed.
     """
 
     seed: int = 0
@@ -79,16 +94,26 @@ class FaultConfig:
     pop_outages: tuple[OutageWindow, ...] = ()
     vantage_outages: tuple[OutageWindow, ...] = ()
     refused_bursts: tuple[OutageWindow, ...] = ()
+    crash_after_appends: int | None = None
+    crash_torn_write: bool = False
 
     def __post_init__(self) -> None:
         _check_rate("udp_loss_rate", self.udp_loss_rate)
         _check_rate("tcp_loss_rate", self.tcp_loss_rate)
         _check_rate("servfail_rate", self.servfail_rate)
         _check_rate("refused_rate", self.refused_rate)
+        if self.crash_after_appends is not None \
+                and self.crash_after_appends < 1:
+            raise ValueError("crash_after_appends must be >= 1 (or None)")
 
     @property
     def any_enabled(self) -> bool:
-        """True when any fault can ever fire."""
+        """True when any *network-path* fault can ever fire.
+
+        Crash injection is deliberately excluded: it fires in the
+        checkpointing layer, and a crash-only config must leave the
+        DNS path bit-identical to a fault-free run.
+        """
         return bool(
             self.udp_loss_rate or self.tcp_loss_rate
             or self.servfail_rate or self.refused_rate
@@ -107,6 +132,8 @@ class FaultConfig:
             pop_outages=self.pop_outages,
             vantage_outages=self.vantage_outages,
             refused_bursts=self.refused_bursts,
+            crash_after_appends=self.crash_after_appends,
+            crash_torn_write=self.crash_torn_write,
         )
 
 
@@ -121,12 +148,14 @@ class FaultStats:
     refused_burst: int = 0
     pop_outage_drops: int = 0
     vantage_blocked: int = 0
+    crashes: int = 0
 
     def total(self) -> int:
         """All injected faults."""
         return (self.dropped_udp + self.dropped_tcp + self.servfails
                 + self.refused_injected + self.refused_burst
-                + self.pop_outage_drops + self.vantage_blocked)
+                + self.pop_outage_drops + self.vantage_blocked
+                + self.crashes)
 
     def as_dict(self) -> dict[str, int]:
         """Counter snapshot keyed by fault class."""
@@ -138,6 +167,7 @@ class FaultStats:
             "refused_burst": self.refused_burst,
             "pop_outage_drops": self.pop_outage_drops,
             "vantage_blocked": self.vantage_blocked,
+            "crashes": self.crashes,
         }
 
 
@@ -215,6 +245,23 @@ class FaultInjector:
             if window.covers(vantage_key, self._clock.now):
                 self.stats.vantage_blocked += 1
                 return True
+        return False
+
+    # -- crash injection ---------------------------------------------------
+
+    def crash_on_journal_append(self, append_index: int) -> bool:
+        """Whether the checkpointer should die at this journal append.
+
+        ``append_index`` is 1-based and counts appends over the life of
+        the journal file.  Resume paths do not re-arm crash injection
+        by default (see :func:`repro.persist.campaign.resume_campaign`),
+        matching a supervisor that restarts the process without
+        re-scheduling the kill.
+        """
+        target = self.config.crash_after_appends
+        if target is not None and append_index == target:
+            self.stats.crashes += 1
+            return True
         return False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -302,6 +302,35 @@ class TestResilientPipelineUnderFaults:
         assert health.targets_probed == 0
         assert health.targets_uncovered == health.targets_assigned > 0
 
+    def test_all_pops_dead_terminates_with_everything_uncovered(self):
+        """Every PoP black-holes probes all campaign: breakers open
+        everywhere, reassignment finds no live PoP, the run still
+        terminates and every target is accounted for — never silently
+        dropped."""
+        world = build_world(tiny_world_config(
+            seed=38, faults=FaultConfig(pop_outages=(
+                OutageWindow("*", 0.0, 1e9),))))
+        pipeline = CacheProbingPipeline(
+            world,
+            _pipeline_config(38, resilience=ResilienceConfig(
+                enabled=True, reassign_after_slots=2)),
+        )
+        result = pipeline.run()           # termination is the first assert
+        health = result.health
+        health.verify()                   # probed + uncovered == assigned
+        assert result.hits == []
+        assert health.hits == 0
+        assert health.timed_out > 0       # the outage actually bit
+        assert health.answered == 0       # nothing ever got through
+        assert health.breaker_opens > 0
+        assert health.targets_assigned > 0
+        assert health.targets_probed + health.targets_uncovered \
+            == health.targets_assigned
+        # No PoP could take over anyone's targets.
+        assert all(pop.final_breaker == BreakerState.OPEN.value
+                   or pop.sent == 0
+                   for pop in health.per_pop.values())
+
     def test_dead_vantage_reassigns_targets_to_nearest_pop(self):
         """One vantage down all campaign: its PoPs' targets move to the
         next-nearest reachable PoP instead of being dropped."""

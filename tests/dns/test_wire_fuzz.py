@@ -1,0 +1,164 @@
+"""Fuzz-style robustness tests for repro.dns.wire decode paths.
+
+A production prober feeds attacker-controlled bytes straight into the
+decoder, so every malformed input — random garbage, truncations,
+bit-flipped valid messages — must raise :class:`WireError` (or decode
+cleanly), never leak ``IndexError``/``struct.error``/``KeyError`` or
+loop forever.
+"""
+
+import random
+
+import pytest
+
+from repro.dns.message import DnsQuery, DnsResponse, EcsOption, Rcode, RecordType, ResourceRecord
+from repro.dns.name import DnsName
+from repro.net.prefix import Prefix
+from repro.dns.wire import (
+    WireError,
+    decode_ecs_option,
+    decode_name,
+    decode_query,
+    decode_response,
+    encode_query,
+    encode_response,
+)
+
+SEED = 0xD15EA5E
+
+
+def _valid_query_bytes(rng: random.Random) -> bytes:
+    name = DnsName.parse(rng.choice([
+        "www.example.com", "probe.cdn-test.net", "a.b.c.d.e",
+    ]))
+    ecs = None
+    if rng.random() < 0.7:
+        ecs = EcsOption(prefix=Prefix.from_address(
+            rng.getrandbits(32), rng.randint(8, 32)))
+    query = DnsQuery(name=name, rtype=rng.choice([RecordType.A, RecordType.TXT]),
+                     recursion_desired=bool(rng.getrandbits(1)), ecs=ecs)
+    return encode_query(query, message_id=rng.getrandbits(16))
+
+
+def _valid_response_bytes(rng: random.Random) -> bytes:
+    name = DnsName.parse("www.example.com")
+    question = DnsQuery(name=name, rtype=RecordType.A)
+    answers = tuple(
+        ResourceRecord(name=name, rtype=RecordType.A, ttl=300.0,
+                       data=f"192.0.2.{rng.randint(1, 254)}")
+        for _ in range(rng.randint(0, 3))
+    )
+    ecs = None
+    if rng.random() < 0.7:
+        ecs = EcsOption(
+            prefix=Prefix.from_address(rng.getrandbits(32), 24),
+            scope_length=rng.randint(0, 32),
+        )
+    response = DnsResponse(rcode=Rcode.NOERROR, answers=answers, ecs=ecs)
+    return encode_response(response, question, message_id=rng.getrandbits(16))
+
+
+def _assert_decodes_or_wire_error(blob: bytes) -> None:
+    """The only acceptable outcomes: clean decode or WireError."""
+    for decoder in (decode_query, decode_response):
+        try:
+            decoder(blob)
+        except WireError:
+            pass
+    try:
+        decode_name(blob, 0)
+    except WireError:
+        pass
+
+
+def test_random_garbage_never_leaks_raw_exceptions():
+    rng = random.Random(SEED)
+    for _ in range(2000):
+        blob = rng.randbytes(rng.randint(0, 64))
+        _assert_decodes_or_wire_error(blob)
+
+
+def test_bit_flipped_queries_never_leak_raw_exceptions():
+    rng = random.Random(SEED + 1)
+    for _ in range(300):
+        blob = bytearray(_valid_query_bytes(rng))
+        for _ in range(rng.randint(1, 4)):
+            position = rng.randrange(len(blob))
+            blob[position] ^= 1 << rng.randrange(8)
+        _assert_decodes_or_wire_error(bytes(blob))
+
+
+def test_bit_flipped_responses_never_leak_raw_exceptions():
+    rng = random.Random(SEED + 2)
+    for _ in range(300):
+        blob = bytearray(_valid_response_bytes(rng))
+        for _ in range(rng.randint(1, 4)):
+            position = rng.randrange(len(blob))
+            blob[position] ^= 1 << rng.randrange(8)
+        _assert_decodes_or_wire_error(bytes(blob))
+
+
+def test_truncations_of_valid_messages():
+    rng = random.Random(SEED + 3)
+    query = _valid_query_bytes(rng)
+    response = _valid_response_bytes(rng)
+    for blob in (query, response):
+        for cut in range(len(blob)):
+            _assert_decodes_or_wire_error(blob[:cut])
+
+
+def test_ecs_source_length_out_of_range_is_wire_error():
+    # family=1, source=64 (invalid), scope=0, 8 address bytes
+    payload = bytes([0, 1, 64, 0]) + b"\x01" * 8
+    with pytest.raises(WireError):
+        decode_ecs_option(payload, is_response=False)
+
+
+def test_ecs_scope_length_out_of_range_is_wire_error():
+    payload = bytes([0, 1, 24, 77]) + b"\x0a\x00\x00"
+    with pytest.raises(WireError):
+        decode_ecs_option(payload, is_response=True)
+    # Query-side decoding ignores the scope byte entirely.
+    option = decode_ecs_option(payload, is_response=False)
+    assert option.prefix.length == 24
+
+
+def test_txt_string_running_past_rdata_is_wire_error():
+    name = DnsName.parse("www.example.com")
+    question = DnsQuery(name=name, rtype=RecordType.TXT)
+    response = DnsResponse(
+        rcode=Rcode.NOERROR,
+        answers=(ResourceRecord(name=name, rtype=RecordType.TXT,
+                                ttl=60.0, data="hello"),),
+    )
+    blob = bytearray(encode_response(response, question))
+    # The TXT rdata is the tail: [rdlength][strlen]hello.  Inflate the
+    # inner strlen past the declared rdlength.
+    strlen_at = bytes(blob).rindex(b"\x05hello")
+    blob[strlen_at] = 200
+    with pytest.raises(WireError):
+        decode_response(bytes(blob))
+
+
+def test_answer_rdlength_running_past_message_is_wire_error():
+    name = DnsName.parse("www.example.com")
+    question = DnsQuery(name=name, rtype=RecordType.A)
+    response = DnsResponse(
+        rcode=Rcode.NOERROR,
+        answers=(ResourceRecord(name=name, rtype=RecordType.A,
+                                ttl=60.0, data="192.0.2.1"),),
+    )
+    blob = bytearray(encode_response(response, question))
+    # Rewrite the final A record's rdlength (2 bytes before the 4-byte
+    # address at the message tail) to run past the end.
+    blob[-6:-4] = (4000).to_bytes(2, "big")
+    with pytest.raises(WireError):
+        decode_response(bytes(blob))
+
+
+def test_compression_pointer_loop_is_wire_error():
+    # Header + a name that points at itself.
+    header = (0x1234).to_bytes(2, "big") + bytes([0x00, 0x00, 0, 1, 0, 0, 0, 0, 0, 0])
+    blob = header + bytes([0xC0, 12])
+    with pytest.raises(WireError):
+        decode_name(blob, 12)

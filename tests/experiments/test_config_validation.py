@@ -1,0 +1,107 @@
+"""Construction-time validation of the campaign configs.
+
+A mis-specified campaign (negative window, zero budget, empty domain
+list) must fail at config construction with a clear ``ValueError``,
+not hours into a measurement run — the checkpoint subsystem makes long
+campaigns cheap to start, which makes late failures expensive.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.cache_probing import CacheProbingConfig, CacheProbingPipeline
+from repro.core.dns_logs import DnsLogsConfig
+from repro.core.resilient import ResilienceConfig
+from repro.experiments.config import ExperimentConfig
+from repro.persist import CheckpointConfig
+from repro.world.builder import WorldConfig, build_world
+from tests.conftest import tiny_world_config
+
+
+class TestCacheProbingConfigValidation:
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(ValueError, match="warmup_hours"):
+            CacheProbingConfig(warmup_hours=-1.0)
+
+    def test_nonpositive_measurement_window_rejected(self):
+        with pytest.raises(ValueError, match="measurement_hours"):
+            CacheProbingConfig(measurement_hours=0.0)
+        with pytest.raises(ValueError, match="measurement_hours"):
+            CacheProbingConfig(measurement_hours=-6.0)
+
+    def test_zero_redundancy_rejected(self):
+        with pytest.raises(ValueError, match="redundancy"):
+            CacheProbingConfig(redundancy=0)
+
+    def test_zero_probe_loops_rejected(self):
+        with pytest.raises(ValueError, match="probe_loops"):
+            CacheProbingConfig(probe_loops=0)
+
+    def test_nonpositive_probe_rate_rejected(self):
+        with pytest.raises(ValueError, match="probe_rate_qps"):
+            CacheProbingConfig(probe_rate_qps=0.0)
+
+    def test_defaults_construct(self):
+        assert CacheProbingConfig().redundancy >= 1
+
+
+class TestDnsLogsConfigValidation:
+    def test_nonpositive_window_rejected(self):
+        with pytest.raises(ValueError, match="window_days"):
+            DnsLogsConfig(window_days=0.0)
+        with pytest.raises(ValueError, match="window_days"):
+            DnsLogsConfig(window_days=-2.0)
+
+    def test_zero_threshold_rejected(self):
+        with pytest.raises(ValueError, match="daily_threshold"):
+            DnsLogsConfig(daily_threshold=0)
+
+
+class TestExperimentConfigValidation:
+    def test_zero_apnic_impressions_rejected(self):
+        with pytest.raises(ValueError, match="apnic_impressions"):
+            ExperimentConfig(apnic_impressions=0)
+
+    def test_empty_country_list_rejected(self):
+        with pytest.raises(ValueError, match="countries"):
+            ExperimentConfig(world=WorldConfig(countries=()))
+
+    def test_presets_construct(self):
+        for preset in (ExperimentConfig.small, ExperimentConfig.medium,
+                       ExperimentConfig.large):
+            assert preset(seed=1).apnic_impressions >= 1
+
+
+class TestResilienceConfigValidation:
+    def test_zero_probe_budget_rejected(self):
+        with pytest.raises(ValueError, match="probe_budget"):
+            ResilienceConfig(probe_budget=0)
+
+    def test_zero_reassign_after_slots_rejected(self):
+        with pytest.raises(ValueError, match="reassign_after_slots"):
+            ResilienceConfig(reassign_after_slots=0)
+
+
+class TestCheckpointConfigValidation:
+    def test_zero_snapshot_cadence_rejected(self):
+        with pytest.raises(ValueError, match="snapshot_every_slots"):
+            CheckpointConfig(snapshot_every_slots=0)
+
+    def test_zero_snapshot_retention_rejected(self):
+        with pytest.raises(ValueError, match="keep_snapshots"):
+            CheckpointConfig(keep_snapshots=0)
+
+
+class TestEmptyProbeDomainList:
+    def test_world_without_probeable_domains_rejected(self):
+        """A world whose domain catalog has no ECS-supporting,
+        long-TTL domain gives the prober nothing to probe: the
+        pipeline must say so at construction."""
+        world = build_world(tiny_world_config(seed=44))
+        world.domains = [
+            dataclasses.replace(d, supports_ecs=False)
+            for d in world.domains
+        ]
+        with pytest.raises(ValueError, match="probe"):
+            CacheProbingPipeline(world, CacheProbingConfig())

@@ -1,0 +1,162 @@
+"""Tests for repro.persist.journal and repro.persist.snapshot: the
+framing, torn-write detection, and snapshot durability primitives."""
+
+import struct
+
+import pytest
+
+from repro.persist import (
+    Journal,
+    JournalError,
+    SnapshotError,
+    SnapshotStore,
+    encode_record,
+)
+from repro.persist.journal import MAGIC as JOURNAL_MAGIC
+
+
+RECORDS = [
+    {"type": "phase", "name": "campaign_start", "seed": 7},
+    {"type": "probe", "pop": "iad", "dom": "r.example", "ok": True},
+    {"type": "slot", "index": 0, "now": 1800.0, "sent": 12},
+]
+
+
+class TestJournalFraming:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "journal.bin"
+        journal = Journal(path)
+        for record in RECORDS:
+            journal.append(record)
+        journal.close()
+        read, valid_length, torn = Journal.read(path)
+        assert read == RECORDS
+        assert not torn
+        assert valid_length == path.stat().st_size
+
+    def test_missing_and_empty_files_read_as_no_records(self, tmp_path):
+        assert Journal.read(tmp_path / "absent.bin") == ([], 0, False)
+        (tmp_path / "empty.bin").write_bytes(b"")
+        assert Journal.read(tmp_path / "empty.bin") == ([], 0, False)
+
+    def test_bad_magic_is_rejected(self, tmp_path):
+        path = tmp_path / "journal.bin"
+        path.write_bytes(b"NOPE" + encode_record({"a": 1}))
+        with pytest.raises(JournalError):
+            Journal.read(path)
+
+    def test_key_order_does_not_matter(self, tmp_path):
+        path = tmp_path / "journal.bin"
+        journal = Journal(path)
+        journal.append({"b": 2, "a": 1})
+        journal.close()
+        assert Journal.read(path)[0] == [{"a": 1, "b": 2}]
+
+
+class TestTornWriteDetection:
+    def test_torn_tail_is_detected_and_truncated(self, tmp_path):
+        path = tmp_path / "journal.bin"
+        journal = Journal(path)
+        for record in RECORDS:
+            journal.append(record)
+        journal.append_torn({"type": "probe", "pop": "fra", "ok": True})
+        journal.close()
+        read, valid_length, torn = Journal.read(path)
+        assert read == RECORDS
+        assert torn
+        assert valid_length < path.stat().st_size
+
+        recovered, torn = Journal.recover(path)
+        assert recovered == RECORDS
+        assert torn
+        # The file now ends at the last valid record...
+        assert path.stat().st_size == valid_length
+        # ...and appends continue the valid history.
+        journal = Journal(path)
+        journal.append({"type": "resumed"})
+        journal.close()
+        read, _, torn = Journal.read(path)
+        assert read == RECORDS + [{"type": "resumed"}]
+        assert not torn
+
+    def test_crc_bit_flip_is_detected(self, tmp_path):
+        path = tmp_path / "journal.bin"
+        journal = Journal(path)
+        for record in RECORDS:
+            journal.append(record)
+        journal.close()
+        blob = bytearray(path.read_bytes())
+        blob[-3] ^= 0x40  # flip a payload bit in the final record
+        path.write_bytes(bytes(blob))
+        read, _, torn = Journal.read(path)
+        assert read == RECORDS[:-1]
+        assert torn
+
+    def test_mid_file_corruption_stops_the_scan(self, tmp_path):
+        path = tmp_path / "journal.bin"
+        journal = Journal(path)
+        for record in RECORDS:
+            journal.append(record)
+        journal.close()
+        first_frame_at = len(JOURNAL_MAGIC)
+        blob = bytearray(path.read_bytes())
+        blob[first_frame_at + 8] ^= 0xFF  # corrupt record #1's payload
+        path.write_bytes(bytes(blob))
+        read, _, torn = Journal.read(path)
+        assert read == []
+        assert torn
+
+    def test_huge_declared_length_is_a_torn_frame(self, tmp_path):
+        path = tmp_path / "journal.bin"
+        journal = Journal(path)
+        journal.append(RECORDS[0])
+        journal.close()
+        with open(path, "ab") as fh:
+            fh.write(struct.pack("!II", 2**31, 0) + b"xx")
+        read, _, torn = Journal.read(path)
+        assert read == RECORDS[:1]
+        assert torn
+
+    def test_non_object_payload_is_a_torn_frame(self, tmp_path):
+        path = tmp_path / "journal.bin"
+        journal = Journal(path)
+        journal.append(RECORDS[0])
+        journal.close()
+        payload = b"[1,2,3]"
+        import zlib
+        with open(path, "ab") as fh:
+            fh.write(struct.pack("!II", len(payload), zlib.crc32(payload)))
+            fh.write(payload)
+        read, _, torn = Journal.read(path)
+        assert read == RECORDS[:1]
+        assert torn
+
+
+class TestSnapshotStore:
+    def test_roundtrip(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        state = {"stage": "probing", "values": list(range(100))}
+        name = store.save(state, seq=3)
+        assert store.load(name) == state
+
+    def test_corrupt_payload_is_rejected(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        name = store.save({"x": 1}, seq=1)
+        path = tmp_path / name
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotError):
+            store.load(name)
+
+    def test_missing_snapshot_is_rejected(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            SnapshotStore(tmp_path).load("snapshot-0000000001.bin")
+
+    def test_prune_keeps_newest_and_sweeps_tmp(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=2)
+        names = [store.save({"n": n}, seq=n) for n in range(1, 5)]
+        (tmp_path / "snapshot-0000000099.bin.tmp").write_bytes(b"junk")
+        removed = store.prune()
+        assert set(removed) == set(names[:2]) | {"snapshot-0000000099.bin.tmp"}
+        assert store.load(names[-1]) == {"n": 4}
