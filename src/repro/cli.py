@@ -4,6 +4,7 @@
 
     python -m repro run [--preset small|medium|large] [--seed N]
                         [--checkpoint-dir DIR] [--snapshot-every N]
+                        [--workers N]
                         [--section headline|table1..table5|figure1..figure7|
                                    asdb|extensions|scorecard|all]
     python -m repro resume --checkpoint-dir DIR [--section ...]
@@ -83,6 +84,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--snapshot-every", type=int, default=8, metavar="N",
                      help="snapshot cadence in probing slots "
                           "(default: 8; needs --checkpoint-dir)")
+    run.add_argument("--workers", type=int, default=1, metavar="N",
+                     help="shard the campaign over N processes; the "
+                          "merged result is bit-identical to --workers 1 "
+                          "(default: 1, see docs/parallelism.md)")
 
     resume = sub.add_parser(
         "resume",
@@ -155,9 +160,10 @@ def _command_run(args: argparse.Namespace) -> int:
             checkpoint_dir=args.checkpoint_dir,
             checkpoint_config=CheckpointConfig(
                 snapshot_every_slots=args.snapshot_every),
+            workers=args.workers,
         )
     else:
-        result = run_experiment(config)
+        result = run_experiment(config, workers=args.workers)
     print(f"repro: done in {time.time() - started:.0f}s",
           file=sys.stderr)
     if args.section == "all":
@@ -168,12 +174,19 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _command_resume(args: argparse.Namespace) -> int:
+    from repro.parallel import (
+        is_parallel_checkpoint,
+        resume_parallel_campaign,
+    )
     from repro.persist.campaign import resume_campaign
 
     print(f"repro: resuming campaign from {args.checkpoint_dir}...",
           file=sys.stderr)
     started = time.time()
-    result = resume_campaign(args.checkpoint_dir)
+    if is_parallel_checkpoint(args.checkpoint_dir):
+        result = resume_parallel_campaign(args.checkpoint_dir)
+    else:
+        result = resume_campaign(args.checkpoint_dir)
     print(f"repro: done in {time.time() - started:.0f}s",
           file=sys.stderr)
     if args.section == "all":

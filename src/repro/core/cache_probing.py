@@ -14,6 +14,19 @@ activity exactly as the real 120-hour measurement was:
 
 A prefix is *active* if any probe returned a cache hit with return
 scope > 0; the active prefix is the response scope.
+
+Sharded execution (see :mod:`repro.parallel`): the pipeline optionally
+takes a *shard* — any object with ``shard_id``/``num_shards`` ints and
+an ``owns(scope) -> bool`` predicate that partitions query scopes.  A
+sharded pipeline builds the **full** assignment and walks the **full**
+probe schedule (cursors, per-slot chunk sizes and visit order are
+identical to a serial run), but only sends probes for targets it owns —
+foreign targets are *ghost visits* that record nothing yet still
+consume the resolver's rate-limit tokens, so token-bucket REFUSEDs
+land on the same probes in every replica.  Every probe therefore
+happens at the same simulated instant as in the serial run, and each
+hit carries its global schedule position ``(slot, pop rank, offset)``
+so a merge can reassemble the serial result list exactly.
 """
 
 from __future__ import annotations
@@ -121,6 +134,14 @@ class _ProbingLoopState:
     hourly_hits: dict[Prefix, list[int]] = field(default_factory=dict)
     #: breaker transitions already written to the journal.
     journaled_transitions: int = 0
+    #: per-hit / per-scope-pair global schedule positions
+    #: (slot, pop rank, offset), aligned with ``hits``/``scope_pairs`` —
+    #: the sort keys a shard merge needs to reproduce serial list order.
+    hit_seq: list[tuple[int, int, int]] = field(default_factory=list)
+    pair_seq: list[tuple[int, int, int]] = field(default_factory=list)
+    #: the raw prober's counter when the loop started, so a merge can
+    #: separate the (replicated) pre-loop probes from loop probes.
+    probes_at_loop_start: int = 0
 
 
 @dataclass(slots=True)
@@ -190,6 +211,13 @@ class CacheProbingResult:
     #: structured account of errors, retries, breaker transitions and
     #: coverage lost to faults (see repro.core.resilient).
     health: ProbeHealthReport | None = None
+    #: shard-merge plumbing, populated only for sharded runs: each
+    #: hit's / scope pair's global schedule position, plus how many of
+    #: ``probes_sent`` predate the loop (discovery + calibration, which
+    #: every shard replica performs identically).
+    hit_seq: list[tuple[int, int, int]] | None = None
+    pair_seq: list[tuple[int, int, int]] | None = None
+    probes_before_loop: int = 0
 
     # -- derived views ------------------------------------------------------
 
@@ -243,10 +271,27 @@ class CacheProbingPipeline:
         config: CacheProbingConfig | None = None,
         activity_config: ActivityConfig | None = None,
         vantage_points: list[VantagePoint] | None = None,
+        shard=None,
     ) -> None:
         self.world = world
         self.config = config or CacheProbingConfig()
         self.activity_config = activity_config or ActivityConfig()
+        #: optional shard spec (see repro.parallel.planner.ShardSpec):
+        #: ``owns(scope)`` decides which targets this replica probes.
+        self.shard = shard
+        self._owned_memo: dict[Prefix, bool] = {}
+        #: whether ghost visits must consume rate-limit tokens; set
+        #: once the assignment is frozen (see _make_loop_state).
+        self._ghost_tokens = False
+        if shard is not None and self.config.resilience.enabled:
+            # Backoff retries advance the *shared* clock, so a shard
+            # that retries would time-shift every event after it and
+            # diverge from the serial schedule.
+            raise ValueError(
+                "sharded execution requires resilience.enabled=False: "
+                "retry backoff advances the simulated clock, which "
+                "would desynchronise the shards' schedules"
+            )
         self.vantage_points = (
             deploy_vantage_points(world) if vantage_points is None
             else vantage_points
@@ -336,9 +381,16 @@ class CacheProbingPipeline:
             state.loop = self._make_loop_state(assignment)
         self._run_probing(state.loop, checkpointer)
         loop = state.loop
+        if self.shard is None:
+            accountable = loop.all_targets
+        else:
+            # A shard answers only for the targets it owns; foreign
+            # targets are other shards' to cover, and the merge sums
+            # the per-shard accounts back to the serial totals.
+            accountable = [t for t in loop.all_targets if self._owns(t[1])]
         health = self.resilient.finalize(
-            targets_assigned=len(loop.all_targets),
-            targets_probed=sum(1 for t in loop.all_targets if t[2] > 0),
+            targets_assigned=len(accountable),
+            targets_probed=sum(1 for t in accountable if t[2] > 0),
         )
         if journal:
             journal({"type": "phase", "name": "probing_done",
@@ -357,6 +409,9 @@ class CacheProbingPipeline:
             hourly_hits=loop.hourly_hits,
             measurement_window=(state.measurement_start, world.clock.now),
             health=health,
+            hit_seq=list(loop.hit_seq) if self.shard is not None else None,
+            pair_seq=list(loop.pair_seq) if self.shard is not None else None,
+            probes_before_loop=loop.probes_at_loop_start,
         )
         self._run_state = None
         return result
@@ -413,6 +468,11 @@ class CacheProbingPipeline:
     ) -> _ProbingLoopState:
         """Freeze the assignment into the loop's resumable state."""
         config = self.config
+        if self.shard is not None:
+            # Derive the partition from the frozen assignment — every
+            # shard replica computes the identical assignment, hence
+            # the identical plan, with no coordination.
+            self.shard.bind(assignment)
         rng = random.Random(config.seed + 3)
         # Shuffle each PoP's list once so probing order is not biased
         # by address order, then walk it cyclically across slots.
@@ -423,7 +483,7 @@ class CacheProbingPipeline:
             pop_id: [[domain, scope, 0] for domain, scope in entries]
             for pop_id, entries in assignment.items()
         }
-        return _ProbingLoopState(
+        loop = _ProbingLoopState(
             slots=max(1, round(config.measurement_hours * HOUR
                                / self.activity_config.slot_seconds)),
             targets_by_pop=targets_by_pop,
@@ -433,7 +493,56 @@ class CacheProbingPipeline:
             streaks={pop_id: 0 for pop_id in targets_by_pop},
             assignment_sizes={pop_id: len(targets) for pop_id, targets
                               in targets_by_pop.items()},
+            probes_at_loop_start=self.prober.probes_sent,
         )
+        if self.shard is not None:
+            self._ghost_tokens = self._bucket_contended(loop)
+        return loop
+
+    def _bucket_contended(self, loop: _ProbingLoopState) -> bool:
+        """Whether this campaign's probe volume can deplete the
+        resolver's per-vantage TCP token bucket.
+
+        All of a slot's probes fire at the same simulated instant, and
+        the bucket is full at slot start (it refills completely during
+        the slot's activity).  At or below ``capacity`` queries per
+        vantage per slot, every acquire succeeds in serial and in any
+        shard alike, so token counts are unobservable and ghost visits
+        may skip the (costly) token accounting.  Above capacity, which
+        probes get REFUSED depends on arrival order within the
+        instant, so ghosts must consume tokens to keep every replica's
+        bucket in lock-step with the serial run.
+
+        The decision is a pure function of the frozen assignment,
+        which every replica computes identically.
+        """
+        from repro.dns.public_dns import TCP_QPS_LIMIT
+
+        config = self.config
+        per_vantage: dict[int, int] = {}
+        for pop_id, targets in loop.targets_by_pop.items():
+            if not targets:
+                continue
+            if config.probe_rate_qps is not None:
+                per_slot = max(1, round(
+                    config.probe_rate_qps
+                    * self.activity_config.slot_seconds))
+            else:
+                per_slot = max(1, (len(targets) * config.probe_loops
+                                   + loop.slots - 1) // loop.slots)
+            source = self.prober.vantage_for(pop_id).source_ip
+            per_vantage[source] = (per_vantage.get(source, 0)
+                                   + per_slot * config.redundancy)
+        return max(per_vantage.values(), default=0) > TCP_QPS_LIMIT
+
+    def _owns(self, scope: Prefix) -> bool:
+        """Whether this replica probes targets with this query scope."""
+        if self.shard is None:
+            return True
+        owned = self._owned_memo.get(scope)
+        if owned is None:
+            owned = self._owned_memo[scope] = self.shard.owns(scope)
+        return owned
 
     def _run_probing(self, loop: _ProbingLoopState, checkpointer) -> None:
         """Walk the measurement window slot by slot, interleaving client
@@ -489,7 +598,8 @@ class CacheProbingPipeline:
         if resilient.budget_exhausted:
             return
         utc_hour = int((self.world.clock.now % DAY) // HOUR)
-        for pop_id in loop.targets_by_pop:
+        slot_index = loop.next_slot
+        for pop_rank, pop_id in enumerate(loop.targets_by_pop):
             targets = loop.targets_by_pop[pop_id]
             if not targets:
                 continue
@@ -513,6 +623,19 @@ class CacheProbingPipeline:
             for offset in range(per_slot):
                 target = targets[(cursor + offset) % len(targets)]
                 domain, scope = target[0], target[1]
+                if not self._owns(scope):
+                    # Ghost visit: another shard's target.  The visit
+                    # still occupies its schedule position (cursor and
+                    # per-slot arithmetic are identical to serial) but
+                    # sends and records nothing.  When probe volume
+                    # can deplete the resolver's token bucket, the
+                    # ghost still consumes the tokens its probes would
+                    # have, so bucket REFUSEDs fall on the same probes
+                    # as in a serial run.
+                    if self._ghost_tokens:
+                        self.prober.probe_ghost(pop_id, domain.name,
+                                                scope)
+                    continue
                 result = resilient.probe(pop_id, domain.name, scope)
                 if journal:
                     journal(_probe_record(pop_id, domain, scope, result))
@@ -534,9 +657,11 @@ class CacheProbingPipeline:
                     assert result.response_scope is not None
                     loop.scope_pairs.append((str(domain.name), scope.length,
                                              result.response_scope))
+                    loop.pair_seq.append((slot_index, pop_rank, offset))
                     key = (pop_id, str(domain.name), scope)
                     if key not in loop.seen:
                         loop.seen.add(key)
+                        loop.hit_seq.append((slot_index, pop_rank, offset))
                         loop.hits.append(CacheHitRecord(
                             pop_id=pop_id,
                             domain=str(domain.name),

@@ -130,3 +130,39 @@ class DnsLogsPipeline:
             window=(start, end),
             letters=sorted(traces),
         )
+
+    def crawl_shard(
+        self, shard, start: float | None = None, end: float | None = None,
+        checkpointer=None,
+    ) -> tuple[tuple[float, float], dict[str, list[QueryLogEntry]]]:
+        """One shard's slice of the crawl: root letters are dealt
+        round-robin over the sorted letter list, so every letter belongs
+        to exactly one shard and the union over shards is the full
+        window.  Returns the window and the owned letters' raw entries;
+        classification happens once, on the merged crawl (see
+        :func:`repro.parallel.merge.merge_dns_logs`), because the
+        per-resolver daily thresholds only make sense globally.
+
+        Journaling mirrors :meth:`run`: the window and each *owned*
+        letter are recorded, so a crashed shard resumes its slice of
+        the crawl under the same replay verification.
+        """
+        config = self.config
+        if end is None:
+            end = self.world.clock.now
+        if start is None:
+            start = max(0.0, end - config.window_days * DAY)
+        journal = checkpointer.record if checkpointer is not None else None
+        if journal:
+            journal({"type": "phase", "name": "dns_logs_start",
+                     "start": start, "end": end, "shard": shard.shard_id})
+        traces = self.world.roots.ditl_traces(start, end)
+        owned: dict[str, list[QueryLogEntry]] = {}
+        for index, letter in enumerate(sorted(traces)):
+            if index % shard.num_shards != shard.shard_id:
+                continue
+            owned[letter] = list(traces[letter])
+            if journal:
+                journal({"type": "dns_letter", "letter": letter,
+                         "entries": len(traces[letter])})
+        return (start, end), owned

@@ -136,6 +136,29 @@ class GoogleProber:
             return ProbeStatus.HIT, response.scope_length
         return ProbeStatus.MISS, None
 
+    def probe_ghost(self, pop_id: str, domain: DnsName, scope: Prefix) -> None:
+        """Replay another shard's redundant batch as ghost queries.
+
+        Sends nothing and counts nothing, but walks the same per-query
+        resolver prefix as :meth:`probe_once` — so rate-limit tokens
+        are consumed at exactly the schedule positions the serial run
+        consumes them (see ``GooglePublicDns.query(ghost=True)``).
+        """
+        vantage = self.vantage_for(pop_id)
+        for _ in range(self._redundancy):
+            self._world.public_dns.query(
+                DnsQuery(
+                    name=domain,
+                    recursion_desired=False,
+                    ecs=EcsOption(prefix=scope),
+                    source_ip=vantage.source_ip,
+                    transport=Transport.TCP,
+                ),
+                vantage.region.location,
+                via="cloud",
+                ghost=True,
+            )
+
     def probe(self, pop_id: str, domain: DnsName, scope: Prefix) -> ProbeResult:
         """Send the redundant query batch for one ⟨PoP, domain, prefix⟩."""
         hit = False

@@ -192,8 +192,13 @@ class AuthoritativeServer:
         the operator's trace records the failed transaction too.
         """
         zone = self._zones.get(query.name)
+        servfail_key = (
+            query.source_ip,
+            str(query.name),
+            str(query.ecs.prefix) if query.ecs is not None else "",
+        )
         if (self._faults is not None and self._faults.enabled
-                and self._faults.authoritative_servfail()):
+                and self._faults.authoritative_servfail(servfail_key)):
             response = servfail()
         else:
             response = self._answer(query, zone)

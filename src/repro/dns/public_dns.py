@@ -41,6 +41,7 @@ from repro.dns.name import DnsName
 from repro.dns.ratelimit import KeyedRateLimiter
 from repro.sim.clock import Clock
 from repro.sim.faults import FaultInjector
+from repro.sim.streams import KeyedStream
 
 #: Google truncates client subnets to /24 in outgoing ECS queries.
 ECS_SOURCE_LENGTH = 24
@@ -126,6 +127,14 @@ class PublicDnsService:
         # and are unreachable from cloud vantage points (§A.1).
         self._catchments.update(extra_catchments or {})
         self._authoritatives = authoritatives
+        # Pool selection is keyed by the query's identity, so the pool
+        # a given query lands on never depends on which other queries
+        # ran first — the property that lets campaign shards skip
+        # foreign probes without perturbing anything else.
+        self._pools_stream = KeyedStream(seed, "pools", clock)
+        # The root-forward draw stays sequential: it fires only on the
+        # recursive client path, which every run (serial or any shard)
+        # replays identically and in the same order.
         self._rng = random.Random(seed)
         self._roots = roots  # duck-typed RootServerSystem, optional
         self._sites: dict[str, PopSite] = {}
@@ -169,8 +178,11 @@ class PublicDnsService:
         pop = catchment.pop_for(client_location, client_key)
         return self._sites[pop.pop_id]
 
-    def _pick_pool(self, site: PopSite) -> DnsCache:
-        return self._rng.choice(site.pools)
+    def _pick_pool(self, site: PopSite, key: tuple) -> DnsCache:
+        index = self._pools_stream.randrange(
+            len(site.pools), site.pop.pop_id, *key
+        )
+        return site.pools[index]
 
     def _rate_limit_ok(self, query: DnsQuery) -> bool:
         if query.transport is Transport.TCP:
@@ -186,15 +198,29 @@ class PublicDnsService:
         query: DnsQuery,
         client_location: GeoPoint,
         via: str = "user",
+        *,
+        ghost: bool = False,
     ) -> ProbeOutcome:
         """Resolve ``query`` from a client at ``client_location``.
 
         ``via`` names the catchment the client's network sees ("user"
         for eyeballs; worlds add e.g. "cloud" for vantage points).
+
+        A ``ghost`` query replays only the order-dependent prefix of
+        resolution — routing, fault drops, and crucially the
+        rate-limit token consumption — and stops before touching any
+        cache pool.  Sharded campaign replicas issue ghost queries for
+        probes owned by *other* shards so that every replica's token
+        buckets deplete exactly as the serial run's do, keeping bucket
+        REFUSEDs on the same probes regardless of the shard split.
         """
         ecs_prefix = self._effective_ecs_prefix(query)
         site = self._route(client_location, client_key=query.source_ip >> 8,
                            via=via)
+        # Everything stochastic about this query draws against its own
+        # identity, so two runs that evaluate the same query always
+        # agree regardless of what else they evaluated.
+        event_key = (query.source_ip, str(query.name), str(ecs_prefix))
         faults = self._faults
         if faults is not None and faults.enabled:
             # A PoP in an outage window never answers; a dropped packet
@@ -202,16 +228,21 @@ class PublicDnsService:
             # counts as served — the query never reached a live pool.
             if faults.pop_down(site.pop.pop_id):
                 return ProbeOutcome(timeout(), site.pop.pop_id)
-            if faults.drop_query(query.transport):
+            if faults.drop_query(query.transport, event_key):
                 return ProbeOutcome(timeout(), site.pop.pop_id)
         site.queries_served += 1
         if not self._rate_limit_ok(query):
             return ProbeOutcome(refused(), site.pop.pop_id)
+        if ghost:
+            # The token (if any) is spent; the owning replica computes
+            # and records the real outcome.  Everything past this point
+            # draws only from keyed, order-independent streams.
+            return ProbeOutcome(cache_miss(), site.pop.pop_id)
         if (faults is not None and faults.enabled
-                and faults.inject_refused(site.pop.pop_id)):
+                and faults.inject_refused(site.pop.pop_id, event_key)):
             # Load shedding / burst rate limiting beyond the buckets.
             return ProbeOutcome(refused(), site.pop.pop_id)
-        pool = self._pick_pool(site)
+        pool = self._pick_pool(site, event_key)
         hit = pool.lookup(query.name, query.rtype, ecs_prefix)
         if hit is not None:
             site.cache_hits += 1

@@ -56,6 +56,13 @@ class ExperimentRunner:
     journaled and snapshotted, and a killed run is resumable with
     :func:`repro.persist.campaign.resume_campaign` (or ``repro
     resume``) to the identical result.
+
+    With ``workers > 1`` the probing targets and root-letter crawl are
+    sharded over a process pool (:mod:`repro.parallel`); the merged
+    result is bit-identical to a serial run (the guarantee
+    ``tests/parallel`` enforces), and combining it with
+    ``checkpoint_dir`` yields a crash-safe parallel campaign resumable
+    with :func:`repro.parallel.resume_parallel_campaign`.
     """
 
     def __init__(
@@ -63,13 +70,25 @@ class ExperimentRunner:
         config: ExperimentConfig | None = None,
         checkpoint_dir=None,
         checkpoint_config=None,
+        workers: int = 1,
     ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.config = config or ExperimentConfig.small()
         self.checkpoint_dir = checkpoint_dir
         self.checkpoint_config = checkpoint_config
+        self.workers = workers
 
     def run(self) -> ExperimentResult:
         """Execute the full §4 comparison and assemble datasets."""
+        if self.workers > 1:
+            from repro.parallel import run_parallel_experiment
+
+            return run_parallel_experiment(
+                self.config, workers=self.workers,
+                checkpoint_dir=self.checkpoint_dir,
+                checkpoint_config=self.checkpoint_config,
+            )
         if self.checkpoint_dir is not None:
             from repro.persist.campaign import run_campaign
 
@@ -107,7 +126,10 @@ def run_experiment(
     config: ExperimentConfig | None = None,
     checkpoint_dir=None,
     checkpoint_config=None,
+    workers: int = 1,
 ) -> ExperimentResult:
-    """Convenience one-shot runner (checkpointed when a dir is given)."""
+    """Convenience one-shot runner (checkpointed when a dir is given,
+    sharded over a process pool when ``workers > 1``)."""
     return ExperimentRunner(config, checkpoint_dir=checkpoint_dir,
-                            checkpoint_config=checkpoint_config).run()
+                            checkpoint_config=checkpoint_config,
+                            workers=workers).run()

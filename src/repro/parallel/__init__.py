@@ -1,0 +1,61 @@
+"""Sharded parallel campaign execution.
+
+Public surface:
+
+* :func:`run_parallel_experiment` / :func:`resume_parallel_campaign` —
+  the drivers (`repro run --workers N` / `repro resume`);
+* :class:`ShardSpec` / :class:`ShardPlan` / :func:`plan_shards` — the
+  prefix-trie shard planner;
+* :func:`merge_cache_results` / :func:`merge_dns_logs` — the
+  order-independent merge;
+* :class:`ShardResult` and the worker entry points.
+
+The design contract (why serial ≡ parallel bit-exactly) is documented
+in docs/parallelism.md.
+"""
+
+from repro.parallel.planner import (
+    ShardPlan,
+    ShardSpec,
+    plan_from_assignment,
+    plan_shards,
+    subtree_root,
+)
+from repro.parallel.worker import (
+    ShardResult,
+    load_shard_result,
+    resume_shard,
+    run_shard,
+    shard_dir_name,
+)
+from repro.parallel.merge import (
+    ShardDivergence,
+    merge_cache_results,
+    merge_dns_logs,
+)
+from repro.parallel.driver import (
+    ParallelismError,
+    is_parallel_checkpoint,
+    resume_parallel_campaign,
+    run_parallel_experiment,
+)
+
+__all__ = [
+    "ParallelismError",
+    "ShardDivergence",
+    "ShardPlan",
+    "ShardResult",
+    "ShardSpec",
+    "is_parallel_checkpoint",
+    "load_shard_result",
+    "merge_cache_results",
+    "merge_dns_logs",
+    "plan_from_assignment",
+    "plan_shards",
+    "resume_parallel_campaign",
+    "resume_shard",
+    "run_parallel_experiment",
+    "run_shard",
+    "shard_dir_name",
+    "subtree_root",
+]

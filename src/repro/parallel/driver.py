@@ -1,0 +1,292 @@
+"""The parallel campaign driver: fan out shards, merge, finish.
+
+``run_parallel_experiment`` executes an experiment over ``N`` workers:
+the parent process runs shard 0 inline (so it ends up holding a fully
+evolved world — the CDN logs and route state the validation datasets
+are built from), shards 1..N-1 run in a ``multiprocessing`` pool, and
+the shard results merge into the same :class:`ExperimentResult` a
+serial run returns — bit-identical, which ``tests/parallel`` proves.
+
+With a checkpoint directory the campaign is crash-safe: a manifest
+pins the worker count and config, each shard journals and snapshots
+into its own ``shard-NN/`` sub-directory, and
+``resume_parallel_campaign`` reloads finished shards from their
+``result.pkl``, resumes crashed ones from their snapshots, and merges
+as if nothing had died.
+
+Serial ≡ parallel holds only on the deterministic schedule, so
+resilience retries are refused up front (their backoff advances the
+shared clock and would desynchronise every replica).  Rate-limit
+pressure needs no such guard: ghost visits consume the resolver's
+token-bucket tokens, so bucket REFUSEDs fall on the same probes in
+every replica.  See docs/parallelism.md for the full contract.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+from repro.sim.faults import SimulatedCrash
+from repro.world.apnic import ApnicEstimator
+from repro.core.datasets import build_all_datasets
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentResult
+from repro.persist.campaign import (
+    CampaignCheckpointer,
+    CheckpointConfig,
+    CheckpointError,
+)
+from repro.parallel.worker import (
+    ShardResult,
+    child_resume_shard,
+    child_run_shard,
+    load_shard_result,
+    resume_shard,
+    run_shard,
+    shard_dir_name,
+)
+from repro.parallel.merge import merge_cache_results, merge_dns_logs
+
+MANIFEST_FILE = "manifest.json"
+CONFIG_FILE = "config.pkl"
+MANIFEST_FORMAT = "repro.parallel.v1"
+
+
+class ParallelismError(RuntimeError):
+    """A configuration the parallel executor cannot run equivalently."""
+
+
+def is_parallel_checkpoint(directory: str | Path) -> bool:
+    """Whether a checkpoint directory holds a parallel campaign."""
+    return (Path(directory) / MANIFEST_FILE).exists()
+
+
+def _check_config(config: ExperimentConfig) -> None:
+    if config.probing.resilience.enabled:
+        raise ParallelismError(
+            "parallel campaigns require probing.resilience.enabled="
+            "False: retry backoff advances the shared simulated clock, "
+            "which would desynchronise the shards' schedules and break "
+            "the serial ≡ parallel guarantee"
+        )
+
+
+def _pool_context():
+    """Fork keeps worker start cheap; fall back where it's missing."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+def _write_manifest(directory: Path, config: ExperimentConfig,
+                    workers: int) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest = directory / MANIFEST_FILE
+    if manifest.exists():
+        raise CheckpointError(
+            f"{directory} already holds a parallel campaign; resume it "
+            "with resume_parallel_campaign() (or `repro resume`), or "
+            "point --checkpoint-dir at a fresh directory"
+        )
+    with (directory / CONFIG_FILE).open("wb") as handle:
+        pickle.dump(config, handle)
+    manifest.write_text(json.dumps(
+        {"format": MANIFEST_FORMAT, "workers": workers,
+         "seed": config.seed}, indent=2) + "\n")
+
+
+def _read_manifest(directory: Path) -> tuple[ExperimentConfig, int]:
+    manifest = directory / MANIFEST_FILE
+    if not manifest.exists():
+        raise CheckpointError(
+            f"{directory} holds no parallel campaign manifest"
+        )
+    meta = json.loads(manifest.read_text())
+    if meta.get("format") != MANIFEST_FORMAT:
+        raise CheckpointError(
+            f"unsupported parallel manifest format {meta.get('format')!r}"
+        )
+    with (directory / CONFIG_FILE).open("rb") as handle:
+        config = pickle.load(handle)
+    return config, int(meta["workers"])
+
+
+def _gather(futures: dict) -> tuple[list[ShardResult], dict[int, Exception]]:
+    """Wait for every pool future; collect results and crashes."""
+    results: list[ShardResult] = []
+    crashed: dict[int, Exception] = {}
+    for future, shard_id in futures.items():
+        try:
+            results.append(future.result())
+        except SimulatedCrash as crash:
+            crashed[shard_id] = crash
+    return results, crashed
+
+
+def _finish(
+    config: ExperimentConfig,
+    world,
+    vantage_points,
+    shard_results: list[ShardResult],
+) -> ExperimentResult:
+    """Merge the shards and build the serial-shape experiment result."""
+    cache_result = merge_cache_results(shard_results)
+    logs_result = merge_dns_logs(shard_results, config.dns_logs)
+    apnic = ApnicEstimator(world, seed=config.seed).estimate(
+        impressions=config.apnic_impressions)
+    datasets = build_all_datasets(world, cache_result, logs_result, apnic)
+    return ExperimentResult(
+        config=config,
+        world=world,
+        vantage_points=vantage_points,
+        cache_result=cache_result,
+        logs_result=logs_result,
+        apnic_estimates=apnic,
+        datasets=datasets,
+    )
+
+
+def run_parallel_experiment(
+    config: ExperimentConfig | None = None,
+    workers: int = 2,
+    checkpoint_dir: str | Path | None = None,
+    checkpoint_config: CheckpointConfig | None = None,
+    crash_shards: frozenset[int] | set[int] = frozenset(),
+) -> ExperimentResult:
+    """Run the full experiment sharded over ``workers`` processes.
+
+    ``crash_shards`` arms ``FaultConfig.crash_after_appends`` in the
+    named shards only (requires checkpointing) — the test lever for
+    killing an individual worker mid-campaign.  If any shard crashes,
+    the others run to completion, their results persist, and a
+    :class:`SimulatedCrash` is raised; ``resume_parallel_campaign``
+    picks the campaign back up.
+    """
+    config = config or ExperimentConfig.small()
+    if workers < 1:
+        raise ParallelismError(f"workers must be >= 1, got {workers}")
+    _check_config(config)
+    if crash_shards and checkpoint_dir is None:
+        raise ParallelismError(
+            "crash_shards requires a checkpoint_dir: an unjournaled "
+            "crash would just lose the campaign"
+        )
+    directory: Path | None = None
+    if checkpoint_dir is not None:
+        directory = Path(checkpoint_dir)
+        _write_manifest(directory, config, workers)
+
+    def shard_dir(shard_id: int) -> Path | None:
+        if directory is None:
+            return None
+        return directory / shard_dir_name(shard_id)
+
+    futures: dict = {}
+    if workers > 1:
+        pool = ProcessPoolExecutor(max_workers=workers - 1,
+                                   mp_context=_pool_context())
+        for shard_id in range(1, workers):
+            payload = (config, shard_id, workers, shard_dir(shard_id),
+                       checkpoint_config, shard_id in crash_shards)
+            futures[pool.submit(child_run_shard, payload)] = shard_id
+    else:
+        pool = None
+    try:
+        parent_crash: SimulatedCrash | None = None
+        shard_results: list[ShardResult] = []
+        try:
+            result0, state0 = run_shard(
+                config, 0, workers, shard_dir=shard_dir(0),
+                checkpoint_config=checkpoint_config,
+                arm_crash=0 in crash_shards,
+            )
+            shard_results.append(result0)
+        except SimulatedCrash as crash:
+            parent_crash = crash
+        pooled, crashed = _gather(futures)
+        shard_results.extend(pooled)
+        if parent_crash is not None:
+            crashed[0] = parent_crash
+        if crashed:
+            raise SimulatedCrash(
+                f"shards {sorted(crashed)} crashed mid-campaign; "
+                f"{len(shard_results)} of {workers} completed — resume "
+                "with resume_parallel_campaign()"
+            )
+    finally:
+        if pool is not None:
+            pool.shutdown()
+    return _finish(config, state0.world, state0.vantage_points,
+                   shard_results)
+
+
+def resume_parallel_campaign(
+    checkpoint_dir: str | Path,
+    checkpoint_config: CheckpointConfig | None = None,
+) -> ExperimentResult:
+    """Resume a crashed parallel campaign from its checkpoint tree.
+
+    Finished shards load straight from their ``result.pkl``; crashed
+    shards re-execute from their newest snapshot under journal replay
+    verification, exactly like a serial resume.  Crash injection is
+    not re-armed — a restarted supervisor is a new process.
+    """
+    directory = Path(checkpoint_dir)
+    config, workers = _read_manifest(directory)
+    shard_dirs = {shard_id: directory / shard_dir_name(shard_id)
+                  for shard_id in range(workers)}
+    done: dict[int, ShardResult] = {}
+    pending: list[int] = []
+    for shard_id, shard_dir in shard_dirs.items():
+        result = load_shard_result(shard_dir)
+        if result is not None:
+            done[shard_id] = result
+        else:
+            pending.append(shard_id)
+
+    shard_results: list[ShardResult] = list(done.values())
+    state0 = None
+    futures: dict = {}
+    pool = None
+    try:
+        pooled_ids = [shard_id for shard_id in pending if shard_id != 0]
+        if pooled_ids:
+            pool = ProcessPoolExecutor(max_workers=len(pooled_ids),
+                                       mp_context=_pool_context())
+            for shard_id in pooled_ids:
+                payload = (shard_dirs[shard_id], checkpoint_config)
+                futures[pool.submit(child_resume_shard, payload)] = shard_id
+        if 0 in pending:
+            result0, state0 = resume_shard(
+                shard_dirs[0], checkpoint_config=checkpoint_config)
+            shard_results.append(result0)
+        pooled, crashed = _gather(futures)
+        shard_results.extend(pooled)
+        if crashed:
+            raise SimulatedCrash(
+                f"shards {sorted(crashed)} crashed again during resume"
+            )
+    finally:
+        if pool is not None:
+            pool.shutdown()
+    if state0 is not None:
+        world, vantage_points = state0.world, state0.vantage_points
+    else:
+        # Shard 0 already finished in the crashed run; recover its
+        # final snapshot to get the evolved world the datasets and
+        # APNIC stages need.
+        checkpointer, state, _torn = CampaignCheckpointer.recover(
+            shard_dirs[0], checkpoint_config)
+        checkpointer.close()
+        if state is None:
+            raise CheckpointError(
+                f"{shard_dirs[0]} finished but holds no snapshot to "
+                "recover the world from"
+            )
+        world, vantage_points = state.world, state.vantage_points
+    return _finish(config, world, vantage_points, shard_results)

@@ -1,0 +1,217 @@
+"""Deterministic, order-independent merge of shard results.
+
+The merge's contract: feeding it the shards of an N-worker run — in
+**any** permutation — produces the very objects a serial run yields.
+
+Three mechanisms make that exact rather than approximate:
+
+* list-shaped outputs (``hits``, ``scope_pairs``) carry their global
+  schedule position ``(slot, pop rank, offset)`` from the probing
+  loop; sorting by that key reproduces serial append order, because
+  the serial loop itself iterates slots, then PoPs, then offsets;
+* dict-shaped outputs are keyed by things exactly one shard owns (a
+  target's scope, a root letter), so the merge is a disjoint union —
+  any key collision means the partition was broken and raises
+  :class:`ShardDivergence`;
+* scalar outputs are either replicated (discovery, calibration,
+  windows, the pre-loop probe count — identical in every worker, and
+  verified so) or additive per-shard deltas (loop probes, health
+  tallies), summed.
+
+One field is deliberately lossy: ``health.fault_injections`` counts
+*world-wide* injector firings, and every worker replicates the whole
+world's client activity, so per-shard counters overlap and cannot be
+deduplicated.  The merged report leaves it empty (see
+docs/parallelism.md).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.cache_probing import CacheProbingResult
+from repro.core.chromium import classify_entries
+from repro.core.dns_logs import DnsLogsConfig, DnsLogsResult
+from repro.core.resilient import PopHealth, ProbeHealthReport
+from repro.parallel.worker import ShardResult
+
+
+class ShardDivergence(RuntimeError):
+    """Shard results contradict each other (or the partition): merging
+    them would silently fabricate a result, so it is a hard error."""
+
+
+def _ordered(shards: Sequence[ShardResult]) -> list[ShardResult]:
+    """Validate the shard set and return it in shard-id order."""
+    if not shards:
+        raise ShardDivergence("no shard results to merge")
+    ordered = sorted(shards, key=lambda s: s.shard_id)
+    expected = ordered[0].num_shards
+    ids = [s.shard_id for s in ordered]
+    if any(s.num_shards != expected for s in ordered):
+        raise ShardDivergence(
+            f"shards disagree on the partition size: "
+            f"{sorted({s.num_shards for s in ordered})}"
+        )
+    if ids != list(range(expected)):
+        raise ShardDivergence(
+            f"incomplete or duplicated shard set: got ids {ids}, "
+            f"expected 0..{expected - 1}"
+        )
+    return ordered
+
+
+def _expect_equal(name: str, values: Iterable) -> None:
+    distinct = set()
+    for value in values:
+        distinct.add(value)
+        if len(distinct) > 1:
+            raise ShardDivergence(
+                f"shards disagree on replicated field {name!r}: "
+                f"{sorted(map(repr, distinct))}"
+            )
+
+
+def _merge_sequenced(shards: Sequence[ShardResult], items_attr: str,
+                     seq_attr: str) -> list:
+    """Reassemble a list output in serial append order via its
+    schedule-position keys, rejecting overlapping positions."""
+    keyed: list[tuple[tuple[int, int, int], object]] = []
+    for shard in shards:
+        items = getattr(shard.cache, items_attr)
+        seq = getattr(shard.cache, seq_attr)
+        if seq is None or len(seq) != len(items):
+            raise ShardDivergence(
+                f"shard {shard.shard_id} has no schedule positions for "
+                f"{items_attr!r} — was it run without a shard spec?"
+            )
+        keyed.extend(zip(seq, items))
+    keyed.sort(key=lambda pair: pair[0])
+    for (key_a, _), (key_b, _) in zip(keyed, keyed[1:]):
+        if key_a == key_b:
+            raise ShardDivergence(
+                f"two shards produced {items_attr} at the same schedule "
+                f"position {key_a}: the partition overlapped"
+            )
+    return [item for _key, item in keyed]
+
+
+def _merge_disjoint(shards: Sequence[ShardResult], attr: str) -> dict:
+    merged: dict = {}
+    for shard in shards:
+        part = getattr(shard.cache, attr)
+        for key, value in part.items():
+            if key in merged:
+                raise ShardDivergence(
+                    f"{attr} key {key!r} produced by more than one "
+                    "shard: the partition overlapped"
+                )
+            merged[key] = value
+    return merged
+
+
+def _merge_health(shards: Sequence[ShardResult]) -> ProbeHealthReport:
+    """Sum the per-shard probe accounts into one closed report."""
+    reports = [s.cache.health for s in shards]
+    if any(report is None for report in reports):
+        raise ShardDivergence("a shard result is missing its health report")
+    merged = ProbeHealthReport(
+        resilience_enabled=reports[0].resilience_enabled,
+        budget=None,
+    )
+    per_pop: dict[str, PopHealth] = {}
+    for report in reports:
+        merged.sent += report.sent
+        merged.answered += report.answered
+        merged.hits += report.hits
+        merged.refused += report.refused
+        merged.timed_out += report.timed_out
+        merged.retries += report.retries
+        merged.backoff_wait_s += report.backoff_wait_s
+        merged.targets_assigned += report.targets_assigned
+        merged.targets_probed += report.targets_probed
+        merged.targets_reassigned += report.targets_reassigned
+        merged.targets_uncovered += report.targets_uncovered
+        for pop_id, pop in report.per_pop.items():
+            into = per_pop.setdefault(pop_id, PopHealth())
+            into.sent += pop.sent
+            into.answered += pop.answered
+            into.hits += pop.hits
+            into.refused += pop.refused
+            into.timed_out += pop.timed_out
+            into.retries += pop.retries
+            into.reassigned_away += pop.reassigned_away
+            # Slot skips are clock-driven and observed identically by
+            # every replica's full schedule walk — dedup, don't sum.
+            into.skipped_slots = max(into.skipped_slots, pop.skipped_slots)
+    merged.per_pop = dict(sorted(per_pop.items()))
+    merged.verify()
+    return merged
+
+
+def merge_cache_results(
+    shards: Sequence[ShardResult],
+) -> CacheProbingResult:
+    """Merge the shards' probing results into the serial-shape result."""
+    ordered = _ordered(shards)
+    _expect_equal("measurement_window",
+                  (s.cache.measurement_window for s in ordered))
+    _expect_equal("assignment_sizes",
+                  (tuple(sorted(s.cache.assignment_sizes.items()))
+                   for s in ordered))
+    _expect_equal("probes_before_loop",
+                  (s.cache.probes_before_loop for s in ordered))
+    _expect_equal("clock_now", (s.clock_now for s in ordered))
+    _expect_equal("clock_ticks", (s.clock_ticks for s in ordered))
+    base = ordered[0].cache
+    loop_probes = sum(s.cache.probes_sent - s.cache.probes_before_loop
+                      for s in ordered)
+    return CacheProbingResult(
+        hits=_merge_sequenced(ordered, "hits", "hit_seq"),
+        probes_sent=base.probes_before_loop + loop_probes,
+        calibration=base.calibration,
+        discovery=base.discovery,
+        assignment_sizes=dict(base.assignment_sizes),
+        scope_pairs=_merge_sequenced(ordered, "scope_pairs", "pair_seq"),
+        measurement_window=base.measurement_window,
+        attempt_counts=_merge_disjoint(ordered, "attempt_counts"),
+        hit_counts=_merge_disjoint(ordered, "hit_counts"),
+        hourly_attempts=_merge_disjoint(ordered, "hourly_attempts"),
+        hourly_hits=_merge_disjoint(ordered, "hourly_hits"),
+        health=_merge_health(ordered),
+        probes_before_loop=base.probes_before_loop,
+    )
+
+
+def merge_dns_logs(
+    shards: Sequence[ShardResult],
+    config: DnsLogsConfig,
+) -> DnsLogsResult:
+    """Merge the shards' root-letter crawls and classify once.
+
+    Letters are dealt round-robin, so the union is disjoint and total;
+    classification runs on the merged window because the per-resolver
+    daily thresholds are global properties of the whole crawl.
+    """
+    ordered = _ordered(shards)
+    _expect_equal("dns_window", (s.dns_window for s in ordered))
+    letters: dict[str, list] = {}
+    for shard in ordered:
+        for letter, entries in shard.dns_letters.items():
+            if letter in letters:
+                raise ShardDivergence(
+                    f"root letter {letter!r} crawled by more than one "
+                    "shard: the letter partition overlapped"
+                )
+            letters[letter] = entries
+    combined: list = []
+    for letter in sorted(letters):
+        combined.extend(letters[letter])
+    classification = classify_entries(combined,
+                                      config.daily_threshold)
+    return DnsLogsResult(
+        resolver_counts=dict(classification.resolver_counts()),
+        classification=classification,
+        window=ordered[0].dns_window,
+        letters=sorted(letters),
+    )

@@ -1,0 +1,174 @@
+"""The shard planner: partitioning probe targets across workers.
+
+A probing campaign's unit of work is the query scope (a prefix).  The
+planner cuts the prefix trie at a fixed depth and deals whole subtrees
+to shards, because subtree granularity has two properties the rest of
+the system leans on:
+
+* **purity** — shard ownership is a function of the scope alone (its
+  ancestor at the cut depth), independent of domain, PoP, or the order
+  targets were discovered in, so every worker computes the identical
+  partition from its own copy of the assignment;
+* **locality** — scopes under one subtree stay together, which keeps a
+  shard's targets contiguous in address space (and therefore in the
+  prefix trie every other component indexes by).
+
+Depth selection is adaptive: the shallowest depth giving the balancer
+enough groups (``GROUPS_PER_SHARD`` per shard, or every distinct scope
+if the world is tiny) *and* no single subtree heavier than half a
+shard's fair share is used; then groups are dealt greedily, heaviest
+first, to the lightest shard — deterministic ties included.  Shards
+can still be uneven when a single scope is heavy enough on its own;
+the equivalence suite covers exactly that case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.prefix import Prefix
+
+#: target number of balancer groups per shard before we stop deepening
+#: the cut — more groups mean finer balancing at planning cost.
+GROUPS_PER_SHARD = 8
+
+#: never cut deeper than a /24: the campaign's scopes are /24-or-
+#: coarser blocks, so /24 subtrees are already singletons.
+MAX_CUT_DEPTH = 24
+
+
+def subtree_root(scope: Prefix, depth: int) -> Prefix:
+    """The scope's ancestor at ``depth`` (itself, if already coarser)."""
+    if scope.length <= depth:
+        return scope
+    return Prefix.from_address(scope.network, depth)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A frozen partition: every subtree root maps to one shard.
+
+    The plan is pure data (picklable, comparable) so the driver can
+    ship it to workers and tests can assert its invariants directly.
+    """
+
+    num_shards: int
+    cut_depth: int
+    assignment: dict[Prefix, int]
+    loads: tuple[float, ...]
+
+    def shard_of(self, scope: Prefix) -> int:
+        """Which shard owns this query scope."""
+        root = subtree_root(scope, self.cut_depth)
+        shard = self.assignment.get(root)
+        if shard is None:
+            raise KeyError(
+                f"scope {scope} (subtree {root}) is not in the plan — "
+                "the plan must be built from the same assignment the "
+                "loop probes"
+            )
+        return shard
+
+
+@dataclass
+class ShardSpec:
+    """One worker's view of the partition.
+
+    This is the object :class:`repro.core.cache_probing
+    .CacheProbingPipeline` consumes: ``owns`` is the ghost-visit
+    predicate, and ``shard_id``/``num_shards`` drive the round-robin
+    DNS-letter split.
+
+    The plan is **bound lazily**: the partition depends on the probing
+    assignment, which a worker only knows after running its own
+    discovery and calibration.  Planning is a pure function of the
+    assignment, and every worker derives the identical assignment from
+    the shared config, so every worker binds the identical plan — no
+    coordination, nothing to ship.
+    """
+
+    shard_id: int
+    num_shards: int
+    plan: ShardPlan | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.shard_id < self.num_shards:
+            raise ValueError(
+                f"shard_id {self.shard_id} out of range for "
+                f"{self.num_shards} shards"
+            )
+        if (self.plan is not None
+                and self.plan.num_shards != self.num_shards):
+            raise ValueError("plan was built for a different shard count")
+
+    def bind(self, assignment: dict[str, list]) -> None:
+        """Derive the plan from the frozen probing assignment (no-op if
+        already bound, e.g. after a checkpoint resume)."""
+        if self.plan is None:
+            self.plan = plan_from_assignment(assignment, self.num_shards)
+
+    def owns(self, scope: Prefix) -> bool:
+        """Whether this shard probes targets with this query scope."""
+        if self.plan is None:
+            raise RuntimeError(
+                "ShardSpec.owns() before bind(): the plan is derived "
+                "from the probing assignment"
+            )
+        return self.plan.shard_of(scope) == self.shard_id
+
+
+def plan_shards(
+    scope_weights: dict[Prefix, int], num_shards: int
+) -> ShardPlan:
+    """Build the partition for ``num_shards`` workers.
+
+    ``scope_weights`` maps each distinct query scope to its probe
+    weight — the number of ⟨PoP, domain⟩ assignment entries carrying
+    it, i.e. how many schedule visits per loop it costs.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be at least 1")
+    if not scope_weights:
+        raise ValueError("cannot plan shards over an empty target set")
+    distinct = len(scope_weights)
+    wanted = min(distinct, GROUPS_PER_SHARD * num_shards)
+    total = sum(scope_weights.values())
+    # A group heavier than half a shard's fair share caps how well the
+    # greedy pass can balance, so keep splitting past `wanted` until
+    # the heaviest subtree is manageable (or subtrees stop splitting).
+    heaviest_ok = total / num_shards / 2 if num_shards > 1 else total
+    depth = 0
+    groups: dict[Prefix, int] = {}
+    for depth in range(MAX_CUT_DEPTH + 1):
+        groups = {}
+        for scope, weight in scope_weights.items():
+            root = subtree_root(scope, depth)
+            groups[root] = groups.get(root, 0) + weight
+        if len(groups) >= wanted and max(groups.values()) <= heaviest_ok:
+            break
+    loads = [0.0] * num_shards
+    assignment: dict[Prefix, int] = {}
+    # Heaviest subtree first onto the lightest shard; ties broken by
+    # prefix order and shard index so the plan is fully deterministic.
+    for root, weight in sorted(groups.items(),
+                               key=lambda item: (-item[1], item[0])):
+        shard = min(range(num_shards), key=lambda s: (loads[s], s))
+        assignment[root] = shard
+        loads[shard] += weight
+    return ShardPlan(
+        num_shards=num_shards,
+        cut_depth=depth,
+        assignment=assignment,
+        loads=tuple(loads),
+    )
+
+
+def plan_from_assignment(
+    assignment: dict[str, list], num_shards: int
+) -> ShardPlan:
+    """Plan from a pipeline assignment (``pop -> [(domain, scope)]``)."""
+    weights: dict[Prefix, int] = {}
+    for entries in assignment.values():
+        for _domain, scope in entries:
+            weights[scope] = weights.get(scope, 0) + 1
+    return plan_shards(weights, num_shards)

@@ -1,0 +1,238 @@
+"""One shard's worker: a full campaign replica that probes its slice.
+
+Every worker rebuilds the *entire* deterministic world from the shared
+config and runs the full pipeline — discovery, warmup, calibration,
+client activity, the complete probe schedule — but only sends probes
+for the targets its :class:`~repro.parallel.planner.ShardSpec` owns
+(ghost visits cover the rest) and only crawls its round-robin slice of
+the DNS root letters.  Replication is what buys bit-equivalence: every
+shard's clock, caches and client activity evolve exactly as the serial
+run's do, so an owned probe observes exactly what the serial run's
+probe observed.
+
+Workers journal and snapshot through the same
+:class:`~repro.persist.campaign.CampaignCheckpointer` machinery as
+serial campaigns, each into its own ``shard-NN/`` sub-directory, and
+drop an atomic ``result.pkl`` on completion so a campaign resume can
+skip finished shards entirely.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.sim.faults import FaultInjector
+from repro.world.builder import World, build_world
+from repro.world.vantage import VantagePoint, deploy_vantage_points
+from repro.core.cache_probing import CacheProbingPipeline, CacheProbingResult
+from repro.core.dns_logs import DnsLogsPipeline
+from repro.experiments.config import ExperimentConfig
+from repro.persist.campaign import (
+    CampaignCheckpointer,
+    CheckpointConfig,
+    CheckpointError,
+)
+from repro.parallel.planner import ShardSpec
+
+RESULT_FILE = "result.pkl"
+
+
+@dataclass
+class ShardResult:
+    """Everything a shard ships back for the merge."""
+
+    shard_id: int
+    num_shards: int
+    cache: CacheProbingResult
+    dns_window: tuple[float, float]
+    dns_letters: dict[str, list]
+    clock_now: float
+    clock_ticks: int
+
+
+@dataclass(slots=True)
+class ShardCampaignState:
+    """A shard campaign's snapshot payload (one pickle graph, like
+    :class:`~repro.persist.campaign.CampaignState`)."""
+
+    config: ExperimentConfig
+    shard: ShardSpec
+    stage: str  # "probing" → "dns_logs" → "done"
+    world: World
+    vantage_points: list[VantagePoint]
+    pipeline: CacheProbingPipeline
+    cache_result: CacheProbingResult | None = None
+    dns_window: tuple[float, float] = (0.0, 0.0)
+    dns_letters: dict[str, list] = field(default_factory=dict)
+
+
+def shard_dir_name(shard_id: int) -> str:
+    """The checkpoint sub-directory for one shard."""
+    return f"shard-{shard_id:02d}"
+
+
+def result_path(shard_dir: str | Path) -> Path:
+    """Where a finished shard's result pickle lives."""
+    return Path(shard_dir) / RESULT_FILE
+
+
+def run_shard(
+    config: ExperimentConfig,
+    shard_id: int,
+    num_shards: int,
+    shard_dir: str | Path | None = None,
+    checkpoint_config: CheckpointConfig | None = None,
+    arm_crash: bool = False,
+) -> tuple[ShardResult, ShardCampaignState]:
+    """Run one shard's campaign from scratch.
+
+    With ``shard_dir`` set the shard journals and snapshots exactly
+    like a serial campaign; ``arm_crash`` additionally wires the
+    world's fault injector into the checkpointer so
+    ``FaultConfig.crash_after_appends`` counts *this shard's* journal
+    appends (the "kill one worker" lever for crash/resume tests).
+    """
+    world = build_world(config.world)
+    vantage_points = deploy_vantage_points(world)
+    shard = ShardSpec(shard_id=shard_id, num_shards=num_shards)
+    pipeline = CacheProbingPipeline(
+        world,
+        config.probing,
+        activity_config=config.activity,
+        vantage_points=vantage_points,
+        shard=shard,
+    )
+    state = ShardCampaignState(
+        config=config,
+        shard=shard,
+        stage="probing",
+        world=world,
+        vantage_points=vantage_points,
+        pipeline=pipeline,
+    )
+    checkpointer = None
+    if shard_dir is not None:
+        directory = Path(shard_dir)
+        journal_path = directory / "journal.bin"
+        if journal_path.exists() \
+                and journal_path.stat().st_size > len(b"RPJ1"):
+            raise CheckpointError(
+                f"{directory} already holds a shard journal; resume it "
+                "instead of restarting"
+            )
+        checkpointer = CampaignCheckpointer(
+            directory, checkpoint_config,
+            faults=world.faults if arm_crash else None,
+        )
+        checkpointer.bind(state)
+        checkpointer.record({"type": "phase", "name": "campaign_start",
+                             "seed": config.seed, "shard": shard_id,
+                             "of": num_shards})
+        checkpointer.snapshot()
+    return _drive_shard(state, checkpointer, shard_dir)
+
+
+def resume_shard(
+    shard_dir: str | Path,
+    checkpoint_config: CheckpointConfig | None = None,
+    faults: FaultInjector | None = None,
+) -> tuple[ShardResult, ShardCampaignState]:
+    """Resume one crashed shard from its checkpoint sub-directory."""
+    checkpointer, state, _torn = CampaignCheckpointer.recover(
+        shard_dir, checkpoint_config, faults=faults)
+    if state is None:
+        checkpointer.close()
+        raise CheckpointError(
+            f"{shard_dir} holds no resumable shard snapshot; "
+            "rerun the campaign from scratch"
+        )
+    checkpointer.bind(state)
+    return _drive_shard(state, checkpointer, shard_dir)
+
+
+def load_shard_result(shard_dir: str | Path) -> ShardResult | None:
+    """A finished shard's result, or None if it never completed."""
+    path = result_path(shard_dir)
+    if not path.exists():
+        return None
+    with path.open("rb") as handle:
+        return pickle.load(handle)
+
+
+def _save_shard_result(shard_dir: str | Path, result: ShardResult) -> None:
+    """Atomically persist the completion marker + merged inputs."""
+    path = result_path(shard_dir)
+    tmp = path.with_suffix(".pkl.tmp")
+    with tmp.open("wb") as handle:
+        pickle.dump(result, handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def _drive_shard(
+    state: ShardCampaignState,
+    checkpointer: CampaignCheckpointer | None,
+    shard_dir: str | Path | None,
+) -> tuple[ShardResult, ShardCampaignState]:
+    """Advance a shard campaign through its remaining stages."""
+    config = state.config
+    if state.stage == "probing":
+        state.cache_result = state.pipeline.run(checkpointer=checkpointer)
+        state.stage = "dns_logs"
+        if checkpointer is not None:
+            checkpointer.record({
+                "type": "phase", "name": "cache_probing_done",
+                "probes": state.cache_result.probes_sent,
+                "hits": len(state.cache_result.hits),
+            })
+            checkpointer.snapshot()
+    if state.stage == "dns_logs":
+        state.dns_window, state.dns_letters = DnsLogsPipeline(
+            state.world, config.dns_logs,
+        ).crawl_shard(state.shard, checkpointer=checkpointer)
+        state.stage = "done"
+        if checkpointer is not None:
+            checkpointer.record({
+                "type": "phase", "name": "shard_done",
+                "letters": len(state.dns_letters),
+            })
+            checkpointer.snapshot()
+    assert state.cache_result is not None
+    result = ShardResult(
+        shard_id=state.shard.shard_id,
+        num_shards=state.shard.num_shards,
+        cache=state.cache_result,
+        dns_window=state.dns_window,
+        dns_letters=state.dns_letters,
+        clock_now=state.world.clock.now,
+        clock_ticks=state.world.clock.ticks,
+    )
+    if checkpointer is not None:
+        checkpointer.close()
+    if shard_dir is not None:
+        _save_shard_result(shard_dir, result)
+    return result, state
+
+
+# -- process-pool entry points (must be module-level picklables) -------------
+
+
+def child_run_shard(payload: tuple) -> ShardResult:
+    """Fresh-run entry point executed inside a worker process."""
+    config, shard_id, num_shards, shard_dir, ckpt_config, arm = payload
+    result, _state = run_shard(
+        config, shard_id, num_shards,
+        shard_dir=shard_dir, checkpoint_config=ckpt_config, arm_crash=arm,
+    )
+    return result
+
+
+def child_resume_shard(payload: tuple) -> ShardResult:
+    """Resume entry point executed inside a worker process."""
+    shard_dir, ckpt_config = payload
+    result, _state = resume_shard(shard_dir, checkpoint_config=ckpt_config)
+    return result

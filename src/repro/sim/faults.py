@@ -10,19 +10,23 @@ deployment needs (retries, breakers, failover) was ever exercised.
 
 :class:`FaultInjector` makes the simulated path unreliable in
 configurable, *seeded-deterministic* ways.  Every fault class draws
-from its own dedicated RNG stream so that, say, raising the packet-loss
-rate does not perturb the SERVFAIL sequence.  With the default
-(all-zero) :class:`FaultConfig` the injector never draws randomness and
-never fires — fault injection is strictly opt-in, and a run with faults
-disabled is bit-identical to one without the subsystem at all.
+from its own dedicated :class:`~repro.sim.streams.KeyedStream` so that,
+say, raising the packet-loss rate does not perturb the SERVFAIL
+sequence — and, because keyed streams are pure functions of the event
+identity rather than of draw order, skipping unrelated queries (as a
+campaign shard does) leaves every remaining fault decision unchanged.
+With the default (all-zero) :class:`FaultConfig` the injector never
+draws randomness and never fires — fault injection is strictly opt-in,
+and a run with faults disabled is bit-identical to one without the
+subsystem at all.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 
 from repro.sim.clock import Clock
+from repro.sim.streams import KeyedStream
 
 
 class SimulatedCrash(RuntimeError):
@@ -174,10 +178,13 @@ class FaultStats:
 class FaultInjector:
     """Decides, query by query, which faults fire.
 
-    Holds one RNG stream per stochastic fault class, all derived from
+    Holds one keyed stream per stochastic fault class, all derived from
     ``config.seed``, so fault sequences are reproducible and mutually
-    independent.  Window-based faults (outages, bursts) are pure
-    functions of the clock and draw no randomness at all.
+    independent.  Callers identify each decision with an **event key**
+    (source address, query name, ECS prefix, …): the outcome is a pure
+    function of ``(seed, clock instant, key)``, never of how many other
+    queries drew before it.  Window-based faults (outages, bursts) are
+    pure functions of the clock and draw no randomness at all.
     """
 
     def __init__(self, config: FaultConfig, clock: Clock) -> None:
@@ -186,37 +193,46 @@ class FaultInjector:
         #: fast-path flag: hot paths check this before anything else.
         self.enabled = config.any_enabled
         self.stats = FaultStats()
-        self._loss_rng = random.Random(f"{config.seed}:loss")
-        self._servfail_rng = random.Random(f"{config.seed}:servfail")
-        self._refused_rng = random.Random(f"{config.seed}:refused")
+        self._loss = KeyedStream(config.seed, "loss", clock)
+        self._servfail = KeyedStream(config.seed, "servfail", clock)
+        self._refused = KeyedStream(config.seed, "refused", clock)
+
+    @property
+    def draws(self) -> int:
+        """Total randomness consumed across all fault streams."""
+        return self._loss.draws + self._servfail.draws + self._refused.draws
 
     # -- stochastic faults -------------------------------------------------
 
-    def drop_query(self, transport) -> bool:
-        """Packet loss on the resolver path (either direction)."""
+    def drop_query(self, transport, key: tuple = ()) -> bool:
+        """Packet loss on the resolver path (either direction).
+
+        ``key`` identifies the query (source, name, ECS …) so the
+        decision is independent of every other query's fate.
+        """
         from repro.dns.message import Transport
 
         if transport is Transport.UDP:
             rate = self.config.udp_loss_rate
-            if rate and self._loss_rng.random() < rate:
+            if rate and self._loss.uniform(transport.value, *key) < rate:
                 self.stats.dropped_udp += 1
                 return True
             return False
         rate = self.config.tcp_loss_rate
-        if rate and self._loss_rng.random() < rate:
+        if rate and self._loss.uniform(transport.value, *key) < rate:
             self.stats.dropped_tcp += 1
             return True
         return False
 
-    def authoritative_servfail(self) -> bool:
+    def authoritative_servfail(self, key: tuple = ()) -> bool:
         """Transient SERVFAIL at an authoritative server."""
         rate = self.config.servfail_rate
-        if rate and self._servfail_rng.random() < rate:
+        if rate and self._servfail.uniform(*key) < rate:
             self.stats.servfails += 1
             return True
         return False
 
-    def inject_refused(self, pop_id: str) -> bool:
+    def inject_refused(self, pop_id: str, key: tuple = ()) -> bool:
         """REFUSED beyond the token buckets: burst episodes first, then
         the per-query shedding rate."""
         for window in self.config.refused_bursts:
@@ -224,7 +240,7 @@ class FaultInjector:
                 self.stats.refused_burst += 1
                 return True
         rate = self.config.refused_rate
-        if rate and self._refused_rng.random() < rate:
+        if rate and self._refused.uniform(pop_id, *key) < rate:
             self.stats.refused_injected += 1
             return True
         return False

@@ -1,0 +1,76 @@
+"""Keyed deterministic random streams.
+
+A sequential PRNG couples every consumer to global scheduling order:
+the Nth draw depends on how many draws anyone else made before it, so
+skipping one query (because a shard does not own its target) perturbs
+every draw that follows.  That coupling is what makes naive sharding
+diverge from a serial run.
+
+:class:`KeyedStream` removes the coupling by making each draw a pure
+function of
+
+* the stream's ``(seed, label)`` identity,
+* the simulated clock's current instant,
+* the caller-supplied **event key** (who is asking, about what), and
+* a per-``(instant, key)`` repeat counter, so redundant queries for the
+  same event at the same instant still see fresh randomness.
+
+Two runs that evaluate the *same event* get the same draw no matter
+which other events ran before it — which is exactly the property the
+serial ≡ parallel equivalence contract needs.  Key elements must be
+primitives with deterministic ``repr`` (ints, floats, strings, None);
+never pass objects whose ``repr`` embeds a memory address.
+
+The repeat counters are scoped to a single clock instant and cleared
+whenever the clock moves, so memory stays bounded by the number of
+distinct events per instant, not per run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.sim.clock import Clock
+
+#: 53-bit mantissa scale, mirroring ``random.Random.random``'s range.
+_SCALE = float(1 << 53)
+
+
+class KeyedStream:
+    """Deterministic per-event randomness bound to a simulated clock."""
+
+    def __init__(self, seed: int, label: str, clock: Clock) -> None:
+        self._prefix = f"{seed}:{label}:".encode()
+        self._clock = clock
+        self._epoch: float | None = None
+        self._repeats: dict[tuple, int] = {}
+        #: total draws ever made — lets tests pin "no randomness was
+        #: consumed" without reaching into generator internals.
+        self.draws = 0
+
+    def _digest(self, key: tuple) -> int:
+        now = self._clock.now
+        if now != self._epoch:
+            self._epoch = now
+            self._repeats.clear()
+        repeat = self._repeats.get(key, 0)
+        self._repeats[key] = repeat + 1
+        digest = hashlib.blake2b(
+            self._prefix + repr((now, repeat, key)).encode(),
+            digest_size=8,
+        ).digest()
+        self.draws += 1
+        return int.from_bytes(digest, "big")
+
+    def uniform(self, *key) -> float:
+        """A draw in ``[0, 1)`` for the event identified by ``key``."""
+        return (self._digest(key) >> 11) / _SCALE
+
+    def randrange(self, n: int, *key) -> int:
+        """A draw in ``range(n)`` for the event identified by ``key``."""
+        if n < 1:
+            raise ValueError(f"randrange needs n >= 1, got {n}")
+        return self._digest(key) % n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"KeyedStream({self._prefix!r}, draws={self.draws})")

@@ -1,0 +1,75 @@
+"""Shared fixtures for the serial ≡ parallel differential suite.
+
+The campaigns here reuse the seconds-scale configuration the
+crash/resume suite established (``tests/persist/test_resume``) so the
+two equivalence contracts — checkpointed ≡ plain and parallel ≡ serial
+— are exercised on the same world.  Serial baselines are session-
+scoped: every parallel variant diffs against the same one run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.faults import FaultConfig
+from repro.core.export import (
+    active_prefixes_to_csv,
+    cache_probing_to_json,
+    dataset_to_json,
+    dns_logs_to_json,
+)
+from repro.experiments.runner import run_experiment
+from tests.persist.test_resume import fingerprint, tiny_experiment_config
+
+BASE_SEED = 11
+
+#: rates high enough that every injection path fires during the tiny
+#: campaign, so the faulty equivalence runs actually exercise the
+#: keyed fault streams.
+FAULTS = FaultConfig(seed=BASE_SEED, udp_loss_rate=0.08,
+                     tcp_loss_rate=0.02, servfail_rate=0.05,
+                     refused_rate=0.03)
+
+
+def parallel_config(seed: int = BASE_SEED,
+                    faults: FaultConfig | None = None):
+    """The campaign configuration the differential suite runs."""
+    return tiny_experiment_config(seed, faults=faults)
+
+
+def canonical_exports(result) -> dict[str, str]:
+    """Every shareable artefact of a run, in canonical serialised form.
+
+    Byte-equality of this mapping is the strongest external-observer
+    check we have: two runs that agree here are indistinguishable to
+    any consumer of the exported data.
+    """
+    artefacts = {
+        "cache_probing.json": cache_probing_to_json(result.cache_result),
+        "active_prefixes.csv": active_prefixes_to_csv(result.cache_result),
+        "dns_logs.json": dns_logs_to_json(result.logs_result),
+    }
+    for name, dataset in result.datasets.items():
+        artefacts[f"dataset:{name}"] = dataset_to_json(dataset)
+    return artefacts
+
+
+@pytest.fixture(scope="session")
+def serial_clean():
+    """The uninterrupted single-process run every variant diffs against."""
+    return run_experiment(parallel_config(BASE_SEED))
+
+
+@pytest.fixture(scope="session")
+def serial_faulty():
+    """Serial baseline under injected network faults."""
+    return run_experiment(parallel_config(BASE_SEED, faults=FAULTS))
+
+
+__all__ = [
+    "BASE_SEED",
+    "FAULTS",
+    "canonical_exports",
+    "fingerprint",
+    "parallel_config",
+]

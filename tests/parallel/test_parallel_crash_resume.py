@@ -1,0 +1,157 @@
+"""Crash/resume for sharded campaigns: kill a worker, resume, bit-equal.
+
+Extends the serial crash/resume contract (``tests/persist``) to the
+parallel driver: a campaign whose individual workers die mid-flight —
+including the parent running shard 0 — resumes from the per-shard
+checkpoint tree to the result an uninterrupted serial run produces.
+"""
+
+import pytest
+
+from repro.sim.faults import FaultConfig, SimulatedCrash
+from repro.parallel import (
+    is_parallel_checkpoint,
+    load_shard_result,
+    resume_parallel_campaign,
+    run_parallel_experiment,
+    shard_dir_name,
+)
+from repro.persist import CheckpointConfig, CheckpointError
+
+from tests.parallel.conftest import (
+    BASE_SEED,
+    canonical_exports,
+    fingerprint,
+    parallel_config,
+)
+
+CKPT = CheckpointConfig(snapshot_every_slots=2)
+
+
+def crashing_config(crash_at: int):
+    """The tiny campaign with a crash armed after ``crash_at`` journal
+    appends (only shards named in ``crash_shards`` actually arm it)."""
+    return parallel_config(
+        BASE_SEED,
+        faults=FaultConfig(seed=BASE_SEED, crash_after_appends=crash_at),
+    )
+
+
+def crash_then_resume(tmp_path, crash_shards, crash_at, workers=3):
+    with pytest.raises(SimulatedCrash, match="resume_parallel_campaign"):
+        run_parallel_experiment(
+            crashing_config(crash_at), workers=workers,
+            checkpoint_dir=tmp_path, checkpoint_config=CKPT,
+            crash_shards=crash_shards,
+        )
+    return resume_parallel_campaign(tmp_path, checkpoint_config=CKPT)
+
+
+class TestWorkerCrashResume:
+    def test_pooled_worker_crash_resumes_to_serial_result(
+            self, tmp_path, serial_clean):
+        resumed = crash_then_resume(tmp_path, {1}, crash_at=5_000)
+        assert fingerprint(resumed) == fingerprint(serial_clean)
+        assert canonical_exports(resumed) == canonical_exports(
+            serial_clean)
+
+    def test_parent_shard_crash_resumes_to_serial_result(
+            self, tmp_path, serial_clean):
+        """Shard 0 runs in the supervisor itself; its death must be as
+        recoverable as any pooled worker's."""
+        resumed = crash_then_resume(tmp_path, {0}, crash_at=5_000)
+        assert fingerprint(resumed) == fingerprint(serial_clean)
+
+    def test_multiple_workers_crash_resumes_to_serial_result(
+            self, tmp_path, serial_clean):
+        resumed = crash_then_resume(tmp_path, {0, 2}, crash_at=7_000)
+        assert fingerprint(resumed) == fingerprint(serial_clean)
+
+    def test_crash_resume_with_bucket_contention(self, tmp_path):
+        """Crash/resume in the regime where ghost visits must consume
+        rate-limit tokens: the token buckets and the ghost-accounting
+        flag ride the snapshot round-trip."""
+        import dataclasses
+
+        from tests.parallel.test_serial_parallel_equivalence import (
+            _bucket_depleting_config,
+        )
+        from repro.experiments.runner import run_experiment
+
+        serial = run_experiment(_bucket_depleting_config())
+        assert serial.cache_result.health.refused > 0
+        crashing = dataclasses.replace(
+            _bucket_depleting_config(),
+            world=dataclasses.replace(
+                _bucket_depleting_config().world,
+                faults=FaultConfig(seed=BASE_SEED,
+                                   crash_after_appends=5_000),
+            ),
+        )
+        with pytest.raises(SimulatedCrash,
+                           match="resume_parallel_campaign"):
+            run_parallel_experiment(
+                crashing, workers=2, checkpoint_dir=tmp_path,
+                checkpoint_config=CKPT, crash_shards={1},
+            )
+        resumed = resume_parallel_campaign(tmp_path,
+                                           checkpoint_config=CKPT)
+        assert fingerprint(resumed) == fingerprint(serial)
+
+    def test_surviving_shards_persist_their_results(self, tmp_path):
+        """A crash in one worker must not lose the others' work: their
+        result pickles are on disk before the supervisor re-raises."""
+        with pytest.raises(SimulatedCrash):
+            run_parallel_experiment(
+                crashing_config(5_000), workers=3,
+                checkpoint_dir=tmp_path, checkpoint_config=CKPT,
+                crash_shards={1},
+            )
+        assert load_shard_result(tmp_path / shard_dir_name(0)) is not None
+        assert load_shard_result(tmp_path / shard_dir_name(1)) is None
+        assert load_shard_result(tmp_path / shard_dir_name(2)) is not None
+
+
+class TestParallelCheckpointSemantics:
+    def test_checkpoint_tree_is_detected_as_parallel(self, tmp_path):
+        with pytest.raises(SimulatedCrash):
+            run_parallel_experiment(
+                crashing_config(3_000), workers=2,
+                checkpoint_dir=tmp_path, checkpoint_config=CKPT,
+                crash_shards={1},
+            )
+        assert is_parallel_checkpoint(tmp_path)
+        assert not is_parallel_checkpoint(tmp_path / shard_dir_name(0))
+
+    def test_rerunning_over_a_campaign_is_refused(self, tmp_path):
+        with pytest.raises(SimulatedCrash):
+            run_parallel_experiment(
+                crashing_config(3_000), workers=2,
+                checkpoint_dir=tmp_path, checkpoint_config=CKPT,
+                crash_shards={1},
+            )
+        with pytest.raises(CheckpointError, match="resume"):
+            run_parallel_experiment(
+                parallel_config(), workers=2,
+                checkpoint_dir=tmp_path, checkpoint_config=CKPT,
+            )
+
+    def test_resuming_a_non_campaign_directory_is_refused(self, tmp_path):
+        with pytest.raises(CheckpointError, match="manifest"):
+            resume_parallel_campaign(tmp_path)
+
+    def test_crash_shards_without_checkpoint_dir_is_refused(self):
+        from repro.parallel import ParallelismError
+
+        with pytest.raises(ParallelismError, match="checkpoint_dir"):
+            run_parallel_experiment(crashing_config(3_000), workers=2,
+                                    crash_shards={1})
+
+    def test_checkpointed_parallel_run_without_crash(self, tmp_path,
+                                                     serial_clean):
+        """Checkpointing itself must not perturb the parallel result."""
+        result = run_parallel_experiment(
+            parallel_config(), workers=2,
+            checkpoint_dir=tmp_path, checkpoint_config=CKPT,
+        )
+        assert fingerprint(result) == fingerprint(serial_clean)

@@ -1,0 +1,157 @@
+"""The differential harness: serial ≡ parallel(N), bit for bit.
+
+The contract under test is the tentpole guarantee of
+:mod:`repro.parallel`: for the same config and seed, ``repro run
+--workers N`` produces the *identical* experiment result for any N —
+same hits in the same order, same probe accounting, same resolver
+counts, same datasets — verified both on the in-memory fingerprint and
+on the byte-identical canonical exports (the strongest external
+observer we have).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+from repro.parallel import ParallelismError, run_parallel_experiment
+from repro.core.resilient import ResilienceConfig
+
+from tests.parallel.conftest import (
+    BASE_SEED,
+    FAULTS,
+    canonical_exports,
+    fingerprint,
+    parallel_config,
+)
+
+# 7 workers over ~19 distinct subtrees makes the shard sizes genuinely
+# uneven — the case the greedy balancer and the merge must still get
+# bit-exact.
+WORKER_COUNTS = [1, 2, 4, 7]
+
+
+class TestCleanEquivalence:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_fingerprint_identical(self, serial_clean, workers):
+        parallel = run_parallel_experiment(parallel_config(),
+                                           workers=workers)
+        assert fingerprint(parallel) == fingerprint(serial_clean)
+
+    def test_exports_byte_identical(self, serial_clean):
+        parallel = run_parallel_experiment(parallel_config(), workers=4)
+        assert canonical_exports(parallel) == canonical_exports(
+            serial_clean)
+
+    def test_uneven_shards_still_equivalent(self, serial_clean):
+        """At 7 workers the planner cannot balance ~19 subtrees evenly;
+        the merged result must not care."""
+        parallel = run_parallel_experiment(parallel_config(), workers=7)
+        sizes = {len(shard) for shard in _shard_target_sets(parallel)}
+        assert len(sizes) > 1, "expected an uneven partition"
+        assert canonical_exports(parallel) == canonical_exports(
+            serial_clean)
+
+
+class TestFaultyEquivalence:
+    """Equivalence must survive injected loss/SERVFAIL/REFUSED: the
+    keyed fault streams make an event's fate a function of the event,
+    not of which worker evaluates it."""
+
+    @pytest.mark.parametrize("workers", [2, 7])
+    def test_fingerprint_identical_under_faults(self, serial_faulty,
+                                                workers):
+        parallel = run_parallel_experiment(
+            parallel_config(faults=FAULTS), workers=workers)
+        assert fingerprint(parallel) == fingerprint(serial_faulty)
+
+    def test_exports_byte_identical_under_faults(self, serial_faulty):
+        parallel = run_parallel_experiment(
+            parallel_config(faults=FAULTS), workers=4)
+        assert canonical_exports(parallel) == canonical_exports(
+            serial_faulty)
+
+    def test_faults_actually_fired(self, serial_faulty, serial_clean):
+        """Guard against a vacuous fault run: the faulty baseline must
+        differ from the clean one."""
+        assert fingerprint(serial_faulty) != fingerprint(serial_clean)
+
+
+def _bucket_depleting_config():
+    """Enough per-slot volume to overrun the resolver's 1,500-token
+    per-vantage TCP bucket, as the full-scale presets do."""
+    config = parallel_config()
+    return dataclasses.replace(
+        config,
+        probing=dataclasses.replace(
+            config.probing,
+            measurement_hours=1.0,
+            redundancy=8,
+            probe_loops=12,
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_depleting():
+    return run_experiment(_bucket_depleting_config())
+
+
+class TestBucketDepletionEquivalence:
+    """All of a slot's probes fire at one simulated instant, so past
+    bucket capacity, *which* probes get REFUSED depends on arrival
+    order within the instant — the regime ghost token accounting
+    exists for: ghost visits consume tokens too, keeping every
+    replica's bucket in lock-step with serial."""
+
+    def test_serial_actually_depletes_the_bucket(self, serial_depleting):
+        """Guard against a vacuous pass: with faults off, every REFUSED
+        is a token-bucket refusal."""
+        health = serial_depleting.cache_result.health
+        assert health.refused > 0
+        assert health.sent == health.answered + health.refused
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_fingerprint_identical(self, serial_depleting, workers):
+        parallel = run_parallel_experiment(_bucket_depleting_config(),
+                                           workers=workers)
+        assert fingerprint(parallel) == fingerprint(serial_depleting)
+
+    def test_exports_byte_identical(self, serial_depleting):
+        parallel = run_parallel_experiment(_bucket_depleting_config(),
+                                           workers=3)
+        assert canonical_exports(parallel) == canonical_exports(
+            serial_depleting)
+
+
+class TestRefusedConfigurations:
+    def test_resilience_is_refused(self):
+        config = parallel_config()
+        config = dataclasses.replace(
+            config,
+            probing=dataclasses.replace(
+                config.probing,
+                resilience=ResilienceConfig(enabled=True),
+            ),
+        )
+        with pytest.raises(ParallelismError, match="resilience"):
+            run_parallel_experiment(config, workers=2)
+
+    def test_zero_workers_is_refused(self):
+        with pytest.raises(ParallelismError, match="workers"):
+            run_parallel_experiment(parallel_config(), workers=0)
+
+
+def _shard_target_sets(result):
+    """Partition the probed scopes by owning shard, from the merged
+    result's attempt counts and a freshly derived plan."""
+    from repro.parallel import plan_shards
+
+    weights = {}
+    for (_pop, _domain, scope) in result.cache_result.attempt_counts:
+        weights[scope] = weights.get(scope, 0) + 1
+    plan = plan_shards(weights, 7)
+    shards = [set() for _ in range(7)]
+    for scope in weights:
+        shards[plan.shard_of(scope)].add(scope)
+    return shards

@@ -1,0 +1,241 @@
+"""Property-based tests for the shard planner and the shard merge.
+
+Two families of invariants:
+
+* the partition itself — every scope lands in exactly one shard, whole
+  prefix-trie subtrees stay together, the plan is a pure deterministic
+  function of its inputs;
+* the merge — feeding shard results to the merge in any permutation
+  yields the identical merged result.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.prefix import Prefix
+from repro.parallel import (
+    ShardDivergence,
+    ShardSpec,
+    merge_cache_results,
+    merge_dns_logs,
+    plan_shards,
+    run_shard,
+    subtree_root,
+)
+
+from tests.parallel.conftest import fingerprint, parallel_config
+
+# -- strategies ---------------------------------------------------------------
+
+addresses = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@st.composite
+def scopes(draw):
+    """A campaign-shaped query scope: a /16../24 block."""
+    length = draw(st.integers(min_value=16, max_value=24))
+    return Prefix.from_address(draw(addresses), length)
+
+
+@st.composite
+def weighted_scopes(draw):
+    """A non-empty scope → probe-weight mapping."""
+    items = draw(st.lists(
+        st.tuples(scopes(), st.integers(min_value=1, max_value=50)),
+        min_size=1, max_size=60))
+    return dict(items)
+
+
+shard_counts = st.integers(min_value=1, max_value=9)
+
+
+# -- partition invariants -----------------------------------------------------
+
+class TestPlanInvariants:
+    @given(weights=weighted_scopes(), num_shards=shard_counts)
+    @settings(max_examples=150, deadline=None)
+    def test_every_scope_in_exactly_one_shard(self, weights, num_shards):
+        plan = plan_shards(weights, num_shards)
+        specs = [ShardSpec(shard_id=i, num_shards=num_shards, plan=plan)
+                 for i in range(num_shards)]
+        for scope in weights:
+            owners = [spec.shard_id for spec in specs
+                      if spec.owns(scope)]
+            assert len(owners) == 1
+            assert 0 <= owners[0] < num_shards
+
+    @given(weights=weighted_scopes(), num_shards=shard_counts)
+    @settings(max_examples=150, deadline=None)
+    def test_subtrees_stay_together(self, weights, num_shards):
+        """Scopes sharing an ancestor at the cut depth are co-located:
+        ownership is a function of the subtree, never the leaf."""
+        plan = plan_shards(weights, num_shards)
+        by_root = {}
+        for scope in weights:
+            root = subtree_root(scope, plan.cut_depth)
+            by_root.setdefault(root, set()).add(plan.shard_of(scope))
+        for root, owners in by_root.items():
+            assert len(owners) == 1, (
+                f"subtree {root} split across shards {owners}")
+
+    @given(weights=weighted_scopes(), num_shards=shard_counts)
+    @settings(max_examples=150, deadline=None)
+    def test_loads_account_for_all_weight(self, weights, num_shards):
+        plan = plan_shards(weights, num_shards)
+        assert sum(plan.loads) == pytest.approx(sum(weights.values()))
+
+    @given(weights=weighted_scopes(), num_shards=shard_counts)
+    @settings(max_examples=60, deadline=None)
+    def test_planning_is_deterministic(self, weights, num_shards):
+        """The plan is pure data derived from its inputs — every worker
+        computes the identical partition independently."""
+        again = dict(reversed(list(weights.items())))  # insertion order
+        assert plan_shards(weights, num_shards) == plan_shards(
+            again, num_shards)
+
+    @given(weights=weighted_scopes())
+    @settings(max_examples=60, deadline=None)
+    def test_single_shard_owns_everything(self, weights):
+        plan = plan_shards(weights, 1)
+        spec = ShardSpec(shard_id=0, num_shards=1, plan=plan)
+        assert all(spec.owns(scope) for scope in weights)
+
+
+class TestSpecErrors:
+    def test_shard_id_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            ShardSpec(shard_id=3, num_shards=3)
+
+    def test_owns_before_bind(self):
+        spec = ShardSpec(shard_id=0, num_shards=2)
+        with pytest.raises(RuntimeError, match="bind"):
+            spec.owns(Prefix.parse("192.0.2.0/24"))
+
+    def test_unknown_scope_is_refused(self):
+        # Two sibling /24s force the cut below /0, so a faraway scope
+        # has no subtree in the plan.
+        plan = plan_shards({Prefix.parse("10.0.0.0/24"): 1,
+                            Prefix.parse("10.0.1.0/24"): 1}, 2)
+        assert plan.cut_depth > 0
+        with pytest.raises(KeyError, match="not in the plan"):
+            plan.shard_of(Prefix.parse("203.0.113.0/24"))
+
+    def test_empty_weights_are_refused(self):
+        with pytest.raises(ValueError, match="empty"):
+            plan_shards({}, 2)
+
+
+# -- merge order-invariance ---------------------------------------------------
+
+@pytest.fixture(scope="module")
+def three_shards():
+    """The three shard results of one N=3 campaign, run directly."""
+    config = parallel_config()
+    return [run_shard(config, shard_id, 3)[0] for shard_id in range(3)]
+
+
+class TestMergeOrderInvariance:
+    def test_every_permutation_merges_identically(self, three_shards):
+        """All 3! orderings of the shard results merge to the same
+        cache result and DNS-logs result."""
+        config = parallel_config()
+        baseline = None
+        for permutation in itertools.permutations(three_shards):
+            cache = merge_cache_results(list(permutation))
+            logs = merge_dns_logs(list(permutation), config.dns_logs)
+            probe = (cache.hits, cache.scope_pairs, cache.probes_sent,
+                     cache.attempt_counts, cache.hit_counts,
+                     cache.hourly_attempts, cache.hourly_hits,
+                     logs.resolver_counts, logs.letters)
+            if baseline is None:
+                baseline = probe
+            else:
+                assert probe == baseline
+
+    def test_seeded_shuffles_merge_identically(self, three_shards,
+                                               serial_clean):
+        """Seeded random orderings agree with each other *and* with the
+        serial baseline's observable fields."""
+        config = parallel_config()
+        rng = random.Random(2021)
+        serial_cache = serial_clean.cache_result
+        for _ in range(5):
+            shuffled = list(three_shards)
+            rng.shuffle(shuffled)
+            cache = merge_cache_results(shuffled)
+            logs = merge_dns_logs(shuffled, config.dns_logs)
+            assert cache.hits == serial_cache.hits
+            assert cache.scope_pairs == serial_cache.scope_pairs
+            assert cache.probes_sent == serial_cache.probes_sent
+            assert (logs.resolver_counts
+                    == serial_clean.logs_result.resolver_counts)
+
+    def test_merged_sequence_keys_are_stripped(self, three_shards):
+        """The merged result is serial-shaped: no shard plumbing."""
+        cache = merge_cache_results(three_shards)
+        assert cache.hit_seq is None
+        assert cache.pair_seq is None
+
+
+class TestMergeRejectsBrokenSets:
+    """A merge that cannot be exact must fail loudly, never fabricate."""
+
+    def test_incomplete_shard_set(self, three_shards):
+        with pytest.raises(ShardDivergence, match="incomplete"):
+            merge_cache_results(three_shards[:2])
+
+    def test_duplicated_shard(self, three_shards):
+        with pytest.raises(ShardDivergence, match="incomplete|duplicat"):
+            merge_cache_results([three_shards[0], three_shards[0],
+                                 three_shards[2]])
+
+    def test_empty_set(self):
+        with pytest.raises(ShardDivergence, match="no shard results"):
+            merge_cache_results([])
+
+    def test_disagreeing_replicated_field(self, three_shards):
+        import copy
+
+        tampered = copy.deepcopy(three_shards)
+        tampered[1].cache.probes_before_loop += 1
+        with pytest.raises(ShardDivergence, match="replicated"):
+            merge_cache_results(tampered)
+
+    def test_missing_sequence_keys(self, three_shards):
+        import copy
+
+        tampered = copy.deepcopy(three_shards)
+        tampered[2].cache.hit_seq = None
+        with pytest.raises(ShardDivergence, match="shard spec"):
+            merge_cache_results(tampered)
+
+    def test_overlapping_dict_partition(self, three_shards):
+        import copy
+
+        tampered = copy.deepcopy(three_shards)
+        donor_key = next(iter(tampered[0].cache.attempt_counts))
+        tampered[1].cache.attempt_counts[donor_key] = 1
+        with pytest.raises(ShardDivergence, match="overlap"):
+            merge_cache_results(tampered)
+
+    def test_overlapping_letter_partition(self, three_shards):
+        import copy
+
+        config = parallel_config()
+        tampered = copy.deepcopy(three_shards)
+        donor = next(iter(tampered[0].dns_letters))
+        tampered[1].dns_letters[donor] = []
+        with pytest.raises(ShardDivergence, match="letter"):
+            merge_dns_logs(tampered, config.dns_logs)
+
+    def test_missing_health_report(self, three_shards):
+        import copy
+
+        tampered = copy.deepcopy(three_shards)
+        tampered[0].cache.health = None
+        with pytest.raises(ShardDivergence, match="health"):
+            merge_cache_results(tampered)

@@ -67,19 +67,14 @@ class TestFaultInjector:
         assert injector.stats.total() == 0
 
     def test_disabled_injector_draws_no_randomness(self):
-        """Zero rates must short-circuit before touching the RNGs so a
-        disabled run is bit-identical to one without the subsystem."""
+        """Zero rates must short-circuit before touching the streams so
+        a disabled run is bit-identical to one without the subsystem."""
         injector = FaultInjector(FaultConfig(), Clock())
-        states = (injector._loss_rng.getstate(),
-                  injector._servfail_rng.getstate(),
-                  injector._refused_rng.getstate())
         for _ in range(50):
             injector.drop_query(Transport.UDP)
             injector.authoritative_servfail()
             injector.inject_refused("p")
-        assert states == (injector._loss_rng.getstate(),
-                          injector._servfail_rng.getstate(),
-                          injector._refused_rng.getstate())
+        assert injector.draws == 0
 
     def test_loss_is_seed_deterministic(self):
         config = FaultConfig(seed=42, udp_loss_rate=0.3)
@@ -142,9 +137,8 @@ class TestFaultInjector:
         injector = FaultInjector(FaultConfig(
             seed=3, refused_rate=0.5,
             refused_bursts=(OutageWindow("pop-1", 0.0, 50.0),)), clock)
-        state = injector._refused_rng.getstate()
         assert all(injector.inject_refused("pop-1") for _ in range(20))
-        assert injector._refused_rng.getstate() == state
+        assert injector._refused.draws == 0
         assert injector.stats.refused_burst == 20
 
     def test_stats_as_dict_covers_total(self):
@@ -155,3 +149,73 @@ class TestFaultInjector:
         injector.inject_refused("p")
         snapshot = injector.stats.as_dict()
         assert sum(snapshot.values()) == injector.stats.total() == 2
+
+
+class TestKeyedStreamIndependence:
+    """Regression tests for the scheduling-order coupling that would
+    break per-shard replay: a fault decision must be a pure function of
+    the event's identity, never of which other events drew first."""
+
+    CONFIG = FaultConfig(seed=23, udp_loss_rate=0.3, tcp_loss_rate=0.2,
+                         servfail_rate=0.25, refused_rate=0.2)
+
+    @staticmethod
+    def _events(count):
+        return [(0x0A000000 + i, f"target-{i}.example.", f"10.0.{i}.0/24")
+                for i in range(count)]
+
+    def test_outcome_ignores_skipped_events(self):
+        """A 'shard' that evaluates only half the events must see the
+        same outcomes for those events as the full run — the keyed
+        streams' whole reason to exist."""
+        events = self._events(60)
+        full = FaultInjector(self.CONFIG, Clock())
+        full_outcomes = {
+            key: (full.drop_query(Transport.UDP, key),
+                  full.inject_refused("pop-1", key),
+                  full.authoritative_servfail(key))
+            for key in events
+        }
+        shard = FaultInjector(self.CONFIG, Clock())
+        for key in events[::2]:
+            assert (shard.drop_query(Transport.UDP, key),
+                    shard.inject_refused("pop-1", key),
+                    shard.authoritative_servfail(key)) \
+                == full_outcomes[key]
+
+    def test_outcome_ignores_evaluation_order(self):
+        events = self._events(40)
+        forward = FaultInjector(self.CONFIG, Clock())
+        outcomes = {key: forward.drop_query(Transport.UDP, key)
+                    for key in events}
+        backward = FaultInjector(self.CONFIG, Clock())
+        for key in reversed(events):
+            assert backward.drop_query(Transport.UDP, key) == outcomes[key]
+
+    def test_repeated_event_sees_fresh_draws_deterministically(self):
+        """Redundant queries for one event at one instant are distinct
+        draws, yet replay identically run-to-run."""
+        key = (0x0A000001, "probe.example.", "10.0.0.0/24")
+        a = FaultInjector(self.CONFIG, Clock())
+        b = FaultInjector(self.CONFIG, Clock())
+        seq_a = [a.drop_query(Transport.UDP, key) for _ in range(200)]
+        seq_b = [b.drop_query(Transport.UDP, key) for _ in range(200)]
+        assert seq_a == seq_b
+        assert any(seq_a) and not all(seq_a)
+
+    def test_repeat_counters_reset_when_clock_moves(self):
+        """The per-instant repeat counter keys off the clock, so the
+        same event at a later instant re-draws from scratch — and two
+        runs agree on that draw no matter how many repeats the first
+        instant saw."""
+        key = (0x0A000002, "probe.example.", "10.0.1.0/24")
+        few, many = Clock(), Clock()
+        a = FaultInjector(self.CONFIG, few)
+        b = FaultInjector(self.CONFIG, many)
+        a.drop_query(Transport.UDP, key)
+        for _ in range(17):
+            b.drop_query(Transport.UDP, key)
+        few.advance_to(100.0)
+        many.advance_to(100.0)
+        assert a.drop_query(Transport.UDP, key) \
+            == b.drop_query(Transport.UDP, key)
