@@ -8,6 +8,8 @@
                         [--section headline|table1..table5|figure1..figure7|
                                    asdb|extensions|scorecard|all]
     python -m repro resume --checkpoint-dir DIR [--section ...]
+    python -m repro serve --checkpoint-dir DIR [--windows N]
+                          [--window-hours H] [--budget N] [--resume]
     python -m repro export --out DIR [--preset ...] [--seed N]
     python -m repro collisions [--volume N] [--threshold N]
     python -m repro presets
@@ -17,10 +19,13 @@
 ``run`` executes the full measurement study and prints paper-style
 sections; with ``--checkpoint-dir`` progress is journaled and
 snapshotted so a killed run can be continued with ``resume`` to the
-identical result (see docs/checkpointing.md).  ``export`` writes the
-shareable artefacts (active prefix lists, resolver counts, unified
-datasets) to a directory; ``collisions`` runs the §3.2 Monte-Carlo
-threshold check without building a world.
+identical result (see docs/checkpointing.md).  ``serve`` operates the
+probing as a supervised continuous service — rolling windows,
+per-window deltas, self-healing restarts and graceful degradation (see
+docs/continuous.md).  ``export`` writes the shareable artefacts
+(active prefix lists, resolver counts, unified datasets) to a
+directory; ``collisions`` runs the §3.2 Monte-Carlo threshold check
+without building a world.
 """
 
 from __future__ import annotations
@@ -99,6 +104,36 @@ def build_parser() -> argparse.ArgumentParser:
                         default="all",
                         help="which report section to print (default: all)")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the continuous measurement service "
+             "(supervised rolling windows)",
+    )
+    serve.add_argument("--checkpoint-dir", required=True, metavar="DIR",
+                       help="service state directory (journal, snapshots, "
+                            "window deltas)")
+    serve.add_argument("--preset", choices=sorted(_PRESETS),
+                       default="small")
+    serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument("--windows", type=int, default=8, metavar="N",
+                       help="rolling measurement windows to run "
+                            "(default: 8)")
+    serve.add_argument("--window-hours", type=float, default=1.0,
+                       metavar="H",
+                       help="sim-hours per window (default: 1.0)")
+    serve.add_argument("--budget", type=int, default=None, metavar="N",
+                       help="max targets probed per window "
+                            "(default: every due target)")
+    serve.add_argument("--snapshot-every", type=int, default=8,
+                       metavar="N",
+                       help="snapshot cadence in probing slots "
+                            "(default: 8)")
+    serve.add_argument("--max-restarts", type=int, default=16, metavar="N",
+                       help="supervisor restart budget (default: 16)")
+    serve.add_argument("--resume", action="store_true",
+                       help="resume an interrupted service from its "
+                            "checkpoint directory")
+
     export = sub.add_parser(
         "export",
         help="write shareable measurement artefacts (JSON/CSV)",
@@ -173,26 +208,133 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fail(message: str) -> int:
+    """One-line diagnostic on stderr, nonzero exit."""
+    print(f"repro: error: {message}", file=sys.stderr)
+    return 2
+
+
+def _serial_checkpoint_problem(directory: str) -> str | None:
+    """Why a serial checkpoint directory cannot be resumed (or None).
+
+    Checked *before* touching the recovery machinery, which would
+    otherwise create the directory as a side effect and turn a typo'd
+    path into an empty checkpoint tree.
+    """
+    import pathlib
+
+    path = pathlib.Path(directory)
+    if not path.is_dir():
+        return f"checkpoint directory {directory} does not exist"
+    journal = path / "journal.bin"
+    if not journal.exists():
+        return (f"{directory} holds no campaign journal — "
+                "nothing to resume")
+    if journal.stat().st_size <= len(b"RPJ1"):
+        return (f"{directory} holds an empty journal — the campaign "
+                "never recorded progress; run it from scratch")
+    return None
+
+
 def _command_resume(args: argparse.Namespace) -> int:
     from repro.parallel import (
         is_parallel_checkpoint,
         resume_parallel_campaign,
     )
-    from repro.persist.campaign import resume_campaign
+    from repro.persist.campaign import CheckpointError, resume_campaign
+    from repro.persist.journal import JournalError
+    from repro.service import is_service_checkpoint
 
-    print(f"repro: resuming campaign from {args.checkpoint_dir}...",
-          file=sys.stderr)
-    started = time.time()
-    if is_parallel_checkpoint(args.checkpoint_dir):
-        result = resume_parallel_campaign(args.checkpoint_dir)
-    else:
-        result = resume_campaign(args.checkpoint_dir)
+    try:
+        if is_service_checkpoint(args.checkpoint_dir):
+            return _fail(
+                f"{args.checkpoint_dir} holds a continuous-service "
+                "checkpoint; resume it with `repro serve --resume`")
+        parallel = is_parallel_checkpoint(args.checkpoint_dir)
+        if not parallel:
+            problem = _serial_checkpoint_problem(args.checkpoint_dir)
+            if problem is not None:
+                return _fail(problem)
+        print(f"repro: resuming campaign from {args.checkpoint_dir}...",
+              file=sys.stderr)
+        started = time.time()
+        if parallel:
+            result = resume_parallel_campaign(args.checkpoint_dir)
+        else:
+            result = resume_campaign(args.checkpoint_dir)
+    except (CheckpointError, JournalError) as exc:
+        return _fail(str(exc))
     print(f"repro: done in {time.time() - started:.0f}s",
           file=sys.stderr)
     if args.section == "all":
         print(report_mod.full_report(result))
     else:
         print(_SECTIONS[args.section](result))
+    return 0
+
+
+def _render_service(result) -> str:
+    from repro.service import render_coverage_over_time
+
+    account = result.aggregate["accounting"]
+    lines = [
+        f"continuous service: {result.windows} windows, final health "
+        f"{result.final_state}, {result.restarts} supervisor "
+        f"restart(s), {result.aggregate['watchdog_cuts']} watchdog "
+        "cut(s)",
+        f"  accounting: scheduled={account['scheduled']:,} "
+        f"covered={account['covered']:,} "
+        f"uncovered={account['uncovered']:,} shed={account['shed']:,} "
+        f"budget_dropped={account['budget_dropped']:,}",
+        render_coverage_over_time(result.churn()),
+    ]
+    transitions = result.aggregate["transitions"]
+    if transitions:
+        moves = ", ".join(f"w{window}: {old}→{new}"
+                          for window, old, new in transitions)
+        lines.append(f"  health transitions: {moves}")
+    return "\n".join(lines)
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.persist.campaign import CheckpointConfig, CheckpointError
+    from repro.persist.journal import JournalError
+    from repro.service import ServiceConfig, resume_service, supervise
+
+    checkpoint_config = CheckpointConfig(
+        snapshot_every_slots=args.snapshot_every)
+    started = time.time()
+    try:
+        if args.resume:
+            problem = _serial_checkpoint_problem(args.checkpoint_dir)
+            if problem is not None:
+                return _fail(problem)
+            print(f"repro: resuming service from "
+                  f"{args.checkpoint_dir}...", file=sys.stderr)
+            result = resume_service(args.checkpoint_dir,
+                                    checkpoint_config)
+        else:
+            config = _PRESETS[args.preset](seed=args.seed)
+            service_config = ServiceConfig(
+                windows=args.windows,
+                window_hours=args.window_hours,
+                window_target_budget=args.budget,
+            )
+            print(f"repro: serving {args.windows} windows of "
+                  f"{args.window_hours:g} sim-hour(s) "
+                  f"(preset={args.preset}, seed={args.seed})...",
+                  file=sys.stderr)
+            result = supervise(
+                config, service_config,
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_config=checkpoint_config,
+                max_restarts=args.max_restarts,
+            )
+    except (CheckpointError, JournalError) as exc:
+        return _fail(str(exc))
+    print(f"repro: done in {time.time() - started:.0f}s",
+          file=sys.stderr)
+    print(_render_service(result))
     return 0
 
 
@@ -301,6 +443,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "run": _command_run,
         "resume": _command_resume,
+        "serve": _command_serve,
         "export": _command_export,
         "collisions": _command_collisions,
         "presets": _command_presets,

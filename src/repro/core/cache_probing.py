@@ -336,6 +336,54 @@ class CacheProbingPipeline:
         Checkpointing is purely observational — a checkpointed run is
         bit-identical to a bare one.
         """
+        world = self.world
+        journal = checkpointer.record if checkpointer is not None else None
+        state = self._ensure_stages(checkpointer)
+        if state.loop is None:
+            assignment = self._assign(state.discovery, state.calibration)
+            state.loop = self._make_loop_state(assignment)
+        self._run_probing(state.loop, checkpointer)
+        loop = state.loop
+        if self.shard is None:
+            accountable = loop.all_targets
+        else:
+            # A shard answers only for the targets it owns; foreign
+            # targets are other shards' to cover, and the merge sums
+            # the per-shard accounts back to the serial totals.
+            accountable = [t for t in loop.all_targets if self._owns(t[1])]
+        health = self.resilient.finalize(
+            targets_assigned=len(accountable),
+            targets_probed=sum(1 for t in accountable if t[2] > 0),
+        )
+        if journal:
+            journal({"type": "phase", "name": "probing_done",
+                     "now": world.clock.now, "sent": health.sent,
+                     "hits": health.hits})
+        result = CacheProbingResult(
+            hits=loop.hits,
+            probes_sent=self.prober.probes_sent,
+            calibration=state.calibration,
+            discovery=state.discovery,
+            assignment_sizes=dict(loop.assignment_sizes),
+            scope_pairs=loop.scope_pairs,
+            attempt_counts=loop.attempts,
+            hit_counts=loop.hit_counts,
+            hourly_attempts=loop.hourly_attempts,
+            hourly_hits=loop.hourly_hits,
+            measurement_window=(state.measurement_start, world.clock.now),
+            health=health,
+            hit_seq=list(loop.hit_seq) if self.shard is not None else None,
+            pair_seq=list(loop.pair_seq) if self.shard is not None else None,
+            probes_before_loop=loop.probes_at_loop_start,
+        )
+        self._run_state = None
+        return result
+
+    # -- bootstrap stages ----------------------------------------------------
+
+    def _ensure_stages(self, checkpointer) -> _RunState:
+        """Run (or skip, when resuming) discovery, warmup and
+        calibration, journaling each phase boundary exactly once."""
         config = self.config
         world = self.world
         journal = checkpointer.record if checkpointer is not None else None
@@ -376,45 +424,29 @@ class CacheProbingPipeline:
                          "probes": self.prober.probes_sent})
             if checkpointer is not None:
                 checkpointer.snapshot()
-        if state.loop is None:
-            assignment = self._assign(state.discovery, state.calibration)
-            state.loop = self._make_loop_state(assignment)
-        self._run_probing(state.loop, checkpointer)
-        loop = state.loop
-        if self.shard is None:
-            accountable = loop.all_targets
-        else:
-            # A shard answers only for the targets it owns; foreign
-            # targets are other shards' to cover, and the merge sums
-            # the per-shard accounts back to the serial totals.
-            accountable = [t for t in loop.all_targets if self._owns(t[1])]
-        health = self.resilient.finalize(
-            targets_assigned=len(accountable),
-            targets_probed=sum(1 for t in accountable if t[2] > 0),
-        )
-        if journal:
-            journal({"type": "phase", "name": "probing_done",
-                     "now": world.clock.now, "sent": health.sent,
-                     "hits": health.hits})
-        result = CacheProbingResult(
-            hits=loop.hits,
-            probes_sent=self.prober.probes_sent,
-            calibration=state.calibration,
-            discovery=state.discovery,
-            assignment_sizes=dict(loop.assignment_sizes),
-            scope_pairs=loop.scope_pairs,
-            attempt_counts=loop.attempts,
-            hit_counts=loop.hit_counts,
-            hourly_attempts=loop.hourly_attempts,
-            hourly_hits=loop.hourly_hits,
-            measurement_window=(state.measurement_start, world.clock.now),
-            health=health,
-            hit_seq=list(loop.hit_seq) if self.shard is not None else None,
-            pair_seq=list(loop.pair_seq) if self.shard is not None else None,
-            probes_before_loop=loop.probes_at_loop_start,
-        )
-        self._run_state = None
-        return result
+        return state
+
+    def bootstrap(
+        self, checkpointer=None,
+    ) -> dict[str, list[tuple[DomainSpec, Prefix]]]:
+        """Run the pre-loop stages and return the frozen assignment.
+
+        The continuous measurement service (:mod:`repro.service`) uses
+        the pipeline for discovery, warmup and calibration, then takes
+        over scheduling itself: the returned mapping is each reachable
+        PoP's eligible ⟨domain, query scope⟩ targets.  Safe to re-enter
+        after a crash — completed stages are skipped, exactly as in
+        :meth:`run`.
+        """
+        state = self._ensure_stages(checkpointer)
+        return self._assign(state.discovery, state.calibration)
+
+    @property
+    def measurement_start(self) -> float:
+        """Sim time at which the measurement epoch began (post-discovery)."""
+        if self._run_state is None:
+            raise RuntimeError("no run in progress")
+        return self._run_state.measurement_start
 
     # -- assignment -----------------------------------------------------------
 

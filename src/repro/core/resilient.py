@@ -188,6 +188,13 @@ class CircuitBreaker:
             return False
         return True
 
+    def would_allow(self) -> bool:
+        """:meth:`allow` without the side effect — a health monitor can
+        sample availability without nudging breakers into HALF_OPEN."""
+        if self.state is BreakerState.OPEN:
+            return self._clock.now >= self._opened_at + self._policy.cooldown_s
+        return True
+
     def record_success(self) -> None:
         """Feed a successful (answered) probe outcome."""
         if self.state is BreakerState.HALF_OPEN:
@@ -394,6 +401,30 @@ class ResilientProber:
         if not self.config.enabled:
             return True
         return self.breaker(pop_id).allow()
+
+    def pop_ready(self, pop_id: str) -> bool:
+        """Side-effect-free availability check for health sampling.
+
+        Unlike :meth:`pop_available` this never transitions a breaker
+        to HALF_OPEN and also consults PoP outage windows, so a
+        long-horizon supervisor can compute its availability rollup
+        without perturbing probe behaviour.
+        """
+        if self.vantage_down(pop_id):
+            return False
+        if self._faults is not None and self._faults.enabled \
+                and self._faults.pop_down(pop_id):
+            return False
+        if not self.config.enabled:
+            return True
+        breaker = self._breakers.get(pop_id)
+        return breaker is None or breaker.would_allow()
+
+    def breaker_states(self) -> dict[str, str]:
+        """Current breaker state per PoP — the rollup the service
+        health machine folds into its window verdicts."""
+        return {pop_id: breaker.state.value
+                for pop_id, breaker in sorted(self._breakers.items())}
 
     @property
     def budget_exhausted(self) -> bool:

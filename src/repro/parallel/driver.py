@@ -61,8 +61,20 @@ class ParallelismError(RuntimeError):
 
 
 def is_parallel_checkpoint(directory: str | Path) -> bool:
-    """Whether a checkpoint directory holds a parallel campaign."""
-    return (Path(directory) / MANIFEST_FILE).exists()
+    """Whether a checkpoint directory holds a parallel campaign.
+
+    Checks the manifest's format marker, not mere existence — the
+    continuous service writes a ``manifest.json`` of its own, and a
+    corrupt manifest must not be mistaken for a parallel campaign.
+    """
+    path = Path(directory) / MANIFEST_FILE
+    if not path.exists():
+        return False
+    try:
+        meta = json.loads(path.read_text())
+    except (ValueError, OSError):
+        return False
+    return isinstance(meta, dict) and meta.get("format") == MANIFEST_FORMAT
 
 
 def _check_config(config: ExperimentConfig) -> None:

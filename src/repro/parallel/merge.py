@@ -87,11 +87,13 @@ def _merge_sequenced(shards: Sequence[ShardResult], items_attr: str,
             )
         keyed.extend(zip(seq, items))
     keyed.sort(key=lambda pair: pair[0])
-    for (key_a, _), (key_b, _) in zip(keyed, keyed[1:]):
+    for (key_a, item_a), (key_b, item_b) in zip(keyed, keyed[1:]):
         if key_a == key_b:
+            slot, pop, offset = key_a
             raise ShardDivergence(
                 f"two shards produced {items_attr} at the same schedule "
-                f"position {key_a}: the partition overlapped"
+                f"position (slot={slot}, pop={pop}, offset={offset}): "
+                f"{item_a!r} vs {item_b!r} — the partition overlapped"
             )
     return [item for _key, item in keyed]
 
@@ -104,7 +106,8 @@ def _merge_disjoint(shards: Sequence[ShardResult], attr: str) -> dict:
             if key in merged:
                 raise ShardDivergence(
                     f"{attr} key {key!r} produced by more than one "
-                    "shard: the partition overlapped"
+                    f"shard with values {merged[key]!r} and {value!r}: "
+                    "the partition overlapped"
                 )
             merged[key] = value
     return merged

@@ -31,6 +31,7 @@ process).
 
 from __future__ import annotations
 
+import logging
 from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -46,6 +47,9 @@ from repro.core.datasets import build_all_datasets
 from repro.core.dns_logs import DnsLogsPipeline, DnsLogsResult
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentResult
+
+
+logger = logging.getLogger("repro.persist")
 
 
 class CheckpointError(RuntimeError):
@@ -122,6 +126,7 @@ class CampaignCheckpointer:
         self._state: CampaignState | None = None
         self._replay: deque[dict] = deque()
         self._appends = 0
+        self._snapshot_saves = 0
 
     # -- wiring ------------------------------------------------------------
 
@@ -179,10 +184,30 @@ class CampaignCheckpointer:
         """Snapshot the bound state now (no-op while replaying)."""
         if self.replaying or self._state is None:
             return
-        name = self._snapshots.save(self._state, seq=self._appends + 1)
+        self._snapshot_saves += 1
+        name = self._snapshots.save(
+            self._state, seq=self._appends + 1,
+            before_replace=self._pre_rename_hook(self._snapshot_saves))
         self._append({"type": "snapshot", "file": name,
                       "stage": self._state.stage})
         self._snapshots.prune()
+
+    def _pre_rename_hook(self, save_index: int):
+        """The crash-injection hook firing between ``.tmp`` write and
+        atomic rename (``FaultConfig.crash_before_snapshot_rename``)."""
+        if self._faults is None:
+            return None
+
+        def hook() -> None:
+            if self._faults.crash_on_snapshot_rename(save_index):
+                from repro.sim.faults import SimulatedCrash
+
+                self._journal.close()
+                raise SimulatedCrash(
+                    f"injected crash before snapshot rename "
+                    f"#{save_index}")
+
+        return hook
 
     def maybe_snapshot(self, slot_index: int) -> None:
         """Snapshot on the configured slot cadence."""
@@ -207,6 +232,11 @@ class CampaignCheckpointer:
         directory = Path(directory)
         records, torn = Journal.recover(directory / "journal.bin")
         ckpt = cls(directory, config, faults=faults)
+        stale = ckpt._snapshots.sweep_stale_tmp()
+        for name in stale:
+            logger.warning(
+                "swept stale snapshot temporary %s from %s (crash "
+                "between write and atomic rename)", name, directory)
         ckpt._appends = len(records)
         for index in reversed(range(len(records))):
             record = records[index]

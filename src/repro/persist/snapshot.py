@@ -42,12 +42,15 @@ class SnapshotStore:
     def _path(self, name: str) -> Path:
         return self.directory / name
 
-    def save(self, state: object, seq: int) -> str:
+    def save(self, state: object, seq: int, before_replace=None) -> str:
         """Atomically write ``state`` as snapshot number ``seq``.
 
         ``seq`` must be strictly increasing across the campaign (the
         journal append counter is a natural source); returns the file
-        name for the journal's snapshot marker.
+        name for the journal's snapshot marker.  ``before_replace``,
+        when given, runs after the ``.tmp`` file is complete but before
+        the atomic rename — the crash-injection hook exercising the
+        stale-temporary window that :meth:`sweep_stale_tmp` cleans.
         """
         name = f"snapshot-{seq:010d}.bin"
         payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
@@ -57,6 +60,8 @@ class SnapshotStore:
             fh.write(_HEADER.pack(len(payload), zlib.crc32(payload)))
             fh.write(payload)
             fh.flush()
+        if before_replace is not None:
+            before_replace()
         tmp.replace(self._path(name))
         return name
 
@@ -78,14 +83,25 @@ class SnapshotStore:
         except Exception as exc:
             raise SnapshotError(f"snapshot {name} failed to unpickle") from exc
 
+    def sweep_stale_tmp(self) -> list[str]:
+        """Delete stray ``.tmp`` files from interrupted snapshot writes.
+
+        A crash between writing ``snapshot.tmp`` and the atomic rename
+        leaves a complete-looking temporary that no journal marker
+        references; it must never shadow a real snapshot, so recovery
+        sweeps (and reports) it instead of silently ignoring it.
+        """
+        removed: list[str] = []
+        for tmp in sorted(self.directory.glob("snapshot-*.bin.tmp")):
+            tmp.unlink()
+            removed.append(tmp.name)
+        return removed
+
     def prune(self) -> list[str]:
         """Delete all but the newest ``keep`` snapshots; returns what
         was removed.  Stray ``.tmp`` files from interrupted writes are
         always swept."""
-        removed: list[str] = []
-        for tmp in self.directory.glob("snapshot-*.bin.tmp"):
-            tmp.unlink()
-            removed.append(tmp.name)
+        removed = self.sweep_stale_tmp()
         files = sorted(self.directory.glob("snapshot-*.bin"))
         for path in files[:-self.keep]:
             path.unlink()

@@ -1,0 +1,83 @@
+"""Continuous measurement service (rolling-window §3.1 probing).
+
+The one-shot pipelines in :mod:`repro.core` answer "what does a 12-hour
+campaign see?"; this package operates the same measurement as a
+long-running *service* — supervised rolling windows with TTL-aware
+re-probing, per-window delta snapshots, a health state machine with
+graceful degradation, and crash self-healing on the
+:mod:`repro.persist` journal/snapshot machinery.
+
+Entry points: :func:`run_service`, :func:`resume_service` and the
+self-healing :func:`supervise`; CLI: ``repro serve``.
+"""
+
+from repro.service.churn import (
+    ChurnReport,
+    WindowChurn,
+    churn_from_deltas,
+    render_coverage_over_time,
+)
+from repro.service.config import (
+    DegradationLevel,
+    DegradationPolicy,
+    HealthPolicy,
+    ServiceConfig,
+)
+from repro.service.deltas import (
+    DeltaError,
+    DeltaStore,
+    canonical_bytes,
+    is_service_checkpoint,
+    read_aggregate,
+    read_manifest,
+)
+from repro.service.health import (
+    HealthMonitor,
+    HealthTransition,
+    ServiceHealth,
+)
+from repro.service.staleness import (
+    TargetState,
+    WindowPlan,
+    plan_window,
+    staleness_key,
+)
+from repro.service.supervisor import (
+    ServiceResult,
+    ServiceState,
+    resume_service,
+    run_service,
+    supervise,
+)
+from repro.service.windows import WindowRunner, WindowState
+
+__all__ = [
+    "ChurnReport",
+    "WindowChurn",
+    "churn_from_deltas",
+    "render_coverage_over_time",
+    "DegradationLevel",
+    "DegradationPolicy",
+    "HealthPolicy",
+    "ServiceConfig",
+    "DeltaError",
+    "DeltaStore",
+    "canonical_bytes",
+    "is_service_checkpoint",
+    "read_aggregate",
+    "read_manifest",
+    "HealthMonitor",
+    "HealthTransition",
+    "ServiceHealth",
+    "TargetState",
+    "WindowPlan",
+    "plan_window",
+    "staleness_key",
+    "ServiceResult",
+    "ServiceState",
+    "resume_service",
+    "run_service",
+    "supervise",
+    "WindowRunner",
+    "WindowState",
+]

@@ -1,0 +1,111 @@
+"""Churn and coverage-over-time analytics across window deltas.
+
+The continuous service's output is a *time series* of active-prefix
+observations; this module turns the per-window deltas into the
+temporal views the future query layer serves: which prefixes appeared
+or disappeared each window, how coverage evolved as the health machine
+throttled and recovered, and a compact text report in the style of
+:mod:`repro.core.analysis.temporal`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class WindowChurn:
+    """One window's churn relative to its predecessor."""
+
+    index: int
+    active: int
+    appeared: int
+    disappeared: int
+    coverage: float
+    health: str
+
+
+@dataclass(slots=True)
+class ChurnReport:
+    """The cross-window churn/coverage series."""
+
+    windows: list[WindowChurn]
+    ever_active: set[str]
+    stable_active: set[str]
+
+    @property
+    def total_appearances(self) -> int:
+        """Prefix appearances summed over all windows (window 0's
+        initial sightings included)."""
+        return sum(w.appeared for w in self.windows)
+
+    @property
+    def total_disappearances(self) -> int:
+        """Prefix disappearances summed over all windows."""
+        return sum(w.disappeared for w in self.windows)
+
+    def coverage_series(self) -> list[float]:
+        """Per-window covered/due coverage fractions."""
+        return [w.coverage for w in self.windows]
+
+
+def churn_from_deltas(deltas: list[dict]) -> ChurnReport:
+    """Fold the deltas into the churn series.
+
+    Deltas already carry their own ``appeared``/``disappeared`` lists
+    (computed online against the previous window); this recomputes the
+    set algebra from the raw ``active`` lists as a cross-check and
+    derives the aggregate views.
+    """
+    windows: list[WindowChurn] = []
+    previous: set[str] = set()
+    ever: set[str] = set()
+    stable: set[str] | None = None
+    for delta in deltas:
+        active = set(delta["active"])
+        appeared = active - previous
+        disappeared = previous - active
+        accounting = delta["accounting"]
+        due = accounting["scheduled"]
+        coverage = accounting["covered"] / due if due else 1.0
+        windows.append(WindowChurn(
+            index=delta["window"],
+            active=len(active),
+            appeared=len(appeared),
+            disappeared=len(disappeared),
+            coverage=coverage,
+            health=delta["health"],
+        ))
+        ever |= active
+        stable = active if stable is None else stable & active
+        previous = active
+    return ChurnReport(windows=windows, ever_active=ever,
+                       stable_active=stable or set())
+
+
+def _sparkline(values: list[float]) -> str:
+    blocks = "▁▂▃▄▅▆▇█"
+    peak = max(values, default=0.0) or 1.0
+    return "".join(
+        blocks[min(7, int(value / peak * 7.999))] for value in values
+    )
+
+
+def render_coverage_over_time(report: ChurnReport) -> str:
+    """Coverage and churn as an indented text block (CLI / reports)."""
+    if not report.windows:
+        return "  (no completed windows)"
+    coverage = report.coverage_series()
+    lines = [
+        f"  windows: {len(report.windows)}  coverage "
+        f"{_sparkline(coverage)}  "
+        f"(min {min(coverage):.2f}, last {coverage[-1]:.2f})",
+        f"  active prefixes: ever {len(report.ever_active)}, "
+        f"stable {len(report.stable_active)}; churn "
+        f"+{report.total_appearances}/-{report.total_disappearances}",
+    ]
+    degraded = [w for w in report.windows if w.health != "healthy"]
+    if degraded:
+        spans = ", ".join(f"w{w.index}={w.health}" for w in degraded)
+        lines.append(f"  degraded windows: {spans}")
+    return "\n".join(lines)

@@ -1,0 +1,161 @@
+"""Configuration for the continuous measurement service.
+
+The paper's campaign ran continuously for 120 hours (§3.1); the
+service mode reproduces that operating model as rolling windows on the
+sim clock.  Three policy families are configured here:
+
+* the **window model** — how many windows, how long each is, and how
+  many targets a window may probe;
+* the **health policy** — the availability/failure thresholds that
+  drive the HEALTHY → DEGRADED → CRITICAL → HALTED state machine
+  (:mod:`repro.service.health`);
+* the **degradation policy** — per-state multipliers that shrink
+  window budgets, widen re-probe intervals and shed low-priority
+  targets so a degraded service bends instead of breaking.
+
+Everything validates at construction, matching the repo's fail-fast
+config convention (see :class:`repro.experiments.config.ExperimentConfig`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _check_fraction(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True, slots=True)
+class DegradationLevel:
+    """One health state's operating point.
+
+    ``budget_factor`` scales the window's target budget,
+    ``interval_factor`` stretches the base re-probe interval (recently
+    probed targets stop being due every window), ``shed_fraction``
+    drops that share of the due list from its low-priority tail with
+    explicit accounting (never silently).
+    """
+
+    budget_factor: float = 1.0
+    interval_factor: float = 1.0
+    shed_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_fraction("budget_factor", self.budget_factor)
+        _check_fraction("shed_fraction", self.shed_fraction)
+        if self.interval_factor < 1.0:
+            raise ValueError("interval_factor must be >= 1")
+
+
+@dataclass(frozen=True, slots=True)
+class DegradationPolicy:
+    """How far each degraded state throttles the service.
+
+    HEALTHY always runs at full budget; HALTED sheds everything (the
+    service idles, waiting for availability to return) — both are
+    fixed, only the middle states are tunable.
+    """
+
+    degraded: DegradationLevel = field(default_factory=lambda:
+                                       DegradationLevel(0.6, 1.5, 0.10))
+    critical: DegradationLevel = field(default_factory=lambda:
+                                       DegradationLevel(0.3, 2.5, 0.30))
+
+    def level_for(self, state) -> DegradationLevel:
+        """The operating point for a :class:`ServiceHealth` state."""
+        from repro.service.health import ServiceHealth
+
+        if state is ServiceHealth.DEGRADED:
+            return self.degraded
+        if state is ServiceHealth.CRITICAL:
+            return self.critical
+        if state is ServiceHealth.HALTED:
+            return DegradationLevel(0.0, 1.0, 1.0)
+        return DegradationLevel()
+
+
+@dataclass(frozen=True, slots=True)
+class HealthPolicy:
+    """Thresholds of the service health state machine.
+
+    ``availability`` is the fraction of assignment-eligible PoPs the
+    resilient driver reports ready (vantage up, no outage window, and
+    breaker closed or past cooldown); ``failure rate`` is
+    (refused + timed out) / sent over the previous window.
+    """
+
+    #: availability below this is DEGRADED.
+    degraded_below: float = 0.75
+    #: availability below this is CRITICAL.
+    critical_below: float = 0.40
+    #: availability at or below this is HALTED (effectively nothing
+    #: answers; probing would only burn budget).
+    halted_below: float = 0.05
+    #: a previous-window failure rate above this is DEGRADED even at
+    #: full availability (e.g. a resolver rate-limit squeeze).
+    failure_rate_degraded: float = 0.50
+    #: consecutive windows classified better than the current state
+    #: before the machine steps one level toward recovery.
+    recover_after_windows: int = 1
+
+    def __post_init__(self) -> None:
+        _check_fraction("degraded_below", self.degraded_below)
+        _check_fraction("critical_below", self.critical_below)
+        _check_fraction("halted_below", self.halted_below)
+        _check_fraction("failure_rate_degraded", self.failure_rate_degraded)
+        if not (self.halted_below < self.critical_below
+                < self.degraded_below):
+            raise ValueError(
+                "health thresholds must satisfy halted_below < "
+                "critical_below < degraded_below"
+            )
+        if self.recover_after_windows < 1:
+            raise ValueError("recover_after_windows must be at least 1")
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceConfig:
+    """The rolling-window service's knobs.
+
+    ``window_target_budget`` caps targets probed per window (None =
+    every due target); ``reprobe_interval_hours`` is the base staleness
+    interval (None = one window, i.e. every target is due every window
+    when HEALTHY); ``watchdog_overrun_factor`` bounds a window's sim
+    duration — a window that has consumed that multiple of its planned
+    span (retry backoff gone pathological) is cut short with its
+    remaining targets accounted as budget-dropped rather than wedging
+    the service forever.
+    """
+
+    windows: int = 8
+    window_hours: float = 1.0
+    window_target_budget: int | None = None
+    reprobe_interval_hours: float | None = None
+    watchdog_overrun_factor: float = 2.0
+    health: HealthPolicy = field(default_factory=HealthPolicy)
+    degradation: DegradationPolicy = field(default_factory=DegradationPolicy)
+
+    def __post_init__(self) -> None:
+        if self.windows < 1:
+            raise ValueError("windows must be at least 1")
+        if self.window_hours <= 0:
+            raise ValueError("window_hours must be positive")
+        if self.window_target_budget is not None \
+                and self.window_target_budget < 1:
+            raise ValueError(
+                "window_target_budget must be positive (or None)")
+        if self.reprobe_interval_hours is not None \
+                and self.reprobe_interval_hours <= 0:
+            raise ValueError(
+                "reprobe_interval_hours must be positive (or None)")
+        if self.watchdog_overrun_factor < 1.0:
+            raise ValueError("watchdog_overrun_factor must be >= 1")
+
+    @property
+    def reprobe_interval_s(self) -> float:
+        """The base re-probe interval in sim seconds."""
+        hours = (self.window_hours if self.reprobe_interval_hours is None
+                 else self.reprobe_interval_hours)
+        return hours * 3600.0

@@ -1,0 +1,169 @@
+"""Per-window delta snapshots and the service manifest.
+
+Campaign snapshots (:mod:`repro.persist.snapshot`) capture *process
+state* for crash recovery; window **deltas** capture *measurement
+output* — what this window observed, relative to the last — in a
+stable, queryable form.  Each delta is canonical JSON (sorted keys,
+compact separators, trailing newline) written atomically, so two runs
+that walk the same schedule produce **byte-identical** delta files —
+the service's crash-equivalence contract is checked at the file level,
+not just in memory.
+
+Layout inside a service directory::
+
+    manifest.json            # service marker + config fingerprint +
+                             # completed-window index with CRCs
+    windows/delta-0000.json  # one delta per completed window
+    windows/delta-0001.json
+    aggregate.json           # final cross-window aggregate (on finish)
+    journal.bin, snapshot-*  # the repro.persist crash machinery
+
+A stale ``.tmp`` left by a crash between write and rename is swept and
+logged on resume, mirroring the snapshot store.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import zlib
+from pathlib import Path
+
+logger = logging.getLogger("repro.service")
+
+MANIFEST = "manifest.json"
+AGGREGATE = "aggregate.json"
+
+
+class DeltaError(RuntimeError):
+    """Raised on missing or corrupt delta/manifest files."""
+
+
+def canonical_bytes(payload: dict) -> bytes:
+    """The canonical byte encoding all delta comparisons use."""
+    return (json.dumps(payload, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def _write_atomic(path: Path, data: bytes, before_replace=None) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+    if before_replace is not None:
+        before_replace()
+    tmp.replace(path)
+
+
+class DeltaStore:
+    """Manages the numbered window-delta files of one service."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory) / "windows"
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def name_for(self, index: int) -> str:
+        """The delta file name for a window index."""
+        return f"delta-{index:04d}.json"
+
+    def write(self, index: int, payload: dict) -> tuple[str, int]:
+        """Atomically write one window's delta.
+
+        Returns ``(file name, crc32)``; the CRC goes into the journal's
+        window record so replay verification extends to the delta
+        bytes.  Rewriting during crash replay is idempotent — the
+        canonical encoding regenerates the identical bytes.
+        """
+        name = self.name_for(index)
+        data = canonical_bytes(payload)
+        _write_atomic(self.directory / name, data)
+        return name, zlib.crc32(data)
+
+    def read(self, index: int) -> dict:
+        """Load and verify one window's delta."""
+        path = self.directory / self.name_for(index)
+        if not path.exists():
+            raise DeltaError(f"window delta {path.name} is missing")
+        data = path.read_bytes()
+        try:
+            payload = json.loads(data)
+        except ValueError as exc:
+            raise DeltaError(f"window delta {path.name} is corrupt") from exc
+        if not isinstance(payload, dict):
+            raise DeltaError(f"window delta {path.name} is not an object")
+        return payload
+
+    def crc(self, index: int) -> int:
+        """CRC32 of a delta's on-disk bytes (for equivalence checks)."""
+        path = self.directory / self.name_for(index)
+        if not path.exists():
+            raise DeltaError(f"window delta {path.name} is missing")
+        return zlib.crc32(path.read_bytes())
+
+    def read_all(self) -> list[dict]:
+        """All completed deltas in window order."""
+        deltas = []
+        for index, path in enumerate(sorted(
+                self.directory.glob("delta-*.json"))):
+            expected = self.name_for(index)
+            if path.name != expected:
+                raise DeltaError(
+                    f"delta sequence has a gap: found {path.name}, "
+                    f"expected {expected}")
+            deltas.append(self.read(index))
+        return deltas
+
+    def sweep_stale_tmp(self) -> list[str]:
+        """Sweep (and report) ``.tmp`` leftovers from interrupted
+        delta writes, exactly like the snapshot store does."""
+        removed = []
+        for tmp in sorted(self.directory.glob("delta-*.json.tmp")):
+            tmp.unlink()
+            removed.append(tmp.name)
+        for name in removed:
+            logger.warning(
+                "swept stale delta temporary %s from %s", name,
+                self.directory)
+        return removed
+
+
+# -- manifest / aggregate -----------------------------------------------------
+
+
+def write_manifest(directory: str | Path, manifest: dict) -> None:
+    """Atomically (re)write the service manifest."""
+    _write_atomic(Path(directory) / MANIFEST, canonical_bytes(manifest))
+
+
+def read_manifest(directory: str | Path) -> dict | None:
+    """The service manifest, or None when the directory has none."""
+    path = Path(directory) / MANIFEST
+    if not path.exists():
+        return None
+    try:
+        manifest = json.loads(path.read_bytes())
+    except ValueError as exc:
+        raise DeltaError(f"{path} is corrupt") from exc
+    return manifest if isinstance(manifest, dict) else None
+
+
+def is_service_checkpoint(directory: str | Path) -> bool:
+    """Whether a directory holds a continuous-service checkpoint."""
+    try:
+        manifest = read_manifest(directory)
+    except DeltaError:
+        return False
+    return bool(manifest) and manifest.get("kind") == "service"
+
+
+def write_aggregate(directory: str | Path, aggregate: dict) -> None:
+    """Atomically write the final cross-window aggregate."""
+    _write_atomic(Path(directory) / AGGREGATE, canonical_bytes(aggregate))
+
+
+def read_aggregate(directory: str | Path) -> dict | None:
+    """The final aggregate, or None while the service is mid-flight."""
+    path = Path(directory) / AGGREGATE
+    if not path.exists():
+        return None
+    return json.loads(path.read_bytes())

@@ -1,0 +1,115 @@
+"""The service health state machine.
+
+A long-running measurement service cannot treat faults as exceptional:
+sustained PoP outages, flapping vantages and resolver squeezes are the
+normal case over a 120-hour horizon.  The
+:class:`HealthMonitor` folds each window's observable signals — the
+resilient driver's availability rollup (vantage/outage/breaker state
+per PoP, see :meth:`repro.core.resilient.ResilientProber.pop_ready`)
+and the previous window's probe failure rate — into one of four
+states:
+
+    HEALTHY → DEGRADED → CRITICAL → HALTED
+
+Worsening is immediate (the machine jumps straight to the classified
+state); recovery is hysteretic (one level per
+``recover_after_windows`` consecutive better-classified windows), so a
+flapping vantage cannot make the service oscillate between full and
+throttled budgets every window.
+
+The state selects a :class:`~repro.service.config.DegradationLevel`
+that the window planner applies — smaller budgets, wider re-probe
+intervals, shed tail — giving graceful degradation with closed
+accounting instead of an abort.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.service.config import HealthPolicy
+
+
+class ServiceHealth(enum.Enum):
+    """Service operating states, ordered from best to worst."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    CRITICAL = "critical"
+    HALTED = "halted"
+
+    @property
+    def severity(self) -> int:
+        """Position in the worsening order (0 = HEALTHY)."""
+        return _ORDER.index(self)
+
+
+_ORDER = [ServiceHealth.HEALTHY, ServiceHealth.DEGRADED,
+          ServiceHealth.CRITICAL, ServiceHealth.HALTED]
+
+
+@dataclass(frozen=True, slots=True)
+class HealthTransition:
+    """One recorded state change of the service health machine."""
+
+    window: int
+    at: float
+    old: ServiceHealth
+    new: ServiceHealth
+
+
+@dataclass(slots=True)
+class HealthMonitor:
+    """Tracks the service health state across windows.
+
+    Pickled inside the service snapshot, so a restarted supervisor
+    resumes with the exact streaks and transition history the dead
+    process had — the state machine is as crash-consistent as the
+    probing state itself.
+    """
+
+    policy: HealthPolicy = field(default_factory=HealthPolicy)
+    state: ServiceHealth = ServiceHealth.HEALTHY
+    good_streak: int = 0
+    transitions: list[HealthTransition] = field(default_factory=list)
+
+    def classify(self, availability: float, failure_rate: float,
+                 ) -> ServiceHealth:
+        """The state the raw signals point at, ignoring hysteresis."""
+        policy = self.policy
+        if availability <= policy.halted_below:
+            return ServiceHealth.HALTED
+        if availability < policy.critical_below:
+            return ServiceHealth.CRITICAL
+        if (availability < policy.degraded_below
+                or failure_rate > policy.failure_rate_degraded):
+            return ServiceHealth.DEGRADED
+        return ServiceHealth.HEALTHY
+
+    def observe(self, window: int, at: float, availability: float,
+                failure_rate: float) -> ServiceHealth:
+        """Feed one window's signals; returns the (possibly new) state.
+
+        Worse classifications take effect immediately; better ones must
+        persist for ``recover_after_windows`` consecutive windows and
+        then step recovery one level at a time.
+        """
+        classified = self.classify(availability, failure_rate)
+        if classified.severity > self.state.severity:
+            self._move(window, at, classified)
+            self.good_streak = 0
+        elif classified.severity < self.state.severity:
+            self.good_streak += 1
+            if self.good_streak >= self.policy.recover_after_windows:
+                self._move(window, at,
+                           _ORDER[self.state.severity - 1])
+                self.good_streak = 0
+        else:
+            self.good_streak = 0
+        return self.state
+
+    def _move(self, window: int, at: float, new: ServiceHealth) -> None:
+        self.transitions.append(HealthTransition(
+            window=window, at=at, old=self.state, new=new))
+        self.state = new

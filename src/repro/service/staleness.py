@@ -1,0 +1,126 @@
+"""TTL-aware staleness prioritization for rolling re-probing.
+
+The §3.1 evidence is perishable: a cache hit only proves client
+activity while the entry it observed lives, so a continuous service
+must revisit a prefix before its last hit's TTL expires or the
+evidence chain breaks.  Each window is planned from the per-target
+staleness state:
+
+1. **expiring evidence first** — targets whose last hit's cache entry
+   expires before the window ends, soonest expiry first (the paper's
+   TTL-aware revisit order);
+2. **never-probed targets** next (no evidence at all is the stalest
+   possible state);
+3. everything else by **oldest last probe**.
+
+Degradation hooks into the same ordering: widening the re-probe
+interval shrinks the *due* set from its freshest end, and shedding
+drops the tail — the lowest-priority prefixes — with explicit
+accounting (see :class:`WindowPlan`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.prefix import Prefix
+from repro.world.model import DomainSpec
+
+
+@dataclass(slots=True)
+class TargetState:
+    """One ⟨domain, query scope⟩ target's staleness bookkeeping.
+
+    ``pops`` is the calibration-derived eligible PoP list (sorted, so
+    every run walks candidates in the same order);
+    ``evidence_expiry`` is when the last hit's cache entry dies
+    (hit timestamp + domain TTL), the quantity the scheduler races.
+    """
+
+    domain: DomainSpec
+    scope: Prefix
+    pops: tuple[str, ...]
+    last_probed: float | None = None
+    last_hit: float | None = None
+    evidence_expiry: float | None = None
+    probes: int = 0
+    hits: int = 0
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """Stable identity for sorting and journal records."""
+        return (str(self.domain.name), str(self.scope))
+
+
+def staleness_key(target: TargetState, window_end: float,
+                  ) -> tuple[int, float, tuple[str, str]]:
+    """Total priority order, most urgent first (sorts ascending)."""
+    if (target.evidence_expiry is not None
+            and target.evidence_expiry <= window_end):
+        return (0, target.evidence_expiry, target.key)
+    if target.last_probed is None:
+        return (1, 0.0, target.key)
+    return (2, target.last_probed, target.key)
+
+
+def is_due(target: TargetState, now: float, window_end: float,
+           interval_s: float) -> bool:
+    """Whether the target wants probing in the window ending at
+    ``window_end``, given the (possibly widened) re-probe interval."""
+    if target.last_probed is None:
+        return True
+    if (target.evidence_expiry is not None
+            and target.evidence_expiry <= window_end):
+        return True
+    return now - target.last_probed >= interval_s
+
+
+@dataclass(slots=True)
+class WindowPlan:
+    """One window's scheduling decision, with closed accounting.
+
+    Invariant (verified): ``due == scheduled + shed + budget_dropped``
+    element-wise — every target that wanted probing this window is
+    either scheduled, shed by the degradation policy, or dropped by
+    the window budget.  Execution then splits ``scheduled`` into
+    covered and uncovered.
+    """
+
+    scheduled: list[TargetState] = field(default_factory=list)
+    shed: list[TargetState] = field(default_factory=list)
+    budget_dropped: list[TargetState] = field(default_factory=list)
+
+    @property
+    def due(self) -> int:
+        """How many targets wanted probing this window."""
+        return (len(self.scheduled) + len(self.shed)
+                + len(self.budget_dropped))
+
+
+def plan_window(
+    targets: list[TargetState],
+    now: float,
+    window_end: float,
+    interval_s: float,
+    budget: int | None,
+    shed_fraction: float,
+) -> WindowPlan:
+    """Plan one window: due set, priority order, shed tail, budget cap.
+
+    ``budget`` caps the scheduled count after shedding; ``None`` means
+    unbounded.  Shedding takes the *lowest*-priority tail, so the
+    TTL-urgent targets survive degradation longest.
+    """
+    due = sorted(
+        (t for t in targets if is_due(t, now, window_end, interval_s)),
+        key=lambda t: staleness_key(t, window_end),
+    )
+    shed_count = int(len(due) * shed_fraction)
+    kept = due[:len(due) - shed_count]
+    shed = due[len(due) - shed_count:]
+    if budget is not None and len(kept) > budget:
+        dropped = kept[budget:]
+        kept = kept[:budget]
+    else:
+        dropped = []
+    return WindowPlan(scheduled=kept, shed=shed, budget_dropped=dropped)

@@ -1,0 +1,532 @@
+"""The continuous measurement service and its supervisor.
+
+``run_service`` operates the paper's §3.1 probing as a *service*: after
+the one-shot pipeline's bootstrap stages (discovery, warmup,
+calibration — reused verbatim via
+:meth:`~repro.core.cache_probing.CacheProbingPipeline.bootstrap`), the
+scheduler executes rolling measurement windows on the sim clock.  Each
+window:
+
+1. samples service health (PoP availability rollup + previous window's
+   probe failure rate) and feeds the
+   :class:`~repro.service.health.HealthMonitor`;
+2. plans its probe list with TTL-aware staleness priority, throttled by
+   the health state's :class:`~repro.service.config.DegradationLevel`
+   (smaller budget, wider re-probe interval, shed tail) — closed
+   accounting: ``scheduled = covered + uncovered + shed +
+   budget_dropped``, every window, across restarts;
+3. executes via :class:`~repro.service.windows.WindowRunner` under the
+   watchdog, then emits a canonical-JSON window delta
+   (:mod:`repro.service.deltas`) whose CRC is journaled.
+
+All of it rides the PR 2 crash machinery: the
+:class:`~repro.persist.campaign.CampaignCheckpointer` journals every
+observable event and pickles the whole :class:`ServiceState` graph on
+window boundaries and the in-window slot cadence, so ``resume_service``
+replays a killed service to **byte-identical window deltas** and the
+identical final aggregate.  ``supervise`` wraps the pair into the
+self-healing driver: it restarts a crashed (or crash-injected) service
+from its checkpoint until the configured restart budget runs out.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.persist.campaign import (
+    CampaignCheckpointer,
+    CheckpointConfig,
+    CheckpointError,
+)
+from repro.service.churn import ChurnReport, churn_from_deltas
+from repro.service.config import ServiceConfig
+from repro.service.deltas import (
+    DeltaStore,
+    is_service_checkpoint,
+    read_manifest,
+    write_aggregate,
+    write_manifest,
+)
+from repro.service.health import HealthMonitor, HealthTransition
+from repro.service.staleness import TargetState, plan_window
+from repro.service.windows import WindowRunner, WindowState
+from repro.sim.clock import HOUR
+from repro.sim.faults import FaultInjector, SimulatedCrash
+from repro.core.cache_probing import CacheProbingPipeline
+from repro.core.resilient import ProbeHealthReport
+from repro.experiments.config import ExperimentConfig
+from repro.world.builder import World, build_world
+from repro.world.vantage import VantagePoint, deploy_vantage_points
+
+
+logger = logging.getLogger("repro.service")
+
+_ACCOUNT_KEYS = ("scheduled", "covered", "uncovered", "shed",
+                 "budget_dropped")
+
+
+@dataclass(slots=True)
+class ServiceState:
+    """Everything a service snapshot must capture to resume.
+
+    One pickle graph, like :class:`~repro.persist.campaign.CampaignState`:
+    the pipeline references the same ``world`` (clock, RNG streams,
+    fault injector), the window plan references the same
+    :class:`TargetState` objects as ``targets`` — identity survives the
+    snapshot round-trip, so staleness and health bookkeeping stay
+    consistent across restarts.
+    """
+
+    config: ExperimentConfig
+    service: ServiceConfig
+    stage: str  # "bootstrap" → "serve" → "done"
+    world: World
+    vantage_points: list[VantagePoint]
+    pipeline: CacheProbingPipeline
+    monitor: HealthMonitor
+    targets: list[TargetState] = field(default_factory=list)
+    eligible_pops: tuple[str, ...] = ()
+    epoch: float = 0.0
+    next_window: int = 0
+    #: the in-flight window, present only mid-window.
+    window: WindowState | None = None
+    active_prev: set[str] = field(default_factory=set)
+    ever_active: set[str] = field(default_factory=set)
+    #: (index, file name, crc32) per completed window, manifest-ordered.
+    delta_index: list[tuple[int, str, int]] = field(default_factory=list)
+    coverage: list[float] = field(default_factory=list)
+    totals: dict[str, int] = field(default_factory=lambda: {
+        key: 0 for key in _ACCOUNT_KEYS})
+    watchdog_cuts: int = 0
+    #: resilient-report counters at the last window boundary, for
+    #: per-window failure-rate deltas.
+    counters_mark: dict[str, int] = field(default_factory=dict)
+
+    def verify_accounting(self) -> None:
+        """Assert the cross-window closed-accounting identity."""
+        totals = self.totals
+        split = (totals["covered"] + totals["uncovered"] + totals["shed"]
+                 + totals["budget_dropped"])
+        if totals["scheduled"] != split:
+            raise AssertionError(
+                f"service accounting leak after window "
+                f"{self.next_window - 1}: scheduled={totals['scheduled']} "
+                f"!= covered={totals['covered']} + "
+                f"uncovered={totals['uncovered']} + shed={totals['shed']} "
+                f"+ budget_dropped={totals['budget_dropped']}"
+            )
+
+
+@dataclass(slots=True)
+class ServiceResult:
+    """What a completed (possibly restarted) service run produced."""
+
+    directory: Path
+    windows: int
+    aggregate: dict
+    deltas: list[dict]
+    health: ProbeHealthReport
+    transitions: list[HealthTransition]
+    final_state: str
+    restarts: int = 0
+
+    def churn(self) -> ChurnReport:
+        """The cross-window churn/coverage analytics."""
+        return churn_from_deltas(self.deltas)
+
+
+# -- entry points -------------------------------------------------------------
+
+
+def run_service(
+    config: ExperimentConfig | None = None,
+    service_config: ServiceConfig | None = None,
+    checkpoint_dir: str | Path = "service",
+    checkpoint_config: CheckpointConfig | None = None,
+) -> ServiceResult:
+    """Start a fresh continuous measurement service.
+
+    ``checkpoint_dir`` must be fresh (no journal): an existing service
+    is resumed with :func:`resume_service` (or ``repro serve
+    --resume``), never silently restarted.  Resilience is force-enabled
+    — a service without breakers and retries cannot degrade gracefully.
+    """
+    config = config or ExperimentConfig.small()
+    service_config = service_config or ServiceConfig()
+    directory = Path(checkpoint_dir)
+    journal_path = directory / "journal.bin"
+    if journal_path.exists() and journal_path.stat().st_size > len(b"RPJ1"):
+        raise CheckpointError(
+            f"{directory} already holds a service journal; resume it "
+            "with `repro serve --resume`, or point --checkpoint-dir at "
+            "a fresh directory"
+        )
+    if not config.probing.resilience.enabled:
+        config = dataclasses.replace(
+            config,
+            probing=dataclasses.replace(
+                config.probing,
+                resilience=dataclasses.replace(
+                    config.probing.resilience, enabled=True),
+            ),
+        )
+    world = build_world(config.world)
+    vantage_points = deploy_vantage_points(world)
+    pipeline = CacheProbingPipeline(
+        world,
+        config.probing,
+        activity_config=config.activity,
+        vantage_points=vantage_points,
+    )
+    state = ServiceState(
+        config=config,
+        service=service_config,
+        stage="bootstrap",
+        world=world,
+        vantage_points=vantage_points,
+        pipeline=pipeline,
+        monitor=HealthMonitor(policy=service_config.health),
+    )
+    checkpointer = CampaignCheckpointer(directory, checkpoint_config,
+                                        faults=world.faults)
+    checkpointer.bind(state)
+    checkpointer.record({"type": "phase", "name": "service_start",
+                         "seed": config.seed,
+                         "windows": service_config.windows})
+    _write_service_manifest(state, directory)
+    checkpointer.snapshot()
+    return _drive(state, checkpointer)
+
+
+def resume_service(
+    checkpoint_dir: str | Path,
+    checkpoint_config: CheckpointConfig | None = None,
+    faults: FaultInjector | None = None,
+) -> ServiceResult:
+    """Resume a crashed service from its checkpoint directory.
+
+    Recovers the journal (truncating a torn tail), sweeps stale
+    ``.tmp`` leftovers of interrupted snapshot/delta writes, loads the
+    newest intact snapshot and re-executes deterministically from it —
+    regenerated journal records are verified against the journaled
+    suffix and regenerated deltas rewrite their files byte-identically.
+    Crash injection is *not* re-armed unless ``faults`` is passed (a
+    restarted supervisor is a new process); the *world's* pickled
+    injector — sustained outages, flapping vantages, loss — survives
+    the restart untouched, as the faults themselves outlive the
+    process.
+    """
+    directory = Path(checkpoint_dir)
+    if not is_service_checkpoint(directory):
+        raise CheckpointError(
+            f"{directory} is not a continuous-service checkpoint "
+            "(no service manifest); one-shot campaigns resume with "
+            "`repro resume`"
+        )
+    checkpointer, state, _torn = CampaignCheckpointer.recover(
+        directory, checkpoint_config, faults=faults)
+    stale = DeltaStore(directory).sweep_stale_tmp()
+    if stale:
+        logger.warning("resume swept %d stale delta temporaries",
+                       len(stale))
+    if state is None:
+        raise CheckpointError(
+            f"{directory} holds no resumable snapshot; start the "
+            "service from scratch"
+        )
+    if not isinstance(state, ServiceState):
+        raise CheckpointError(
+            f"{directory} holds a one-shot campaign snapshot, not a "
+            "service; resume it with `repro resume`"
+        )
+    checkpointer.bind(state)
+    return _drive(state, checkpointer)
+
+
+def supervise(
+    config: ExperimentConfig | None = None,
+    service_config: ServiceConfig | None = None,
+    checkpoint_dir: str | Path = "service",
+    checkpoint_config: CheckpointConfig | None = None,
+    max_restarts: int = 16,
+    resume_faults: FaultInjector | None = None,
+) -> ServiceResult:
+    """Run the service under the self-healing supervisor.
+
+    Starts fresh, and on every (injected) crash restarts the service
+    from its checkpoint — up to ``max_restarts`` times, after which the
+    supervisor gives up loudly.  ``resume_faults`` optionally re-arms
+    crash injection on each restart, so tests can exercise repeated
+    kill/restart cycles.
+    """
+    restarts = 0
+    try:
+        result = run_service(config, service_config, checkpoint_dir,
+                             checkpoint_config)
+        result.restarts = restarts
+        return result
+    except SimulatedCrash as crash:
+        logger.warning("service crashed (%s); supervisor restarting",
+                       crash)
+    while True:
+        restarts += 1
+        if restarts > max_restarts:
+            raise CheckpointError(
+                f"service crashed {restarts} times; supervisor restart "
+                f"budget ({max_restarts}) exhausted"
+            )
+        try:
+            result = resume_service(checkpoint_dir, checkpoint_config,
+                                    faults=resume_faults)
+            result.restarts = restarts
+            return result
+        except SimulatedCrash as crash:
+            logger.warning(
+                "service crashed again on restart #%d (%s); "
+                "supervisor retrying", restarts, crash)
+
+
+# -- the scheduler ------------------------------------------------------------
+
+
+def _drive(state: ServiceState,
+           checkpointer: CampaignCheckpointer) -> ServiceResult:
+    """Advance the service through bootstrap, windows and finish."""
+    runner = WindowRunner(
+        state.world, state.pipeline.simulator, state.pipeline.resilient,
+        state.pipeline.activity_config, state.service,
+    )
+    deltas = DeltaStore(checkpointer.directory)
+    if state.stage == "bootstrap":
+        _bootstrap(state, checkpointer)
+    while state.stage == "serve":
+        _run_window(state, checkpointer, runner, deltas)
+        if state.next_window >= state.service.windows:
+            state.stage = "done"
+            checkpointer.record({"type": "phase", "name": "service_done",
+                                 "now": state.world.clock.now,
+                                 "windows": state.next_window})
+            checkpointer.snapshot()
+    return _finish(state, checkpointer, deltas)
+
+
+def _bootstrap(state: ServiceState,
+               checkpointer: CampaignCheckpointer) -> None:
+    """Discovery / warmup / calibration, then the target inventory."""
+    assignment = state.pipeline.bootstrap(checkpointer)
+    by_key: dict[tuple[str, str], tuple] = {}
+    for pop_id, entries in assignment.items():
+        for domain, scope in entries:
+            key = (str(domain.name), str(scope))
+            entry = by_key.get(key)
+            if entry is None:
+                by_key[key] = (domain, scope, {pop_id})
+            else:
+                entry[2].add(pop_id)
+    state.targets = [
+        TargetState(domain=domain, scope=scope, pops=tuple(sorted(pops)))
+        for _key, (domain, scope, pops) in sorted(by_key.items())
+    ]
+    state.eligible_pops = tuple(sorted(assignment))
+    state.epoch = state.world.clock.now
+    report = state.pipeline.resilient.report
+    state.counters_mark = {"sent": report.sent, "refused": report.refused,
+                           "timed_out": report.timed_out}
+    state.stage = "serve"
+    checkpointer.record({
+        "type": "phase", "name": "service_bootstrap_done",
+        "now": state.world.clock.now, "targets": len(state.targets),
+        "pops": len(state.eligible_pops),
+    })
+    checkpointer.snapshot()
+
+
+def _availability(state: ServiceState) -> float:
+    """Fraction of assignment-eligible PoPs the driver reports ready
+    (side-effect-free — see ResilientProber.pop_ready)."""
+    if not state.eligible_pops:
+        return 0.0
+    resilient = state.pipeline.resilient
+    ready = sum(1 for pop_id in state.eligible_pops
+                if resilient.pop_ready(pop_id))
+    return ready / len(state.eligible_pops)
+
+
+def _failure_rate(state: ServiceState) -> float:
+    """(refused + timed out) / sent since the last window boundary."""
+    report = state.pipeline.resilient.report
+    mark = state.counters_mark
+    sent = report.sent - mark.get("sent", 0)
+    if sent <= 0:
+        return 0.0
+    failed = ((report.refused - mark.get("refused", 0))
+              + (report.timed_out - mark.get("timed_out", 0)))
+    return failed / sent
+
+
+def _open_window(state: ServiceState,
+                 checkpointer: CampaignCheckpointer) -> None:
+    """Observe health, apply degradation, plan and start a window."""
+    service = state.service
+    now = state.world.clock.now
+    availability = _availability(state)
+    failure_rate = _failure_rate(state)
+    health = state.monitor.observe(state.next_window, now, availability,
+                                   failure_rate)
+    level = service.degradation.level_for(health)
+    interval = service.reprobe_interval_s * level.interval_factor
+    window_end = now + service.window_hours * HOUR
+    base = service.window_target_budget
+    if base is None and level.budget_factor >= 1.0:
+        budget = None
+    else:
+        budget = int((base if base is not None else len(state.targets))
+                     * level.budget_factor)
+    plan = plan_window(state.targets, now, window_end, interval, budget,
+                       level.shed_fraction)
+    state.window = WindowState(
+        index=state.next_window,
+        start=now,
+        health=health.value,
+        availability=availability,
+        plan=plan,
+        slots=_runner_slots(state),
+    )
+    checkpointer.record({
+        "type": "window_start", "window": state.next_window, "now": now,
+        "health": health.value, "avail": round(availability, 6),
+        "frate": round(failure_rate, 6), "due": plan.due,
+        "scheduled": len(plan.scheduled), "shed": len(plan.shed),
+        "dropped": len(plan.budget_dropped),
+    })
+    checkpointer.snapshot()
+
+
+def _runner_slots(state: ServiceState) -> int:
+    return max(1, round(state.service.window_hours * HOUR
+                        / state.pipeline.activity_config.slot_seconds))
+
+
+def _run_window(state: ServiceState, checkpointer: CampaignCheckpointer,
+                runner: WindowRunner, deltas: DeltaStore) -> None:
+    """One full window: open (unless resuming mid-window), execute,
+    emit the delta, roll the bookkeeping forward."""
+    if state.window is None:
+        _open_window(state, checkpointer)
+    window = state.window
+    assert window is not None
+    runner.run(window, checkpointer)
+    now = state.world.clock.now
+    active = sorted(window.active)
+    previous = state.active_prev
+    appeared = sorted(set(active) - previous)
+    disappeared = sorted(previous - set(active))
+    accounting = window.accounting()
+    payload = {
+        "window": window.index,
+        "start": window.start,
+        "end": now,
+        "health": window.health,
+        "availability": round(window.availability, 6),
+        "accounting": accounting,
+        "probes": {"sent": window.probes_sent, "hits": window.hits,
+                   "refused": window.refused,
+                   "timed_out": window.timed_out},
+        "active": active,
+        "appeared": appeared,
+        "disappeared": disappeared,
+        "watchdog_cut": window.watchdog_cut,
+        "breakers": state.pipeline.resilient.breaker_states(),
+    }
+    name, crc = deltas.write(window.index, payload)
+    checkpointer.record({
+        "type": "window", "window": window.index, "file": name,
+        "crc": crc, "now": now, "active": len(active),
+        **accounting,
+    })
+    # Roll forward.
+    for key in _ACCOUNT_KEYS:
+        state.totals[key] += accounting[key]
+    state.verify_accounting()
+    state.coverage.append(
+        accounting["covered"] / accounting["scheduled"]
+        if accounting["scheduled"] else 1.0)
+    state.ever_active |= set(active)
+    state.active_prev = set(active)
+    state.delta_index.append((window.index, name, crc))
+    if window.watchdog_cut:
+        state.watchdog_cuts += 1
+    report = state.pipeline.resilient.report
+    state.counters_mark = {"sent": report.sent, "refused": report.refused,
+                           "timed_out": report.timed_out}
+    state.next_window = window.index + 1
+    state.window = None
+    _write_service_manifest(state, checkpointer.directory)
+    checkpointer.snapshot()
+
+
+def _write_service_manifest(state: ServiceState,
+                            directory: Path) -> None:
+    """(Re)write the manifest: service marker + completed-window index.
+
+    Idempotent during crash replay — canonical bytes regenerate
+    identically from the replayed state.
+    """
+    write_manifest(directory, {
+        "kind": "service",
+        "seed": state.config.seed,
+        "windows": state.service.windows,
+        "window_hours": state.service.window_hours,
+        "completed": [[index, name, crc]
+                      for index, name, crc in state.delta_index],
+    })
+
+
+def _finish(state: ServiceState, checkpointer: CampaignCheckpointer,
+            deltas: DeltaStore) -> ServiceResult:
+    """Seal the health report, write the aggregate, load the deltas."""
+    health = state.pipeline.resilient.finalize(
+        targets_assigned=len(state.targets),
+        targets_probed=sum(1 for t in state.targets if t.probes),
+    )
+    monitor = state.monitor
+    aggregate = {
+        "kind": "service-aggregate",
+        "seed": state.config.seed,
+        "windows": state.next_window,
+        "accounting": dict(state.totals),
+        "probes": {"sent": health.sent, "answered": health.answered,
+                   "refused": health.refused,
+                   "timed_out": health.timed_out, "hits": health.hits},
+        "ever_active": sorted(state.ever_active),
+        "final_active": sorted(state.active_prev),
+        "health_final": monitor.state.value,
+        "transitions": [[t.window, t.old.value, t.new.value]
+                        for t in monitor.transitions],
+        "coverage": [round(value, 6) for value in state.coverage],
+        "watchdog_cuts": state.watchdog_cuts,
+    }
+    write_aggregate(checkpointer.directory, aggregate)
+    checkpointer.close()
+    return ServiceResult(
+        directory=checkpointer.directory,
+        windows=state.next_window,
+        aggregate=aggregate,
+        deltas=deltas.read_all(),
+        health=health,
+        transitions=list(monitor.transitions),
+        final_state=monitor.state.value,
+    )
+
+
+__all__ = [
+    "ServiceState",
+    "ServiceResult",
+    "run_service",
+    "resume_service",
+    "supervise",
+    "read_manifest",
+]

@@ -1,0 +1,229 @@
+"""Execution of one rolling measurement window.
+
+A window interleaves client activity with prioritized probing exactly
+the way the one-shot pipeline's slots do
+(:mod:`repro.core.cache_probing`), but over the *planned* target list
+of :func:`repro.service.staleness.plan_window` instead of a cyclic
+assignment walk.  All mutable progress lives in :class:`WindowState`
+(not closures), so a campaign snapshot taken mid-window pickles the
+whole in-flight window and a restarted supervisor continues at the
+next slot as if nothing happened — the same resumability contract the
+probing loop established in PR 2.
+
+The **watchdog** lives here too: a window that has consumed more than
+``watchdog_overrun_factor`` times its planned sim-time span (retry
+backoff pathology under sustained faults) is cut short, its unvisited
+targets moved to ``budget_dropped`` so the accounting identity
+
+    scheduled = covered + uncovered + shed + budget_dropped
+
+holds even for a wedged window, and the service moves on instead of
+hanging forever.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.net.prefix import Prefix
+from repro.service.staleness import TargetState, WindowPlan
+from repro.sim.clock import HOUR
+
+
+@dataclass(slots=True)
+class WindowState:
+    """One window's complete in-flight state (snapshot-pickled).
+
+    ``plan`` holds references to the service's shared
+    :class:`TargetState` objects; pickling the service state as one
+    graph preserves that identity, so staleness updates made here are
+    visible to the next window's planner after a resume.
+    """
+
+    index: int
+    start: float
+    health: str
+    availability: float
+    plan: WindowPlan
+    slots: int
+    next_slot: int = 0
+    #: cursor into ``plan.scheduled``.
+    position: int = 0
+    covered: int = 0
+    uncovered: int = 0
+    probes_sent: int = 0
+    hits: int = 0
+    refused: int = 0
+    timed_out: int = 0
+    watchdog_cut: bool = False
+    active: set[str] = field(default_factory=set)
+
+    def accounting(self) -> dict[str, int]:
+        """The window's closed account (scheduled = the due set)."""
+        return {
+            "scheduled": self.plan.due,
+            "covered": self.covered,
+            "uncovered": self.uncovered,
+            "shed": len(self.plan.shed),
+            "budget_dropped": len(self.plan.budget_dropped),
+        }
+
+    def verify_accounting(self) -> None:
+        """Assert the closed-accounting identity for this window."""
+        account = self.accounting()
+        total = (account["covered"] + account["uncovered"]
+                 + account["shed"] + account["budget_dropped"])
+        if account["scheduled"] != total:
+            raise AssertionError(
+                f"window {self.index} accounting leak: "
+                f"scheduled={account['scheduled']} != covered="
+                f"{account['covered']} + uncovered={account['uncovered']}"
+                f" + shed={account['shed']} + budget_dropped="
+                f"{account['budget_dropped']}"
+            )
+
+
+class WindowRunner:
+    """Walks a window's slots; shared by fresh runs and resumes."""
+
+    def __init__(self, world, simulator, resilient, activity_config,
+                 service_config) -> None:
+        self.world = world
+        self.simulator = simulator
+        self.resilient = resilient
+        self.activity_config = activity_config
+        self.service_config = service_config
+
+    def slots_per_window(self) -> int:
+        """How many activity slots one window spans."""
+        return max(1, round(self.service_config.window_hours * HOUR
+                            / self.activity_config.slot_seconds))
+
+    def run(self, window: WindowState, checkpointer=None) -> None:
+        """Execute the window's remaining slots to completion.
+
+        With a checkpointer attached every slot tick and probe batch is
+        journaled (or, while resuming, verified against the journal)
+        and the bound service state is snapshotted on the configured
+        slot cadence — the same observational contract the one-shot
+        probing loop has.
+        """
+        journal = checkpointer.record if checkpointer is not None else None
+        config = self.service_config
+        clock = self.world.clock
+        scheduled = window.plan.scheduled
+        deadline = (window.start
+                    + config.window_hours * HOUR * config.watchdog_overrun_factor)
+        while window.next_slot < window.slots:
+            slot = window.next_slot
+            self.simulator.run(self.activity_config.slot_seconds)
+            chunk = math.ceil(len(scheduled) / window.slots) \
+                if scheduled else 0
+            for _ in range(chunk):
+                if window.position >= len(scheduled):
+                    break
+                self._probe_target(window, scheduled[window.position],
+                                   journal)
+                window.position += 1
+            window.next_slot = slot + 1
+            if journal:
+                journal({"type": "sslot", "window": window.index,
+                         "slot": slot, "now": clock.now,
+                         "ticks": clock.ticks,
+                         "sent": self.resilient.report.sent})
+            if checkpointer is not None:
+                checkpointer.maybe_snapshot(
+                    window.index * window.slots + slot)
+            if clock.now > deadline \
+                    and window.position < len(scheduled):
+                self._watchdog_cut(window, journal)
+                break
+        if window.position < len(scheduled):
+            # Slots ran out before the walk finished (only possible
+            # after a watchdog cut re-planned the lists, but keep the
+            # account closed unconditionally).
+            self._drop_remaining(window)
+        window.verify_accounting()
+
+    # -- internals -----------------------------------------------------------
+
+    def _watchdog_cut(self, window: WindowState, journal) -> None:
+        """Cut a wedged window: remaining targets are budget-dropped."""
+        remaining = len(window.plan.scheduled) - window.position
+        self._drop_remaining(window)
+        window.watchdog_cut = True
+        if journal:
+            journal({"type": "watchdog", "window": window.index,
+                     "cut": remaining, "now": self.world.clock.now})
+
+    def _drop_remaining(self, window: WindowState) -> None:
+        plan = window.plan
+        remaining = plan.scheduled[window.position:]
+        del plan.scheduled[window.position:]
+        plan.budget_dropped.extend(remaining)
+
+    def _pop_for(self, window: WindowState, target: TargetState,
+                 ) -> str | None:
+        """The PoP to probe this target at: rotate the eligible list by
+        window index (load spreading), first available wins."""
+        pops = target.pops
+        if not pops:
+            return None
+        shift = window.index % len(pops)
+        for rank in range(len(pops)):
+            pop_id = pops[(shift + rank) % len(pops)]
+            if self.resilient.pop_available(pop_id):
+                return pop_id
+        return None
+
+    def _probe_target(self, window: WindowState, target: TargetState,
+                      journal) -> None:
+        pop_id = self._pop_for(window, target)
+        if pop_id is None:
+            window.uncovered += 1
+            if journal:
+                journal({"type": "probe", "window": window.index,
+                         "dom": target.key[0], "scope": target.key[1],
+                         "ok": False})
+            return
+        result = self.resilient.probe(pop_id, target.domain.name,
+                                      target.scope)
+        if journal:
+            record = {"type": "probe", "window": window.index,
+                      "pop": pop_id, "dom": target.key[0],
+                      "scope": target.key[1]}
+            if result is None:
+                record["ok"] = False
+            else:
+                record.update(ok=True, sent=result.queries_sent,
+                              refused=result.refused,
+                              timed_out=result.timed_out,
+                              hit=result.hit, rs=result.response_scope)
+            journal(record)
+        if result is None:
+            # Vantage died mid-slot or the campaign budget ran dry.
+            window.uncovered += 1
+            return
+        now = self.world.clock.now
+        window.covered += 1
+        window.probes_sent += result.queries_sent
+        window.refused += result.refused
+        window.timed_out += result.timed_out
+        target.last_probed = now
+        target.probes += 1
+        if result.is_activity_evidence:
+            assert result.response_scope is not None
+            window.hits += 1
+            target.hits += 1
+            target.last_hit = now
+            target.evidence_expiry = now + target.domain.ttl
+            active = Prefix.from_address(
+                target.scope.network, min(result.response_scope, 32))
+            window.active.add(str(active))
+        elif target.evidence_expiry is not None \
+                and target.evidence_expiry <= now:
+            # The previous evidence aged out and the revisit found the
+            # cache cold: the prefix drops from the active set until it
+            # hits again.
+            target.evidence_expiry = None

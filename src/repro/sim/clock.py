@@ -57,6 +57,28 @@ class Clock:
         self._ticks += 1
         return self._now
 
+    def hours_since(self, epoch: float) -> float:
+        """Simulated hours elapsed since ``epoch`` (a ``now`` reading).
+
+        Long-horizon schedulers (:mod:`repro.service`) reason about
+        rolling windows in hours; negative epochs in the future are a
+        caller bug and raise.
+        """
+        if epoch > self._now:
+            raise ClockError(
+                f"epoch {epoch} is in the simulated future (now={self._now})"
+            )
+        return (self._now - epoch) / HOUR
+
+    def ticks_since(self, ticks: int) -> int:
+        """Advances observed since a previous ``ticks`` reading — the
+        progress signal a watchdog uses to spot a wedged window."""
+        if ticks > self._ticks:
+            raise ClockError(
+                f"tick mark {ticks} is ahead of the clock ({self._ticks})"
+            )
+        return self._ticks - ticks
+
     def __repr__(self) -> str:
         return f"Clock(now={self._now:.3f}, ticks={self._ticks})"
 

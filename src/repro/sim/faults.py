@@ -88,6 +88,10 @@ class FaultConfig:
       checkpointed campaign; with ``crash_torn_write`` the fatal record
       is half-written first, exercising torn-tail recovery.  Purely
       deterministic — no RNG stream is consumed.
+    * ``crash_before_snapshot_rename`` — kill the process at the Nth
+      snapshot *save*, after the ``.tmp`` file is fully written but
+      before the atomic rename — the crash window that leaves a stale
+      temporary for recovery to sweep.  Also deterministic.
     """
 
     seed: int = 0
@@ -100,6 +104,7 @@ class FaultConfig:
     refused_bursts: tuple[OutageWindow, ...] = ()
     crash_after_appends: int | None = None
     crash_torn_write: bool = False
+    crash_before_snapshot_rename: int | None = None
 
     def __post_init__(self) -> None:
         _check_rate("udp_loss_rate", self.udp_loss_rate)
@@ -109,6 +114,10 @@ class FaultConfig:
         if self.crash_after_appends is not None \
                 and self.crash_after_appends < 1:
             raise ValueError("crash_after_appends must be >= 1 (or None)")
+        if self.crash_before_snapshot_rename is not None \
+                and self.crash_before_snapshot_rename < 1:
+            raise ValueError(
+                "crash_before_snapshot_rename must be >= 1 (or None)")
 
     @property
     def any_enabled(self) -> bool:
@@ -127,18 +136,80 @@ class FaultConfig:
 
     def with_loss(self, rate: float) -> "FaultConfig":
         """A copy with both transports' loss set to ``rate``."""
-        return FaultConfig(
-            seed=self.seed,
-            udp_loss_rate=rate,
-            tcp_loss_rate=rate,
-            servfail_rate=self.servfail_rate,
-            refused_rate=self.refused_rate,
-            pop_outages=self.pop_outages,
-            vantage_outages=self.vantage_outages,
-            refused_bursts=self.refused_bursts,
-            crash_after_appends=self.crash_after_appends,
-            crash_torn_write=self.crash_torn_write,
-        )
+        import dataclasses
+
+        return dataclasses.replace(
+            self, udp_loss_rate=rate, tcp_loss_rate=rate)
+
+
+# -- long-horizon scenarios ---------------------------------------------------
+#
+# A continuous measurement service (repro.service) lives through fault
+# episodes that span many rolling windows, not single queries.  These
+# builders compose the episode shapes docs/fault_model.md describes —
+# sustained PoP outages, flapping vantages, resolver rate-limit
+# squeezes — out of the primitive OutageWindow, so scenarios stay pure
+# functions of the sim clock with zero new runtime machinery.
+
+
+def sustained_pop_outage(
+    pop_ids, start_h: float, duration_h: float,
+) -> tuple[OutageWindow, ...]:
+    """Multi-hour outage windows taking ``pop_ids`` down together.
+
+    Models a routing incident that blackholes a set of PoPs for hours
+    (the paper's campaign saw PoPs vanish for long stretches); feed the
+    result to ``FaultConfig.pop_outages``.
+    """
+    if duration_h <= 0:
+        raise ValueError("duration_h must be positive")
+    return tuple(
+        OutageWindow(target=pop_id, start=start_h * 3600.0,
+                     end=(start_h + duration_h) * 3600.0)
+        for pop_id in pop_ids
+    )
+
+
+def flapping_vantage(
+    vantage_key: str, start_h: float, period_h: float,
+    cycles: int, duty: float = 0.5,
+) -> tuple[OutageWindow, ...]:
+    """A vantage point that flaps: down for ``duty`` of every period.
+
+    ``cycles`` periods beginning at ``start_h``; each period of
+    ``period_h`` hours starts with a down phase of ``duty * period_h``
+    hours.  Feed to ``FaultConfig.vantage_outages`` (keys are
+    ``provider:region``).
+    """
+    if period_h <= 0 or cycles < 1:
+        raise ValueError("period_h must be positive and cycles >= 1")
+    if not 0.0 < duty < 1.0:
+        raise ValueError(f"duty must be in (0, 1), got {duty}")
+    windows = []
+    for cycle in range(cycles):
+        start = (start_h + cycle * period_h) * 3600.0
+        windows.append(OutageWindow(
+            target=vantage_key, start=start,
+            end=start + duty * period_h * 3600.0,
+        ))
+    return tuple(windows)
+
+
+def resolver_squeeze(
+    start_h: float, duration_h: float, pop_ids=("*",),
+) -> tuple[OutageWindow, ...]:
+    """A resolver-side rate-limit squeeze: the public resolver sheds
+    probe load with REFUSED at the given PoPs for a sustained stretch
+    (the §3.1.1 burst episodes, scaled to hours).  Feed the result to
+    ``FaultConfig.refused_bursts``.
+    """
+    if duration_h <= 0:
+        raise ValueError("duration_h must be positive")
+    return tuple(
+        OutageWindow(target=pop_id, start=start_h * 3600.0,
+                     end=(start_h + duration_h) * 3600.0)
+        for pop_id in pop_ids
+    )
 
 
 @dataclass(slots=True)
@@ -276,6 +347,21 @@ class FaultInjector:
         """
         target = self.config.crash_after_appends
         if target is not None and append_index == target:
+            self.stats.crashes += 1
+            return True
+        return False
+
+    def crash_on_snapshot_rename(self, save_index: int) -> bool:
+        """Whether the process should die at this snapshot save, after
+        the ``.tmp`` is written but before the atomic rename.
+
+        ``save_index`` is 1-based over the life of the checkpointer.
+        The stale ``.tmp`` left behind is exactly what
+        :meth:`repro.persist.campaign.CampaignCheckpointer.recover`
+        must detect and sweep.
+        """
+        target = self.config.crash_before_snapshot_rename
+        if target is not None and save_index == target:
             self.stats.crashes += 1
             return True
         return False

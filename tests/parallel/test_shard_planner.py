@@ -239,3 +239,44 @@ class TestMergeRejectsBrokenSets:
         tampered[0].cache.health = None
         with pytest.raises(ShardDivergence, match="health"):
             merge_cache_results(tampered)
+
+
+class TestDivergenceMessages:
+    """Divergence errors must name the colliding key *and* both values,
+    so an overlapped partition is debuggable from the message alone."""
+
+    def test_overlapping_sequence_names_position_and_both_items(
+            self, three_shards):
+        import copy
+
+        tampered = copy.deepcopy(three_shards)
+        # steal shard 0's first schedule position for one of shard 1's
+        # pairs: the merge now sees two items at the same (slot, pop,
+        # offset) and must report all three coordinates.
+        stolen = tampered[0].cache.pair_seq[0]
+        tampered[1].cache.pair_seq[0] = stolen
+        with pytest.raises(ShardDivergence) as excinfo:
+            merge_cache_results(tampered)
+        message = str(excinfo.value)
+        slot, pop, offset = stolen
+        assert f"slot={slot}" in message
+        assert f"pop={pop}" in message
+        assert f"offset={offset}" in message
+        item_a = tampered[0].cache.scope_pairs[0]
+        item_b = tampered[1].cache.scope_pairs[0]
+        assert repr(item_a) in message
+        assert repr(item_b) in message
+
+    def test_overlapping_dict_names_key_and_both_values(self, three_shards):
+        import copy
+
+        tampered = copy.deepcopy(three_shards)
+        donor_key = next(iter(tampered[0].cache.attempt_counts))
+        original = tampered[0].cache.attempt_counts[donor_key]
+        tampered[1].cache.attempt_counts[donor_key] = original + 7
+        with pytest.raises(ShardDivergence) as excinfo:
+            merge_cache_results(tampered)
+        message = str(excinfo.value)
+        assert repr(donor_key) in message
+        assert repr(original) in message
+        assert repr(original + 7) in message

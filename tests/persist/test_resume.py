@@ -204,3 +204,40 @@ class TestRecoverySemantics:
                              checkpoint_config=CKPT)
         again = resume_campaign(tmp_path, checkpoint_config=CKPT)
         assert fingerprint(first) == fingerprint(again)
+
+
+class TestStaleSnapshotTemporary:
+    """The crash window between snapshot write and atomic rename.
+
+    ``FaultConfig.crash_before_snapshot_rename`` kills the process with
+    a fully written ``snapshot-*.bin.tmp`` on disk but no rename; the
+    stale temporary must never shadow a real snapshot, and recovery
+    must detect it, log it, sweep it, and still resume to the
+    bit-identical result.
+    """
+
+    def test_crash_leaves_a_stale_tmp_behind(self, tmp_path):
+        faults = FaultConfig(crash_before_snapshot_rename=2)
+        config = tiny_experiment_config(19, faults=faults)
+        with pytest.raises(SimulatedCrash, match="snapshot rename"):
+            run_campaign(config, checkpoint_dir=tmp_path,
+                         checkpoint_config=CKPT)
+        stale = list(tmp_path.glob("snapshot-*.bin.tmp"))
+        assert len(stale) == 1
+
+    def test_recovery_sweeps_logs_and_resumes_identically(
+            self, tmp_path, caplog):
+        clean_dir = tmp_path / "clean"
+        crash_dir = tmp_path / "crash"
+        clean = run_campaign(tiny_experiment_config(19),
+                             checkpoint_dir=clean_dir,
+                             checkpoint_config=CKPT)
+        faults = FaultConfig(crash_before_snapshot_rename=2)
+        with pytest.raises(SimulatedCrash):
+            run_campaign(tiny_experiment_config(19, faults=faults),
+                         checkpoint_dir=crash_dir, checkpoint_config=CKPT)
+        with caplog.at_level("WARNING", logger="repro.persist"):
+            resumed = resume_campaign(crash_dir, checkpoint_config=CKPT)
+        assert "stale snapshot temporary" in caplog.text
+        assert not list(crash_dir.glob("snapshot-*.bin.tmp"))
+        assert fingerprint(resumed) == fingerprint(clean)

@@ -1,0 +1,50 @@
+"""Shared helpers for the continuous-service tests."""
+
+from __future__ import annotations
+
+from repro.core.cache_probing import CacheProbingConfig
+from repro.core.calibration import CalibrationConfig
+from repro.core.dns_logs import DnsLogsConfig
+from repro.experiments.config import ExperimentConfig
+from repro.sim.faults import FaultConfig
+from repro.world.activity import ActivityConfig
+from repro.world.builder import WorldConfig
+
+from tests.conftest import TEST_COUNTRIES
+
+
+def tiny_service_experiment(
+    seed: int = 7,
+    faults: FaultConfig | None = None,
+    target_blocks: int = 40,
+) -> ExperimentConfig:
+    """A seconds-scale experiment config for service tests.
+
+    Resilience is left disabled here — ``run_service`` force-enables
+    it, which the tests assert.
+    """
+    return ExperimentConfig(
+        world=WorldConfig(seed=seed, target_blocks=target_blocks,
+                          countries=TEST_COUNTRIES,
+                          faults=faults or FaultConfig()),
+        activity=ActivityConfig(slot_seconds=1800.0),
+        probing=CacheProbingConfig(
+            warmup_hours=1.0,
+            measurement_hours=3.0,
+            redundancy=2,
+            probe_loops=1,
+            seed=seed,
+            calibration=CalibrationConfig(sample_size=30),
+        ),
+        dns_logs=DnsLogsConfig(window_days=0.2),
+        apnic_impressions=200,
+        seed=seed,
+    )
+
+
+def assert_closed_accounting(accounting: dict) -> None:
+    """The service invariant every window and aggregate must satisfy."""
+    assert accounting["scheduled"] == (
+        accounting["covered"] + accounting["uncovered"]
+        + accounting["shed"] + accounting["budget_dropped"]
+    ), f"accounting leak: {accounting}"

@@ -1,0 +1,162 @@
+"""CLI tests for `repro serve` and the hardened `repro resume`.
+
+The contract under test: pointing either command at a missing, empty
+or corrupt checkpoint directory exits with a **one-line diagnostic**
+on stderr and a nonzero status — never a traceback, and never the
+side effect of creating an empty checkpoint tree at a typo'd path.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.service.churn import churn_from_deltas
+from repro.service.deltas import write_manifest
+
+
+def error_line(capsys) -> str:
+    """The one-line stderr diagnostic a failed command must end with.
+
+    A progress line may legitimately precede it (the failure can
+    surface mid-recovery), but never a traceback.
+    """
+    err = capsys.readouterr().err
+    assert "Traceback" not in err
+    lines = [line for line in err.splitlines() if line]
+    assert lines, "expected a diagnostic on stderr"
+    assert lines[-1].startswith("repro: error: ")
+    return lines[-1]
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(
+            ["serve", "--checkpoint-dir", "state"])
+        assert args.windows == 8
+        assert args.window_hours == 1.0
+        assert args.budget is None
+        assert args.max_restarts == 16
+        assert not args.resume
+
+    def test_checkpoint_dir_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+
+class TestResumeHardening:
+    def test_missing_directory(self, tmp_path, capsys):
+        missing = tmp_path / "no-such-dir"
+        assert main(["resume", "--checkpoint-dir", str(missing)]) == 2
+        assert "does not exist" in error_line(capsys)
+        # the typo'd path must NOT have been created as a side effect
+        assert not missing.exists()
+
+    def test_directory_without_journal(self, tmp_path, capsys):
+        assert main(["resume", "--checkpoint-dir", str(tmp_path)]) == 2
+        assert "no campaign journal" in error_line(capsys)
+
+    def test_empty_journal(self, tmp_path, capsys):
+        (tmp_path / "journal.bin").write_bytes(b"RPJ1")
+        assert main(["resume", "--checkpoint-dir", str(tmp_path)]) == 2
+        assert "empty journal" in error_line(capsys)
+
+    def test_corrupt_journal(self, tmp_path, capsys):
+        (tmp_path / "journal.bin").write_bytes(b"not a journal at all")
+        assert main(["resume", "--checkpoint-dir", str(tmp_path)]) == 2
+        error_line(capsys)
+
+    def test_service_directory_redirects_to_serve(self, tmp_path, capsys):
+        write_manifest(tmp_path, {"kind": "service", "completed": []})
+        assert main(["resume", "--checkpoint-dir", str(tmp_path)]) == 2
+        line = error_line(capsys)
+        assert "continuous-service" in line
+        assert "repro serve --resume" in line
+
+
+class TestServeResumeHardening:
+    def test_missing_directory(self, tmp_path, capsys):
+        missing = tmp_path / "gone"
+        assert main(["serve", "--resume",
+                     "--checkpoint-dir", str(missing)]) == 2
+        assert "does not exist" in error_line(capsys)
+        assert not missing.exists()
+
+    def test_directory_without_journal(self, tmp_path, capsys):
+        assert main(["serve", "--resume",
+                     "--checkpoint-dir", str(tmp_path)]) == 2
+        assert "no campaign journal" in error_line(capsys)
+
+    def test_empty_journal(self, tmp_path, capsys):
+        (tmp_path / "journal.bin").write_bytes(b"RPJ1")
+        assert main(["serve", "--resume",
+                     "--checkpoint-dir", str(tmp_path)]) == 2
+        assert "empty journal" in error_line(capsys)
+
+    def test_non_service_directory(self, tmp_path, capsys):
+        # a journal but no service manifest: not ours to resume
+        (tmp_path / "journal.bin").write_bytes(b"RPJ1" + b"x" * 32)
+        (tmp_path / "manifest.json").write_text(
+            json.dumps({"format": "repro.parallel.v1"}))
+        assert main(["serve", "--resume",
+                     "--checkpoint-dir", str(tmp_path)]) == 2
+        assert "not a continuous-service" in error_line(capsys)
+
+
+class FakeServiceResult:
+    """The attribute surface `_render_service` consumes."""
+
+    def __init__(self):
+        self.windows = 2
+        self.final_state = "healthy"
+        self.restarts = 1
+        self.deltas = [
+            {"window": 0, "health": "healthy",
+             "active": ["10.0.0.0/24", "10.1.0.0/24"],
+             "accounting": {"scheduled": 10, "covered": 9,
+                            "uncovered": 1, "shed": 0,
+                            "budget_dropped": 0}},
+            {"window": 1, "health": "degraded",
+             "active": ["10.0.0.0/24"],
+             "accounting": {"scheduled": 8, "covered": 6,
+                            "uncovered": 0, "shed": 2,
+                            "budget_dropped": 0}},
+        ]
+        self.aggregate = {
+            "accounting": {"scheduled": 18, "covered": 15,
+                           "uncovered": 1, "shed": 2,
+                           "budget_dropped": 0},
+            "watchdog_cuts": 0,
+            "transitions": [[1, "healthy", "degraded"]],
+        }
+
+    def churn(self):
+        return churn_from_deltas(self.deltas)
+
+
+class TestServeRendering:
+    def test_fresh_serve_prints_the_service_summary(
+            self, tmp_path, capsys, monkeypatch):
+        import repro.service
+
+        captured = {}
+
+        def fake_supervise(config, service_config, *, checkpoint_dir,
+                           checkpoint_config, max_restarts):
+            captured["windows"] = service_config.windows
+            captured["budget"] = service_config.window_target_budget
+            captured["max_restarts"] = max_restarts
+            return FakeServiceResult()
+
+        monkeypatch.setattr(repro.service, "supervise", fake_supervise)
+        assert main(["serve", "--checkpoint-dir", str(tmp_path),
+                     "--windows", "2", "--budget", "500",
+                     "--max-restarts", "3"]) == 0
+        assert captured == {"windows": 2, "budget": 500,
+                            "max_restarts": 3}
+        out = capsys.readouterr().out
+        assert "final health healthy" in out
+        assert "1 supervisor restart(s)" in out
+        assert "scheduled=18" in out
+        assert "w1: healthy→degraded" in out
+        assert "degraded windows: w1=degraded" in out

@@ -1,0 +1,97 @@
+"""Unit tests for window deltas, manifest and aggregate files."""
+
+import json
+
+import pytest
+
+from repro.service.deltas import (
+    DeltaError,
+    DeltaStore,
+    canonical_bytes,
+    is_service_checkpoint,
+    read_aggregate,
+    read_manifest,
+    write_aggregate,
+    write_manifest,
+)
+
+
+class TestCanonicalBytes:
+    def test_key_order_does_not_matter(self):
+        assert canonical_bytes({"b": 1, "a": [2, 3]}) == \
+            canonical_bytes({"a": [2, 3], "b": 1})
+
+    def test_compact_sorted_with_trailing_newline(self):
+        assert canonical_bytes({"b": 1, "a": 2}) == b'{"a":2,"b":1}\n'
+
+
+class TestDeltaStore:
+    def test_write_read_roundtrip_with_stable_crc(self, tmp_path):
+        store = DeltaStore(tmp_path)
+        payload = {"window": 0, "active": ["10.0.0.0/24"]}
+        name, crc = store.write(0, payload)
+        assert name == "delta-0000.json"
+        assert store.read(0) == payload
+        assert store.crc(0) == crc
+        # rewriting is idempotent — same bytes, same CRC
+        assert store.write(0, payload) == (name, crc)
+
+    def test_read_all_in_window_order(self, tmp_path):
+        store = DeltaStore(tmp_path)
+        for index in range(3):
+            store.write(index, {"window": index})
+        assert [d["window"] for d in store.read_all()] == [0, 1, 2]
+
+    def test_read_all_detects_sequence_gaps(self, tmp_path):
+        store = DeltaStore(tmp_path)
+        store.write(0, {"window": 0})
+        store.write(2, {"window": 2})
+        with pytest.raises(DeltaError, match="gap"):
+            store.read_all()
+
+    def test_missing_and_corrupt_deltas_raise(self, tmp_path):
+        store = DeltaStore(tmp_path)
+        with pytest.raises(DeltaError, match="missing"):
+            store.read(0)
+        (store.directory / store.name_for(0)).write_bytes(b"{broken")
+        with pytest.raises(DeltaError, match="corrupt"):
+            store.read(0)
+
+    def test_sweep_stale_tmp(self, tmp_path, caplog):
+        store = DeltaStore(tmp_path)
+        store.write(0, {"window": 0})
+        stale = store.directory / "delta-0001.json.tmp"
+        stale.write_bytes(b"half-written")
+        with caplog.at_level("WARNING", logger="repro.service"):
+            removed = store.sweep_stale_tmp()
+        assert removed == ["delta-0001.json.tmp"]
+        assert not stale.exists()
+        assert "stale delta temporary" in caplog.text
+        # the completed delta is untouched
+        assert store.read(0) == {"window": 0}
+
+
+class TestManifest:
+    def test_roundtrip_and_service_detection(self, tmp_path):
+        assert read_manifest(tmp_path) is None
+        assert not is_service_checkpoint(tmp_path)
+        write_manifest(tmp_path, {"kind": "service", "completed": []})
+        assert read_manifest(tmp_path) == {"kind": "service",
+                                           "completed": []}
+        assert is_service_checkpoint(tmp_path)
+
+    def test_other_manifests_are_not_service_checkpoints(self, tmp_path):
+        (tmp_path / "manifest.json").write_text(
+            json.dumps({"format": "repro.parallel.v1"}))
+        assert not is_service_checkpoint(tmp_path)
+
+    def test_corrupt_manifest_is_not_a_service_checkpoint(self, tmp_path):
+        (tmp_path / "manifest.json").write_bytes(b"{nope")
+        assert not is_service_checkpoint(tmp_path)
+        with pytest.raises(DeltaError, match="corrupt"):
+            read_manifest(tmp_path)
+
+    def test_aggregate_roundtrip(self, tmp_path):
+        assert read_aggregate(tmp_path) is None
+        write_aggregate(tmp_path, {"windows": 4})
+        assert read_aggregate(tmp_path) == {"windows": 4}

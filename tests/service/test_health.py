@@ -1,0 +1,106 @@
+"""Unit tests for the service health state machine."""
+
+import pytest
+
+from repro.service.config import (
+    DegradationLevel,
+    DegradationPolicy,
+    HealthPolicy,
+    ServiceConfig,
+)
+from repro.service.health import HealthMonitor, ServiceHealth
+
+
+class TestClassification:
+    def test_full_availability_is_healthy(self):
+        monitor = HealthMonitor()
+        assert monitor.classify(1.0, 0.0) is ServiceHealth.HEALTHY
+
+    def test_availability_thresholds(self):
+        monitor = HealthMonitor()
+        assert monitor.classify(0.74, 0.0) is ServiceHealth.DEGRADED
+        assert monitor.classify(0.39, 0.0) is ServiceHealth.CRITICAL
+        assert monitor.classify(0.05, 0.0) is ServiceHealth.HALTED
+        assert monitor.classify(0.0, 0.0) is ServiceHealth.HALTED
+
+    def test_failure_rate_degrades_even_at_full_availability(self):
+        monitor = HealthMonitor()
+        assert monitor.classify(1.0, 0.6) is ServiceHealth.DEGRADED
+        assert monitor.classify(1.0, 0.5) is ServiceHealth.HEALTHY
+
+
+class TestTransitions:
+    def test_worsening_is_immediate_and_can_skip_levels(self):
+        monitor = HealthMonitor()
+        state = monitor.observe(0, 0.0, availability=0.1, failure_rate=0.0)
+        assert state is ServiceHealth.CRITICAL
+        assert [(t.old, t.new) for t in monitor.transitions] == [
+            (ServiceHealth.HEALTHY, ServiceHealth.CRITICAL)]
+
+    def test_recovery_is_hysteretic_one_level_per_streak(self):
+        monitor = HealthMonitor(policy=HealthPolicy(recover_after_windows=2))
+        monitor.observe(0, 0.0, 0.1, 0.0)          # → CRITICAL
+        assert monitor.observe(1, 1.0, 1.0, 0.0) is ServiceHealth.CRITICAL
+        # second consecutive better window steps one level only
+        assert monitor.observe(2, 2.0, 1.0, 0.0) is ServiceHealth.DEGRADED
+        assert monitor.observe(3, 3.0, 1.0, 0.0) is ServiceHealth.DEGRADED
+        assert monitor.observe(4, 4.0, 1.0, 0.0) is ServiceHealth.HEALTHY
+
+    def test_equal_classification_resets_the_recovery_streak(self):
+        monitor = HealthMonitor(policy=HealthPolicy(recover_after_windows=2))
+        monitor.observe(0, 0.0, 0.5, 0.0)           # → DEGRADED
+        monitor.observe(1, 1.0, 1.0, 0.0)           # good streak 1
+        monitor.observe(2, 2.0, 0.5, 0.0)           # still degraded: reset
+        assert monitor.observe(3, 3.0, 1.0, 0.0) is ServiceHealth.DEGRADED
+        assert monitor.observe(4, 4.0, 1.0, 0.0) is ServiceHealth.HEALTHY
+
+    def test_flapping_cannot_oscillate_budgets_every_window(self):
+        monitor = HealthMonitor(policy=HealthPolicy(recover_after_windows=2))
+        states = []
+        for window in range(6):
+            availability = 0.5 if window % 2 == 0 else 1.0
+            states.append(monitor.observe(window, float(window),
+                                          availability, 0.0))
+        # Alternating good/bad windows never complete the streak, so
+        # the machine stays DEGRADED instead of bouncing.
+        assert states == [ServiceHealth.DEGRADED] * 6
+
+    def test_transition_history_records_window_and_time(self):
+        monitor = HealthMonitor()
+        monitor.observe(3, 99.0, 0.1, 0.0)
+        (move,) = monitor.transitions
+        assert (move.window, move.at) == (3, 99.0)
+
+
+class TestPolicies:
+    def test_degradation_levels_by_state(self):
+        policy = DegradationPolicy()
+        assert policy.level_for(ServiceHealth.HEALTHY) == DegradationLevel()
+        assert policy.level_for(ServiceHealth.DEGRADED).budget_factor < 1.0
+        critical = policy.level_for(ServiceHealth.CRITICAL)
+        degraded = policy.level_for(ServiceHealth.DEGRADED)
+        assert critical.budget_factor < degraded.budget_factor
+        assert critical.shed_fraction > degraded.shed_fraction
+        halted = policy.level_for(ServiceHealth.HALTED)
+        assert halted.budget_factor == 0.0
+        assert halted.shed_fraction == 1.0
+
+    def test_health_policy_validates_threshold_ordering(self):
+        with pytest.raises(ValueError, match="halted_below"):
+            HealthPolicy(degraded_below=0.3, critical_below=0.5)
+
+    def test_degradation_level_validates_factors(self):
+        with pytest.raises(ValueError, match="interval_factor"):
+            DegradationLevel(interval_factor=0.5)
+        with pytest.raises(ValueError, match="budget_factor"):
+            DegradationLevel(budget_factor=1.5)
+
+    def test_service_config_validates(self):
+        with pytest.raises(ValueError, match="windows"):
+            ServiceConfig(windows=0)
+        with pytest.raises(ValueError, match="watchdog"):
+            ServiceConfig(watchdog_overrun_factor=0.5)
+        assert ServiceConfig(window_hours=2.0).reprobe_interval_s == 7200.0
+        assert ServiceConfig(window_hours=1.0,
+                             reprobe_interval_hours=3.0,
+                             ).reprobe_interval_s == 10800.0

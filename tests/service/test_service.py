@@ -1,0 +1,226 @@
+"""End-to-end tests of the continuous measurement service.
+
+The contracts under test, matching docs/continuous.md:
+
+* a service run completes its windows with **closed accounting** —
+  ``scheduled = covered + uncovered + shed + budget_dropped`` in every
+  window delta and in the aggregate;
+* a service **killed mid-window** and restarted by the supervisor
+  produces byte-identical window deltas, manifest and aggregate to an
+  uninterrupted same-seed run;
+* a **sustained outage** of 30 % of the PoPs degrades the service
+  (never aborts it), keeps the accounting closed, and once the outage
+  clears the service recovers to HEALTHY with coverage matching the
+  fault-free run.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.persist.campaign import CheckpointConfig, CheckpointError
+from repro.service import (
+    ServiceConfig,
+    is_service_checkpoint,
+    read_aggregate,
+    read_manifest,
+    resume_service,
+    run_service,
+    supervise,
+)
+from repro.sim.faults import FaultConfig, sustained_pop_outage
+from repro.world.builder import build_world
+
+from tests.service.conftest import (
+    assert_closed_accounting,
+    tiny_service_experiment,
+)
+
+CKPT = CheckpointConfig(snapshot_every_slots=2)
+SVC = ServiceConfig(windows=4, window_hours=1.0)
+
+
+def service_artifacts(directory) -> dict[str, bytes]:
+    """Every measurement-output byte the service wrote."""
+    directory = pathlib.Path(directory)
+    artifacts = {
+        path.name: path.read_bytes()
+        for path in sorted((directory / "windows").glob("delta-*.json"))
+    }
+    artifacts["manifest.json"] = (directory / "manifest.json").read_bytes()
+    artifacts["aggregate.json"] = (directory / "aggregate.json").read_bytes()
+    return artifacts
+
+
+class TestFreshRun:
+    def test_runs_all_windows_with_closed_accounting(self, tmp_path):
+        result = run_service(tiny_service_experiment(), SVC,
+                             checkpoint_dir=tmp_path,
+                             checkpoint_config=CKPT)
+        assert result.windows == SVC.windows
+        assert len(result.deltas) == SVC.windows
+        for delta in result.deltas:
+            assert_closed_accounting(delta["accounting"])
+        assert_closed_accounting(result.aggregate["accounting"])
+        total = sum(d["accounting"]["scheduled"] for d in result.deltas)
+        assert result.aggregate["accounting"]["scheduled"] == total
+        assert result.final_state == "healthy"
+        # probe accounting inherits the resilient driver's invariants
+        result.health.verify()
+
+    def test_writes_service_manifest_and_aggregate(self, tmp_path):
+        run_service(tiny_service_experiment(), SVC,
+                    checkpoint_dir=tmp_path, checkpoint_config=CKPT)
+        assert is_service_checkpoint(tmp_path)
+        manifest = read_manifest(tmp_path)
+        assert manifest["kind"] == "service"
+        assert len(manifest["completed"]) == SVC.windows
+        aggregate = read_aggregate(tmp_path)
+        assert aggregate["windows"] == SVC.windows
+
+    def test_deltas_carry_churn_fields(self, tmp_path):
+        result = run_service(tiny_service_experiment(), SVC,
+                             checkpoint_dir=tmp_path,
+                             checkpoint_config=CKPT)
+        previous: set[str] = set()
+        for delta in result.deltas:
+            active = set(delta["active"])
+            assert set(delta["appeared"]) == active - previous
+            assert set(delta["disappeared"]) == previous - active
+            previous = active
+        churn = result.churn()
+        assert len(churn.windows) == SVC.windows
+        assert churn.ever_active == set(result.aggregate["ever_active"])
+
+    def test_resilience_is_force_enabled(self, tmp_path):
+        config = tiny_service_experiment()
+        assert not config.probing.resilience.enabled
+        result = run_service(config, SVC, checkpoint_dir=tmp_path,
+                             checkpoint_config=CKPT)
+        assert result.health.resilience_enabled
+
+    def test_refuses_to_restart_an_existing_service(self, tmp_path):
+        run_service(tiny_service_experiment(), SVC,
+                    checkpoint_dir=tmp_path, checkpoint_config=CKPT)
+        with pytest.raises(CheckpointError, match="already holds"):
+            run_service(tiny_service_experiment(), SVC,
+                        checkpoint_dir=tmp_path, checkpoint_config=CKPT)
+
+
+class TestCrashEquivalence:
+    def test_kill_mid_window_resumes_to_byte_identical_outputs(
+            self, tmp_path):
+        clean_dir = tmp_path / "clean"
+        crash_dir = tmp_path / "crash"
+        clean = run_service(tiny_service_experiment(), SVC,
+                            checkpoint_dir=clean_dir,
+                            checkpoint_config=CKPT)
+        # append #300 lands inside a window's slot walk
+        crashed = supervise(
+            tiny_service_experiment(
+                faults=FaultConfig(crash_after_appends=300)),
+            SVC, checkpoint_dir=crash_dir, checkpoint_config=CKPT)
+        assert crashed.restarts == 1
+        assert service_artifacts(clean_dir) == service_artifacts(crash_dir)
+        assert clean.aggregate == crashed.aggregate
+        assert [d for d in clean.deltas] == [d for d in crashed.deltas]
+
+    def test_torn_final_record_still_resumes_identically(self, tmp_path):
+        clean_dir = tmp_path / "clean"
+        crash_dir = tmp_path / "crash"
+        clean = run_service(tiny_service_experiment(), SVC,
+                            checkpoint_dir=clean_dir,
+                            checkpoint_config=CKPT)
+        crashed = supervise(
+            tiny_service_experiment(
+                faults=FaultConfig(crash_after_appends=451,
+                                   crash_torn_write=True)),
+            SVC, checkpoint_dir=crash_dir, checkpoint_config=CKPT)
+        assert crashed.restarts == 1
+        assert service_artifacts(clean_dir) == service_artifacts(crash_dir)
+        assert clean.aggregate == crashed.aggregate
+
+    def test_resume_refuses_non_service_directories(self, tmp_path):
+        with pytest.raises(CheckpointError, match="not a continuous"):
+            resume_service(tmp_path)
+
+    def test_resume_refuses_snapshotless_service_dir(self, tmp_path):
+        from repro.service.deltas import write_manifest
+
+        write_manifest(tmp_path, {"kind": "service", "completed": []})
+        with pytest.raises(CheckpointError, match="no resumable snapshot"):
+            resume_service(tmp_path)
+
+    def test_supervisor_gives_up_after_restart_budget(self, tmp_path):
+        # with crash injection re-armed on every restart the service
+        # can never finish; the supervisor must fail loudly, not spin.
+        class AlwaysCrash:
+            config = FaultConfig()
+
+            def crash_on_journal_append(self, append_index):
+                return True
+
+            def crash_on_snapshot_rename(self, save_index):
+                return False
+
+        with pytest.raises(CheckpointError, match="restart budget"):
+            supervise(
+                tiny_service_experiment(
+                    faults=FaultConfig(crash_after_appends=200)),
+                SVC, checkpoint_dir=tmp_path, checkpoint_config=CKPT,
+                max_restarts=2, resume_faults=AlwaysCrash())
+
+
+class TestSustainedOutage:
+    """The acceptance scenario: 3 sim-hours of 30 % PoP outage."""
+
+    @pytest.fixture(scope="class")
+    def outage_runs(self, tmp_path_factory):
+        svc = ServiceConfig(windows=8, window_hours=1.0)
+        base = tmp_path_factory.mktemp("outage")
+        # which PoPs exist is deterministic per seed; take 30 % down
+        world = build_world(tiny_service_experiment().world)
+        from repro.core.cache_probing import CacheProbingPipeline
+
+        pipeline = CacheProbingPipeline(
+            world, tiny_service_experiment().probing,
+            activity_config=tiny_service_experiment().activity)
+        eligible = sorted(pipeline.prober.reachable_pops)
+        down = eligible[:max(1, int(len(eligible) * 0.3))]
+        faults = FaultConfig(pop_outages=sustained_pop_outage(
+            down, start_h=2.5, duration_h=3.0))
+        clean = run_service(tiny_service_experiment(), svc,
+                            checkpoint_dir=base / "clean",
+                            checkpoint_config=CKPT)
+        faulty = run_service(tiny_service_experiment(faults=faults), svc,
+                             checkpoint_dir=base / "faulty",
+                             checkpoint_config=CKPT)
+        return clean, faulty, len(down) / len(eligible)
+
+    def test_degrades_without_aborting_and_recovers(self, outage_runs):
+        _clean, faulty, down_fraction = outage_runs
+        assert 0.25 <= down_fraction <= 0.35
+        states = [d["health"] for d in faulty.deltas]
+        assert "degraded" in states          # the outage was noticed
+        assert faulty.windows == 8           # ... and never aborted
+        assert states[-1] == "healthy"       # ... and cleared
+        assert faulty.final_state == "healthy"
+        # both directions appear in the transition log
+        moves = [(old, new) for _w, old, new
+                 in faulty.aggregate["transitions"]]
+        assert ("healthy", "degraded") in moves
+        assert ("degraded", "healthy") in moves
+
+    def test_accounting_stays_closed_under_outage(self, outage_runs):
+        _clean, faulty, _ = outage_runs
+        for delta in faulty.deltas:
+            assert_closed_accounting(delta["accounting"])
+        assert_closed_accounting(faulty.aggregate["accounting"])
+        # degradation actually shed load, with explicit accounting
+        assert faulty.aggregate["accounting"]["shed"] > 0
+
+    def test_coverage_recovers_after_the_outage_clears(self, outage_runs):
+        clean, faulty, _ = outage_runs
+        gap = abs(clean.aggregate["coverage"][-1]
+                  - faulty.aggregate["coverage"][-1])
+        assert gap <= 0.02

@@ -1,0 +1,97 @@
+"""Unit tests for TTL-aware staleness planning."""
+
+from repro.net.prefix import Prefix
+from repro.service.staleness import (
+    TargetState,
+    is_due,
+    plan_window,
+    staleness_key,
+)
+from repro.dns.name import DnsName
+from repro.world.model import DomainSpec
+
+
+def make_target(index: int, **overrides) -> TargetState:
+    domain = DomainSpec(name=DnsName.parse(f"d{index}.example"), rank=index + 1,
+                        supports_ecs=True, ttl=300.0, weight=1.0)
+    scope = Prefix.parse(f"10.{index}.0.0/24")
+    defaults = dict(domain=domain, scope=scope, pops=("pop-a",))
+    defaults.update(overrides)
+    return TargetState(**defaults)
+
+
+class TestPriorityOrder:
+    def test_expiring_evidence_beats_everything(self):
+        expiring = make_target(1, last_probed=50.0, evidence_expiry=80.0)
+        never = make_target(2)
+        old = make_target(3, last_probed=1.0)
+        window_end = 100.0
+        ranked = sorted([old, never, expiring],
+                        key=lambda t: staleness_key(t, window_end))
+        assert ranked == [expiring, never, old]
+
+    def test_soonest_expiry_first_within_the_expiring_bucket(self):
+        a = make_target(1, last_probed=10.0, evidence_expiry=90.0)
+        b = make_target(2, last_probed=10.0, evidence_expiry=30.0)
+        ranked = sorted([a, b], key=lambda t: staleness_key(t, 100.0))
+        assert ranked == [b, a]
+
+    def test_unexpiring_evidence_falls_back_to_last_probed(self):
+        # evidence outliving the window is not urgent
+        fresh = make_target(1, last_probed=50.0, evidence_expiry=500.0)
+        stale = make_target(2, last_probed=5.0)
+        ranked = sorted([fresh, stale], key=lambda t: staleness_key(t, 100.0))
+        assert ranked == [stale, fresh]
+
+
+class TestDueness:
+    def test_never_probed_is_always_due(self):
+        assert is_due(make_target(1), now=0.0, window_end=10.0,
+                      interval_s=1e9)
+
+    def test_expiring_evidence_is_due_regardless_of_interval(self):
+        target = make_target(1, last_probed=95.0, evidence_expiry=105.0)
+        assert is_due(target, now=100.0, window_end=110.0, interval_s=1e9)
+
+    def test_widened_interval_defers_recently_probed_targets(self):
+        target = make_target(1, last_probed=90.0)
+        assert not is_due(target, now=100.0, window_end=110.0,
+                          interval_s=60.0)
+        assert is_due(target, now=160.0, window_end=170.0, interval_s=60.0)
+
+
+class TestPlanAccounting:
+    def test_plan_is_closed(self):
+        targets = [make_target(i) for i in range(10)]
+        plan = plan_window(targets, now=0.0, window_end=10.0,
+                           interval_s=10.0, budget=4, shed_fraction=0.2)
+        assert plan.due == 10
+        assert len(plan.shed) == 2
+        assert len(plan.scheduled) == 4
+        assert len(plan.budget_dropped) == 4
+        assert plan.due == (len(plan.scheduled) + len(plan.shed)
+                            + len(plan.budget_dropped))
+
+    def test_shedding_takes_the_low_priority_tail(self):
+        urgent = make_target(0, last_probed=1.0, evidence_expiry=5.0)
+        lazy = [make_target(i, last_probed=float(i)) for i in range(1, 5)]
+        plan = plan_window([urgent, *lazy], now=6.0, window_end=10.0,
+                           interval_s=1.0, budget=None, shed_fraction=0.4)
+        assert urgent in plan.scheduled
+        # the shed tail is the most recently probed (least stale) pair
+        assert {t.key for t in plan.shed} == {lazy[-1].key, lazy[-2].key}
+
+    def test_no_budget_schedules_every_kept_target(self):
+        targets = [make_target(i) for i in range(5)]
+        plan = plan_window(targets, 0.0, 10.0, 10.0, budget=None,
+                           shed_fraction=0.0)
+        assert len(plan.scheduled) == 5
+        assert not plan.shed and not plan.budget_dropped
+
+    def test_not_due_targets_are_simply_absent(self):
+        recent = make_target(1, last_probed=99.0)
+        due = make_target(2)
+        plan = plan_window([recent, due], now=100.0, window_end=110.0,
+                           interval_s=3600.0, budget=None, shed_fraction=0.0)
+        assert plan.due == 1
+        assert plan.scheduled[0] is due

@@ -48,3 +48,31 @@ class TestClock:
 
     def test_repr_mentions_time(self):
         assert "12" in repr(Clock(12))
+
+
+class TestElapsedHelpers:
+    """`hours_since` / `ticks_since` back the service scheduler and
+    its watchdog."""
+
+    def test_hours_since_epoch(self):
+        clock = Clock()
+        mark = clock.now
+        clock.advance(2.5 * HOUR)
+        assert clock.hours_since(mark) == 2.5
+
+    def test_hours_since_future_epoch_rejected(self):
+        with pytest.raises(ClockError, match="future"):
+            Clock(10.0).hours_since(11.0)
+
+    def test_ticks_since_mark(self):
+        clock = Clock()
+        clock.advance(1)
+        mark = clock.ticks
+        clock.advance(1)
+        clock.advance(1)
+        assert clock.ticks_since(mark) == 2
+
+    def test_ticks_since_future_mark_rejected(self):
+        clock = Clock()
+        with pytest.raises(ClockError, match="ahead"):
+            clock.ticks_since(clock.ticks + 1)

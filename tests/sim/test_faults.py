@@ -4,7 +4,14 @@ import pytest
 
 from repro.dns.message import Transport
 from repro.sim.clock import Clock
-from repro.sim.faults import FaultConfig, FaultInjector, OutageWindow
+from repro.sim.faults import (
+    FaultConfig,
+    FaultInjector,
+    OutageWindow,
+    flapping_vantage,
+    resolver_squeeze,
+    sustained_pop_outage,
+)
 
 
 class TestOutageWindow:
@@ -219,3 +226,56 @@ class TestKeyedStreamIndependence:
         many.advance_to(100.0)
         assert a.drop_query(Transport.UDP, key) \
             == b.drop_query(Transport.UDP, key)
+
+
+class TestScenarioBuilders:
+    """Long-horizon fault scenarios for the continuous service."""
+
+    def test_sustained_pop_outage_spans_the_interval(self):
+        windows = sustained_pop_outage(["pop-a", "pop-b"],
+                                       start_h=2.5, duration_h=3.0)
+        assert len(windows) == 2
+        assert {w.target for w in windows} == {"pop-a", "pop-b"}
+        for window in windows:
+            assert window.start == 2.5 * 3600.0
+            assert window.end == 5.5 * 3600.0
+            assert window.covers(window.target, 3.0 * 3600.0)
+            assert not window.covers(window.target, 5.5 * 3600.0)
+
+    def test_sustained_pop_outage_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError, match="duration"):
+            sustained_pop_outage(["pop-a"], start_h=0.0, duration_h=0.0)
+
+    def test_flapping_vantage_alternates_down_and_up(self):
+        windows = flapping_vantage("aws:us-east", start_h=1.0,
+                                   period_h=2.0, cycles=3, duty=0.25)
+        assert len(windows) == 3
+        # each period starts down for duty*period, then is up
+        for cycle, window in enumerate(windows):
+            start_h = 1.0 + cycle * 2.0
+            assert window.start == start_h * 3600.0
+            assert window.end == (start_h + 0.5) * 3600.0
+        # mid-period (after the duty phase) the vantage is up
+        down_at = lambda h: any(
+            w.covers("aws:us-east", h * 3600.0) for w in windows)
+        assert down_at(1.25)
+        assert not down_at(1.75)
+        assert down_at(3.25)
+
+    def test_flapping_vantage_validates_inputs(self):
+        with pytest.raises(ValueError, match="cycles"):
+            flapping_vantage("v", start_h=0.0, period_h=1.0, cycles=0)
+        with pytest.raises(ValueError, match="duty"):
+            flapping_vantage("v", start_h=0.0, period_h=1.0, cycles=1,
+                             duty=1.0)
+
+    def test_resolver_squeeze_defaults_to_all_pops(self):
+        (window,) = resolver_squeeze(start_h=1.0, duration_h=2.0)
+        assert window.target == "*"
+        assert window.covers("any-pop", 1.5 * 3600.0)
+        named = resolver_squeeze(1.0, 2.0, pop_ids=("pop-a", "pop-b"))
+        assert {w.target for w in named} == {"pop-a", "pop-b"}
+
+    def test_resolver_squeeze_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError, match="duration"):
+            resolver_squeeze(start_h=0.0, duration_h=-1.0)
