@@ -10,6 +10,7 @@
     python -m repro resume --checkpoint-dir DIR [--section ...]
     python -m repro serve --checkpoint-dir DIR [--windows N]
                           [--window-hours H] [--budget N] [--resume]
+    python -m repro fsck --checkpoint-dir DIR [--repair] [--json]
     python -m repro export --out DIR [--preset ...] [--seed N]
     python -m repro collisions [--volume N] [--threshold N]
     python -m repro presets
@@ -25,7 +26,11 @@ per-window deltas, self-healing restarts and graceful degradation (see
 docs/continuous.md).  ``export`` writes the shareable artefacts
 (active prefix lists, resolver counts, unified datasets) to a
 directory; ``collisions`` runs the §3.2 Monte-Carlo threshold check
-without building a world.
+without building a world.  ``fsck`` scans a checkpoint directory for
+damage — torn journal tails, bit rot, swapped files, cross-reference
+breaks — and with ``--repair`` quarantines what cannot be trusted and
+rolls the checkpoint back to its last consistent state (exit 0 clean /
+repaired, 1 damage found, 2 unrepairable).
 """
 
 from __future__ import annotations
@@ -89,6 +94,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--snapshot-every", type=int, default=8, metavar="N",
                      help="snapshot cadence in probing slots "
                           "(default: 8; needs --checkpoint-dir)")
+    run.add_argument("--snapshot-keep", type=int, default=2, metavar="N",
+                     help="snapshot generations to retain (default: 2); "
+                          "more generations deepen the `repro fsck "
+                          "--repair` rollback horizon")
     run.add_argument("--workers", type=int, default=1, metavar="N",
                      help="shard the campaign over N processes; the "
                           "merged result is bit-identical to --workers 1 "
@@ -128,11 +137,32 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="snapshot cadence in probing slots "
                             "(default: 8)")
+    serve.add_argument("--snapshot-keep", type=int, default=2,
+                       metavar="N",
+                       help="snapshot generations to retain (default: "
+                            "2); more generations deepen the `repro "
+                            "fsck --repair` rollback horizon over past "
+                            "windows")
     serve.add_argument("--max-restarts", type=int, default=16, metavar="N",
                        help="supervisor restart budget (default: 16)")
     serve.add_argument("--resume", action="store_true",
                        help="resume an interrupted service from its "
                             "checkpoint directory")
+
+    fsck = sub.add_parser(
+        "fsck",
+        help="scan a checkpoint directory for damage; --repair "
+             "quarantines corrupt artifacts and rolls back to the "
+             "last consistent state",
+    )
+    fsck.add_argument("--checkpoint-dir", required=True, metavar="DIR",
+                      help="checkpoint directory to verify")
+    fsck.add_argument("--repair", action="store_true",
+                      help="apply the repair policy instead of only "
+                           "reporting (damaged artifacts move to "
+                           "quarantine/)")
+    fsck.add_argument("--json", action="store_true",
+                      help="emit the findings as JSON on stdout")
 
     export = sub.add_parser(
         "export",
@@ -194,7 +224,8 @@ def _command_run(args: argparse.Namespace) -> int:
             config,
             checkpoint_dir=args.checkpoint_dir,
             checkpoint_config=CheckpointConfig(
-                snapshot_every_slots=args.snapshot_every),
+                snapshot_every_slots=args.snapshot_every,
+                keep_snapshots=args.snapshot_keep),
             workers=args.workers,
         )
     else:
@@ -223,6 +254,8 @@ def _serial_checkpoint_problem(directory: str) -> str | None:
     """
     import pathlib
 
+    from repro.persist.journal import MAGIC
+
     path = pathlib.Path(directory)
     if not path.is_dir():
         return f"checkpoint directory {directory} does not exist"
@@ -230,9 +263,25 @@ def _serial_checkpoint_problem(directory: str) -> str | None:
     if not journal.exists():
         return (f"{directory} holds no campaign journal — "
                 "nothing to resume")
-    if journal.stat().st_size <= len(b"RPJ1"):
+    if journal.stat().st_size <= len(MAGIC):
         return (f"{directory} holds an empty journal — the campaign "
                 "never recorded progress; run it from scratch")
+    return None
+
+
+def _preflight_problem(directory: str) -> str | None:
+    """Why the integrity pre-flight refuses to resume (or None).
+
+    Benign crash residue passes; mid-file corruption and
+    cross-reference breaks block the resume with a pointer at
+    ``repro fsck --repair``.
+    """
+    from repro.persist.integrity import IntegrityError, assert_resumable
+
+    try:
+        assert_resumable(directory)
+    except IntegrityError as exc:
+        return str(exc)
     return None
 
 
@@ -255,6 +304,9 @@ def _command_resume(args: argparse.Namespace) -> int:
             problem = _serial_checkpoint_problem(args.checkpoint_dir)
             if problem is not None:
                 return _fail(problem)
+        problem = _preflight_problem(args.checkpoint_dir)
+        if problem is not None:
+            return _fail(problem)
         print(f"repro: resuming campaign from {args.checkpoint_dir}...",
               file=sys.stderr)
         started = time.time()
@@ -302,11 +354,19 @@ def _command_serve(args: argparse.Namespace) -> int:
     from repro.service import ServiceConfig, resume_service, supervise
 
     checkpoint_config = CheckpointConfig(
-        snapshot_every_slots=args.snapshot_every)
+        snapshot_every_slots=args.snapshot_every,
+        keep_snapshots=args.snapshot_keep)
     started = time.time()
     try:
         if args.resume:
+            from repro.service import is_service_checkpoint
+
             problem = _serial_checkpoint_problem(args.checkpoint_dir)
+            # The pre-flight runs only on directories that really are
+            # ours: resume_service owns the wrong-kind diagnostics.
+            if problem is None \
+                    and is_service_checkpoint(args.checkpoint_dir):
+                problem = _preflight_problem(args.checkpoint_dir)
             if problem is not None:
                 return _fail(problem)
             print(f"repro: resuming service from "
@@ -335,6 +395,55 @@ def _command_serve(args: argparse.Namespace) -> int:
     print(f"repro: done in {time.time() - started:.0f}s",
           file=sys.stderr)
     print(_render_service(result))
+    return 0
+
+
+def _command_fsck(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+    import pathlib
+
+    from repro.persist.integrity import (
+        UnrepairableError,
+        repair_checkpoint,
+        scan_checkpoint,
+    )
+
+    directory = pathlib.Path(args.checkpoint_dir)
+    if not directory.is_dir():
+        return _fail(
+            f"checkpoint directory {args.checkpoint_dir} does not exist")
+    report = scan_checkpoint(directory)
+    if not args.repair:
+        if args.json:
+            print(json.dumps({
+                "directory": str(report.directory),
+                "kind": report.checkpoint_kind,
+                "clean": report.clean,
+                "findings": [dataclasses.asdict(f)
+                             for f in report.findings],
+            }, sort_keys=True, indent=2))
+        else:
+            print(report.render())
+        if report.unrepairable:
+            return 2
+        return 0 if report.clean else 1
+    try:
+        repair = repair_checkpoint(directory)
+    except UnrepairableError as exc:
+        return _fail(str(exc))
+    if args.json:
+        assert repair.after is not None
+        print(json.dumps({
+            "directory": str(repair.directory),
+            "kind": repair.after.checkpoint_kind,
+            "actions": repair.actions,
+            "clean": repair.after.clean,
+            "findings": [dataclasses.asdict(f)
+                         for f in repair.after.findings],
+        }, sort_keys=True, indent=2))
+    else:
+        print(repair.render())
     return 0
 
 
@@ -444,6 +553,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _command_run,
         "resume": _command_resume,
         "serve": _command_serve,
+        "fsck": _command_fsck,
         "export": _command_export,
         "collisions": _command_collisions,
         "presets": _command_presets,

@@ -23,6 +23,7 @@ from repro.parallel.planner import (
 )
 from repro.parallel.worker import (
     ShardResult,
+    ShardResultError,
     load_shard_result,
     resume_shard,
     run_shard,
@@ -45,6 +46,7 @@ __all__ = [
     "ShardDivergence",
     "ShardPlan",
     "ShardResult",
+    "ShardResultError",
     "ShardSpec",
     "is_parallel_checkpoint",
     "load_shard_result",

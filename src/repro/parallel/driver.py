@@ -128,6 +128,14 @@ def _read_manifest(directory: Path) -> tuple[ExperimentConfig, int]:
     return config, int(meta["workers"])
 
 
+def _shard_has_journal(shard_dir: Path) -> bool:
+    """Whether a shard directory holds any journaled history."""
+    from repro.persist.journal import MAGIC as JOURNAL_MAGIC
+
+    journal = shard_dir / "journal.bin"
+    return journal.exists() and journal.stat().st_size >= len(JOURNAL_MAGIC)
+
+
 def _gather(futures: dict) -> tuple[list[ShardResult], dict[int, Exception]]:
     """Wait for every pool future; collect results and crashes."""
     results: list[ShardResult] = []
@@ -245,8 +253,11 @@ def resume_parallel_campaign(
 
     Finished shards load straight from their ``result.pkl``; crashed
     shards re-execute from their newest snapshot under journal replay
-    verification, exactly like a serial resume.  Crash injection is
-    not re-armed — a restarted supervisor is a new process.
+    verification, exactly like a serial resume; shards with no journal
+    at all (never started, or quarantined wholesale by ``repro fsck
+    --repair``) rerun from scratch — determinism makes the rerun
+    indistinguishable from the lost original.  Crash injection is not
+    re-armed — a restarted supervisor is a new process.
     """
     directory = Path(checkpoint_dir)
     config, workers = _read_manifest(directory)
@@ -254,28 +265,46 @@ def resume_parallel_campaign(
                   for shard_id in range(workers)}
     done: dict[int, ShardResult] = {}
     pending: list[int] = []
+    fresh: list[int] = []
     for shard_id, shard_dir in shard_dirs.items():
         result = load_shard_result(shard_dir)
         if result is not None:
             done[shard_id] = result
-        else:
+        elif _shard_has_journal(shard_dir):
             pending.append(shard_id)
+        else:
+            # No journal at all: the shard never started, or fsck
+            # quarantined its unrecoverable checkpoint.  Shards are
+            # deterministic full replicas, so rerunning from scratch
+            # reproduces exactly what the lost shard would have sent.
+            fresh.append(shard_id)
 
     shard_results: list[ShardResult] = list(done.values())
     state0 = None
     futures: dict = {}
     pool = None
     try:
-        pooled_ids = [shard_id for shard_id in pending if shard_id != 0]
-        if pooled_ids:
-            pool = ProcessPoolExecutor(max_workers=len(pooled_ids),
-                                       mp_context=_pool_context())
-            for shard_id in pooled_ids:
+        pooled_resume = [sid for sid in pending if sid != 0]
+        pooled_fresh = [sid for sid in fresh if sid != 0]
+        if pooled_resume or pooled_fresh:
+            pool = ProcessPoolExecutor(
+                max_workers=len(pooled_resume) + len(pooled_fresh),
+                mp_context=_pool_context())
+            for shard_id in pooled_resume:
                 payload = (shard_dirs[shard_id], checkpoint_config)
                 futures[pool.submit(child_resume_shard, payload)] = shard_id
+            for shard_id in pooled_fresh:
+                payload = (config, shard_id, workers, shard_dirs[shard_id],
+                           checkpoint_config, False)
+                futures[pool.submit(child_run_shard, payload)] = shard_id
         if 0 in pending:
             result0, state0 = resume_shard(
                 shard_dirs[0], checkpoint_config=checkpoint_config)
+            shard_results.append(result0)
+        elif 0 in fresh:
+            result0, state0 = run_shard(
+                config, 0, workers, shard_dir=shard_dirs[0],
+                checkpoint_config=checkpoint_config)
             shard_results.append(result0)
         pooled, crashed = _gather(futures)
         shard_results.extend(pooled)

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import os
 import pickle
+import struct
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -38,6 +40,20 @@ from repro.persist.campaign import (
 from repro.parallel.planner import ShardSpec
 
 RESULT_FILE = "result.pkl"
+
+#: ``result.pkl`` container: MAGIC + length:u32 + crc32:u32 + payload,
+#: with the CRC keyed by the file name so a transplanted result file
+#: fails verification (mirrors the snapshot store's format).
+RESULT_MAGIC = b"RPR1"
+_RESULT_HEADER = struct.Struct("!II")
+
+
+class ShardResultError(RuntimeError):
+    """A shard's ``result.pkl`` exists but cannot be trusted."""
+
+
+def _result_crc(payload: bytes) -> int:
+    return zlib.crc32(payload, zlib.crc32(RESULT_FILE.encode("utf-8")))
 
 
 @dataclass
@@ -117,8 +133,9 @@ def run_shard(
     if shard_dir is not None:
         directory = Path(shard_dir)
         journal_path = directory / "journal.bin"
+        from repro.persist.journal import MAGIC as JOURNAL_MAGIC
         if journal_path.exists() \
-                and journal_path.stat().st_size > len(b"RPJ1"):
+                and journal_path.stat().st_size > len(JOURNAL_MAGIC):
             raise CheckpointError(
                 f"{directory} already holds a shard journal; resume it "
                 "instead of restarting"
@@ -153,21 +170,63 @@ def resume_shard(
     return _drive_shard(state, checkpointer, shard_dir)
 
 
+def verify_shard_result_bytes(data: bytes) -> bytes:
+    """Validate a ``result.pkl``'s container; returns the payload.
+
+    Raises :class:`ShardResultError` on a bad header, a length that
+    disagrees with the file size, or a CRC mismatch.
+    """
+    header_end = len(RESULT_MAGIC) + _RESULT_HEADER.size
+    if len(data) < header_end or data[:len(RESULT_MAGIC)] != RESULT_MAGIC:
+        raise ShardResultError("bad result.pkl header")
+    length, crc = _RESULT_HEADER.unpack_from(data, len(RESULT_MAGIC))
+    if len(data) != header_end + length:
+        raise ShardResultError(
+            f"result.pkl declares {length} payload bytes but carries "
+            f"{len(data) - header_end}")
+    payload = data[header_end:]
+    if _result_crc(payload) != crc:
+        raise ShardResultError("result.pkl CRC mismatch (bit rot)")
+    return payload
+
+
 def load_shard_result(shard_dir: str | Path) -> ShardResult | None:
-    """A finished shard's result, or None if it never completed."""
+    """A finished shard's result, or None if it never completed.
+
+    A present-but-corrupt result is a hard :class:`ShardResultError`,
+    never a silent fallback: ``repro fsck --repair`` quarantines it,
+    after which the shard resumes from its snapshots instead.
+    """
     path = result_path(shard_dir)
     if not path.exists():
         return None
-    with path.open("rb") as handle:
-        return pickle.load(handle)
+    try:
+        payload = verify_shard_result_bytes(path.read_bytes())
+        result = pickle.loads(payload)
+    except ShardResultError as exc:
+        raise ShardResultError(
+            f"{path}: {exc}; run `repro fsck --repair`") from None
+    except Exception as exc:
+        raise ShardResultError(
+            f"{path} failed to unpickle; run `repro fsck --repair`"
+        ) from exc
+    if not isinstance(result, ShardResult):
+        raise ShardResultError(
+            f"{path} does not hold a shard result; "
+            "run `repro fsck --repair`")
+    return result
 
 
 def _save_shard_result(shard_dir: str | Path, result: ShardResult) -> None:
     """Atomically persist the completion marker + merged inputs."""
     path = result_path(shard_dir)
+    payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
     tmp = path.with_suffix(".pkl.tmp")
     with tmp.open("wb") as handle:
-        pickle.dump(result, handle)
+        handle.write(RESULT_MAGIC)
+        handle.write(_RESULT_HEADER.pack(len(payload),
+                                         _result_crc(payload)))
+        handle.write(payload)
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, path)

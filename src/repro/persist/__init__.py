@@ -1,7 +1,14 @@
 """Durable progress for long campaigns: write-ahead journal,
-checksummed snapshots, and the crash-safe campaign driver."""
+checksummed snapshots, the crash-safe campaign driver, and the
+checkpoint-integrity scanner/repair engine behind ``repro fsck``."""
 
-from repro.persist.journal import Journal, JournalError, canonical, encode_record
+from repro.persist.journal import (
+    Journal,
+    JournalCorruption,
+    JournalError,
+    canonical,
+    encode_record,
+)
 from repro.persist.snapshot import SnapshotError, SnapshotStore
 from repro.persist.campaign import (
     CampaignCheckpointer,
@@ -12,19 +19,40 @@ from repro.persist.campaign import (
     resume_campaign,
     run_campaign,
 )
+from repro.persist.integrity import (
+    Finding,
+    IntegrityError,
+    IntegrityReport,
+    RepairReport,
+    UnrepairableError,
+    assert_resumable,
+    detect_checkpoint_kind,
+    repair_checkpoint,
+    scan_checkpoint,
+)
 
 __all__ = [
     "CampaignCheckpointer",
     "CampaignState",
     "CheckpointConfig",
     "CheckpointError",
+    "Finding",
+    "IntegrityError",
+    "IntegrityReport",
     "Journal",
+    "JournalCorruption",
     "JournalError",
+    "RepairReport",
     "ReplayDivergence",
     "SnapshotError",
     "SnapshotStore",
+    "UnrepairableError",
+    "assert_resumable",
     "canonical",
+    "detect_checkpoint_kind",
     "encode_record",
+    "repair_checkpoint",
     "resume_campaign",
     "run_campaign",
+    "scan_checkpoint",
 ]

@@ -1,0 +1,975 @@
+"""Checkpoint integrity: scan, classify, quarantine, self-heal.
+
+This module is the trust boundary between a checkpoint directory and
+the code that resumes from it.  :func:`scan_checkpoint` walks every
+artifact a campaign, parallel campaign, or continuous service leaves
+on disk — journals, snapshots, window deltas, manifests, aggregates,
+shard results — and classifies each one:
+
+* **clean** — bytes verify and cross-references hold;
+* **torn-tail** — a journal's valid prefix is followed only by
+  unparseable bytes: the ordinary power-cut signature, safe to
+  truncate because the resumed run regenerates the lost tail
+  deterministically;
+* **corrupt** — mid-file damage (CRC mismatch with valid frames
+  surviving past it, bad header, undecodable payload): bit rot, never
+  auto-truncated;
+* **orphaned** — an artifact no journal record references (a snapshot
+  saved in the crash window before its marker was appended);
+* **inconsistent** — artifacts that are individually fine but disagree
+  (a manifest claiming windows the journal never completed);
+* **stale-tmp** — a ``.tmp`` leftover of an interrupted atomic write.
+
+:func:`repair_checkpoint` applies the matching repair policy: torn
+tails truncate; corrupt artifacts move to ``quarantine/`` with a
+machine-readable reason file; recovery then rolls back to the newest
+snapshot boundary all surviving artifacts agree on and deterministic
+replay regenerates everything lost.  When no consistent state survives
+— every snapshot corrupt, the config unrecoverable — repair refuses
+loudly (:class:`UnrepairableError`, CLI exit 2) rather than fabricate
+a resumable-looking state.
+
+The contract, enforced by ``tests/persist/test_corruption_properties``:
+for any single injected corruption, resume after ``repro fsck
+--repair`` reproduces the byte-identical campaign result, or fails
+loudly.  Silent divergence is the one forbidden outcome.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.persist.journal import Journal, JournalScan, rewrite
+from repro.persist.snapshot import verify_bytes as verify_snapshot_bytes
+
+QUARANTINE_DIR = "quarantine"
+
+#: artifact kinds a finding can point at.
+KINDS = ("journal", "snapshot", "delta", "manifest", "aggregate",
+         "result", "config", "tmp", "directory")
+
+#: classification states.
+STATUSES = ("clean", "torn-tail", "corrupt", "orphaned", "inconsistent",
+            "stale-tmp")
+
+#: repair actions; "none" marks clean artifacts, "unrepairable" marks
+#: damage no policy can heal.
+REPAIRS = ("none", "truncate", "quarantine", "rebuild", "rerun", "sweep",
+           "unrepairable")
+
+
+class IntegrityError(RuntimeError):
+    """A checkpoint directory cannot be trusted for resume."""
+
+
+class UnrepairableError(IntegrityError):
+    """No consistent state survives — repair refuses to fabricate one."""
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One artifact's classification."""
+
+    #: path relative to the checkpoint directory.
+    artifact: str
+    kind: str
+    status: str
+    detail: str = ""
+    #: the repair action fsck --repair would take.
+    repair: str = "none"
+
+    @property
+    def damaged(self) -> bool:
+        return self.status != "clean"
+
+    @property
+    def fatal(self) -> bool:
+        """Whether resume must not proceed before repair.
+
+        Torn tails and stale temporaries are ordinary crash residue the
+        resume path already heals; orphaned snapshots/deltas are crash
+        artifacts recovery simply ignores.  Everything else — mid-file
+        corruption, cross-reference breaks — is fatal.
+        """
+        return self.status in ("corrupt", "inconsistent")
+
+    def render(self) -> str:
+        line = f"{self.status:<12} {self.kind:<9} {self.artifact}"
+        if self.detail:
+            line += f" — {self.detail}"
+        if self.repair != "none":
+            line += f" [repair: {self.repair}]"
+        return line
+
+
+@dataclass(slots=True)
+class IntegrityReport:
+    """Everything one scan established about a checkpoint directory."""
+
+    directory: Path
+    #: "campaign" | "parallel" | "service" | "shard" | "empty" | "unknown"
+    checkpoint_kind: str
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def damaged(self) -> list[Finding]:
+        return [f for f in self.findings if f.damaged]
+
+    @property
+    def fatal(self) -> list[Finding]:
+        return [f for f in self.findings if f.fatal]
+
+    @property
+    def unrepairable(self) -> list[Finding]:
+        return [f for f in self.findings if f.repair == "unrepairable"]
+
+    @property
+    def clean(self) -> bool:
+        return not self.damaged
+
+    def render(self) -> str:
+        lines = [f"{self.directory}: {self.checkpoint_kind} checkpoint, "
+                 f"{len(self.findings)} artifact(s) scanned, "
+                 f"{len(self.damaged)} damaged"]
+        for finding in self.findings:
+            if finding.damaged:
+                lines.append("  " + finding.render())
+        return "\n".join(lines)
+
+
+# -- kind detection -----------------------------------------------------------
+
+
+def detect_checkpoint_kind(directory: str | Path) -> str:
+    """What flavour of checkpoint a directory holds.
+
+    Detection is structural and deliberately redundant: a corrupt
+    manifest must not hide the shard directories that prove a parallel
+    campaign lives here.
+    """
+    directory = Path(directory)
+    if not directory.exists():
+        return "empty"
+    manifest = directory / "manifest.json"
+    if manifest.exists():
+        try:
+            meta = json.loads(manifest.read_bytes())
+        except ValueError:
+            meta = None
+        if isinstance(meta, dict):
+            if meta.get("format") == "repro.parallel.v1":
+                return "parallel"
+            if meta.get("kind") == "service":
+                return "service"
+    if any(directory.glob("shard-*")):
+        return "parallel"
+    if (directory / "windows").is_dir() or manifest.exists():
+        return "service"
+    if (directory / "journal.bin").exists() \
+            or any(directory.glob("snapshot-*.bin")):
+        return "campaign"
+    return "empty" if not any(directory.iterdir()) else "unknown"
+
+
+# -- scanning -----------------------------------------------------------------
+
+
+def scan_checkpoint(directory: str | Path) -> IntegrityReport:
+    """Scan a whole checkpoint directory; never modifies anything."""
+    directory = Path(directory)
+    kind = detect_checkpoint_kind(directory)
+    report = IntegrityReport(directory=directory, checkpoint_kind=kind)
+    if kind == "empty":
+        return report
+    if kind == "unknown":
+        report.findings.append(Finding(
+            ".", "directory", "inconsistent",
+            "directory is non-empty but holds no recognizable "
+            "checkpoint", repair="unrepairable"))
+        return report
+    if kind == "parallel":
+        _scan_parallel(directory, report)
+    elif kind == "service":
+        _scan_service(directory, report)
+    else:
+        _scan_campaign_dir(directory, report, prefix="")
+    return report
+
+
+def _scan_journal(directory: Path, report: IntegrityReport,
+                  prefix: str) -> JournalScan:
+    """Scan one journal.bin; returns the raw scan for cross-refs."""
+    path = directory / "journal.bin"
+    rel = prefix + "journal.bin"
+    scan = Journal.scan(path)
+    if not path.exists():
+        report.findings.append(Finding(
+            rel, "journal", "inconsistent",
+            "journal is missing", repair="unrepairable"))
+    elif scan.clean:
+        report.findings.append(Finding(rel, "journal", "clean"))
+    elif scan.damage == "torn":
+        report.findings.append(Finding(
+            rel, "journal", "torn-tail", scan.detail, repair="truncate"))
+    else:
+        # Mid-file corruption or a rotted magic.  The valid prefix (or
+        # the frames salvaged past a bad magic) can be rebuilt into a
+        # clean journal; replay regenerates the rest.
+        salvage = scan.records
+        repair = "quarantine" if salvage else "unrepairable"
+        report.findings.append(Finding(
+            rel, "journal", "corrupt", scan.detail, repair=repair))
+    return scan
+
+
+def _scan_snapshots(directory: Path, report: IntegrityReport,
+                    scan: JournalScan, prefix: str) -> list[str]:
+    """Scan snapshot files against the journal's markers.
+
+    Returns the names of loadable snapshots, newest first.
+    """
+    referenced = [r["file"] for r in scan.records
+                  if r.get("type") == "snapshot" and "file" in r]
+    on_disk = sorted(p.name for p in directory.glob("snapshot-*.bin"))
+    loadable: list[str] = []
+    for name in on_disk:
+        rel = prefix + name
+        try:
+            verify_snapshot_bytes(name, (directory / name).read_bytes())
+        except Exception as exc:
+            report.findings.append(Finding(
+                rel, "snapshot", "corrupt", str(exc), repair="quarantine"))
+            continue
+        if name not in referenced:
+            report.findings.append(Finding(
+                rel, "snapshot", "orphaned",
+                "no journal record references this snapshot (crash "
+                "between save and marker append)", repair="quarantine"))
+            continue
+        report.findings.append(Finding(rel, "snapshot", "clean"))
+        loadable.append(name)
+    loadable.sort(reverse=True)
+    # A marker pointing at a missing snapshot is normal for pruned old
+    # generations, and even a missing *newest* snapshot is healed by
+    # falling back to an older loadable one (recovery walks markers
+    # newest-first) — so a missing reference is benign as long as any
+    # loadable snapshot survives.
+    newest_loadable = loadable[0] if loadable else ""
+    for name in referenced:
+        if name in on_disk or name <= newest_loadable:
+            continue
+        if loadable:
+            report.findings.append(Finding(
+                prefix + name, "snapshot", "orphaned",
+                "journal references this snapshot but the file is "
+                "missing; recovery falls back to an older snapshot"))
+        else:
+            report.findings.append(Finding(
+                prefix + name, "snapshot", "inconsistent",
+                "journal references this snapshot but the file is "
+                "missing and no snapshot survives to fall back to",
+                repair="unrepairable"))
+    for tmp in sorted(directory.glob("snapshot-*.bin.tmp")):
+        report.findings.append(Finding(
+            prefix + tmp.name, "tmp", "stale-tmp",
+            "interrupted snapshot write", repair="sweep"))
+    return loadable
+
+
+def _scan_campaign_dir(directory: Path, report: IntegrityReport,
+                       prefix: str) -> tuple[JournalScan, list[str]]:
+    """The shared journal + snapshot scan every checkpoint kind rides."""
+    scan = _scan_journal(directory, report, prefix)
+    loadable = _scan_snapshots(directory, report, scan, prefix)
+    had_snapshots = (any(r.get("type") == "snapshot"
+                         for r in scan.records)
+                     or any(directory.glob("snapshot-*.bin")))
+    if had_snapshots and not loadable:
+        report.findings.append(Finding(
+            prefix.rstrip("/") or ".", "directory", "inconsistent",
+            "journal holds history but no snapshot is loadable — "
+            "nothing to resume from", repair="unrepairable"))
+    return scan, loadable
+
+
+def _scan_service(directory: Path, report: IntegrityReport) -> None:
+    """Service checkpoint: campaign artifacts + deltas + manifest +
+    aggregate, cross-checked against the journal's window records."""
+    scan, loadable = _scan_campaign_dir(directory, report, prefix="")
+    windows = directory / "windows"
+    # Window records carry the delta CRCs the journal committed to.
+    window_records = {r["window"]: r for r in scan.records
+                      if r.get("type") == "window" and "window" in r}
+    start = next((r for r in scan.records
+                  if r.get("type") == "phase"
+                  and r.get("name") == "service_start"), None)
+    on_disk: dict[int, Path] = {}
+    if windows.is_dir():
+        for path in sorted(windows.glob("delta-*.json")):
+            try:
+                index = int(path.stem.split("-")[1])
+            except (IndexError, ValueError):
+                report.findings.append(Finding(
+                    f"windows/{path.name}", "delta", "corrupt",
+                    "unparseable delta file name", repair="quarantine"))
+                continue
+            on_disk[index] = path
+        for tmp in sorted(windows.glob("delta-*.json.tmp")):
+            report.findings.append(Finding(
+                f"windows/{tmp.name}", "tmp", "stale-tmp",
+                "interrupted delta write", repair="sweep"))
+    damaged_windows: list[int] = []
+    for index, path in sorted(on_disk.items()):
+        rel = f"windows/{path.name}"
+        record = window_records.get(index)
+        problem = _delta_problem(index, path.read_bytes(), record)
+        if problem is None and record is None:
+            # Crash between delta write and journal append: the next
+            # live execution of this window rewrites the file anyway.
+            report.findings.append(Finding(
+                rel, "delta", "orphaned",
+                "no journal window record references this delta "
+                "(crash between delta write and journal append)",
+                repair="quarantine"))
+        elif problem is None:
+            report.findings.append(Finding(rel, "delta", "clean"))
+        elif record is None:
+            report.findings.append(Finding(
+                rel, "delta", "orphaned",
+                f"uncommitted delta is damaged ({problem}); the window "
+                "re-executes live and rewrites it", repair="quarantine"))
+        else:
+            repair = _delta_repair(index, scan, loadable)
+            report.findings.append(Finding(
+                rel, "delta", "corrupt", problem, repair=repair))
+            if repair == "quarantine":
+                damaged_windows.append(index)
+    newest_floor = (_snapshot_floor(loadable[0], scan)
+                    if loadable else None)
+    for index, record in sorted(window_records.items()):
+        if index in on_disk:
+            continue
+        rel = f"windows/{record.get('file', f'delta-{index:04d}.json')}"
+        if newest_floor is not None and newest_floor <= index:
+            # Resume replays this window from the newest snapshot and
+            # rewrites the file byte-identically; no repair needed.
+            report.findings.append(Finding(
+                rel, "delta", "orphaned",
+                "journal committed this window but its delta file is "
+                "missing; replay regenerates it"))
+        elif any(_snapshot_floor(name, scan) <= index
+                 for name in loadable):
+            # Only an older snapshot predates the window: roll back.
+            report.findings.append(Finding(
+                rel, "delta", "inconsistent",
+                "journal committed this window but its delta file is "
+                "missing; rolling back to a snapshot that regenerates "
+                "it", repair="quarantine"))
+            damaged_windows.append(index)
+        else:
+            report.findings.append(Finding(
+                rel, "delta", "inconsistent",
+                "journal committed this window but its delta file is "
+                "missing and no snapshot old enough to regenerate it "
+                "survives", repair="unrepairable"))
+    # Rolling back past a damaged-but-regenerable window means
+    # quarantining every snapshot taken after it, so recovery falls
+    # through to one that replays the window afresh.
+    if damaged_windows:
+        rollback_to = min(damaged_windows)
+        for name in loadable:
+            if _snapshot_floor(name, scan) > rollback_to:
+                report.findings.append(Finding(
+                    name, "snapshot", "inconsistent",
+                    f"postdates damaged window {rollback_to}; rolled "
+                    "back so replay can regenerate the window",
+                    repair="quarantine"))
+    _scan_service_manifest(directory, report, scan, window_records,
+                           start, loadable)
+    _scan_service_aggregate(directory, report, scan, loadable)
+
+
+def _delta_problem(index: int, data: bytes, record) -> str | None:
+    """Why one delta's bytes cannot be trusted, or None when clean."""
+    import zlib
+
+    try:
+        payload = json.loads(data)
+    except ValueError:
+        return "undecodable JSON"
+    if not isinstance(payload, dict):
+        return "not a JSON object"
+    if payload.get("window") != index:
+        return (f"belongs to window {payload.get('window')!r} — swapped "
+                "or transplanted delta file")
+    if record is not None and zlib.crc32(data) != record.get("crc"):
+        return "CRC disagrees with the journal's window record"
+    return None
+
+
+def _delta_repair(index: int, scan: JournalScan,
+                  loadable: list[str]) -> str:
+    """Whether rolling back can regenerate window ``index``.
+
+    A damaged delta is repairable iff some loadable snapshot was taken
+    at or before that window started: quarantine the delta (and any
+    snapshot taken after it) and replay regenerates the bytes.  The
+    snapshot *floor* — the first window replay would re-emit — is
+    derived from the snapshot marker's position in the journal: every
+    window record after the marker is re-executed.
+    """
+    for name in sorted(loadable):  # oldest first: any one suffices
+        if _snapshot_floor(name, scan) <= index:
+            return "quarantine"
+    return "unrepairable"
+
+
+def _snapshot_floor(name: str, scan: JournalScan) -> int:
+    """The first window a replay from snapshot ``name`` regenerates."""
+    floor = 0
+    for record in scan.records:
+        if record.get("type") == "window":
+            floor = record["window"] + 1
+        elif record.get("type") == "snapshot" \
+                and record.get("file") == name:
+            return floor
+    return floor
+
+
+def _scan_service_manifest(directory: Path, report: IntegrityReport,
+                           scan: JournalScan, window_records: dict,
+                           start, loadable: list[str]) -> None:
+    rel = "manifest.json"
+    path = directory / rel
+    if not path.exists():
+        report.findings.append(Finding(
+            rel, "manifest", "inconsistent",
+            "service manifest is missing",
+            repair="rebuild" if loadable else "unrepairable"))
+        return
+    try:
+        manifest = json.loads(path.read_bytes())
+        if not isinstance(manifest, dict):
+            raise ValueError("not an object")
+    except ValueError:
+        report.findings.append(Finding(
+            rel, "manifest", "corrupt", "undecodable manifest",
+            repair="rebuild" if loadable else "unrepairable"))
+        return
+    problems = []
+    if manifest.get("kind") != "service":
+        problems.append(f"kind is {manifest.get('kind')!r}")
+    if start is not None:
+        if manifest.get("seed") != start.get("seed"):
+            problems.append(
+                f"seed {manifest.get('seed')!r} disagrees with the "
+                f"journal's {start.get('seed')!r}")
+        if manifest.get("windows") != start.get("windows"):
+            problems.append(
+                f"window count {manifest.get('windows')!r} disagrees "
+                f"with the journal's {start.get('windows')!r}")
+    completed = manifest.get("completed")
+    if not isinstance(completed, list):
+        problems.append("completed-window index is not a list")
+    else:
+        for entry in completed:
+            if (not isinstance(entry, list) or len(entry) != 3):
+                problems.append(f"malformed completed entry {entry!r}")
+                break
+            index, name, crc = entry
+            record = window_records.get(index)
+            if record is None:
+                # The manifest claims a window the journal never
+                # committed: the manifest is *ahead* of the journal,
+                # which no crash ordering can produce.
+                problems.append(
+                    f"claims window {index} which the journal never "
+                    "committed")
+            elif record.get("file") != name or record.get("crc") != crc:
+                problems.append(
+                    f"window {index} entry disagrees with the journal")
+        # Lag (journal ahead of manifest) is the normal crash window
+        # between the window record append and the manifest rewrite —
+        # replay regenerates the manifest, so it is not flagged.
+    if problems:
+        report.findings.append(Finding(
+            rel, "manifest", "inconsistent", "; ".join(problems),
+            repair="rebuild" if loadable else "unrepairable"))
+    else:
+        report.findings.append(Finding(rel, "manifest", "clean"))
+
+
+def _scan_service_aggregate(directory: Path, report: IntegrityReport,
+                            scan: JournalScan,
+                            loadable: list[str]) -> None:
+    import zlib
+
+    rel = "aggregate.json"
+    path = directory / rel
+    committed = next((r for r in reversed(scan.records)
+                      if r.get("type") == "aggregate"), None)
+    if not path.exists():
+        if committed is not None:
+            # Resuming a finished service re-runs the finish stage and
+            # rewrites the aggregate under replay verification.
+            report.findings.append(Finding(
+                rel, "aggregate", "orphaned",
+                "journal committed the final aggregate but the file is "
+                "missing; resume regenerates it"
+                if loadable else
+                "journal committed the final aggregate but the file "
+                "and every snapshot are gone"))
+        return
+    data = path.read_bytes()
+    problem = None
+    try:
+        payload = json.loads(data)
+        if not isinstance(payload, dict) \
+                or payload.get("kind") != "service-aggregate":
+            problem = "not a service aggregate"
+    except ValueError:
+        problem = "undecodable JSON"
+    if problem is None and committed is not None \
+            and zlib.crc32(data) != committed.get("crc"):
+        problem = "CRC disagrees with the journal's aggregate record"
+    if problem is None and committed is None:
+        # Crash between write_aggregate and the journal's aggregate
+        # record: finishing the resumed service rewrites the file.
+        report.findings.append(Finding(
+            rel, "aggregate", "orphaned",
+            "journal never committed this aggregate (crash between "
+            "write and journal append)", repair="quarantine"))
+    elif problem is not None:
+        # Quarantine + resume regenerates the aggregate via the finish
+        # stage, provided any snapshot survives to resume from.
+        report.findings.append(Finding(
+            rel, "aggregate", "corrupt", problem,
+            repair="quarantine" if loadable else "unrepairable"))
+    else:
+        report.findings.append(Finding(rel, "aggregate", "clean"))
+
+
+def _scan_parallel(directory: Path, report: IntegrityReport) -> None:
+    """Parallel checkpoint: manifest + config + every shard tree."""
+    shard_dirs = sorted(directory.glob("shard-*"))
+    workers = _scan_parallel_manifest(directory, report, shard_dirs)
+    for shard_dir in shard_dirs:
+        if not shard_dir.is_dir():
+            report.findings.append(Finding(
+                shard_dir.name, "directory", "inconsistent",
+                "shard entry is not a directory", repair="quarantine"))
+            continue
+        _scan_shard(shard_dir, report, prefix=shard_dir.name + "/")
+    if workers is not None:
+        from repro.parallel.worker import shard_dir_name
+
+        for shard_id in range(workers):
+            expected = directory / shard_dir_name(shard_id)
+            if not expected.exists():
+                # Normal before a shard's first append — and after a
+                # wholesale quarantine; resume reruns it from scratch.
+                report.findings.append(Finding(
+                    expected.name, "directory", "orphaned",
+                    "shard directory missing; resume reruns this "
+                    "shard from scratch", repair="rerun"))
+
+
+def _scan_parallel_manifest(directory: Path, report: IntegrityReport,
+                            shard_dirs: list[Path]) -> int | None:
+    """manifest.json + config.pkl; returns the worker count if known."""
+    import pickle
+
+    rebuildable = any((d / "journal.bin").exists() for d in shard_dirs)
+    workers = None
+    rel = "manifest.json"
+    path = directory / rel
+    if not path.exists():
+        report.findings.append(Finding(
+            rel, "manifest", "inconsistent",
+            "parallel manifest is missing",
+            repair="rebuild" if rebuildable else "unrepairable"))
+    else:
+        try:
+            meta = json.loads(path.read_bytes())
+            if not isinstance(meta, dict) \
+                    or meta.get("format") != "repro.parallel.v1" \
+                    or not isinstance(meta.get("workers"), int):
+                raise ValueError("malformed")
+        except ValueError:
+            report.findings.append(Finding(
+                rel, "manifest", "corrupt",
+                "undecodable or malformed parallel manifest",
+                repair="rebuild" if rebuildable else "unrepairable"))
+        else:
+            workers = meta["workers"]
+            if len(shard_dirs) > workers:
+                report.findings.append(Finding(
+                    rel, "manifest", "inconsistent",
+                    f"manifest declares {workers} workers but "
+                    f"{len(shard_dirs)} shard directories exist",
+                    repair="unrepairable"))
+            else:
+                report.findings.append(Finding(rel, "manifest", "clean"))
+    rel = "config.pkl"
+    path = directory / rel
+    if not path.exists():
+        report.findings.append(Finding(
+            rel, "config", "inconsistent",
+            "pinned experiment config is missing",
+            repair="rebuild" if _any_shard_config(shard_dirs)
+            else "unrepairable"))
+        return workers
+    try:
+        from repro.experiments.config import ExperimentConfig
+
+        with path.open("rb") as handle:
+            config = pickle.load(handle)
+        if not isinstance(config, ExperimentConfig):
+            raise ValueError("not an ExperimentConfig")
+    except Exception as exc:
+        report.findings.append(Finding(
+            rel, "config", "corrupt", f"unloadable config ({exc})",
+            repair="rebuild" if _any_shard_config(shard_dirs)
+            else "unrepairable"))
+    else:
+        report.findings.append(Finding(rel, "config", "clean"))
+    return workers
+
+
+def _any_shard_config(shard_dirs: list[Path]):
+    """A (config, num_shards) pair recovered from any shard snapshot —
+    every shard pins the identical config, so any loadable snapshot can
+    rebuild the campaign-level manifest and config.pkl."""
+    from repro.persist.campaign import CampaignCheckpointer
+
+    for shard_dir in shard_dirs:
+        if not (shard_dir / "journal.bin").exists():
+            continue
+        try:
+            ckpt, state, _torn = CampaignCheckpointer.recover(shard_dir)
+            ckpt.close()
+        except Exception:
+            continue
+        if state is not None and hasattr(state, "config") \
+                and hasattr(state, "shard"):
+            return state.config, state.shard.num_shards
+    return None
+
+
+def _scan_shard(shard_dir: Path, report: IntegrityReport,
+                prefix: str) -> None:
+    from repro.parallel.worker import (
+        RESULT_FILE,
+        verify_shard_result_bytes,
+    )
+
+    journal = shard_dir / "journal.bin"
+    result = shard_dir / RESULT_FILE
+    if not journal.exists() and not result.exists():
+        report.findings.append(Finding(
+            prefix.rstrip("/"), "directory", "orphaned",
+            "shard directory holds no journal and no result; resume "
+            "reruns this shard from scratch", repair="rerun"))
+        return
+    scan, loadable = _scan_campaign_dir(shard_dir, report, prefix=prefix)
+    # Whole-shard damage is never fatal to the campaign: determinism
+    # means a rerun-from-scratch reproduces the lost shard exactly.
+    for index, finding in enumerate(report.findings):
+        if finding.artifact.startswith(prefix.rstrip("/")) \
+                and finding.repair == "unrepairable":
+            report.findings[index] = Finding(
+                finding.artifact, finding.kind, finding.status,
+                finding.detail + "; shard reruns from scratch",
+                repair="rerun")
+    if result.exists():
+        rel = prefix + RESULT_FILE
+        try:
+            verify_shard_result_bytes(result.read_bytes())
+        except Exception as exc:
+            report.findings.append(Finding(
+                rel, "result", "corrupt", str(exc),
+                repair="quarantine" if loadable else "rerun"))
+        else:
+            report.findings.append(Finding(rel, "result", "clean"))
+    for tmp in sorted(shard_dir.glob("result.pkl.tmp")):
+        report.findings.append(Finding(
+            prefix + tmp.name, "tmp", "stale-tmp",
+            "interrupted result write", repair="sweep"))
+
+
+# -- repair -------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class RepairReport:
+    """What one repair pass did."""
+
+    directory: Path
+    before: IntegrityReport
+    actions: list[str] = field(default_factory=list)
+    after: IntegrityReport | None = None
+
+    @property
+    def healthy(self) -> bool:
+        return self.after is not None and not self.after.fatal
+
+    def render(self) -> str:
+        lines = [f"{self.directory}: {len(self.actions)} repair action(s)"]
+        lines.extend("  " + action for action in self.actions)
+        if self.after is not None:
+            lines.append("post-repair: "
+                         + ("clean" if self.after.clean else
+                            f"{len(self.after.damaged)} finding(s) remain"))
+        return "\n".join(lines)
+
+
+class _Quarantine:
+    """The quarantine/ sub-directory and its reason files.
+
+    Quarantined files keep their name under a monotonic counter prefix
+    (``0003-journal.bin``) — deterministic across runs, no timestamps —
+    with a ``.reason.json`` sidecar recording why, machine-readably.
+    """
+
+    def __init__(self, root: Path) -> None:
+        self.root = root / QUARANTINE_DIR
+        self._counter = 0
+        if self.root.exists():
+            for path in self.root.iterdir():
+                head = path.name.split("-", 1)[0]
+                if head.isdigit():
+                    self._counter = max(self._counter, int(head) + 1)
+
+    def take(self, path: Path, rel: str, finding: Finding,
+             actions: list[str]) -> None:
+        """Move one file (or tree) into quarantine with its reason."""
+        if not path.exists():
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        flat = rel.replace("/", "__")
+        target = self.root / f"{self._counter:04d}-{flat}"
+        reason = self.root / f"{self._counter:04d}-{flat}.reason.json"
+        self._counter += 1
+        shutil.move(str(path), str(target))
+        reason.write_text(json.dumps({
+            "artifact": rel,
+            "kind": finding.kind,
+            "status": finding.status,
+            "detail": finding.detail,
+            "quarantined_as": target.name,
+        }, sort_keys=True, indent=2) + "\n")
+        actions.append(f"quarantined {rel} ({finding.status}: "
+                       f"{finding.detail})")
+
+
+def repair_checkpoint(directory: str | Path) -> RepairReport:
+    """Repair a damaged checkpoint in place.
+
+    Policy per finding, in scan order:
+
+    * ``truncate`` — cut a journal's torn tail at the last valid frame;
+    * ``sweep`` — delete ``.tmp`` leftovers;
+    * ``quarantine`` — move the damaged artifact to ``quarantine/``
+      (corrupt journals additionally get their valid prefix rewritten
+      in place, so the history that *did* verify survives);
+    * ``rebuild`` — regenerate a manifest/config from artifacts that
+      still verify;
+    * ``rerun`` — quarantine a whole shard tree so resume reruns it;
+    * ``unrepairable`` — raise :class:`UnrepairableError` (CLI exit 2).
+
+    Repairs cascade (quarantining a snapshot can orphan a marker), so
+    the engine rescans and repeats until the directory reaches a fixed
+    point, then verifies no fatal finding remains.
+    """
+    directory = Path(directory)
+    before = scan_checkpoint(directory)
+    report = RepairReport(directory=directory, before=before)
+    current = before
+    for _round in range(8):
+        if current.unrepairable:
+            raise UnrepairableError(_unrepairable_message(current))
+        if not current.damaged:
+            break
+        progressed = _apply_repairs(directory, current, report.actions)
+        current = scan_checkpoint(directory)
+        if not progressed:
+            break
+    report.after = current
+    if current.unrepairable:
+        raise UnrepairableError(_unrepairable_message(current))
+    if current.fatal:
+        raise UnrepairableError(_unrepairable_message(current))
+    return report
+
+
+def _unrepairable_message(report: IntegrityReport) -> str:
+    worst = (report.unrepairable or report.fatal)[0]
+    return (f"{report.directory}: no consistent state survives — "
+            f"{worst.artifact}: {worst.detail or worst.status}")
+
+
+def _apply_repairs(directory: Path, report: IntegrityReport,
+                   actions: list[str]) -> bool:
+    quarantine = _Quarantine(directory)
+    progressed = False
+    for finding in report.findings:
+        path = directory / finding.artifact
+        if finding.repair == "truncate":
+            records, torn = Journal.recover(path)
+            if torn:
+                actions.append(
+                    f"truncated torn tail of {finding.artifact} "
+                    f"({len(records)} record(s) kept)")
+                progressed = True
+        elif finding.repair == "sweep":
+            if path.exists():
+                path.unlink()
+                actions.append(f"swept stale temporary {finding.artifact}")
+                progressed = True
+        elif finding.repair == "quarantine":
+            if finding.kind == "journal":
+                progressed |= _repair_journal(path, finding, quarantine,
+                                              actions)
+            elif path.exists():
+                quarantine.take(path, finding.artifact, finding, actions)
+                progressed = True
+        elif finding.repair == "rerun":
+            shard_dir = directory / finding.artifact.split("/")[0]
+            if shard_dir.exists() and shard_dir.is_dir():
+                quarantine.take(shard_dir, shard_dir.name, finding,
+                                actions)
+                actions.append(
+                    f"shard {shard_dir.name} will rerun from scratch "
+                    "on resume")
+                progressed = True
+        elif finding.repair == "rebuild":
+            progressed |= _rebuild(directory, report, finding, actions)
+    return progressed
+
+
+def _repair_journal(path: Path, finding: Finding,
+                    quarantine: _Quarantine, actions: list[str]) -> bool:
+    """Quarantine a corrupt journal, then rewrite its valid prefix.
+
+    The frames that verified under the CRC chain are real history; the
+    rewrite turns them back into a clean journal so resume can roll
+    forward from the newest snapshot at or before the damage point.
+    Snapshot markers past the rewritten history now reference state the
+    journal no longer vouches for — the rescan flags those snapshots
+    as orphaned and the next round quarantines them, completing the
+    rollback to the last mutually consistent boundary.
+    """
+    if not path.exists():
+        return False
+    scan = Journal.scan(path)
+    rel = str(path.relative_to(quarantine.root.parent))
+    quarantine.take(path, rel, finding, actions)
+    rewrite(path, scan.records)
+    actions.append(
+        f"rebuilt {rel} from its valid prefix "
+        f"({len(scan.records)} record(s) kept, "
+        f"{scan.salvageable} unverifiable record(s) discarded)")
+    return True
+
+
+def _rebuild(directory: Path, report: IntegrityReport, finding: Finding,
+             actions: list[str]) -> bool:
+    """Regenerate a manifest/config from artifacts that still verify."""
+    if report.checkpoint_kind == "service":
+        return _rebuild_service_manifest(directory, finding, actions)
+    if report.checkpoint_kind == "parallel":
+        return _rebuild_parallel_meta(directory, finding, actions)
+    return False
+
+
+def _rebuild_service_manifest(directory: Path, finding: Finding,
+                              actions: list[str]) -> bool:
+    """Rewrite manifest.json from the newest loadable service state.
+
+    The snapshot's ``delta_index`` is exactly what the manifest
+    mirrors; replay rewrites the manifest again on the next window
+    boundary, so a rebuild only has to restore a *consistent* state,
+    not the latest one.
+    """
+    from repro.persist.campaign import CampaignCheckpointer
+    from repro.service.supervisor import (
+        ServiceState,
+        _write_service_manifest,
+    )
+
+    try:
+        ckpt, state, _torn = CampaignCheckpointer.recover(directory)
+        ckpt.close()
+    except Exception:
+        return False
+    if not isinstance(state, ServiceState):
+        return False
+    stale = (directory / "manifest.json")
+    if stale.exists():
+        quarantine = _Quarantine(directory)
+        quarantine.take(stale, "manifest.json", finding, actions)
+    _write_service_manifest(state, directory)
+    actions.append(
+        f"rebuilt manifest.json from snapshot state "
+        f"({len(state.delta_index)} completed window(s))")
+    return True
+
+
+def _rebuild_parallel_meta(directory: Path, finding: Finding,
+                           actions: list[str]) -> bool:
+    """Rewrite manifest.json / config.pkl from any shard's snapshot."""
+    import pickle
+
+    recovered = _any_shard_config(sorted(directory.glob("shard-*")))
+    if recovered is None:
+        return False
+    config, num_shards = recovered
+    quarantine = _Quarantine(directory)
+    if finding.kind == "manifest":
+        stale = directory / "manifest.json"
+        if stale.exists():
+            quarantine.take(stale, "manifest.json", finding, actions)
+        (directory / "manifest.json").write_text(json.dumps(
+            {"format": "repro.parallel.v1", "workers": num_shards,
+             "seed": config.seed}, indent=2) + "\n")
+        actions.append(
+            f"rebuilt manifest.json from shard snapshot "
+            f"({num_shards} workers, seed {config.seed})")
+    else:
+        stale = directory / "config.pkl"
+        if stale.exists():
+            quarantine.take(stale, "config.pkl", finding, actions)
+        with (directory / "config.pkl").open("wb") as handle:
+            pickle.dump(config, handle)
+        actions.append("rebuilt config.pkl from shard snapshot")
+    return True
+
+
+# -- resume preflight ---------------------------------------------------------
+
+
+def assert_resumable(directory: str | Path) -> IntegrityReport:
+    """The pre-flight scan ``repro resume`` / ``repro serve --resume``
+    run before touching a checkpoint.
+
+    Benign crash residue — torn tails, stale temporaries, orphaned
+    snapshots — passes: the resume path already heals those.  Fatal
+    findings (mid-file corruption, cross-reference breaks) raise
+    :class:`IntegrityError` pointing at ``repro fsck --repair``.
+    """
+    report = scan_checkpoint(directory)
+    fatal = report.fatal
+    if fatal:
+        worst = fatal[0]
+        raise IntegrityError(
+            f"{directory} failed the integrity pre-flight — "
+            f"{worst.artifact}: {worst.detail or worst.status} "
+            f"({len(fatal)} fatal finding(s) total); run "
+            "`repro fsck --repair --checkpoint-dir "
+            f"{directory}` to quarantine damage and roll back to the "
+            "last consistent state"
+        )
+    return report

@@ -11,14 +11,27 @@ the resumed run walks the same path the dead one did.
 Wire format (all integers big-endian)::
 
     file   := MAGIC record*
-    MAGIC  := b"RPJ1"
+    MAGIC  := b"RPJ2"
     record := length:u32 crc32:u32 payload[length]
 
-``payload`` is compact, sort-keyed JSON (a single object).  A record is
-valid only if its full frame is present *and* the CRC matches; recovery
-stops at the first invalid frame and truncates the file there, so a
-torn final write (the classic power-cut failure) is detected and
-discarded instead of being silently replayed.
+``payload`` is compact, sort-keyed JSON (a single object).  Frame CRCs
+are **chained**: record *i*'s stored CRC is ``crc32(payload_i,
+crc_{i-1})`` with ``crc_0 = crc32(MAGIC)``, so a record only validates
+in its exact position — a duplicated, reordered, or transplanted frame
+fails the chain even though its bytes are internally consistent.
+
+Damage classification (:meth:`Journal.scan`) distinguishes two cases:
+
+* **torn tail** — the valid prefix is followed only by bytes that
+  cannot be parsed as any frame: the classic power-cut failure.
+  Recovery truncates it and the resumed run regenerates the lost
+  record deterministically.
+* **mid-file corruption** — parseable frames survive *past* the
+  damage: bit rot inside the history, not an interrupted append.
+  Truncating here would silently discard valid records, so
+  :meth:`Journal.recover` refuses with :class:`JournalCorruption`;
+  ``repro fsck --repair`` quarantines the damaged file and rebuilds
+  the valid prefix (:mod:`repro.persist.integrity`).
 """
 
 from __future__ import annotations
@@ -27,21 +40,39 @@ import json
 import os
 import struct
 import zlib
+from dataclasses import dataclass
 from pathlib import Path
 
-MAGIC = b"RPJ1"
+MAGIC = b"RPJ2"
 _FRAME = struct.Struct("!II")
+
+#: chain seed for the first record's CRC.
+CHAIN_SEED = zlib.crc32(MAGIC)
+
+#: upper bound a resync probe accepts as a plausible frame length; far
+#: above any real record, far below the bogus lengths bit flips yield.
+_RESYNC_MAX_LENGTH = 1 << 24
 
 
 class JournalError(RuntimeError):
     """Raised on unusable journal files (bad magic, not a journal)."""
 
 
-def encode_record(record: dict) -> bytes:
-    """Frame one record: length + CRC32 + canonical JSON payload."""
+class JournalCorruption(JournalError):
+    """Mid-file journal damage that recovery must not auto-truncate:
+    valid records survive past the damaged region, so truncating would
+    silently discard history.  Repair goes through ``repro fsck``."""
+
+
+def encode_record(record: dict, chain: int = CHAIN_SEED) -> bytes:
+    """Frame one record: length + chained CRC32 + canonical JSON.
+
+    ``chain`` is the previous frame's stored CRC (:data:`CHAIN_SEED`
+    for the first record after the magic).
+    """
     payload = json.dumps(record, sort_keys=True,
                          separators=(",", ":")).encode("utf-8")
-    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+    return _FRAME.pack(len(payload), zlib.crc32(payload, chain)) + payload
 
 
 def canonical(record: dict) -> str:
@@ -54,38 +85,159 @@ def canonical(record: dict) -> str:
                       separators=(",", ":"))
 
 
+@dataclass(frozen=True, slots=True)
+class JournalScan:
+    """What one pass over a journal file established.
+
+    ``damage`` is ``"clean"``, ``"torn"`` (invalid tail, nothing
+    parseable after it) or ``"corrupt"`` (parseable frames survive past
+    the damage — or the magic itself is wrong).  ``valid_length`` is
+    the byte offset just past the last chain-valid record;
+    ``chain`` is the CRC chain value there, i.e. what the next append
+    must seed with.  ``salvageable`` counts plausible records found
+    past a damaged region (they are *not* trustworthy — resync cannot
+    verify the chain — but their presence proves the damage is
+    mid-file).
+    """
+
+    records: list[dict]
+    valid_length: int
+    chain: int
+    damage: str
+    detail: str = ""
+    salvageable: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return self.damage == "clean"
+
+
+def _parse_frames(data: bytes, start: int) -> tuple[list[dict], int, int,
+                                                    str]:
+    """Walk chained frames; returns (records, end, chain, fail-reason)."""
+    records: list[dict] = []
+    pos = start
+    chain = CHAIN_SEED
+    while pos < len(data):
+        if pos + _FRAME.size > len(data):
+            return records, pos, chain, "truncated frame header"
+        length, crc = _FRAME.unpack_from(data, pos)
+        body = pos + _FRAME.size
+        if length > len(data) - body:
+            return records, pos, chain, (
+                f"declared length {length} overruns the file")
+        payload = data[body:body + length]
+        if zlib.crc32(payload, chain) != crc:
+            return records, pos, chain, "chained CRC mismatch"
+        try:
+            record = json.loads(payload)
+        except ValueError:
+            return records, pos, chain, "undecodable payload"
+        if not isinstance(record, dict):
+            return records, pos, chain, "payload is not an object"
+        records.append(record)
+        chain = crc
+        pos = body + length
+    return records, pos, chain, ""
+
+
+def _resync(data: bytes, start: int) -> int:
+    """Count plausible frames past a damaged region.
+
+    The chain value is unknowable past the damage, so this validates
+    structure only: a sane length field followed by a payload that
+    decodes to a JSON object.  Any hit proves bytes after the damage
+    still hold records — the mid-file-corruption signature.
+    """
+    best = 0
+    for offset in range(start, len(data) - _FRAME.size):
+        length, _crc = _FRAME.unpack_from(data, offset)
+        if not 0 < length <= _RESYNC_MAX_LENGTH:
+            continue
+        body = offset + _FRAME.size
+        if length > len(data) - body:
+            continue
+        payload = data[body:body + length]
+        if not payload.startswith(b"{"):
+            continue
+        try:
+            record = json.loads(payload)
+        except ValueError:
+            continue
+        if not isinstance(record, dict):
+            continue
+        # Count how many consecutive plausible frames follow.
+        count, pos = 1, body + length
+        while pos + _FRAME.size <= len(data):
+            length, _crc = _FRAME.unpack_from(data, pos)
+            body = pos + _FRAME.size
+            if not 0 < length <= len(data) - body:
+                break
+            try:
+                record = json.loads(data[body:body + length])
+            except ValueError:
+                break
+            if not isinstance(record, dict):
+                break
+            count += 1
+            pos = body + length
+        best = max(best, count)
+        break
+    return best
+
+
 class Journal:
     """An append-only journal file.
 
     The file handle opens lazily on the first append, so a `Journal`
     can be constructed against a path that recovery is about to
     truncate.  ``fsync=True`` makes every append durable against OS
-    crashes at a heavy performance cost; the default only flushes to
-    the OS (durable against *process* death, the failure the simulator
-    injects).
+    crashes at a heavy performance cost — including fsyncing the
+    parent directory after the file itself is first created, so the
+    journal's *existence* survives an OS crash too; the default only
+    flushes to the OS (durable against *process* death, the failure
+    the simulator injects).
     """
 
     def __init__(self, path: str | Path, fsync: bool = False) -> None:
         self.path = Path(path)
         self.fsync = fsync
         self._fh = None
+        self._chain = CHAIN_SEED
 
     def _open(self):
         if self._fh is None:
             fresh = not self.path.exists() or self.path.stat().st_size == 0
+            if not fresh:
+                # Never append onto an arbitrary or damaged file: the
+                # header must check out and the existing history must
+                # be chain-valid to the end, or the appended frames
+                # would be unreadable garbage.
+                scan = self.scan(self.path)
+                if not scan.clean:
+                    raise JournalError(
+                        f"{self.path} has {scan.damage} damage "
+                        f"({scan.detail}); recover it before appending")
+                self._chain = scan.chain
             self._fh = open(self.path, "ab")
             if fresh:
+                self._chain = CHAIN_SEED
                 self._fh.write(MAGIC)
                 self._fh.flush()
+                if self.fsync:
+                    os.fsync(self._fh.fileno())
+                    _fsync_directory(self.path.parent)
         return self._fh
 
     def append(self, record: dict) -> None:
         """Durably append one record."""
         fh = self._open()
-        fh.write(encode_record(record))
+        frame = encode_record(record, self._chain)
+        fh.write(frame)
         fh.flush()
         if self.fsync:
             os.fsync(fh.fileno())
+        self._chain = _FRAME.unpack_from(frame)[1]
 
     def append_torn(self, record: dict, keep_fraction: float = 0.5) -> None:
         """Write only a prefix of the record's frame (crash injection).
@@ -94,7 +246,7 @@ class Journal:
         but the payload is cut short, which recovery must detect via
         the length/CRC check and truncate.
         """
-        frame = encode_record(record)
+        frame = encode_record(record, self._chain)
         cut = max(_FRAME.size + 1, int(len(frame) * keep_fraction))
         fh = self._open()
         fh.write(frame[:min(cut, len(frame) - 1)])
@@ -109,60 +261,122 @@ class Journal:
     # -- reading -----------------------------------------------------------
 
     @classmethod
-    def read(cls, path: str | Path) -> tuple[list[dict], int, bool]:
-        """Scan a journal; returns (records, valid_length, torn).
+    def scan(cls, path: str | Path) -> JournalScan:
+        """Classify a journal file without modifying it.
 
-        ``valid_length`` is the byte offset just past the last valid
-        record; ``torn`` reports whether trailing bytes past it had to
-        be ignored (truncated frame, CRC mismatch, or undecodable
-        payload).  A missing or empty file reads as zero records.
+        A wrong magic reads as ``corrupt`` with the frames salvaged
+        from offset 4 (the chain seed is a constant, so frames remain
+        verifiable even when the magic bytes themselves rotted) —
+        ``valid_length`` is 0 in that case because the prefix cannot
+        be kept in place.
         """
         path = Path(path)
         if not path.exists():
-            return [], 0, False
+            return JournalScan([], 0, CHAIN_SEED, "clean", "missing file")
         data = path.read_bytes()
         if not data:
-            return [], 0, False
+            return JournalScan([], 0, CHAIN_SEED, "clean", "empty file")
         if data[:len(MAGIC)] != MAGIC:
-            raise JournalError(f"{path} is not a journal (bad magic)")
-        records: list[dict] = []
-        pos = len(MAGIC)
-        torn = False
-        while pos < len(data):
-            if pos + _FRAME.size > len(data):
-                torn = True
-                break
-            length, crc = _FRAME.unpack_from(data, pos)
-            start = pos + _FRAME.size
-            if length > len(data) - start:
-                torn = True
-                break
-            payload = data[start:start + length]
-            if zlib.crc32(payload) != crc:
-                torn = True
-                break
-            try:
-                record = json.loads(payload)
-            except ValueError:
-                torn = True
-                break
-            if not isinstance(record, dict):
-                torn = True
-                break
-            records.append(record)
-            pos = start + length
-        return records, pos, torn
+            records, _end, chain, reason = _parse_frames(data, len(MAGIC))
+            return JournalScan(
+                records, 0, chain, "corrupt",
+                f"bad magic {data[:len(MAGIC)]!r}"
+                + (f"; {len(records)} records salvageable"
+                   if records else ""),
+                salvageable=len(records))
+        records, pos, chain, reason = _parse_frames(data, len(MAGIC))
+        if not reason:
+            return JournalScan(records, pos, chain, "clean")
+        salvageable = _resync(data, pos + 1)
+        if salvageable:
+            return JournalScan(
+                records, pos, chain, "corrupt",
+                f"{reason} at byte {pos} (record #{len(records) + 1}); "
+                f"{salvageable} record(s) survive past the damage",
+                salvageable=salvageable)
+        return JournalScan(
+            records, pos, chain, "torn",
+            f"{reason} at byte {pos} (record #{len(records) + 1}); "
+            "nothing parseable follows")
+
+    @classmethod
+    def read(cls, path: str | Path) -> tuple[list[dict], int, bool]:
+        """Scan a journal; returns (records, valid_length, damaged).
+
+        ``valid_length`` is the byte offset just past the last valid
+        record; the final flag reports whether trailing bytes past it
+        had to be ignored (truncated frame, CRC mismatch, or
+        undecodable payload).  A missing or empty file reads as zero
+        records; a wrong magic raises :class:`JournalError`.
+        """
+        path = Path(path)
+        if path.exists():
+            data = path.read_bytes()
+            if data and data[:len(MAGIC)] != MAGIC:
+                raise JournalError(f"{path} is not a journal (bad magic)")
+        scan = cls.scan(path)
+        return scan.records, scan.valid_length, not scan.clean
 
     @classmethod
     def recover(cls, path: str | Path) -> tuple[list[dict], bool]:
-        """Read a journal and truncate any torn tail in place.
+        """Read a journal and truncate a *torn tail* in place.
 
         Returns (valid records, whether a torn tail was discarded).
         After recovery the file ends exactly at the last valid record,
         so subsequent appends continue the valid history.
+
+        Mid-file corruption — valid frames surviving past the damage —
+        raises :class:`JournalCorruption` instead of truncating: that
+        history is real, and silently resuming a shortened past is
+        exactly the failure a measurement reproduction cannot afford.
+        ``repro fsck --repair`` handles that case.
         """
-        records, valid_length, torn = cls.read(path)
-        if torn:
+        path = Path(path)
+        if path.exists():
+            data = path.read_bytes()
+            if data and data[:len(MAGIC)] != MAGIC:
+                raise JournalError(f"{path} is not a journal (bad magic)")
+        scan = cls.scan(path)
+        if scan.damage == "corrupt":
+            raise JournalCorruption(
+                f"{path} is corrupt mid-file ({scan.detail}); refusing "
+                "to truncate valid history — run `repro fsck --repair`")
+        if scan.damage == "torn":
             with open(path, "r+b") as fh:
-                fh.truncate(valid_length)
-        return records, torn
+                fh.truncate(scan.valid_length)
+        return scan.records, not scan.clean
+
+
+def rewrite(path: str | Path, records: list[dict],
+            fsync: bool = False) -> None:
+    """Atomically rewrite a journal to hold exactly ``records``.
+
+    The repair primitive: re-frames the records with a fresh chain and
+    replaces the file, so a quarantined journal's valid prefix becomes
+    a clean journal whose bytes match what a healthy run would have
+    written.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    chain = CHAIN_SEED
+    with open(tmp, "wb") as fh:
+        fh.write(MAGIC)
+        for record in records:
+            frame = encode_record(record, chain)
+            fh.write(frame)
+            chain = _FRAME.unpack_from(frame)[1]
+        fh.flush()
+        if fsync:
+            os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    if fsync:
+        _fsync_directory(path.parent)
+
+
+def _fsync_directory(directory: Path) -> None:
+    """fsync a directory so renames/creates inside it survive OS crash."""
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)

@@ -8,21 +8,25 @@ valid snapshot and replays the journal suffix on top
 
 Snapshots are written to a temporary file and ``os.replace``d into
 place, so a crash mid-write can never clobber the previous snapshot.
-Each file carries a CRC over the pickle payload; a corrupt snapshot is
-rejected at load time (``SnapshotError``) and recovery falls back to
-the previous one.
+Each file carries a CRC over the pickle payload **keyed by the file's
+own name** (the CRC chain seeds with ``crc32(name)``), so a snapshot's
+bytes only validate under the name they were written as — two swapped
+or renamed snapshot files are detected as corrupt instead of silently
+loading the wrong state.  A corrupt snapshot is rejected at load time
+(``SnapshotError``) and recovery falls back to the previous one.
 
-File format: ``b"RPS1"`` + ``length:u32`` + ``crc32:u32`` + payload.
+File format: ``b"RPS2"`` + ``length:u32`` + ``crc32:u32`` + payload.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
 import struct
 import zlib
 from pathlib import Path
 
-MAGIC = b"RPS1"
+MAGIC = b"RPS2"
 _HEADER = struct.Struct("!II")
 
 
@@ -30,14 +34,49 @@ class SnapshotError(RuntimeError):
     """Raised when a snapshot file is missing, corrupt, or unreadable."""
 
 
-class SnapshotStore:
-    """Manages the numbered snapshot files inside a checkpoint dir."""
+def _name_keyed_crc(name: str, payload: bytes) -> int:
+    """CRC over the payload, seeded by the snapshot's file name."""
+    return zlib.crc32(payload, zlib.crc32(name.encode("utf-8")))
 
-    def __init__(self, directory: str | Path, keep: int = 2) -> None:
+
+def verify_bytes(name: str, data: bytes) -> bytes:
+    """Validate one snapshot's raw bytes; returns the pickle payload.
+
+    Raises :class:`SnapshotError` on a bad header, a payload shorter
+    *or longer* than declared (trailing garbage is corruption, not
+    slack), or a CRC that does not match under this file name.
+    """
+    header_end = len(MAGIC) + _HEADER.size
+    if len(data) < header_end or data[:len(MAGIC)] != MAGIC:
+        raise SnapshotError(f"snapshot {name} has a bad header")
+    length, crc = _HEADER.unpack_from(data, len(MAGIC))
+    if len(data) != header_end + length:
+        raise SnapshotError(
+            f"snapshot {name} is corrupt: declares {length} payload "
+            f"bytes but carries {len(data) - header_end}")
+    payload = data[header_end:]
+    if _name_keyed_crc(name, payload) != crc:
+        raise SnapshotError(
+            f"snapshot {name} is corrupt (CRC mismatch under its own "
+            "file name — bit rot, or a swapped/renamed snapshot)")
+    return payload
+
+
+class SnapshotStore:
+    """Manages the numbered snapshot files inside a checkpoint dir.
+
+    ``fsync=True`` additionally fsyncs the renamed file and its parent
+    directory after every ``os.replace``, so a just-saved snapshot
+    survives an OS crash, not merely process death.
+    """
+
+    def __init__(self, directory: str | Path, keep: int = 2,
+                 fsync: bool = False) -> None:
         if keep < 1:
             raise ValueError("keep must be at least 1")
         self.directory = Path(directory)
         self.keep = keep
+        self.fsync = fsync
 
     def _path(self, name: str) -> Path:
         return self.directory / name
@@ -57,12 +96,17 @@ class SnapshotStore:
         tmp = self._path(name + ".tmp")
         with open(tmp, "wb") as fh:
             fh.write(MAGIC)
-            fh.write(_HEADER.pack(len(payload), zlib.crc32(payload)))
+            fh.write(_HEADER.pack(len(payload),
+                                  _name_keyed_crc(name, payload)))
             fh.write(payload)
             fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
         if before_replace is not None:
             before_replace()
         tmp.replace(self._path(name))
+        if self.fsync:
+            _fsync_directory(self.directory)
         return name
 
     def load(self, name: str) -> object:
@@ -70,14 +114,7 @@ class SnapshotStore:
         path = self._path(name)
         if not path.exists():
             raise SnapshotError(f"snapshot {name} is missing")
-        data = path.read_bytes()
-        header_end = len(MAGIC) + _HEADER.size
-        if len(data) < header_end or data[:len(MAGIC)] != MAGIC:
-            raise SnapshotError(f"snapshot {name} has a bad header")
-        length, crc = _HEADER.unpack_from(data, len(MAGIC))
-        payload = data[header_end:header_end + length]
-        if len(payload) != length or zlib.crc32(payload) != crc:
-            raise SnapshotError(f"snapshot {name} is corrupt")
+        payload = verify_bytes(name, path.read_bytes())
         try:
             return pickle.loads(payload)
         except Exception as exc:
@@ -107,3 +144,12 @@ class SnapshotStore:
             path.unlink()
             removed.append(path.name)
         return removed
+
+
+def _fsync_directory(directory: Path) -> None:
+    """fsync a directory so renames inside it survive OS crash."""
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)

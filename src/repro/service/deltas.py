@@ -91,6 +91,11 @@ class DeltaStore:
             raise DeltaError(f"window delta {path.name} is corrupt") from exc
         if not isinstance(payload, dict):
             raise DeltaError(f"window delta {path.name} is not an object")
+        if payload.get("window") != index:
+            raise DeltaError(
+                f"window delta {path.name} belongs to window "
+                f"{payload.get('window')!r}, not {index} — swapped or "
+                "transplanted delta file")
         return payload
 
     def crc(self, index: int) -> int:

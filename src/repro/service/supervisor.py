@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import dataclasses
 import logging
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -156,9 +157,12 @@ def run_service(
     """
     config = config or ExperimentConfig.small()
     service_config = service_config or ServiceConfig()
+    from repro.persist.journal import MAGIC as JOURNAL_MAGIC
+
     directory = Path(checkpoint_dir)
     journal_path = directory / "journal.bin"
-    if journal_path.exists() and journal_path.stat().st_size > len(b"RPJ1"):
+    if journal_path.exists() \
+            and journal_path.stat().st_size > len(JOURNAL_MAGIC):
         raise CheckpointError(
             f"{directory} already holds a service journal; resume it "
             "with `repro serve --resume`, or point --checkpoint-dir at "
@@ -510,6 +514,16 @@ def _finish(state: ServiceState, checkpointer: CampaignCheckpointer,
         "watchdog_cuts": state.watchdog_cuts,
     }
     write_aggregate(checkpointer.directory, aggregate)
+    # Journal the aggregate's byte CRC so the final artefact rides the
+    # replay-verification contract too: resuming a finished service
+    # regenerates the aggregate and must reproduce this exact record,
+    # and `repro fsck` can check the on-disk bytes against it.
+    from repro.service.deltas import canonical_bytes
+
+    checkpointer.record({
+        "type": "aggregate",
+        "crc": zlib.crc32(canonical_bytes(aggregate)),
+    })
     checkpointer.close()
     return ServiceResult(
         directory=checkpointer.directory,

@@ -3,19 +3,35 @@ opt-in fault-injection layer."""
 
 from repro.sim.clock import DAY, HOUR, Clock, ClockError
 from repro.sim.faults import (
+    CORRUPTION_KINDS,
+    CorruptionError,
     FaultConfig,
     FaultInjector,
     FaultStats,
     OutageWindow,
+    corrupt_duplicate_record,
+    corrupt_flip_byte,
+    corrupt_swap_files,
+    corrupt_truncate,
+    corrupt_zero_page,
+    inject_corruption,
 )
 
 __all__ = [
+    "CORRUPTION_KINDS",
     "Clock",
     "ClockError",
+    "CorruptionError",
     "DAY",
     "HOUR",
     "FaultConfig",
     "FaultInjector",
     "FaultStats",
     "OutageWindow",
+    "corrupt_duplicate_record",
+    "corrupt_flip_byte",
+    "corrupt_swap_files",
+    "corrupt_truncate",
+    "corrupt_zero_page",
+    "inject_corruption",
 ]

@@ -369,3 +369,163 @@ class FaultInjector:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"FaultInjector(enabled={self.enabled}, "
                 f"injected={self.stats.total()})")
+
+
+# -- on-disk corruption injection ---------------------------------------------
+#
+# The crash injectors above model *interrupted writes*; these model
+# *bit rot* — damage to checkpoint artifacts that already hit the disk
+# (cosmic rays, failing sectors, a misbehaving filesystem).  Each
+# injector is a pure function of ``(file bytes, seed)``: the damaged
+# offset is drawn from a seeded RNG, so a corruption scenario is
+# exactly reproducible, and every injector guarantees the file
+# actually changed (an injection that happens to rewrite identical
+# bytes re-rolls) so "100% detection" is a meaningful contract for the
+# fsck property suite (tests/persist/test_corruption_properties.py).
+
+import hashlib as _hashlib
+import random as _random
+import struct as _struct
+
+
+class CorruptionError(RuntimeError):
+    """The requested corruption cannot be applied to this file."""
+
+
+def _rng_for(path, seed: int, kind: str) -> _random.Random:
+    """A seeded RNG keyed by (seed, corruption kind, file name), so
+    corrupting two artifacts with the same seed damages independent
+    offsets — keyed the same way the network-fault streams are."""
+    from pathlib import Path
+
+    digest = _hashlib.sha256(
+        f"{seed}:{kind}:{Path(path).name}".encode("utf-8")).digest()
+    return _random.Random(int.from_bytes(digest[:8], "big"))
+
+
+def _read_for_corruption(path) -> bytearray:
+    from pathlib import Path
+
+    data = bytearray(Path(path).read_bytes())
+    if len(data) < 2:
+        raise CorruptionError(f"{path} is too small to corrupt")
+    return data
+
+
+def corrupt_flip_byte(path, seed: int = 0) -> dict:
+    """XOR one byte at a seeded offset with a seeded nonzero mask."""
+    from pathlib import Path
+
+    data = _read_for_corruption(path)
+    rng = _rng_for(path, seed, "flip")
+    offset = rng.randrange(len(data))
+    mask = rng.randrange(1, 256)
+    data[offset] ^= mask
+    Path(path).write_bytes(bytes(data))
+    return {"kind": "flip_byte", "offset": offset, "mask": mask}
+
+
+def corrupt_zero_page(path, seed: int = 0, page: int = 64) -> dict:
+    """Zero a ``page``-byte run at a seeded offset (a dropped sector).
+
+    Re-rolls the offset if the chosen run was already all zeroes, so
+    the injection always changes the file.
+    """
+    from pathlib import Path
+
+    data = _read_for_corruption(path)
+    rng = _rng_for(path, seed, "zero")
+    for _attempt in range(64):
+        offset = rng.randrange(len(data))
+        end = min(offset + page, len(data))
+        if any(data[offset:end]):
+            data[offset:end] = bytes(end - offset)
+            Path(path).write_bytes(bytes(data))
+            return {"kind": "zero_page", "offset": offset,
+                    "length": end - offset}
+    raise CorruptionError(f"{path} has no nonzero run to zero")
+
+
+def corrupt_truncate(path, seed: int = 0) -> dict:
+    """Cut a seeded number of bytes off the tail (a lost write burst).
+
+    At least one byte goes, and at least one byte past the 4-byte
+    magic stays, so the result is neither intact nor trivially empty.
+    """
+    from pathlib import Path
+
+    data = _read_for_corruption(path)
+    if len(data) < 6:
+        raise CorruptionError(f"{path} is too small to truncate")
+    rng = _rng_for(path, seed, "truncate")
+    keep = rng.randrange(5, len(data))
+    Path(path).write_bytes(bytes(data[:keep]))
+    return {"kind": "truncate", "kept": keep, "lost": len(data) - keep}
+
+
+def corrupt_duplicate_record(path, seed: int = 0) -> dict:
+    """Duplicate one journal frame in place (a replayed write).
+
+    Journal-aware: walks the length-prefixed frames (without checking
+    CRCs) and re-inserts a seeded frame right after itself.  The
+    chained frame CRCs make the duplicate — and everything after it —
+    fail verification, which is exactly what fsck must detect.
+    """
+    from pathlib import Path
+
+    data = _read_for_corruption(path)
+    frames: list[tuple[int, int]] = []  # (start, end) per frame
+    pos = 4  # past the magic
+    while pos + 8 <= len(data):
+        (length,) = _struct.unpack_from("!I", data, pos)
+        end = pos + 8 + length
+        if length > len(data) - pos - 8:
+            break
+        frames.append((pos, end))
+        pos = end
+    if not frames:
+        raise CorruptionError(f"{path} holds no frames to duplicate")
+    rng = _rng_for(path, seed, "duplicate")
+    start, end = frames[rng.randrange(len(frames))]
+    duplicated = data[:end] + data[start:end] + data[end:]
+    Path(path).write_bytes(bytes(duplicated))
+    return {"kind": "duplicate_record", "frame_start": start,
+            "frame_bytes": end - start}
+
+
+def corrupt_swap_files(path_a, path_b) -> dict:
+    """Swap two files' contents in place (crossed renames).
+
+    Both files stay internally self-consistent — detection must come
+    from binding content to file name (name-keyed snapshot CRCs,
+    delta window indices, journal cross-references).
+    """
+    from pathlib import Path
+
+    a, b = Path(path_a), Path(path_b)
+    data_a, data_b = a.read_bytes(), b.read_bytes()
+    if data_a == data_b:
+        raise CorruptionError(
+            f"{a.name} and {b.name} are identical; swapping is a no-op")
+    a.write_bytes(data_b)
+    b.write_bytes(data_a)
+    return {"kind": "swap_files", "a": a.name, "b": b.name}
+
+
+#: the single-file corruption matrix the fsck property suite sweeps.
+CORRUPTION_KINDS = {
+    "flip_byte": corrupt_flip_byte,
+    "zero_page": corrupt_zero_page,
+    "truncate": corrupt_truncate,
+}
+
+
+def inject_corruption(kind: str, path, seed: int = 0) -> dict:
+    """Apply one named single-file corruption; returns its description."""
+    try:
+        injector = CORRUPTION_KINDS[kind]
+    except KeyError:
+        raise CorruptionError(
+            f"unknown corruption kind {kind!r}; "
+            f"have {sorted(CORRUPTION_KINDS)}") from None
+    return injector(path, seed=seed)

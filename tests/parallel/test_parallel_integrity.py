@@ -1,0 +1,168 @@
+"""fsck over parallel-campaign checkpoint trees.
+
+The parallel layout adds artifacts of its own — manifest.json,
+config.pkl, per-shard journals/snapshots/result.pkl — and its own
+healing lever: any single shard is a deterministic full replica, so a
+shard whose checkpoint is damaged beyond local repair can simply be
+quarantined wholesale and rerun from scratch.
+"""
+
+import shutil
+
+import pytest
+
+from repro.parallel import (
+    ShardResultError,
+    load_shard_result,
+    resume_parallel_campaign,
+    run_parallel_experiment,
+)
+from repro.persist import repair_checkpoint, scan_checkpoint
+from repro.persist.campaign import CheckpointConfig
+from repro.sim.faults import SimulatedCrash, corrupt_flip_byte
+from tests.parallel.conftest import canonical_exports, parallel_config
+
+SEED = 11
+WORKERS = 2
+CKPT = CheckpointConfig(snapshot_every_slots=2)
+
+
+@pytest.fixture(scope="module")
+def finished_template(tmp_path_factory):
+    """A completed 2-worker campaign tree + its canonical exports."""
+    root = tmp_path_factory.mktemp("parallel-fsck")
+    directory = root / "ckpt"
+    config = parallel_config(SEED)
+    result = run_parallel_experiment(
+        config, workers=WORKERS, checkpoint_dir=directory,
+        checkpoint_config=CKPT)
+    return directory, canonical_exports(result)
+
+
+@pytest.fixture()
+def damaged(finished_template, tmp_path):
+    directory, expected = finished_template
+    copy = tmp_path / "ckpt"
+    shutil.copytree(directory, copy)
+    return copy, expected
+
+
+class TestScan:
+    def test_finished_tree_scans_clean(self, damaged):
+        directory, _expected = damaged
+        report = scan_checkpoint(directory)
+        assert report.checkpoint_kind == "parallel"
+        assert report.clean, report.render()
+
+    def test_corrupt_result_pkl_is_flagged_not_silent(self, damaged):
+        directory, _expected = damaged
+        result = directory / "shard-01" / "result.pkl"
+        corrupt_flip_byte(result, seed=1)
+        with pytest.raises(ShardResultError) as excinfo:
+            load_shard_result(result.parent)
+        assert "fsck" in str(excinfo.value)
+        report = scan_checkpoint(directory)
+        finding = [f for f in report.findings
+                   if f.artifact == "shard-01/result.pkl"][0]
+        assert finding.status == "corrupt"
+
+    def test_corrupt_manifest_is_rebuildable(self, damaged):
+        directory, _expected = damaged
+        (directory / "manifest.json").write_text("{broken json")
+        report = scan_checkpoint(directory)
+        finding = [f for f in report.findings
+                   if f.artifact == "manifest.json"][0]
+        assert finding.status == "corrupt"
+        assert finding.repair == "rebuild"
+
+    def test_corrupt_shard_journal_is_contained(self, damaged):
+        """Damage inside one shard must never classify the campaign as
+        unrepairable — worst case the shard reruns."""
+        directory, _expected = damaged
+        corrupt_flip_byte(directory / "shard-01" / "journal.bin", seed=2)
+        report = scan_checkpoint(directory)
+        assert not report.unrepairable, report.render()
+
+
+class TestRepairAndResume:
+    def test_corrupt_result_repairs_to_identical_exports(self, damaged):
+        """Quarantine the result container; the shard resumes from its
+        final snapshot and rewrites result.pkl byte-identically."""
+        directory, expected = damaged
+        corrupt_flip_byte(directory / "shard-01" / "result.pkl", seed=1)
+        repair_checkpoint(directory)
+        assert not (directory / "shard-01" / "result.pkl").exists()
+        result = resume_parallel_campaign(directory, CKPT)
+        assert canonical_exports(result) == expected
+
+    def test_corrupt_manifest_rebuilds_from_shard_snapshot(
+            self, damaged):
+        directory, expected = damaged
+        (directory / "manifest.json").write_text("{broken json")
+        repair = repair_checkpoint(directory)
+        assert any("manifest" in action for action in repair.actions)
+        result = resume_parallel_campaign(directory, CKPT)
+        assert canonical_exports(result) == expected
+
+    def test_corrupt_config_rebuilds_from_shard_snapshot(self, damaged):
+        directory, expected = damaged
+        (directory / "config.pkl").write_bytes(b"not a pickle")
+        repair_checkpoint(directory)
+        result = resume_parallel_campaign(directory, CKPT)
+        assert canonical_exports(result) == expected
+
+    def test_wrecked_shard_reruns_from_scratch(self, damaged):
+        """Every artifact of shard 1 damaged: repair quarantines the
+        whole shard tree and resume reruns it — determinism makes the
+        rerun indistinguishable from the lost original."""
+        directory, expected = damaged
+        shard = directory / "shard-01"
+        corrupt_flip_byte(shard / "result.pkl", seed=1)
+        corrupt_flip_byte(shard / "journal.bin", seed=2)
+        for index, snap in enumerate(
+                sorted(shard.glob("snapshot-*.bin"))):
+            corrupt_flip_byte(snap, seed=index)
+        repair_checkpoint(directory)
+        result = resume_parallel_campaign(directory, CKPT)
+        assert canonical_exports(result) == expected
+
+    def test_deleted_shard_directory_reruns(self, damaged):
+        directory, expected = damaged
+        shutil.rmtree(directory / "shard-01")
+        report = scan_checkpoint(directory)
+        finding = [f for f in report.findings
+                   if f.artifact == "shard-01"][0]
+        assert finding.repair == "rerun"
+        assert not finding.fatal
+        result = resume_parallel_campaign(directory, CKPT)
+        assert canonical_exports(result) == expected
+
+
+@pytest.mark.slow
+class TestCrashedTreeIntegrity:
+    def test_crashed_then_corrupted_then_repaired(self, tmp_path):
+        """The full gauntlet: kill a worker mid-campaign, bit-flip its
+        journal while it is down, fsck-repair, resume — identical."""
+        from repro.sim.faults import FaultConfig
+        import dataclasses
+
+        directory = tmp_path / "ckpt"
+        config = parallel_config(SEED)
+        config = dataclasses.replace(
+            config, world=dataclasses.replace(
+                config.world,
+                faults=FaultConfig(crash_after_appends=30)))
+        with pytest.raises(SimulatedCrash):
+            run_parallel_experiment(
+                config, workers=WORKERS, checkpoint_dir=directory,
+                checkpoint_config=CKPT, crash_shards={1})
+        expected_dir = tmp_path / "expected"
+        shutil.copytree(directory, expected_dir)
+        expected = canonical_exports(
+            resume_parallel_campaign(expected_dir, CKPT))
+        corrupt_flip_byte(directory / "shard-01" / "journal.bin", seed=7)
+        report = scan_checkpoint(directory)
+        assert report.damaged
+        repair_checkpoint(directory)
+        result = resume_parallel_campaign(directory, CKPT)
+        assert canonical_exports(result) == expected

@@ -1,0 +1,190 @@
+"""Property-based corruption fuzzing.
+
+Two layers, one contract.  The synthetic layer drives the seeded
+injectors over generated journals and snapshots and demands *100%
+detection*: any single on-disk corruption must turn up in a scan —
+an injector is guaranteed to change bytes, so a clean scan afterwards
+would mean silent bit rot.  The end-to-end layer injects into a real
+crashed campaign checkpoint and demands *byte-identical-or-loud*:
+after ``fsck --repair`` plus resume, the campaign fingerprint either
+equals the undamaged original's exactly, or the failure surfaces as a
+typed error — never a silently diverged result.
+"""
+
+import shutil
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.persist import (
+    IntegrityError,
+    UnrepairableError,
+    repair_checkpoint,
+    resume_campaign,
+    run_campaign,
+    scan_checkpoint,
+)
+from repro.persist.journal import Journal, JournalCorruption, JournalError
+from repro.persist.snapshot import SnapshotError, SnapshotStore, verify_bytes
+from repro.sim.faults import (
+    CORRUPTION_KINDS,
+    FaultConfig,
+    SimulatedCrash,
+    corrupt_duplicate_record,
+    inject_corruption,
+)
+from tests.persist.test_resume import (
+    CKPT,
+    fingerprint,
+    tiny_experiment_config,
+)
+
+SEED = 17
+CRASH_APPENDS = 40
+
+record_strategy = st.fixed_dictionaries(
+    {"type": st.sampled_from(["probe", "phase", "window"])},
+    optional={
+        "slot": st.integers(0, 10_000),
+        "hits": st.integers(0, 255),
+        "name": st.text(
+            st.characters(codec="ascii", categories=["L", "N"]),
+            max_size=12),
+    },
+)
+
+FUZZ = settings(max_examples=40, deadline=None, derandomize=True,
+                suppress_health_check=[HealthCheck.function_scoped_fixture])
+
+
+class TestSyntheticDetection:
+    @FUZZ
+    @given(records=st.lists(record_strategy, min_size=1, max_size=12),
+           kind=st.sampled_from(sorted(CORRUPTION_KINDS)),
+           seed=st.integers(0, 999))
+    def test_any_journal_corruption_is_detected(
+            self, tmp_path, records, kind, seed):
+        path = tmp_path / f"journal-{kind}-{seed}.bin"
+        journal = Journal(path)
+        for record in records:
+            journal.append(record)
+        journal.close()
+        target = tmp_path / "journal.bin"
+        shutil.move(path, target)
+        inject_corruption(kind, target, seed=seed)
+        scan = Journal.scan(target)
+        assert not scan.clean, (
+            f"{kind} seed={seed} changed the file but scanned clean")
+        # the surviving prefix is at most the written history — a scan
+        # must never hallucinate records
+        assert len(scan.records) <= len(records)
+        target.unlink()
+
+    @FUZZ
+    @given(records=st.lists(record_strategy, min_size=2, max_size=12),
+           seed=st.integers(0, 999))
+    def test_duplicated_frames_are_detected(self, tmp_path, records,
+                                            seed):
+        target = tmp_path / "journal.bin"
+        journal = Journal(target)
+        for record in records:
+            journal.append(record)
+        journal.close()
+        corrupt_duplicate_record(target, seed=seed)
+        scan = Journal.scan(target)
+        assert not scan.clean
+        # a refused recovery must leave the evidence untouched
+        before = target.read_bytes()
+        if scan.damage == "corrupt":
+            with pytest.raises((JournalCorruption, JournalError)):
+                Journal.recover(target)
+            assert target.read_bytes() == before
+        target.unlink()
+
+    @FUZZ
+    @given(payload=st.binary(min_size=1, max_size=4096),
+           kind=st.sampled_from(sorted(CORRUPTION_KINDS)),
+           seed=st.integers(0, 999))
+    def test_any_snapshot_corruption_is_detected(
+            self, tmp_path, payload, kind, seed):
+        store = SnapshotStore(tmp_path, keep=1)
+        name = store.save(payload, seq=1)
+        target = tmp_path / name
+        try:
+            inject_corruption(kind, target, seed=seed)
+        except Exception:
+            # zero_page can legitimately refuse an already-zero file
+            target.unlink()
+            return
+        with pytest.raises(SnapshotError):
+            verify_bytes(name, target.read_bytes())
+        target.unlink()
+
+
+@pytest.fixture(scope="module")
+def crashed_template(tmp_path_factory):
+    """One crashed campaign + the fingerprint a clean resume yields."""
+    root = tmp_path_factory.mktemp("fuzz-campaign")
+    directory = root / "ckpt"
+    config = tiny_experiment_config(
+        SEED, FaultConfig(crash_after_appends=CRASH_APPENDS))
+    with pytest.raises(SimulatedCrash):
+        run_campaign(config, checkpoint_dir=directory,
+                     checkpoint_config=CKPT)
+    reference = root / "reference"
+    shutil.copytree(directory, reference)
+    expected = fingerprint(resume_campaign(reference, CKPT))
+    return directory, expected
+
+
+def checkpoint_targets(directory):
+    """The artifacts the end-to-end matrix injects into."""
+    names = ["journal.bin"]
+    names += sorted(p.name for p in directory.glob("snapshot-*.bin"))
+    return names
+
+
+class TestEndToEndRepairContract:
+    """Inject -> fsck --repair -> resume: byte-identical or loud."""
+
+    @pytest.mark.parametrize("kind", sorted(CORRUPTION_KINDS))
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_single_corruption_never_silently_diverges(
+            self, crashed_template, tmp_path, kind, seed):
+        directory, expected = crashed_template
+        for name in checkpoint_targets(directory):
+            copy = tmp_path / f"{kind}-{seed}-{name}"
+            shutil.copytree(directory, copy)
+            inject_corruption(kind, copy / name, seed=seed)
+            report = scan_checkpoint(copy)
+            assert report.damaged, (
+                f"{kind} seed={seed} on {name} scanned clean")
+            try:
+                repair_checkpoint(copy)
+                result = fingerprint(resume_campaign(copy, CKPT))
+            except (UnrepairableError, IntegrityError) as exc:
+                assert str(exc)  # loud: a diagnostic, not a bare raise
+                continue
+            assert result == expected, (
+                f"{kind} seed={seed} on {name}: repaired resume "
+                "silently diverged from the undamaged campaign")
+
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_double_corruption_never_silently_diverges(
+            self, crashed_template, tmp_path, seed):
+        """Beyond the single-fault contract: two simultaneous injections
+        must still end in byte-identical or loud."""
+        directory, expected = crashed_template
+        copy = tmp_path / f"double-{seed}"
+        shutil.copytree(directory, copy)
+        names = checkpoint_targets(copy)
+        inject_corruption("flip_byte", copy / names[0], seed=seed)
+        inject_corruption("zero_page", copy / names[-1], seed=seed)
+        assert scan_checkpoint(copy).damaged
+        try:
+            repair_checkpoint(copy)
+            result = fingerprint(resume_campaign(copy, CKPT))
+        except (UnrepairableError, IntegrityError):
+            return
+        assert result == expected

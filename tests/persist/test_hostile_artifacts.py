@@ -1,0 +1,219 @@
+"""Hostile on-disk artifacts: malformed headers, absurd lengths,
+duplicated frames, mid-file damage with valid history behind it.
+
+These are classification tests: each hostile file must land in the
+documented damage class (torn vs corrupt vs unusable), because the
+class decides the repair policy — auto-truncate, quarantine, or
+refuse.  A misclassification either destroys valid history or
+silently resumes a shortened past.
+"""
+
+import struct
+import zlib
+
+import pytest
+
+from repro.persist.journal import (
+    CHAIN_SEED,
+    MAGIC,
+    Journal,
+    JournalCorruption,
+    JournalError,
+    encode_record,
+)
+from repro.persist.snapshot import MAGIC as SNAP_MAGIC
+from repro.persist.snapshot import SnapshotError, verify_bytes
+
+RECORDS = [
+    {"type": "phase", "name": "campaign_start", "seed": 7},
+    {"type": "probe", "slot": 0, "hits": 3},
+    {"type": "probe", "slot": 1, "hits": 1},
+    {"type": "phase", "name": "campaign_done"},
+]
+
+
+def write_journal(path, records):
+    journal = Journal(path)
+    for record in records:
+        journal.append(record)
+    journal.close()
+    return path.read_bytes()
+
+
+class TestHostileJournalHeaders:
+    def test_huge_declared_length_is_torn(self, tmp_path):
+        """A frame declaring u32-max payload bytes must read as a torn
+        tail (nothing parseable can follow an overrun), not a crash."""
+        path = tmp_path / "journal.bin"
+        write_journal(path, RECORDS[:2])
+        with open(path, "ab") as fh:
+            fh.write(struct.pack("!II", 0xFFFFFFFF, 0xDEADBEEF))
+            fh.write(b"{}")
+        scan = Journal.scan(path)
+        assert scan.damage == "torn"
+        assert "overruns" in scan.detail
+        assert [r["type"] for r in scan.records] == ["phase", "probe"]
+
+    def test_truncated_header_is_torn(self, tmp_path):
+        """A file ending inside the 8-byte frame header is the classic
+        power-cut artifact: truncate and move on."""
+        path = tmp_path / "journal.bin"
+        data = write_journal(path, RECORDS)
+        path.write_bytes(data[:len(data) - len(data[-3:])] + data[-3:-2])
+        # cut mid-way into the last record's bytes
+        path.write_bytes(data[: len(MAGIC) + 5])
+        scan = Journal.scan(path)
+        assert scan.damage == "torn"
+        assert scan.records == []
+        assert scan.valid_length == len(MAGIC)
+
+    def test_bad_magic_is_corrupt_with_salvage(self, tmp_path):
+        """Rotten magic bytes: the file cannot be appended to or
+        trusted in place, but the chain seed is a constant, so the
+        frames behind the magic remain verifiable salvage."""
+        path = tmp_path / "journal.bin"
+        data = write_journal(path, RECORDS)
+        path.write_bytes(b"NOPE" + data[len(MAGIC):])
+        scan = Journal.scan(path)
+        assert scan.damage == "corrupt"
+        assert scan.salvageable == len(RECORDS)
+        assert scan.valid_length == 0
+        assert [r["type"] for r in scan.records] \
+            == [r["type"] for r in RECORDS]
+        with pytest.raises(JournalError):
+            Journal.read(path)
+
+    def test_empty_and_missing_files_are_clean(self, tmp_path):
+        path = tmp_path / "journal.bin"
+        assert Journal.scan(path).clean
+        path.write_bytes(b"")
+        assert Journal.scan(path).clean
+
+
+class TestDuplicateAndReorderedFrames:
+    def test_duplicate_record_frame_is_detected(self, tmp_path):
+        """A byte-identical re-append of an interior frame breaks the
+        CRC chain: the stored CRC was computed against the *original*
+        predecessor, so it cannot validate in the new position."""
+        path = tmp_path / "journal.bin"
+        data = write_journal(path, RECORDS)
+        # frame boundaries: walk them
+        frames = []
+        pos = len(MAGIC)
+        while pos < len(data):
+            length, _crc = struct.unpack_from("!II", data, pos)
+            frames.append((pos, pos + 8 + length))
+            pos += 8 + length
+        start, end = frames[1]
+        path.write_bytes(data[:end] + data[start:end] + data[end:])
+        scan = Journal.scan(path)
+        assert scan.damage == "corrupt"
+        assert "CRC mismatch" in scan.detail
+        # the valid prefix stops exactly before the duplicate
+        assert len(scan.records) == 2
+        with pytest.raises(JournalCorruption):
+            Journal.recover(path)
+
+    def test_swapped_frames_are_detected(self, tmp_path):
+        path = tmp_path / "journal.bin"
+        data = write_journal(path, RECORDS)
+        frames = []
+        pos = len(MAGIC)
+        while pos < len(data):
+            length, _crc = struct.unpack_from("!II", data, pos)
+            frames.append((pos, pos + 8 + length))
+            pos += 8 + length
+        (a0, a1), (b0, b1) = frames[1], frames[2]
+        swapped = data[:a0] + data[b0:b1] + data[a0:a1] + data[b1:]
+        path.write_bytes(swapped)
+        scan = Journal.scan(path)
+        assert scan.damage == "corrupt"
+
+    def test_duplicate_of_final_record_is_torn(self, tmp_path):
+        """Duplicating the *last* frame leaves valid-looking bytes only
+        at the very tail; with nothing verifiable past the damage this
+        reads as torn — and truncating it is safe, because the history
+        that remains is exactly the history that was written."""
+        path = tmp_path / "journal.bin"
+        data = write_journal(path, RECORDS)
+        frames = []
+        pos = len(MAGIC)
+        while pos < len(data):
+            length, _crc = struct.unpack_from("!II", data, pos)
+            frames.append((pos, pos + 8 + length))
+            pos += 8 + length
+        start, end = frames[-1]
+        path.write_bytes(data + data[start:end])
+        scan = Journal.scan(path)
+        assert scan.damage in ("torn", "corrupt")
+        assert len(scan.records) == len(RECORDS)
+
+
+class TestMidFileCorruption:
+    def test_crc_mismatch_followed_by_valid_frames(self, tmp_path):
+        """Bit rot in record 2 of 4: records 3-4 still parse, so this
+        must classify as corrupt (quarantine), never torn (truncate) —
+        truncating would discard two real records."""
+        path = tmp_path / "journal.bin"
+        data = bytearray(write_journal(path, RECORDS))
+        length, _crc = struct.unpack_from("!II", data, len(MAGIC))
+        second = len(MAGIC) + 8 + length
+        data[second + 8 + 2] ^= 0x40  # flip a payload byte of record 2
+        path.write_bytes(bytes(data))
+        scan = Journal.scan(path)
+        assert scan.damage == "corrupt"
+        assert scan.salvageable >= 2
+        assert len(scan.records) == 1
+        with pytest.raises(JournalCorruption) as excinfo:
+            Journal.recover(path)
+        assert "fsck" in str(excinfo.value)
+        # the file must be untouched by the refused recovery
+        assert path.read_bytes() == bytes(data)
+
+    def test_append_to_damaged_journal_refuses(self, tmp_path):
+        path = tmp_path / "journal.bin"
+        data = bytearray(write_journal(path, RECORDS))
+        data[len(MAGIC) + 8 + 1] ^= 0x01
+        path.write_bytes(bytes(data))
+        journal = Journal(path)
+        with pytest.raises(JournalError):
+            journal.append({"type": "probe", "slot": 9})
+
+    def test_append_to_wrong_magic_refuses(self, tmp_path):
+        path = tmp_path / "journal.bin"
+        path.write_bytes(b"GIFF" + encode_record({"a": 1}))
+        journal = Journal(path)
+        with pytest.raises(JournalError):
+            journal.append({"b": 2})
+
+
+class TestHostileSnapshots:
+    def payload_for(self, name, body):
+        crc = zlib.crc32(body, zlib.crc32(name.encode()))
+        return SNAP_MAGIC + struct.pack("!II", len(body), crc) + body
+
+    def test_trailing_garbage_is_corrupt(self):
+        name = "snapshot-0000000001.bin"
+        data = self.payload_for(name, b"state-bytes")
+        with pytest.raises(SnapshotError) as excinfo:
+            verify_bytes(name, data + b"garbage")
+        assert "carries" in str(excinfo.value)
+
+    def test_truncated_header_is_corrupt(self):
+        name = "snapshot-0000000001.bin"
+        data = self.payload_for(name, b"state-bytes")
+        with pytest.raises(SnapshotError):
+            verify_bytes(name, data[:7])
+
+    def test_huge_declared_length_is_corrupt(self):
+        name = "snapshot-0000000001.bin"
+        data = SNAP_MAGIC + struct.pack("!II", 0xFFFFFFFF, 0) + b"tiny"
+        with pytest.raises(SnapshotError):
+            verify_bytes(name, data)
+
+    def test_renamed_snapshot_fails_name_keyed_crc(self):
+        """The CRC is keyed by the file's own name: bytes written as
+        snapshot 1 must not verify when presented as snapshot 2."""
+        data = self.payload_for("snapshot-0000000001.bin", b"state")
+        with pytest.raises(SnapshotError):
+            verify_bytes("snapshot-0000000002.bin", data)

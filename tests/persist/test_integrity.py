@@ -1,0 +1,291 @@
+"""The checkpoint integrity scanner and quarantine-based repair.
+
+Template checkpoints (one mid-crash, one finished) are built once per
+module; every test copies a template, damages the copy, and checks the
+scan classification, the repair actions, and — the actual contract —
+that resuming the repaired checkpoint reproduces the byte-identical
+campaign result the undamaged original yields.
+"""
+
+import json
+import shutil
+
+import pytest
+
+from repro.persist import (
+    IntegrityError,
+    UnrepairableError,
+    assert_resumable,
+    detect_checkpoint_kind,
+    repair_checkpoint,
+    resume_campaign,
+    run_campaign,
+    scan_checkpoint,
+)
+from repro.persist.integrity import QUARANTINE_DIR
+from repro.sim.faults import (
+    FaultConfig,
+    SimulatedCrash,
+    corrupt_flip_byte,
+    corrupt_swap_files,
+)
+from tests.persist.test_resume import (
+    CKPT,
+    fingerprint,
+    tiny_experiment_config,
+)
+
+SEED = 13
+CRASH_APPENDS = 40
+
+
+@pytest.fixture(scope="module")
+def crashed_template(tmp_path_factory):
+    """A campaign killed mid-probing, plus its resumed fingerprint."""
+    root = tmp_path_factory.mktemp("crashed")
+    directory = root / "ckpt"
+    config = tiny_experiment_config(
+        SEED, FaultConfig(crash_after_appends=CRASH_APPENDS))
+    with pytest.raises(SimulatedCrash):
+        run_campaign(config, checkpoint_dir=directory,
+                     checkpoint_config=CKPT)
+    reference = root / "reference"
+    shutil.copytree(directory, reference)
+    expected = fingerprint(resume_campaign(reference, CKPT))
+    return directory, expected
+
+
+@pytest.fixture()
+def damaged(crashed_template, tmp_path):
+    """A throwaway copy of the crashed checkpoint to damage."""
+    directory, expected = crashed_template
+    copy = tmp_path / "ckpt"
+    shutil.copytree(directory, copy)
+    return copy, expected
+
+
+class TestScan:
+    def test_undamaged_checkpoint_scans_clean(self, damaged):
+        directory, _expected = damaged
+        report = scan_checkpoint(directory)
+        assert report.checkpoint_kind == "campaign"
+        assert report.clean
+        assert {f.kind for f in report.findings} \
+            == {"journal", "snapshot"}
+
+    def test_kind_detection(self, damaged, tmp_path):
+        directory, _expected = damaged
+        assert detect_checkpoint_kind(directory) == "campaign"
+        assert detect_checkpoint_kind(tmp_path / "nope") == "empty"
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert detect_checkpoint_kind(empty) == "empty"
+        stray = tmp_path / "stray"
+        stray.mkdir()
+        (stray / "notes.txt").write_text("hello")
+        assert detect_checkpoint_kind(stray) == "unknown"
+
+    def test_mid_file_journal_corruption_is_fatal(self, damaged):
+        directory, _expected = damaged
+        corrupt_flip_byte(directory / "journal.bin", seed=3)
+        report = scan_checkpoint(directory)
+        journal = [f for f in report.findings if f.kind == "journal"][0]
+        assert journal.status in ("corrupt", "torn-tail")
+        if journal.status == "corrupt":
+            assert journal.fatal
+            assert journal.repair == "quarantine"
+
+    def test_corrupt_snapshot_is_flagged(self, damaged):
+        directory, _expected = damaged
+        newest = sorted(directory.glob("snapshot-*.bin"))[-1]
+        corrupt_flip_byte(newest, seed=5)
+        report = scan_checkpoint(directory)
+        snap = [f for f in report.findings
+                if f.artifact == newest.name][0]
+        assert snap.status == "corrupt"
+        assert snap.repair == "quarantine"
+
+    def test_swapped_snapshots_are_detected(self, damaged):
+        """Two internally valid snapshots with exchanged contents must
+        both fail their name-keyed CRCs."""
+        directory, _expected = damaged
+        snaps = sorted(directory.glob("snapshot-*.bin"))
+        assert len(snaps) >= 2
+        corrupt_swap_files(snaps[0], snaps[1])
+        report = scan_checkpoint(directory)
+        flagged = {f.artifact for f in report.findings
+                   if f.kind == "snapshot" and f.status == "corrupt"}
+        assert {snaps[0].name, snaps[1].name} <= flagged
+
+    def test_orphaned_snapshot_is_benign(self, damaged):
+        """A snapshot with no journal marker (crash between save and
+        append) is residue, not corruption: preflight tolerates it."""
+        directory, _expected = damaged
+        stray = directory / "snapshot-9999999999.bin"
+        newest = sorted(directory.glob("snapshot-*.bin"))[-1]
+        stray.write_bytes(newest.read_bytes())
+        report = scan_checkpoint(directory)
+        finding = [f for f in report.findings
+                   if f.artifact == stray.name][0]
+        # renamed bytes also fail the name-keyed CRC -> corrupt beats
+        # orphaned; either way it must be quarantined, and a *corrupt*
+        # stray is fatal while a true orphan is not
+        assert finding.status in ("orphaned", "corrupt")
+        assert finding.repair == "quarantine"
+
+    def test_stale_tmp_is_swept_class(self, damaged):
+        directory, _expected = damaged
+        (directory / "snapshot-0000000099.bin.tmp").write_bytes(b"x")
+        report = scan_checkpoint(directory)
+        finding = [f for f in report.findings if f.kind == "tmp"][0]
+        assert finding.status == "stale-tmp"
+        assert finding.repair == "sweep"
+        assert not finding.fatal
+
+
+class TestRepair:
+    def test_journal_corruption_repairs_to_identical_result(
+            self, damaged):
+        directory, expected = damaged
+        corrupt_flip_byte(directory / "journal.bin", seed=3)
+        repair = repair_checkpoint(directory)
+        assert repair.actions
+        assert fingerprint(resume_campaign(directory, CKPT)) == expected
+
+    def test_snapshot_corruption_repairs_to_identical_result(
+            self, damaged):
+        """Quarantining the newest snapshot forces recovery to fall
+        back to the older one and replay through the (consumed)
+        marker — the rollback path of the repair engine."""
+        directory, expected = damaged
+        newest = sorted(directory.glob("snapshot-*.bin"))[-1]
+        corrupt_flip_byte(newest, seed=5)
+        repair_checkpoint(directory)
+        assert not newest.exists()
+        assert fingerprint(resume_campaign(directory, CKPT)) == expected
+
+    def test_quarantine_preserves_evidence_with_reason(self, damaged):
+        directory, _expected = damaged
+        newest = sorted(directory.glob("snapshot-*.bin"))[-1]
+        damaged_bytes = newest.read_bytes()[:200]
+        corrupt_flip_byte(newest, seed=5)
+        full_damaged = newest.read_bytes()
+        repair_checkpoint(directory)
+        quarantine = directory / QUARANTINE_DIR
+        moved = sorted(quarantine.glob("*-snapshot-*.bin"))
+        assert len(moved) == 1
+        assert moved[0].read_bytes() == full_damaged
+        reason = json.loads(
+            (quarantine / (moved[0].name + ".reason.json")).read_text())
+        assert reason["artifact"] == newest.name
+        assert reason["status"] == "corrupt"
+        assert reason["kind"] == "snapshot"
+        assert "CRC" in reason["detail"]
+        del damaged_bytes
+
+    def test_all_snapshots_corrupt_is_unrepairable(self, damaged):
+        directory, _expected = damaged
+        for index, snap in enumerate(
+                sorted(directory.glob("snapshot-*.bin"))):
+            corrupt_flip_byte(snap, seed=index)
+        with pytest.raises(UnrepairableError) as excinfo:
+            repair_checkpoint(directory)
+        assert "no consistent state survives" in str(excinfo.value)
+
+    def test_repair_is_idempotent(self, damaged):
+        directory, expected = damaged
+        corrupt_flip_byte(directory / "journal.bin", seed=3)
+        repair_checkpoint(directory)
+        second = repair_checkpoint(directory)
+        assert second.actions == []
+        assert fingerprint(resume_campaign(directory, CKPT)) == expected
+
+    def test_clean_checkpoint_repair_is_a_noop(self, damaged):
+        directory, expected = damaged
+        before = sorted(p.name for p in directory.iterdir())
+        repair = repair_checkpoint(directory)
+        assert repair.actions == []
+        assert sorted(p.name for p in directory.iterdir()) == before
+        assert fingerprint(resume_campaign(directory, CKPT)) == expected
+
+
+class TestPreflight:
+    def test_clean_checkpoint_passes(self, damaged):
+        directory, _expected = damaged
+        assert_resumable(directory)
+
+    def test_torn_tail_passes(self, damaged):
+        """Torn tails are the resume path's own job; preflight must
+        not force an fsck round-trip for ordinary crash residue."""
+        directory, expected = damaged
+        journal = directory / "journal.bin"
+        journal.write_bytes(journal.read_bytes()[:-3])
+        assert_resumable(directory)
+        assert fingerprint(resume_campaign(directory, CKPT)) == expected
+
+    def test_corruption_blocks_resume_with_fsck_hint(self, damaged):
+        directory, _expected = damaged
+        corrupt_flip_byte(directory / "journal.bin", seed=3)
+        report = scan_checkpoint(directory)
+        if not report.fatal:  # seeded flip landed in the final record
+            pytest.skip("flip classified as torn tail")
+        with pytest.raises(IntegrityError) as excinfo:
+            assert_resumable(directory)
+        assert "fsck" in str(excinfo.value)
+
+
+class TestFsckCli:
+    def run_cli(self, *argv):
+        from repro.cli import main
+
+        return main(list(argv))
+
+    def test_clean_exit_zero(self, damaged, capsys):
+        directory, _expected = damaged
+        assert self.run_cli(
+            "fsck", "--checkpoint-dir", str(directory)) == 0
+        assert "0 damaged" in capsys.readouterr().out
+
+    def test_damage_exit_one_without_repair(self, damaged, capsys):
+        directory, _expected = damaged
+        corrupt_flip_byte(directory / "journal.bin", seed=3)
+        assert self.run_cli(
+            "fsck", "--checkpoint-dir", str(directory)) == 1
+        out = capsys.readouterr().out
+        assert "journal.bin" in out
+
+    def test_repair_then_resume(self, damaged, capsys):
+        directory, expected = damaged
+        corrupt_flip_byte(directory / "journal.bin", seed=3)
+        assert self.run_cli(
+            "fsck", "--repair", "--checkpoint-dir", str(directory)) == 0
+        assert fingerprint(resume_campaign(directory, CKPT)) == expected
+
+    def test_unrepairable_exit_two_with_one_line_diagnostic(
+            self, damaged, capsys):
+        directory, _expected = damaged
+        for index, snap in enumerate(
+                sorted(directory.glob("snapshot-*.bin"))):
+            corrupt_flip_byte(snap, seed=index)
+        assert self.run_cli(
+            "fsck", "--repair", "--checkpoint-dir", str(directory)) == 2
+        err = capsys.readouterr().err.strip().splitlines()
+        assert len(err) == 1
+        assert err[0].startswith("repro: error: ")
+        assert "no consistent state survives" in err[0]
+
+    def test_json_output(self, damaged, capsys):
+        directory, _expected = damaged
+        corrupt_flip_byte(directory / "journal.bin", seed=3)
+        assert self.run_cli("fsck", "--json",
+                            "--checkpoint-dir", str(directory)) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "campaign"
+        assert payload["clean"] is False
+        assert any(f["artifact"] == "journal.bin"
+                   for f in payload["findings"])
+
+    def test_missing_directory_exit_two(self, tmp_path, capsys):
+        assert self.run_cli(
+            "fsck", "--checkpoint-dir", str(tmp_path / "nope")) == 2
+        assert "does not exist" in capsys.readouterr().err

@@ -1,0 +1,234 @@
+"""fsck over continuous-service checkpoints.
+
+The service's measurement output — window deltas, manifest, final
+aggregate — is the artifact set the paper's pipeline would actually
+consume, so its integrity contract is the strictest: after any single
+corruption plus ``fsck --repair``, a resumed service must regenerate
+every output file byte-identically, or the failure must be loud.
+"""
+
+import json
+import shutil
+
+import pytest
+
+from repro.persist import (
+    IntegrityError,
+    UnrepairableError,
+    assert_resumable,
+    repair_checkpoint,
+    scan_checkpoint,
+)
+from repro.persist.campaign import CheckpointConfig
+from repro.service import ServiceConfig, resume_service, supervise
+from repro.sim.faults import (
+    FaultConfig,
+    corrupt_flip_byte,
+    corrupt_swap_files,
+)
+from tests.service.conftest import tiny_service_experiment
+from tests.service.test_service import service_artifacts
+
+SVC = ServiceConfig(windows=4, window_hours=1.0)
+CKPT = CheckpointConfig(snapshot_every_slots=2, keep_snapshots=4)
+
+
+@pytest.fixture(scope="module")
+def crashed_template(tmp_path_factory):
+    """A service killed mid-windows (via the supervisor's first crash),
+    plus the artifact bytes a clean finish produces."""
+    root = tmp_path_factory.mktemp("service-fsck")
+    directory = root / "svc"
+    supervise(
+        tiny_service_experiment(
+            faults=FaultConfig(crash_after_appends=300)),
+        SVC, checkpoint_dir=directory, checkpoint_config=CKPT)
+    # the supervisor already healed the crash and ran to completion;
+    # the finished tree is the richest artifact set to damage
+    return directory, service_artifacts(directory)
+
+
+@pytest.fixture()
+def damaged(crashed_template, tmp_path):
+    directory, expected = crashed_template
+    copy = tmp_path / "svc"
+    shutil.copytree(directory, copy)
+    return copy, expected
+
+
+def resume_and_artifacts(directory):
+    resume_service(directory, CKPT)
+    return service_artifacts(directory)
+
+
+class TestScan:
+    def test_finished_service_scans_clean(self, damaged):
+        directory, _expected = damaged
+        report = scan_checkpoint(directory)
+        assert report.checkpoint_kind == "service"
+        assert report.clean, report.render()
+        kinds = {f.kind for f in report.findings}
+        assert {"journal", "snapshot", "delta", "manifest",
+                "aggregate"} <= kinds
+
+    def test_corrupt_delta_is_fatal(self, damaged):
+        directory, _expected = damaged
+        delta = sorted((directory / "windows").glob("delta-*.json"))[0]
+        corrupt_flip_byte(delta, seed=1)
+        report = scan_checkpoint(directory)
+        finding = [f for f in report.findings
+                   if f.artifact == f"windows/{delta.name}"][0]
+        assert finding.status == "corrupt"
+        assert finding.fatal
+        with pytest.raises(IntegrityError):
+            assert_resumable(directory)
+
+    def test_swapped_deltas_are_detected(self, damaged):
+        """Two self-consistent deltas with exchanged contents: the
+        embedded window index and the journaled CRCs both break."""
+        directory, _expected = damaged
+        deltas = sorted((directory / "windows").glob("delta-*.json"))
+        corrupt_swap_files(deltas[0], deltas[1])
+        report = scan_checkpoint(directory)
+        flagged = {f.artifact for f in report.findings
+                   if f.kind == "delta" and f.status == "corrupt"}
+        assert {f"windows/{deltas[0].name}",
+                f"windows/{deltas[1].name}"} <= flagged
+
+    def test_corrupt_aggregate_is_flagged(self, damaged):
+        directory, _expected = damaged
+        corrupt_flip_byte(directory / "aggregate.json", seed=2)
+        report = scan_checkpoint(directory)
+        finding = [f for f in report.findings
+                   if f.artifact == "aggregate.json"][0]
+        assert finding.status == "corrupt"
+
+    def test_manifest_ahead_of_journal_is_fatal(self, damaged):
+        """A manifest claiming a window the journal never committed
+        cannot arise from any crash ordering — flag it."""
+        directory, _expected = damaged
+        manifest = json.loads((directory / "manifest.json").read_bytes())
+        manifest["completed"].append([99, "delta-0099.json", 1])
+        (directory / "manifest.json").write_text(json.dumps(manifest))
+        report = scan_checkpoint(directory)
+        finding = [f for f in report.findings
+                   if f.artifact == "manifest.json"][0]
+        assert finding.status == "inconsistent"
+        assert "never committed" in finding.detail
+
+    def test_seed_mismatch_is_fatal(self, damaged):
+        directory, _expected = damaged
+        manifest = json.loads((directory / "manifest.json").read_bytes())
+        manifest["seed"] = 999999
+        (directory / "manifest.json").write_text(json.dumps(manifest))
+        report = scan_checkpoint(directory)
+        finding = [f for f in report.findings
+                   if f.artifact == "manifest.json"][0]
+        assert finding.status == "inconsistent"
+        assert "seed" in finding.detail
+
+
+class TestRepairAndResume:
+    def test_corrupt_delta_rolls_back_and_regenerates(self, damaged):
+        """The centrepiece repair: quarantine the damaged delta AND
+        every snapshot that postdates its window, so replay from the
+        older snapshot rewrites the delta byte-identically.  Only the
+        final window still has an old-enough snapshot retained under
+        ``keep_snapshots`` — the rollback horizon."""
+        directory, expected = damaged
+        target = sorted((directory / "windows").glob("delta-*.json"))[-1]
+        corrupt_flip_byte(target, seed=1)
+        repair = repair_checkpoint(directory)
+        assert any("quarantined" in a for a in repair.actions)
+        assert resume_and_artifacts(directory) == expected
+
+    def test_delta_beyond_rollback_horizon_fails_loudly(self, damaged):
+        """An early window's delta has no surviving snapshot old enough
+        to regenerate it: repair must refuse with one diagnostic, never
+        hand back a silently shortened history."""
+        directory, _expected = damaged
+        target = sorted((directory / "windows").glob("delta-*.json"))[0]
+        corrupt_flip_byte(target, seed=1)
+        with pytest.raises(UnrepairableError) as excinfo:
+            repair_checkpoint(directory)
+        assert "no consistent state survives" in str(excinfo.value)
+
+    def test_corrupt_aggregate_regenerates(self, damaged):
+        directory, expected = damaged
+        corrupt_flip_byte(directory / "aggregate.json", seed=2)
+        repair_checkpoint(directory)
+        assert not (directory / "aggregate.json").exists()
+        assert resume_and_artifacts(directory) == expected
+
+    def test_corrupt_manifest_rebuilds(self, damaged):
+        directory, expected = damaged
+        (directory / "manifest.json").write_text("{broken")
+        repair = repair_checkpoint(directory)
+        assert any("manifest" in a for a in repair.actions)
+        assert resume_and_artifacts(directory) == expected
+
+    def test_deleted_delta_rolls_back_and_regenerates(self, damaged):
+        directory, expected = damaged
+        target = sorted((directory / "windows").glob("delta-*.json"))[-1]
+        target.unlink()
+        report = scan_checkpoint(directory)
+        finding = [f for f in report.findings
+                   if f.artifact == f"windows/{target.name}"][0]
+        assert finding.status == "inconsistent"
+        assert finding.repair == "quarantine"
+        repair_checkpoint(directory)
+        assert resume_and_artifacts(directory) == expected
+
+    def test_journal_tail_corruption_repairs(self, damaged):
+        """Damage past the last retained snapshot marker: the rebuilt
+        valid prefix still carries a loadable snapshot, so replay
+        regenerates the lost tail byte-identically."""
+        directory, expected = damaged
+        journal = directory / "journal.bin"
+        data = bytearray(journal.read_bytes())
+        data[-40] ^= 0x20
+        journal.write_bytes(bytes(data))
+        report = scan_checkpoint(directory)
+        assert report.damaged
+        repair_checkpoint(directory)
+        assert resume_and_artifacts(directory) == expected
+
+    def test_journal_midfile_corruption_fails_loudly(self, damaged):
+        """Damage near the journal's start severs every retained
+        snapshot from the rebuildable prefix — loud refusal, not a
+        resume from a fabricated past."""
+        directory, _expected = damaged
+        journal = directory / "journal.bin"
+        data = bytearray(journal.read_bytes())
+        data[20] ^= 0x01  # payload byte of the first record
+        journal.write_bytes(bytes(data))
+        with pytest.raises(UnrepairableError) as excinfo:
+            repair_checkpoint(directory)
+        assert "no consistent state survives" in str(excinfo.value)
+
+
+class TestServeCliPreflight:
+    def test_corrupt_service_blocks_serve_resume(self, damaged, capsys):
+        from repro.cli import main
+
+        directory, _expected = damaged
+        delta = sorted((directory / "windows").glob("delta-*.json"))[0]
+        corrupt_flip_byte(delta, seed=1)
+        assert main(["serve", "--resume",
+                     "--checkpoint-dir", str(directory)]) == 2
+        err = capsys.readouterr().err.strip().splitlines()[-1]
+        assert err.startswith("repro: error: ")
+        assert "fsck" in err
+
+    def test_fsck_repair_unblocks_serve_resume(self, damaged, capsys):
+        from repro.cli import main
+
+        directory, expected = damaged
+        delta = sorted((directory / "windows").glob("delta-*.json"))[-1]
+        corrupt_flip_byte(delta, seed=1)
+        assert main(["fsck", "--repair",
+                     "--checkpoint-dir", str(directory)]) == 0
+        assert main(["serve", "--resume",
+                     "--checkpoint-dir", str(directory)]) == 0
+        capsys.readouterr()
+        assert service_artifacts(directory) == expected
