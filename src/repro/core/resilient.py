@@ -6,9 +6,11 @@ vantage points die.  This module gives the probing loop the machinery a
 production deployment needs to survive that:
 
 * **retries with exponential backoff** and deterministic jitter, driven
-  by the sim :class:`~repro.sim.clock.Clock` and a seeded RNG — waiting
-  out a REFUSED burst or a loss blip costs simulated time, exactly like
-  the real campaign;
+  by the sim :class:`~repro.sim.clock.Clock` and an event-keyed jitter
+  stream (:class:`~repro.sim.streams.KeyedStream`) — waiting out a
+  REFUSED burst or a loss blip costs simulated time, exactly like the
+  real campaign, and the wait depends only on *which* probe is
+  retrying, so retries stay legal under sharded execution;
 * a per-PoP **circuit breaker** (closed → open → half-open → closed)
   that stops hammering a PoP after consecutive REFUSED/timeout
   outcomes and re-tests it after a cooldown;
@@ -38,6 +40,7 @@ from repro.net.prefix import Prefix
 from repro.dns.name import DnsName
 from repro.sim.clock import Clock
 from repro.sim.faults import FaultInjector
+from repro.sim.streams import KeyedStream
 from repro.core.prober import GoogleProber, ProbeResult, ProbeStatus
 
 
@@ -50,8 +53,9 @@ class RetryPolicy:
 
     Attempt ``n`` (0-based) that fails retryably waits
     ``d = min(max_delay_s, base_delay_s * multiplier**n)`` scaled into
-    ``[d/2, d)`` by the driver's seeded RNG — the classic "equal
-    jitter" scheme, fully reproducible under a fixed seed.
+    ``[d/2, d)`` by the driver's event-keyed jitter draw — the classic
+    "equal jitter" scheme, fully reproducible under a fixed seed and
+    independent of probe ordering.
 
     Delays are *sim seconds* and the defaults are sized for the
     simulator's compressed probe cadence: backoff burns campaign time
@@ -76,9 +80,21 @@ class RetryPolicy:
 
     def delay(self, attempt: int, rng: random.Random) -> float:
         """Backoff before retry number ``attempt + 1``."""
+        return self.delay_from_unit(attempt, rng.random())
+
+    def delay_from_unit(self, attempt: int, unit: float) -> float:
+        """Backoff for a jitter draw ``unit`` in ``[0, 1)``.
+
+        Splitting the policy arithmetic from the randomness source lets
+        the driver feed draws from a :class:`~repro.sim.streams
+        .KeyedStream` — so a retry's delay is a pure function of *which
+        probe* is retrying, not of how many other probes retried before
+        it.  That order-independence is what makes retries legal under
+        sharded execution.
+        """
         raw = min(self.max_delay_s,
                   self.base_delay_s * self.multiplier ** attempt)
-        return raw / 2.0 + rng.random() * raw / 2.0
+        return raw / 2.0 + unit * raw / 2.0
 
 
 @dataclass(frozen=True, slots=True)
@@ -348,9 +364,9 @@ class ProbeHealthReport:
 class ResilientProber:
     """Wraps a :class:`GoogleProber` with retries, breakers and budget.
 
-    All stochastic choices (jitter) come from a dedicated seeded RNG;
-    all waiting advances the shared sim clock, so resilience costs
-    simulated campaign time the way it costs real time.
+    All stochastic choices (jitter) come from a dedicated event-keyed
+    stream; all waiting advances the shared sim clock, so resilience
+    costs simulated campaign time the way it costs real time.
     """
 
     def __init__(
@@ -365,7 +381,12 @@ class ResilientProber:
         self.config = config or ResilienceConfig()
         self._clock = clock
         self._faults = faults
-        self._rng = random.Random(f"{seed}:resilient")
+        # Jitter draws are event-keyed, not sequential: the delay of a
+        # retry depends only on (seed, instant, which probe, which
+        # retry), never on how many other probes drew jitter earlier.
+        # That makes retry schedules identical between a serial run and
+        # any sharded run that replays the same clock trajectory.
+        self._jitter = KeyedStream(seed, "resilient-jitter", clock)
         self._breakers: dict[str, CircuitBreaker] = {}
         self.report = ProbeHealthReport(
             resilience_enabled=self.config.enabled,
@@ -449,11 +470,11 @@ class ResilientProber:
         refused = 0
         timed_out = 0
         sent = 0
-        for _ in range(self.prober.redundancy):
+        for index in range(self.prober.redundancy):
             if self.config.enabled and not self.breaker(pop_id).allow():
                 # The breaker opened earlier in this batch; stop.
                 break
-            attempt = self._attempt(pop_id, domain, scope)
+            attempt = self._attempt(pop_id, domain, scope, index)
             if attempt is None:
                 break
             status, scope_length = attempt
@@ -479,7 +500,7 @@ class ResilientProber:
         )
 
     def _attempt(
-        self, pop_id: str, domain: DnsName, scope: Prefix
+        self, pop_id: str, domain: DnsName, scope: Prefix, index: int = 0
     ) -> tuple[ProbeStatus, int | None] | None:
         """One redundancy slot: a query plus its retry chain.
 
@@ -510,13 +531,45 @@ class ResilientProber:
                 # The breaker opened under this failure streak; stop
                 # retrying — the slot-level skip logic takes over.
                 return status, scope_length
-            delay = config.retry.delay(retries_done, self._rng)
+            unit = self._jitter.uniform(
+                pop_id, str(domain), str(scope), index, retries_done)
+            delay = config.retry.delay_from_unit(retries_done, unit)
             self._clock.advance(delay)
             retries_done += 1
             self.report.retries += 1
             self.report.backoff_wait_s += delay
             pop = self._pop_health(pop_id)
             pop.retries += 1
+
+    # -- foreign-shard replay ----------------------------------------------
+
+    def apply_foreign_breaker(self, pop_id: str, event: str) -> None:
+        """Replay one breaker side effect of a probe another shard owns.
+
+        A sharded worker skips foreign probe visits, but those visits
+        would have driven the shared per-PoP breakers: ``allow`` can
+        flip OPEN→HALF_OPEN, ``ok``/``fail`` feed the outcome counters.
+        The synchronization summary records the exact event sequence so
+        every shard's breakers traverse the identical state machine.
+        """
+        breaker = self.breaker(pop_id)
+        if event == "allow":
+            breaker.allow()
+        elif event == "ok":
+            breaker.record_success()
+        elif event == "fail":
+            breaker.record_failure()
+        else:
+            raise ValueError(f"unknown breaker event {event!r}")
+
+    def consume_foreign_budget(self, queries: int) -> None:
+        """Deduct queries another shard spent from the shared budget.
+
+        Only the balance moves — the owning shard already accounted the
+        sends in *its* health report, and the merge sums those.
+        """
+        if self._budget_left is not None:
+            self._budget_left -= queries
 
     # -- bookkeeping -------------------------------------------------------
 

@@ -10,6 +10,15 @@ from __future__ import annotations
 
 import string
 from dataclasses import dataclass
+from functools import lru_cache
+
+
+@lru_cache(maxsize=65536)
+def _render(labels: tuple) -> str:
+    # A campaign renders the same few thousand probe names millions of
+    # times (event keys, keyed RNG draws, export rows); memoise the
+    # join keyed by the label tuple itself.
+    return ".".join(labels)
 
 _LABEL_CHARS = set(string.ascii_lowercase + string.digits + "-_")
 
@@ -82,7 +91,7 @@ class DnsName:
         return len(self.labels) >= n and self.labels[-n:] == other.labels
 
     def __str__(self) -> str:
-        return ".".join(self.labels)
+        return _render(self.labels)
 
     def __repr__(self) -> str:
         return f"DnsName({str(self)!r})"

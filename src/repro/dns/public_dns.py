@@ -191,6 +191,24 @@ class PublicDnsService:
         # probing trips the limit while normal lookups do not.
         return self._udp_limiter.allow((query.source_ip, query.name))
 
+    @property
+    def tcp_bucket_params(self) -> tuple[float, float]:
+        """``(rate, capacity)`` of the per-source TCP buckets — the
+        parameters a shard's synchronization-summary builder mirrors to
+        predict bucket depletion without live queries."""
+        return (self._tcp_limiter.rate, self._tcp_limiter.capacity)
+
+    def debit_tcp_tokens(self, source_ip: int, attempts: int) -> int:
+        """Spend ``attempts`` same-instant TCP tokens for a source.
+
+        Sharded workers call this with the aggregate probe volume a
+        *foreign* shard sends from ``source_ip`` between two owned
+        probes, so the shared per-source bucket depletes exactly as it
+        would have under the serial interleaving — without resolving
+        any foreign query.  Returns the number of tokens granted.
+        """
+        return self._tcp_limiter.debit(source_ip, attempts)
+
     # -- the resolver ---------------------------------------------------
 
     def query(

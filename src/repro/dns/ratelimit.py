@@ -56,6 +56,33 @@ class TokenBucket:
             return True
         return False
 
+    def consume_attempts(self, now: float, attempts: int) -> int:
+        """Apply ``attempts`` sequential 1-token acquisitions at one
+        instant and return how many succeeded.
+
+        ``k`` same-instant unit acquisitions against a balance ``a``
+        grant exactly ``min(k, floor(a))`` tokens — the refill happens
+        once (time does not move between them) and each grant costs a
+        whole token.  This lets a sharded worker deplete a bucket by a
+        foreign shard's aggregate probe volume in O(1) instead of
+        simulating every foreign query.
+        """
+        if attempts < 0:
+            raise ValueError(f"cannot consume {attempts} attempts")
+        if now < self.last_refill:
+            raise ClockError(
+                f"token bucket saw time run backwards: "
+                f"{now} < {self.last_refill}"
+            )
+        if now > self.last_refill:
+            self.tokens = min(
+                self.capacity, self.tokens + (now - self.last_refill) * self.rate
+            )
+            self.last_refill = now
+        consumed = min(attempts, int(self.tokens))
+        self.tokens -= consumed
+        return consumed
+
     def time_to_full(self) -> float:
         """Seconds of idleness after which the bucket refills fully."""
         return (self.capacity - self.tokens) / self.rate
@@ -91,6 +118,16 @@ class KeyedRateLimiter:
         self.evicted = 0
         self.evicted_unfilled = 0
 
+    @property
+    def rate(self) -> float:
+        """Tokens per second each bucket refills at."""
+        return self._rate
+
+    @property
+    def capacity(self) -> float:
+        """Burst capacity of each bucket."""
+        return self._capacity
+
     def allow(self, key: object, tokens: float = 1.0) -> bool:
         """Consume a token for the key; False when exhausted."""
         now = self._clock.now
@@ -106,6 +143,32 @@ class KeyedRateLimiter:
             return True
         self.rejected += 1
         return False
+
+    def debit(self, key: object, attempts: int) -> int:
+        """Apply ``attempts`` same-instant unit acquisitions for ``key``
+        in one call; returns how many were granted.
+
+        Semantically identical to calling :meth:`allow` ``attempts``
+        times without the clock moving — the bucket refills once, each
+        grant costs a whole token, failed attempts count as rejections,
+        and the key is touched exactly once in the LRU order (repeated
+        ``allow`` calls would also leave it most-recently-used).  The
+        parallel layer uses this to replay a foreign shard's aggregate
+        bucket pressure between two owned probes.
+        """
+        if attempts == 0:
+            return 0
+        now = self._clock.now
+        bucket = self._buckets.pop(key, None)
+        if bucket is None:
+            if (self._max_keys is not None
+                    and len(self._buckets) >= self._max_keys):
+                self._evict_lru(now)
+            bucket = TokenBucket.full(self._rate, self._capacity, now)
+        self._buckets[key] = bucket
+        consumed = bucket.consume_attempts(now, attempts)
+        self.rejected += attempts - consumed
+        return consumed
 
     def _evict_lru(self, now: float) -> None:
         lru_key = next(iter(self._buckets))

@@ -9,9 +9,18 @@ results are all prefixes.  They are ordered, hashable, and cheap.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterator
 
 from repro.net.ipv4 import AddressError, check_address, format_ipv4, parse_ipv4
+
+
+@lru_cache(maxsize=65536)
+def _render(network: int, length: int) -> str:
+    # The pipeline renders the same few thousand scopes millions of
+    # times (event keys, export rows, keyed RNG draws), so the dotted
+    # quad is worth memoising; keyed by ints to keep the cache light.
+    return f"{format_ipv4(network)}/{length}"
 
 
 class PrefixError(ValueError):
@@ -178,7 +187,7 @@ class Prefix:
     # -- rendering ----------------------------------------------------------
 
     def __str__(self) -> str:
-        return f"{format_ipv4(self.network)}/{self.length}"
+        return _render(self.network, self.length)
 
     def __repr__(self) -> str:
         return f"Prefix({str(self)!r})"

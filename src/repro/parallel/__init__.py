@@ -6,6 +6,9 @@ Public surface:
   the drivers (`repro run --workers N` / `repro resume`);
 * :class:`ShardSpec` / :class:`ShardPlan` / :func:`plan_shards` — the
   prefix-trie shard planner;
+* :func:`build_sync_plan` / :class:`SyncPlan` — the per-shard
+  synchronization summaries that keep workers in lock-step without
+  ghost visits;
 * :func:`merge_cache_results` / :func:`merge_dns_logs` — the
   order-independent merge;
 * :class:`ShardResult` and the worker entry points.
@@ -29,6 +32,11 @@ from repro.parallel.worker import (
     run_shard,
     shard_dir_name,
 )
+from repro.parallel.summary import (
+    SyncPlan,
+    SyncPlanDivergence,
+    build_sync_plan,
+)
 from repro.parallel.merge import (
     ShardDivergence,
     merge_cache_results,
@@ -48,6 +56,9 @@ __all__ = [
     "ShardResult",
     "ShardResultError",
     "ShardSpec",
+    "SyncPlan",
+    "SyncPlanDivergence",
+    "build_sync_plan",
     "is_parallel_checkpoint",
     "load_shard_result",
     "merge_cache_results",

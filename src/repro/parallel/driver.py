@@ -14,12 +14,16 @@ into its own ``shard-NN/`` sub-directory, and
 ``result.pkl``, resumes crashed ones from their snapshots, and merges
 as if nothing had died.
 
-Serial ≡ parallel holds only on the deterministic schedule, so
-resilience retries are refused up front (their backoff advances the
-shared clock and would desynchronise every replica).  Rate-limit
-pressure needs no such guard: ghost visits consume the resolver's
-token-bucket tokens, so bucket REFUSEDs fall on the same probes in
-every replica.  See docs/parallelism.md for the full contract.
+Synchronization is summary-based: each worker derives a per-shard
+synchronization summary at planning time (batched clock advances,
+aggregate token-bucket debits, breaker/budget replay ops) covering the
+schedule spans it does not own, so resilience retries — whose keyed
+backoff draws and clock advances the summary replays exactly — are
+supported under sharding.  The merged digest of every shard's summary
+is pinned into the manifest.  Checkpoints written by the ghost-visit
+era carry manifest format ``repro.parallel.v1`` and are refused on
+resume (their snapshots embed the old walk).  See docs/parallelism.md
+for the full contract.
 """
 
 from __future__ import annotations
@@ -53,7 +57,11 @@ from repro.parallel.merge import merge_cache_results, merge_dns_logs
 
 MANIFEST_FILE = "manifest.json"
 CONFIG_FILE = "config.pkl"
-MANIFEST_FORMAT = "repro.parallel.v1"
+MANIFEST_FORMAT = "repro.parallel.v2"
+#: any version of the parallel manifest family (for routing/detection).
+MANIFEST_FORMAT_PREFIX = "repro.parallel.v"
+#: the ghost-visit era format, refused on resume.
+MANIFEST_FORMAT_V1 = "repro.parallel.v1"
 
 
 class ParallelismError(RuntimeError):
@@ -66,6 +74,9 @@ def is_parallel_checkpoint(directory: str | Path) -> bool:
     Checks the manifest's format marker, not mere existence — the
     continuous service writes a ``manifest.json`` of its own, and a
     corrupt manifest must not be mistaken for a parallel campaign.
+    Any version in the ``repro.parallel.v*`` family routes here, so a
+    ghost-era (v1) checkpoint reaches the versioned refusal in
+    :func:`resume_parallel_campaign` instead of being misrouted.
     """
     path = Path(directory) / MANIFEST_FILE
     if not path.exists():
@@ -74,17 +85,9 @@ def is_parallel_checkpoint(directory: str | Path) -> bool:
         meta = json.loads(path.read_text())
     except (ValueError, OSError):
         return False
-    return isinstance(meta, dict) and meta.get("format") == MANIFEST_FORMAT
-
-
-def _check_config(config: ExperimentConfig) -> None:
-    if config.probing.resilience.enabled:
-        raise ParallelismError(
-            "parallel campaigns require probing.resilience.enabled="
-            "False: retry backoff advances the shared simulated clock, "
-            "which would desynchronise the shards' schedules and break "
-            "the serial ≡ parallel guarantee"
-        )
+    return (isinstance(meta, dict)
+            and isinstance(meta.get("format"), str)
+            and meta["format"].startswith(MANIFEST_FORMAT_PREFIX))
 
 
 def _pool_context():
@@ -119,6 +122,12 @@ def _read_manifest(directory: Path) -> tuple[ExperimentConfig, int]:
             f"{directory} holds no parallel campaign manifest"
         )
     meta = json.loads(manifest.read_text())
+    if meta.get("format") == MANIFEST_FORMAT_V1:
+        raise CheckpointError(
+            f"{directory} holds a ghost-era (repro.parallel.v1) "
+            "checkpoint whose snapshots embed the old full-schedule "
+            "walk; rerun the campaign to produce a v2 checkpoint"
+        )
     if meta.get("format") != MANIFEST_FORMAT:
         raise CheckpointError(
             f"unsupported parallel manifest format {meta.get('format')!r}"
@@ -126,6 +135,15 @@ def _read_manifest(directory: Path) -> tuple[ExperimentConfig, int]:
     with (directory / CONFIG_FILE).open("rb") as handle:
         config = pickle.load(handle)
     return config, int(meta["workers"])
+
+
+def _stamp_manifest_digest(directory: Path,
+                           sync_digest: str | None) -> None:
+    """Pin the merged synchronization digest into the manifest."""
+    manifest = directory / MANIFEST_FILE
+    meta = json.loads(manifest.read_text())
+    meta["sync_digest"] = sync_digest
+    manifest.write_text(json.dumps(meta, indent=2) + "\n")
 
 
 def _shard_has_journal(shard_dir: Path) -> bool:
@@ -190,7 +208,6 @@ def run_parallel_experiment(
     config = config or ExperimentConfig.small()
     if workers < 1:
         raise ParallelismError(f"workers must be >= 1, got {workers}")
-    _check_config(config)
     if crash_shards and checkpoint_dir is None:
         raise ParallelismError(
             "crash_shards requires a checkpoint_dir: an unjournaled "
@@ -241,8 +258,11 @@ def run_parallel_experiment(
     finally:
         if pool is not None:
             pool.shutdown()
-    return _finish(config, state0.world, state0.vantage_points,
-                   shard_results)
+    result = _finish(config, state0.world, state0.vantage_points,
+                     shard_results)
+    if directory is not None:
+        _stamp_manifest_digest(directory, result.cache_result.sync_digest)
+    return result
 
 
 def resume_parallel_campaign(
@@ -330,4 +350,6 @@ def resume_parallel_campaign(
                 "recover the world from"
             )
         world, vantage_points = state.world, state.vantage_points
-    return _finish(config, world, vantage_points, shard_results)
+    result = _finish(config, world, vantage_points, shard_results)
+    _stamp_manifest_digest(directory, result.cache_result.sync_digest)
+    return result

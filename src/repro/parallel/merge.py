@@ -133,7 +133,11 @@ def _merge_health(shards: Sequence[ShardResult]) -> ProbeHealthReport:
         merged.backoff_wait_s += report.backoff_wait_s
         merged.targets_assigned += report.targets_assigned
         merged.targets_probed += report.targets_probed
-        merged.targets_reassigned += report.targets_reassigned
+        # Reassignments are breaker-driven and executed live by every
+        # replica (each worker moves the whole degraded PoP's targets,
+        # then probes only the ones it owns) — dedup, don't sum.
+        merged.targets_reassigned = max(merged.targets_reassigned,
+                                        report.targets_reassigned)
         merged.targets_uncovered += report.targets_uncovered
         for pop_id, pop in report.per_pop.items():
             into = per_pop.setdefault(pop_id, PopHealth())
@@ -143,9 +147,10 @@ def _merge_health(shards: Sequence[ShardResult]) -> ProbeHealthReport:
             into.refused += pop.refused
             into.timed_out += pop.timed_out
             into.retries += pop.retries
-            into.reassigned_away += pop.reassigned_away
-            # Slot skips are clock-driven and observed identically by
-            # every replica's full schedule walk — dedup, don't sum.
+            # Slot skips and reassignments are clock/breaker-driven and
+            # observed identically by every replica — dedup, don't sum.
+            into.reassigned_away = max(into.reassigned_away,
+                                       pop.reassigned_away)
             into.skipped_slots = max(into.skipped_slots, pop.skipped_slots)
     merged.per_pop = dict(sorted(per_pop.items()))
     merged.verify()
@@ -166,6 +171,10 @@ def merge_cache_results(
                   (s.cache.probes_before_loop for s in ordered))
     _expect_equal("clock_now", (s.clock_now for s in ordered))
     _expect_equal("clock_ticks", (s.clock_ticks for s in ordered))
+    # Every shard's synchronization summary hashes the same owner-
+    # independent global trace, so the digests must agree exactly
+    # (all None under the legacy ghost walk).
+    _expect_equal("sync_digest", (s.cache.sync_digest for s in ordered))
     base = ordered[0].cache
     loop_probes = sum(s.cache.probes_sent - s.cache.probes_before_loop
                       for s in ordered)
@@ -183,6 +192,7 @@ def merge_cache_results(
         hourly_hits=_merge_disjoint(ordered, "hourly_hits"),
         health=_merge_health(ordered),
         probes_before_loop=base.probes_before_loop,
+        sync_digest=base.sync_digest,
     )
 
 

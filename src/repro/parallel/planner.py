@@ -24,6 +24,7 @@ the equivalence suite covers exactly that case.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.net.prefix import Prefix
@@ -75,9 +76,16 @@ class ShardSpec:
     """One worker's view of the partition.
 
     This is the object :class:`repro.core.cache_probing
-    .CacheProbingPipeline` consumes: ``owns`` is the ghost-visit
+    .CacheProbingPipeline` consumes: ``owns`` is the ownership
     predicate, and ``shard_id``/``num_shards`` drive the round-robin
     DNS-letter split.
+
+    ``sync_mode`` selects how foreign schedule positions are kept in
+    lock-step: ``"summary"`` (the default) pre-computes a per-shard
+    synchronization summary (:mod:`repro.parallel.summary`) so the hot
+    loop is O(owned targets); ``"ghost"`` is the legacy full-replica
+    walk that visits every position, kept as a cross-check oracle for
+    the differential suite.
 
     The plan is **bound lazily**: the partition depends on the probing
     assignment, which a worker only knows after running its own
@@ -90,6 +98,9 @@ class ShardSpec:
     shard_id: int
     num_shards: int
     plan: ShardPlan | None = field(default=None, repr=False)
+    sync_mode: str = "summary"
+
+    _SYNC_MODES = ("summary", "ghost")
 
     def __post_init__(self) -> None:
         if not 0 <= self.shard_id < self.num_shards:
@@ -100,6 +111,11 @@ class ShardSpec:
         if (self.plan is not None
                 and self.plan.num_shards != self.num_shards):
             raise ValueError("plan was built for a different shard count")
+        if self.sync_mode not in self._SYNC_MODES:
+            raise ValueError(
+                f"sync_mode must be one of {self._SYNC_MODES}, "
+                f"got {self.sync_mode!r}"
+            )
 
     def bind(self, assignment: dict[str, list]) -> None:
         """Derive the plan from the frozen probing assignment (no-op if
@@ -137,15 +153,24 @@ def plan_shards(
     # greedy pass can balance, so keep splitting past `wanted` until
     # the heaviest subtree is manageable (or subtrees stop splitting).
     heaviest_ok = total / num_shards / 2 if num_shards > 1 else total
+    # The depth search runs over plain (network, length) ints and only
+    # materialises Prefix objects for the depth it settles on — every
+    # worker repeats this search, so it sits on the shard startup path.
+    items = [(scope.network, scope.length, weight)
+             for scope, weight in scope_weights.items()]
     depth = 0
-    groups: dict[Prefix, int] = {}
+    keyed: dict[tuple[int, int], int] = {}
     for depth in range(MAX_CUT_DEPTH + 1):
-        groups = {}
-        for scope, weight in scope_weights.items():
-            root = subtree_root(scope, depth)
-            groups[root] = groups.get(root, 0) + weight
-        if len(groups) >= wanted and max(groups.values()) <= heaviest_ok:
+        keyed = {}
+        mask = 0 if depth == 0 else (0xFFFFFFFF << (32 - depth)) & 0xFFFFFFFF
+        for network, length, weight in items:
+            key = ((network, length) if length <= depth
+                   else (network & mask, depth))
+            keyed[key] = keyed.get(key, 0) + weight
+        if len(keyed) >= wanted and max(keyed.values()) <= heaviest_ok:
             break
+    groups = {Prefix(network, length): weight
+              for (network, length), weight in keyed.items()}
     loads = [0.0] * num_shards
     assignment: dict[Prefix, int] = {}
     # Heaviest subtree first onto the lightest shard; ties broken by
@@ -167,8 +192,6 @@ def plan_from_assignment(
     assignment: dict[str, list], num_shards: int
 ) -> ShardPlan:
     """Plan from a pipeline assignment (``pop -> [(domain, scope)]``)."""
-    weights: dict[Prefix, int] = {}
-    for entries in assignment.values():
-        for _domain, scope in entries:
-            weights[scope] = weights.get(scope, 0) + 1
+    weights: dict[Prefix, int] = Counter(
+        scope for entries in assignment.values() for _domain, scope in entries)
     return plan_shards(weights, num_shards)

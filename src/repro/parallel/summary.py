@@ -1,0 +1,574 @@
+"""Per-shard synchronization summaries.
+
+PR 3's sharding made every worker a *full replica*: it walked the whole
+probe schedule and issued "ghost" queries for foreign targets so that
+shared state (rate-limit buckets) stayed in lock-step with the serial
+run.  Correct, but O(all probes) per worker — which is why 4 workers
+topped out at ~2.5x.
+
+This module replaces the ghost walk with a **synchronization summary**
+computed once per worker at planning time.  The builder replays the
+entire serial schedule *arithmetically* against mirror components — a
+private :class:`~repro.sim.clock.Clock`, mirror token buckets, mirror
+circuit breakers, a mirror fault injector and a mirror jitter stream,
+all reconstructible because every stochastic draw in the simulator is
+event-keyed (:class:`~repro.sim.streams.KeyedStream`) — and emits, per
+``(slot, PoP)``, the shard's **op-stream**:
+
+* ``("adv", seconds, ticks)`` — a batched clock advance covering the
+  backoff waits of foreign retries, so the worker's clock traverses the
+  exact serial trajectory (time *and* tick count);
+* ``("tok", source_ip, attempts)`` — an aggregate rate-limit debit for
+  the foreign probe volume between two owned probes, so per-source
+  buckets deplete identically to serial without resolving any foreign
+  query (see :meth:`repro.dns.ratelimit.TokenBucket.consume_attempts`);
+* ``("brk", pop_id, event)`` — one foreign breaker side effect
+  (``allow``/``ok``/``fail``), replayed so every shard's breakers walk
+  the identical state machine;
+* ``("bud", n)`` — foreign probe-budget consumption.
+
+The hot loop then visits **only owned schedule positions** (each step
+carries its serial ``offset``), applying the pending ops just before
+each visit: O(owned) + O(ops) instead of O(all probes).
+
+Two builder strategies, chosen from the frozen configuration (which
+every shard computes identically, so all shards agree with no
+coordination):
+
+* **aggregate** — pure arithmetic over cursor windows, O(slots × PoPs +
+  owned visits).  Legal whenever nothing can move the clock or couple
+  probe outcomes *within* a slot: resilience off, no probe budget, no
+  TCP loss.  Foreign visits then affect shared state only through
+  same-instant token debits, which commute between two owned visits.
+* **replay** — a full control-plane walk of every visit (statuses,
+  retries, breaker records, budget), needed once retries can advance
+  the clock or outcomes feed breakers.  Still planning-time-only and
+  side-effect-free; the campaign's data plane (caches, exports) is
+  never touched.
+
+Every summary carries a digest over the *owner-independent* global
+schedule trace.  All shards of one campaign compute the same digest —
+the merge refuses shards whose digests differ, and the digest lands in
+the campaign manifest (format v2).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+from repro.core.resilient import CircuitBreaker
+from repro.dns.message import Transport
+from repro.dns.ratelimit import KeyedRateLimiter
+from repro.sim.clock import Clock
+from repro.sim.faults import FaultInjector
+from repro.sim.streams import KeyedStream
+
+
+class SyncPlanDivergence(RuntimeError):
+    """A worker's live schedule walk disagreed with its summary.
+
+    The summary is a pure function of the frozen assignment, so this
+    can only mean the builder and the live loop disagree about the
+    serial schedule — a bug, never a recoverable condition.
+    """
+
+
+# Mirror probe statuses; the control plane only needs the class of an
+# outcome (answered / refused / timed out), never HIT vs MISS — hits
+# feed reports and exports, which stay with the owning shard.
+_ANSWERED = "a"
+_REFUSED = "r"
+_TIMEOUT = "t"
+
+
+@dataclass(slots=True)
+class PopSlotSync:
+    """One ``(slot, PoP)`` cell of a shard's synchronization plan."""
+
+    #: the serial loop skipped this PoP's slot (vantage down / breaker
+    #: open); the worker's live availability check must agree.
+    skipped: bool
+    #: serial chunk size this slot — cross-checked against the live
+    #: loop's own arithmetic.
+    per_slot: int
+    #: ``(ops, offset)`` per owned visit, in serial order.  ``ops`` is
+    #: the (possibly ``None``) tuple of foreign side effects to apply
+    #: *before* visiting schedule position ``offset``.
+    steps: list
+    #: foreign side effects after the last owned visit of the window.
+    tail: tuple
+
+
+@dataclass(slots=True)
+class SyncPlan:
+    """Everything one shard needs to stay in serial lock-step."""
+
+    #: ``"aggregate"`` or ``"replay"`` (see module docstring).
+    mode: str
+    #: hex digest of the owner-independent global schedule trace;
+    #: identical across all shards of a campaign.
+    digest: str
+    #: whether token ops were emitted at all (only when the campaign's
+    #: probe volume can actually deplete a bucket).
+    tokens_tracked: bool
+    #: one dict per slot: ``pop_id -> PopSlotSync``.
+    slots: list
+    #: serial token attempts per source IP (global, owner-independent).
+    bucket_attempts: dict = field(default_factory=dict)
+    #: the subset of ``bucket_attempts`` made by visits this shard owns.
+    owned_bucket_attempts: dict = field(default_factory=dict)
+
+
+def _merge_ops(pending: list) -> tuple:
+    """Coalesce adjacent same-kind ops; breaker events never merge."""
+    merged: list = []
+    for op in pending:
+        if merged:
+            last = merged[-1]
+            if op[0] == "adv" and last[0] == "adv":
+                merged[-1] = ("adv", last[1] + op[1], last[2] + op[2])
+                continue
+            if op[0] == "tok" and last[0] == "tok" and last[1] == op[1]:
+                merged[-1] = ("tok", op[1], last[2] + op[2])
+                continue
+            if op[0] == "bud" and last[0] == "bud":
+                merged[-1] = ("bud", last[1] + op[1])
+                continue
+        merged.append(op)
+    return tuple(merged)
+
+
+def _per_slot(config, slot_seconds: float, targets: int, slots: int) -> int:
+    """The serial loop's chunk-size arithmetic, verbatim."""
+    if config.probe_rate_qps is not None:
+        return max(1, round(config.probe_rate_qps * slot_seconds))
+    return max(1, (targets * config.probe_loops + slots - 1) // slots)
+
+
+def build_sync_plan(
+    *,
+    owns,
+    targets_by_pop: dict,
+    slots: int,
+    slot_seconds: float,
+    start_now: float,
+    config,
+    vantages: dict,
+    pop_locations: dict,
+    faults_config,
+    bucket: tuple,
+    tokens_tracked: bool,
+) -> SyncPlan:
+    """Derive one shard's synchronization summary.
+
+    ``owns`` is the shard's ownership predicate over query scopes;
+    ``targets_by_pop`` is the frozen (shuffled) assignment as the loop
+    state holds it; ``vantages`` maps ``pop_id`` to ``(source_ip,
+    vantage_key)``; ``bucket`` is ``(rate, capacity)`` of the
+    resolver's per-source TCP buckets; ``start_now`` is the simulated
+    time at which the probing loop will start.
+
+    Ownership only decides how the serial trace is *split* into owned
+    steps versus foreign ops — the trace itself (and hence the digest)
+    is identical for every shard.
+    """
+    resilience = config.resilience
+    faults_on = faults_config is not None and faults_config.any_enabled
+    needs_replay = (
+        resilience.enabled
+        or resilience.probe_budget is not None
+        or (faults_on and faults_config.tcp_loss_rate > 0)
+    )
+    walk = _Walk(
+        owns=owns,
+        targets_by_pop=targets_by_pop,
+        slots=slots,
+        slot_seconds=slot_seconds,
+        start_now=start_now,
+        config=config,
+        vantages=vantages,
+        pop_locations=pop_locations,
+        faults_config=faults_config if faults_on else None,
+        bucket=bucket,
+        tokens_tracked=tokens_tracked,
+    )
+    return walk.replay() if needs_replay else walk.aggregate()
+
+
+class _Walk:
+    """The schedule walk shared by both builder strategies."""
+
+    def __init__(self, *, owns, targets_by_pop, slots, slot_seconds,
+                 start_now, config, vantages, pop_locations, faults_config,
+                 bucket, tokens_tracked) -> None:
+        self.owns = owns
+        self.slots = slots
+        self.slot_seconds = slot_seconds
+        self.config = config
+        self.resilience = config.resilience
+        self.vantages = vantages
+        self.pop_locations = pop_locations
+        self.tokens_tracked = tokens_tracked
+        # Mirror world: a private clock starting where the loop will,
+        # plus mirrors of every component whose behaviour the control
+        # plane depends on.  All of them are the *real* classes — the
+        # walk replays decisions, it does not re-implement them.
+        self.clock = Clock(start=start_now)
+        self.faults = (FaultInjector(faults_config, self.clock)
+                       if faults_config is not None else None)
+        self.jitter = KeyedStream(config.seed, "resilient-jitter",
+                                  self.clock)
+        self.limiter = KeyedRateLimiter(
+            self.clock, rate=bucket[0], capacity=bucket[1])
+        self.breakers: dict[str, CircuitBreaker] = {}
+        self.budget_left = self.resilience.probe_budget
+        # The walk's own mutable copy of the schedule: target identity
+        # only, as (str(name), DnsName, Prefix, str(scope)) rows.
+        self.targets = {
+            pop_id: [(str(t[0].name), t[1], str(t[1])) for t in entries]
+            for pop_id, entries in targets_by_pop.items()
+        }
+        self.cursors = {pop_id: 0 for pop_id in self.targets}
+        self.streaks = {pop_id: 0 for pop_id in self.targets}
+        self.bucket_attempts: dict[int, int] = {}
+        self.owned_bucket_attempts: dict[int, int] = {}
+        self.hash = hashlib.blake2b(digest_size=16)
+        self.hash.update(repr((
+            "sync-v1", slots, start_now, slot_seconds,
+            config.redundancy, config.probe_loops, config.probe_rate_qps,
+            config.seed, self.resilience.enabled,
+            self.resilience.probe_budget, bucket, tokens_tracked,
+        )).encode())
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _trace(self, *event) -> None:
+        self.hash.update(repr(event).encode())
+
+    def _count_tokens(self, source_ip: int, attempts: int,
+                      owned: bool) -> None:
+        self.bucket_attempts[source_ip] = (
+            self.bucket_attempts.get(source_ip, 0) + attempts)
+        if owned:
+            self.owned_bucket_attempts[source_ip] = (
+                self.owned_bucket_attempts.get(source_ip, 0) + attempts)
+
+    def _finish(self, mode: str, plan_slots: list) -> SyncPlan:
+        return SyncPlan(
+            mode=mode,
+            digest=self.hash.hexdigest(),
+            tokens_tracked=self.tokens_tracked,
+            slots=plan_slots,
+            bucket_attempts=self.bucket_attempts,
+            owned_bucket_attempts=self.owned_bucket_attempts,
+        )
+
+    # -- aggregate mode ----------------------------------------------------
+
+    def aggregate(self) -> SyncPlan:
+        """Pure cursor arithmetic: no retries, no budget, no TCP loss.
+
+        Within a slot every probe fires at the same instant and foreign
+        visits touch shared state only through token debits, which
+        commute between two consecutive owned visits — so the whole
+        foreign gap collapses into one ``tok`` op.  A PoP inside an
+        outage window times out *before* the token check, contributing
+        zero attempts.
+        """
+        config = self.config
+        redundancy = config.redundancy
+        plan_slots: list = []
+        # Per-PoP sorted owned indices; the assignment never mutates in
+        # aggregate mode (reassignment needs resilience).
+        owned_idx = {
+            pop_id: [i for i, row in enumerate(rows)
+                     if self.owns(row[1])]
+            for pop_id, rows in self.targets.items()
+        }
+        for slot in range(self.slots):
+            self.clock.advance_to(self.clock.now + self.slot_seconds)
+            entry: dict[str, PopSlotSync] = {}
+            plan_slots.append(entry)
+            for pop_id, rows in self.targets.items():
+                if not rows:
+                    continue
+                source_ip, vantage_key = self.vantages[pop_id]
+                if (self.faults is not None
+                        and self.faults.vantage_down(vantage_key)):
+                    self.streaks[pop_id] += 1
+                    entry[pop_id] = PopSlotSync(
+                        skipped=True, per_slot=0, steps=[], tail=())
+                    self._trace("skip", slot, pop_id)
+                    continue
+                self.streaks[pop_id] = 0
+                length = len(rows)
+                width = _per_slot(config, self.slot_seconds, length,
+                                  self.slots)
+                cursor = self.cursors[pop_id]
+                pop_down = (self.faults is not None
+                            and self.faults.pop_down(pop_id))
+                tokens = (self.tokens_tracked and not pop_down)
+                if not pop_down:
+                    self.bucket_attempts[source_ip] = (
+                        self.bucket_attempts.get(source_ip, 0)
+                        + width * redundancy)
+                # Owned schedule offsets within [0, width), ascending:
+                # distances d = (index - cursor) % length are found by
+                # bisecting the static sorted index list against the
+                # (possibly wrapping) window — O(log n + matches), so a
+                # slot costs the summary only what the shard owns in it.
+                own = owned_idx[pop_id]
+                cycles, remainder = divmod(width, length)
+                offsets: list[int] = []
+                if cycles:
+                    # Full passes visit every owned index, rotated at
+                    # the cursor: [cursor, length) then the wrap.
+                    pivot = bisect_left(own, cursor)
+                    dlist = ([i - cursor for i in own[pivot:]]
+                             + [i - cursor + length for i in own[:pivot]])
+                    for cycle in range(cycles):
+                        base = cycle * length
+                        offsets.extend(base + d for d in dlist)
+                if remainder:
+                    base = cycles * length
+                    end = cursor + remainder
+                    lo = bisect_left(own, cursor)
+                    hi = bisect_left(own, min(end, length))
+                    offsets.extend(base + i - cursor for i in own[lo:hi])
+                    if end > length:
+                        hi = bisect_left(own, end - length)
+                        offsets.extend(base + i - cursor + length
+                                       for i in own[:hi])
+                if not pop_down and offsets:
+                    # Owned visits spend their tokens live; the ops
+                    # below cover only the foreign gaps between them.
+                    self.owned_bucket_attempts[source_ip] = (
+                        self.owned_bucket_attempts.get(source_ip, 0)
+                        + len(offsets) * redundancy)
+                steps: list = []
+                previous = -1
+                for offset in offsets:
+                    gap = offset - previous - 1
+                    ops = None
+                    if tokens and gap:
+                        ops = (("tok", source_ip, gap * redundancy),)
+                    steps.append((ops, offset))
+                    previous = offset
+                tail_gap = width - previous - 1
+                tail: tuple = ()
+                if tokens and tail_gap:
+                    tail = (("tok", source_ip, tail_gap * redundancy),)
+                entry[pop_id] = PopSlotSync(
+                    skipped=False, per_slot=width, steps=steps, tail=tail)
+                self.cursors[pop_id] = (cursor + width) % length
+                self._trace("slot", slot, pop_id, cursor, width,
+                            int(pop_down))
+        return self._finish("aggregate", plan_slots)
+
+    # -- replay mode -------------------------------------------------------
+
+    def breaker(self, pop_id: str) -> CircuitBreaker:
+        breaker = self.breakers.get(pop_id)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self.resilience.breaker, self.clock, pop_id=pop_id)
+            self.breakers[pop_id] = breaker
+        return breaker
+
+    def _vantage_down(self, pop_id: str) -> bool:
+        if self.faults is None:
+            return False
+        return self.faults.vantage_down(self.vantages[pop_id][1])
+
+    def _pop_available(self, pop_id: str) -> bool:
+        """Mirror of ``ResilientProber.pop_available`` (side effects on
+        the mirror breaker included)."""
+        if self._vantage_down(pop_id):
+            return False
+        if not self.resilience.enabled:
+            return True
+        return self.breaker(pop_id).allow()
+
+    @property
+    def _budget_exhausted(self) -> bool:
+        return self.budget_left is not None and self.budget_left <= 0
+
+    def _query(self, pop_id: str, source_ip: int, event_key: tuple,
+               owned: bool, pending) -> str:
+        """Mirror of the resolver's control-plane prefix of ``query()``:
+        faults, then the token, then injected REFUSEDs."""
+        faults = self.faults
+        if faults is not None:
+            if faults.pop_down(pop_id):
+                return _TIMEOUT
+            if faults.drop_query(Transport.TCP, event_key):
+                return _TIMEOUT
+        self._count_tokens(source_ip, 1, owned)
+        if not owned and self.tokens_tracked:
+            pending.append(("tok", source_ip, 1))
+        if not self.limiter.allow(source_ip):
+            return _REFUSED
+        if faults is not None and faults.inject_refused(pop_id, event_key):
+            return _REFUSED
+        return _ANSWERED
+
+    def _attempt(self, pop_id: str, row: tuple, index: int, owned: bool,
+                 pending, slot: int, offset: int) -> str | None:
+        """Mirror of ``ResilientProber._attempt``."""
+        name_s, scope, scope_s = row
+        source_ip = self.vantages[pop_id][0]
+        event_key = (source_ip, name_s, scope_s)
+        retry = self.resilience.retry
+        retries_done = 0
+        while True:
+            if self.budget_left is not None:
+                if self.budget_left <= 0:
+                    return None
+                self.budget_left -= 1
+                if not owned:
+                    pending.append(("bud", 1))
+            status = self._query(pop_id, source_ip, event_key, owned,
+                                 pending)
+            self._trace("q", slot, pop_id, offset, index, retries_done,
+                        status)
+            if not self.resilience.enabled:
+                return status
+            breaker = self.breaker(pop_id)
+            if status is _ANSWERED:
+                breaker.record_success()
+                if not owned:
+                    pending.append(("brk", pop_id, "ok"))
+                return status
+            breaker.record_failure()
+            if not owned:
+                pending.append(("brk", pop_id, "fail"))
+            if retries_done + 1 >= retry.max_attempts:
+                return status
+            if not owned:
+                pending.append(("brk", pop_id, "allow"))
+            if not breaker.allow():
+                return status
+            unit = self.jitter.uniform(pop_id, name_s, scope_s, index,
+                                       retries_done)
+            delay = retry.delay_from_unit(retries_done, unit)
+            self.clock.advance(delay)
+            if not owned:
+                pending.append(("adv", delay, 1))
+            self._trace("w", slot, pop_id, offset, index, retries_done,
+                        delay)
+            retries_done += 1
+
+    def _visit(self, pop_id: str, row: tuple, owned: bool, pending,
+               slot: int, offset: int) -> bool:
+        """Mirror of ``ResilientProber.probe``; True when anything was
+        sent (a ``None`` result breaks the serial slot walk)."""
+        if self._budget_exhausted or self._vantage_down(pop_id):
+            return False
+        sent = 0
+        for index in range(self.config.redundancy):
+            if self.resilience.enabled:
+                if not owned:
+                    pending.append(("brk", pop_id, "allow"))
+                if not self.breaker(pop_id).allow():
+                    break
+            attempt = self._attempt(pop_id, row, index, owned, pending,
+                                    slot, offset)
+            if attempt is None:
+                break
+            sent += 1
+        return sent > 0
+
+    def _post_visit_available(self, pop_id: str, owned: bool,
+                              pending) -> bool:
+        """The serial loop's after-visit availability re-check."""
+        if not self.resilience.enabled:
+            return True
+        if self._vantage_down(pop_id):
+            return False
+        if not owned:
+            pending.append(("brk", pop_id, "allow"))
+        return self.breaker(pop_id).allow()
+
+    def _reassign(self, dead_pop: str, slot: int) -> None:
+        """Mirror of the pipeline's degraded-PoP target handover,
+        including the availability probes of every candidate (their
+        breaker ``allow`` calls run live on each worker too)."""
+        locations = self.pop_locations
+        home = locations[dead_pop]
+        available = [pop_id for pop_id in self.targets
+                     if pop_id != dead_pop and self._pop_available(pop_id)]
+        ranked = sorted(
+            available,
+            key=lambda pop_id: (home.distance_km(locations[pop_id]),
+                                pop_id),
+        )
+        if not ranked:
+            return
+        moved = self.targets[dead_pop]
+        if not moved:
+            return
+        self.targets[ranked[0]].extend(moved)
+        self.targets[dead_pop] = []
+        self._trace("reassign", slot, dead_pop, ranked[0], len(moved))
+
+    def replay(self) -> SyncPlan:
+        """Full control-plane walk: every visit of every slot, with
+        retries, breakers and budget mirrored faithfully."""
+        config = self.config
+        resilience = self.resilience
+        plan_slots: list = []
+        for slot in range(self.slots):
+            self.clock.advance_to(self.clock.now + self.slot_seconds)
+            entry: dict[str, PopSlotSync] = {}
+            plan_slots.append(entry)
+            if self._budget_exhausted:
+                self._trace("budget-stop", slot)
+                continue
+            for pop_id in list(self.targets):
+                rows = self.targets[pop_id]
+                if not rows:
+                    continue
+                if not self._pop_available(pop_id):
+                    self.streaks[pop_id] += 1
+                    entry[pop_id] = PopSlotSync(
+                        skipped=True, per_slot=0, steps=[], tail=())
+                    self._trace("skip", slot, pop_id)
+                    if (resilience.enabled and resilience.reassign
+                            and self.streaks[pop_id]
+                            >= resilience.reassign_after_slots):
+                        self._reassign(pop_id, slot)
+                    continue
+                self.streaks[pop_id] = 0
+                length = len(rows)
+                width = _per_slot(config, self.slot_seconds, length,
+                                  self.slots)
+                cursor = self.cursors[pop_id]
+                steps: list = []
+                pending: list = []
+                for offset in range(width):
+                    row = rows[(cursor + offset) % length]
+                    owned = self.owns(row[1])
+                    if owned:
+                        steps.append((
+                            _merge_ops(pending) if pending else None,
+                            offset,
+                        ))
+                        pending = []
+                    if not self._visit(pop_id, row, owned, pending, slot,
+                                       offset):
+                        self._trace("break", slot, pop_id, offset)
+                        break
+                    if not self._post_visit_available(pop_id, owned,
+                                                      pending):
+                        self._trace("open", slot, pop_id, offset)
+                        break
+                entry[pop_id] = PopSlotSync(
+                    skipped=False,
+                    per_slot=width,
+                    steps=steps,
+                    tail=_merge_ops(pending) if pending else (),
+                )
+                self.cursors[pop_id] = (cursor + width) % length
+        return self._finish("replay", plan_slots)

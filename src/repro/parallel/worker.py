@@ -1,14 +1,19 @@
-"""One shard's worker: a full campaign replica that probes its slice.
+"""One shard's worker: a campaign replica that probes its slice.
 
 Every worker rebuilds the *entire* deterministic world from the shared
 config and runs the full pipeline — discovery, warmup, calibration,
-client activity, the complete probe schedule — but only sends probes
-for the targets its :class:`~repro.parallel.planner.ShardSpec` owns
-(ghost visits cover the rest) and only crawls its round-robin slice of
-the DNS root letters.  Replication is what buys bit-equivalence: every
-shard's clock, caches and client activity evolve exactly as the serial
-run's do, so an owned probe observes exactly what the serial run's
-probe observed.
+client activity — but visits only the probe-schedule positions its
+:class:`~repro.parallel.planner.ShardSpec` owns: a per-shard
+synchronization summary (:mod:`repro.parallel.summary`), derived once
+at planning time, replays every foreign span's side effects (batched
+clock advances, aggregate rate-limit debits, breaker events, budget
+consumption) so the hot loop is O(owned targets).  It also crawls only
+its round-robin slice of the DNS root letters.  World replication plus
+summary replay is what buys bit-equivalence: every shard's clock,
+caches, buckets and breakers evolve exactly as the serial run's do, so
+an owned probe observes exactly what the serial run's probe observed.
+The legacy ``sync_mode="ghost"`` full-schedule walk is kept as a
+cross-check oracle for the differential suite.
 
 Workers journal and snapshot through the same
 :class:`~repro.persist.campaign.CampaignCheckpointer` machinery as
@@ -102,6 +107,7 @@ def run_shard(
     shard_dir: str | Path | None = None,
     checkpoint_config: CheckpointConfig | None = None,
     arm_crash: bool = False,
+    sync_mode: str = "summary",
 ) -> tuple[ShardResult, ShardCampaignState]:
     """Run one shard's campaign from scratch.
 
@@ -110,10 +116,13 @@ def run_shard(
     world's fault injector into the checkpointer so
     ``FaultConfig.crash_after_appends`` counts *this shard's* journal
     appends (the "kill one worker" lever for crash/resume tests).
+    ``sync_mode`` selects summary-based synchronization (default) or
+    the legacy ghost-visit walk (cross-check oracle).
     """
     world = build_world(config.world)
     vantage_points = deploy_vantage_points(world)
-    shard = ShardSpec(shard_id=shard_id, num_shards=num_shards)
+    shard = ShardSpec(shard_id=shard_id, num_shards=num_shards,
+                      sync_mode=sync_mode)
     pipeline = CacheProbingPipeline(
         world,
         config.probing,

@@ -160,7 +160,7 @@ def detect_checkpoint_kind(directory: str | Path) -> str:
         except ValueError:
             meta = None
         if isinstance(meta, dict):
-            if meta.get("format") == "repro.parallel.v1":
+            if str(meta.get("format", "")).startswith("repro.parallel.v"):
                 return "parallel"
             if meta.get("kind") == "service":
                 return "service"
@@ -595,7 +595,8 @@ def _scan_parallel_manifest(directory: Path, report: IntegrityReport,
         try:
             meta = json.loads(path.read_bytes())
             if not isinstance(meta, dict) \
-                    or meta.get("format") != "repro.parallel.v1" \
+                    or not str(meta.get("format", "")).startswith(
+                        "repro.parallel.v") \
                     or not isinstance(meta.get("workers"), int):
                 raise ValueError("malformed")
         except ValueError:
@@ -933,7 +934,7 @@ def _rebuild_parallel_meta(directory: Path, finding: Finding,
         if stale.exists():
             quarantine.take(stale, "manifest.json", finding, actions)
         (directory / "manifest.json").write_text(json.dumps(
-            {"format": "repro.parallel.v1", "workers": num_shards,
+            {"format": "repro.parallel.v2", "workers": num_shards,
              "seed": config.seed}, indent=2) + "\n")
         actions.append(
             f"rebuilt manifest.json from shard snapshot "

@@ -47,6 +47,25 @@ class Clock:
         self._ticks += 1
         return self._now
 
+    def advance_batch(self, seconds: float, ticks: int) -> float:
+        """Move time forward by ``seconds`` while recording ``ticks``
+        individual advances.
+
+        Sharded workers skip the probe visits owned by other shards but
+        must still observe the identical clock trajectory — including
+        the tick count, which resume-time divergence checks compare.  A
+        synchronization summary collapses a foreign span of ``ticks``
+        serial ``advance`` calls into one batched call whose time delta
+        and tick delta both match the serial walk exactly.
+        """
+        if seconds < 0:
+            raise ClockError(f"cannot advance by {seconds} seconds")
+        if ticks < 0:
+            raise ClockError(f"cannot advance by {ticks} ticks")
+        self._now += seconds
+        self._ticks += ticks
+        return self._now
+
     def advance_to(self, timestamp: float) -> float:
         """Move time forward to an absolute ``timestamp``."""
         if timestamp < self._now:

@@ -72,5 +72,24 @@ class KeyedStream:
             raise ValueError(f"randrange needs n >= 1, got {n}")
         return self._digest(key) % n
 
+    def mirror(self, clock: Clock) -> "KeyedStream":
+        """A fresh stream with the same ``(seed, label)`` identity bound
+        to a different clock.
+
+        Because a draw is a pure function of identity, instant, event
+        key and the per-instant repeat counter, a mirror whose clock
+        replays the same trajectory reproduces the original's draws
+        event-for-event.  The parallel planner uses mirrors on a private
+        clock to pre-compute, without touching live state, which faults
+        and retries every shard's schedule walk will observe.
+        """
+        stream = KeyedStream.__new__(KeyedStream)
+        stream._prefix = self._prefix
+        stream._clock = clock
+        stream._epoch = None
+        stream._repeats = {}
+        stream.draws = 0
+        return stream
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"KeyedStream({self._prefix!r}, draws={self.draws})")

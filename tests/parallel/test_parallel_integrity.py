@@ -138,6 +138,66 @@ class TestRepairAndResume:
         assert canonical_exports(result) == expected
 
 
+class TestGhostEraCheckpointRefusal:
+    """Checkpoints written before the synchronization-summary rework
+    (manifest format ``repro.parallel.v1``) embed the ghost-visit walk
+    in their snapshots; resuming one under the summary loop would
+    silently change the campaign, so both the API and the CLI must
+    refuse with a versioned diagnostic instead."""
+
+    @staticmethod
+    def _ghost_era_tree(tmp_path):
+        import json
+        import pickle
+
+        directory = tmp_path / "v1-ckpt"
+        directory.mkdir()
+        (directory / "manifest.json").write_text(json.dumps(
+            {"format": "repro.parallel.v1", "workers": 2, "seed": SEED},
+            indent=2) + "\n")
+        (directory / "config.pkl").write_bytes(
+            pickle.dumps(parallel_config(SEED)))
+        return directory
+
+    def test_resume_api_refuses_with_version_diagnostic(self, tmp_path):
+        from repro.persist.campaign import CheckpointError
+
+        directory = self._ghost_era_tree(tmp_path)
+        with pytest.raises(CheckpointError, match="ghost-era"):
+            resume_parallel_campaign(directory, CKPT)
+
+    def test_cli_resume_exits_2_with_one_line_diagnostic(self, tmp_path,
+                                                         capsys):
+        from repro.cli import main
+
+        directory = self._ghost_era_tree(tmp_path)
+        code = main(["resume", "--checkpoint-dir", str(directory)])
+        captured = capsys.readouterr()
+        assert code == 2
+        lines = [line for line in captured.err.splitlines() if line]
+        assert len(lines) == 1
+        assert lines[0].startswith("repro: error:")
+        assert "repro.parallel.v1" in lines[0]
+        assert "rerun" in lines[0]
+
+    def test_v1_tree_still_routes_as_parallel(self, tmp_path):
+        """Version detection must not degrade routing: a v1 tree is
+        still *a* parallel checkpoint (so it reaches the versioned
+        refusal), never misdiagnosed as a serial one."""
+        from repro.parallel import is_parallel_checkpoint
+
+        directory = self._ghost_era_tree(tmp_path)
+        assert is_parallel_checkpoint(directory)
+
+    def test_current_manifest_is_v2(self, damaged):
+        import json
+
+        directory, _expected = damaged
+        meta = json.loads((directory / "manifest.json").read_text())
+        assert meta["format"] == "repro.parallel.v2"
+        assert meta["sync_digest"]
+
+
 @pytest.mark.slow
 class TestCrashedTreeIntegrity:
     def test_crashed_then_corrupted_then_repaired(self, tmp_path):

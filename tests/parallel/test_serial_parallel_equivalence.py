@@ -7,6 +7,12 @@ same hits in the same order, same probe accounting, same resolver
 counts, same datasets — verified both on the in-memory fingerprint and
 on the byte-identical canonical exports (the strongest external
 observer we have).
+
+Since the synchronization-summary rework the contract also covers
+resilience retries (keyed backoff draws replayed by the summary) and
+is cross-checked against the legacy ghost-visit walk: both modes must
+produce identical per-shard results, which pins the summary replay to
+an independently computed oracle.
 """
 
 import dataclasses
@@ -18,17 +24,16 @@ from repro.parallel import ParallelismError, run_parallel_experiment
 from repro.core.resilient import ResilienceConfig
 
 from tests.parallel.conftest import (
-    BASE_SEED,
     FAULTS,
     canonical_exports,
     fingerprint,
     parallel_config,
 )
 
-# 7 workers over ~19 distinct subtrees makes the shard sizes genuinely
-# uneven — the case the greedy balancer and the merge must still get
-# bit-exact.
-WORKER_COUNTS = [1, 2, 4, 7]
+#: the full differential ladder: 3 does not divide the subtree count
+#: evenly, 8 and 16 leave some shards nearly empty — every partition
+#: shape the planner can produce must still merge bit-exact.
+WORKER_COUNTS = [1, 2, 3, 4, 8, 16]
 
 
 class TestCleanEquivalence:
@@ -56,9 +61,10 @@ class TestCleanEquivalence:
 class TestFaultyEquivalence:
     """Equivalence must survive injected loss/SERVFAIL/REFUSED: the
     keyed fault streams make an event's fate a function of the event,
-    not of which worker evaluates it."""
+    not of which worker evaluates it — and TCP loss forces the
+    summary builder down its full control-plane replay path."""
 
-    @pytest.mark.parametrize("workers", [2, 7])
+    @pytest.mark.parametrize("workers", [2, 3, 8, 16])
     def test_fingerprint_identical_under_faults(self, serial_faulty,
                                                 workers):
         parallel = run_parallel_experiment(
@@ -75,6 +81,50 @@ class TestFaultyEquivalence:
         """Guard against a vacuous fault run: the faulty baseline must
         differ from the clean one."""
         assert fingerprint(serial_faulty) != fingerprint(serial_clean)
+
+
+def _resilient_config():
+    """Resilience retries + faults: timeouts trigger breaker records,
+    keyed backoff draws and clock advances — the regime the ghost-era
+    driver refused outright."""
+    config = parallel_config(faults=FAULTS)
+    return dataclasses.replace(
+        config,
+        probing=dataclasses.replace(
+            config.probing,
+            resilience=ResilienceConfig(enabled=True),
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_resilient():
+    return run_experiment(_resilient_config())
+
+
+class TestResilienceEquivalence:
+    """Resilience retries under sharding — the restriction the
+    synchronization summaries lift.  Backoff advances the clock and
+    draws keyed jitter; the summary replays both for foreign spans, so
+    every replica's schedule stays in lock-step."""
+
+    def test_retries_actually_happened(self, serial_resilient):
+        """Guard against a vacuous pass: the baseline must really have
+        retried (and waited) under the injected faults."""
+        health = serial_resilient.cache_result.health
+        assert health.retries > 0
+        assert health.backoff_wait_s > 0
+
+    @pytest.mark.parametrize("workers", [2, 3, 8, 16])
+    def test_fingerprint_identical(self, serial_resilient, workers):
+        parallel = run_parallel_experiment(_resilient_config(),
+                                           workers=workers)
+        assert fingerprint(parallel) == fingerprint(serial_resilient)
+
+    def test_exports_byte_identical(self, serial_resilient):
+        parallel = run_parallel_experiment(_resilient_config(), workers=4)
+        assert canonical_exports(parallel) == canonical_exports(
+            serial_resilient)
 
 
 def _bucket_depleting_config():
@@ -100,9 +150,9 @@ def serial_depleting():
 class TestBucketDepletionEquivalence:
     """All of a slot's probes fire at one simulated instant, so past
     bucket capacity, *which* probes get REFUSED depends on arrival
-    order within the instant — the regime ghost token accounting
-    exists for: ghost visits consume tokens too, keeping every
-    replica's bucket in lock-step with serial."""
+    order within the instant — the regime the summary's aggregate
+    token debits exist for: foreign spans deplete every replica's
+    bucket exactly as the serial run's probes would."""
 
     def test_serial_actually_depletes_the_bucket(self, serial_depleting):
         """Guard against a vacuous pass: with faults off, every REFUSED
@@ -124,22 +174,74 @@ class TestBucketDepletionEquivalence:
             serial_depleting)
 
 
-class TestRefusedConfigurations:
-    def test_resilience_is_refused(self):
-        config = parallel_config()
-        config = dataclasses.replace(
-            config,
-            probing=dataclasses.replace(
-                config.probing,
-                resilience=ResilienceConfig(enabled=True),
-            ),
-        )
-        with pytest.raises(ParallelismError, match="resilience"):
-            run_parallel_experiment(config, workers=2)
+def _shard_cache_fingerprint(cache):
+    """Everything a shard contributes to the merge, minus the summary
+    digest (the ghost walk deliberately has none)."""
+    return (
+        cache.hits,
+        cache.probes_sent,
+        cache.assignment_sizes,
+        cache.scope_pairs,
+        cache.measurement_window,
+        cache.attempt_counts,
+        cache.hit_counts,
+        cache.hourly_attempts,
+        cache.hourly_hits,
+        cache.hit_seq,
+        cache.pair_seq,
+        cache.probes_before_loop,
+    )
 
+
+class TestSummaryGhostCrossCheck:
+    """The summary replay against its independent oracle: the legacy
+    ghost walk really executes every foreign visit, so a shard run in
+    either mode must produce the identical shard result."""
+
+    @pytest.mark.parametrize("shard_id", [0, 1, 2])
+    def test_modes_agree_per_shard(self, shard_id):
+        from repro.parallel import run_shard
+
+        config = parallel_config()
+        summary, _ = run_shard(config, shard_id, 3, sync_mode="summary")
+        ghost, _ = run_shard(config, shard_id, 3, sync_mode="ghost")
+        assert _shard_cache_fingerprint(summary.cache) == \
+            _shard_cache_fingerprint(ghost.cache)
+        assert (summary.clock_now, summary.clock_ticks) == \
+            (ghost.clock_now, ghost.clock_ticks)
+        assert summary.cache.sync_digest is not None
+        assert ghost.cache.sync_digest is None
+
+    def test_modes_agree_under_faults(self):
+        from repro.parallel import run_shard
+
+        config = parallel_config(faults=FAULTS)
+        summary, _ = run_shard(config, 1, 3, sync_mode="summary")
+        ghost, _ = run_shard(config, 1, 3, sync_mode="ghost")
+        assert _shard_cache_fingerprint(summary.cache) == \
+            _shard_cache_fingerprint(ghost.cache)
+        assert (summary.clock_now, summary.clock_ticks) == \
+            (ghost.clock_now, ghost.clock_ticks)
+
+    def test_ghost_mode_still_refuses_resilience(self):
+        """The legacy walk never learned to replicate retry state; the
+        refusal moved from the driver down to ghost mode itself."""
+        from repro.parallel import run_shard
+
+        with pytest.raises(ValueError, match="ghost"):
+            run_shard(_resilient_config(), 0, 2, sync_mode="ghost")
+
+
+class TestRefusedConfigurations:
     def test_zero_workers_is_refused(self):
         with pytest.raises(ParallelismError, match="workers"):
             run_parallel_experiment(parallel_config(), workers=0)
+
+    def test_unknown_sync_mode_is_refused(self):
+        from repro.parallel import run_shard
+
+        with pytest.raises(ValueError, match="sync_mode"):
+            run_shard(parallel_config(), 0, 2, sync_mode="psychic")
 
 
 def _shard_target_sets(result):

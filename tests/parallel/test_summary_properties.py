@@ -1,0 +1,214 @@
+"""Property tests for the synchronization-summary builder.
+
+:func:`repro.parallel.build_sync_plan` is pure arithmetic over a
+frozen schedule, which makes it the rare component whose correctness
+conditions are crisp enough to state as universally quantified
+properties.  Hypothesis explores random schedules, shard partitions
+and configurations against the three invariants the serial ≡ parallel
+proof leans on:
+
+* **token conservation** — per source IP, the owned attempts of all
+  shards plus each shard's emitted foreign ``tok`` ops both recover
+  the serial per-bucket consumption exactly;
+* **exact schedule partition** — the owned offsets of all shards
+  partition every ``(slot, PoP)`` window ``[0, per_slot)`` with no
+  gap and no overlap;
+* **digest owner-independence** — the summary digest is a function of
+  the schedule alone, identical for every shard of any partition.
+
+These run on synthetic schedules (no world build), so they are fast
+enough for a tight CI loop; the end-to-end bit-equivalence lives in
+``test_serial_parallel_equivalence.py``.
+"""
+
+from types import SimpleNamespace
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net.prefix import Prefix
+from repro.sim.faults import FaultConfig
+from repro.core.cache_probing import CacheProbingConfig
+from repro.core.resilient import ResilienceConfig
+from repro.parallel import build_sync_plan
+
+#: distinct query scopes the generated schedules draw from; ownership
+#: is assigned per scope, exactly like the real prefix-subtree plan.
+SCOPE_POOL = [Prefix.from_address((10 << 24) | (i << 8), 24)
+              for i in range(12)]
+
+SLOT_SECONDS = 2.0
+START_NOW = 100.0
+
+
+class _Location(SimpleNamespace):
+    def distance_km(self, other):
+        return abs(self.x - other.x)
+
+
+@st.composite
+def schedules(draw, resilient: bool):
+    """A random frozen schedule + shard partition + configuration."""
+    num_pops = draw(st.integers(1, 3))
+    targets_by_pop = {}
+    for p in range(num_pops):
+        rows = []
+        for t in range(draw(st.integers(1, 8))):
+            scope = draw(st.sampled_from(SCOPE_POOL))
+            rows.append((SimpleNamespace(name=f"d{p}-{t}.example"), scope))
+        targets_by_pop[f"pop-{p}"] = rows
+    num_shards = draw(st.integers(1, 4))
+    shard_of = {scope: draw(st.integers(0, num_shards - 1))
+                for scope in SCOPE_POOL}
+    if resilient:
+        resilience = ResilienceConfig(
+            enabled=True,
+            probe_budget=draw(st.sampled_from([None, 40])),
+        )
+        faults = FaultConfig(
+            seed=draw(st.integers(0, 2**16)),
+            tcp_loss_rate=draw(st.sampled_from([0.0, 0.3])),
+            refused_rate=draw(st.sampled_from([0.0, 0.2])),
+        )
+    else:
+        resilience = ResilienceConfig()
+        faults = None
+    config = CacheProbingConfig(
+        redundancy=draw(st.integers(1, 3)),
+        probe_loops=draw(st.integers(1, 3)),
+        seed=draw(st.integers(0, 2**16)),
+        resilience=resilience,
+    )
+    capacity = draw(st.sampled_from([4.0, 1500.0]))
+    return dict(
+        targets_by_pop=targets_by_pop,
+        num_shards=num_shards,
+        shard_of=shard_of,
+        slots=draw(st.integers(1, 4)),
+        config=config,
+        faults=faults,
+        bucket=(capacity, capacity),
+        vantages={f"pop-{p}": (1000 + p, f"cloud:region-{p}")
+                  for p in range(num_pops)},
+        pop_locations={f"pop-{p}": _Location(x=float(p * 300))
+                       for p in range(num_pops)},
+    )
+
+
+def _build_all(case):
+    """One plan per shard of the drawn partition."""
+    plans = []
+    for shard in range(case["num_shards"]):
+        plans.append(build_sync_plan(
+            owns=lambda scope, s=shard: case["shard_of"][scope] == s,
+            targets_by_pop=case["targets_by_pop"],
+            slots=case["slots"],
+            slot_seconds=SLOT_SECONDS,
+            start_now=START_NOW,
+            config=case["config"],
+            vantages=case["vantages"],
+            pop_locations=case["pop_locations"],
+            faults_config=case["faults"],
+            bucket=case["bucket"],
+            tokens_tracked=True,
+        ))
+    return plans
+
+
+def _tok_ops_total(plan):
+    """Per source IP, every foreign ``tok`` attempt the plan emits."""
+    totals: dict[int, int] = {}
+    for entry in plan.slots:
+        for cell in entry.values():
+            ops_seqs = [ops for ops, _offset in cell.steps if ops]
+            ops_seqs.append(cell.tail)
+            for ops in ops_seqs:
+                for op in ops:
+                    if op[0] == "tok":
+                        totals[op[1]] = totals.get(op[1], 0) + op[2]
+    return totals
+
+
+class TestTokenConservation:
+    @settings(max_examples=60, deadline=None)
+    @given(case=schedules(resilient=False))
+    def test_aggregate_mode(self, case):
+        self._check(case)
+
+    @settings(max_examples=40, deadline=None)
+    @given(case=schedules(resilient=True))
+    def test_replay_mode(self, case):
+        self._check(case)
+
+    @staticmethod
+    def _check(case):
+        plans = _build_all(case)
+        serial = plans[0].bucket_attempts
+        ips = set(serial)
+        for plan in plans:
+            # Every shard reconstructs the identical serial consumption.
+            assert plan.bucket_attempts == serial
+            # Its own split covers it: owned attempts + foreign ops.
+            emitted = _tok_ops_total(plan)
+            for ip in ips | set(emitted) | set(plan.owned_bucket_attempts):
+                assert (plan.owned_bucket_attempts.get(ip, 0)
+                        + emitted.get(ip, 0)) == serial.get(ip, 0)
+        # And across shards the owned shares partition it exactly.
+        for ip in ips:
+            assert sum(p.owned_bucket_attempts.get(ip, 0)
+                       for p in plans) == serial[ip]
+
+
+class TestExactSchedulePartition:
+    @settings(max_examples=60, deadline=None)
+    @given(case=schedules(resilient=False))
+    def test_offsets_partition_every_window(self, case):
+        """In aggregate mode nothing can cut a slot short, so the
+        shards' owned offsets must tile ``[0, per_slot)`` exactly."""
+        plans = _build_all(case)
+        assert all(plan.mode == "aggregate" for plan in plans)
+        for slot in range(case["slots"]):
+            cells = [plan.slots[slot] for plan in plans]
+            for pop_id in cells[0]:
+                widths = {cell[pop_id].per_slot for cell in cells}
+                assert len(widths) == 1
+                (width,) = widths
+                seen: list[int] = []
+                for cell in cells:
+                    seen.extend(offset for _ops, offset
+                                in cell[pop_id].steps)
+                assert sorted(seen) == list(range(width))
+                assert len(seen) == len(set(seen))
+
+
+class TestDigestOwnerIndependence:
+    @settings(max_examples=40, deadline=None)
+    @given(case=schedules(resilient=False))
+    def test_aggregate_mode(self, case):
+        self._check(case)
+
+    @settings(max_examples=30, deadline=None)
+    @given(case=schedules(resilient=True))
+    def test_replay_mode(self, case):
+        self._check(case)
+
+    @staticmethod
+    def _check(case):
+        plans = _build_all(case)
+        digests = {plan.digest for plan in plans}
+        assert len(digests) == 1
+        # ... including under a completely different partition: one
+        # shard owning everything walks the very same global trace.
+        whole = build_sync_plan(
+            owns=lambda scope: True,
+            targets_by_pop=case["targets_by_pop"],
+            slots=case["slots"],
+            slot_seconds=SLOT_SECONDS,
+            start_now=START_NOW,
+            config=case["config"],
+            vantages=case["vantages"],
+            pop_locations=case["pop_locations"],
+            faults_config=case["faults"],
+            bucket=case["bucket"],
+            tokens_tracked=True,
+        )
+        assert whole.digest == plans[0].digest
