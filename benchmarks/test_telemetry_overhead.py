@@ -1,0 +1,116 @@
+"""Telemetry overhead: instrumented probes/sec within 3% of baseline.
+
+The observability layer's contract is *provably inert* (byte-identical
+results, enforced in tests/obs/test_inert.py) and *practically free*
+(this gate).  The campaign — the medium preset's world and probing
+config over a 2-simulated-hour measurement window, ~450k probes —
+runs with telemetry fully on (metrics registry, phase profiler, span
+stream flushing to disk) and off, and the instrumented probes/sec
+must stay within ``MAX_OVERHEAD`` of the baseline.
+
+Measurement design, learned the hard way: single paired runs on a
+shared/virtualized host swing ±13% round to round, an order of
+magnitude above the effect being measured.  So each round times both
+variants, alternating which goes first (heap growth inside one
+process penalizes whoever runs later), a ``gc.collect()`` fences each
+timed run, and the gate compares the **best-of floors** — min over
+rounds per variant — which converge to each variant's true cost as
+transient noise can only inflate samples, never deflate them.
+
+The rendered report in ``benchmarks/output/telemetry_overhead.txt``
+records the measured deltas so regressions show up in review, not
+just as a CI flake.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import gc
+import time
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.obs import runtime as obs_runtime
+from repro.obs.runtime import Telemetry
+from repro.obs.trace import TraceConfig
+
+#: order-alternated timing rounds; each times both variants.
+ROUNDS = 6
+#: the instrumented floor may lag the baseline floor by at most this.
+MAX_OVERHEAD = 0.03
+
+
+def _campaign() -> ExperimentConfig:
+    base = ExperimentConfig.medium(seed=42)
+    probing = dataclasses.replace(base.probing, measurement_hours=2.0)
+    return dataclasses.replace(base, probing=probing)
+
+
+def test_telemetry_overhead_within_budget(save_output, tmp_path):
+    config = _campaign()
+    # Untimed burn: level CPU boost clocks before any stopwatch starts.
+    run_experiment(config)
+
+    def timed_off():
+        gc.collect()
+        start = time.perf_counter()
+        result = run_experiment(config)
+        return time.perf_counter() - start, result
+
+    def timed_on(index):
+        bundle = Telemetry.for_dir(tmp_path / f"t{index}",
+                                   TraceConfig(slot_every=1))
+        gc.collect()
+        with obs_runtime.activate(bundle):
+            start = time.perf_counter()
+            result = run_experiment(config)
+            elapsed = time.perf_counter() - start
+        bundle.close()
+        return elapsed, result, bundle
+
+    offs, ons = [], []
+    baseline = instrumented = telemetry = None
+    for index in range(ROUNDS):
+        if index % 2 == 0:
+            off_s, baseline = timed_off()
+            on_s, instrumented, bundle = timed_on(index)
+        else:
+            on_s, instrumented, bundle = timed_on(index)
+            off_s, baseline = timed_off()
+        offs.append(off_s)
+        if not ons or on_s < min(ons):
+            telemetry = bundle
+        ons.append(on_s)
+
+    # Inertness first: a fast wrong answer is not an overhead win.
+    assert instrumented.cache_result.hits == baseline.cache_result.hits
+    assert instrumented.cache_result.probes_sent \
+        == baseline.cache_result.probes_sent
+
+    # The registry's probe counter covers the resilient measurement
+    # loop — warmup/calibration probes are deliberately outside it.
+    health = baseline.cache_result.health
+    counters = telemetry.registry.snapshot()["counters"]
+    assert counters["probe.sent"] == health.sent
+
+    off_s, on_s = min(offs), min(ons)
+    off_rate = health.sent / off_s
+    on_rate = health.sent / on_s
+    overhead = (on_s - off_s) / off_s
+    series = sum(len(telemetry.registry.snapshot()[kind])
+                 for kind in ("counters", "gauges", "histograms"))
+
+    save_output("telemetry_overhead", "\n".join([
+        "== Telemetry overhead (medium config, 2 h window) ==",
+        f"  measurement probes: {health.sent:,}",
+        f"  telemetry off: {off_s:.2f}s  ({off_rate:,.0f} probes/s)",
+        f"  telemetry on:  {on_s:.2f}s  ({on_rate:,.0f} probes/s)",
+        f"  overhead: {overhead:+.2%}  (budget {MAX_OVERHEAD:.0%}; "
+        f"best-of-{ROUNDS} floors, order-alternated)",
+        f"  metric series: {series}",
+    ]))
+
+    assert overhead <= MAX_OVERHEAD, (
+        f"instrumented floor is {overhead:.2%} slower than baseline "
+        f"(off {off_s:.2f}s, on {on_s:.2f}s; budget {MAX_OVERHEAD:.0%})"
+    )

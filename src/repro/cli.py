@@ -11,6 +11,8 @@
     python -m repro serve --checkpoint-dir DIR [--windows N]
                           [--window-hours H] [--budget N] [--resume]
     python -m repro fsck --checkpoint-dir DIR [--repair] [--json]
+    python -m repro top DIR [--once] [--interval S]
+    python -m repro trace DIR
     python -m repro export --out DIR [--preset ...] [--seed N]
     python -m repro collisions [--volume N] [--threshold N]
     python -m repro presets
@@ -26,7 +28,12 @@ per-window deltas, self-healing restarts and graceful degradation (see
 docs/continuous.md).  ``export`` writes the shareable artefacts
 (active prefix lists, resolver counts, unified datasets) to a
 directory; ``collisions`` runs the §3.2 Monte-Carlo threshold check
-without building a world.  ``fsck`` scans a checkpoint directory for
+without building a world.  ``run`` and ``serve`` record deterministic
+telemetry by default (metrics, trace spans, a phase profile — see
+docs/observability.md); ``--no-telemetry`` turns it off, ``top``
+renders the live dashboard over a running campaign's telemetry
+directory and ``trace`` summarizes a recorded span stream offline.
+``fsck`` scans a checkpoint directory for
 damage — torn journal tails, bit rot, swapped files, cross-reference
 breaks — and with ``--repair`` quarantines what cannot be trusted and
 rolls the checkpoint back to its last consistent state (exit 0 clean /
@@ -102,6 +109,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="shard the campaign over N processes; the "
                           "merged result is bit-identical to --workers 1 "
                           "(default: 1, see docs/parallelism.md)")
+    run.add_argument("--no-telemetry", action="store_true",
+                     help="disable the metrics/spans/profile recorder "
+                          "(results are byte-identical either way)")
+    run.add_argument("--trace-slot-every", type=int, default=1,
+                     metavar="N",
+                     help="record a trace span for every Nth probing "
+                          "slot (default: 1 = all; 0 = none)")
 
     resume = sub.add_parser(
         "resume",
@@ -148,6 +162,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--resume", action="store_true",
                        help="resume an interrupted service from its "
                             "checkpoint directory")
+    serve.add_argument("--no-telemetry", action="store_true",
+                       help="disable the metrics/spans/profile recorder "
+                            "(window deltas are byte-identical either "
+                            "way)")
 
     fsck = sub.add_parser(
         "fsck",
@@ -163,6 +181,27 @@ def build_parser() -> argparse.ArgumentParser:
                            "quarantine/)")
     fsck.add_argument("--json", action="store_true",
                       help="emit the findings as JSON on stdout")
+
+    top = sub.add_parser(
+        "top",
+        help="live dashboard over a campaign/service telemetry "
+             "directory (snapshot mode when stdout is not a TTY)",
+    )
+    top.add_argument("directory", metavar="DIR",
+                     help="checkpoint/campaign directory holding "
+                          "telemetry/ artifacts")
+    top.add_argument("--once", action="store_true",
+                     help="render a single frame and exit")
+    top.add_argument("--interval", type=float, default=2.0, metavar="S",
+                     help="refresh interval in seconds (default: 2)")
+
+    trace = sub.add_parser(
+        "trace",
+        help="summarize recorded trace span streams offline",
+    )
+    trace.add_argument("directory", metavar="DIR",
+                       help="directory holding telemetry/spans.bin "
+                            "(and shard-*/telemetry/spans.bin)")
 
     export = sub.add_parser(
         "export",
@@ -200,6 +239,27 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _telemetry_context(disabled: bool, directory: str | None,
+                       slot_every: int = 1):
+    """An activation context for the CLI's ambient telemetry bundle.
+
+    Disabled runs get the no-op singleton context; enabled runs stream
+    spans into ``directory``/telemetry/ when a directory exists, and
+    keep metrics in memory otherwise.  Either way the campaign result
+    is byte-identical — telemetry is provably inert.
+    """
+    import contextlib
+
+    from repro.obs import TraceConfig
+    from repro.obs import runtime as obs_runtime
+
+    if disabled:
+        return contextlib.nullcontext(obs_runtime.DISABLED)
+    telemetry = obs_runtime.telemetry_for_dir(
+        directory, TraceConfig(slot_every=slot_every))
+    return obs_runtime.activate(telemetry)
+
+
 def _command_run(args: argparse.Namespace) -> int:
     import dataclasses
 
@@ -217,19 +277,22 @@ def _command_run(args: argparse.Namespace) -> int:
           f"(seed={args.seed}, scenario={scenario_name})...",
           file=sys.stderr)
     started = time.time()
-    if args.checkpoint_dir is not None:
-        from repro.persist.campaign import CheckpointConfig
+    with _telemetry_context(args.no_telemetry, args.checkpoint_dir,
+                            args.trace_slot_every) as telemetry:
+        if args.checkpoint_dir is not None:
+            from repro.persist.campaign import CheckpointConfig
 
-        result = run_experiment(
-            config,
-            checkpoint_dir=args.checkpoint_dir,
-            checkpoint_config=CheckpointConfig(
-                snapshot_every_slots=args.snapshot_every,
-                keep_snapshots=args.snapshot_keep),
-            workers=args.workers,
-        )
-    else:
-        result = run_experiment(config, workers=args.workers)
+            result = run_experiment(
+                config,
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_config=CheckpointConfig(
+                    snapshot_every_slots=args.snapshot_every,
+                    keep_snapshots=args.snapshot_keep),
+                workers=args.workers,
+            )
+        else:
+            result = run_experiment(config, workers=args.workers)
+        telemetry.close()
     print(f"repro: done in {time.time() - started:.0f}s",
           file=sys.stderr)
     if args.section == "all":
@@ -409,6 +472,8 @@ def _command_serve(args: argparse.Namespace) -> int:
                 return _fail(problem)
             print(f"repro: resuming service from "
                   f"{args.checkpoint_dir}...", file=sys.stderr)
+            # The snapshot's own telemetry bundle (or its absence)
+            # rides the pickle; resume_service reactivates it.
             result = resume_service(args.checkpoint_dir,
                                     checkpoint_config)
         else:
@@ -422,12 +487,15 @@ def _command_serve(args: argparse.Namespace) -> int:
                   f"{args.window_hours:g} sim-hour(s) "
                   f"(preset={args.preset}, seed={args.seed})...",
                   file=sys.stderr)
-            result = supervise(
-                config, service_config,
-                checkpoint_dir=args.checkpoint_dir,
-                checkpoint_config=checkpoint_config,
-                max_restarts=args.max_restarts,
-            )
+            # run_service attaches the span stream to the checkpoint
+            # directory itself; no directory is passed here.
+            with _telemetry_context(args.no_telemetry, None):
+                result = supervise(
+                    config, service_config,
+                    checkpoint_dir=args.checkpoint_dir,
+                    checkpoint_config=checkpoint_config,
+                    max_restarts=args.max_restarts,
+                )
     except (CheckpointError, JournalError) as exc:
         return _fail(str(exc))
     print(f"repro: done in {time.time() - started:.0f}s",
@@ -458,6 +526,7 @@ def _command_fsck(args: argparse.Namespace) -> int:
                 "directory": str(report.directory),
                 "kind": report.checkpoint_kind,
                 "clean": report.clean,
+                "stats": report.stats.as_dict(),
                 "findings": [dataclasses.asdict(f)
                              for f in report.findings],
             }, sort_keys=True, indent=2))
@@ -477,11 +546,34 @@ def _command_fsck(args: argparse.Namespace) -> int:
             "kind": repair.after.checkpoint_kind,
             "actions": repair.actions,
             "clean": repair.after.clean,
+            "stats": repair.after.stats.as_dict(),
             "findings": [dataclasses.asdict(f)
                          for f in repair.after.findings],
         }, sort_keys=True, indent=2))
     else:
         print(repair.render())
+    return 0
+
+
+def _command_top(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.obs.top import run_top
+
+    if not pathlib.Path(args.directory).is_dir():
+        return _fail(f"directory {args.directory} does not exist")
+    return run_top(args.directory, once=args.once,
+                   interval=args.interval)
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.obs.top import summarize_trace
+
+    if not pathlib.Path(args.directory).is_dir():
+        return _fail(f"directory {args.directory} does not exist")
+    print(summarize_trace(args.directory))
     return 0
 
 
@@ -592,6 +684,8 @@ def main(argv: list[str] | None = None) -> int:
         "resume": _command_resume,
         "serve": _command_serve,
         "fsck": _command_fsck,
+        "top": _command_top,
+        "trace": _command_trace,
         "export": _command_export,
         "collisions": _command_collisions,
         "presets": _command_presets,

@@ -57,6 +57,7 @@ from repro.core.resilient import (
     ResilientProber,
 )
 from repro.core.scope_discovery import DiscoveryResult, discover_all
+from repro.obs import runtime as obs_runtime
 from repro.sim.clock import HOUR
 
 
@@ -321,6 +322,14 @@ class CacheProbingPipeline:
         )
         self.simulator = ActivitySimulator(world, self.activity_config,
                                            seed=self.config.seed)
+        # The ambient telemetry bundle, captured once so it travels
+        # inside pickled campaign state: a resumed run keeps counting
+        # where the dead one stopped.  Inert by contract — the bundle
+        # never touches the clock, RNG streams or any probe state.
+        self.telemetry = obs_runtime.current()
+        self._obs_enabled = self.telemetry.enabled
+        self._probe_spans = (self._obs_enabled
+                             and self.telemetry.trace_config.probe_spans)
         self._probe_domains = probe_domains(world.domains)
         if not self._probe_domains:
             raise ValueError(
@@ -354,8 +363,10 @@ class CacheProbingPipeline:
         journal = checkpointer.record if checkpointer is not None else None
         state = self._ensure_stages(checkpointer)
         if state.loop is None:
-            assignment = self._assign(state.discovery, state.calibration)
-            state.loop = self._make_loop_state(assignment)
+            with self.telemetry.phase("planning"):
+                assignment = self._assign(state.discovery,
+                                          state.calibration)
+                state.loop = self._make_loop_state(assignment)
         self._run_probing(state.loop, checkpointer)
         loop = state.loop
         if self.shard is None:
@@ -368,6 +379,7 @@ class CacheProbingPipeline:
         health = self.resilient.finalize(
             targets_assigned=len(accountable),
             targets_probed=sum(1 for t in accountable if t[2] > 0),
+            window_s=world.clock.now - state.measurement_start,
         )
         if journal:
             journal({"type": "phase", "name": "probing_done",
@@ -392,6 +404,14 @@ class CacheProbingPipeline:
             sync_digest=(loop.sync_plan.digest
                          if loop.sync_plan is not None else None),
         )
+        if self._obs_enabled:
+            self.telemetry.span(
+                "campaign", "run", state.measurement_start,
+                world.clock.now,
+                {"sent": health.sent, "hits": health.hits,
+                 "slots": loop.slots})
+            if self.telemetry.home is not None:
+                self.telemetry.flush(self.telemetry.home)
         self._run_state = None
         return result
 
@@ -407,12 +427,13 @@ class CacheProbingPipeline:
         if state is None:
             state = self._run_state = _RunState()
         if state.discovery is None:
-            state.discovery = discover_all(
-                self._probe_domains,
-                {name: server for name, server
-                 in world.authoritative_servers.items()},
-                world.routes,
-            )
+            with self.telemetry.phase("planning"):
+                state.discovery = discover_all(
+                    self._probe_domains,
+                    {name: server for name, server
+                     in world.authoritative_servers.items()},
+                    world.routes,
+                )
             # Separate the discovery scans from the measurement epoch:
             # the validation datasets are collected over the
             # measurement window only, as the paper compares against "a
@@ -424,16 +445,18 @@ class CacheProbingPipeline:
                          "now": world.clock.now})
         if not state.warmup_done:
             if config.warmup_hours > 0:
-                self.simulator.run(config.warmup_hours * HOUR)
+                with self.telemetry.phase("activity"):
+                    self.simulator.run(config.warmup_hours * HOUR)
             state.warmup_done = True
             if journal:
                 journal({"type": "phase", "name": "warmup_done",
                          "now": world.clock.now})
         if state.calibration is None:
-            state.calibration = calibrate(
-                world, self.prober, self._probe_domains,
-                config.calibration, seed=config.seed,
-            )
+            with self.telemetry.phase("planning"):
+                state.calibration = calibrate(
+                    world, self.prober, self._probe_domains,
+                    config.calibration, seed=config.seed,
+                )
             if journal:
                 journal({"type": "phase", "name": "calibration_done",
                          "now": world.clock.now,
@@ -643,11 +666,30 @@ class CacheProbingPipeline:
         journal = checkpointer.record if checkpointer is not None else None
         resilient = self.resilient
         clock = self.world.clock
+        telemetry = self.telemetry
         while loop.next_slot < loop.slots:
             index = loop.next_slot
-            self.simulator.run(self.activity_config.slot_seconds)
-            self._probe_one_slot(loop, journal)
+            slot_start = clock.now
+            with telemetry.phase("activity"):
+                self.simulator.run(self.activity_config.slot_seconds)
+            with telemetry.phase("probing"):
+                self._probe_one_slot(loop, journal)
             loop.next_slot = index + 1
+            if telemetry.enabled:
+                registry = telemetry.registry
+                registry.counter("slots.completed").inc()
+                registry.gauge("progress.slots_done").set(index + 1,
+                                                          clock.now)
+                registry.gauge("progress.slots_total").set(loop.slots,
+                                                           clock.now)
+                self.world.public_dns.harvest_telemetry(registry,
+                                                        clock.now)
+                if telemetry.trace_config.samples_slot(index):
+                    telemetry.span("slot", str(index), slot_start,
+                                   clock.now,
+                                   {"sent": resilient.report.sent,
+                                    "hits": resilient.report.hits})
+                telemetry.maybe_flush(index)
             if journal:
                 transitions = resilient.report.breaker_transitions
                 for move in transitions[loop.journaled_transitions:]:
@@ -682,6 +724,13 @@ class CacheProbingPipeline:
     def _apply_sync_ops(self, ops) -> None:
         """Replay a span of foreign-shard side effects (see
         :mod:`repro.parallel.summary` for the op vocabulary)."""
+        if self._obs_enabled:
+            with self.telemetry.profiler.phase("summary_replay"):
+                self._apply_sync_ops_inner(ops)
+        else:
+            self._apply_sync_ops_inner(ops)
+
+    def _apply_sync_ops_inner(self, ops) -> None:
         clock = self.world.clock
         public_dns = self.world.public_dns
         resilient = self.resilient
@@ -808,6 +857,13 @@ class CacheProbingPipeline:
         result = resilient.probe(pop_id, domain.name, scope)
         if journal:
             journal(_probe_record(pop_id, domain, scope, result))
+        if self._probe_spans:
+            self.telemetry.span(
+                "probe", f"{slot_index}/{pop_rank}/{offset}",
+                self.world.clock.now, self.world.clock.now,
+                {"pop": pop_id, "dom": str(domain.name),
+                 "scope": str(scope),
+                 "hit": bool(result is not None and result.hit)})
         if result is None:
             # Budget exhausted or vantage died mid-slot.
             return False

@@ -275,6 +275,10 @@ class ProbeHealthReport:
     timed_out: int = 0
     retries: int = 0
     backoff_wait_s: float = 0.0
+    #: measurement-window length in *sim* seconds; probes/sec derives
+    #: from it, so the rate is deterministic and survives the
+    #: serial ≡ parallel differential (wall-clock rates would not).
+    window_s: float = 0.0
     budget: int | None = None
     budget_exhausted: bool = False
     targets_assigned: int = 0
@@ -286,6 +290,11 @@ class ProbeHealthReport:
     fault_injections: dict[str, int] = field(default_factory=dict)
 
     # -- derived views -----------------------------------------------------
+
+    @property
+    def probes_per_second(self) -> float:
+        """Probe rate over the measurement window, in sim seconds."""
+        return self.sent / self.window_s if self.window_s > 0 else 0.0
 
     @property
     def breaker_opens(self) -> int:
@@ -329,7 +338,9 @@ class ProbeHealthReport:
                if self.budget is not None else ""),
             f"  probes: sent={self.sent:,} answered={self.answered:,} "
             f"(hits {self.hits:,}) refused={self.refused:,} "
-            f"timed_out={self.timed_out:,}",
+            f"timed_out={self.timed_out:,}"
+            + (f" rate={self.probes_per_second:,.1f}/s sim"
+               if self.window_s > 0 else ""),
             f"  retries: {self.retries:,} "
             f"(backoff waited {self.backoff_wait_s:,.1f} s sim time)",
             f"  breakers: {self.breaker_opens} opens, "
@@ -339,6 +350,12 @@ class ProbeHealthReport:
             f"reassigned={self.targets_reassigned:,} "
             f"uncovered={self.targets_uncovered:,}",
         ]
+        retried = [(pop_id, pop.retries)
+                   for pop_id, pop in sorted(self.per_pop.items())
+                   if pop.retries]
+        if retried:
+            lines.append("  retries by PoP: " + ", ".join(
+                f"{pop_id}={count:,}" for pop_id, count in retried))
         injected = {k: v for k, v in self.fault_injections.items() if v}
         if injected:
             lines.append("  faults injected: " + ", ".join(
@@ -393,6 +410,30 @@ class ResilientProber:
             budget=self.config.probe_budget,
         )
         self._budget_left = self.config.probe_budget
+        # Telemetry counters, pre-bound so the hot path pays one
+        # attribute load + integer add per event; all None when the
+        # ambient bundle is disabled (the default), making every hook
+        # a cheap falsy check.  Counting never touches the clock, the
+        # jitter stream, the budget or the breakers — inert by
+        # construction.
+        from repro.obs import runtime as _obs_runtime
+
+        telemetry = _obs_runtime.current()
+        self._telemetry = telemetry if telemetry.enabled else None
+        if self._telemetry is not None:
+            registry = telemetry.registry
+            self._m_sent = registry.counter("probe.sent")
+            self._m_status = {
+                status: registry.counter("probe.outcomes",
+                                         {"status": status.name.lower()})
+                for status in ProbeStatus
+            }
+            self._m_retries = registry.counter("probe.retries")
+            self._m_budget_denied = registry.counter("budget.denied")
+            self._m_backoff = registry.histogram(
+                "probe.backoff_s", (0.1, 0.25, 0.5, 1.0, 2.5, 5.0))
+        else:
+            self._m_sent = None
 
     # -- availability ------------------------------------------------------
 
@@ -513,6 +554,8 @@ class ResilientProber:
             if self._budget_left is not None:
                 if self._budget_left <= 0:
                     self.report.budget_exhausted = True
+                    if self._m_sent is not None:
+                        self._m_budget_denied.inc()
                     return None
                 self._budget_left -= 1
             status, scope_length = self.prober.probe_once(
@@ -540,6 +583,13 @@ class ResilientProber:
             self.report.backoff_wait_s += delay
             pop = self._pop_health(pop_id)
             pop.retries += 1
+            if self._m_sent is not None:
+                self._m_retries.inc()
+                self._m_backoff.observe(delay)
+                if self._telemetry.trace_config.retry_spans:
+                    self._telemetry.span(
+                        "retry", f"{pop_id}/{domain}/{scope}#{retries_done}",
+                        self._clock.now - delay, self._clock.now)
 
     # -- foreign-shard replay ----------------------------------------------
 
@@ -585,6 +635,9 @@ class ResilientProber:
         pop = self._pop_health(pop_id)
         report.sent += 1
         pop.sent += 1
+        if self._m_sent is not None:
+            self._m_sent.inc()
+            self._m_status[status].inc()
         if status is ProbeStatus.REFUSED:
             report.refused += 1
             pop.refused += 1
@@ -611,15 +664,43 @@ class ResilientProber:
         self,
         targets_assigned: int,
         targets_probed: int,
+        window_s: float = 0.0,
     ) -> ProbeHealthReport:
-        """Seal the report with target accounting and breaker states."""
+        """Seal the report with target accounting and breaker states.
+
+        ``window_s`` is the measurement window length in sim seconds;
+        it feeds the report's deterministic probes/sec rate.
+        """
         report = self.report
         report.targets_assigned = targets_assigned
         report.targets_probed = targets_probed
         report.targets_uncovered = targets_assigned - targets_probed
         report.budget_exhausted = self.budget_exhausted
+        report.window_s = window_s
         for pop_id, breaker in self._breakers.items():
             self._pop_health(pop_id).final_breaker = breaker.state.value
         if self._faults is not None:
             report.fault_injections = self._faults.stats.as_dict()
+        self.harvest_telemetry()
         return report
+
+    def harvest_telemetry(self) -> None:
+        """Mirror breaker-transition tallies into the metrics registry.
+
+        Transitions accumulate in the report (they are campaign data);
+        the registry mirror uses *gauges*, not counters, for two
+        reasons: re-harvesting at every window boundary must stay
+        idempotent, and every shard replica traverses the identical
+        breaker state machine — gauges merge by max, which dedups the
+        replicated tallies instead of summing them N-fold.
+        """
+        if self._telemetry is None:
+            return
+        registry = self._telemetry.registry
+        tallies: dict[str, int] = {}
+        for transition in self.report.breaker_transitions:
+            tallies[transition.new.value] = \
+                tallies.get(transition.new.value, 0) + 1
+        for state, count in tallies.items():
+            registry.gauge("breaker.transitions",
+                           {"to": state}).set(count, self._clock.now)

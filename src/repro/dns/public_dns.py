@@ -347,3 +347,22 @@ class PublicDnsService:
         if total == 0:
             return 0.0
         return sum(s.cache_hits for s in self._sites.values()) / total
+
+    def harvest_telemetry(self, registry, sim_t: float) -> None:
+        """Mirror resolver counters into a metrics registry as gauges.
+
+        Gauges, not counters: the tallies are cumulative and replicated
+        (under sharding every replica's resolver serves the full query
+        stream), so max-merge dedups them the way counter-sum could
+        not.  Called at slot/window boundaries — never on the query
+        path.
+        """
+        registry.gauge("resolver.cache.queries").set(
+            self.total_queries(), sim_t)
+        registry.gauge("resolver.cache.hits").set(
+            sum(s.cache_hits for s in self._sites.values()), sim_t)
+        for proto, limiter in (("tcp", self._tcp_limiter),
+                               ("udp", self._udp_limiter)):
+            for name, value in limiter.stats().items():
+                registry.gauge(f"resolver.{proto}.{name}").set(
+                    value, sim_t)

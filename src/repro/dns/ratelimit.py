@@ -170,6 +170,21 @@ class KeyedRateLimiter:
         self.rejected += attempts - consumed
         return consumed
 
+    def stats(self) -> dict[str, int]:
+        """Deterministic counters for telemetry harvest.
+
+        All three counters are pure functions of the query sequence the
+        limiter served, so harvesting them into a metrics registry at
+        slot/window boundaries costs nothing on the hot path and stays
+        identical across serial, parallel and resumed runs.
+        """
+        return {
+            "rejected": self.rejected,
+            "evicted": self.evicted,
+            "evicted_unfilled": self.evicted_unfilled,
+            "tracked_keys": len(self._buckets),
+        }
+
     def _evict_lru(self, now: float) -> None:
         lru_key = next(iter(self._buckets))
         bucket = self._buckets.pop(lru_key)

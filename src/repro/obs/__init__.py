@@ -1,0 +1,52 @@
+"""Deterministic observability: metrics, trace spans, phase profiling.
+
+``repro.obs`` is the telemetry layer threaded through every stage of a
+campaign — the probing inner loop, the resilient driver, the sharded
+parallel engine, the checkpointer, and the rolling-window service.  It
+is built around one invariant: **instrumentation is inert**.  Telemetry
+never advances the simulation clock, never draws from an RNG stream,
+never debits a token bucket, and never writes into `journal.bin` or any
+replay-verified artifact — a campaign produces byte-identical results
+with telemetry on or off, and a differential test enforces it.
+
+The pieces:
+
+* :mod:`repro.obs.metrics` — counters, gauges, and histograms keyed by
+  the *simulation* clock, with an owner-independent merge so per-shard
+  registries combine at merge time exactly like the sync digest.
+* :mod:`repro.obs.trace` — structured spans (campaign→slot→probe,
+  window→re-probe, plan→shard→merge) on the CRC-framed journal wire
+  format, in a separate ``telemetry/spans.bin`` stream.
+* :mod:`repro.obs.profiler` — wall-clock attribution to campaign
+  phases (planning / probing / replay / merge / fsync), persisted as a
+  canonical ``profile.json`` artifact benchmarks can diff.
+* :mod:`repro.obs.runtime` — the ambient :class:`Telemetry` bundle and
+  its activation context; the disabled default makes every hook a
+  no-op.
+* :mod:`repro.obs.top` — the ``repro top`` dashboard renderer and the
+  ``repro trace`` offline span summarizer.
+"""
+
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               merge_snapshots)
+from repro.obs.profiler import PhaseProfiler, merge_profiles
+from repro.obs.runtime import (Telemetry, activate, current,
+                               telemetry_for_dir)
+from repro.obs.trace import TraceConfig, TraceRecorder, read_spans
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "PhaseProfiler",
+    "merge_profiles",
+    "Telemetry",
+    "activate",
+    "current",
+    "telemetry_for_dir",
+    "TraceConfig",
+    "TraceRecorder",
+    "read_spans",
+]

@@ -1,0 +1,215 @@
+"""The metrics registry: counters, gauges, sim-clock-keyed histograms.
+
+Design constraints, in order:
+
+1. **Inert.**  Recording a metric is a dict lookup plus an integer add.
+   No clock advance, no RNG draw, no I/O.  The only clock interaction
+   is *reading* ``clock.now`` to timestamp gauge samples — reads are
+   free in the simulator.
+2. **Owner-independent merge.**  Per-shard registries must combine at
+   merge time to the same snapshot regardless of which shard's
+   registry absorbs which, exactly like the parallel sync digest:
+   counters sum, histogram buckets sum, and gauges resolve by
+   ``max((sim_t, value))`` — all associative and commutative, which
+   the Hypothesis property suite pins.
+3. **Canonical.**  :meth:`MetricsRegistry.snapshot` produces a plain
+   sort-keyed JSON-able dict, so two registries holding the same facts
+   serialize to identical bytes.
+
+Metric names are dotted paths (``probe.outcomes``, ``journal.appends``)
+with optional labels folded into the series key as ``name{k=v,...}`` —
+a flat, deterministic encoding that survives JSON round-trips.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Iterable, Mapping
+
+#: schema version stamped into snapshots; merge refuses mismatches.
+SNAPSHOT_VERSION = "repro.metrics.v1"
+
+
+def series_key(name: str, labels: Mapping[str, object] | None = None) -> str:
+    """Flatten a metric name + labels into one deterministic key."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time sample, keyed by the simulation clock.
+
+    Merging keeps the sample with the greatest ``(sim_t, value)`` pair;
+    the value tiebreak keeps the resolution deterministic when two
+    shards sample the same instant.
+    """
+
+    __slots__ = ("sim_t", "value")
+
+    def __init__(self) -> None:
+        self.sim_t = float("-inf")
+        self.value = 0.0
+
+    def set(self, value: float, sim_t: float) -> None:
+        if (sim_t, value) >= (self.sim_t, self.value):
+            self.sim_t = sim_t
+            self.value = value
+
+
+class Histogram:
+    """Fixed-bound bucket counts plus a running sum.
+
+    Bounds are upper-inclusive edges; an implicit +inf bucket catches
+    the overflow.  Bucket counts sum under merge, which keeps the
+    histogram owner-independent for free.
+    """
+
+    __slots__ = ("bounds", "buckets", "count", "total")
+
+    def __init__(self, bounds: Iterable[float]) -> None:
+        self.bounds = tuple(sorted(bounds))
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float, n: int = 1) -> None:
+        self.buckets[bisect_left(self.bounds, value)] += n
+        self.count += n
+        self.total += value * n
+
+
+class MetricsRegistry:
+    """One process's (or shard's) metric series.
+
+    Accessors create-on-first-use so instrumentation sites never need
+    registration boilerplate; hot paths should bind the returned
+    object once and call ``inc`` directly.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- accessors ---------------------------------------------------------
+
+    def counter(self, name: str,
+                labels: Mapping[str, object] | None = None) -> Counter:
+        key = series_key(name, labels)
+        metric = self._counters.get(key)
+        if metric is None:
+            metric = self._counters[key] = Counter()
+        return metric
+
+    def gauge(self, name: str,
+              labels: Mapping[str, object] | None = None) -> Gauge:
+        key = series_key(name, labels)
+        metric = self._gauges.get(key)
+        if metric is None:
+            metric = self._gauges[key] = Gauge()
+        return metric
+
+    def histogram(self, name: str, bounds: Iterable[float],
+                  labels: Mapping[str, object] | None = None) -> Histogram:
+        key = series_key(name, labels)
+        metric = self._histograms.get(key)
+        if metric is None:
+            metric = self._histograms[key] = Histogram(bounds)
+        return metric
+
+    # -- snapshot / merge --------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A canonical, JSON-able view of every series.
+
+        Zero-valued counters are kept: their presence records that the
+        instrumented code path ran, which the catalog tests rely on.
+        """
+        return {
+            "version": SNAPSHOT_VERSION,
+            "counters": {k: c.value
+                         for k, c in sorted(self._counters.items())},
+            "gauges": {k: [g.sim_t, g.value]
+                       for k, g in sorted(self._gauges.items())
+                       if g.sim_t != float("-inf")},
+            "histograms": {
+                k: {"bounds": list(h.bounds), "buckets": list(h.buckets),
+                    "count": h.count, "total": h.total}
+                for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    def absorb(self, snapshot: Mapping) -> None:
+        """Fold one snapshot into this registry (merge in place)."""
+        _check_version(snapshot)
+        for key, value in snapshot.get("counters", {}).items():
+            self.counter(key).inc(value)
+        for key, (sim_t, value) in snapshot.get("gauges", {}).items():
+            self.gauge(key).set(value, sim_t)
+        for key, data in snapshot.get("histograms", {}).items():
+            hist = self.histogram(key, data["bounds"])
+            if tuple(data["bounds"]) != hist.bounds:
+                raise ValueError(
+                    f"histogram {key!r}: bound mismatch "
+                    f"{tuple(data['bounds'])} vs {hist.bounds}")
+            for i, n in enumerate(data["buckets"]):
+                hist.buckets[i] += n
+            hist.count += data["count"]
+            hist.total += data["total"]
+
+
+def merge_snapshots(snapshots: Iterable[Mapping]) -> dict:
+    """Merge snapshots owner-independently.
+
+    Associative and commutative by construction — every per-series
+    resolution (sum, sum, max-by-pair) is — so any merge tree over any
+    shard ordering produces the identical canonical dict.
+    """
+    merged = MetricsRegistry()
+    for snapshot in snapshots:
+        merged.absorb(snapshot)
+    return merged.snapshot()
+
+
+def write_snapshot(path, snapshot: Mapping) -> None:
+    """Atomically persist a snapshot as canonical JSON."""
+    import os
+    from pathlib import Path
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(snapshot, sort_keys=True, indent=1) + "\n")
+    os.replace(tmp, path)
+
+
+def read_snapshot(path) -> dict:
+    """Load a persisted snapshot, validating the schema version."""
+    from pathlib import Path
+
+    snapshot = json.loads(Path(path).read_text())
+    _check_version(snapshot)
+    return snapshot
+
+
+def _check_version(snapshot: Mapping) -> None:
+    version = snapshot.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise ValueError(
+            f"metrics snapshot version {version!r} is not "
+            f"{SNAPSHOT_VERSION!r}")

@@ -1,0 +1,131 @@
+"""Wall-clock phase attribution for campaigns.
+
+The profiler answers the ROADMAP's hot-path question — *where does the
+real time go?* — by attributing ``perf_counter`` time to named phases:
+``planning``, ``probing`` (the inner loop), ``summary_replay``,
+``merge``, ``checkpoint`` (journal appends + snapshot writes + fsync),
+``window`` bookkeeping for the service.  Phases nest; time is charged
+to the innermost open phase only, so the per-phase totals partition
+the observed wall clock and sum to ``total_s``.
+
+Wall-clock numbers are inherently nondeterministic, so they live in
+their own artifact (``telemetry/profile.json``) with a canonical
+*shape*: sorted keys, fixed schema, counts that **are** deterministic
+(phase entry counts) next to the timings that are not.  Benchmarks
+diff the shape and track the timings.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterable, Mapping
+
+PROFILE_VERSION = "repro.profile.v1"
+
+#: filename of the profile artifact inside a telemetry directory.
+PROFILE_FILE = "profile.json"
+
+
+class PhaseProfiler:
+    """Accumulates exclusive wall-clock time per named phase."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.seconds: dict[str, float] = {}
+        self.entries: dict[str, int] = {}
+        self._stack: list[tuple[str, float]] = []
+
+    @contextmanager
+    def phase(self, name: str):
+        """Charge the enclosed block's wall time to ``name``.
+
+        Nested phases pause the parent: time is exclusive, so the
+        per-phase totals partition the wall clock.
+        """
+        if not self.enabled:
+            yield
+            return
+        now = time.perf_counter()
+        if self._stack:
+            parent, started = self._stack[-1]
+            self.seconds[parent] = self.seconds.get(parent, 0.0) \
+                + (now - started)
+        self._stack.append((name, now))
+        self.entries[name] = self.entries.get(name, 0) + 1
+        try:
+            yield
+        finally:
+            now = time.perf_counter()
+            name, started = self._stack.pop()
+            self.seconds[name] = self.seconds.get(name, 0.0) \
+                + (now - started)
+            if self._stack:
+                parent, _ = self._stack[-1]
+                self._stack[-1] = (parent, now)
+
+    def snapshot(self) -> dict:
+        """Canonical JSON-able view: per-phase seconds and entry counts."""
+        return {
+            "version": PROFILE_VERSION,
+            "phases": {
+                name: {"seconds": self.seconds.get(name, 0.0),
+                       "entries": self.entries.get(name, 0)}
+                for name in sorted(set(self.seconds) | set(self.entries))
+            },
+            "total_s": sum(self.seconds.values()),
+        }
+
+    # Profilers travel inside pickled campaign state; an open phase
+    # stack does not survive that, so pickling flattens it.
+    def __getstate__(self) -> dict:
+        return {"enabled": self.enabled, "seconds": dict(self.seconds),
+                "entries": dict(self.entries)}
+
+    def __setstate__(self, state: dict) -> None:
+        self.enabled = state["enabled"]
+        self.seconds = state["seconds"]
+        self.entries = state["entries"]
+        self._stack = []
+
+
+def merge_profiles(snapshots: Iterable[Mapping]) -> dict:
+    """Sum per-phase seconds and entries across shard profiles."""
+    seconds: dict[str, float] = {}
+    entries: dict[str, int] = {}
+    for snapshot in snapshots:
+        version = snapshot.get("version")
+        if version != PROFILE_VERSION:
+            raise ValueError(
+                f"profile version {version!r} is not {PROFILE_VERSION!r}")
+        for name, data in snapshot.get("phases", {}).items():
+            seconds[name] = seconds.get(name, 0.0) + data["seconds"]
+            entries[name] = entries.get(name, 0) + data["entries"]
+    return {
+        "version": PROFILE_VERSION,
+        "phases": {name: {"seconds": seconds[name],
+                          "entries": entries.get(name, 0)}
+                   for name in sorted(seconds)},
+        "total_s": sum(seconds.values()),
+    }
+
+
+def write_profile(path, snapshot: Mapping) -> None:
+    """Atomically persist a profile snapshot as canonical JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(snapshot, sort_keys=True, indent=1) + "\n")
+    os.replace(tmp, path)
+
+
+def read_profile(path) -> dict:
+    snapshot = json.loads(Path(path).read_text())
+    version = snapshot.get("version")
+    if version != PROFILE_VERSION:
+        raise ValueError(
+            f"profile version {version!r} is not {PROFILE_VERSION!r}")
+    return snapshot

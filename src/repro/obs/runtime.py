@@ -1,0 +1,164 @@
+"""The ambient telemetry bundle and its activation context.
+
+A :class:`Telemetry` object bundles the three instruments — metrics
+registry, phase profiler, trace recorder — behind one ``enabled``
+flag.  Code under instrumentation asks :func:`current` for the active
+bundle and skips all work when it is disabled; the module-level
+default is the disabled singleton, so a bare library call (every
+existing test) pays nothing and changes nothing.
+
+Activation is explicit and scoped: the CLI entry points (``repro
+run``, ``repro serve``) activate an enabled bundle for the duration of
+the command, and the parallel driver activates a *fresh per-shard*
+bundle inside each worker so shard registries merge owner-
+independently afterwards.  Long-lived components (the probing
+pipeline, the service supervisor) capture ``current()`` once at
+construction so the bundle travels inside pickled campaign state and
+a resumed run keeps counting where the dead one stopped.
+
+The trace recorder holds an open file handle and therefore never
+pickles: :meth:`Telemetry.__getstate__` drops it, and resume paths
+re-attach with :meth:`Telemetry.attach_tracer` (which recovers a torn
+tail first).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry, write_snapshot
+from repro.obs.profiler import (PhaseProfiler, PROFILE_FILE,
+                                write_profile)
+from repro.obs.trace import SPANS_FILE, TraceConfig, TraceRecorder
+
+#: subdirectory (of a checkpoint/campaign dir) holding telemetry
+#: artifacts.  The integrity scanner ignores it by design: telemetry
+#: is advisory, not part of the replay-verified record.
+TELEMETRY_DIR = "telemetry"
+
+#: filename of the merged metrics snapshot.
+METRICS_FILE = "metrics.json"
+
+
+class Telemetry:
+    """One process's telemetry instruments, behind a single flag."""
+
+    def __init__(self, enabled: bool = False,
+                 trace_config: TraceConfig | None = None) -> None:
+        self.enabled = enabled
+        self.trace_config = trace_config or TraceConfig()
+        self.registry = MetricsRegistry()
+        self.profiler = PhaseProfiler(enabled=enabled)
+        self.tracer: TraceRecorder | None = None
+        #: the campaign directory whose telemetry/ this bundle flushes
+        #: to; set by :meth:`attach_tracer`, None for in-memory-only.
+        self.home: Path | None = None
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def for_dir(cls, directory: str | Path | None,
+                trace_config: TraceConfig | None = None) -> "Telemetry":
+        """An enabled bundle, tracing into ``directory``/telemetry/.
+
+        With no directory there is nowhere durable to stream spans, so
+        the bundle keeps metrics and profiling in memory only.
+        """
+        telemetry = cls(enabled=True, trace_config=trace_config)
+        if directory is not None:
+            telemetry.attach_tracer(directory)
+        return telemetry
+
+    def attach_tracer(self, directory: str | Path) -> None:
+        """(Re-)open the span stream under ``directory``/telemetry/."""
+        if not self.enabled:
+            return
+        self.home = Path(directory)
+        path = self.home / TELEMETRY_DIR / SPANS_FILE
+        self.tracer = TraceRecorder(path, self.trace_config)
+
+    # -- emission helpers --------------------------------------------------
+
+    def span(self, kind: str, name: str, t0: float, t1: float,
+             attrs: dict | None = None) -> None:
+        if self.enabled and self.tracer is not None:
+            self.tracer.emit(kind, name, t0, t1, attrs)
+
+    @contextmanager
+    def phase(self, name: str):
+        if not self.enabled:
+            yield
+            return
+        with self.profiler.phase(name):
+            yield
+
+    # -- persistence -------------------------------------------------------
+
+    def flush(self, directory: str | Path) -> None:
+        """Write metrics + profile snapshots under ``directory``/telemetry/."""
+        if not self.enabled:
+            return
+        base = Path(directory) / TELEMETRY_DIR
+        write_snapshot(base / METRICS_FILE, self.registry.snapshot())
+        write_profile(base / PROFILE_FILE, self.profiler.snapshot())
+
+    def maybe_flush(self, index: int, every: int = 25) -> None:
+        """Periodic flush for live dashboards, on an index cadence."""
+        if self.enabled and self.home is not None and every > 0 \
+                and index % every == 0:
+            self.flush(self.home)
+
+    def close(self) -> None:
+        if self.tracer is not None:
+            self.tracer.close()
+            self.tracer = None
+
+    # -- pickling ----------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        # The tracer's file handle cannot travel; resume re-attaches.
+        return {"enabled": self.enabled, "trace_config": self.trace_config,
+                "registry": self.registry, "profiler": self.profiler}
+
+    def __setstate__(self, state: dict) -> None:
+        self.enabled = state["enabled"]
+        self.trace_config = state["trace_config"]
+        self.registry = state["registry"]
+        self.profiler = state["profiler"]
+        self.tracer = None
+        self.home = None
+
+
+#: the module default: one shared, permanently disabled bundle.
+DISABLED = Telemetry(enabled=False)
+
+_active: Telemetry = DISABLED
+
+
+def current() -> Telemetry:
+    """The ambient telemetry bundle (the disabled singleton by default)."""
+    return _active
+
+
+@contextmanager
+def activate(telemetry: Telemetry):
+    """Make ``telemetry`` ambient for the enclosed block."""
+    global _active
+    previous = _active
+    _active = telemetry
+    try:
+        yield telemetry
+    finally:
+        _active = previous
+
+
+def telemetry_for_dir(directory: str | Path | None,
+                      trace_config: TraceConfig | None = None) -> Telemetry:
+    """Convenience alias for :meth:`Telemetry.for_dir`."""
+    return Telemetry.for_dir(directory, trace_config)
+
+
+def telemetry_dir(directory: str | Path) -> Path:
+    """The telemetry subdirectory of a campaign/checkpoint directory."""
+    return Path(directory) / TELEMETRY_DIR

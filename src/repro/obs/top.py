@@ -1,0 +1,279 @@
+"""``repro top`` — a live terminal dashboard over telemetry artifacts.
+
+The dashboard is a *reader*: it renders whatever the campaign has
+flushed to ``<dir>/telemetry/`` (and ``shard-*/telemetry/`` for
+``--workers N`` runs) — merged metrics, per-shard progress, the phase
+profile, and the span stream tail.  It never touches the journal or
+any replay-verified artifact, so pointing it at a live run is always
+safe.
+
+Two modes:
+
+* **live** — redraw every ``interval`` seconds until interrupted; the
+  default when stdout is a TTY.
+* **snapshot** — render once and exit; the default when stdout is not
+  a TTY (CI) and forced by ``repro top --once``.
+
+``repro trace <dir>`` reuses the same readers to summarize a recorded
+span stream offline.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.obs.metrics import read_snapshot
+from repro.obs.profiler import PROFILE_FILE, read_profile
+from repro.obs.runtime import METRICS_FILE, TELEMETRY_DIR
+from repro.obs.trace import SPANS_FILE, read_spans
+
+#: gauge value → health state name (mirrors service.health states).
+HEALTH_STATES = {0: "HEALTHY", 1: "DEGRADED", 2: "CRITICAL", 3: "HALTED"}
+
+_BAR_WIDTH = 24
+
+
+def _load_json(path: Path):
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def load_dashboard(directory: str | Path) -> dict:
+    """Collect every telemetry artifact under ``directory``.
+
+    Returns ``{"metrics": ..., "profile": ..., "shards": {...},
+    "spans": [...]}`` with ``None``/empty entries for artifacts not
+    (yet) written — a live run flushes incrementally.
+    """
+    directory = Path(directory)
+    base = directory / TELEMETRY_DIR
+    metrics = None
+    if (base / METRICS_FILE).exists():
+        try:
+            metrics = read_snapshot(base / METRICS_FILE)
+        except ValueError:
+            metrics = None
+    profile = None
+    if (base / PROFILE_FILE).exists():
+        try:
+            profile = read_profile(base / PROFILE_FILE)
+        except ValueError:
+            profile = None
+    shards = {}
+    for shard_dir in sorted(directory.glob("shard-*")):
+        snapshot_path = shard_dir / TELEMETRY_DIR / METRICS_FILE
+        if snapshot_path.exists():
+            try:
+                shards[shard_dir.name] = read_snapshot(snapshot_path)
+            except ValueError:
+                pass
+    spans = []
+    span_path = base / SPANS_FILE
+    if span_path.exists():
+        spans = read_spans(span_path)
+    return {"directory": str(directory), "metrics": metrics,
+            "profile": profile, "shards": shards, "spans": spans}
+
+
+# -- rendering -------------------------------------------------------------
+
+
+def _bar(fraction: float, width: int = _BAR_WIDTH) -> str:
+    fraction = max(0.0, min(1.0, fraction))
+    filled = int(round(fraction * width))
+    return "#" * filled + "-" * (width - filled)
+
+
+def _counter(metrics: dict | None, name: str) -> int:
+    if not metrics:
+        return 0
+    return metrics.get("counters", {}).get(name, 0)
+
+
+def _counter_family(metrics: dict | None, prefix: str) -> dict[str, int]:
+    """All counters named ``prefix{...}``, keyed by their label string."""
+    out: dict[str, int] = {}
+    if not metrics:
+        return out
+    for key, value in metrics.get("counters", {}).items():
+        if key.startswith(prefix + "{") and key.endswith("}"):
+            out[key[len(prefix) + 1:-1]] = value
+    return out
+
+
+def _gauge(metrics: dict | None, name: str):
+    if not metrics:
+        return None
+    sample = metrics.get("gauges", {}).get(name)
+    return None if sample is None else sample[1]
+
+
+def _gauge_family(metrics: dict | None, prefix: str) -> dict[str, float]:
+    out: dict[str, float] = {}
+    if not metrics:
+        return out
+    for key, sample in metrics.get("gauges", {}).items():
+        if key.startswith(prefix + "{") and key.endswith("}"):
+            out[key[len(prefix) + 1:-1]] = sample[1]
+    return out
+
+
+def render_top(data: dict) -> str:
+    """Render one dashboard frame as plain text."""
+    metrics = data.get("metrics")
+    lines = [f"repro top — {data.get('directory', '?')}"]
+
+    # Health / window state (service runs).
+    state = _gauge(metrics, "health.state")
+    if state is not None:
+        name = HEALTH_STATES.get(int(state), f"state={state}")
+        window = _gauge(metrics, "window.index")
+        window_txt = f"window {int(window)}" if window is not None else "-"
+        lines.append(f"health: {name:9s} {window_txt}")
+        scheduled = _counter(metrics, "window.scheduled")
+        covered = _counter(metrics, "window.covered")
+        shed = _counter(metrics, "window.shed")
+        dropped = _counter(metrics, "window.budget_dropped")
+        if scheduled:
+            frac = covered / scheduled
+            lines.append(
+                f"coverage: [{_bar(frac)}] {frac:7.2%}  "
+                f"covered={covered} shed={shed} "
+                f"budget_dropped={dropped} of {scheduled}")
+
+    # Probe engine counters.
+    sent = _counter(metrics, "probe.sent")
+    if sent or metrics:
+        outcomes = _counter_family(metrics, "probe.outcomes")
+        outcome_txt = " ".join(
+            f"{k.split('=', 1)[1]}={v}" for k, v in sorted(outcomes.items()))
+        lines.append(f"probes: sent={sent}  {outcome_txt}".rstrip())
+        retries = _counter(metrics, "probe.retries")
+        breaker = int(sum(_gauge_family(metrics,
+                                        "breaker.transitions").values()))
+        budget = _counter(metrics, "budget.denied")
+        lines.append(f"resilience: retries={retries} "
+                     f"breaker_transitions={breaker} "
+                     f"budget_denied={budget}")
+        queries = int(_gauge(metrics, "resolver.cache.queries") or 0)
+        hits = int(_gauge(metrics, "resolver.cache.hits") or 0)
+        rate = f"{hits / queries:.2%}" if queries else "-"
+        rejected = int((_gauge(metrics, "resolver.tcp.rejected") or 0)
+                       + (_gauge(metrics, "resolver.udp.rejected") or 0))
+        lines.append(f"resolver: queries={queries} cache_hits={hits} "
+                     f"hit_rate={rate} rate_limited={rejected}")
+        appends = _counter(metrics, "journal.appends")
+        jbytes = _counter(metrics, "journal.bytes")
+        snaps = _counter(metrics, "snapshot.writes")
+        sbytes = _counter(metrics, "snapshot.bytes")
+        lines.append(f"persist: journal_appends={appends} "
+                     f"journal_bytes={jbytes} snapshots={snaps} "
+                     f"snapshot_bytes={sbytes}")
+
+    # Per-shard progress (parallel runs).
+    shards = data.get("shards") or {}
+    if shards:
+        lines.append("shards:")
+        for name in sorted(shards):
+            shard = shards[name]
+            done = _gauge(shard, "progress.slots_done") or 0
+            total = _gauge(shard, "progress.slots_total") or 0
+            frac = done / total if total else 0.0
+            shard_sent = _counter(shard, "probe.sent")
+            lines.append(f"  {name}: [{_bar(frac)}] "
+                         f"{int(done)}/{int(total)} slots  "
+                         f"sent={shard_sent}")
+
+    # Phase profile.
+    profile = data.get("profile")
+    if profile and profile.get("phases"):
+        total = profile.get("total_s") or 0.0
+        lines.append(f"phases (wall {total:.2f}s):")
+        phases = sorted(profile["phases"].items(),
+                        key=lambda item: -item[1]["seconds"])
+        for name, entry in phases:
+            share = entry["seconds"] / total if total else 0.0
+            lines.append(f"  {name:16s} {entry['seconds']:8.3f}s "
+                         f"{share:6.1%}  x{entry['entries']}")
+
+    # Span stream tail.
+    spans = data.get("spans") or []
+    if spans:
+        kinds: dict[str, int] = {}
+        for span in spans:
+            kinds[span.get("kind", "?")] = kinds.get(span.get("kind", "?"),
+                                                     0) + 1
+        kind_txt = " ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
+        lines.append(f"spans: {len(spans)} recorded  ({kind_txt})")
+
+    if metrics is None and not shards and not spans:
+        lines.append("no telemetry artifacts found — run with telemetry "
+                     "enabled (the default) or check the directory")
+    return "\n".join(lines)
+
+
+def run_top(directory: str | Path, once: bool = False,
+            interval: float = 2.0, iterations: int | None = None,
+            out=None) -> int:
+    """Drive the dashboard: snapshot mode or a live refresh loop."""
+    import sys
+
+    out = out or sys.stdout
+    live = not once and out.isatty() if hasattr(out, "isatty") else False
+    count = 0
+    while True:
+        frame = render_top(load_dashboard(directory))
+        if live:
+            out.write("\x1b[2J\x1b[H")
+        out.write(frame + "\n")
+        out.flush()
+        count += 1
+        if not live or (iterations is not None and count >= iterations):
+            return 0
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+# -- offline span summary --------------------------------------------------
+
+
+def summarize_trace(directory: str | Path) -> str:
+    """``repro trace <dir>``: summarize recorded span streams."""
+    directory = Path(directory)
+    streams = []
+    top_level = directory / TELEMETRY_DIR / SPANS_FILE
+    if top_level.exists():
+        streams.append(("campaign", top_level))
+    for shard_dir in sorted(directory.glob("shard-*")):
+        path = shard_dir / TELEMETRY_DIR / SPANS_FILE
+        if path.exists():
+            streams.append((shard_dir.name, path))
+    if not streams:
+        return f"no span streams under {directory}"
+    lines = [f"repro trace — {directory}"]
+    for label, path in streams:
+        spans = read_spans(path)
+        if not spans:
+            lines.append(f"[{label}] empty stream")
+            continue
+        kinds: dict[str, tuple[int, float]] = {}
+        t_min = min(span["t0"] for span in spans)
+        t_max = max(span["t1"] for span in spans)
+        for span in spans:
+            count, sim_s = kinds.get(span["kind"], (0, 0.0))
+            kinds[span["kind"]] = (count + 1,
+                                   sim_s + (span["t1"] - span["t0"]))
+        lines.append(f"[{label}] {len(spans)} spans, sim time "
+                     f"{t_min:.0f} → {t_max:.0f} "
+                     f"({t_max - t_min:.0f}s)")
+        for kind in sorted(kinds):
+            count, sim_s = kinds[kind]
+            lines.append(f"  {kind:10s} x{count:<6d} "
+                         f"sim_total={sim_s:.0f}s")
+    return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""Structured trace spans on the CRC-framed journal wire format.
+
+Spans describe the *shape* of a run — campaign→slot→probe→retry,
+window→re-probe, plan→shard→merge — as a flat stream of completed-span
+records in a ``telemetry/spans.bin`` file, framed exactly like the
+write-ahead journal (magic + length + chained CRC32 + canonical JSON)
+so torn tails are detected and truncated on re-attach.
+
+Spans carry **only deterministic fields**: span kind, a deterministic
+name (slot index, window index, shard id, probe coordinates), the
+*simulation*-clock interval ``[t0, t1]``, and a small attribute dict.
+No wall-clock, no PIDs, no sequence counters.  That choice buys the
+replay property the kill/restart test enforces: a resumed campaign
+re-emits byte-identical span records for the slots it replays, so
+deduplicating by payload reconstructs exactly the clean run's stream.
+
+Record shape::
+
+    {"k": "span", "kind": "slot", "name": "42",
+     "t0": 1609502400.0, "t1": 1609504200.0, "a": {...}}
+
+Sampling is configured, not adaptive: :class:`TraceConfig` picks every
+Nth slot (and optionally per-probe spans) by *index*, so the sampled
+subset is identical across serial, parallel, and resumed runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+#: filename of the span stream inside a telemetry directory.
+SPANS_FILE = "spans.bin"
+
+
+def _journal_module():
+    # Imported lazily: repro.persist's package __init__ pulls in the
+    # campaign driver, which imports the (telemetry-instrumented) core
+    # pipeline — importing it at module scope would be circular.
+    from repro.persist import journal
+
+    return journal
+
+
+@dataclass(frozen=True, slots=True)
+class TraceConfig:
+    """Sampling knobs for the span stream.
+
+    ``slot_every`` keeps one slot span per N slot indices (1 = all).
+    ``probe_spans`` additionally records a span per owned probe visit
+    within sampled slots — the firehose, off by default.
+    ``retry_spans`` records a span per resilient retry attempt.
+    """
+
+    slot_every: int = 1
+    probe_spans: bool = False
+    retry_spans: bool = True
+
+    def samples_slot(self, index: int) -> bool:
+        return self.slot_every > 0 and index % self.slot_every == 0
+
+
+class TraceRecorder:
+    """Appends span records to a CRC-framed stream file.
+
+    Attaching to an existing file recovers a torn tail first (the
+    recorder may have died mid-append), then continues the chain.
+    Mid-file corruption is surfaced, not truncated — same policy as
+    the write-ahead journal.
+    """
+
+    def __init__(self, path: str | Path,
+                 config: TraceConfig | None = None) -> None:
+        journal = _journal_module()
+        self.path = Path(path)
+        self.config = config or TraceConfig()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self.path.exists():
+            journal.Journal.recover(self.path)
+        self._journal = journal.Journal(self.path)
+
+    def emit(self, kind: str, name: str, t0: float, t1: float,
+             attrs: dict | None = None) -> None:
+        record = {"k": "span", "kind": kind, "name": str(name),
+                  "t0": t0, "t1": t1}
+        if attrs:
+            record["a"] = attrs
+        self._journal.append(record)
+
+    def close(self) -> None:
+        self._journal.close()
+
+
+def read_spans(path: str | Path, dedupe: bool = True) -> list[dict]:
+    """Read a span stream, tolerating a torn tail.
+
+    With ``dedupe`` (the default), payload-identical records collapse
+    to their first occurrence — a resumed run re-emits the replayed
+    slots' spans verbatim, so deduplication reconstructs the clean
+    run's stream.  Raises :class:`JournalCorruption` on mid-file
+    damage, like every other reader of this wire format.
+    """
+    journal = _journal_module()
+    path = Path(path)
+    if not path.exists():
+        return []
+    scan = journal.Journal.scan(path)
+    if scan.damage == "corrupt":
+        raise journal.JournalCorruption(
+            f"{path} is corrupt mid-file ({scan.detail})")
+    if not dedupe:
+        return scan.records
+    seen: set[str] = set()
+    out: list[dict] = []
+    for record in scan.records:
+        key = _payload_key(record)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(record)
+    return out
+
+
+def _payload_key(record: dict) -> str:
+    import json
+
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))

@@ -34,6 +34,7 @@ import pickle
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 
+from repro.obs import runtime as obs_runtime
 from repro.sim.faults import SimulatedCrash
 from repro.world.apnic import ApnicEstimator
 from repro.core.datasets import build_all_datasets
@@ -166,18 +167,52 @@ def _gather(futures: dict) -> tuple[list[ShardResult], dict[int, Exception]]:
     return results, crashed
 
 
+def _merge_telemetry(telemetry, shard_results: list[ShardResult],
+                     directory: Path | None) -> None:
+    """Fold the shard telemetry riders into campaign-level artifacts.
+
+    Shard registries are disjoint by construction (each shard ran
+    under its own bundle), so the owner-independent snapshot merge is
+    exact; the parent's own profiler snapshot (planning + merge time)
+    joins the shard profiles.  Advisory only — never part of the
+    fingerprinted experiment result.
+    """
+    from repro.obs.metrics import merge_snapshots, write_snapshot
+    from repro.obs.profiler import PROFILE_FILE, merge_profiles
+    from repro.obs.runtime import METRICS_FILE, TELEMETRY_DIR
+    from repro.obs.profiler import write_profile
+
+    snapshots = [r.metrics for r in shard_results if r.metrics is not None]
+    if snapshots:
+        telemetry.registry.absorb(merge_snapshots(snapshots))
+    profiles = [r.profile for r in shard_results if r.profile is not None]
+    profiles.append(telemetry.profiler.snapshot())
+    if directory is not None:
+        telemetry_dir = Path(directory) / TELEMETRY_DIR
+        telemetry_dir.mkdir(parents=True, exist_ok=True)
+        write_snapshot(telemetry_dir / METRICS_FILE,
+                       telemetry.registry.snapshot())
+        write_profile(telemetry_dir / PROFILE_FILE, merge_profiles(profiles))
+
+
 def _finish(
     config: ExperimentConfig,
     world,
     vantage_points,
     shard_results: list[ShardResult],
+    directory: Path | None = None,
 ) -> ExperimentResult:
     """Merge the shards and build the serial-shape experiment result."""
-    cache_result = merge_cache_results(shard_results)
-    logs_result = merge_dns_logs(shard_results, config.dns_logs)
-    apnic = ApnicEstimator(world, seed=config.seed).estimate(
-        impressions=config.apnic_impressions)
-    datasets = build_all_datasets(world, cache_result, logs_result, apnic)
+    telemetry = obs_runtime.current()
+    with telemetry.phase("merge"):
+        cache_result = merge_cache_results(shard_results)
+        logs_result = merge_dns_logs(shard_results, config.dns_logs)
+        apnic = ApnicEstimator(world, seed=config.seed).estimate(
+            impressions=config.apnic_impressions)
+        datasets = build_all_datasets(world, cache_result, logs_result,
+                                      apnic)
+    if telemetry.enabled:
+        _merge_telemetry(telemetry, shard_results, directory)
     return ExperimentResult(
         config=config,
         world=world,
@@ -259,7 +294,7 @@ def run_parallel_experiment(
         if pool is not None:
             pool.shutdown()
     result = _finish(config, state0.world, state0.vantage_points,
-                     shard_results)
+                     shard_results, directory=directory)
     if directory is not None:
         _stamp_manifest_digest(directory, result.cache_result.sync_digest)
     return result
@@ -350,6 +385,7 @@ def resume_parallel_campaign(
                 "recover the world from"
             )
         world, vantage_points = state.world, state.vantage_points
-    result = _finish(config, world, vantage_points, shard_results)
+    result = _finish(config, world, vantage_points, shard_results,
+                     directory=directory)
     _stamp_manifest_digest(directory, result.cache_result.sync_digest)
     return result

@@ -122,6 +122,13 @@ def _merge_health(shards: Sequence[ShardResult]) -> ProbeHealthReport:
         resilience_enabled=reports[0].resilience_enabled,
         budget=None,
     )
+    # The measurement window is replicated state: every shard ran the
+    # same clock trajectory, so the merged rate divides by one window.
+    windows = {report.window_s for report in reports}
+    if len(windows) > 1:
+        raise ShardDivergence(
+            f"shards disagree on the measurement window: {sorted(windows)}")
+    merged.window_s = reports[0].window_s
     per_pop: dict[str, PopHealth] = {}
     for report in reports:
         merged.sent += report.sent

@@ -31,6 +31,7 @@ import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.obs import runtime as obs_runtime
 from repro.sim.faults import FaultInjector
 from repro.world.builder import World, build_world
 from repro.world.vantage import VantagePoint, deploy_vantage_points
@@ -72,6 +73,11 @@ class ShardResult:
     dns_letters: dict[str, list]
     clock_now: float
     clock_ticks: int
+    #: telemetry riders — the shard's metrics/profile snapshots, merged
+    #: owner-independently by the driver.  None when telemetry is off;
+    #: advisory only, never part of the merge equivalence contract.
+    metrics: dict | None = None
+    profile: dict | None = None
 
 
 @dataclass(slots=True)
@@ -118,7 +124,37 @@ def run_shard(
     appends (the "kill one worker" lever for crash/resume tests).
     ``sync_mode`` selects summary-based synchronization (default) or
     the legacy ghost-visit walk (cross-check oracle).
+
+    When the ambient telemetry bundle is enabled, the shard runs under
+    a *fresh* per-shard bundle (tracing into ``shard_dir/telemetry/``)
+    so shard registries stay disjoint and merge owner-independently.
     """
+    parent_telemetry = obs_runtime.current()
+    if not parent_telemetry.enabled:
+        return _run_shard_fresh(config, shard_id, num_shards, shard_dir,
+                                checkpoint_config, arm_crash, sync_mode)
+    telemetry = obs_runtime.Telemetry(
+        enabled=True, trace_config=parent_telemetry.trace_config)
+    if shard_dir is not None:
+        telemetry.attach_tracer(shard_dir)
+    with obs_runtime.activate(telemetry):
+        try:
+            return _run_shard_fresh(config, shard_id, num_shards,
+                                    shard_dir, checkpoint_config,
+                                    arm_crash, sync_mode)
+        finally:
+            telemetry.close()
+
+
+def _run_shard_fresh(
+    config: ExperimentConfig,
+    shard_id: int,
+    num_shards: int,
+    shard_dir: str | Path | None,
+    checkpoint_config: CheckpointConfig | None,
+    arm_crash: bool,
+    sync_mode: str,
+) -> tuple[ShardResult, ShardCampaignState]:
     world = build_world(config.world)
     vantage_points = deploy_vantage_points(world)
     shard = ShardSpec(shard_id=shard_id, num_shards=num_shards,
@@ -166,7 +202,12 @@ def resume_shard(
     checkpoint_config: CheckpointConfig | None = None,
     faults: FaultInjector | None = None,
 ) -> tuple[ShardResult, ShardCampaignState]:
-    """Resume one crashed shard from its checkpoint sub-directory."""
+    """Resume one crashed shard from its checkpoint sub-directory.
+
+    The shard's telemetry bundle travels inside its snapshots; when the
+    dead run had telemetry on, the resumed one re-attaches the span
+    stream (recovering a torn tail) and keeps counting where it was.
+    """
     checkpointer, state, _torn = CampaignCheckpointer.recover(
         shard_dir, checkpoint_config, faults=faults)
     if state is None:
@@ -176,6 +217,15 @@ def resume_shard(
             "rerun the campaign from scratch"
         )
     checkpointer.bind(state)
+    telemetry = getattr(state.pipeline, "telemetry", None)
+    if telemetry is not None and telemetry.enabled:
+        telemetry.attach_tracer(shard_dir)
+        checkpointer.rebind_telemetry(telemetry)
+        with obs_runtime.activate(telemetry):
+            try:
+                return _drive_shard(state, checkpointer, shard_dir)
+            finally:
+                telemetry.close()
     return _drive_shard(state, checkpointer, shard_dir)
 
 
@@ -270,6 +320,7 @@ def _drive_shard(
             })
             checkpointer.snapshot()
     assert state.cache_result is not None
+    telemetry = obs_runtime.current()
     result = ShardResult(
         shard_id=state.shard.shard_id,
         num_shards=state.shard.num_shards,
@@ -278,7 +329,13 @@ def _drive_shard(
         dns_letters=state.dns_letters,
         clock_now=state.world.clock.now,
         clock_ticks=state.world.clock.ticks,
+        metrics=(telemetry.registry.snapshot()
+                 if telemetry.enabled else None),
+        profile=(telemetry.profiler.snapshot()
+                 if telemetry.enabled else None),
     )
+    if telemetry.enabled and shard_dir is not None:
+        telemetry.flush(shard_dir)
     if checkpointer is not None:
         checkpointer.close()
     if shard_dir is not None:

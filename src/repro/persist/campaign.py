@@ -33,9 +33,11 @@ from __future__ import annotations
 
 import logging
 from collections import deque
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.obs import runtime as obs_runtime
 from repro.persist.journal import Journal, canonical
 from repro.persist.journal import MAGIC as JOURNAL_MAGIC
 from repro.persist.snapshot import SnapshotError, SnapshotStore
@@ -51,6 +53,9 @@ from repro.experiments.runner import ExperimentResult
 
 
 logger = logging.getLogger("repro.persist")
+
+#: shared no-op context for un-instrumented checkpointers.
+_NULL_CONTEXT = nullcontext()
 
 
 class CheckpointError(RuntimeError):
@@ -129,12 +134,39 @@ class CampaignCheckpointer:
         self._replay: deque[dict] = deque()
         self._appends = 0
         self._snapshot_saves = 0
+        # Telemetry is observational only: counters tally write volume,
+        # the profiler charges snapshot time to the "checkpoint" phase,
+        # and flushes land in <dir>/telemetry/ — never in journal.bin,
+        # whose byte stream is replay-verified on resume.
+        telemetry = obs_runtime.current()
+        self._telemetry = telemetry if telemetry.enabled else None
+        if self._telemetry is not None:
+            registry = telemetry.registry
+            self._m_appends = registry.counter("journal.appends")
+            self._m_journal_bytes = registry.counter("journal.bytes")
+            self._m_snapshots = registry.counter("snapshot.writes")
+            self._m_snapshot_bytes = registry.counter("snapshot.bytes")
 
     # -- wiring ------------------------------------------------------------
 
     def bind(self, state: CampaignState) -> None:
         """Attach the state object that ``snapshot`` pickles."""
         self._state = state
+
+    def rebind_telemetry(self, telemetry) -> None:
+        """Point the write-volume counters at a resumed run's bundle.
+
+        Resume recovers the checkpointer *before* the snapshot's
+        telemetry bundle is unpickled, so the constructor bound to the
+        ambient (usually disabled) bundle; this swaps in the real one.
+        """
+        self._telemetry = telemetry if telemetry.enabled else None
+        if self._telemetry is not None:
+            registry = telemetry.registry
+            self._m_appends = registry.counter("journal.appends")
+            self._m_journal_bytes = registry.counter("journal.bytes")
+            self._m_snapshots = registry.counter("snapshot.writes")
+            self._m_snapshot_bytes = registry.counter("snapshot.bytes")
 
     @property
     def replaying(self) -> bool:
@@ -178,7 +210,10 @@ class CampaignCheckpointer:
             self._journal.close()
             raise SimulatedCrash(
                 f"injected crash at journal append #{self._appends}")
-        self._journal.append(record)
+        frame_bytes = self._journal.append(record)
+        if self._telemetry is not None:
+            self._m_appends.inc()
+            self._m_journal_bytes.inc(frame_bytes)
 
     # -- snapshots ---------------------------------------------------------
 
@@ -199,12 +234,23 @@ class CampaignCheckpointer:
         if self._state is None:
             return
         self._snapshot_saves += 1
-        name = self._snapshots.save(
-            self._state, seq=self._appends + 1,
-            before_replace=self._pre_rename_hook(self._snapshot_saves))
-        self._append({"type": "snapshot", "file": name,
-                      "stage": self._state.stage})
-        self._snapshots.prune()
+        telemetry = self._telemetry
+        with (telemetry.phase("checkpoint") if telemetry is not None
+              else _NULL_CONTEXT):
+            name = self._snapshots.save(
+                self._state, seq=self._appends + 1,
+                before_replace=self._pre_rename_hook(self._snapshot_saves))
+            self._append({"type": "snapshot", "file": name,
+                          "stage": self._state.stage})
+            self._snapshots.prune()
+        if telemetry is not None:
+            self._m_snapshots.inc()
+            try:
+                self._m_snapshot_bytes.inc(
+                    (self.directory / name).stat().st_size)
+            except OSError:
+                pass  # pruned or renamed under us; size is advisory
+            telemetry.flush(self.directory)
 
     def _pre_rename_hook(self, save_index: int):
         """The crash-injection hook firing between ``.tmp`` write and
@@ -337,6 +383,18 @@ def resume_campaign(
             "run the campaign from scratch"
         )
     checkpointer.bind(state)
+    telemetry = getattr(state.pipeline, "telemetry", None)
+    if telemetry is not None and telemetry.enabled:
+        # The dead run had telemetry on: its registry and profiler
+        # travelled in the snapshot; re-attach the span stream
+        # (recovering a torn tail) and keep counting.
+        telemetry.attach_tracer(checkpoint_dir)
+        checkpointer.rebind_telemetry(telemetry)
+        with obs_runtime.activate(telemetry):
+            try:
+                return _drive(state, checkpointer)
+            finally:
+                telemetry.close()
     return _drive(state, checkpointer)
 
 

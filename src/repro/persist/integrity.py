@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import json
 import shutil
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -106,6 +107,22 @@ class Finding:
 
 
 @dataclass(slots=True)
+class ScanStats:
+    """How much work one integrity scan did (advisory, for fsck output)."""
+
+    duration_s: float = 0.0
+    bytes_scanned: int = 0
+    #: findings per artifact kind, e.g. {"journal": 1, "snapshot": 2}.
+    artifacts_by_kind: dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {"duration_s": round(self.duration_s, 6),
+                "bytes_scanned": self.bytes_scanned,
+                "artifacts_by_kind": dict(sorted(
+                    self.artifacts_by_kind.items()))}
+
+
+@dataclass(slots=True)
 class IntegrityReport:
     """Everything one scan established about a checkpoint directory."""
 
@@ -113,6 +130,7 @@ class IntegrityReport:
     #: "campaign" | "parallel" | "service" | "shard" | "empty" | "unknown"
     checkpoint_kind: str
     findings: list[Finding] = field(default_factory=list)
+    stats: ScanStats = field(default_factory=ScanStats)
 
     @property
     def damaged(self) -> list[Finding]:
@@ -134,6 +152,12 @@ class IntegrityReport:
         lines = [f"{self.directory}: {self.checkpoint_kind} checkpoint, "
                  f"{len(self.findings)} artifact(s) scanned, "
                  f"{len(self.damaged)} damaged"]
+        stats = self.stats
+        if stats.artifacts_by_kind or stats.bytes_scanned:
+            kinds = " ".join(f"{kind}={count}" for kind, count
+                             in sorted(stats.artifacts_by_kind.items()))
+            lines.append(f"  scanned {stats.bytes_scanned:,} bytes in "
+                         f"{stats.duration_s:.3f}s ({kinds})")
         for finding in self.findings:
             if finding.damaged:
                 lines.append("  " + finding.render())
@@ -180,23 +204,38 @@ def detect_checkpoint_kind(directory: str | Path) -> str:
 def scan_checkpoint(directory: str | Path) -> IntegrityReport:
     """Scan a whole checkpoint directory; never modifies anything."""
     directory = Path(directory)
+    started = time.monotonic()
     kind = detect_checkpoint_kind(directory)
     report = IntegrityReport(directory=directory, checkpoint_kind=kind)
-    if kind == "empty":
-        return report
     if kind == "unknown":
         report.findings.append(Finding(
             ".", "directory", "inconsistent",
             "directory is non-empty but holds no recognizable "
             "checkpoint", repair="unrepairable"))
-        return report
-    if kind == "parallel":
+    elif kind == "parallel":
         _scan_parallel(directory, report)
     elif kind == "service":
         _scan_service(directory, report)
-    else:
+    elif kind != "empty":
         _scan_campaign_dir(directory, report, prefix="")
+    _fill_scan_stats(directory, report, started)
     return report
+
+
+def _fill_scan_stats(directory: Path, report: IntegrityReport,
+                     started: float) -> None:
+    """Tally scan volume: per-kind finding counts and bytes on disk."""
+    stats = report.stats
+    for finding in report.findings:
+        stats.artifacts_by_kind[finding.kind] = (
+            stats.artifacts_by_kind.get(finding.kind, 0) + 1)
+        path = directory / finding.artifact
+        try:
+            if path.is_file():
+                stats.bytes_scanned += path.stat().st_size
+        except OSError:  # pragma: no cover - racing deletion
+            pass
+    stats.duration_s = time.monotonic() - started
 
 
 def _scan_journal(directory: Path, report: IntegrityReport,

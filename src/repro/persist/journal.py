@@ -229,8 +229,9 @@ class Journal:
                     _fsync_directory(self.path.parent)
         return self._fh
 
-    def append(self, record: dict) -> None:
-        """Durably append one record."""
+    def append(self, record: dict) -> int:
+        """Durably append one record; returns the frame size in bytes
+        (telemetry counts journal write volume from it)."""
         fh = self._open()
         frame = encode_record(record, self._chain)
         fh.write(frame)
@@ -238,6 +239,7 @@ class Journal:
         if self.fsync:
             os.fsync(fh.fileno())
         self._chain = _FRAME.unpack_from(frame)[1]
+        return len(frame)
 
     def append_torn(self, record: dict, keep_fraction: float = 0.5) -> None:
         """Write only a prefix of the record's frame (crash injection).

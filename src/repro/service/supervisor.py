@@ -37,6 +37,7 @@ import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.obs import runtime as obs_runtime
 from repro.persist.campaign import (
     CampaignCheckpointer,
     CheckpointConfig,
@@ -67,6 +68,11 @@ logger = logging.getLogger("repro.service")
 
 _ACCOUNT_KEYS = ("scheduled", "covered", "uncovered", "shed",
                  "budget_dropped")
+
+#: coverage-fraction histogram buckets (window.coverage).
+_COVERAGE_BOUNDS = (0.25, 0.5, 0.75, 0.9, 0.99, 1.0)
+#: target-staleness histogram buckets in sim seconds (window.staleness_s).
+_STALENESS_BOUNDS = (HOUR, 2 * HOUR, 4 * HOUR, 8 * HOUR, 24 * HOUR)
 
 
 @dataclass(slots=True)
@@ -197,6 +203,8 @@ def run_service(
     checkpointer = CampaignCheckpointer(directory, checkpoint_config,
                                         faults=world.faults)
     checkpointer.bind(state)
+    if pipeline.telemetry.enabled:
+        pipeline.telemetry.attach_tracer(directory)
     checkpointer.record({"type": "phase", "name": "service_start",
                          "seed": config.seed,
                          "windows": service_config.windows})
@@ -247,6 +255,18 @@ def resume_service(
             "service; resume it with `repro resume`"
         )
     checkpointer.bind(state)
+    telemetry = getattr(state.pipeline, "telemetry", None)
+    if telemetry is not None and telemetry.enabled:
+        # The dead service's registry and profiler came back in the
+        # snapshot; re-open the span stream (recovering a torn tail)
+        # and keep counting where it stopped.
+        telemetry.attach_tracer(directory)
+        checkpointer.rebind_telemetry(telemetry)
+        with obs_runtime.activate(telemetry):
+            try:
+                return _drive(state, checkpointer)
+            finally:
+                telemetry.close()
     return _drive(state, checkpointer)
 
 
@@ -302,6 +322,7 @@ def _drive(state: ServiceState,
     runner = WindowRunner(
         state.world, state.pipeline.simulator, state.pipeline.resilient,
         state.pipeline.activity_config, state.service,
+        telemetry=state.pipeline.telemetry,
     )
     deltas = DeltaStore(checkpointer.directory)
     if state.stage == "bootstrap":
@@ -391,6 +412,17 @@ def _open_window(state: ServiceState,
                      * level.budget_factor)
     plan = plan_window(state.targets, now, window_end, interval, budget,
                        level.shed_fraction)
+    telemetry = state.pipeline.telemetry
+    if telemetry.enabled:
+        registry = telemetry.registry
+        registry.gauge("health.state").set(float(health.severity), now)
+        registry.gauge("window.index").set(float(state.next_window), now)
+        staleness = registry.histogram("window.staleness_s",
+                                       _STALENESS_BOUNDS)
+        for target in plan.scheduled:
+            staleness.observe(now - (target.last_probed
+                                     if target.last_probed is not None
+                                     else state.epoch))
     state.window = WindowState(
         index=state.next_window,
         start=now,
@@ -468,6 +500,24 @@ def _run_window(state: ServiceState, checkpointer: CampaignCheckpointer,
                            "timed_out": report.timed_out}
     state.next_window = window.index + 1
     state.window = None
+    telemetry = state.pipeline.telemetry
+    if telemetry.enabled:
+        registry = telemetry.registry
+        for key in _ACCOUNT_KEYS:
+            registry.counter(f"window.{key}").inc(accounting[key])
+        registry.histogram("window.coverage", _COVERAGE_BOUNDS).observe(
+            state.coverage[-1])
+        if window.watchdog_cut:
+            registry.counter("window.watchdog_cuts").inc()
+        telemetry.span("window", str(window.index), window.start, now, {
+            "health": window.health,
+            "covered": accounting["covered"],
+            "shed": accounting["shed"],
+            "active": len(active),
+        })
+        state.pipeline.resilient.harvest_telemetry()
+        state.world.public_dns.harvest_telemetry(registry, now)
+        telemetry.flush(checkpointer.directory)
     _write_service_manifest(state, checkpointer.directory)
     checkpointer.snapshot()
 
@@ -495,6 +545,7 @@ def _finish(state: ServiceState, checkpointer: CampaignCheckpointer,
     health = state.pipeline.resilient.finalize(
         targets_assigned=len(state.targets),
         targets_probed=sum(1 for t in state.targets if t.probes),
+        window_s=state.world.clock.now - state.epoch,
     )
     monitor = state.monitor
     aggregate = {
@@ -525,6 +576,10 @@ def _finish(state: ServiceState, checkpointer: CampaignCheckpointer,
         "crc": zlib.crc32(canonical_bytes(aggregate)),
     })
     checkpointer.close()
+    telemetry = state.pipeline.telemetry
+    if telemetry.enabled:
+        telemetry.flush(checkpointer.directory)
+        telemetry.close()
     return ServiceResult(
         directory=checkpointer.directory,
         windows=state.next_window,

@@ -27,6 +27,7 @@ import math
 from dataclasses import dataclass, field
 
 from repro.net.prefix import Prefix
+from repro.obs import runtime as obs_runtime
 from repro.service.staleness import TargetState, WindowPlan
 from repro.sim.clock import HOUR
 
@@ -88,12 +89,14 @@ class WindowRunner:
     """Walks a window's slots; shared by fresh runs and resumes."""
 
     def __init__(self, world, simulator, resilient, activity_config,
-                 service_config) -> None:
+                 service_config, telemetry=None) -> None:
         self.world = world
         self.simulator = simulator
         self.resilient = resilient
         self.activity_config = activity_config
         self.service_config = service_config
+        self.telemetry = (telemetry if telemetry is not None
+                          else obs_runtime.current())
 
     def slots_per_window(self) -> int:
         """How many activity slots one window spans."""
@@ -115,17 +118,20 @@ class WindowRunner:
         scheduled = window.plan.scheduled
         deadline = (window.start
                     + config.window_hours * HOUR * config.watchdog_overrun_factor)
+        telemetry = self.telemetry
         while window.next_slot < window.slots:
             slot = window.next_slot
-            self.simulator.run(self.activity_config.slot_seconds)
+            with telemetry.phase("activity"):
+                self.simulator.run(self.activity_config.slot_seconds)
             chunk = math.ceil(len(scheduled) / window.slots) \
                 if scheduled else 0
-            for _ in range(chunk):
-                if window.position >= len(scheduled):
-                    break
-                self._probe_target(window, scheduled[window.position],
-                                   journal)
-                window.position += 1
+            with telemetry.phase("probing"):
+                for _ in range(chunk):
+                    if window.position >= len(scheduled):
+                        break
+                    self._probe_target(window, scheduled[window.position],
+                                       journal)
+                    window.position += 1
             window.next_slot = slot + 1
             if journal:
                 journal({"type": "sslot", "window": window.index,
@@ -206,6 +212,13 @@ class WindowRunner:
             window.uncovered += 1
             return
         now = self.world.clock.now
+        telemetry = self.telemetry
+        if telemetry.enabled and telemetry.trace_config.probe_spans:
+            telemetry.span(
+                "reprobe",
+                f"{window.index}/{target.key[0]}/{target.key[1]}",
+                now, now,
+                {"pop": pop_id, "hit": bool(result.is_activity_evidence)})
         window.covered += 1
         window.probes_sent += result.queries_sent
         window.refused += result.refused

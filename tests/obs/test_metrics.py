@@ -1,0 +1,185 @@
+"""Metrics registry: units plus the owner-independent-merge properties.
+
+The merge contract is the load-bearing part — the parallel driver
+folds per-shard snapshots in whatever order the pool finishes, so the
+result must not depend on ordering or association.  Hypothesis pins
+associativity and permutation-invariance over randomized snapshots;
+unit tests pin the canonical snapshot shape the dashboard reads.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    SNAPSHOT_VERSION,
+    MetricsRegistry,
+    merge_snapshots,
+    read_snapshot,
+    series_key,
+    write_snapshot,
+)
+
+
+class TestSeriesKey:
+    def test_plain_name(self):
+        assert series_key("probe.sent") == "probe.sent"
+
+    def test_labels_sorted_into_key(self):
+        key = series_key("probe.outcomes", {"status": "hit", "b": 1})
+        assert key == "probe.outcomes{b=1,status=hit}"
+
+    def test_empty_labels_fold_away(self):
+        assert series_key("x", {}) == "x"
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.counter("a").inc(4)
+        assert registry.snapshot()["counters"]["a"] == 5
+
+    def test_counter_identity_is_per_series(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.counter("a") is not registry.counter("b")
+
+    def test_gauge_keeps_latest_sim_time(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(10.0, sim_t=5.0)
+        gauge.set(3.0, sim_t=9.0)   # later wins even with smaller value
+        gauge.set(99.0, sim_t=1.0)  # earlier sample is ignored
+        assert registry.snapshot()["gauges"]["g"] == [9.0, 3.0]
+
+    def test_gauge_value_breaks_sim_time_ties(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(1.0, sim_t=5.0)
+        gauge.set(2.0, sim_t=5.0)
+        gauge.set(1.5, sim_t=5.0)
+        assert registry.snapshot()["gauges"]["g"] == [5.0, 2.0]
+
+    def test_histogram_buckets_are_upper_inclusive_with_overflow(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", (1.0, 2.0))
+        for value in (0.5, 1.0, 1.5, 2.5, 100.0):
+            hist.observe(value)
+        data = registry.snapshot()["histograms"]["h"]
+        assert data["buckets"] == [2, 1, 2]
+        assert data["count"] == 5
+        assert data["total"] == pytest.approx(105.5)
+
+
+class TestSnapshotShape:
+    def test_zero_counters_are_kept(self):
+        registry = MetricsRegistry()
+        registry.counter("never.fired")
+        assert registry.snapshot()["counters"] == {"never.fired": 0}
+
+    def test_unset_gauges_are_dropped(self):
+        registry = MetricsRegistry()
+        registry.gauge("never.set")
+        assert registry.snapshot()["gauges"] == {}
+
+    def test_same_facts_serialize_to_identical_bytes(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.counter("a").inc(1)
+        first.counter("b").inc(2)
+        second.counter("b").inc(2)  # reversed creation order
+        second.counter("a").inc(1)
+        dump = lambda r: json.dumps(r.snapshot(), sort_keys=True)  # noqa: E731
+        assert dump(first) == dump(second)
+
+    def test_absorb_refuses_histogram_bound_mismatch(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", (1.0,)).observe(0.5)
+        other = MetricsRegistry()
+        other.histogram("h", (1.0, 2.0)).observe(0.5)
+        with pytest.raises(ValueError, match="bound mismatch"):
+            registry.absorb(other.snapshot())
+
+    def test_write_read_round_trip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(7)
+        registry.gauge("g").set(2.0, 1.0)
+        registry.histogram("h", (1.0,)).observe(0.5)
+        path = tmp_path / "metrics.json"
+        write_snapshot(path, registry.snapshot())
+        assert read_snapshot(path) == registry.snapshot()
+        assert not path.with_name("metrics.json.tmp").exists()
+
+    def test_read_refuses_wrong_version(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps({"version": "bogus", "counters": {}}))
+        with pytest.raises(ValueError, match="version"):
+            read_snapshot(path)
+
+
+# -- merge properties (Hypothesis) -----------------------------------------
+
+_NAMES = st.sampled_from(["a", "b.c", "probe.sent", "x{k=v}"])
+
+#: fixed per-name bounds, so randomized snapshots stay mergeable.
+_HIST_BOUNDS = {"h1": (1.0, 2.0), "h2": (0.5,)}
+
+# Integer-valued floats keep float addition exact, so associativity
+# holds bit-for-bit, not just approximately.
+_INTISH = st.integers(min_value=-1000, max_value=1000).map(float)
+
+
+def _histogram_entry(bounds):
+    return st.fixed_dictionaries({
+        "bounds": st.just(list(bounds)),
+        "buckets": st.lists(st.integers(0, 50), min_size=len(bounds) + 1,
+                            max_size=len(bounds) + 1),
+        "count": st.integers(0, 200),
+        "total": _INTISH,
+    })
+
+
+_SNAPSHOT = st.fixed_dictionaries({
+    "version": st.just(SNAPSHOT_VERSION),
+    "counters": st.dictionaries(_NAMES, st.integers(0, 10_000),
+                                max_size=3),
+    "gauges": st.dictionaries(_NAMES, st.tuples(_INTISH, _INTISH)
+                              .map(list), max_size=3),
+    "histograms": st.dictionaries(
+        st.sampled_from(sorted(_HIST_BOUNDS)), st.just(None),
+        max_size=2).flatmap(
+            lambda keys: st.fixed_dictionaries({
+                key: _histogram_entry(_HIST_BOUNDS[key]) for key in keys
+            })),
+})
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_SNAPSHOT, min_size=2, max_size=5).flatmap(
+    lambda snaps: st.tuples(st.just(snaps), st.permutations(snaps))))
+def test_merge_is_owner_independent(pair):
+    """Any shard ordering merges to the identical canonical snapshot."""
+    snaps, shuffled = pair
+    assert merge_snapshots(snaps) == merge_snapshots(shuffled)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_SNAPSHOT, _SNAPSHOT, _SNAPSHOT)
+def test_merge_is_associative(a, b, c):
+    left = merge_snapshots([merge_snapshots([a, b]), c])
+    right = merge_snapshots([a, merge_snapshots([b, c])])
+    assert left == right
+
+
+@settings(max_examples=30, deadline=None)
+@given(_SNAPSHOT)
+def test_merge_with_empty_registry_is_identity_on_counters(snapshot):
+    merged = merge_snapshots([snapshot])
+    assert merged["counters"] == {k: v for k, v
+                                  in snapshot["counters"].items()}
+    for key, data in snapshot["histograms"].items():
+        assert merged["histograms"][key]["buckets"] == data["buckets"]

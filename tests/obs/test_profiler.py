@@ -1,0 +1,122 @@
+"""Phase profiler: exclusive nesting, snapshot shape, merge, pickling."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.obs import profiler as profiler_mod
+from repro.obs.profiler import (
+    PROFILE_VERSION,
+    PhaseProfiler,
+    merge_profiles,
+    read_profile,
+    write_profile,
+)
+
+
+class FakeClock:
+    """Deterministic perf_counter stand-in: advances only when told."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock(monkeypatch):
+    fake = FakeClock()
+    monkeypatch.setattr(profiler_mod.time, "perf_counter", fake)
+    return fake
+
+
+class TestExclusiveTiming:
+    def test_flat_phase_charges_its_span(self, clock):
+        profiler = PhaseProfiler()
+        with profiler.phase("a"):
+            clock.advance(2.0)
+        assert profiler.seconds == {"a": 2.0}
+        assert profiler.entries == {"a": 1}
+
+    def test_nested_phase_pauses_the_parent(self, clock):
+        profiler = PhaseProfiler()
+        with profiler.phase("outer"):
+            clock.advance(1.0)
+            with profiler.phase("inner"):
+                clock.advance(5.0)
+            clock.advance(2.0)
+        # Exclusive: outer gets its own 3s, inner its 5s — they
+        # partition the 8s of wall clock.
+        assert profiler.seconds["outer"] == pytest.approx(3.0)
+        assert profiler.seconds["inner"] == pytest.approx(5.0)
+        assert profiler.snapshot()["total_s"] == pytest.approx(8.0)
+
+    def test_reentrant_phase_accumulates(self, clock):
+        profiler = PhaseProfiler()
+        for _ in range(3):
+            with profiler.phase("a"):
+                clock.advance(1.0)
+        assert profiler.seconds["a"] == pytest.approx(3.0)
+        assert profiler.entries["a"] == 3
+
+    def test_disabled_profiler_records_nothing(self, clock):
+        profiler = PhaseProfiler(enabled=False)
+        with profiler.phase("a"):
+            clock.advance(1.0)
+        assert profiler.seconds == {}
+        assert profiler.snapshot()["phases"] == {}
+
+
+class TestSnapshotAndMerge:
+    def test_snapshot_shape(self, clock):
+        profiler = PhaseProfiler()
+        with profiler.phase("a"):
+            clock.advance(1.5)
+        snapshot = profiler.snapshot()
+        assert snapshot["version"] == PROFILE_VERSION
+        assert snapshot["phases"] == {"a": {"seconds": 1.5, "entries": 1}}
+        assert snapshot["total_s"] == 1.5
+
+    def test_merge_sums_seconds_and_entries(self):
+        a = {"version": PROFILE_VERSION, "total_s": 3.0,
+             "phases": {"probing": {"seconds": 3.0, "entries": 2}}}
+        b = {"version": PROFILE_VERSION, "total_s": 5.0,
+             "phases": {"probing": {"seconds": 4.0, "entries": 1},
+                        "merge": {"seconds": 1.0, "entries": 1}}}
+        merged = merge_profiles([a, b])
+        assert merged["phases"]["probing"] == {"seconds": 7.0,
+                                               "entries": 3}
+        assert merged["phases"]["merge"] == {"seconds": 1.0, "entries": 1}
+        assert merged["total_s"] == pytest.approx(8.0)
+
+    def test_merge_refuses_version_mismatch(self):
+        with pytest.raises(ValueError, match="version"):
+            merge_profiles([{"version": "bogus", "phases": {}}])
+
+    def test_write_read_round_trip(self, tmp_path, clock):
+        profiler = PhaseProfiler()
+        with profiler.phase("a"):
+            clock.advance(1.0)
+        path = tmp_path / "profile.json"
+        write_profile(path, profiler.snapshot())
+        assert read_profile(path) == profiler.snapshot()
+
+
+class TestPickling:
+    def test_open_phase_stack_is_flattened(self, clock):
+        profiler = PhaseProfiler()
+        with profiler.phase("a"):
+            clock.advance(1.0)
+            blob = pickle.dumps(profiler)
+        revived = pickle.loads(blob)
+        assert revived._stack == []
+        # Finished phases survive; a revived profiler keeps working.
+        with revived.phase("b"):
+            clock.advance(2.0)
+        assert revived.seconds["b"] == pytest.approx(2.0)

@@ -1,0 +1,135 @@
+"""Service-layer telemetry: inertness, window metrics, restart replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import runtime as obs_runtime
+from repro.obs.runtime import METRICS_FILE, TELEMETRY_DIR, Telemetry
+from repro.obs.metrics import read_snapshot
+from repro.obs.trace import SPANS_FILE, read_spans
+from repro.persist.campaign import CheckpointConfig
+from repro.service.config import ServiceConfig
+from repro.service.supervisor import run_service, supervise
+from repro.sim.faults import FaultConfig
+from tests.service.conftest import tiny_service_experiment
+
+WINDOWS = 3
+CKPT = CheckpointConfig(snapshot_every_slots=2)
+
+
+def _run(tmp_path, name, telemetry=None, faults=None):
+    config = tiny_service_experiment(faults=faults)
+    service = ServiceConfig(windows=WINDOWS)
+    directory = tmp_path / name
+    if telemetry is None:
+        return run_service(config, service, checkpoint_dir=directory,
+                           checkpoint_config=CKPT), directory
+    with obs_runtime.activate(telemetry):
+        result = run_service(config, service, checkpoint_dir=directory,
+                             checkpoint_config=CKPT)
+    return result, directory
+
+
+class TestServiceInertness:
+    def test_window_deltas_and_aggregate_are_byte_identical(
+            self, tmp_path):
+        baseline, _ = _run(tmp_path, "off")
+        instrumented, directory = _run(tmp_path, "on",
+                                       telemetry=Telemetry(enabled=True))
+        assert instrumented.aggregate == baseline.aggregate
+        assert instrumented.deltas == baseline.deltas
+        assert instrumented.health.sent == baseline.health.sent
+        assert (directory / TELEMETRY_DIR / METRICS_FILE).exists()
+        assert (directory / TELEMETRY_DIR / SPANS_FILE).exists()
+
+
+class TestWindowMetrics:
+    @pytest.fixture(scope="class")
+    def recorded(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("svc")
+        telemetry = Telemetry(enabled=True)
+        result, directory = _run(tmp, "svc", telemetry=telemetry)
+        return result, read_snapshot(
+            directory / TELEMETRY_DIR / METRICS_FILE), directory
+
+    def test_accounting_counters_match_the_aggregate(self, recorded):
+        result, metrics, _ = recorded
+        account = result.aggregate["accounting"]
+        counters = metrics["counters"]
+        for key in ("scheduled", "covered", "shed", "budget_dropped"):
+            assert counters[f"window.{key}"] == account[key]
+
+    def test_health_and_window_gauges(self, recorded):
+        result, metrics, _ = recorded
+        gauges = metrics["gauges"]
+        assert gauges["window.index"][1] == WINDOWS - 1
+        assert gauges["health.state"][1] == 0.0  # HEALTHY, no faults
+
+    def test_coverage_histogram_counts_every_window(self, recorded):
+        _, metrics, _ = recorded
+        hist = metrics["histograms"]["window.coverage"]
+        assert hist["count"] == WINDOWS
+
+    def test_staleness_histogram_observed_scheduled_targets(
+            self, recorded):
+        result, metrics, _ = recorded
+        hist = metrics["histograms"]["window.staleness_s"]
+        assert hist["count"] \
+            == result.aggregate["accounting"]["scheduled"]
+
+    def test_window_spans_cover_the_serve_horizon(self, recorded):
+        _, _, directory = recorded
+        spans = read_spans(directory / TELEMETRY_DIR / SPANS_FILE)
+        windows = [s for s in spans if s["kind"] == "window"]
+        assert [s["name"] for s in windows] == ["0", "1", "2"]
+        # Windows tile the horizon: each starts where the last ended.
+        for earlier, later in zip(windows, windows[1:]):
+            assert later["t0"] == earlier["t1"]
+
+    def test_probes_per_second_is_sim_time_based(self, recorded):
+        result, _, _ = recorded
+        health = result.health
+        assert health.window_s > 0
+        assert health.probes_per_second \
+            == pytest.approx(health.sent / health.window_s)
+        assert "rate=" in health.render()
+
+
+class TestRestartReplay:
+    def test_supervised_restart_dedupes_to_the_clean_span_stream(
+            self, tmp_path):
+        clean_t = Telemetry(enabled=True)
+        _, clean_dir = _run(tmp_path, "clean", telemetry=clean_t)
+        clean_spans = read_spans(clean_dir / TELEMETRY_DIR / SPANS_FILE)
+        assert clean_spans
+
+        config = tiny_service_experiment(
+            faults=FaultConfig(crash_after_appends=300))
+        crash_dir = tmp_path / "crash"
+        with obs_runtime.activate(Telemetry(enabled=True)):
+            result = supervise(config, ServiceConfig(windows=WINDOWS),
+                               checkpoint_dir=crash_dir,
+                               checkpoint_config=CKPT)
+        assert result.restarts >= 1
+        resumed = read_spans(crash_dir / TELEMETRY_DIR / SPANS_FILE)
+        assert resumed == clean_spans
+
+    def test_metrics_survive_the_restart(self, tmp_path):
+        baseline, base_dir = _run(tmp_path, "base",
+                                  telemetry=Telemetry(enabled=True))
+        base_metrics = read_snapshot(
+            base_dir / TELEMETRY_DIR / METRICS_FILE)
+
+        config = tiny_service_experiment(
+            faults=FaultConfig(crash_after_appends=300))
+        crash_dir = tmp_path / "crash"
+        with obs_runtime.activate(Telemetry(enabled=True)):
+            supervise(config, ServiceConfig(windows=WINDOWS),
+                      checkpoint_dir=crash_dir, checkpoint_config=CKPT)
+        metrics = read_snapshot(crash_dir / TELEMETRY_DIR / METRICS_FILE)
+        # The pickled registry resumes counting: window accounting is
+        # exactly the clean run's, not doubled by the replayed suffix.
+        for key in ("window.scheduled", "window.covered"):
+            assert metrics["counters"][key] \
+                == base_metrics["counters"][key]

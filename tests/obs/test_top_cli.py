@@ -1,0 +1,166 @@
+"""`repro top` / `repro trace` rendering and CLI plumbing, fsck stats."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.metrics import MetricsRegistry, write_snapshot
+from repro.obs.profiler import PROFILE_FILE, PhaseProfiler, write_profile
+from repro.obs.runtime import METRICS_FILE, TELEMETRY_DIR
+from repro.obs.top import load_dashboard, render_top, run_top
+from repro.obs.trace import SPANS_FILE, TraceRecorder
+
+
+def _synthetic_dir(tmp_path):
+    """A telemetry tree with every artifact kind the dashboard reads."""
+    registry = MetricsRegistry()
+    registry.counter("probe.sent").inc(1000)
+    registry.counter("probe.outcomes", {"status": "hit"}).inc(10)
+    registry.counter("probe.outcomes", {"status": "miss"}).inc(990)
+    registry.counter("probe.retries").inc(7)
+    registry.counter("window.scheduled").inc(200)
+    registry.counter("window.covered").inc(150)
+    registry.counter("window.shed").inc(30)
+    registry.counter("window.budget_dropped").inc(20)
+    registry.gauge("health.state").set(1.0, 99.0)
+    registry.gauge("window.index").set(4.0, 99.0)
+    base = tmp_path / TELEMETRY_DIR
+    write_snapshot(base / METRICS_FILE, registry.snapshot())
+    profiler = PhaseProfiler()
+    profiler.seconds = {"probing": 2.0, "checkpoint": 1.0}
+    profiler.entries = {"probing": 5, "checkpoint": 2}
+    write_profile(base / PROFILE_FILE, profiler.snapshot())
+    recorder = TraceRecorder(base / SPANS_FILE)
+    recorder.emit("slot", "0", 0.0, 10.0)
+    recorder.emit("retry", "p/d/s#0", 3.0, 4.0)
+    recorder.close()
+
+    shard = MetricsRegistry()
+    shard.gauge("progress.slots_done").set(3.0, 50.0)
+    shard.gauge("progress.slots_total").set(12.0, 0.0)
+    shard.counter("probe.sent").inc(250)
+    write_snapshot(tmp_path / "shard-00" / TELEMETRY_DIR / METRICS_FILE,
+                   shard.snapshot())
+    return tmp_path
+
+
+class TestRenderTop:
+    def test_all_sections_render(self, tmp_path):
+        frame = render_top(load_dashboard(_synthetic_dir(tmp_path)))
+        assert "health: DEGRADED  window 4" in frame
+        assert "covered=150 shed=30 budget_dropped=20 of 200" in frame
+        assert "probes: sent=1000  hit=10 miss=990" in frame
+        assert "retries=7" in frame
+        assert "shard-00: " in frame
+        assert "3/12 slots" in frame
+        assert "probing" in frame and "checkpoint" in frame
+        assert "spans: 2 recorded  (retry=1 slot=1)" in frame
+
+    def test_empty_directory_renders_a_pointer(self, tmp_path):
+        frame = render_top(load_dashboard(tmp_path))
+        assert "no telemetry artifacts found" in frame
+
+    def test_snapshot_mode_writes_one_frame(self, tmp_path):
+        out = io.StringIO()  # not a TTY: snapshot mode
+        assert run_top(_synthetic_dir(tmp_path), once=False, out=out) == 0
+        assert out.getvalue().count("repro top —") == 1
+
+    def test_corrupt_metrics_degrade_gracefully(self, tmp_path):
+        base = tmp_path / TELEMETRY_DIR
+        base.mkdir()
+        (base / METRICS_FILE).write_text("{not json")
+        frame = render_top(load_dashboard(tmp_path))
+        assert "no telemetry artifacts found" in frame
+
+
+class TestCli:
+    def test_top_once(self, tmp_path, capsys):
+        assert main(["top", str(_synthetic_dir(tmp_path)), "--once"]) == 0
+        assert "repro top —" in capsys.readouterr().out
+
+    def test_top_missing_directory(self, tmp_path, capsys):
+        assert main(["top", str(tmp_path / "nope")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_trace_summarizes_streams(self, tmp_path, capsys):
+        assert main(["trace", str(_synthetic_dir(tmp_path))]) == 0
+        out = capsys.readouterr().out
+        assert "repro trace —" in out
+        assert "slot" in out and "retry" in out
+
+    def test_trace_without_streams(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path)]) == 0
+        assert "no span streams" in capsys.readouterr().out
+
+    def test_run_parser_accepts_no_telemetry(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["run", "--no-telemetry"])
+        assert args.no_telemetry
+        args = build_parser().parse_args(["run"])
+        assert not args.no_telemetry
+        assert args.trace_slot_every == 1
+
+
+class TestHealthReportRender:
+    def test_rate_and_per_pop_retries(self):
+        from repro.core.resilient import PopHealth, ProbeHealthReport
+
+        report = ProbeHealthReport(
+            resilience_enabled=True, sent=1200, answered=1200,
+            hits=400, retries=9, window_s=600.0,
+            per_pop={"pop-b": PopHealth(sent=600, answered=600,
+                                        retries=6),
+                     "pop-a": PopHealth(sent=600, answered=600,
+                                        retries=3),
+                     "pop-c": PopHealth(sent=0, answered=0)})
+        assert report.probes_per_second == pytest.approx(2.0)
+        text = report.render()
+        assert "rate=2.0/s sim" in text
+        # Sorted, retry-free PoPs elided.
+        assert "retries by PoP: pop-a=3, pop-b=6" in text
+
+    def test_rate_is_omitted_without_a_window(self):
+        from repro.core.resilient import ProbeHealthReport
+
+        report = ProbeHealthReport(sent=10, answered=10)
+        assert report.probes_per_second == 0.0
+        assert "rate=" not in report.render()
+
+
+class TestFsckStats:
+    @pytest.fixture(scope="class")
+    def checkpoint(self, tmp_path_factory):
+        from repro.persist.campaign import CheckpointConfig, run_campaign
+        from tests.persist.test_resume import tiny_experiment_config
+
+        directory = tmp_path_factory.mktemp("fsck") / "ckpt"
+        run_campaign(tiny_experiment_config(11), checkpoint_dir=directory,
+                     checkpoint_config=CheckpointConfig(
+                         snapshot_every_slots=2))
+        return directory
+
+    def test_scan_reports_volume_stats(self, checkpoint):
+        from repro.persist.integrity import scan_checkpoint
+
+        report = scan_checkpoint(checkpoint)
+        assert report.clean
+        stats = report.stats
+        assert stats.duration_s > 0
+        assert stats.bytes_scanned > 0
+        assert stats.artifacts_by_kind["journal"] == 1
+        assert stats.artifacts_by_kind["snapshot"] >= 1
+        assert "scanned" in report.render()
+
+    def test_fsck_json_carries_stats(self, checkpoint, capsys):
+        assert main(["fsck", "--checkpoint-dir", str(checkpoint),
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        stats = payload["stats"]
+        assert stats["bytes_scanned"] > 0
+        assert stats["duration_s"] > 0
+        assert stats["artifacts_by_kind"]["journal"] == 1

@@ -1,0 +1,115 @@
+"""The span stream: CRC framing, sampling, torn tails, replay dedupe."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.trace import TraceConfig, TraceRecorder, read_spans
+from repro.persist.journal import JournalCorruption
+
+
+def _record(path, spans, config=None):
+    recorder = TraceRecorder(path, config)
+    for kind, name, t0, t1 in spans:
+        recorder.emit(kind, name, t0, t1)
+    recorder.close()
+
+
+class TestTraceConfig:
+    def test_slot_every_one_samples_everything(self):
+        config = TraceConfig(slot_every=1)
+        assert all(config.samples_slot(i) for i in range(10))
+
+    def test_slot_every_n_samples_by_index(self):
+        config = TraceConfig(slot_every=3)
+        assert [i for i in range(9) if config.samples_slot(i)] == [0, 3, 6]
+
+    def test_slot_every_zero_disables_slot_spans(self):
+        config = TraceConfig(slot_every=0)
+        assert not any(config.samples_slot(i) for i in range(10))
+
+
+class TestRecorderRoundTrip:
+    def test_emit_and_read_back(self, tmp_path):
+        path = tmp_path / "spans.bin"
+        _record(path, [("slot", "0", 0.0, 10.0),
+                       ("slot", "1", 10.0, 20.0)])
+        spans = read_spans(path)
+        assert [s["name"] for s in spans] == ["0", "1"]
+        assert spans[0] == {"k": "span", "kind": "slot", "name": "0",
+                            "t0": 0.0, "t1": 10.0}
+
+    def test_attrs_ride_along(self, tmp_path):
+        path = tmp_path / "spans.bin"
+        recorder = TraceRecorder(path)
+        recorder.emit("probe", "1/2/3", 5.0, 5.0, {"hit": True})
+        recorder.close()
+        assert read_spans(path)[0]["a"] == {"hit": True}
+
+    def test_missing_stream_reads_empty(self, tmp_path):
+        assert read_spans(tmp_path / "absent.bin") == []
+
+    def test_reattach_continues_the_chain(self, tmp_path):
+        path = tmp_path / "spans.bin"
+        _record(path, [("slot", "0", 0.0, 1.0)])
+        _record(path, [("slot", "1", 1.0, 2.0)])
+        assert [s["name"] for s in read_spans(path)] == ["0", "1"]
+
+
+class TestDamage:
+    def test_torn_tail_is_tolerated_by_the_reader(self, tmp_path):
+        path = tmp_path / "spans.bin"
+        _record(path, [("slot", "0", 0.0, 1.0),
+                       ("slot", "1", 1.0, 2.0)])
+        with path.open("ab") as handle:
+            handle.write(b"\x07half-a-frame")
+        assert [s["name"] for s in read_spans(path)] == ["0", "1"]
+
+    def test_torn_tail_is_recovered_on_reattach(self, tmp_path):
+        path = tmp_path / "spans.bin"
+        _record(path, [("slot", "0", 0.0, 1.0)])
+        with path.open("ab") as handle:
+            handle.write(b"\x07half-a-frame")
+        _record(path, [("slot", "1", 1.0, 2.0)])
+        assert [s["name"] for s in read_spans(path)] == ["0", "1"]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "spans.bin"
+        _record(path, [("slot", "alpha-marker", 0.0, 1.0),
+                       ("slot", "beta", 1.0, 2.0),
+                       ("slot", "gamma", 2.0, 3.0)])
+        blob = bytearray(path.read_bytes())
+        offset = blob.find(b"alpha-marker")
+        assert offset > 0
+        blob[offset] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(JournalCorruption):
+            read_spans(path)
+
+
+class TestReplayDedupe:
+    """A resumed run re-emits replayed spans byte-identically; the
+    reader collapses them back to the clean run's stream."""
+
+    def test_payload_identical_records_collapse(self, tmp_path):
+        path = tmp_path / "spans.bin"
+        _record(path, [("slot", "0", 0.0, 1.0),
+                       ("slot", "1", 1.0, 2.0)])
+        # The "restart": replays slot 1, then continues with slot 2.
+        _record(path, [("slot", "1", 1.0, 2.0),
+                       ("slot", "2", 2.0, 3.0)])
+        assert [s["name"] for s in read_spans(path)] == ["0", "1", "2"]
+
+    def test_dedupe_can_be_disabled(self, tmp_path):
+        path = tmp_path / "spans.bin"
+        _record(path, [("slot", "1", 1.0, 2.0)])
+        _record(path, [("slot", "1", 1.0, 2.0)])
+        assert len(read_spans(path, dedupe=False)) == 2
+        assert len(read_spans(path)) == 1
+
+    def test_distinct_payloads_survive_dedupe(self, tmp_path):
+        path = tmp_path / "spans.bin"
+        _record(path, [("slot", "1", 1.0, 2.0),
+                       ("retry", "1", 1.0, 2.0),
+                       ("slot", "1", 1.5, 2.0)])
+        assert len(read_spans(path)) == 3
