@@ -12,13 +12,18 @@
                           [--window-hours H] [--budget N] [--resume]
     python -m repro fsck --checkpoint-dir DIR [--repair] [--json]
     python -m repro top DIR [--once] [--interval S]
-    python -m repro trace DIR
+    python -m repro trace DIR [--json]
+    python -m repro diff-trace DIR_A DIR_B
     python -m repro export --out DIR [--preset ...] [--seed N]
+    python -m repro export DIR [--format openmetrics|jsonl] [--out DIR]
     python -m repro collisions [--volume N] [--threshold N]
     python -m repro presets
     python -m repro scenarios
     python -m repro sweep --hours 3,6,12 [--redundancy 1,3,5]
 
+``diff-trace`` localizes the first divergent span between two recorded
+telemetry trees (exit 0 identical, 1 divergent); ``export DIR`` turns
+a run's telemetry artifacts into OpenMetrics text exposition or JSONL.
 ``run`` executes the full measurement study and prints paper-style
 sections; with ``--checkpoint-dir`` progress is journaled and
 snapshotted so a killed run can be continued with ``resume`` to the
@@ -202,13 +207,38 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("directory", metavar="DIR",
                        help="directory holding telemetry/spans.bin "
                             "(and shard-*/telemetry/spans.bin)")
+    trace.add_argument("--json", action="store_true",
+                       help="emit the summary as canonical JSON")
+
+    diff_trace = sub.add_parser(
+        "diff-trace",
+        help="find the first divergent span between two recorded "
+             "telemetry trees (exit 0 identical, 1 divergent)",
+    )
+    diff_trace.add_argument("dir_a", metavar="DIR_A",
+                            help="first telemetry tree (campaign or "
+                                 "shard directory)")
+    diff_trace.add_argument("dir_b", metavar="DIR_B",
+                            help="second telemetry tree to compare")
 
     export = sub.add_parser(
         "export",
-        help="write shareable measurement artefacts (JSON/CSV)",
+        help="write shareable measurement artefacts (JSON/CSV), or "
+             "with a positional DIR export that run's telemetry as "
+             "OpenMetrics/JSONL",
     )
-    export.add_argument("--out", required=True,
-                        help="output directory (created if missing)")
+    export.add_argument("directory", nargs="?", default=None,
+                        metavar="DIR",
+                        help="telemetry-export mode: a checkpoint/"
+                             "campaign directory holding telemetry/ "
+                             "artifacts")
+    export.add_argument("--format", choices=["openmetrics", "jsonl"],
+                        default="openmetrics", dest="fmt",
+                        help="telemetry export format "
+                             "(default: openmetrics)")
+    export.add_argument("--out", default=None,
+                        help="output directory (created if missing; "
+                             "telemetry mode defaults to DIR/export)")
     export.add_argument("--preset", choices=sorted(_PRESETS),
                         default="small")
     export.add_argument("--seed", type=int, default=42)
@@ -567,13 +597,49 @@ def _command_top(args: argparse.Namespace) -> int:
 
 
 def _command_trace(args: argparse.Namespace) -> int:
+    import json
     import pathlib
 
-    from repro.obs.top import summarize_trace
+    from repro.obs.top import summarize_trace, summarize_trace_json
 
     if not pathlib.Path(args.directory).is_dir():
         return _fail(f"directory {args.directory} does not exist")
-    print(summarize_trace(args.directory))
+    if args.json:
+        print(json.dumps(summarize_trace_json(args.directory),
+                         sort_keys=True, indent=2))
+    else:
+        print(summarize_trace(args.directory))
+    return 0
+
+
+def _command_diff_trace(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.obs.difftrace import diff_traces, render_diff
+
+    for directory in (args.dir_a, args.dir_b):
+        if not pathlib.Path(directory).is_dir():
+            return _fail(f"directory {directory} does not exist")
+    diff = diff_traces(args.dir_a, args.dir_b)
+    print(render_diff(diff))
+    return 0 if diff.identical else 1
+
+
+def _export_telemetry(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.obs.export import ExportError, export_telemetry
+
+    directory = pathlib.Path(args.directory)
+    if not directory.is_dir():
+        return _fail(f"directory {args.directory} does not exist")
+    out = pathlib.Path(args.out) if args.out else directory / "export"
+    try:
+        written = export_telemetry(directory, out, args.fmt)
+    except ExportError as exc:
+        return _fail(str(exc))
+    for path in written:
+        print(f"wrote {path}")
     return 0
 
 
@@ -587,6 +653,11 @@ def _command_export(args: argparse.Namespace) -> int:
         dns_logs_to_json,
     )
 
+    if args.directory is not None:
+        return _export_telemetry(args)
+    if args.out is None:
+        return _fail("experiment-export mode requires --out "
+                     "(or pass a telemetry directory)")
     out = pathlib.Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
     config = _PRESETS[args.preset](seed=args.seed)
@@ -686,6 +757,7 @@ def main(argv: list[str] | None = None) -> int:
         "fsck": _command_fsck,
         "top": _command_top,
         "trace": _command_trace,
+        "diff-trace": _command_diff_trace,
         "export": _command_export,
         "collisions": _command_collisions,
         "presets": _command_presets,

@@ -23,15 +23,31 @@ The pieces:
 * :mod:`repro.obs.runtime` — the ambient :class:`Telemetry` bundle and
   its activation context; the disabled default makes every hook a
   no-op.
+* :mod:`repro.obs.timeseries` — the persisted metric time-series log
+  (``telemetry/series.bin``): per-epoch snapshot samples with an
+  owner-independent per-shard merge and a range/delta/rate query API.
+* :mod:`repro.obs.slo` — declarative SLOs with multi-window burn-rate
+  alerting on the sim clock; alert events journal to
+  ``telemetry/alerts.bin`` and double as the health machine's
+  evidence stream.
+* :mod:`repro.obs.export` — OpenMetrics text exposition and JSONL
+  export of the recorded telemetry (``repro export DIR``).
+* :mod:`repro.obs.difftrace` — ``repro diff-trace``: localize the
+  first divergent span between two recorded telemetry trees.
 * :mod:`repro.obs.top` — the ``repro top`` dashboard renderer and the
   ``repro trace`` offline span summarizer.
 """
 
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
-                               merge_snapshots)
+                               merge_snapshots, parse_series_key,
+                               series_key)
 from repro.obs.profiler import PhaseProfiler, merge_profiles
 from repro.obs.runtime import (Telemetry, activate, current,
                                telemetry_for_dir)
+from repro.obs.slo import SloEngine, SloRule, burn_rate, read_alerts
+from repro.obs.timeseries import (merge_series, read_series, series_deltas,
+                                  series_rate, series_values, sparkline,
+                                  write_series)
 from repro.obs.trace import TraceConfig, TraceRecorder, read_spans
 
 __all__ = [
@@ -40,12 +56,25 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "merge_snapshots",
+    "parse_series_key",
+    "series_key",
     "PhaseProfiler",
     "merge_profiles",
     "Telemetry",
     "activate",
     "current",
     "telemetry_for_dir",
+    "SloEngine",
+    "SloRule",
+    "burn_rate",
+    "read_alerts",
+    "merge_series",
+    "read_series",
+    "series_deltas",
+    "series_rate",
+    "series_values",
+    "sparkline",
+    "write_series",
     "TraceConfig",
     "TraceRecorder",
     "read_spans",

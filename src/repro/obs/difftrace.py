@@ -1,0 +1,214 @@
+"""``repro diff-trace A B`` — localize where two runs diverge.
+
+The differential suites (serial ≡ sharded, clean ≡ kill/restart,
+telemetry on ≡ off) end in "the artifacts differ" — a yes/no answer.
+This module turns that into *where*: both runs recorded deterministic
+span streams, so the first span whose payload differs pinpoints the
+first observable instant the executions parted ways.
+
+For each stream label the two checkpoint directories share
+(``campaign`` plus every ``shard-NN``), the deduped span streams are
+compared record by record.  A report carries:
+
+* the divergent index and both spans (or one side ``None`` when a
+  stream is a strict prefix of the other),
+* the schedule context — the enclosing slot span and, for
+  probe/retry spans named ``pop/domain/scope#offset``, the parsed
+  (slot, pop, offset) coordinates the parallel merge keys by,
+* the metric deltas at that instant: the time-series samples nearest
+  before the divergence on each side, differenced series by series —
+  "run B had sent 240 fewer probes by this point" beats a byte offset.
+
+Everything here is a pure reader over ``telemetry/`` artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.runtime import TELEMETRY_DIR
+from repro.obs.timeseries import SERIES_FILE, latest_sample, read_series
+from repro.obs.trace import SPANS_FILE, read_spans
+
+
+@dataclass(frozen=True, slots=True)
+class SpanDivergence:
+    """The first point where one stream's spans differ from the other's."""
+
+    label: str
+    index: int
+    left: dict | None
+    right: dict | None
+    #: schedule coordinates: enclosing slot, and pop/offset when the
+    #: divergent span is probe-shaped.
+    context: dict = field(default_factory=dict)
+    #: ``[(series, left_value, right_value), ...]`` nonzero metric
+    #: deltas at the divergence instant, largest first.
+    metric_deltas: list = field(default_factory=list)
+
+
+@dataclass(frozen=True, slots=True)
+class TraceDiff:
+    """The full comparison of two checkpoint directories."""
+
+    left: str
+    right: str
+    #: stream labels present on only one side.
+    only_left: tuple[str, ...] = ()
+    only_right: tuple[str, ...] = ()
+    #: per-shared-label divergences; empty means identical streams.
+    divergences: tuple[SpanDivergence, ...] = ()
+
+    @property
+    def identical(self) -> bool:
+        return (not self.divergences and not self.only_left
+                and not self.only_right)
+
+
+def span_streams(directory: str | Path) -> dict[str, Path]:
+    """The recorded span streams under a checkpoint dir, by label."""
+    directory = Path(directory)
+    streams: dict[str, Path] = {}
+    top_level = directory / TELEMETRY_DIR / SPANS_FILE
+    if top_level.exists():
+        streams["campaign"] = top_level
+    for shard_dir in sorted(directory.glob("shard-*")):
+        path = shard_dir / TELEMETRY_DIR / SPANS_FILE
+        if path.exists():
+            streams[shard_dir.name] = path
+    return streams
+
+
+def _payload(span: dict) -> str:
+    import json
+
+    return json.dumps(span, sort_keys=True, separators=(",", ":"))
+
+
+def _first_divergence(a: list[dict], b: list[dict]) -> int | None:
+    for index, (left, right) in enumerate(zip(a, b)):
+        if _payload(left) != _payload(right):
+            return index
+    if len(a) != len(b):
+        return min(len(a), len(b))
+    return None
+
+
+def _span_context(spans: list[dict], index: int) -> dict:
+    """Schedule coordinates for the span at ``index``."""
+    context: dict = {}
+    for prior in reversed(spans[:index + 1]):
+        if prior.get("kind") == "slot":
+            try:
+                context["slot"] = int(prior.get("name", ""))
+            except ValueError:
+                context["slot"] = prior.get("name")
+            break
+    if index < len(spans):
+        name = str(spans[index].get("name", ""))
+        if "/" in name:
+            context["pop"] = name.split("/", 1)[0]
+        if "#" in name:
+            try:
+                context["offset"] = int(name.rsplit("#", 1)[1])
+            except ValueError:
+                pass
+    return context
+
+
+def _metric_deltas(dir_a: Path, dir_b: Path, label: str,
+                   at: float | None, limit: int = 8) -> list:
+    """Difference the series samples nearest before ``at`` on each side."""
+    deltas: list[tuple[str, float, float]] = []
+    base_a = dir_a if label == "campaign" else dir_a / label
+    base_b = dir_b if label == "campaign" else dir_b / label
+    try:
+        series_a = read_series(base_a / TELEMETRY_DIR / SERIES_FILE)
+        series_b = read_series(base_b / TELEMETRY_DIR / SERIES_FILE)
+    except Exception:
+        return deltas
+    sample_a = latest_sample(series_a, at=at)
+    sample_b = latest_sample(series_b, at=at)
+    if sample_a is None or sample_b is None:
+        return deltas
+    counters_a = sample_a.get("m", {}).get("counters", {})
+    counters_b = sample_b.get("m", {}).get("counters", {})
+    for key in sorted(set(counters_a) | set(counters_b)):
+        left = float(counters_a.get(key, 0))
+        right = float(counters_b.get(key, 0))
+        if left != right:
+            deltas.append((key, left, right))
+    deltas.sort(key=lambda item: (-abs(item[1] - item[2]), item[0]))
+    return deltas[:limit]
+
+
+def diff_traces(dir_a: str | Path, dir_b: str | Path) -> TraceDiff:
+    """Compare every shared span stream of two checkpoint dirs."""
+    dir_a, dir_b = Path(dir_a), Path(dir_b)
+    streams_a = span_streams(dir_a)
+    streams_b = span_streams(dir_b)
+    divergences: list[SpanDivergence] = []
+    for label in sorted(set(streams_a) & set(streams_b)):
+        spans_a = read_spans(streams_a[label])
+        spans_b = read_spans(streams_b[label])
+        index = _first_divergence(spans_a, spans_b)
+        if index is None:
+            continue
+        left = spans_a[index] if index < len(spans_a) else None
+        right = spans_b[index] if index < len(spans_b) else None
+        witness = left or right
+        context = _span_context(spans_a if left is not None else spans_b,
+                                index)
+        divergences.append(SpanDivergence(
+            label=label, index=index, left=left, right=right,
+            context=context,
+            metric_deltas=_metric_deltas(
+                dir_a, dir_b, label,
+                at=witness.get("t0") if witness else None)))
+    return TraceDiff(
+        left=str(dir_a), right=str(dir_b),
+        only_left=tuple(sorted(set(streams_a) - set(streams_b))),
+        only_right=tuple(sorted(set(streams_b) - set(streams_a))),
+        divergences=tuple(divergences))
+
+
+def render_diff(diff: TraceDiff) -> str:
+    """Human-readable report for ``repro diff-trace``."""
+    lines = [f"repro diff-trace — {diff.left} vs {diff.right}"]
+    if diff.identical:
+        lines.append("span streams are identical")
+        return "\n".join(lines)
+    for side, labels in (("left", diff.only_left),
+                         ("right", diff.only_right)):
+        if labels:
+            lines.append(f"streams only on the {side} side: "
+                         + ", ".join(labels))
+    for div in diff.divergences:
+        lines.append(f"[{div.label}] first divergence at span "
+                     f"#{div.index}")
+        if div.context:
+            coords = " ".join(f"{k}={div.context[k]}"
+                              for k in ("slot", "pop", "offset")
+                              if k in div.context)
+            lines.append(f"  context: {coords}")
+        lines.append(f"  left:  {_render_span(div.left)}")
+        lines.append(f"  right: {_render_span(div.right)}")
+        if div.metric_deltas:
+            lines.append("  metric deltas at that instant "
+                         "(series: left vs right):")
+            for key, left, right in div.metric_deltas:
+                lines.append(f"    {key}: {left:g} vs {right:g} "
+                             f"(Δ {left - right:+g})")
+    return "\n".join(lines)
+
+
+def _render_span(span: dict | None) -> str:
+    if span is None:
+        return "<stream ended>"
+    text = (f"{span.get('kind', '?')} {span.get('name', '?')} "
+            f"[{span.get('t0', 0):.0f} → {span.get('t1', 0):.0f}]")
+    if span.get("a"):
+        attrs = " ".join(f"{k}={v}" for k, v in sorted(span["a"].items()))
+        text += f" {attrs}"
+    return text

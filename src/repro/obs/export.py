@@ -1,0 +1,325 @@
+"""Export telemetry artifacts: OpenMetrics text exposition and JSONL.
+
+``repro export <dir> --format openmetrics`` renders the flushed
+metrics snapshot in the OpenMetrics text format (the Prometheus
+exposition grammar: ``# TYPE`` metadata, ``_total`` counter samples,
+cumulative ``_bucket{le=...}``/``_sum``/``_count`` histogram series,
+a mandatory ``# EOF`` terminator), so any standard scraper/ingester
+can consume a run's metrics without bespoke glue.  ``--format jsonl``
+writes line-delimited canonical JSON of the snapshot, the time-series
+samples, and the alert stream — the bulk-analysis format.
+
+The renderer is validated against :func:`validate_openmetrics`, a
+hand-rolled checker for the subset of the OpenMetrics ABNF this
+exposition can produce (family naming, label syntax and escaping,
+type-consistent sample suffixes, contiguous family blocks, cumulative
+histogram buckets, the EOF terminator).  The grammar test runs the
+validator over real exported output, and CI runs it in the
+alerting-soak job.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.obs.metrics import parse_series_key, read_snapshot
+from repro.obs.runtime import METRICS_FILE, TELEMETRY_DIR
+from repro.obs.slo import ALERTS_FILE, read_alerts
+from repro.obs.timeseries import SERIES_FILE, read_series
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+class ExportError(ValueError):
+    """Raised on telemetry trees that cannot be exported."""
+
+
+def _metric_name(name: str) -> str:
+    name = _SANITIZE_RE.sub("_", name)
+    if not name or not _NAME_RE.match(name):
+        name = "_" + name
+    return name
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace("\"", "\\\"")
+            .replace("\n", "\\n"))
+
+
+def _label_block(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_SANITIZE_RE.sub("_", str(k))}="{_escape_label_value(str(v))}"'
+        for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_openmetrics(snapshot: Mapping) -> str:
+    """Render a metrics snapshot as OpenMetrics text exposition.
+
+    Series keys split back into ``(name, labels)`` with
+    :func:`parse_series_key`; dotted metric names flatten to
+    underscores.  Families render contiguously with their ``# TYPE``
+    line first, sorted by family name within each instrument kind.
+    """
+    lines: list[str] = []
+
+    families: dict[str, list[tuple[dict, float]]] = {}
+    for key, value in snapshot.get("counters", {}).items():
+        name, labels = parse_series_key(key)
+        families.setdefault(_metric_name(name), []).append((labels, value))
+    for family in sorted(families):
+        lines.append(f"# TYPE {family} counter")
+        for labels, value in families[family]:
+            lines.append(f"{family}_total{_label_block(labels)} "
+                         f"{_format_value(value)}")
+
+    families = {}
+    for key, (_sim_t, value) in snapshot.get("gauges", {}).items():
+        name, labels = parse_series_key(key)
+        families.setdefault(_metric_name(name), []).append((labels, value))
+    for family in sorted(families):
+        lines.append(f"# TYPE {family} gauge")
+        for labels, value in families[family]:
+            lines.append(f"{family}{_label_block(labels)} "
+                         f"{_format_value(value)}")
+
+    histograms: dict[str, list[tuple[dict, Mapping]]] = {}
+    for key, data in snapshot.get("histograms", {}).items():
+        name, labels = parse_series_key(key)
+        histograms.setdefault(_metric_name(name), []).append((labels, data))
+    for family in sorted(histograms):
+        lines.append(f"# TYPE {family} histogram")
+        for labels, data in histograms[family]:
+            cumulative = 0
+            for bound, count in zip(list(data["bounds"]) + ["+Inf"],
+                                    data["buckets"]):
+                cumulative += count
+                le = dict(labels)
+                le["le"] = (bound if isinstance(bound, str)
+                            else _format_value(bound))
+                lines.append(f"{family}_bucket{_label_block(le)} "
+                             f"{cumulative}")
+            lines.append(f"{family}_sum{_label_block(labels)} "
+                         f"{_format_value(data['total'])}")
+            lines.append(f"{family}_count{_label_block(labels)} "
+                         f"{data['count']}")
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+# -- grammar validation -----------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)(?: (?P<timestamp>[^ ]+))?$")
+_LABEL_RE = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"')
+_SUFFIXES = {"counter": ("_total", "_created"),
+             "histogram": ("_bucket", "_sum", "_count", "_created")}
+
+
+def validate_openmetrics(text: str) -> None:
+    """Check a text exposition against the OpenMetrics grammar (the
+    subset :func:`to_openmetrics` emits).  Raises :class:`ExportError`
+    naming the first offending line."""
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines or lines[-1] != "# EOF":
+        raise ExportError("exposition must end with a '# EOF' line")
+    types: dict[str, str] = {}
+    closed: set[str] = set()
+    current: str | None = None
+    bucket_runs: dict[tuple, int] = {}
+    for index, line in enumerate(lines[:-1], start=1):
+        where = f"line {index}: {line!r}"
+        if line.startswith("#"):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[:2] != ["#", "TYPE"]:
+                raise ExportError(f"{where}: only '# TYPE name kind' "
+                                  "metadata is expected")
+            _, _, family, kind = parts
+            if not _NAME_RE.match(family):
+                raise ExportError(f"{where}: invalid family name")
+            if kind not in ("counter", "gauge", "histogram", "summary",
+                            "unknown", "info", "stateset"):
+                raise ExportError(f"{where}: unknown metric type {kind!r}")
+            if family in types:
+                raise ExportError(f"{where}: duplicate TYPE for {family!r}")
+            if current is not None:
+                closed.add(current)
+            types[family] = kind
+            current = family
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ExportError(f"{where}: not a valid sample line")
+        name = match.group("name")
+        family, suffix = _family_of(name, types)
+        if family is None:
+            raise ExportError(f"{where}: sample {name!r} has no "
+                              "preceding # TYPE declaration")
+        if family in closed:
+            raise ExportError(f"{where}: family {family!r} samples are "
+                              "not contiguous")
+        if family != current:
+            if current is not None:
+                closed.add(current)
+            current = family
+        kind = types[family]
+        allowed = _SUFFIXES.get(kind, ("",))
+        if suffix not in allowed:
+            raise ExportError(
+                f"{where}: suffix {suffix!r} not valid for {kind} "
+                f"family {family!r}")
+        labels = _validate_labels(match.group("labels"), where)
+        try:
+            value = float(match.group("value").replace("+Inf", "inf")
+                          .replace("-Inf", "-inf"))
+        except ValueError:
+            raise ExportError(f"{where}: unparseable sample value")
+        if kind == "counter" and value < 0:
+            raise ExportError(f"{where}: negative counter value")
+        if kind == "histogram" and suffix == "_bucket":
+            if "le" not in labels:
+                raise ExportError(f"{where}: histogram bucket without "
+                                  "an 'le' label")
+            run_key = (family,
+                       tuple(sorted((k, v) for k, v in labels.items()
+                                    if k != "le")))
+            previous = bucket_runs.get(run_key, 0)
+            if value < previous:
+                raise ExportError(f"{where}: histogram buckets must be "
+                                  "cumulative (non-decreasing)")
+            bucket_runs[run_key] = value
+    if not types:
+        raise ExportError("exposition declares no metric families")
+
+
+def _family_of(name: str, types: Mapping[str, str]):
+    if name in types:
+        return name, ""
+    for suffix in ("_total", "_bucket", "_sum", "_count", "_created"):
+        if name.endswith(suffix) and name[:-len(suffix)] in types:
+            return name[:-len(suffix)], suffix
+    return None, None
+
+
+def _validate_labels(block: str | None, where: str) -> dict[str, str]:
+    if block is None:
+        return {}
+    labels: dict[str, str] = {}
+    rest = block
+    while rest:
+        match = _LABEL_RE.match(rest)
+        if match is None:
+            raise ExportError(f"{where}: malformed label block")
+        raw = match.group("value")
+        i = 0
+        while i < len(raw):
+            if raw[i] == "\\":
+                if i + 1 >= len(raw) or raw[i + 1] not in ('\\', '"', 'n'):
+                    raise ExportError(f"{where}: invalid escape in "
+                                      "label value")
+                i += 2
+            else:
+                i += 1
+        if match.group("name") in labels:
+            raise ExportError(f"{where}: duplicate label "
+                              f"{match.group('name')!r}")
+        labels[match.group("name")] = raw
+        rest = rest[match.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            raise ExportError(f"{where}: labels must be comma-separated")
+    return labels
+
+
+# -- export driver ----------------------------------------------------------
+
+
+def _canonical_line(record) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def snapshot_records(snapshot: Mapping) -> list[dict]:
+    """Flatten a snapshot into one JSONL record per series."""
+    out: list[dict] = []
+    for key, value in snapshot.get("counters", {}).items():
+        out.append({"instrument": "counter", "series": key,
+                    "value": value})
+    for key, (sim_t, value) in snapshot.get("gauges", {}).items():
+        out.append({"instrument": "gauge", "series": key,
+                    "sim_t": sim_t, "value": value})
+    for key, data in snapshot.get("histograms", {}).items():
+        out.append({"instrument": "histogram", "series": key, **data})
+    return out
+
+
+def export_telemetry(directory: str | Path, out_dir: str | Path,
+                     fmt: str = "openmetrics") -> list[Path]:
+    """Export ``<directory>/telemetry`` artifacts; returns the files
+    written.  Raises :class:`ExportError` when there is nothing to
+    export or the format is unknown."""
+    directory = Path(directory)
+    base = directory / TELEMETRY_DIR
+    snapshot = None
+    if (base / METRICS_FILE).exists():
+        snapshot = read_snapshot(base / METRICS_FILE)
+    series = read_series(base / SERIES_FILE)
+    alerts = read_alerts(base / ALERTS_FILE)
+    if snapshot is None and not series and not alerts:
+        raise ExportError(
+            f"no telemetry artifacts under {directory} — was the run "
+            "started with --no-telemetry?")
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    if fmt == "openmetrics":
+        if snapshot is None:
+            raise ExportError(
+                f"no metrics snapshot under {directory} to render as "
+                "OpenMetrics")
+        text = to_openmetrics(snapshot)
+        validate_openmetrics(text)
+        path = out_dir / "metrics.om"
+        path.write_text(text)
+        written.append(path)
+    elif fmt == "jsonl":
+        if snapshot is not None:
+            path = out_dir / "metrics.jsonl"
+            path.write_text("".join(
+                _canonical_line(r) + "\n"
+                for r in snapshot_records(snapshot)))
+            written.append(path)
+        if series:
+            path = out_dir / "series.jsonl"
+            path.write_text("".join(
+                _canonical_line(s) + "\n" for s in series))
+            written.append(path)
+        if alerts:
+            path = out_dir / "alerts.jsonl"
+            path.write_text("".join(
+                _canonical_line(a) + "\n" for a in alerts))
+            written.append(path)
+    else:
+        raise ExportError(f"unknown export format {fmt!r}")
+    return written

@@ -18,7 +18,12 @@ Design constraints, in order:
 
 Metric names are dotted paths (``probe.outcomes``, ``journal.appends``)
 with optional labels folded into the series key as ``name{k=v,...}`` —
-a flat, deterministic encoding that survives JSON round-trips.
+a flat, deterministic encoding that survives JSON round-trips.  Label
+keys and values escape the encoding's own delimiters (``\\``, ``,``,
+``=``, ``}``) with a backslash, so distinct label sets can never
+collide onto one key and :func:`parse_series_key` is an exact inverse.
+Metric *names* must not contain ``{`` — the first unescaped ``{``
+marks where the label block starts.
 """
 
 from __future__ import annotations
@@ -30,13 +35,79 @@ from typing import Iterable, Mapping
 #: schema version stamped into snapshots; merge refuses mismatches.
 SNAPSHOT_VERSION = "repro.metrics.v1"
 
+#: characters that structure a series key and must be escaped when they
+#: appear inside a label key or value.
+_KEY_SPECIALS = ("\\", ",", "=", "}")
+
+
+def _escape_label(text: str) -> str:
+    for special in _KEY_SPECIALS:
+        text = text.replace(special, "\\" + special)
+    return text
+
 
 def series_key(name: str, labels: Mapping[str, object] | None = None) -> str:
-    """Flatten a metric name + labels into one deterministic key."""
+    """Flatten a metric name + labels into one deterministic key.
+
+    Injective: two different ``(name, labels)`` pairs always produce
+    different keys, because delimiter characters inside label keys or
+    values are backslash-escaped rather than left to collide with the
+    encoding's own ``,``/``=``/``}`` structure.
+    """
     if not labels:
         return name
-    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    if "{" in name:
+        raise ValueError(f"metric name {name!r} may not contain '{{'")
+    inner = ",".join(
+        f"{_escape_label(str(k))}={_escape_label(str(labels[k]))}"
+        for k in sorted(labels))
     return f"{name}{{{inner}}}"
+
+
+def parse_series_key(key: str) -> tuple[str, dict[str, str]]:
+    """Invert :func:`series_key`: recover ``(name, labels)``.
+
+    Raises :class:`ValueError` on keys that no ``series_key`` call can
+    produce (unterminated label block, dangling escape, pair without
+    ``=``).
+    """
+    brace = key.find("{")
+    if brace < 0:
+        return key, {}
+    if not key.endswith("}"):
+        raise ValueError(f"series key {key!r}: unterminated label block")
+    name, inner = key[:brace], key[brace + 1:-1]
+    labels: dict[str, str] = {}
+    part_key: str | None = None  # None while scanning a label key
+    buffer: list[str] = []
+    escaped = False
+
+    def flush_pair() -> None:
+        nonlocal part_key
+        if part_key is None:
+            raise ValueError(f"series key {key!r}: label pair without '='")
+        labels[part_key] = "".join(buffer)
+        part_key = None
+        buffer.clear()
+
+    for char in inner:
+        if escaped:
+            buffer.append(char)
+            escaped = False
+        elif char == "\\":
+            escaped = True
+        elif char == "=" and part_key is None:
+            part_key = "".join(buffer)
+            buffer.clear()
+        elif char == ",":
+            flush_pair()
+        else:
+            buffer.append(char)
+    if escaped:
+        raise ValueError(f"series key {key!r}: dangling escape")
+    if inner:
+        flush_pair()
+    return name, labels
 
 
 class Counter:

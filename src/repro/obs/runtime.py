@@ -30,6 +30,8 @@ from pathlib import Path
 from repro.obs.metrics import MetricsRegistry, write_snapshot
 from repro.obs.profiler import (PhaseProfiler, PROFILE_FILE,
                                 write_profile)
+from repro.obs.slo import ALERTS_FILE, AlertRecorder
+from repro.obs.timeseries import SERIES_FILE, SeriesRecorder
 from repro.obs.trace import SPANS_FILE, TraceConfig, TraceRecorder
 
 #: subdirectory (of a checkpoint/campaign dir) holding telemetry
@@ -51,6 +53,8 @@ class Telemetry:
         self.registry = MetricsRegistry()
         self.profiler = PhaseProfiler(enabled=enabled)
         self.tracer: TraceRecorder | None = None
+        self.series: SeriesRecorder | None = None
+        self.alerts: AlertRecorder | None = None
         #: the campaign directory whose telemetry/ this bundle flushes
         #: to; set by :meth:`attach_tracer`, None for in-memory-only.
         self.home: Path | None = None
@@ -71,12 +75,16 @@ class Telemetry:
         return telemetry
 
     def attach_tracer(self, directory: str | Path) -> None:
-        """(Re-)open the span stream under ``directory``/telemetry/."""
+        """(Re-)open the durable streams under ``directory``/telemetry/:
+        spans, time-series samples, and alert events.  Each attach
+        recovers its stream's torn tail first."""
         if not self.enabled:
             return
         self.home = Path(directory)
-        path = self.home / TELEMETRY_DIR / SPANS_FILE
-        self.tracer = TraceRecorder(path, self.trace_config)
+        base = self.home / TELEMETRY_DIR
+        self.tracer = TraceRecorder(base / SPANS_FILE, self.trace_config)
+        self.series = SeriesRecorder(base / SERIES_FILE)
+        self.alerts = AlertRecorder(base / ALERTS_FILE)
 
     # -- emission helpers --------------------------------------------------
 
@@ -84,6 +92,17 @@ class Telemetry:
              attrs: dict | None = None) -> None:
         if self.enabled and self.tracer is not None:
             self.tracer.emit(kind, name, t0, t1, attrs)
+
+    def sample(self, kind: str, epoch: int, sim_t: float) -> None:
+        """Append one time-series sample of the live registry."""
+        if self.enabled and self.series is not None:
+            self.series.sample(kind, epoch, sim_t,
+                               self.registry.snapshot())
+
+    def emit_alert(self, event: dict) -> None:
+        """Append one SLO alert event to the journaled alert stream."""
+        if self.enabled and self.alerts is not None:
+            self.alerts.emit(event)
 
     @contextmanager
     def phase(self, name: str):
@@ -113,6 +132,12 @@ class Telemetry:
         if self.tracer is not None:
             self.tracer.close()
             self.tracer = None
+        if self.series is not None:
+            self.series.close()
+            self.series = None
+        if self.alerts is not None:
+            self.alerts.close()
+            self.alerts = None
 
     # -- pickling ----------------------------------------------------------
 
@@ -127,6 +152,8 @@ class Telemetry:
         self.registry = state["registry"]
         self.profiler = state["profiler"]
         self.tracer = None
+        self.series = None
+        self.alerts = None
         self.home = None
 
 

@@ -1,0 +1,237 @@
+"""Declarative SLOs with multi-window burn-rate alerting on the sim clock.
+
+The service's health machine (PR 6) reacts to *this window's*
+availability.  SLO alerting asks the longer question long-horizon
+operation needs: *at the current error rate, how fast is the error
+budget burning?*  This module evaluates that question deterministically
+— every input is a sim-clock window signal, every rule threshold is
+declarative — so alert streams replay byte-identically across
+crash/resume, exactly like spans and series samples.
+
+Two alert families flow through one engine:
+
+* **threshold alerts** — the health machine's classification ladder
+  (availability below the degraded/critical/halted thresholds, failure
+  rate above the degraded threshold) reframed as evidence: each window
+  the :class:`~repro.service.health.HealthMonitor` derives which
+  thresholds fired, the engine diffs that against the active set, and
+  the monitor applies the *classification the evidence implies* — alerts
+  as evidence, health transitions as effects.  The decisions are
+  bit-identical to the pre-SLO ladder.
+* **burn-rate alerts** — per :class:`SloRule`, the window's error rate
+  enters a bounded history; the rule fires when both the short- and
+  long-window burn rates (mean error rate ÷ error budget, the standard
+  SRE construction) exceed their thresholds, and resolves when either
+  drops back below.  Burn rates are monotone in every window's error
+  rate, which the Hypothesis property suite pins.
+
+The engine itself lives in the pickled ``ServiceState`` and always
+runs — health coupling must not depend on whether telemetry is enabled
+— while the journaled **alert stream** (``telemetry/alerts.bin``, same
+CRC framing as spans/series) is written only when telemetry is on.
+
+Event shape::
+
+    {"k": "alert", "name": "slo.coverage", "state": "firing",
+     "window": 3, "t": 1609513200.0, "burn_short": 2.5, "burn_long": 1.2}
+
+Threshold events carry ``"value"`` (the observed availability or
+failure rate) instead of burn rates.  Only sim-clock fields, ever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.obs.timeseries import read_series as _read_framed
+
+#: filename of the alert stream inside a telemetry directory.
+ALERTS_FILE = "alerts.bin"
+
+
+@dataclass(frozen=True, slots=True)
+class SloRule:
+    """One burn-rate rule over a window signal.
+
+    ``signal`` names a key of the per-window signal dict (an error
+    fraction in ``[0, 1]``); ``objective`` is the long-run target for
+    the *good* fraction, so the error budget is ``1 - objective``.
+    The rule fires when the mean error rate over the last
+    ``short_windows`` windows burns the budget at ≥ ``fast_burn`` and
+    the last ``long_windows`` at ≥ ``slow_burn`` — the multi-window
+    guard that keeps one bad window from paging.
+    """
+
+    name: str
+    signal: str
+    objective: float
+    short_windows: int = 1
+    long_windows: int = 3
+    fast_burn: float = 2.0
+    slow_burn: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"rule {self.name!r}: objective must be in (0, 1), "
+                f"got {self.objective}")
+        if self.short_windows < 1 or self.long_windows < self.short_windows:
+            raise ValueError(
+                f"rule {self.name!r}: need 1 <= short_windows "
+                f"<= long_windows, got {self.short_windows}/"
+                f"{self.long_windows}")
+        if self.fast_burn <= 0 or self.slow_burn <= 0:
+            raise ValueError(
+                f"rule {self.name!r}: burn thresholds must be positive")
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.objective
+
+
+#: default rulebook for the continuous service: coverage, probe
+#: failures, resolver REFUSEDs, and the probes/sec budget overshoot.
+DEFAULT_RULES: tuple[SloRule, ...] = (
+    SloRule("slo.coverage", signal="coverage_error", objective=0.90),
+    SloRule("slo.failure_rate", signal="failure_rate", objective=0.75),
+    SloRule("slo.refused", signal="refused_rate", objective=0.95),
+    SloRule("slo.probe_rate", signal="rate_overshoot", objective=0.95),
+)
+
+
+def burn_rate(error_rates: Sequence[float], error_budget: float) -> float:
+    """Mean error rate over the window ÷ error budget.
+
+    ``1.0`` means the budget is burning exactly at the rate that
+    exhausts it over the SLO period; ``> 1`` exhausts it early.
+    Monotone non-decreasing in every error rate.
+    """
+    if not error_rates:
+        return 0.0
+    if error_budget <= 0:
+        raise ValueError("error budget must be positive")
+    return (sum(error_rates) / len(error_rates)) / error_budget
+
+
+@dataclass(slots=True)
+class SloEngine:
+    """The per-service alert evaluator; rides the state pickle.
+
+    All mutation happens in :meth:`observe_window` /
+    :meth:`observe_evidence`, both driven by deterministic window
+    signals — so a resumed service re-evolves the engine identically
+    and re-emits byte-identical events for replayed windows.
+    """
+
+    rules: tuple[SloRule, ...] = DEFAULT_RULES
+    history: dict[str, list[float]] = field(default_factory=dict)
+    firing: dict[str, dict] = field(default_factory=dict)
+    thresholds: tuple[str, ...] = ()
+    events: list[dict] = field(default_factory=list)
+
+    # -- burn-rate rules ---------------------------------------------------
+
+    def observe_window(self, window: int, at: float,
+                       signals: Mapping[str, float]) -> list[dict]:
+        """Feed one completed window's signals; returns new events."""
+        events: list[dict] = []
+        for rule in self.rules:
+            error = float(signals.get(rule.signal, 0.0))
+            series = self.history.setdefault(rule.name, [])
+            series.append(error)
+            del series[:-rule.long_windows]
+            short = burn_rate(series[-rule.short_windows:],
+                              rule.error_budget)
+            long = burn_rate(series, rule.error_budget)
+            burns = {"burn_short": round(short, 6),
+                     "burn_long": round(long, 6)}
+            now_firing = (short >= rule.fast_burn
+                          and long >= rule.slow_burn)
+            was_firing = rule.name in self.firing
+            if now_firing:
+                self.firing[rule.name] = {"window": window, "t": at,
+                                          **burns}
+                if not was_firing:
+                    events.append({"k": "alert", "name": rule.name,
+                                   "state": "firing", "window": window,
+                                   "t": at, **burns})
+            elif was_firing:
+                del self.firing[rule.name]
+                events.append({"k": "alert", "name": rule.name,
+                               "state": "resolved", "window": window,
+                               "t": at, **burns})
+        self.events.extend(events)
+        return events
+
+    # -- threshold alerts (health evidence) --------------------------------
+
+    def observe_evidence(self, evidence) -> list[dict]:
+        """Diff a window's health evidence against the active threshold
+        alerts; returns the firing/resolved events.
+
+        ``evidence`` is a :class:`repro.service.health.HealthEvidence`
+        (duck-typed: ``window``, ``at``, ``availability``,
+        ``failure_rate``, ``alerts``).
+        """
+        current = tuple(sorted(set(evidence.alerts)))
+        previous = set(self.thresholds)
+        events: list[dict] = []
+        for name in current:
+            if name not in previous:
+                events.append(self._threshold_event(
+                    name, "firing", evidence))
+        for name in sorted(previous - set(current)):
+            events.append(self._threshold_event(name, "resolved",
+                                                evidence))
+        self.thresholds = current
+        self.events.extend(events)
+        return events
+
+    @staticmethod
+    def _threshold_event(name: str, state: str, evidence) -> dict:
+        value = (evidence.failure_rate if name.startswith("failure_rate")
+                 else evidence.availability)
+        return {"k": "alert", "name": f"health.{name}", "state": state,
+                "window": evidence.window, "t": evidence.at,
+                "value": round(float(value), 6)}
+
+    # -- summaries ---------------------------------------------------------
+
+    def active(self) -> list[dict]:
+        """Currently-firing burn alerts, name-sorted, for dashboards."""
+        return [{"name": name, **self.firing[name]}
+                for name in sorted(self.firing)]
+
+    def summary(self) -> list[list]:
+        """A compact deterministic digest for the service aggregate:
+        ``[name, state, window]`` per event, in emission order."""
+        return [[event["name"], event["state"], event["window"]]
+                for event in self.events]
+
+
+class AlertRecorder:
+    """Appends alert events to a CRC-framed stream file (the same
+    torn-tail-recovering framing as spans and series samples)."""
+
+    def __init__(self, path: str | Path) -> None:
+        from repro.persist import journal
+
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self.path.exists():
+            journal.Journal.recover(self.path)
+        self._journal = journal.Journal(self.path)
+
+    def emit(self, event: dict) -> None:
+        self._journal.append(event)
+
+    def close(self) -> None:
+        self._journal.close()
+
+
+def read_alerts(path: str | Path, dedupe: bool = True) -> list[dict]:
+    """Read an alert stream, tolerating a torn tail; with ``dedupe``,
+    replay-duplicated events collapse to the clean stream."""
+    return _read_framed(path, dedupe)

@@ -1,0 +1,295 @@
+"""A persisted metric time-series on the CRC-framed journal framing.
+
+PR 9's registry answers "what are the totals *now*"; this module keeps
+the *history*: at every campaign snapshot epoch and every completed
+service window, the live registry is sampled into one canonical-JSON
+record and appended to ``telemetry/series.bin``, framed exactly like
+the write-ahead journal so torn tails truncate on re-attach and
+mid-file damage is loud.
+
+Record shape::
+
+    {"k": "sample", "kind": "slot" | "window", "e": <epoch>,
+     "t": <sim clock>, "m": <deterministic metrics snapshot>}
+
+``kind``/``e`` identify the epoch: the probing-loop slot index at a
+snapshot boundary, or the service window index.  Both are *replicated*
+coordinates — every shard walks the same slot schedule — so the same
+epochs exist in every shard and in the serial run, and per-shard
+samples merge owner-independently by ``(kind, e)`` with
+:func:`repro.obs.metrics.merge_snapshots` on the payloads.
+
+``m`` is a **deterministic view** of the registry snapshot, not the
+full snapshot: series whose values are process-shaped (journal/snapshot
+write volume differs between a clean run and a crash/resume) or
+shard-shaped (the replicated slot walk counts ``slots.completed`` once
+per worker; summary-mode workers tally resolver traffic only for the
+probes they own) are filtered out, because the contract for this file
+is the same as for the span stream — byte-identical across
+kill/restart, and serial ≡ merged-shards.  The full registry still
+lands in ``metrics.json`` for ``repro top``.
+
+Samples carry **only sim-clock fields**.  A resumed run re-emits the
+replayed epochs' samples verbatim, so :func:`read_series` dedupes by
+payload to reconstruct the clean run's series — the identical replay
+property the span stream has, proven by the same kind of kill/restart
+differential.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+from repro.obs.metrics import merge_snapshots
+
+#: filename of the series log inside a telemetry directory.
+SERIES_FILE = "series.bin"
+
+#: counter prefixes whose values depend on the process history rather
+#: than the simulation: replay does not re-append journal records, and
+#: recovery writes extra snapshots, so write-volume counters differ
+#: between a clean run and a crash/resume of the same campaign.
+_PROCESS_SHAPED_COUNTER_PREFIXES = ("journal.", "snapshot.")
+
+#: counters every shard replicates (merged value = workers × serial).
+_REPLICATED_COUNTERS = frozenset({"slots.completed"})
+
+#: gauge prefixes that are shard-shaped under summary-mode sharding:
+#: a worker replays foreign probes as aggregate token debits without
+#: resolver calls, so its resolver tallies cover only owned probes
+#: plus client activity — neither equal across shards nor mergeable
+#: back to the serial value.
+_SHARD_SHAPED_GAUGE_PREFIXES = ("resolver.",)
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def _journal_module():
+    # Lazy for the same reason as obs.trace: repro.persist's package
+    # __init__ imports the campaign driver, which imports the
+    # telemetry-instrumented core pipeline.
+    from repro.persist import journal
+
+    return journal
+
+
+def deterministic_view(snapshot: Mapping) -> dict:
+    """Filter a registry snapshot down to replay- and shard-stable
+    series (see the module docstring for what goes and why)."""
+    counters = {
+        key: value
+        for key, value in snapshot.get("counters", {}).items()
+        if not key.startswith(_PROCESS_SHAPED_COUNTER_PREFIXES)
+        and key not in _REPLICATED_COUNTERS
+    }
+    gauges = {
+        key: value
+        for key, value in snapshot.get("gauges", {}).items()
+        if not key.startswith(_SHARD_SHAPED_GAUGE_PREFIXES)
+    }
+    return {
+        "version": snapshot.get("version"),
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": dict(snapshot.get("histograms", {})),
+    }
+
+
+class SeriesRecorder:
+    """Appends time-series samples to a CRC-framed stream file.
+
+    Attaching to an existing file recovers a torn tail first, then
+    continues the CRC chain — the recorder may have died mid-append.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        journal = _journal_module()
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self.path.exists():
+            journal.Journal.recover(self.path)
+        self._journal = journal.Journal(self.path)
+
+    def sample(self, kind: str, epoch: int, sim_t: float,
+               snapshot: Mapping) -> None:
+        self._journal.append({"k": "sample", "kind": kind, "e": epoch,
+                              "t": sim_t,
+                              "m": deterministic_view(snapshot)})
+
+    def close(self) -> None:
+        self._journal.close()
+
+
+def read_series(path: str | Path, dedupe: bool = True) -> list[dict]:
+    """Read a series log, tolerating a torn tail.
+
+    With ``dedupe`` (the default), payload-identical samples collapse
+    to their first occurrence — a resumed run re-emits replayed epochs'
+    samples verbatim.  Raises ``JournalCorruption`` on mid-file damage.
+    """
+    journal = _journal_module()
+    path = Path(path)
+    if not path.exists():
+        return []
+    scan = journal.Journal.scan(path)
+    if scan.damage == "corrupt":
+        raise journal.JournalCorruption(
+            f"{path} is corrupt mid-file ({scan.detail})")
+    if not dedupe:
+        return scan.records
+    seen: set[str] = set()
+    out: list[dict] = []
+    for record in scan.records:
+        key = _payload_key(record)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(record)
+    return out
+
+
+def write_series(path: str | Path, samples: Sequence[dict]) -> None:
+    """(Re)write a series log atomically — used for the merged
+    top-level log of a parallel run."""
+    journal = _journal_module()
+    journal.rewrite(Path(path), list(samples))
+
+
+def merge_series(streams: Iterable[Sequence[dict]]) -> list[dict]:
+    """Merge per-shard sample streams owner-independently.
+
+    Samples group by ``(kind, e)``; grouped payloads merge with the
+    registry's snapshot merge (counters sum, gauges max-by-pair,
+    buckets sum), which is associative and commutative, so any shard
+    ordering or grouping yields identical output.  The result is
+    sorted by ``(kind, e)`` — the order a serial run emits.
+    """
+    grouped: dict[tuple[str, int], dict] = {}
+    for stream in streams:
+        for sample in stream:
+            key = (str(sample["kind"]), int(sample["e"]))
+            slot = grouped.get(key)
+            if slot is None:
+                grouped[key] = {"t": sample["t"],
+                                "snapshots": [sample["m"]]}
+            else:
+                slot["t"] = max(slot["t"], sample["t"])
+                slot["snapshots"].append(sample["m"])
+    out: list[dict] = []
+    for (kind, epoch) in sorted(grouped):
+        slot = grouped[(kind, epoch)]
+        out.append({"k": "sample", "kind": kind, "e": epoch,
+                    "t": slot["t"],
+                    "m": merge_snapshots(slot["snapshots"])})
+    return out
+
+
+# -- query API --------------------------------------------------------------
+
+
+def sample_range(samples: Sequence[dict], t0: float | None = None,
+                 t1: float | None = None,
+                 kind: str | None = None) -> list[dict]:
+    """Samples whose sim-time falls in ``[t0, t1]`` (either end open),
+    optionally restricted to one epoch kind."""
+    out = []
+    for sample in samples:
+        if kind is not None and sample.get("kind") != kind:
+            continue
+        t = sample.get("t", 0.0)
+        if t0 is not None and t < t0:
+            continue
+        if t1 is not None and t > t1:
+            continue
+        out.append(sample)
+    return out
+
+
+def latest_sample(samples: Sequence[dict], at: float | None = None,
+                  kind: str | None = None) -> dict | None:
+    """The newest sample, or the newest with ``t <= at`` when given."""
+    best = None
+    for sample in samples:
+        if kind is not None and sample.get("kind") != kind:
+            continue
+        if at is not None and sample.get("t", 0.0) > at:
+            continue
+        if best is None or sample.get("t", 0.0) >= best.get("t", 0.0):
+            best = sample
+    return best
+
+
+def _series_value(view: Mapping, key: str) -> float | None:
+    counters = view.get("counters", {})
+    if key in counters:
+        return float(counters[key])
+    gauges = view.get("gauges", {})
+    if key in gauges:
+        return float(gauges[key][1])
+    histograms = view.get("histograms", {})
+    if key in histograms:
+        return float(histograms[key]["count"])
+    return None
+
+
+def series_values(samples: Sequence[dict],
+                  key: str) -> list[tuple[float, float]]:
+    """One series' ``(sim_t, value)`` trajectory across the samples.
+
+    ``key`` is a full series key; counters resolve to their running
+    sum, gauges to their value, histograms to their count.  Samples
+    missing the series are skipped (it had not been created yet).
+    """
+    out = []
+    for sample in samples:
+        value = _series_value(sample.get("m", {}), key)
+        if value is not None:
+            out.append((float(sample.get("t", 0.0)), value))
+    return out
+
+
+def series_deltas(samples: Sequence[dict],
+                  key: str) -> list[tuple[float, float]]:
+    """Per-epoch increments of a cumulative series: ``(sim_t, Δvalue)``
+    between consecutive samples (first delta is from zero)."""
+    values = series_values(samples, key)
+    out = []
+    previous = 0.0
+    for sim_t, value in values:
+        out.append((sim_t, value - previous))
+        previous = value
+    return out
+
+
+def series_rate(samples: Sequence[dict],
+                key: str) -> list[tuple[float, float]]:
+    """Rate of change over *sim* time: ``Δvalue / Δt`` between
+    consecutive samples.  Zero-or-negative Δt intervals are skipped."""
+    values = series_values(samples, key)
+    out = []
+    for (ta, va), (tb, vb) in zip(values, values[1:]):
+        dt = tb - ta
+        if dt > 0:
+            out.append((tb, (vb - va) / dt))
+    return out
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render values as a block-character sparkline (shared by
+    ``repro top`` and the service churn analytics)."""
+    if not values:
+        return ""
+    peak = max(values)
+    if peak <= 0:
+        return _SPARK_BLOCKS[0] * len(values)
+    return "".join(
+        _SPARK_BLOCKS[min(7, int(value / peak * 7.999))] if value > 0
+        else _SPARK_BLOCKS[0]
+        for value in values)
+
+
+def _payload_key(record: dict) -> str:
+    import json
+
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))

@@ -27,6 +27,9 @@ from pathlib import Path
 from repro.obs.metrics import read_snapshot
 from repro.obs.profiler import PROFILE_FILE, read_profile
 from repro.obs.runtime import METRICS_FILE, TELEMETRY_DIR
+from repro.obs.slo import ALERTS_FILE, read_alerts
+from repro.obs.timeseries import (SERIES_FILE, read_series, series_deltas,
+                                  sparkline)
 from repro.obs.trace import SPANS_FILE, read_spans
 
 #: gauge value → health state name (mirrors service.health states).
@@ -75,8 +78,23 @@ def load_dashboard(directory: str | Path) -> dict:
     span_path = base / SPANS_FILE
     if span_path.exists():
         spans = read_spans(span_path)
+    series = []
+    series_path = base / SERIES_FILE
+    if series_path.exists():
+        try:
+            series = read_series(series_path)
+        except ValueError:
+            series = []
+    alerts = []
+    alerts_path = base / ALERTS_FILE
+    if alerts_path.exists():
+        try:
+            alerts = read_alerts(alerts_path)
+        except ValueError:
+            alerts = []
     return {"directory": str(directory), "metrics": metrics,
-            "profile": profile, "shards": shards, "spans": spans}
+            "profile": profile, "shards": shards, "spans": spans,
+            "series": series, "alerts": alerts}
 
 
 # -- rendering -------------------------------------------------------------
@@ -122,6 +140,54 @@ def _gauge_family(metrics: dict | None, prefix: str) -> dict[str, float]:
     return out
 
 
+def _alert_states(events: list[dict]) -> tuple[list[dict], list[str]]:
+    """Fold the alert event stream into current state per alert name.
+
+    The stream is append-ordered, so the last event per name wins;
+    returns (firing events, resolved names) both name-sorted.
+    """
+    last: dict[str, dict] = {}
+    for event in events:
+        name = event.get("name")
+        if name:
+            last[name] = event
+    firing = [last[n] for n in sorted(last)
+              if last[n].get("state") == "firing"]
+    resolved = [n for n in sorted(last) if last[n].get("state") == "resolved"]
+    return firing, resolved
+
+
+def _format_alert(event: dict) -> str:
+    name = event.get("name", "?")
+    window = event.get("window", "?")
+    if "burn_short" in event:
+        detail = (f"burn short={event['burn_short']:.2f} "
+                  f"long={event['burn_long']:.2f}")
+    else:
+        detail = f"value={event.get('value', '?')}"
+    return f"  ! {name} w{window} {detail}"
+
+
+def _trend_lines(series: list[dict]) -> list[str]:
+    """Sparkline rows for the headline series in the time-series log."""
+    lines: list[str] = []
+    slots = [s for s in series if s.get("kind") == "slot"]
+    sent = series_deltas(slots, "probe.sent")
+    if sent:
+        values = [v for _t, v in sent]
+        lines.append(f"  probe.sent   {sparkline(values)} "
+                     f"(+{int(sum(values))} over {len(values)} samples)")
+    windows = [s for s in series if s.get("kind") == "window"]
+    covered = series_deltas(windows, "window.covered")
+    scheduled = series_deltas(windows, "window.scheduled")
+    if covered and scheduled:
+        coverage = [dc / ds if ds else 1.0
+                    for (_t, dc), (_t2, ds) in zip(covered, scheduled)]
+        lines.append(f"  coverage     {sparkline(coverage)} "
+                     f"(last {coverage[-1]:.2f})")
+    return lines
+
+
 def render_top(data: dict) -> str:
     """Render one dashboard frame as plain text."""
     metrics = data.get("metrics")
@@ -144,6 +210,21 @@ def render_top(data: dict) -> str:
                 f"coverage: [{_bar(frac)}] {frac:7.2%}  "
                 f"covered={covered} shed={shed} "
                 f"budget_dropped={dropped} of {scheduled}")
+
+    # SLO alerts panel (service runs with alerting).
+    alert_events = data.get("alerts") or []
+    if alert_events:
+        firing, resolved = _alert_states(alert_events)
+        lines.append(f"alerts: {len(firing)} firing, "
+                     f"{len(resolved)} resolved")
+        for event in firing:
+            lines.append(_format_alert(event))
+
+    # Time-series trends.
+    trend = _trend_lines(data.get("series") or [])
+    if trend:
+        lines.append("trends:")
+        lines.extend(trend)
 
     # Probe engine counters.
     sent = _counter(metrics, "probe.sent")
@@ -210,7 +291,8 @@ def render_top(data: dict) -> str:
         kind_txt = " ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
         lines.append(f"spans: {len(spans)} recorded  ({kind_txt})")
 
-    if metrics is None and not shards and not spans:
+    if (metrics is None and not shards and not spans
+            and not alert_events and not trend):
         lines.append("no telemetry artifacts found — run with telemetry "
                      "enabled (the default) or check the directory")
     return "\n".join(lines)
@@ -243,9 +325,7 @@ def run_top(directory: str | Path, once: bool = False,
 # -- offline span summary --------------------------------------------------
 
 
-def summarize_trace(directory: str | Path) -> str:
-    """``repro trace <dir>``: summarize recorded span streams."""
-    directory = Path(directory)
+def _trace_streams(directory: Path) -> list[tuple[str, Path]]:
     streams = []
     top_level = directory / TELEMETRY_DIR / SPANS_FILE
     if top_level.exists():
@@ -254,6 +334,38 @@ def summarize_trace(directory: str | Path) -> str:
         path = shard_dir / TELEMETRY_DIR / SPANS_FILE
         if path.exists():
             streams.append((shard_dir.name, path))
+    return streams
+
+
+def summarize_trace_json(directory: str | Path) -> dict:
+    """``repro trace --json``: the span-stream summary as data.
+
+    Canonical key order throughout (sorted on serialization), so the
+    output diffs cleanly between runs.
+    """
+    directory = Path(directory)
+    summary: dict = {"directory": str(directory), "streams": []}
+    for label, path in _trace_streams(directory):
+        spans = read_spans(path)
+        kinds: dict[str, dict] = {}
+        for span in spans:
+            entry = kinds.setdefault(span["kind"],
+                                     {"count": 0, "sim_total_s": 0.0})
+            entry["count"] += 1
+            entry["sim_total_s"] += span["t1"] - span["t0"]
+        stream: dict = {"label": label, "spans": len(spans)}
+        if spans:
+            stream["sim_t0"] = min(span["t0"] for span in spans)
+            stream["sim_t1"] = max(span["t1"] for span in spans)
+        stream["kinds"] = {k: kinds[k] for k in sorted(kinds)}
+        summary["streams"].append(stream)
+    return summary
+
+
+def summarize_trace(directory: str | Path) -> str:
+    """``repro trace <dir>``: summarize recorded span streams."""
+    directory = Path(directory)
+    streams = _trace_streams(directory)
     if not streams:
         return f"no span streams under {directory}"
     lines = [f"repro trace — {directory}"]

@@ -181,6 +181,7 @@ def _merge_telemetry(telemetry, shard_results: list[ShardResult],
     from repro.obs.profiler import PROFILE_FILE, merge_profiles
     from repro.obs.runtime import METRICS_FILE, TELEMETRY_DIR
     from repro.obs.profiler import write_profile
+    from repro.obs.timeseries import SERIES_FILE, merge_series, write_series
 
     snapshots = [r.metrics for r in shard_results if r.metrics is not None]
     if snapshots:
@@ -193,6 +194,12 @@ def _merge_telemetry(telemetry, shard_results: list[ShardResult],
         write_snapshot(telemetry_dir / METRICS_FILE,
                        telemetry.registry.snapshot())
         write_profile(telemetry_dir / PROFILE_FILE, merge_profiles(profiles))
+        # Shard time-series logs sampled the same replicated slot
+        # epochs at the same sim instants (the digest contract), so the
+        # per-epoch merge reconstructs the serial series exactly.
+        streams = [r.series for r in shard_results if r.series]
+        if streams:
+            write_series(telemetry_dir / SERIES_FILE, merge_series(streams))
 
 
 def _finish(

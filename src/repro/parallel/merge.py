@@ -38,7 +38,13 @@ from repro.parallel.worker import ShardResult
 
 class ShardDivergence(RuntimeError):
     """Shard results contradict each other (or the partition): merging
-    them would silently fabricate a result, so it is a hard error."""
+    them would silently fabricate a result, so it is a hard error.
+
+    When the campaign ran with telemetry and a checkpoint directory,
+    ``repro diff-trace <dir> <dir>/shard-NN`` localizes the first
+    divergent span between the campaign and a suspect shard (or
+    between two shards) with its (slot, pop, offset) context.
+    """
 
 
 def _ordered(shards: Sequence[ShardResult]) -> list[ShardResult]:

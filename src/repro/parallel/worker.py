@@ -78,6 +78,10 @@ class ShardResult:
     #: advisory only, never part of the merge equivalence contract.
     metrics: dict | None = None
     profile: dict | None = None
+    #: the shard's deduped time-series samples (slot-epoch keyed);
+    #: merged per epoch by the driver into the top-level series log.
+    #: None when telemetry is off or the shard had no directory.
+    series: list | None = None
 
 
 @dataclass(slots=True)
@@ -321,6 +325,13 @@ def _drive_shard(
             checkpointer.snapshot()
     assert state.cache_result is not None
     telemetry = obs_runtime.current()
+    series = None
+    if telemetry.enabled and shard_dir is not None:
+        from repro.obs.runtime import TELEMETRY_DIR
+        from repro.obs.timeseries import SERIES_FILE, read_series
+
+        series = read_series(
+            Path(shard_dir) / TELEMETRY_DIR / SERIES_FILE)
     result = ShardResult(
         shard_id=state.shard.shard_id,
         num_shards=state.shard.num_shards,
@@ -333,6 +344,7 @@ def _drive_shard(
                  if telemetry.enabled else None),
         profile=(telemetry.profiler.snapshot()
                  if telemetry.enabled else None),
+        series=series,
     )
     if telemetry.enabled and shard_dir is not None:
         telemetry.flush(shard_dir)

@@ -270,9 +270,29 @@ class CampaignCheckpointer:
         return hook
 
     def maybe_snapshot(self, slot_index: int) -> None:
-        """Snapshot on the configured slot cadence."""
+        """Snapshot on the configured slot cadence.
+
+        The same cadence emits a time-series sample of the metrics
+        registry, keyed by the slot index — a *replicated* coordinate
+        (every shard and the serial run walk the same slot schedule),
+        so per-shard samples merge by epoch and a resumed run re-emits
+        replayed epochs' samples byte-identically.  The sample goes
+        first: if a crash lands between sample and snapshot marker,
+        re-execution emits a payload-identical duplicate that
+        ``read_series`` dedupes — the span stream's exact contract.
+        """
         if (slot_index + 1) % self.config.snapshot_every_slots == 0:
+            self._sample_series(slot_index)
             self.snapshot()
+
+    def _sample_series(self, slot_index: int) -> None:
+        if self.replaying or self._telemetry is None:
+            return
+        state = self._state
+        world = getattr(state, "world", None)
+        if world is None:
+            return
+        self._telemetry.sample("slot", slot_index, world.clock.now)
 
     # -- recovery ----------------------------------------------------------
 

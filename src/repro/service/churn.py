@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.timeseries import series_deltas, sparkline
+
 
 @dataclass(frozen=True, slots=True)
 class WindowChurn:
@@ -83,12 +85,27 @@ def churn_from_deltas(deltas: list[dict]) -> ChurnReport:
                        stable_active=stable or set())
 
 
-def _sparkline(values: list[float]) -> str:
-    blocks = "▁▂▃▄▅▆▇█"
-    peak = max(values, default=0.0) or 1.0
-    return "".join(
-        blocks[min(7, int(value / peak * 7.999))] for value in values
-    )
+def coverage_from_series(samples: list[dict]) -> list[float]:
+    """Per-window coverage fractions straight from the time-series log.
+
+    Each completed window appended a ``kind="window"`` sample; the
+    per-window coverage is the increment of ``window.covered`` over the
+    increment of ``window.scheduled`` between consecutive samples — no
+    re-reading every delta file, and a live dashboard can extend the
+    series incrementally as new samples land.
+    """
+    windows = [s for s in samples if s.get("kind") == "window"]
+    covered = series_deltas(windows, "window.covered")
+    scheduled = series_deltas(windows, "window.scheduled")
+    out: list[float] = []
+    for (_t, dc), (_t2, ds) in zip(covered, scheduled):
+        out.append(dc / ds if ds else 1.0)
+    return out
+
+
+# The shared block-character renderer lives in repro.obs.timeseries so
+# `repro top` sparklines and this report stay visually identical.
+_sparkline = sparkline
 
 
 def render_coverage_over_time(report: ChurnReport) -> str:

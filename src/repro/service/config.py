@@ -134,6 +134,10 @@ class ServiceConfig:
     window_target_budget: int | None = None
     reprobe_interval_hours: float | None = None
     watchdog_overrun_factor: float = 2.0
+    #: probes/sec (sim clock) the SLO engine treats as the sending
+    #: budget; a window whose rate overshoots it accrues burn on the
+    #: ``slo.probe_rate`` rule.  None disables the signal.
+    probe_rate_budget: float | None = None
     health: HealthPolicy = field(default_factory=HealthPolicy)
     degradation: DegradationPolicy = field(default_factory=DegradationPolicy)
 
@@ -152,6 +156,9 @@ class ServiceConfig:
                 "reprobe_interval_hours must be positive (or None)")
         if self.watchdog_overrun_factor < 1.0:
             raise ValueError("watchdog_overrun_factor must be >= 1")
+        if self.probe_rate_budget is not None \
+                and self.probe_rate_budget <= 0:
+            raise ValueError("probe_rate_budget must be positive (or None)")
 
     @property
     def reprobe_interval_s(self) -> float:

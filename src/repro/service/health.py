@@ -59,6 +59,27 @@ class HealthTransition:
     new: ServiceHealth
 
 
+@dataclass(frozen=True, slots=True)
+class HealthEvidence:
+    """One window's signals reframed as threshold-alert evidence.
+
+    ``alerts`` names the policy thresholds the signals crossed
+    (``availability.critical``, ``failure_rate.degraded``, ...);
+    ``classified`` is the health state that evidence implies — the
+    worst state any fired alert points at.  The SLO engine journals
+    the alerts; the monitor applies the classification: alerts are the
+    evidence, health transitions the effects, and the decisions are
+    bit-identical to the pre-evidence ladder.
+    """
+
+    window: int
+    at: float
+    availability: float
+    failure_rate: float
+    alerts: tuple[str, ...]
+    classified: ServiceHealth
+
+
 @dataclass(slots=True)
 class HealthMonitor:
     """Tracks the service health state across windows.
@@ -74,28 +95,62 @@ class HealthMonitor:
     good_streak: int = 0
     transitions: list[HealthTransition] = field(default_factory=list)
 
+    def evidence(self, window: int, at: float, availability: float,
+                 failure_rate: float) -> HealthEvidence:
+        """Derive which policy thresholds the signals crossed, and the
+        classification that evidence implies.
+
+        The ladder is exactly the historical ``classify`` order —
+        halted/critical/degraded availability, then degraded failure
+        rate — expressed as alerts so the SLO engine can journal the
+        crossings while the monitor applies the same decision.
+        """
+        policy = self.policy
+        alerts: list[str] = []
+        classified = ServiceHealth.HEALTHY
+        if availability <= policy.halted_below:
+            alerts.append("availability.halted")
+            classified = ServiceHealth.HALTED
+        elif availability < policy.critical_below:
+            alerts.append("availability.critical")
+            classified = ServiceHealth.CRITICAL
+        elif availability < policy.degraded_below:
+            alerts.append("availability.degraded")
+            classified = ServiceHealth.DEGRADED
+        if failure_rate > policy.failure_rate_degraded:
+            alerts.append("failure_rate.degraded")
+            if classified.severity < ServiceHealth.DEGRADED.severity:
+                classified = ServiceHealth.DEGRADED
+        return HealthEvidence(
+            window=window, at=at, availability=availability,
+            failure_rate=failure_rate, alerts=tuple(alerts),
+            classified=classified)
+
     def classify(self, availability: float, failure_rate: float,
                  ) -> ServiceHealth:
         """The state the raw signals point at, ignoring hysteresis."""
-        policy = self.policy
-        if availability <= policy.halted_below:
-            return ServiceHealth.HALTED
-        if availability < policy.critical_below:
-            return ServiceHealth.CRITICAL
-        if (availability < policy.degraded_below
-                or failure_rate > policy.failure_rate_degraded):
-            return ServiceHealth.DEGRADED
-        return ServiceHealth.HEALTHY
+        return self.evidence(0, 0.0, availability, failure_rate).classified
 
     def observe(self, window: int, at: float, availability: float,
                 failure_rate: float) -> ServiceHealth:
         """Feed one window's signals; returns the (possibly new) state.
 
+        Equivalent to ``apply(evidence(...))`` — callers that also
+        journal the evidence (the supervisor) use the two-step form.
+        """
+        return self.apply(self.evidence(window, at, availability,
+                                        failure_rate))
+
+    def apply(self, evidence: HealthEvidence) -> ServiceHealth:
+        """Apply one window's evidence to the machine; returns the
+        (possibly new) state.
+
         Worse classifications take effect immediately; better ones must
         persist for ``recover_after_windows`` consecutive windows and
         then step recovery one level at a time.
         """
-        classified = self.classify(availability, failure_rate)
+        window, at = evidence.window, evidence.at
+        classified = evidence.classified
         if classified.severity > self.state.severity:
             self._move(window, at, classified)
             self.good_streak = 0

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.obs import runtime as obs_runtime
+from repro.obs.slo import SloEngine
 from repro.persist.campaign import (
     CampaignCheckpointer,
     CheckpointConfig,
@@ -111,6 +112,11 @@ class ServiceState:
     #: resilient-report counters at the last window boundary, for
     #: per-window failure-rate deltas.
     counters_mark: dict[str, int] = field(default_factory=dict)
+    #: the SLO/alerting engine.  Always evaluated — health transitions
+    #: are downstream of its threshold evidence — so the state (and the
+    #: aggregate's alert digest) is identical with telemetry on or off;
+    #: only the journaled alert *stream* is telemetry-gated.
+    slo: SloEngine = field(default_factory=SloEngine)
 
     def verify_accounting(self) -> None:
         """Assert the cross-window closed-accounting identity."""
@@ -139,6 +145,8 @@ class ServiceResult:
     transitions: list[HealthTransition]
     final_state: str
     restarts: int = 0
+    #: the full deterministic SLO alert event list (threshold + burn).
+    alerts: list[dict] = field(default_factory=list)
 
     def churn(self) -> ChurnReport:
         """The cross-window churn/coverage analytics."""
@@ -399,8 +407,15 @@ def _open_window(state: ServiceState,
     now = state.world.clock.now
     availability = _availability(state)
     failure_rate = _failure_rate(state)
-    health = state.monitor.observe(state.next_window, now, availability,
-                                   failure_rate)
+    # Alerts as evidence, transitions as effects: derive which policy
+    # thresholds fired, journal the crossings as alert events, apply
+    # the classification the evidence implies (bit-identical decisions
+    # to the raw-signal ladder).
+    evidence = state.monitor.evidence(state.next_window, now,
+                                      availability, failure_rate)
+    health = state.monitor.apply(evidence)
+    for event in state.slo.observe_evidence(evidence):
+        state.pipeline.telemetry.emit_alert(event)
     level = service.degradation.level_for(health)
     interval = service.reprobe_interval_s * level.interval_factor
     window_end = now + service.window_hours * HOUR
@@ -461,6 +476,13 @@ def _run_window(state: ServiceState, checkpointer: CampaignCheckpointer,
     appeared = sorted(set(active) - previous)
     disappeared = sorted(previous - set(active))
     accounting = window.accounting()
+    # Burn-rate SLO evaluation runs unconditionally (engine state is
+    # part of the pickled service state); only the journaled alert
+    # stream is telemetry-gated, inside emit_alert.
+    signals = window.signals(max(0.0, now - window.start),
+                             state.service.probe_rate_budget)
+    for event in state.slo.observe_window(window.index, now, signals):
+        state.pipeline.telemetry.emit_alert(event)
     payload = {
         "window": window.index,
         "start": window.start,
@@ -517,6 +539,7 @@ def _run_window(state: ServiceState, checkpointer: CampaignCheckpointer,
         })
         state.pipeline.resilient.harvest_telemetry()
         state.world.public_dns.harvest_telemetry(registry, now)
+        telemetry.sample("window", window.index, now)
         telemetry.flush(checkpointer.directory)
     _write_service_manifest(state, checkpointer.directory)
     checkpointer.snapshot()
@@ -563,6 +586,10 @@ def _finish(state: ServiceState, checkpointer: CampaignCheckpointer,
                         for t in monitor.transitions],
         "coverage": [round(value, 6) for value in state.coverage],
         "watchdog_cuts": state.watchdog_cuts,
+        # [name, state, window] per alert event, emission-ordered.
+        # Computed from the always-on SLO engine, so the aggregate is
+        # byte-identical whether or not telemetry recorded the stream.
+        "alerts": state.slo.summary(),
     }
     write_aggregate(checkpointer.directory, aggregate)
     # Journal the aggregate's byte CRC so the final artefact rides the
@@ -588,6 +615,7 @@ def _finish(state: ServiceState, checkpointer: CampaignCheckpointer,
         health=health,
         transitions=list(monitor.transitions),
         final_state=monitor.state.value,
+        alerts=list(state.slo.events),
     )
 
 

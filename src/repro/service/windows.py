@@ -70,6 +70,36 @@ class WindowState:
             "budget_dropped": len(self.plan.budget_dropped),
         }
 
+    def signals(self, duration_s: float,
+                probe_rate_budget: float | None = None
+                ) -> dict[str, float]:
+        """The window's SLO signals — error fractions in ``[0, 1]``
+        the burn-rate rules consume (:mod:`repro.obs.slo`).
+
+        All inputs are sim-clock accounting the window itself
+        maintains, so the signal dict is deterministic across
+        kill/restart and independent of telemetry being enabled.
+        """
+        account = self.accounting()
+        scheduled = account["scheduled"]
+        coverage_error = (1.0 - account["covered"] / scheduled
+                          if scheduled else 0.0)
+        sent = self.probes_sent
+        failures = self.refused + self.timed_out
+        failure_rate = failures / sent if sent else 0.0
+        refused_rate = self.refused / sent if sent else 0.0
+        rate_overshoot = 0.0
+        if probe_rate_budget and probe_rate_budget > 0 and duration_s > 0:
+            rate = sent / duration_s
+            rate_overshoot = min(
+                1.0, max(0.0, rate / probe_rate_budget - 1.0))
+        return {
+            "coverage_error": coverage_error,
+            "failure_rate": failure_rate,
+            "refused_rate": refused_rate,
+            "rate_overshoot": rate_overshoot,
+        }
+
     def verify_accounting(self) -> None:
         """Assert the closed-accounting identity for this window."""
         account = self.accounting()

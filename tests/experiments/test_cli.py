@@ -59,9 +59,11 @@ class TestExportCommand:
         assert "dns_logs.json" in names
         assert any(n.startswith("dataset_") for n in names)
 
-    def test_export_requires_out(self):
-        with pytest.raises(SystemExit):
-            main(["export"])
+    def test_export_requires_out(self, capsys):
+        # Experiment-export mode (no telemetry directory) still needs
+        # an explicit --out; telemetry mode defaults it instead.
+        assert main(["export"]) == 2
+        assert "--out" in capsys.readouterr().err
 
 
 class TestScenariosCommand:

@@ -1,0 +1,112 @@
+"""``repro diff-trace``: divergence localization over span streams."""
+
+from __future__ import annotations
+
+from repro.cli import main
+from repro.obs.difftrace import diff_traces, render_diff
+from repro.obs.runtime import TELEMETRY_DIR
+from repro.obs.timeseries import SERIES_FILE, write_series
+from repro.obs.trace import SPANS_FILE, TraceRecorder
+
+
+def _write_spans(directory, spans):
+    recorder = TraceRecorder(directory / TELEMETRY_DIR / SPANS_FILE)
+    for kind, name, t0, t1 in spans:
+        recorder.emit(kind, name, t0, t1)
+    recorder.close()
+
+
+BASE = [
+    ("slot", "0", 0.0, 100.0),
+    ("retry", "pop-a/example.com/1.2.3.0#4", 40.0, 41.0),
+    ("slot", "1", 100.0, 200.0),
+    ("retry", "pop-b/example.net/5.6.7.0#9", 150.0, 151.0),
+]
+
+
+def _sample(epoch, t, sent):
+    return {"k": "sample", "kind": "slot", "e": epoch, "t": t,
+            "m": {"version": "repro.metrics.v1",
+                  "counters": {"probe.sent": sent}, "gauges": {},
+                  "histograms": {}}}
+
+
+class TestDiffTraces:
+    def test_identical_directories(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        _write_spans(a, BASE)
+        _write_spans(b, BASE)
+        diff = diff_traces(a, b)
+        assert diff.identical
+        assert "identical" in render_diff(diff)
+
+    def test_divergent_span_is_localized_with_context(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        _write_spans(a, BASE)
+        doctored = list(BASE)
+        doctored[3] = ("retry", "pop-c/example.net/5.6.7.0#9",
+                       150.0, 151.0)
+        _write_spans(b, doctored)
+        diff = diff_traces(a, b)
+        assert not diff.identical
+        (div,) = diff.divergences
+        assert div.label == "campaign"
+        assert div.index == 3
+        assert div.context == {"slot": 1, "pop": "pop-b", "offset": 9}
+        text = render_diff(diff)
+        assert "slot=1 pop=pop-b offset=9" in text
+        assert "pop-c" in text
+
+    def test_prefix_stream_reports_the_ended_side(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        _write_spans(a, BASE)
+        _write_spans(b, BASE[:2])
+        (div,) = diff_traces(a, b).divergences
+        assert div.index == 2
+        assert div.right is None
+        assert "<stream ended>" in render_diff(diff_traces(a, b))
+
+    def test_metric_deltas_ride_the_divergence(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        _write_spans(a, BASE)
+        doctored = list(BASE)
+        doctored[3] = ("retry", "pop-c/x/y#9", 150.0, 151.0)
+        _write_spans(b, doctored)
+        write_series(a / TELEMETRY_DIR / SERIES_FILE,
+                     [_sample(0, 100.0, 500)])
+        write_series(b / TELEMETRY_DIR / SERIES_FILE,
+                     [_sample(0, 100.0, 260)])
+        (div,) = diff_traces(a, b).divergences
+        assert div.metric_deltas == [("probe.sent", 500.0, 260.0)]
+        assert "Δ +240" in render_diff(diff_traces(a, b))
+
+    def test_one_sided_stream_labels(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        _write_spans(a, BASE)
+        _write_spans(a / "shard-00", BASE[:1])
+        _write_spans(b, BASE)
+        diff = diff_traces(a, b)
+        assert diff.only_left == ("shard-00",)
+        assert not diff.identical
+
+
+class TestCli:
+    def test_identical_exits_zero(self, tmp_path, capsys):
+        a, b = tmp_path / "a", tmp_path / "b"
+        _write_spans(a, BASE)
+        _write_spans(b, BASE)
+        assert main(["diff-trace", str(a), str(b)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_divergent_exits_one(self, tmp_path, capsys):
+        a, b = tmp_path / "a", tmp_path / "b"
+        _write_spans(a, BASE)
+        _write_spans(b, BASE[:2])
+        assert main(["diff-trace", str(a), str(b)]) == 1
+        assert "first divergence" in capsys.readouterr().out
+
+    def test_missing_directory_exits_two(self, tmp_path, capsys):
+        a = tmp_path / "a"
+        _write_spans(a, BASE)
+        assert main(["diff-trace", str(a), str(tmp_path / "nope")]) == 2
+        assert "does not exist" in capsys.readouterr().err

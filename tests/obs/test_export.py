@@ -1,0 +1,192 @@
+"""OpenMetrics/JSONL telemetry export: renderer, grammar validator,
+and the two ``repro export`` CLI modes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import runtime as obs_runtime
+from repro.obs.export import (
+    ExportError,
+    export_telemetry,
+    snapshot_records,
+    to_openmetrics,
+    validate_openmetrics,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.experiments.runner import run_experiment
+from tests.persist.test_resume import CKPT, tiny_experiment_config
+
+
+def _registry():
+    registry = MetricsRegistry()
+    registry.counter("probe.sent").inc(100)
+    registry.counter("probe.outcomes", {"status": "hit"}).inc(7)
+    registry.counter("probe.outcomes", {"status": "miss"}).inc(93)
+    registry.gauge("health.state").set(1.0, 50.0)
+    registry.histogram("probe.backoff_s", (0.5, 1.0)).observe(0.2)
+    registry.histogram("probe.backoff_s", (0.5, 1.0)).observe(2.0)
+    return registry
+
+
+class TestToOpenMetrics:
+    def test_renders_and_validates(self):
+        text = to_openmetrics(_registry().snapshot())
+        validate_openmetrics(text)
+        assert "# TYPE probe_sent counter" in text
+        assert "probe_sent_total 100" in text
+        assert 'probe_outcomes_total{status="hit"} 7' in text
+        assert "# TYPE health_state gauge" in text
+        assert text.endswith("# EOF\n")
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = to_openmetrics(_registry().snapshot())
+        lines = [l for l in text.splitlines() if "_bucket" in l]
+        assert lines == [
+            'probe_backoff_s_bucket{le="0.5"} 1',
+            'probe_backoff_s_bucket{le="1"} 1',
+            'probe_backoff_s_bucket{le="+Inf"} 2',
+        ]
+        assert "probe_backoff_s_count 2" in text
+        assert "probe_backoff_s_sum 2.2" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("m", {"a": 'x"y\\z'}).inc()
+        text = to_openmetrics(registry.snapshot())
+        validate_openmetrics(text)
+        assert 'm_total{a="x\\"y\\\\z"} 1' in text
+
+
+class TestValidator:
+    def test_missing_eof_is_refused(self):
+        with pytest.raises(ExportError, match="EOF"):
+            validate_openmetrics("# TYPE a counter\na_total 1\n")
+
+    def test_sample_without_type_is_refused(self):
+        with pytest.raises(ExportError, match="TYPE"):
+            validate_openmetrics("a_total 1\n# EOF\n")
+
+    def test_wrong_suffix_for_kind_is_refused(self):
+        with pytest.raises(ExportError, match="suffix"):
+            validate_openmetrics(
+                "# TYPE a counter\na_bucket 1\n# EOF\n")
+
+    def test_non_contiguous_family_is_refused(self):
+        text = ("# TYPE a counter\na_total 1\n"
+                "# TYPE b counter\nb_total 1\n"
+                "a_total 2\n# EOF\n")
+        with pytest.raises(ExportError, match="contiguous"):
+            validate_openmetrics(text)
+
+    def test_duplicate_type_is_refused(self):
+        with pytest.raises(ExportError, match="duplicate TYPE"):
+            validate_openmetrics(
+                "# TYPE a counter\n# TYPE a counter\n# EOF\n")
+
+    def test_negative_counter_is_refused(self):
+        with pytest.raises(ExportError, match="negative"):
+            validate_openmetrics("# TYPE a counter\na_total -1\n# EOF\n")
+
+    def test_non_cumulative_buckets_are_refused(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="1"} 5\nh_bucket{le="+Inf"} 3\n'
+                "h_sum 1\nh_count 5\n# EOF\n")
+        with pytest.raises(ExportError, match="cumulative"):
+            validate_openmetrics(text)
+
+    def test_bad_escape_in_label_is_refused(self):
+        text = '# TYPE a counter\na_total{x="bad\\q"} 1\n# EOF\n'
+        with pytest.raises(ExportError, match="escape"):
+            validate_openmetrics(text)
+
+    def test_duplicate_label_is_refused(self):
+        text = '# TYPE a counter\na_total{x="1",x="2"} 1\n# EOF\n'
+        with pytest.raises(ExportError, match="duplicate label"):
+            validate_openmetrics(text)
+
+    def test_empty_exposition_is_refused(self):
+        with pytest.raises(ExportError, match="no metric families"):
+            validate_openmetrics("# EOF\n")
+
+
+class TestSnapshotRecords:
+    def test_flattens_every_instrument(self):
+        records = snapshot_records(_registry().snapshot())
+        kinds = {r["instrument"] for r in records}
+        assert kinds == {"counter", "gauge", "histogram"}
+        counter = next(r for r in records if r["series"] == "probe.sent")
+        assert counter["value"] == 100
+
+
+@pytest.fixture(scope="module")
+def recorded_run(tmp_path_factory):
+    """A tiny telemetry-on run whose artifacts the export tests read."""
+    directory = tmp_path_factory.mktemp("export") / "run"
+    telemetry = obs_runtime.telemetry_for_dir(directory)
+    with obs_runtime.activate(telemetry):
+        try:
+            run_experiment(tiny_experiment_config(11),
+                           checkpoint_dir=directory,
+                           checkpoint_config=CKPT)
+        finally:
+            telemetry.close()
+    return directory
+
+
+class TestExportTelemetry:
+    def test_openmetrics_of_a_real_run_validates(self, recorded_run,
+                                                 tmp_path):
+        written = export_telemetry(recorded_run, tmp_path / "om")
+        assert [p.name for p in written] == ["metrics.om"]
+        validate_openmetrics(written[0].read_text())
+
+    def test_jsonl_lines_are_canonical(self, recorded_run, tmp_path):
+        written = export_telemetry(recorded_run, tmp_path / "jl",
+                                   "jsonl")
+        names = {p.name for p in written}
+        assert {"metrics.jsonl", "series.jsonl"} <= names
+        for path in written:
+            for line in path.read_text().splitlines():
+                record = json.loads(line)
+                assert line == json.dumps(record, sort_keys=True,
+                                          separators=(",", ":"))
+
+    def test_empty_directory_is_refused(self, tmp_path):
+        with pytest.raises(ExportError, match="no telemetry"):
+            export_telemetry(tmp_path, tmp_path / "out")
+
+    def test_unknown_format_is_refused(self, recorded_run, tmp_path):
+        with pytest.raises(ExportError, match="unknown export format"):
+            export_telemetry(recorded_run, tmp_path / "x", "xml")
+
+
+class TestCli:
+    def test_telemetry_mode_writes_openmetrics(self, recorded_run,
+                                               tmp_path, capsys):
+        out = tmp_path / "om"
+        assert main(["export", str(recorded_run), "--out",
+                     str(out)]) == 0
+        assert "metrics.om" in capsys.readouterr().out
+        validate_openmetrics((out / "metrics.om").read_text())
+
+    def test_telemetry_mode_defaults_out_to_subdir(self, recorded_run,
+                                                   capsys):
+        assert main(["export", str(recorded_run), "--format",
+                     "jsonl"]) == 0
+        assert (recorded_run / "export" / "metrics.jsonl").exists()
+
+    def test_telemetry_mode_missing_directory(self, tmp_path, capsys):
+        assert main(["export", str(tmp_path / "nope")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_telemetry_mode_empty_directory(self, tmp_path, capsys):
+        assert main(["export", str(tmp_path)]) == 2
+        assert "no telemetry" in capsys.readouterr().err
+
+    def test_legacy_mode_requires_out(self, capsys):
+        assert main(["export"]) == 2
+        assert "--out" in capsys.readouterr().err

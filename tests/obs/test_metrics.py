@@ -19,6 +19,7 @@ from repro.obs.metrics import (
     SNAPSHOT_VERSION,
     MetricsRegistry,
     merge_snapshots,
+    parse_series_key,
     read_snapshot,
     series_key,
     write_snapshot,
@@ -35,6 +36,51 @@ class TestSeriesKey:
 
     def test_empty_labels_fold_away(self):
         assert series_key("x", {}) == "x"
+
+
+class TestSeriesKeyEscaping:
+    """Label values containing the key syntax must not collide."""
+
+    def test_comma_in_value_does_not_collide_with_two_labels(self):
+        tricky = series_key("m", {"a": "x,b=y"})
+        plain = series_key("m", {"a": "x", "b": "y"})
+        assert tricky != plain
+        assert parse_series_key(tricky) == ("m", {"a": "x,b=y"})
+        assert parse_series_key(plain) == ("m", {"a": "x", "b": "y"})
+
+    def test_equals_and_brace_in_value_round_trip(self):
+        labels = {"q": "a=b", "r": "c}d", "s": "e\\f"}
+        name, parsed = parse_series_key(series_key("m", labels))
+        assert name == "m"
+        assert parsed == labels
+
+    def test_specials_in_label_names_round_trip(self):
+        labels = {"a=b": "1", "c,d": "2"}
+        assert parse_series_key(series_key("m", labels)) == ("m", labels)
+
+    def test_plain_key_parses_to_no_labels(self):
+        assert parse_series_key("probe.sent") == ("probe.sent", {})
+
+    def test_brace_in_name_with_labels_is_refused(self):
+        with pytest.raises(ValueError, match="name"):
+            series_key("bad{name", {"a": "1"})
+
+    def test_malformed_keys_are_refused(self):
+        for bad in ("m{a=1", "m{a}", "m{a=1\\}"):
+            with pytest.raises(ValueError):
+                parse_series_key(bad)
+
+    _LABEL_TEXT = st.text(
+        alphabet=st.sampled_from(list("ab,=}\\{")), min_size=0,
+        max_size=6)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.dictionaries(_LABEL_TEXT.filter(bool), _LABEL_TEXT,
+                           min_size=0, max_size=3))
+    def test_round_trip_property(self, labels):
+        key = series_key("metric", labels)
+        assert parse_series_key(key) == (
+            "metric", {str(k): str(v) for k, v in labels.items()})
 
 
 class TestInstruments:

@@ -1,0 +1,257 @@
+"""SLO rules, burn-rate math, threshold evidence, and the alert
+stream's crash/replay byte-identity.
+
+The two determinism contracts under test mirror the span/series
+streams: the engine re-evolves identically from a snapshot (so a
+supervised restart re-emits byte-identical events), and burn rates are
+monotone in every window's error rate (so alerts cannot flap from
+arithmetic alone).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import runtime as obs_runtime
+from repro.obs.runtime import TELEMETRY_DIR, Telemetry
+from repro.obs.slo import (
+    ALERTS_FILE,
+    DEFAULT_RULES,
+    SloEngine,
+    SloRule,
+    burn_rate,
+    read_alerts,
+)
+from repro.persist.campaign import CheckpointConfig
+from repro.service.config import ServiceConfig
+from repro.service.health import HealthMonitor, ServiceHealth
+from repro.service.supervisor import run_service, supervise
+from repro.sim.faults import FaultConfig
+from tests.service.conftest import tiny_service_experiment
+
+WINDOWS = 3
+CKPT = CheckpointConfig(snapshot_every_slots=2)
+
+#: a probes/sec budget far below the tiny service's actual rate, so
+#: the ``slo.probe_rate`` rule fires deterministically every window.
+TIGHT_RATE = ServiceConfig(windows=WINDOWS, probe_rate_budget=0.5)
+
+
+class TestSloRule:
+    def test_error_budget(self):
+        assert SloRule("r", "s", 0.9).error_budget == pytest.approx(0.1)
+
+    def test_objective_bounds_are_enforced(self):
+        for bad in (0.0, 1.0, -0.5, 1.5):
+            with pytest.raises(ValueError, match="objective"):
+                SloRule("r", "s", bad)
+
+    def test_window_ordering_is_enforced(self):
+        with pytest.raises(ValueError, match="short_windows"):
+            SloRule("r", "s", 0.9, short_windows=4, long_windows=2)
+        with pytest.raises(ValueError, match="short_windows"):
+            SloRule("r", "s", 0.9, short_windows=0)
+
+    def test_burn_thresholds_must_be_positive(self):
+        with pytest.raises(ValueError, match="burn"):
+            SloRule("r", "s", 0.9, fast_burn=0.0)
+
+
+class TestBurnRate:
+    def test_empty_history_is_zero(self):
+        assert burn_rate([], 0.1) == 0.0
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError, match="budget"):
+            burn_rate([0.5], 0.0)
+
+    def test_exact_budget_burn_is_one(self):
+        assert burn_rate([0.1, 0.1], 0.1) == pytest.approx(1.0)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(st.floats(0.0, 1.0), min_size=1, max_size=6),
+           st.integers(0, 5),
+           st.floats(0.001, 0.5),
+           st.floats(0.0, 1.0))
+    def test_monotone_in_every_error_rate(self, rates, index, budget,
+                                          bump):
+        """Raising any single window's error rate never lowers burn."""
+        index = index % len(rates)
+        bumped = list(rates)
+        bumped[index] = min(1.0, bumped[index] + bump)
+        assert burn_rate(bumped, budget) >= burn_rate(rates, budget)
+
+
+class TestEngineBurnAlerts:
+    RULE = SloRule("slo.test", signal="err", objective=0.9,
+                   short_windows=1, long_windows=3,
+                   fast_burn=2.0, slow_burn=1.0)
+
+    def test_fire_and_resolve_cycle(self):
+        engine = SloEngine(rules=(self.RULE,))
+        # Window 0: short burn 5.0 >= 2, long burn 5.0 >= 1 → firing.
+        events = engine.observe_window(0, 100.0, {"err": 0.5})
+        assert [e["state"] for e in events] == ["firing"]
+        assert engine.active()[0]["name"] == "slo.test"
+        # Still burning: no duplicate event while firing.
+        assert engine.observe_window(1, 200.0, {"err": 0.5}) == []
+        # Recovery: short burn 0 < 2 → resolved.
+        events = engine.observe_window(2, 300.0, {"err": 0.0})
+        assert [e["state"] for e in events] == ["resolved"]
+        assert engine.active() == []
+        assert engine.summary() == [["slo.test", "firing", 0],
+                                    ["slo.test", "resolved", 2]]
+
+    def test_one_bad_window_cannot_fire_a_long_rule(self):
+        rule = SloRule("slo.slow", signal="err", objective=0.9,
+                       short_windows=2, long_windows=4)
+        engine = SloEngine(rules=(rule,))
+        assert engine.observe_window(0, 0.0, {"err": 1.0}) != []
+        # short_windows=2 means the single spike still fires (mean of
+        # [1.0] over one window); use two quiet windows then one spike:
+        engine = SloEngine(rules=(rule,))
+        engine.observe_window(0, 0.0, {"err": 0.0})
+        engine.observe_window(1, 1.0, {"err": 0.0})
+        events = engine.observe_window(2, 2.0, {"err": 1.0})
+        # short mean = (0 + 1)/2 = 0.5 → burn 5 ≥ 2; long mean =
+        # 1/3 → burn 10/3 ≥ 1: the guard needs both windows, and here
+        # both clear, so it fires — now check the converse:
+        assert events and events[0]["state"] == "firing"
+        engine = SloEngine(rules=(rule,))
+        engine.observe_window(0, 0.0, {"err": 0.0})
+        engine.observe_window(1, 1.0, {"err": 0.0})
+        engine.observe_window(2, 2.0, {"err": 0.0})
+        events = engine.observe_window(3, 3.0, {"err": 0.3})
+        # short mean 0.15 → burn 1.5 < fast_burn 2: stays quiet.
+        assert events == []
+
+    def test_history_is_bounded_by_long_windows(self):
+        engine = SloEngine(rules=(self.RULE,))
+        for window in range(10):
+            engine.observe_window(window, float(window), {"err": 0.2})
+        assert len(engine.history["slo.test"]) == self.RULE.long_windows
+
+    def test_default_rulebook_signals(self):
+        assert {rule.signal for rule in DEFAULT_RULES} == {
+            "coverage_error", "failure_rate", "refused_rate",
+            "rate_overshoot"}
+
+
+class TestThresholdEvidence:
+    GRID = [(1.0, 0.0), (0.8, 0.0), (0.7, 0.0), (0.3, 0.0),
+            (0.05, 0.0), (0.0, 0.0), (1.0, 0.6), (0.7, 0.9),
+            (0.41, 0.51), (0.75, 0.5)]
+
+    def test_evidence_classification_matches_classify(self):
+        monitor = HealthMonitor()
+        for availability, failure_rate in self.GRID:
+            evidence = monitor.evidence(3, 99.0, availability,
+                                        failure_rate)
+            assert evidence.classified \
+                == monitor.classify(availability, failure_rate)
+
+    def test_observe_equals_apply_of_evidence(self):
+        left, right = HealthMonitor(), HealthMonitor()
+        for window, (availability, failure_rate) in enumerate(self.GRID):
+            observed = left.observe(window, float(window), availability,
+                                    failure_rate)
+            applied = right.apply(right.evidence(
+                window, float(window), availability, failure_rate))
+            assert observed is applied or observed == applied
+        assert left.transitions == right.transitions
+
+    def test_alert_names_follow_the_ladder(self):
+        monitor = HealthMonitor()
+        assert monitor.evidence(0, 0.0, 1.0, 0.0).alerts == ()
+        assert monitor.evidence(0, 0.0, 0.7, 0.0).alerts \
+            == ("availability.degraded",)
+        assert monitor.evidence(0, 0.0, 0.3, 0.0).alerts \
+            == ("availability.critical",)
+        assert monitor.evidence(0, 0.0, 0.01, 0.0).alerts \
+            == ("availability.halted",)
+        evidence = monitor.evidence(0, 0.0, 0.3, 0.9)
+        assert evidence.alerts == ("availability.critical",
+                                   "failure_rate.degraded")
+        assert evidence.classified is ServiceHealth.CRITICAL
+
+    def test_engine_diffs_threshold_alerts(self):
+        monitor, engine = HealthMonitor(), SloEngine()
+        events = engine.observe_evidence(
+            monitor.evidence(0, 10.0, 0.7, 0.0))
+        assert [(e["name"], e["state"]) for e in events] \
+            == [("health.availability.degraded", "firing")]
+        # Same evidence again: no new events.
+        assert engine.observe_evidence(
+            monitor.evidence(1, 20.0, 0.7, 0.0)) == []
+        events = engine.observe_evidence(
+            monitor.evidence(2, 30.0, 1.0, 0.9))
+        assert [(e["name"], e["state"]) for e in events] == [
+            ("health.failure_rate.degraded", "firing"),
+            ("health.availability.degraded", "resolved")]
+        # failure_rate events carry the failure rate, not availability.
+        assert events[0]["value"] == pytest.approx(0.9)
+
+
+class TestServiceAlertStream:
+    def _run(self, tmp_path, name, faults=None, supervised=False):
+        config = tiny_service_experiment(faults=faults)
+        directory = tmp_path / name
+        with obs_runtime.activate(Telemetry(enabled=True)):
+            if supervised:
+                result = supervise(config, TIGHT_RATE,
+                                   checkpoint_dir=directory,
+                                   checkpoint_config=CKPT)
+            else:
+                result = run_service(config, TIGHT_RATE,
+                                     checkpoint_dir=directory,
+                                     checkpoint_config=CKPT)
+        return result, directory
+
+    def test_tight_budget_fires_and_journals(self, tmp_path):
+        result, directory = self._run(tmp_path, "svc")
+        assert ["slo.probe_rate", "firing", 0] \
+            in result.aggregate["alerts"]
+        journaled = read_alerts(directory / TELEMETRY_DIR / ALERTS_FILE)
+        assert journaled == result.alerts
+        assert all(e["k"] == "alert" for e in journaled)
+
+    def test_restart_replays_the_alert_stream_byte_identically(
+            self, tmp_path):
+        _, clean_dir = self._run(tmp_path, "clean")
+        clean = read_alerts(clean_dir / TELEMETRY_DIR / ALERTS_FILE)
+        assert clean  # the tight budget guarantees a non-empty stream
+
+        result, crash_dir = self._run(
+            tmp_path, "crash",
+            faults=FaultConfig(crash_after_appends=300),
+            supervised=True)
+        assert result.restarts >= 1
+        resumed = read_alerts(crash_dir / TELEMETRY_DIR / ALERTS_FILE)
+        assert json.dumps(resumed, sort_keys=True) \
+            == json.dumps(clean, sort_keys=True)
+
+    def test_engine_always_runs_but_stream_is_gated(self, tmp_path):
+        config = tiny_service_experiment()
+        directory = tmp_path / "off"
+        result = run_service(config, TIGHT_RATE,
+                             checkpoint_dir=directory,
+                             checkpoint_config=CKPT)
+        # Telemetry off: the engine still evaluated (aggregate and
+        # events identical to the instrumented run)...
+        assert ["slo.probe_rate", "firing", 0] \
+            in result.aggregate["alerts"]
+        # ...but nothing was journaled.
+        assert not (directory / TELEMETRY_DIR / ALERTS_FILE).exists()
+
+    def test_aggregate_is_identical_with_telemetry_on_and_off(
+            self, tmp_path):
+        off, _ = (run_service(tiny_service_experiment(), TIGHT_RATE,
+                              checkpoint_dir=tmp_path / "a",
+                              checkpoint_config=CKPT), None)
+        on, _ = self._run(tmp_path, "b")
+        assert on.aggregate == off.aggregate
+        assert on.alerts == off.alerts

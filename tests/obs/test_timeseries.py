@@ -1,0 +1,242 @@
+"""The persisted metric time-series: merge properties, query API, and
+the replay/sharding byte-identity differentials.
+
+The load-bearing contracts:
+
+* per-shard sample streams merge owner-independently (Hypothesis);
+* a campaign killed mid-run resumes to a series log whose deduped
+  stream equals the clean run's, byte for byte;
+* a 4-worker run's merged top-level log is byte-identical to the
+  serial run's.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import runtime as obs_runtime
+from repro.obs.metrics import SNAPSHOT_VERSION
+from repro.obs.runtime import TELEMETRY_DIR
+from repro.obs.timeseries import (
+    SERIES_FILE,
+    deterministic_view,
+    latest_sample,
+    merge_series,
+    read_series,
+    sample_range,
+    series_deltas,
+    series_rate,
+    series_values,
+    sparkline,
+    write_series,
+)
+from repro.persist.campaign import CheckpointConfig, resume_campaign
+from repro.sim.faults import FaultConfig, SimulatedCrash
+from repro.experiments.runner import run_experiment
+from tests.persist.test_resume import CKPT, tiny_experiment_config
+
+
+class TestDeterministicView:
+    def test_process_and_shard_shaped_series_are_dropped(self):
+        snapshot = {
+            "version": SNAPSHOT_VERSION,
+            "counters": {"probe.sent": 10, "journal.appends": 5,
+                         "snapshot.writes": 2, "slots.completed": 3},
+            "gauges": {"health.state": [1.0, 0.0],
+                       "resolver.cache.hits": [1.0, 9.0]},
+            "histograms": {"window.coverage": {"bounds": [], "buckets": [1],
+                                               "count": 1, "total": 1.0}},
+        }
+        view = deterministic_view(snapshot)
+        assert view["counters"] == {"probe.sent": 10}
+        assert view["gauges"] == {"health.state": [1.0, 0.0]}
+        assert "window.coverage" in view["histograms"]
+
+
+def _sample(kind, epoch, t, counters, gauges=None):
+    return {"k": "sample", "kind": kind, "e": epoch, "t": t,
+            "m": {"version": SNAPSHOT_VERSION, "counters": counters,
+                  "gauges": gauges or {}, "histograms": {}}}
+
+
+class TestQueryApi:
+    SAMPLES = [
+        _sample("slot", 0, 10.0, {"probe.sent": 5}),
+        _sample("slot", 1, 20.0, {"probe.sent": 12}),
+        _sample("slot", 2, 40.0, {"probe.sent": 12}),
+        _sample("window", 0, 30.0, {"probe.sent": 9}),
+    ]
+
+    def test_sample_range_filters_time_and_kind(self):
+        got = sample_range(self.SAMPLES, t0=15.0, t1=35.0)
+        assert [s["e"] for s in got] == [1, 0]
+        got = sample_range(self.SAMPLES, kind="slot")
+        assert [s["e"] for s in got] == [0, 1, 2]
+
+    def test_latest_sample_respects_at(self):
+        assert latest_sample(self.SAMPLES, kind="slot")["e"] == 2
+        assert latest_sample(self.SAMPLES, at=25.0, kind="slot")["e"] == 1
+        assert latest_sample(self.SAMPLES, at=5.0) is None
+
+    def test_series_values_deltas_and_rate(self):
+        slots = [s for s in self.SAMPLES if s["kind"] == "slot"]
+        assert series_values(slots, "probe.sent") == [
+            (10.0, 5.0), (20.0, 12.0), (40.0, 12.0)]
+        assert series_deltas(slots, "probe.sent") == [
+            (10.0, 5.0), (20.0, 7.0), (40.0, 0.0)]
+        assert series_rate(slots, "probe.sent") == [
+            (20.0, 0.7), (40.0, 0.0)]
+
+    def test_missing_series_is_skipped(self):
+        assert series_values(self.SAMPLES, "nope") == []
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_all_zero_renders_floor(self):
+        assert sparkline([0.0, 0.0]) == "▁▁"
+
+    def test_peak_gets_top_block(self):
+        line = sparkline([1.0, 4.0, 8.0])
+        assert line[-1] == "█"
+        assert len(line) == 3
+
+
+class TestRoundTrip:
+    def test_write_read_round_trip(self, tmp_path):
+        path = tmp_path / SERIES_FILE
+        samples = [_sample("slot", 0, 1.0, {"a": 1}),
+                   _sample("slot", 1, 2.0, {"a": 3})]
+        write_series(path, samples)
+        assert read_series(path) == samples
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_series(tmp_path / SERIES_FILE) == []
+
+    def test_dedupe_collapses_replayed_samples(self, tmp_path):
+        path = tmp_path / SERIES_FILE
+        sample = _sample("slot", 0, 1.0, {"a": 1})
+        write_series(path, [sample, sample, _sample("slot", 1, 2.0,
+                                                    {"a": 2})])
+        assert len(read_series(path)) == 2
+        assert len(read_series(path, dedupe=False)) == 3
+
+
+# -- merge properties (Hypothesis) -----------------------------------------
+
+_EPOCHS = st.integers(0, 3)
+_INTISH = st.integers(0, 500).map(float)
+_COUNTERS = st.dictionaries(
+    st.sampled_from(["probe.sent", "probe.retries", "budget.denied"]),
+    st.integers(0, 1000), max_size=3)
+
+
+_STREAM = st.lists(
+    st.builds(lambda e, t, c: _sample("slot", e, t, c),
+              _EPOCHS, _INTISH, _COUNTERS),
+    min_size=0, max_size=4)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_STREAM, min_size=2, max_size=4).flatmap(
+    lambda streams: st.tuples(st.just(streams),
+                              st.permutations(streams))))
+def test_merge_is_owner_independent(pair):
+    streams, shuffled = pair
+    assert merge_series(streams) == merge_series(shuffled)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_STREAM, _STREAM, _STREAM)
+def test_merge_is_associative(a, b, c):
+    left = merge_series([merge_series([a, b]), c])
+    right = merge_series([a, merge_series([b, c])])
+    assert left == right
+
+
+@settings(max_examples=40, deadline=None)
+@given(_STREAM)
+def test_merge_output_is_sorted_by_epoch(stream):
+    merged = merge_series([stream])
+    keys = [(s["kind"], s["e"]) for s in merged]
+    assert keys == sorted(keys)
+    assert len(keys) == len(set(keys))
+
+
+# -- differentials ---------------------------------------------------------
+
+
+def _series_bytes(directory):
+    return (directory / TELEMETRY_DIR / SERIES_FILE).read_bytes()
+
+
+def _run_attached(directory, config=None, workers=1):
+    """A checkpointed run with telemetry streaming into ``directory``."""
+    telemetry = obs_runtime.telemetry_for_dir(directory)
+    with obs_runtime.activate(telemetry):
+        try:
+            run_experiment(config or tiny_experiment_config(11),
+                           checkpoint_dir=directory,
+                           checkpoint_config=CKPT, workers=workers)
+        finally:
+            telemetry.close()
+
+
+@pytest.fixture(scope="module")
+def clean_series(tmp_path_factory):
+    """Serial telemetry-on baseline: directory, raw bytes, samples."""
+    directory = tmp_path_factory.mktemp("series") / "clean"
+    _run_attached(directory)
+    samples = read_series(directory / TELEMETRY_DIR / SERIES_FILE)
+    return directory, _series_bytes(directory), samples
+
+
+class TestCampaignSeries:
+    def test_slot_epochs_follow_the_snapshot_cadence(self, clean_series):
+        _, _, samples = clean_series
+        assert samples
+        epochs = [s["e"] for s in samples]
+        assert epochs == sorted(epochs)
+        assert all(s["kind"] == "slot" for s in samples)
+        # probe.sent is cumulative: non-decreasing across epochs.
+        values = [v for _t, v in series_values(samples, "probe.sent")]
+        assert values == sorted(values)
+
+    def test_no_process_shaped_series_leak_into_samples(
+            self, clean_series):
+        _, _, samples = clean_series
+        for sample in samples:
+            for key in sample["m"]["counters"]:
+                assert not key.startswith(("journal.", "snapshot."))
+            for key in sample["m"]["gauges"]:
+                assert not key.startswith("resolver.")
+
+    def test_kill_restart_replays_byte_identically(self, clean_series,
+                                                   tmp_path):
+        _, _, clean_samples = clean_series
+        crash_dir = tmp_path / "crash"
+        config = tiny_experiment_config(
+            11, faults=FaultConfig(crash_after_appends=300))
+        with pytest.raises(SimulatedCrash):
+            _run_attached(crash_dir, config=config)
+        # The pickled state's own telemetry bundle re-attaches; the
+        # resume keeps the clean run's snapshot (= sampling) cadence.
+        resume_campaign(crash_dir, CKPT)
+        # The raw file may carry replay duplicates; the deduped stream
+        # must equal the clean run's samples exactly.
+        resumed = read_series(crash_dir / TELEMETRY_DIR / SERIES_FILE)
+        assert json.dumps(resumed, sort_keys=True) \
+            == json.dumps(clean_samples, sort_keys=True)
+
+    def test_four_workers_merge_to_the_serial_log(self, clean_series,
+                                                  tmp_path):
+        _, clean_bytes, _ = clean_series
+        par_dir = tmp_path / "par"
+        _run_attached(par_dir, workers=4)
+        assert _series_bytes(par_dir) == clean_bytes

@@ -11,6 +11,8 @@ from repro.cli import main
 from repro.obs.metrics import MetricsRegistry, write_snapshot
 from repro.obs.profiler import PROFILE_FILE, PhaseProfiler, write_profile
 from repro.obs.runtime import METRICS_FILE, TELEMETRY_DIR
+from repro.obs.slo import ALERTS_FILE, AlertRecorder
+from repro.obs.timeseries import SERIES_FILE, write_series
 from repro.obs.top import load_dashboard, render_top, run_top
 from repro.obs.trace import SPANS_FILE, TraceRecorder
 
@@ -48,6 +50,39 @@ def _synthetic_dir(tmp_path):
     return tmp_path
 
 
+def _sample(kind, epoch, t, counters):
+    return {"k": "sample", "kind": kind, "e": epoch, "t": t,
+            "m": {"version": "repro.metrics.v1", "counters": counters,
+                  "gauges": {}, "histograms": {}}}
+
+
+def _alerting_dir(tmp_path):
+    """A telemetry tree that additionally carries alerts + series."""
+    directory = _synthetic_dir(tmp_path)
+    base = directory / TELEMETRY_DIR
+    recorder = AlertRecorder(base / ALERTS_FILE)
+    recorder.emit({"k": "alert", "name": "slo.coverage",
+                   "state": "firing", "window": 2, "at": 120.0,
+                   "burn_short": 3.5, "burn_long": 1.2})
+    recorder.emit({"k": "alert", "name": "health.availability.degraded",
+                   "state": "firing", "window": 2, "at": 120.0,
+                   "value": 0.7})
+    recorder.emit({"k": "alert", "name": "health.availability.degraded",
+                   "state": "resolved", "window": 3, "at": 180.0,
+                   "value": 0.95})
+    recorder.close()
+    write_series(base / SERIES_FILE, [
+        _sample("slot", 0, 30.0, {"probe.sent": 100}),
+        _sample("slot", 1, 60.0, {"probe.sent": 260}),
+        _sample("slot", 2, 90.0, {"probe.sent": 300}),
+        _sample("window", 0, 60.0, {"window.covered": 40,
+                                    "window.scheduled": 50}),
+        _sample("window", 1, 120.0, {"window.covered": 85,
+                                     "window.scheduled": 100}),
+    ])
+    return directory
+
+
 class TestRenderTop:
     def test_all_sections_render(self, tmp_path):
         frame = render_top(load_dashboard(_synthetic_dir(tmp_path)))
@@ -77,6 +112,39 @@ class TestRenderTop:
         assert "no telemetry artifacts found" in frame
 
 
+class TestAlertsAndTrends:
+    def test_alerts_panel_folds_stream_to_current_state(self, tmp_path):
+        frame = render_top(load_dashboard(_alerting_dir(tmp_path)))
+        # Three events, but availability.degraded resolved itself: the
+        # panel shows current state, not event history.
+        assert "alerts: 1 firing, 1 resolved" in frame
+        assert "! slo.coverage w2 burn short=3.50 long=1.20" in frame
+        assert "availability.degraded" not in frame.split("trends:")[0] \
+            .split("alerts:")[1]
+
+    def test_trend_sparklines_summarize_the_series(self, tmp_path):
+        frame = render_top(load_dashboard(_alerting_dir(tmp_path)))
+        assert "trends:" in frame
+        assert "probe.sent" in frame
+        assert "(+300 over 3 samples)" in frame
+        assert "coverage" in frame and "(last 0.90)" in frame
+
+    def test_threshold_alert_renders_its_value(self, tmp_path):
+        directory = _synthetic_dir(tmp_path)
+        recorder = AlertRecorder(directory / TELEMETRY_DIR / ALERTS_FILE)
+        recorder.emit({"k": "alert", "name": "health.failure_rate.degraded",
+                       "state": "firing", "window": 1, "at": 60.0,
+                       "value": 0.62})
+        recorder.close()
+        frame = render_top(load_dashboard(directory))
+        assert "! health.failure_rate.degraded w1 value=0.62" in frame
+
+    def test_snapshot_mode_stays_line_stable_with_alerts(self, tmp_path):
+        out = io.StringIO()
+        assert run_top(_alerting_dir(tmp_path), once=False, out=out) == 0
+        assert out.getvalue().count("repro top —") == 1
+
+
 class TestCli:
     def test_top_once(self, tmp_path, capsys):
         assert main(["top", str(_synthetic_dir(tmp_path)), "--once"]) == 0
@@ -95,6 +163,20 @@ class TestCli:
     def test_trace_without_streams(self, tmp_path, capsys):
         assert main(["trace", str(tmp_path)]) == 0
         assert "no span streams" in capsys.readouterr().out
+
+    def test_trace_json_is_canonical(self, tmp_path, capsys):
+        assert main(["trace", str(_synthetic_dir(tmp_path)),
+                     "--json"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out)
+        assert out.strip() == json.dumps(payload, sort_keys=True,
+                                         indent=2)
+        (stream,) = payload["streams"]
+        assert stream["label"] == "campaign"
+        assert stream["spans"] == 2
+        assert stream["kinds"]["slot"] == {"count": 1,
+                                           "sim_total_s": 10.0}
+        assert stream["sim_t0"] == 0.0 and stream["sim_t1"] == 10.0
 
     def test_run_parser_accepts_no_telemetry(self):
         from repro.cli import build_parser
